@@ -1,0 +1,92 @@
+/// \file ablation_atomics.cpp
+/// \brief Atomic-lowering ablation (paper SV-B): what the RMW-vs-CAS
+/// compiler difference costs on each platform (model), plus a real
+/// host-measured microbenchmark of the two lowerings under contention
+/// from this library's backends.
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "backends/atomic.hpp"
+#include "perfmodel/simulator.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gaia;
+
+/// Host-measured: N threads hammering a vector of targets with each
+/// lowering; returns updates/second.
+double measure_host_atomics(backends::AtomicMode mode, int n_threads,
+                            std::size_t n_targets) {
+  constexpr int kUpdatesPerThread = 400000;
+  std::vector<real> targets(n_targets, 0.0);
+  util::Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&targets, mode, t] {
+      const std::size_t n = targets.size();
+      for (int i = 0; i < kUpdatesPerThread; ++i)
+        backends::atomic_add(targets[(t + i) % n], 1.0, mode);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double seconds = watch.elapsed_s();
+  return n_threads * static_cast<double>(kUpdatesPerThread) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gaia::perfmodel;
+  using gaia::backends::AtomicMode;
+  using gaia::byte_size;
+  using gaia::kGiB;
+  using gaia::util::Table;
+
+  const auto footprint = static_cast<byte_size>(10.0 * kGiB);
+  const ProblemShape shape = ProblemShape::from_footprint(footprint);
+
+  std::cout << "=== atomic-lowering ablation (10 GB model) ===\n\n";
+  Table t({"platform", "iter RMW (ms)", "iter CAS (ms)", "CAS penalty"});
+  for (Platform p : all_platforms()) {
+    const KernelCostModel model(gpu_spec(p));
+    ExecutionPlan plan;
+    plan.tuning = model.tuned_table();
+    plan.use_streams = true;
+    plan.atomic_mode = AtomicMode::kNativeRmw;
+    const double rmw = model.iteration_seconds(shape, plan);
+    plan.atomic_mode = AtomicMode::kCasLoop;
+    const double cas = model.iteration_seconds(shape, plan);
+    t.add_row({to_string(p), Table::num(rmw * 1e3, 1),
+               Table::num(cas * 1e3, 1), Table::num(cas / rmw, 2) + "x"});
+  }
+  std::cout << t.str();
+  std::cout << "paper reference: on MI250X, compilers that cannot honour "
+               "-munsafe-fp-atomics (base clang OpenMP, DPC++) emit CAS "
+               "loops and lose most of their efficiency (SV-B).\n\n";
+
+  std::cout << "=== host-measured atomic lowerings (this machine) ===\n\n";
+  Table h({"contention", "RMW (Mupd/s)", "CAS-loop (Mupd/s)"});
+  struct Case {
+    const char* name;
+    int threads;
+    std::size_t targets;
+  };
+  for (const Case c : {Case{"low (4 thr/4096 tgt)", 4, 4096},
+                       Case{"high (4 thr/8 tgt)", 4, 8},
+                       Case{"extreme (4 thr/1 tgt)", 4, 1}}) {
+    const double rmw =
+        measure_host_atomics(AtomicMode::kNativeRmw, c.threads, c.targets);
+    const double cas =
+        measure_host_atomics(AtomicMode::kCasLoop, c.threads, c.targets);
+    h.add_row({c.name, Table::num(rmw / 1e6, 1), Table::num(cas / 1e6, 1)});
+  }
+  std::cout << h.str();
+  std::cout << "(on CPUs both lower to similar instructions; the table "
+               "demonstrates the contention sensitivity the GPU model "
+               "prices, not absolute GPU costs)\n";
+  return 0;
+}

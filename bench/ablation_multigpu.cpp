@@ -1,0 +1,66 @@
+/// \file ablation_multigpu.cpp
+/// \brief Multi-GPU scaling ablation: extends the single-GPU iteration
+/// model (the paper's scope) toward the companion study's multi-node
+/// runs and the paper's "bigger problems using multiple GPUs" future
+/// work — strong and weak scaling of the distributed LSQR iteration.
+#include <iostream>
+
+#include "perfmodel/multi_gpu.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gaia;
+  using namespace gaia::perfmodel;
+
+  const struct {
+    Platform platform;
+    const InterconnectSpec& net;
+  } systems[] = {
+      {Platform::kA100, leonardo_interconnect()},
+      {Platform::kMi250x, setonix_interconnect()},
+  };
+
+  for (const auto& sys : systems) {
+    const GpuSpec& gpu = gpu_spec(sys.platform);
+    MultiGpuModel model(gpu, sys.net);
+    ExecutionPlan plan;
+    plan.tuning = KernelCostModel(gpu).tuned_table();
+
+    std::cout << "=== " << gpu.name << " + " << sys.net.name << " ===\n\n";
+
+    std::cout << "strong scaling, 30 GB total problem\n";
+    util::Table strong({"ranks", "compute (ms)", "allreduce (ms)",
+                        "iteration (ms)", "parallel eff."});
+    const auto total = ProblemShape::from_footprint(
+        static_cast<byte_size>(30.0 * kGiB));
+    for (const auto& p : model.strong_scaling(total, plan, 256)) {
+      strong.add_row({std::to_string(p.ranks),
+                      util::Table::num(p.compute_s * 1e3, 2),
+                      util::Table::num(p.allreduce_s * 1e3, 2),
+                      util::Table::num(p.iteration_s * 1e3, 2),
+                      util::Table::num(p.efficiency, 3)});
+    }
+    std::cout << strong.str() << '\n';
+
+    std::cout << "weak scaling, 10 GB per rank\n";
+    util::Table weak({"ranks", "total (GB)", "iteration (ms)",
+                      "weak eff."});
+    const auto per_rank = ProblemShape::from_footprint(
+        static_cast<byte_size>(10.0 * kGiB));
+    for (const auto& p : model.weak_scaling(per_rank, plan, 256)) {
+      weak.add_row({std::to_string(p.ranks),
+                    util::Table::num(10.0 * p.ranks, 0),
+                    util::Table::num(p.iteration_s * 1e3, 2),
+                    util::Table::num(p.efficiency, 3)});
+    }
+    std::cout << weak.str() << '\n';
+  }
+  std::cout << "context: the companion study (Malenza et al. 2024) ran "
+               "the CUDA and PSTL ports at 256 Leonardo nodes. In the "
+               "model, weak scaling is limited not by the (small) "
+               "allreduce payload but by the replicated unknown-space "
+               "vector work, whose share depends on the rows/unknowns "
+               "ratio — production's O(1000) observations per star keep "
+               "it negligible far longer than our synthetic 50.\n";
+  return 0;
+}

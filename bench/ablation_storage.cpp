@@ -1,0 +1,86 @@
+/// \file ablation_storage.cpp
+/// \brief Storage-format ablation: the paper's structure-exploiting
+/// layout (paper SIII-B: matrixIndexAstro/matrixIndexAtt/instrCol
+/// instead of per-non-zero column indexes) vs generic CSR — memory
+/// footprint and measured host SpMV time.
+#include <iostream>
+
+#include "core/aprod.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generator.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gaia;
+
+  matrix::GeneratorConfig cfg;
+  cfg.seed = 555;
+  cfg.n_stars = 4000;
+  cfg.obs_per_star_mean = 30.0;
+  cfg.att_dof_per_axis = 96;
+  cfg.n_instr_params = 64;
+  const auto gen = matrix::generate_system(cfg);
+  const auto csr = matrix::to_csr(gen.A);
+
+  std::cout << "=== storage-format ablation ("
+            << gen.A.n_rows() << " rows x " << gen.A.n_cols()
+            << " unknowns) ===\n\n";
+  util::Table t({"format", "bytes", "bytes/row", "vs custom"});
+  const double custom_bytes = static_cast<double>(gen.A.footprint_bytes());
+  const double csr_bytes = static_cast<double>(csr.bytes());
+  const double rows = static_cast<double>(gen.A.n_rows());
+  t.add_row({"custom (paper SIII-B)", util::format_bytes(
+                                          gen.A.footprint_bytes()),
+             util::Table::num(custom_bytes / rows, 1), "1.00x"});
+  t.add_row({"generic CSR", util::format_bytes(csr.bytes()),
+             util::Table::num(csr_bytes / rows, 1),
+             util::Table::num(csr_bytes / custom_bytes, 2) + "x"});
+  std::cout << t.str() << '\n';
+
+  // Measured host SpMV: structure-exploiting kernels vs canonical CSR.
+  backends::DeviceContext device;
+  core::AprodOptions opts;
+  opts.backend = backends::BackendKind::kSerial;
+  opts.use_streams = false;
+  core::Aprod aprod(gen.A, device, opts);
+
+  util::Xoshiro256 rng(1);
+  std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()));
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  std::vector<real> out_rows(y.size(), 0.0), out_cols(x.size(), 0.0);
+
+  constexpr int kReps = 10;
+  util::Stopwatch watch;
+  for (int i = 0; i < kReps; ++i) aprod.apply1(x, out_rows);
+  const double t_custom_1 = watch.elapsed_s() / kReps;
+  watch.reset();
+  for (int i = 0; i < kReps; ++i) matrix::csr_matvec(csr, x, out_rows);
+  const double t_csr_1 = watch.elapsed_s() / kReps;
+  watch.reset();
+  for (int i = 0; i < kReps; ++i) aprod.apply2(y, out_cols);
+  const double t_custom_2 = watch.elapsed_s() / kReps;
+  watch.reset();
+  for (int i = 0; i < kReps; ++i) matrix::csr_rmatvec(csr, y, out_cols);
+  const double t_csr_2 = watch.elapsed_s() / kReps;
+
+  util::Table m({"product", "custom (ms)", "CSR (ms)", "CSR/custom"});
+  m.add_row({"aprod1 (A x)", util::Table::num(t_custom_1 * 1e3, 2),
+             util::Table::num(t_csr_1 * 1e3, 2),
+             util::Table::num(t_csr_1 / t_custom_1, 2) + "x"});
+  m.add_row({"aprod2 (A^T y)", util::Table::num(t_custom_2 * 1e3, 2),
+             util::Table::num(t_csr_2 * 1e3, 2),
+             util::Table::num(t_csr_2 / t_custom_2, 2) + "x"});
+  std::cout << m.str();
+  std::cout << "the custom layout drops the per-non-zero column index "
+               "(the dominant CSR payload at 24 nnz/row): that is what "
+               "lets production hold ~19 TB instead of ~31 TB, and on "
+               "bandwidth-bound GPUs traffic is time. On a host at "
+               "cache-resident sizes the simpler CSR inner loop can win "
+               "the clock (as measured above) — the paper's argument is "
+               "about footprint and HBM traffic, not host cycles.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// \file ablation_streams.cpp
+/// \brief Stream-overlap ablation (paper SIV): what overlapping the four
+/// aprod2 scatter kernels buys, in the platform model and measured on
+/// host with this library's real Stream implementation.
+#include <iostream>
+
+#include "core/lsqr.hpp"
+#include "matrix/generator.hpp"
+#include "perfmodel/simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gaia;
+  using namespace gaia::perfmodel;
+
+  const auto footprint = static_cast<byte_size>(10.0 * kGiB);
+  const ProblemShape shape = ProblemShape::from_footprint(footprint);
+
+  std::cout << "=== aprod2 stream-overlap ablation (10 GB model) ===\n\n";
+  util::Table t({"platform", "atomics", "no streams (ms)", "streams (ms)",
+                 "gain"});
+  for (Platform p : all_platforms()) {
+    const KernelCostModel model(gpu_spec(p));
+    for (backends::AtomicMode mode :
+         {backends::AtomicMode::kNativeRmw, backends::AtomicMode::kCasLoop}) {
+      ExecutionPlan plan;
+      plan.tuning = model.tuned_table();
+      plan.atomic_mode = mode;
+      plan.use_streams = false;
+      const double seq = model.iteration_seconds(shape, plan);
+      plan.use_streams = true;
+      const double ovl = model.iteration_seconds(shape, plan);
+      t.add_row({to_string(p), backends::to_string(mode),
+                 util::Table::num(seq * 1e3, 1),
+                 util::Table::num(ovl * 1e3, 1),
+                 util::Table::num((1.0 - ovl / seq) * 100.0, 1) + " %"});
+    }
+  }
+  std::cout << t.str();
+  std::cout << "streams hide the latency-bound atomic phases behind the "
+               "other kernels' bandwidth use; the gain is largest when "
+               "atomics are expensive (CAS), matching why the paper "
+               "overlaps exactly the aprod2 kernels (SIV).\n\n";
+
+  // Host-measured: real Stream objects overlapping real kernels.
+  std::cout << "=== host-measured stream overlap (gpusim backend) ===\n\n";
+  matrix::GeneratorConfig cfg;
+  cfg.seed = 31337;
+  cfg.n_stars = 3000;
+  cfg.obs_per_star_mean = 30.0;
+  cfg.att_dof_per_axis = 96;
+  cfg.n_instr_params = 64;
+  const auto gen = matrix::generate_system(cfg);
+  auto run = [&](bool streams) {
+    core::LsqrOptions opts;
+    opts.aprod.backend = backends::BackendKind::kGpuSim;
+    opts.aprod.use_streams = streams;
+    opts.max_iterations = 15;
+    opts.compute_std_errors = false;
+    return core::lsqr_solve(gen.A, opts).mean_iteration_s;
+  };
+  const double seq = run(false);
+  const double ovl = run(true);
+  std::cout << "sequential aprod2: " << seq * 1e3
+            << " ms/iter, streamed: " << ovl * 1e3 << " ms/iter\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file ablation_tuning.cpp
+/// \brief Kernel-shape tuning ablation (paper SV-B): sweeps the
+/// threads-per-block of every kernel on each platform and reports the
+/// iteration time, the per-platform optimum, and the tuning gain — the
+/// "up to 40% reduction" result, including the paper's observation that
+/// T4/V100 prefer 32 threads while A100/H100 prefer 256.
+#include <iostream>
+
+#include "perfmodel/simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gaia;
+  using namespace gaia::perfmodel;
+
+  const auto footprint = static_cast<byte_size>(10.0 * kGiB);
+  const ProblemShape shape = ProblemShape::from_footprint(footprint);
+  const int thread_sweep[] = {32, 64, 128, 256, 512, 1024};
+
+  std::cout << "=== kernel-shape tuning ablation (10 GB model) ===\n\n";
+  std::vector<std::string> headers = {"platform"};
+  for (int t : thread_sweep)
+    headers.push_back(std::to_string(t) + " thr (ms)");
+  headers.push_back("best");
+  headers.push_back("gain vs 256");
+  util::Table table(headers);
+
+  for (Platform p : all_platforms()) {
+    const GpuSpec& spec = gpu_spec(p);
+    const KernelCostModel model(spec);
+    std::vector<std::string> row = {to_string(p)};
+    double best_time = 1e30, time_256 = 0;
+    int best_threads = 0;
+    for (int threads : thread_sweep) {
+      // Uniform shape across kernels, lanes held at device width.
+      const std::int32_t blocks = static_cast<std::int32_t>(
+          std::max<std::int64_t>(8, spec.max_concurrent_lanes / threads));
+      ExecutionPlan plan;
+      plan.tuning = backends::TuningTable::untuned({blocks, threads});
+      plan.use_streams = true;
+      const double t = model.iteration_seconds(shape, plan);
+      row.push_back(util::Table::num(t * 1e3, 1));
+      if (t < best_time) {
+        best_time = t;
+        best_threads = threads;
+      }
+      if (threads == 256) time_256 = t;
+    }
+    row.push_back(std::to_string(best_threads) + " thr");
+    row.push_back(
+        util::Table::num((1.0 - best_time / time_256) * 100.0, 1) + " %");
+    table.add_row(row);
+  }
+  std::cout << table.str();
+  std::cout << "paper reference: tuning recovered up to 40% iteration time; "
+               "32 threads/block wins on T4/V100, 256 on A100/H100, small "
+               "shapes on MI250X.\n\n";
+
+  // Atomic-kernel shape sweep: the narrow-vs-wide tradeoff for the
+  // scatter kernels under both atomic lowerings (MI250X).
+  std::cout << "=== aprod2 atomic-kernel lane sweep on MI250X ===\n\n";
+  const KernelCostModel mi(gpu_spec(Platform::kMi250x));
+  util::Table atomic_table(
+      {"lanes", "RMW att+instr (ms)", "CAS att+instr (ms)"});
+  for (int lanes : {256, 1024, 4096, 16384, 65536}) {
+    const backends::KernelConfig cfg{lanes / 64, 64};
+    double rmw = 0, cas = 0;
+    for (backends::KernelId id :
+         {backends::KernelId::kAprod2Att, backends::KernelId::kAprod2Instr}) {
+      rmw += mi.atomic_seconds(id, shape, cfg, AtomicMode::kNativeRmw);
+      cas += mi.atomic_seconds(id, shape, cfg, AtomicMode::kCasLoop);
+    }
+    atomic_table.add_row({std::to_string(lanes),
+                          util::Table::num(rmw * 1e3, 3),
+                          util::Table::num(cas * 1e3, 3)});
+  }
+  std::cout << atomic_table.str();
+  std::cout << "with native RMW the scatter wants width; a CAS loop makes "
+               "collisions dominate, which is why narrow launches win on "
+               "compilers without -munsafe-fp-atomics (paper SV-B).\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+/// \file fig3_portability.cpp
+/// \brief Regenerates paper Figure 3 (a/b/c): application-efficiency
+/// cascades and Pennycook-P scores for 8 framework+compiler combinations
+/// at 10/30/60 GB, plus the abstract's cross-size averages and the
+/// NVIDIA-only CUDA score.
+///
+/// Optionally emits CSV side-files: `fig3_portability --csv-dir DIR`.
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "metrics/cascade.hpp"
+#include "metrics/pennycook.hpp"
+#include "metrics/report.hpp"
+#include "perfmodel/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gaia;
+  using namespace gaia::perfmodel;
+
+  util::Cli cli("fig3_portability", "paper Fig. 3 reproduction");
+  cli.add_option("csv-dir", "", "directory for CSV output (empty = none)");
+  cli.add_option("markdown-dir", "",
+                 "directory for per-size markdown reports (empty = none)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::string csv_dir = cli.get("csv-dir");
+
+    PlatformSimulator sim;
+    const double sizes[] = {10.0, 30.0, 60.0};
+    const char sub[] = {'a', 'b', 'c'};
+
+    std::map<std::string, double> p_sum;
+    std::map<std::string, int> p_count;
+    double cuda_nv_sum = 0;
+    int cuda_nv_count = 0;
+
+    for (int s = 0; s < 3; ++s) {
+      const auto footprint = static_cast<byte_size>(sizes[s] * kGiB);
+      const auto platforms = platforms_for_size(footprint);
+      const auto m =
+          sim.measure_campaign(footprint, all_frameworks(), platforms);
+      const auto cascade = metrics::build_cascade(m);
+      const auto p_all = metrics::pennycook_scores(m);
+
+      std::cout << "=== Fig. 3" << sub[s] << ": " << sizes[s]
+                << " GB problem (" << platforms.size() << " platforms) ===\n\n"
+                << metrics::render_cascade(cascade);
+
+      // NVIDIA-only subset (the paper's CUDA discussion). At 60 GB only
+      // one NVIDIA GPU fits, so the subset score is not meaningful
+      // (paper: "no meaning to compute P from the 60 GB problem").
+      std::vector<std::string> nv;
+      for (Platform p : platforms)
+        if (gpu_spec(p).vendor == Vendor::kNvidia) nv.push_back(to_string(p));
+      std::vector<double> p_nv;
+      if (nv.size() >= 2) p_nv = metrics::pennycook_scores(m, nv);
+
+      util::Table t({"framework", "P", "P (NVIDIA-only)"});
+      for (std::size_t a = 0; a < m.n_applications(); ++a) {
+        t.add_row({m.applications()[a], util::Table::num(p_all[a], 3),
+                   p_nv.empty() ? std::string("n/a")
+                                : util::Table::num(p_nv[a], 3)});
+        p_sum[m.applications()[a]] += p_all[a];
+        p_count[m.applications()[a]] += 1;
+      }
+      if (!p_nv.empty()) {
+        cuda_nv_sum += p_nv[m.app_index("CUDA")];
+        ++cuda_nv_count;
+      }
+      std::cout << t.str() << '\n';
+
+      if (!csv_dir.empty()) {
+        util::CsvWriter csv({"framework", "platform", "efficiency",
+                             "running_p"});
+        for (const auto& series : cascade.series) {
+          for (std::size_t k = 0; k < series.platform_order.size(); ++k) {
+            csv.add_row({series.application, series.platform_order[k],
+                         util::Table::num(series.efficiency[k], 6),
+                         util::Table::num(series.running_p[k], 6)});
+          }
+        }
+        csv.write(csv_dir + "/fig3" + sub[s] + "_cascade.csv");
+      }
+
+      if (const std::string md_dir = cli.get("markdown-dir");
+          !md_dir.empty()) {
+        metrics::ReportOptions ropts;
+        ropts.title = "Gaia AVU-GSR portability campaign";
+        ropts.subtitle = std::to_string(static_cast<int>(sizes[s])) +
+                         " GB problem (paper Fig. 3" + sub[s] + ")";
+        if (nv.size() >= 2) {
+          ropts.secondary_subset = nv;
+          ropts.secondary_subset_label = "P (NVIDIA-only)";
+        }
+        std::ofstream f(md_dir + "/fig3" + sub[s] + "_report.md");
+        f << metrics::markdown_report(m, ropts);
+      }
+    }
+
+    std::cout << "=== cross-size averages (abstract) ===\n";
+    util::Table avg({"framework", "mean P across sizes"});
+    for (const auto& [name, sum] : p_sum)
+      avg.add_row({name, util::Table::num(sum / p_count[name], 3)});
+    std::cout << avg.str();
+    std::cout << "CUDA mean P over NVIDIA-only platform sets (10/30 GB): "
+              << util::Table::num(cuda_nv_sum / cuda_nv_count, 3)
+              << "  (paper: 0.97)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

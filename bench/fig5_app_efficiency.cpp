@@ -1,0 +1,66 @@
+/// \file fig5_app_efficiency.cpp
+/// \brief Regenerates paper Figure 5 (a/b/c): application efficiency per
+/// platform and framework at 10/30/60 GB, as bar-chart text plus CSV.
+#include <iostream>
+
+#include "metrics/efficiency.hpp"
+#include "perfmodel/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gaia;
+  using namespace gaia::perfmodel;
+
+  util::Cli cli("fig5_app_efficiency", "paper Fig. 5 reproduction");
+  cli.add_option("csv-dir", "", "directory for CSV output (empty = none)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::string csv_dir = cli.get("csv-dir");
+
+    PlatformSimulator sim;
+    const double sizes[] = {10.0, 30.0, 60.0};
+    const char sub[] = {'a', 'b', 'c'};
+
+    for (int s = 0; s < 3; ++s) {
+      const auto footprint = static_cast<byte_size>(sizes[s] * kGiB);
+      const auto platforms = platforms_for_size(footprint);
+      const auto m =
+          sim.measure_campaign(footprint, all_frameworks(), platforms);
+      const auto eff = metrics::application_efficiency(m);
+
+      std::cout << "=== Fig. 5" << sub[s] << ": application efficiency, "
+                << sizes[s] << " GB ===\n\n";
+      util::CsvWriter csv({"platform", "framework", "efficiency"});
+      for (std::size_t p = 0; p < m.n_platforms(); ++p) {
+        std::cout << m.platforms()[p] << '\n';
+        for (std::size_t a = 0; a < m.n_applications(); ++a) {
+          if (m.supported(a, p)) {
+            std::cout << "  "
+                      << util::bar(m.applications()[a], eff[a][p], 1.0, 32)
+                      << '\n';
+          } else {
+            std::cout << "  " << m.applications()[a]
+                      << "  (unsupported)\n";
+          }
+          csv.add_row({m.platforms()[p], m.applications()[a],
+                       util::Table::num(eff[a][p], 6)});
+        }
+        std::cout << '\n';
+      }
+      if (!csv_dir.empty())
+        csv.write(csv_dir + "/fig5" + std::string(1, sub[s]) +
+                  "_efficiency.csv");
+    }
+    std::cout
+        << "shape checks vs the paper: PSTL efficiency rises from T4 to "
+           "H100 (~0.9 on H100) and sits at 0.45-0.6 on MI250X; OMP+V "
+           "~0.91 and OMP+LLVM ~0.84 of the best on H100; CAS-lowered "
+           "atomics (OMP+LLVM, SYCL+DPCPP) collapse on MI250X.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

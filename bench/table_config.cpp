@@ -1,0 +1,53 @@
+/// \file table_config.cpp
+/// \brief Regenerates the paper's provenance tables: compiler and flag
+/// combinations per framework and vendor (Tables I-III) and the
+/// platform/cluster mapping (Table IV), from the library's framework and
+/// platform descriptors.
+#include <iostream>
+
+#include "perfmodel/framework.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gaia;
+  using namespace gaia::perfmodel;
+
+  std::cout << "=== Tables II/III: compilers and flags per framework ===\n\n";
+  for (Vendor v : {Vendor::kNvidia, Vendor::kAmd}) {
+    std::cout << (v == Vendor::kNvidia ? "NVIDIA architectures"
+                                       : "AMD architecture (MI250X)")
+              << '\n';
+    util::Table t({"framework", "compiler", "version", "flags"});
+    for (Framework f : all_frameworks()) {
+      if (!framework_traits(f).runs_on(v)) continue;
+      const CompilerInfo info = compiler_info(f, v);
+      t.add_row({to_string(f), info.compiler, info.version, info.flags});
+    }
+    std::cout << t.str() << '\n';
+  }
+
+  std::cout << "=== Table IV: cluster-to-GPU reference ===\n\n";
+  util::Table t({"cluster", "GPU", "vendor", "memory (GB)", "peak BW (GB/s)",
+                 "preferred threads"});
+  for (Platform p : all_platforms()) {
+    const GpuSpec& s = gpu_spec(p);
+    t.add_row({s.cluster, s.name,
+               s.vendor == Vendor::kNvidia ? "NVIDIA" : "AMD",
+               util::Table::num(s.mem_capacity_gb, 0),
+               util::Table::num(s.peak_bw_gbs, 0),
+               std::to_string(s.preferred_threads)});
+  }
+  std::cout << t.str();
+
+  std::cout << "\n=== atomic lowering per framework x vendor (SV-B) ===\n\n";
+  util::Table a({"framework", "NVIDIA", "AMD (MI250X)"});
+  for (Framework f : all_frameworks()) {
+    a.add_row({to_string(f),
+               backends::to_string(atomic_lowering(f, Vendor::kNvidia)),
+               framework_traits(f).runs_on(Vendor::kAmd)
+                   ? backends::to_string(atomic_lowering(f, Vendor::kAmd))
+                   : std::string("n/a")});
+  }
+  std::cout << a.str();
+  return 0;
+}

@@ -1,0 +1,140 @@
+/// \file astrometric_pipeline.cpp
+/// \brief The full AVU-GSR pipeline of the paper's Fig. 1, end to end:
+///
+///   System Generation  -> scan-law simulator builds the observation
+///                         equations (matrix/scanlaw)
+///   Weights Calculation-> formal + robust (Huber) observation weights
+///                         (core/weights)
+///   Solver             -> distributed preconditioned LSQR on simulated
+///                         MPI ranks (dist)
+///   Solution De-rotation-> rigid rotation/spin removed against
+///                         reference stars (core/derotation)
+///   Verification       -> recovery vs the generated ground truth
+///
+///   $ ./astrometric_pipeline
+///   $ ./astrometric_pipeline --stars 800 --ranks 4 --outliers 50
+#include <iostream>
+
+#include "core/derotation.hpp"
+#include "core/weights.hpp"
+#include "dist/dist_lsqr.hpp"
+#include "matrix/scanlaw.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "validation/residual_analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gaia;
+  util::Cli cli("astrometric_pipeline",
+                "scan law -> weights -> distributed LSQR -> de-rotation");
+  cli.add_option("stars", "400", "stars in the simulated catalogue");
+  cli.add_option("ranks", "2", "simulated MPI ranks");
+  cli.add_option("outliers", "20", "corrupted observations to inject");
+  cli.add_option("iterations", "400", "LSQR iteration budget");
+  cli.add_option("seed", "7", "simulation seed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    // --- 1. system generation from the scanning law ---------------------
+    matrix::ScanLawConfig scan;
+    scan.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    scan.n_stars = cli.get_int("stars");
+    scan.transits_per_star_mean = 14.0;
+    scan.att_dof_per_axis = 32;
+    scan.n_instr_params = 24;
+    scan.noise_sigma = 1e-3;
+    std::cout << "[1/6] generating observations from the scanning law...\n";
+    matrix::ScanLawSystem sys = matrix::generate_from_scanlaw(scan);
+    std::cout << "      " << sys.A.n_obs() << " transits of "
+              << scan.n_stars << " stars, " << sys.A.n_cols()
+              << " unknowns\n";
+
+    // --- inject outliers the robust weighting must absorb ---------------
+    {
+      util::Xoshiro256 rng(scan.seed ^ 0xabcdull);
+      auto b = sys.A.known_terms();
+      for (long long k = 0; k < cli.get_int("outliers"); ++k)
+        b[rng.uniform_index(static_cast<std::uint64_t>(sys.A.n_obs()))] +=
+            rng.normal(0.0, 50.0 * scan.noise_sigma);
+    }
+
+    // --- 2. weights: pilot solve -> residuals -> Huber ------------------
+    std::cout << "[2/6] computing robust observation weights...\n";
+    core::LsqrOptions solver_opts;
+    solver_opts.aprod.backend = backends::BackendKind::kGpuSim;
+    solver_opts.max_iterations = cli.get_int("iterations");
+    solver_opts.atol = 1e-12;
+    solver_opts.btol = 1e-12;
+    const auto pilot = core::lsqr_solve(sys.A, solver_opts);
+    const auto residuals = core::compute_residuals(sys.A, pilot.x);
+    const auto factors = core::huber_factors(residuals);
+    int downweighted = 0;
+    for (real f : factors) downweighted += (f < 1.0);
+    std::cout << "      " << downweighted
+              << " observations downweighted by the Huber pass\n";
+    matrix::SystemMatrix weighted = sys.A;
+    core::apply_row_weights(weighted, factors);
+
+    // --- 3. distributed solve -------------------------------------------
+    const int ranks = static_cast<int>(cli.get_int("ranks"));
+    std::cout << "[3/6] solving on " << ranks << " simulated MPI ranks...\n";
+    dist::DistLsqrOptions dopts;
+    dopts.n_ranks = ranks;
+    dopts.lsqr = solver_opts;
+    auto solved = dist::dist_lsqr_solve(weighted, dopts);
+    std::cout << "      " << solved.iterations << " iterations, |r| = "
+              << solved.rnorm << ", mean iteration (max over ranks) "
+              << solved.mean_iteration_s * 1e3 << " ms\n";
+
+    // --- 4. de-rotation ---------------------------------------------------
+    std::cout << "[4/6] de-rotating against reference stars...\n";
+    std::vector<row_index> refs;
+    for (row_index s = 0; s < scan.n_stars; s += 4) refs.push_back(s);
+    const core::FrameRotation removed = core::derotate_solution(
+        solved.x, sys.A.layout(), sys.catalogue, refs);
+    std::cout << "      removed rotation ("
+              << removed.ex << ", " << removed.ey << ", " << removed.ez
+              << ") rad, spin (" << removed.wx << ", " << removed.wy << ", "
+              << removed.wz << ") rad/yr\n";
+
+    // --- 5. residual time-series analysis ---------------------------------
+    std::cout << "[5/6] analyzing post-fit residual time series...\n";
+    {
+      auto post_res = core::compute_residuals(weighted, solved.x);
+      post_res.resize(static_cast<std::size_t>(sys.A.n_obs()));
+      const auto analysis =
+          validation::analyze_residuals(post_res, sys.row_transits);
+      std::cout << "      sigma = " << analysis.global_stddev
+                << ", trend = " << analysis.trend_slope
+                << " /yr, lag-1 autocorr = "
+                << analysis.lag1_autocorrelation << " -> "
+                << (analysis.looks_white(0.05, 0.6) ? "white"
+                                                     : "structured")
+                << '\n';
+    }
+
+    // --- 6. verification ----------------------------------------------------
+    std::cout << "[6/6] verifying against the generated ground truth...\n";
+    // The ground truth itself carries an (unobservable) rotation; remove
+    // it the same way before comparing.
+    std::vector<real> truth = sys.ground_truth;
+    core::derotate_solution(truth, sys.A.layout(), sys.catalogue, refs);
+    std::vector<double> errors;
+    errors.reserve(static_cast<std::size_t>(
+        sys.A.layout().n_astro_params()));
+    for (col_index c = 0; c < sys.A.layout().n_astro_params(); ++c)
+      errors.push_back(std::abs(solved.x[static_cast<std::size_t>(c)] -
+                                truth[static_cast<std::size_t>(c)]));
+    const auto summary = util::summarize(errors);
+    std::cout << "      astrometric recovery: median |dx| = "
+              << summary.median << ", p95 = "
+              << util::percentile(errors, 95)
+              << " (observation noise " << scan.noise_sigma << ")\n";
+    const bool ok = summary.median < 10 * scan.noise_sigma;
+    std::cout << (ok ? "PIPELINE OK\n" : "PIPELINE DEGRADED\n");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

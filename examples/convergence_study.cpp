@@ -1,0 +1,94 @@
+/// \file convergence_study.cpp
+/// \brief Convergence behaviour of the preconditioned LSQR: records the
+/// per-iteration residual history with and without the column-norm
+/// preconditioner and with damping, and prints the curves — the "why the
+/// production solver preconditions" story behind paper SIII-B.
+///
+///   $ ./convergence_study
+///   $ ./convergence_study --stars 600 --skew 1e5
+#include <algorithm>
+#include <iostream>
+
+#include "core/lsqr.hpp"
+#include "matrix/generator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gaia;
+  util::Cli cli("convergence_study",
+                "LSQR convergence with/without preconditioning");
+  cli.add_option("stars", "300", "stars in the test system");
+  cli.add_option("skew", "1e4",
+                 "column-scale skew injected into the system (conditioning)");
+  cli.add_option("iterations", "600", "iteration budget");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    matrix::GeneratorConfig cfg;
+    cfg.seed = 99;
+    cfg.n_stars = cli.get_int("stars");
+    cfg.obs_per_star_mean = 20.0;
+    cfg.att_dof_per_axis = 48;
+    cfg.n_instr_params = 32;
+    auto gen = matrix::generate_system(cfg);
+
+    // Skew some columns to worsen the conditioning, as real systems do
+    // (parallax vs proper-motion partials differ by orders of magnitude).
+    const double skew = cli.get_double("skew");
+    auto vals = gen.A.values();
+    for (row_index r = 0; r < gen.A.n_rows(); ++r) {
+      vals[static_cast<std::size_t>(r) * kNnzPerRow + 2] *= skew;   // parallax
+      vals[static_cast<std::size_t>(r) * kNnzPerRow + 3] /= skew;   // mu_a*
+    }
+
+    auto run = [&](bool precondition, real damp) {
+      core::LsqrOptions opts;
+      opts.aprod.backend = backends::BackendKind::kGpuSim;
+      opts.max_iterations = cli.get_int("iterations");
+      opts.atol = 1e-10;
+      opts.btol = 1e-10;
+      opts.precondition = precondition;
+      opts.damp = damp;
+      opts.record_history = true;
+      opts.compute_std_errors = false;
+      return core::lsqr_solve(gen.A, opts);
+    };
+
+    const auto plain = run(false, 0);
+    const auto precond = run(true, 0);
+    const auto damped = run(true, 0.1);
+
+    std::cout << "iterations to the 1e-10 stopping tests:\n"
+              << "  unpreconditioned: " << plain.iterations
+              << "  (cond ~ " << plain.acond << ")\n"
+              << "  preconditioned:   " << precond.iterations
+              << "  (cond ~ " << precond.acond << ")\n"
+              << "  + damping 0.1:    " << damped.iterations << "\n\n";
+
+    std::cout << "relative residual |r|/|r0| every 25 iterations:\n";
+    util::Table t({"iteration", "unpreconditioned", "preconditioned",
+                   "precond + damp"});
+    const auto at = [](const core::LsqrResult& r, std::size_t k) {
+      if (r.rnorm_history.empty()) return std::string("-");
+      const std::size_t i = std::min(k, r.rnorm_history.size() - 1);
+      return util::Table::num(r.rnorm_history[i] / r.rnorm_history.front(),
+                              6);
+    };
+    const std::size_t span = std::max({plain.rnorm_history.size(),
+                                       precond.rnorm_history.size(),
+                                       damped.rnorm_history.size()});
+    for (std::size_t k = 0; k < span; k += 25) {
+      t.add_row({std::to_string(k), at(plain, k), at(precond, k),
+                 at(damped, k)});
+    }
+    std::cout << t.str();
+    std::cout << "\ncolumn equilibration collapses the condition number, "
+                 "which is why the production AVU-GSR runs a "
+                 "*preconditioned* LSQR (paper SIII-B).\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

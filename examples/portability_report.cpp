@@ -1,0 +1,91 @@
+/// \file portability_report.cpp
+/// \brief Reproduces the paper's headline analysis interactively: runs
+/// the framework x platform measurement campaign at a chosen problem
+/// size and prints the efficiency cascade and Pennycook-P scores
+/// (terminal rendition of Fig. 3).
+///
+///   $ ./portability_report --size-gb 10
+///   $ ./portability_report --size-gb 60
+#include <iostream>
+
+#include <fstream>
+
+#include "metrics/cascade.hpp"
+#include "metrics/report.hpp"
+#include "metrics/pennycook.hpp"
+#include "perfmodel/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gaia;
+  using namespace gaia::perfmodel;
+
+  util::Cli cli("portability_report",
+                "framework x platform performance-portability campaign");
+  cli.add_option("size-gb", "10", "problem size in GB (paper: 10, 30, 60)");
+  cli.add_option("markdown", "", "also write a markdown report to this path");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const double gb = cli.get_double("size-gb");
+    const auto footprint = static_cast<byte_size>(gb * kGiB);
+
+    const auto platforms = platforms_for_size(footprint);
+    std::cout << "problem size " << gb << " GB fits "
+              << platforms.size() << " platforms:";
+    for (Platform p : platforms) std::cout << ' ' << to_string(p);
+    std::cout << "\n\n";
+
+    PlatformSimulator sim;
+    const auto m =
+        sim.measure_campaign(footprint, all_frameworks(), platforms);
+
+    // Iteration-time table (Fig. 4 analog).
+    std::vector<std::string> headers = {"framework"};
+    for (const auto& p : m.platforms()) headers.push_back(p + " (ms)");
+    util::Table times(headers);
+    for (std::size_t a = 0; a < m.n_applications(); ++a) {
+      std::vector<std::string> row = {m.applications()[a]};
+      for (std::size_t p = 0; p < m.n_platforms(); ++p) {
+        row.push_back(m.supported(a, p)
+                          ? util::Table::num(m.time(a, p) * 1e3, 1)
+                          : "n/a");
+      }
+      times.add_row(row);
+    }
+    std::cout << "average LSQR iteration time\n" << times.str() << '\n';
+
+    // Cascade + P (Fig. 3 analog).
+    const auto cascade = metrics::build_cascade(m);
+    std::cout << "application-efficiency cascade (running Pennycook P)\n\n"
+              << metrics::render_cascade(cascade);
+
+    const auto p_nv = metrics::pennycook_scores(m, [&] {
+      std::vector<std::string> nv;
+      for (Platform p : platforms)
+        if (gpu_spec(p).vendor == Vendor::kNvidia) nv.push_back(to_string(p));
+      return nv;
+    }());
+    util::Table ptab({"framework", "P (all)", "P (NVIDIA-only)"});
+    const auto p_all = metrics::pennycook_scores(m);
+    for (std::size_t a = 0; a < m.n_applications(); ++a) {
+      ptab.add_row({m.applications()[a], util::Table::num(p_all[a], 3),
+                    util::Table::num(p_nv[a], 3)});
+    }
+    std::cout << "Pennycook P summary\n" << ptab.str();
+
+    if (const std::string md_path = cli.get("markdown"); !md_path.empty()) {
+      metrics::ReportOptions ropts;
+      ropts.title = "Gaia AVU-GSR portability campaign";
+      ropts.subtitle = std::to_string(gb) + " GB problem";
+      std::ofstream f(md_path);
+      GAIA_CHECK(f.good(), "cannot write markdown report: " + md_path);
+      f << metrics::markdown_report(m, ropts);
+      std::cout << "markdown report written to " << md_path << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

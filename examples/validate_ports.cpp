@@ -1,0 +1,69 @@
+/// \file validate_ports.cpp
+/// \brief Cross-port correctness validation (paper SV-C / Fig. 6): solve
+/// one astrometric-scale dataset with the serial "production" reference
+/// and with every parallel backend, then check 1-sigma agreement and the
+/// 10 micro-arcsecond accuracy goal.
+///
+///   $ ./validate_ports
+///   $ ./validate_ports --stars 1500 --iterations 300
+#include <iostream>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "validation/cross_backend.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gaia;
+  util::Cli cli("validate_ports", "cross-backend solution validation");
+  cli.add_option("stars", "600", "stars in the validation dataset");
+  cli.add_option("iterations", "250", "LSQR iteration budget");
+  cli.add_option("seed", "42", "dataset seed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    validation::ValidationOptions opts;
+    opts.dataset.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    opts.dataset.n_stars = cli.get_int("stars");
+    opts.dataset.obs_per_star_mean = 30.0;
+    opts.dataset.att_dof_per_axis = 64;
+    opts.dataset.n_instr_params = 48;
+    opts.dataset.noise_sigma = 0.05;
+    opts.lsqr.max_iterations = cli.get_int("iterations");
+    opts.lsqr.atol = 1e-13;
+    opts.lsqr.btol = 1e-13;
+
+    std::cout << "solving the validation dataset with the serial reference "
+                 "and every port...\n\n";
+    const auto campaign = validation::run_validation(opts);
+
+    util::Table t({"port", "1-sigma agr.", "max |dx| (rad)", "sigma(d se)",
+                   "slope", "verdict"});
+    for (const auto& port : campaign.ports) {
+      const bool pass = port.solution.below_accuracy_goal &&
+                        port.std_errors.below_accuracy_goal &&
+                        port.solution.sigma_agreement > 0.99;
+      t.add_row({backends::to_string(port.backend),
+                 util::Table::num(port.solution.sigma_agreement * 100, 1) +
+                     " %",
+                 util::Table::num(port.solution.max_abs_diff /
+                                      kMicroArcsecInRad,
+                                  4) +
+                     " uas",
+                 util::Table::num(port.std_errors.stddev_diff /
+                                      kMicroArcsecInRad,
+                                  4) +
+                     " uas",
+                 util::Table::num(port.one_to_one.slope, 6),
+                 pass ? "PASS" : "FAIL"});
+    }
+    std::cout << t.str() << '\n';
+    std::cout << "acceptance: agreement within 1 sigma of the reference and "
+                 "differences below the 10 uas goal (paper SV-C)\n";
+    std::cout << (campaign.all_passed ? "ALL PORTS VALIDATED\n"
+                                      : "VALIDATION FAILURES PRESENT\n");
+    return campaign.all_passed ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

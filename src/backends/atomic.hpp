@@ -1,0 +1,58 @@
+/// \file atomic.hpp
+/// \brief Floating-point atomic accumulation — the aprod2 hot spot.
+///
+/// The transposed product A^T b scatters into the unknown vector; rows
+/// sharing attitude/instrumental/global columns collide, so the updates
+/// must be atomic (paper SIV). The paper found that compilers differ in
+/// *how* they lower the atomic: native read-modify-write (RMW) where the
+/// ISA supports FP atomics vs. a compare-and-swap (CAS) retry loop, with
+/// a large performance gap on MI250X (`-munsafe-fp-atomics`). We provide
+/// both lowerings so the behavioural difference is real code, and the
+/// performance model prices them per platform.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace gaia::backends {
+
+enum class AtomicMode : std::uint8_t {
+  kNativeRmw,  ///< hardware fetch-add (e.g. global_atomic_add_f64)
+  kCasLoop,    ///< compare-exchange retry loop (portable fallback)
+};
+
+[[nodiscard]] std::string to_string(AtomicMode mode);
+
+/// RMW-style atomic add. (On CPUs std::atomic_ref<double>::fetch_add is
+/// itself typically a CAS loop; the semantic contract — a single atomic
+/// accumulation — is what the solver needs, and the cost difference is
+/// modelled, not measured, on host.)
+inline void atomic_add_rmw(real& target, real value) {
+  std::atomic_ref<real>(target).fetch_add(value,
+                                          std::memory_order_relaxed);
+}
+
+/// Explicit CAS retry loop, the lowering emitted by compilers that cannot
+/// prove the unsafe-FP-atomics contract.
+inline void atomic_add_cas(real& target, real value) {
+  std::atomic_ref<real> ref(target);
+  real expected = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(expected, expected + value,
+                                    std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+    // expected reloaded by compare_exchange_weak on failure
+  }
+}
+
+/// Dispatch on the mode the "compiler" (framework+flags) selected.
+inline void atomic_add(real& target, real value, AtomicMode mode) {
+  if (mode == AtomicMode::kNativeRmw)
+    atomic_add_rmw(target, value);
+  else
+    atomic_add_cas(target, value);
+}
+
+}  // namespace gaia::backends

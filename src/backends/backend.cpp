@@ -1,0 +1,64 @@
+#include "backends/backend.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/string_utils.hpp"
+
+namespace gaia::backends {
+
+std::string to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSerial:
+      return "serial";
+    case BackendKind::kOpenMP:
+      return "openmp";
+    case BackendKind::kPstl:
+      return "pstl";
+    case BackendKind::kGpuSim:
+      return "gpusim";
+  }
+  return "unknown";
+}
+
+std::optional<BackendKind> parse_backend(const std::string& name) {
+  for (BackendKind k : all_backends()) {
+    if (util::iequals(name, to_string(k))) return k;
+  }
+  // Convenience aliases matching the paper's framework names.
+  if (util::iequals(name, "cuda") || util::iequals(name, "hip") ||
+      util::iequals(name, "sycl"))
+    return BackendKind::kGpuSim;
+  if (util::iequals(name, "stdpar")) return BackendKind::kPstl;
+  if (util::iequals(name, "omp")) return BackendKind::kOpenMP;
+  return std::nullopt;
+}
+
+const std::vector<BackendKind>& all_backends() {
+  static const std::vector<BackendKind> kinds = {
+      BackendKind::kSerial,
+      BackendKind::kOpenMP,
+      BackendKind::kPstl,
+      BackendKind::kGpuSim,
+  };
+  return kinds;
+}
+
+int OpenMPExec::resolve_threads(KernelConfig cfg) {
+#if defined(GAIA_HAS_OPENMP)
+  const int hw = std::max(1, omp_get_max_threads());
+#else
+  const int hw =
+      std::max(1u, std::thread::hardware_concurrency());
+#endif
+  if (cfg.is_default()) return hw;
+  // num_teams * thread_limit bounds device parallelism; on host we clamp
+  // the product to the available threads (a GPU would fan it out wider).
+  const std::int64_t requested = std::max<std::int64_t>(
+      1, cfg.total_threads() > 0
+             ? cfg.total_threads()
+             : std::max<std::int64_t>(cfg.blocks, cfg.threads));
+  return static_cast<int>(std::min<std::int64_t>(requested, hw));
+}
+
+}  // namespace gaia::backends

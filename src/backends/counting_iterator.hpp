@@ -1,0 +1,84 @@
+/// \file counting_iterator.hpp
+/// \brief Random-access iterator over an integer range.
+///
+/// The C++ PSTL port of the solver iterates index spaces, not containers
+/// (the classic `std::for_each(par, counting(0), counting(n), ...)`
+/// pattern used by stdpar GPU ports, including the paper's). This is the
+/// supporting iterator.
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+
+namespace gaia::backends {
+
+class CountingIterator {
+ public:
+  using iterator_category = std::random_access_iterator_tag;
+  using value_type = std::int64_t;
+  using difference_type = std::int64_t;
+  using pointer = const std::int64_t*;
+  using reference = std::int64_t;
+
+  CountingIterator() = default;
+  explicit constexpr CountingIterator(std::int64_t v) : value_(v) {}
+
+  constexpr reference operator*() const { return value_; }
+  constexpr reference operator[](difference_type n) const {
+    return value_ + n;
+  }
+
+  constexpr CountingIterator& operator++() {
+    ++value_;
+    return *this;
+  }
+  constexpr CountingIterator operator++(int) {
+    CountingIterator tmp = *this;
+    ++value_;
+    return tmp;
+  }
+  constexpr CountingIterator& operator--() {
+    --value_;
+    return *this;
+  }
+  constexpr CountingIterator operator--(int) {
+    CountingIterator tmp = *this;
+    --value_;
+    return tmp;
+  }
+  constexpr CountingIterator& operator+=(difference_type n) {
+    value_ += n;
+    return *this;
+  }
+  constexpr CountingIterator& operator-=(difference_type n) {
+    value_ -= n;
+    return *this;
+  }
+  friend constexpr CountingIterator operator+(CountingIterator it,
+                                              difference_type n) {
+    return CountingIterator(it.value_ + n);
+  }
+  friend constexpr CountingIterator operator+(difference_type n,
+                                              CountingIterator it) {
+    return it + n;
+  }
+  friend constexpr CountingIterator operator-(CountingIterator it,
+                                              difference_type n) {
+    return CountingIterator(it.value_ - n);
+  }
+  friend constexpr difference_type operator-(CountingIterator a,
+                                             CountingIterator b) {
+    return a.value_ - b.value_;
+  }
+  friend constexpr bool operator==(CountingIterator a, CountingIterator b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr auto operator<=>(CountingIterator a, CountingIterator b) {
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace gaia::backends

@@ -1,0 +1,4 @@
+#include "backends/device_buffer.hpp"
+
+// Header-only templates; translation unit anchors the target.
+namespace gaia::backends {}

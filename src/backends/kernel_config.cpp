@@ -1,0 +1,58 @@
+#include "backends/kernel_config.hpp"
+
+#include "backends/atomic.hpp"
+
+namespace gaia::backends {
+
+std::string to_string(KernelId id) {
+  switch (id) {
+    case KernelId::kAprod1Astro:
+      return "aprod1_astro";
+    case KernelId::kAprod1Att:
+      return "aprod1_att";
+    case KernelId::kAprod1Instr:
+      return "aprod1_instr";
+    case KernelId::kAprod1Glob:
+      return "aprod1_glob";
+    case KernelId::kAprod2Astro:
+      return "aprod2_astro";
+    case KernelId::kAprod2Att:
+      return "aprod2_att";
+    case KernelId::kAprod2Instr:
+      return "aprod2_instr";
+    case KernelId::kAprod2Glob:
+      return "aprod2_glob";
+  }
+  return "unknown_kernel";
+}
+
+std::string to_string(AtomicMode mode) {
+  return mode == AtomicMode::kNativeRmw ? "rmw" : "cas";
+}
+
+TuningTable TuningTable::tuned_default() {
+  TuningTable t;
+  // Full-occupancy shapes for the gather-style kernels...
+  const KernelConfig wide{256, 128};
+  t.set(KernelId::kAprod1Astro, wide);
+  t.set(KernelId::kAprod1Att, wide);
+  t.set(KernelId::kAprod1Instr, wide);
+  t.set(KernelId::kAprod1Glob, wide);
+  t.set(KernelId::kAprod2Astro, wide);
+  // ...and deliberately narrow shapes where atomics collide (paper SIV):
+  // fewer blocks and threads lower the collision probability at the cost
+  // of occupancy, recovered by overlapping the kernels in streams.
+  const KernelConfig narrow{32, 32};
+  t.set(KernelId::kAprod2Att, narrow);
+  t.set(KernelId::kAprod2Instr, narrow);
+  t.set(KernelId::kAprod2Glob, {8, 32});
+  return t;
+}
+
+TuningTable TuningTable::untuned(KernelConfig cfg) {
+  TuningTable t;
+  t.set_all(cfg);
+  return t;
+}
+
+}  // namespace gaia::backends

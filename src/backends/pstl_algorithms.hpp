@@ -1,0 +1,89 @@
+/// \file pstl_algorithms.hpp
+/// \brief Minimal C++17-PSTL-style parallel algorithms over the pool.
+///
+/// The toolchain here has no TBB, so the standard library's
+/// `std::execution::par` cannot be used; this header supplies the same
+/// programming surface (execution policies + `for_each` /
+/// `transform_reduce` over random-access iterators) implemented on the
+/// shared ThreadPool. Crucially, and faithful to the paper's PSTL
+/// finding (SIV-e): *there is no way to pass a kernel shape through this
+/// interface* — the implementation picks its own grain, exactly like
+/// nvc++ -stdpar picks its own 256-thread blocks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <mutex>
+#include <numeric>
+
+#include "backends/thread_pool.hpp"
+
+namespace gaia::backends::pstl {
+
+/// Sequenced execution policy tag (std::execution::seq analog).
+struct sequenced_policy {};
+/// Parallel execution policy tag (std::execution::par analog).
+struct parallel_policy {};
+
+inline constexpr sequenced_policy seq{};
+inline constexpr parallel_policy par{};
+
+namespace detail {
+/// Grain used when the implementation subdivides a range; chosen by the
+/// runtime, not the caller — the PSTL "no tuning knob" property.
+inline constexpr std::int64_t kDefaultGrain = 1024;
+}  // namespace detail
+
+template <typename It, typename F>
+void for_each(sequenced_policy, It first, It last, F f) {
+  for (; first != last; ++first) f(*first);
+}
+
+template <typename It, typename F>
+void for_each(parallel_policy, It first, It last, F f) {
+  const std::int64_t n = static_cast<std::int64_t>(last - first);
+  ThreadPool::global().parallel_for(
+      n, detail::kDefaultGrain, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) f(first[i]);
+      });
+}
+
+template <typename Policy, typename It, typename Size, typename F>
+It for_each_n(Policy policy, It first, Size n, F f) {
+  for_each(policy, first, first + static_cast<std::int64_t>(n), std::move(f));
+  return first + static_cast<std::int64_t>(n);
+}
+
+template <typename It, typename T, typename Reduce, typename Transform>
+T transform_reduce(sequenced_policy, It first, It last, T init, Reduce reduce,
+                   Transform transform) {
+  for (; first != last; ++first) init = reduce(init, transform(*first));
+  return init;
+}
+
+template <typename It, typename T, typename Reduce, typename Transform>
+T transform_reduce(parallel_policy, It first, It last, T init, Reduce reduce,
+                   Transform transform) {
+  const std::int64_t n = static_cast<std::int64_t>(last - first);
+  std::mutex merge_mutex;
+  T acc = init;
+  bool has_acc = false;
+  ThreadPool::global().parallel_for(
+      n, detail::kDefaultGrain, [&](std::int64_t lo, std::int64_t hi) {
+        T local = transform(first[lo]);
+        for (std::int64_t i = lo + 1; i < hi; ++i)
+          local = reduce(local, transform(first[i]));
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        if (has_acc) {
+          acc = reduce(acc, local);
+        } else {
+          acc = reduce(init, local);
+          has_acc = true;
+        }
+      });
+  return has_acc ? acc : init;
+}
+
+}  // namespace gaia::backends::pstl

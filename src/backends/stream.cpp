@@ -1,0 +1,61 @@
+#include "backends/stream.hpp"
+
+#include <utility>
+
+namespace gaia::backends {
+
+Stream::Stream() : worker_([this] { run(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+void Stream::record(Event event) {
+  enqueue([event] { event.signal(); });
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(m_);
+  cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+}
+
+std::uint64_t Stream::completed() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return completed_;
+}
+
+void Stream::run() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      busy_ = false;
+      ++completed_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace gaia::backends

@@ -1,0 +1,87 @@
+/// \file stream.hpp
+/// \brief Asynchronous execution streams (cudaStream analog).
+///
+/// The solver overlaps the four aprod2 kernels in separate streams
+/// because their atomic updates target disjoint sections of x, so
+/// concurrency does not add contention (paper SIV). A Stream owns a
+/// worker thread executing enqueued tasks FIFO; different streams run
+/// concurrently. `synchronize()` is the cudaStreamSynchronize analog.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace gaia::backends {
+
+/// Completion marker usable across streams (cudaEvent analog).
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  /// Blocks until the event was recorded and reached in its stream.
+  void wait() const {
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->cv.wait(lock, [&] { return state_->set; });
+  }
+
+  [[nodiscard]] bool query() const {
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->set;
+  }
+
+ private:
+  friend class Stream;
+  struct State {
+    std::mutex m;
+    std::condition_variable cv;
+    bool set = false;
+  };
+  void signal() const {
+    {
+      std::lock_guard<std::mutex> lock(state_->m);
+      state_->set = true;
+    }
+    state_->cv.notify_all();
+  }
+  std::shared_ptr<State> state_;
+};
+
+/// FIFO asynchronous task queue with a dedicated executor thread.
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueue a task; returns immediately. Tasks in one stream execute in
+  /// order; tasks in different streams may overlap.
+  void enqueue(std::function<void()> task);
+
+  /// Record an event that fires once all previously enqueued tasks ran.
+  void record(Event event);
+
+  /// Block until the queue drains and the in-flight task finishes.
+  void synchronize();
+
+  /// Number of tasks executed so far (for tests/instrumentation).
+  [[nodiscard]] std::uint64_t completed() const;
+
+ private:
+  void run();
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool busy_ = false;
+  bool stopping_ = false;
+  std::uint64_t completed_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace gaia::backends

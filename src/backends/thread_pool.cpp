@@ -1,0 +1,97 @@
+#include "backends/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace gaia::backends {
+
+ThreadPool::ThreadPool(unsigned n_workers) {
+  threads_.reserve(n_workers);
+  for (unsigned i = 0; i < n_workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::work_on(Job& job) {
+  job.active.fetch_add(1, std::memory_order_acq_rel);
+  std::int64_t start;
+  while ((start = job.next.fetch_add(job.grain, std::memory_order_relaxed)) <
+         job.n) {
+    job.body(start, std::min(start + job.grain, job.n));
+  }
+  // The last participant to leave an exhausted job signals completion.
+  if (job.active.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    job.signal_done();
+}
+
+void ThreadPool::parallel_for(std::int64_t n, std::int64_t grain,
+                              RangeBody body) {
+  GAIA_CHECK(grain > 0, "parallel_for grain must be positive");
+  if (n <= 0) return;
+  if (threads_.empty() || n <= grain) {
+    body(0, n);
+    return;
+  }
+  auto job = std::make_shared<Job>(n, grain, std::move(body));
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    jobs_.push_back(job);
+  }
+  queue_cv_.notify_all();
+  work_on(*job);
+  job->wait_done();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::erase(jobs_, job);
+  }
+}
+
+std::shared_ptr<ThreadPool::Job> ThreadPool::take_job() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock, [&] {
+    if (stopping_) return true;
+    return std::any_of(jobs_.begin(), jobs_.end(),
+                       [](const auto& j) { return !j->exhausted(); });
+  });
+  if (stopping_) return nullptr;
+  for (const auto& j : jobs_) {
+    if (!j->exhausted()) return j;
+  }
+  return nullptr;  // raced with completion; loop again
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::shared_ptr<Job> job = take_job();
+    if (!job) {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (stopping_) return;
+      continue;
+    }
+    work_on(*job);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("GAIA_POOL_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 0 && v <= 1024) return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(3u, hw > 0 ? hw - 1 : 3u);
+  }());
+  return pool;
+}
+
+}  // namespace gaia::backends

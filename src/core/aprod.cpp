@@ -1,0 +1,147 @@
+#include "core/aprod.hpp"
+
+#include "core/aprod_kernels.hpp"
+#include "util/profiler.hpp"
+
+namespace gaia::core {
+
+using backends::BackendKind;
+using backends::KernelId;
+
+Aprod::Aprod(const matrix::SystemMatrix& A, backends::DeviceContext& device,
+             AprodOptions options)
+    : options_(options),
+      d_values_(device, A.values(), options.coherence),
+      d_idx_astro_(device, A.matrix_index_astro(), options.coherence),
+      d_idx_att_(device, A.matrix_index_att(), options.coherence),
+      d_instr_col_(device, A.instr_col(), options.coherence),
+      d_star_row_start_(device, A.star_row_start(), options.coherence) {
+  view_ = SystemView::from(A);
+  // Re-point the view at the device-resident copies.
+  view_.values = d_values_.data();
+  view_.idx_astro = d_idx_astro_.data();
+  view_.idx_att = d_idx_att_.data();
+  view_.instr_col = d_instr_col_.data();
+  view_.star_row_start = d_star_row_start_.data();
+
+  if (options_.use_streams) {
+    for (auto& s : streams_) s = std::make_unique<backends::Stream>();
+  }
+}
+
+Aprod::~Aprod() = default;
+
+void Aprod::apply1(std::span<const real> x, std::span<real> y) {
+  GAIA_CHECK(static_cast<col_index>(x.size()) == view_.n_cols,
+             "aprod1 x size mismatch");
+  GAIA_CHECK(static_cast<row_index>(y.size()) == view_.n_rows,
+             "aprod1 y size mismatch");
+  const real* xp = x.data();
+  real* yp = y.data();
+  // The four gathers all accumulate into y[r]: they must run in order
+  // (one stream). Launched back to back on the calling thread.
+  backends::dispatch(options_.backend, [&](auto exec) {
+    using Exec = decltype(exec);
+    {
+      util::ScopedRegion region("aprod1_astro");
+      aprod1_astro<Exec>(view_, xp, yp,
+                         options_.tuning.get(KernelId::kAprod1Astro));
+    }
+    {
+      util::ScopedRegion region("aprod1_att");
+      aprod1_att<Exec>(view_, xp, yp,
+                       options_.tuning.get(KernelId::kAprod1Att));
+    }
+    {
+      util::ScopedRegion region("aprod1_instr");
+      aprod1_instr<Exec>(view_, xp, yp,
+                         options_.tuning.get(KernelId::kAprod1Instr));
+    }
+    {
+      util::ScopedRegion region("aprod1_glob");
+      aprod1_glob<Exec>(view_, xp, yp,
+                        options_.tuning.get(KernelId::kAprod1Glob));
+    }
+  });
+  launches_ += view_.has_global ? 4 : 3;
+}
+
+void Aprod::launch_aprod2(KernelId id, const real* y, real* x) {
+  const backends::KernelConfig cfg = options_.tuning.get(id);
+  const backends::AtomicMode mode = options_.atomic_mode;
+  static const char* kRegionNames[] = {"aprod2_astro", "aprod2_att",
+                                       "aprod2_instr", "aprod2_glob"};
+  const int region_idx =
+      static_cast<int>(id) - static_cast<int>(KernelId::kAprod2Astro);
+  GAIA_CHECK(region_idx >= 0 && region_idx < 4,
+             "launch_aprod2 called with an aprod1 kernel id");
+  util::ScopedRegion region(kRegionNames[region_idx]);
+  backends::dispatch(options_.backend, [&](auto exec) {
+    using Exec = decltype(exec);
+    switch (id) {
+      case KernelId::kAprod2Astro:
+        aprod2_astro<Exec>(view_, y, x, cfg);
+        break;
+      case KernelId::kAprod2Att:
+        aprod2_att<Exec>(view_, y, x, cfg, mode);
+        break;
+      case KernelId::kAprod2Instr:
+        aprod2_instr<Exec>(view_, y, x, cfg, mode);
+        break;
+      case KernelId::kAprod2Glob:
+        aprod2_glob<Exec>(view_, y, x, cfg, mode);
+        break;
+      default:
+        throw Error("launch_aprod2 called with an aprod1 kernel id");
+    }
+  });
+}
+
+void Aprod::apply2(std::span<const real> y, std::span<real> x) {
+  GAIA_CHECK(static_cast<row_index>(y.size()) == view_.n_rows,
+             "aprod2 y size mismatch");
+  GAIA_CHECK(static_cast<col_index>(x.size()) == view_.n_cols,
+             "aprod2 x size mismatch");
+  const real* yp = y.data();
+  real* xp = x.data();
+
+  if (options_.fuse_aprod2) {
+    backends::dispatch(options_.backend, [&](auto exec) {
+      using Exec = decltype(exec);
+      {
+        util::ScopedRegion region("aprod2_astro");
+        aprod2_astro<Exec>(view_, yp, xp,
+                           options_.tuning.get(KernelId::kAprod2Astro));
+      }
+      {
+        util::ScopedRegion region("aprod2_fused");
+        aprod2_shared_fused<Exec>(view_, yp, xp,
+                                  options_.tuning.get(KernelId::kAprod2Att),
+                                  options_.atomic_mode);
+      }
+    });
+    launches_ += 2;
+    return;
+  }
+
+  const std::array<KernelId, 4> kernels = {
+      KernelId::kAprod2Astro, KernelId::kAprod2Att, KernelId::kAprod2Instr,
+      KernelId::kAprod2Glob};
+  const std::size_t active = view_.has_global ? 4 : 3;
+
+  if (options_.use_streams) {
+    // The scatters target disjoint sections of x, so overlapping them
+    // does not increase atomic contention (paper SIV); each kernel goes
+    // to its own stream, then all streams are joined.
+    for (std::size_t k = 0; k < active; ++k) {
+      streams_[k]->enqueue(
+          [this, id = kernels[k], yp, xp] { launch_aprod2(id, yp, xp); });
+    }
+    for (std::size_t k = 0; k < active; ++k) streams_[k]->synchronize();
+  } else {
+    for (std::size_t k = 0; k < active; ++k) launch_aprod2(kernels[k], yp, xp);
+  }
+  launches_ += active;
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,84 @@
+/// \file aprod.hpp
+/// \brief Runtime driver for the aprod products: backend selection,
+/// device residency, kernel tuning, stream overlap.
+///
+/// Owns the device-resident copy of the system (made once, at
+/// construction — the "matrices are copied to the GPU before the main
+/// loop and remain there until the end" contract of paper SIV-a) and the
+/// four streams used to overlap the aprod2 scatter kernels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "backends/atomic.hpp"
+#include "backends/backend.hpp"
+#include "backends/device_buffer.hpp"
+#include "backends/kernel_config.hpp"
+#include "backends/stream.hpp"
+#include "core/system_view.hpp"
+#include "matrix/system_matrix.hpp"
+
+namespace gaia::core {
+
+/// How the driver executes kernels.
+struct AprodOptions {
+  backends::BackendKind backend = backends::BackendKind::kGpuSim;
+  backends::TuningTable tuning = backends::TuningTable::tuned_default();
+  backends::AtomicMode atomic_mode = backends::AtomicMode::kNativeRmw;
+  /// Overlap the four aprod2 kernels in streams (safe: they scatter into
+  /// disjoint sections of x). The serial reference runs without streams
+  /// to stay deterministic.
+  bool use_streams = true;
+  /// Fuse the attitude/instrumental/global scatters into one row-pass —
+  /// the shape a real C++ PSTL port takes (stdpar has no streams, and
+  /// fusing reads each row record once). Overrides use_streams for
+  /// aprod2.
+  bool fuse_aprod2 = false;
+  backends::CoherenceMode coherence = backends::CoherenceMode::kCoarseGrain;
+};
+
+class Aprod {
+ public:
+  /// Copies the system onto `device` (throws if it does not fit) and
+  /// keeps it resident for the driver's lifetime.
+  Aprod(const matrix::SystemMatrix& A, backends::DeviceContext& device,
+        AprodOptions options);
+  ~Aprod();
+
+  Aprod(const Aprod&) = delete;
+  Aprod& operator=(const Aprod&) = delete;
+
+  [[nodiscard]] const AprodOptions& options() const { return options_; }
+  [[nodiscard]] const SystemView& view() const { return view_; }
+  [[nodiscard]] row_index n_rows() const { return view_.n_rows; }
+  [[nodiscard]] col_index n_cols() const { return view_.n_cols; }
+
+  /// aprod mode 1: y += A x. x has n_cols elements, y has n_rows.
+  void apply1(std::span<const real> x, std::span<real> y);
+
+  /// aprod mode 2: x += A^T y. y has n_rows elements, x has n_cols.
+  void apply2(std::span<const real> y, std::span<real> x);
+
+  /// Kernel launches issued so far (8 per apply pair unless the global
+  /// block is disabled) — lets tests pin the stream/launch structure.
+  [[nodiscard]] std::uint64_t launches() const { return launches_; }
+
+ private:
+  void launch_aprod2(backends::KernelId id, const real* y, real* x);
+
+  AprodOptions options_;
+  backends::DeviceBuffer<real> d_values_;
+  backends::DeviceBuffer<col_index> d_idx_astro_;
+  backends::DeviceBuffer<col_index> d_idx_att_;
+  backends::DeviceBuffer<std::int32_t> d_instr_col_;
+  backends::DeviceBuffer<row_index> d_star_row_start_;
+  SystemView view_{};
+  /// One stream per aprod2 kernel, created lazily when streams are on.
+  std::array<std::unique_ptr<backends::Stream>, 4> streams_;
+  std::uint64_t launches_ = 0;
+};
+
+}  // namespace gaia::core

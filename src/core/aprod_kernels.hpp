@@ -1,0 +1,185 @@
+/// \file aprod_kernels.hpp
+/// \brief The eight hot kernels of the solver, templated on the backend.
+///
+/// aprod mode 1 (paper Eq. 3): y += A x — a gather per row; every kernel
+/// accumulates its block's partial dot product into y[r], so the four
+/// aprod1 kernels must not run concurrently with each other (they share
+/// y), matching the production code where only aprod2 is overlapped.
+///
+/// aprod mode 2 (paper Eq. 4): x += A^T y — a scatter per row into x.
+/// The astrometric part is block diagonal, so parallelizing over *stars*
+/// gives each task exclusive ownership of its five columns: no atomics.
+/// Attitude, instrumental and global columns are shared between rows, so
+/// their updates are atomic; the three kernels target disjoint sections
+/// of x and may safely overlap in streams (paper SIV).
+///
+/// Templating on the execution policy keeps the row loop body inlined in
+/// every backend while the launch mechanics (grid-stride virtual threads,
+/// OpenMP directives, parallel algorithms, plain loop) differ — this is
+/// the library's equivalent of maintaining one kernel source per
+/// programming model.
+#pragma once
+
+#include "backends/backend.hpp"
+#include "core/system_view.hpp"
+#include "util/types.hpp"
+
+namespace gaia::core {
+
+using backends::AtomicMode;
+using backends::KernelConfig;
+
+// ---------------------------------------------------------------------------
+// aprod1: y += A x (row-parallel gathers; no atomics anywhere)
+// ---------------------------------------------------------------------------
+
+template <typename Exec>
+void aprod1_astro(const SystemView& A, const real* x, real* y,
+                  KernelConfig cfg) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* rv = A.values + r * kNnzPerRow + matrix::kAstroCoeffOffset;
+    const col_index c0 = A.idx_astro[r];
+    real sum = 0;
+    for (int i = 0; i < kAstroNnzPerRow; ++i) sum += rv[i] * x[c0 + i];
+    y[r] += sum;
+  });
+}
+
+template <typename Exec>
+void aprod1_att(const SystemView& A, const real* x, real* y,
+                KernelConfig cfg) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* rv = A.values + r * kNnzPerRow + matrix::kAttCoeffOffset;
+    const col_index base = A.att_offset + A.idx_att[r];
+    real sum = 0;
+    for (int blk = 0; blk < kAttBlocks; ++blk) {
+      const col_index c0 = base + blk * A.att_stride;
+      for (int i = 0; i < kAttBlockSize; ++i)
+        sum += rv[blk * kAttBlockSize + i] * x[c0 + i];
+    }
+    y[r] += sum;
+  });
+}
+
+template <typename Exec>
+void aprod1_instr(const SystemView& A, const real* x, real* y,
+                  KernelConfig cfg) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* rv = A.values + r * kNnzPerRow + matrix::kInstrCoeffOffset;
+    const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
+    real sum = 0;
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      sum += rv[i] * x[A.instr_offset + cols[i]];
+    y[r] += sum;
+  });
+}
+
+template <typename Exec>
+void aprod1_glob(const SystemView& A, const real* x, real* y,
+                 KernelConfig cfg) {
+  if (!A.has_global) return;
+  const real xg = x[A.glob_offset];
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    y[r] += A.values[r * kNnzPerRow + matrix::kGlobCoeffOffset] * xg;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// aprod2: x += A^T y (column scatters)
+// ---------------------------------------------------------------------------
+
+/// Star-parallel, atomic-free: each star owns its 5 columns and the rows
+/// touching them are exactly its contiguous row range. Requires the
+/// generator invariant that constraint rows carry zero astrometric
+/// coefficients (they are not covered by the star partition).
+template <typename Exec>
+void aprod2_astro(const SystemView& A, const real* y, real* x,
+                  KernelConfig cfg) {
+  Exec::launch(A.n_stars, cfg, [=](std::int64_t s) {
+    const col_index c0 = s * kAstroParamsPerStar;
+    real acc[kAstroNnzPerRow] = {0, 0, 0, 0, 0};
+    for (row_index r = A.star_row_start[s]; r < A.star_row_start[s + 1];
+         ++r) {
+      const real* rv = A.values + r * kNnzPerRow + matrix::kAstroCoeffOffset;
+      const real yr = y[r];
+      for (int i = 0; i < kAstroNnzPerRow; ++i) acc[i] += rv[i] * yr;
+    }
+    for (int i = 0; i < kAstroNnzPerRow; ++i) x[c0 + i] += acc[i];
+  });
+}
+
+/// Row-parallel with atomic updates: neighbouring observations hit the
+/// same attitude spline knots (this is the collision hot spot the paper
+/// tunes thread counts down for).
+template <typename Exec>
+void aprod2_att(const SystemView& A, const real* y, real* x,
+                KernelConfig cfg, AtomicMode mode) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* rv = A.values + r * kNnzPerRow + matrix::kAttCoeffOffset;
+    const real yr = y[r];
+    const col_index base = A.att_offset + A.idx_att[r];
+    for (int blk = 0; blk < kAttBlocks; ++blk) {
+      const col_index c0 = base + blk * A.att_stride;
+      for (int i = 0; i < kAttBlockSize; ++i)
+        Exec::atomic_add(x[c0 + i], rv[blk * kAttBlockSize + i] * yr, mode);
+    }
+  });
+}
+
+template <typename Exec>
+void aprod2_instr(const SystemView& A, const real* y, real* x,
+                  KernelConfig cfg, AtomicMode mode) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* rv = A.values + r * kNnzPerRow + matrix::kInstrCoeffOffset;
+    const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
+    const real yr = y[r];
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      Exec::atomic_add(x[A.instr_offset + cols[i]], rv[i] * yr, mode);
+  });
+}
+
+/// Every row contributes to the single PPN-gamma unknown — the most
+/// contended column of the whole system.
+template <typename Exec>
+void aprod2_glob(const SystemView& A, const real* y, real* x,
+                 KernelConfig cfg, AtomicMode mode) {
+  if (!A.has_global) return;
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    Exec::atomic_add(
+        x[A.glob_offset],
+        A.values[r * kNnzPerRow + matrix::kGlobCoeffOffset] * y[r], mode);
+  });
+}
+
+/// Fused single-pass aprod2 over the shared sections (attitude +
+/// instrumental + global): one row-parallel kernel doing every atomic
+/// scatter. This is the shape a real C++ PSTL port takes — stdpar has no
+/// stream/queue concept, so splitting the scatter into four kernels buys
+/// nothing, while fusing reads each row's record once. The astrometric
+/// block still goes through the star-parallel atomic-free kernel.
+template <typename Exec>
+void aprod2_shared_fused(const SystemView& A, const real* y, real* x,
+                         KernelConfig cfg, AtomicMode mode) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* rv = A.values + r * kNnzPerRow;
+    const real yr = y[r];
+    const col_index att_base = A.att_offset + A.idx_att[r];
+    for (int blk = 0; blk < kAttBlocks; ++blk) {
+      const col_index c0 = att_base + blk * A.att_stride;
+      for (int i = 0; i < kAttBlockSize; ++i)
+        Exec::atomic_add(x[c0 + i],
+                         rv[matrix::kAttCoeffOffset + blk * kAttBlockSize + i] *
+                             yr,
+                         mode);
+    }
+    const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      Exec::atomic_add(x[A.instr_offset + cols[i]],
+                       rv[matrix::kInstrCoeffOffset + i] * yr, mode);
+    if (A.has_global)
+      Exec::atomic_add(x[A.glob_offset],
+                       rv[matrix::kGlobCoeffOffset] * yr, mode);
+  });
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,158 @@
+#include "core/derotation.hpp"
+
+#include <array>
+#include <functional>
+#include <utility>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gaia::core {
+
+namespace {
+
+/// Design rows of the infinitesimal-rotation model at a star:
+/// row_a . eps = d(alpha*), row_d . eps = d(delta).
+void design_rows(const matrix::Star& s, std::array<real, 3>& row_a,
+                 std::array<real, 3>& row_d) {
+  const real ca = std::cos(s.alpha), sa = std::sin(s.alpha);
+  const real cd = std::cos(s.delta), sd = std::sin(s.delta);
+  row_a = {-ca * sd, -sa * sd, cd};
+  row_d = {sa, -ca, 0};
+}
+
+/// Solves the 3x3 SPD system N v = g (tiny Cholesky); throws if the
+/// reference geometry is degenerate.
+std::array<real, 3> solve3(std::array<std::array<real, 3>, 3> N,
+                           std::array<real, 3> g) {
+  std::array<std::array<real, 3>, 3> L{};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      real sum = N[i][j];
+      for (int k = 0; k < j; ++k) sum -= L[i][k] * L[j][k];
+      if (i == j) {
+        GAIA_CHECK(sum > 1e-12,
+                   "degenerate reference-star geometry: rotation not "
+                   "observable");
+        L[i][i] = std::sqrt(sum);
+      } else {
+        L[i][j] = sum / L[j][j];
+      }
+    }
+  }
+  std::array<real, 3> y{};
+  for (int i = 0; i < 3; ++i) {
+    real sum = g[i];
+    for (int k = 0; k < i; ++k) sum -= L[i][k] * y[k];
+    y[i] = sum / L[i][i];
+  }
+  std::array<real, 3> v{};
+  for (int i = 2; i >= 0; --i) {
+    real sum = y[i];
+    for (int k = i + 1; k < 3; ++k) sum -= L[k][i] * v[k];
+    v[i] = sum / L[i][i];
+  }
+  return v;
+}
+
+/// Accumulate one (rows, observations) pair into normal equations.
+void accumulate(const std::array<real, 3>& row, real obs,
+                std::array<std::array<real, 3>, 3>& N,
+                std::array<real, 3>& g) {
+  for (int i = 0; i < 3; ++i) {
+    g[i] += row[i] * obs;
+    for (int j = 0; j < 3; ++j) N[i][j] += row[i] * row[j];
+  }
+}
+
+/// Least-squares 3-vector from per-star (d_alpha*, d_delta) observations.
+std::array<real, 3> fit_vector(
+    std::span<const matrix::Star> catalogue,
+    std::span<const row_index> reference_stars,
+    const std::function<std::pair<real, real>(row_index)>& observed) {
+  std::array<std::array<real, 3>, 3> N{};
+  std::array<real, 3> g{};
+  for (row_index s : reference_stars) {
+    const matrix::Star& star = catalogue[static_cast<std::size_t>(s)];
+    std::array<real, 3> row_a{}, row_d{};
+    design_rows(star, row_a, row_d);
+    const auto [da, dd] = observed(s);
+    accumulate(row_a, da, N, g);
+    accumulate(row_d, dd, N, g);
+  }
+  return solve3(N, g);
+}
+
+}  // namespace
+
+RotationOffsets rotation_offsets(const FrameRotation& rot,
+                                 const matrix::Star& star) {
+  std::array<real, 3> row_a{}, row_d{};
+  design_rows(star, row_a, row_d);
+  RotationOffsets off;
+  off.dalpha_star = row_a[0] * rot.ex + row_a[1] * rot.ey + row_a[2] * rot.ez;
+  off.ddelta = row_d[0] * rot.ex + row_d[1] * rot.ey + row_d[2] * rot.ez;
+  return off;
+}
+
+void apply_rotation(std::span<real> x, const matrix::ParameterLayout& layout,
+                    std::span<const matrix::Star> catalogue,
+                    const FrameRotation& rot) {
+  GAIA_CHECK(static_cast<col_index>(x.size()) == layout.n_unknowns(),
+             "solution size mismatch");
+  GAIA_CHECK(static_cast<row_index>(catalogue.size()) == layout.n_stars(),
+             "catalogue size mismatch");
+  const FrameRotation spin{rot.wx, rot.wy, rot.wz, 0, 0, 0};
+  for (row_index s = 0; s < layout.n_stars(); ++s) {
+    const auto base = static_cast<std::size_t>(s) * kAstroParamsPerStar;
+    const matrix::Star& star = catalogue[static_cast<std::size_t>(s)];
+    const RotationOffsets pos = rotation_offsets(rot, star);
+    const RotationOffsets pm = rotation_offsets(spin, star);
+    x[base + 0] += pos.dalpha_star;
+    x[base + 1] += pos.ddelta;
+    x[base + 3] += pm.dalpha_star;  // mu_alpha*
+    x[base + 4] += pm.ddelta;       // mu_delta
+  }
+}
+
+FrameRotation estimate_rotation(std::span<const real> x,
+                                const matrix::ParameterLayout& layout,
+                                std::span<const matrix::Star> catalogue,
+                                std::span<const row_index> reference_stars) {
+  GAIA_CHECK(static_cast<col_index>(x.size()) == layout.n_unknowns(),
+             "solution size mismatch");
+  GAIA_CHECK(static_cast<row_index>(catalogue.size()) == layout.n_stars(),
+             "catalogue size mismatch");
+  GAIA_CHECK(reference_stars.size() >= 3,
+             "need at least 3 reference stars");
+  for (row_index s : reference_stars)
+    GAIA_CHECK(s >= 0 && s < layout.n_stars(),
+               "reference star index out of range");
+
+  const auto pos_obs = [&](row_index s) {
+    const auto base = static_cast<std::size_t>(s) * kAstroParamsPerStar;
+    return std::pair<real, real>(x[base + 0], x[base + 1]);
+  };
+  const auto pm_obs = [&](row_index s) {
+    const auto base = static_cast<std::size_t>(s) * kAstroParamsPerStar;
+    return std::pair<real, real>(x[base + 3], x[base + 4]);
+  };
+
+  const auto eps = fit_vector(catalogue, reference_stars, pos_obs);
+  const auto omega = fit_vector(catalogue, reference_stars, pm_obs);
+  return {eps[0], eps[1], eps[2], omega[0], omega[1], omega[2]};
+}
+
+FrameRotation derotate_solution(std::span<real> x,
+                                const matrix::ParameterLayout& layout,
+                                std::span<const matrix::Star> catalogue,
+                                std::span<const row_index> reference_stars) {
+  const FrameRotation rot =
+      estimate_rotation(x, layout, catalogue, reference_stars);
+  const FrameRotation inverse{-rot.ex, -rot.ey, -rot.ez,
+                              -rot.wx, -rot.wy, -rot.wz};
+  apply_rotation(x, layout, catalogue, inverse);
+  return rot;
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,70 @@
+/// \file derotation.hpp
+/// \brief Solution de-rotation — the pipeline stage after the solver
+/// (paper Fig. 1).
+///
+/// The global sphere reconstruction determines star positions only up to
+/// a rigid rotation (and its time derivative, a spin) of the celestial
+/// frame: adding the same infinitesimal rotation to every position is
+/// invisible to relative measurements. The pipeline removes this
+/// indeterminacy by fitting the rotation against a subset of reference
+/// stars (quasars / stars with VLBI positions) and subtracting it.
+///
+/// For an infinitesimal rotation vector eps = (ex, ey, ez), the induced
+/// position offsets are the classic frame-rotation formulae:
+///
+///   d(alpha*) = -ex cos(alpha) sin(delta) - ey sin(alpha) sin(delta)
+///               + ez cos(delta)
+///   d(delta)  =  ex sin(alpha) - ey cos(alpha)
+///
+/// (alpha* = alpha cos(delta)). The same applies to proper motions with
+/// the spin vector omega. This module estimates (eps, omega) by linear
+/// least squares over the reference stars and removes them from the full
+/// solution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/layout.hpp"
+#include "matrix/scanlaw.hpp"
+#include "util/types.hpp"
+
+namespace gaia::core {
+
+/// Rigid frame rotation (positions) and spin (proper motions).
+struct FrameRotation {
+  real ex = 0, ey = 0, ez = 0;     ///< rotation (rad)
+  real wx = 0, wy = 0, wz = 0;     ///< spin (rad / yr)
+};
+
+/// Position offsets (d_alpha*, d_delta) a rotation induces at a star.
+struct RotationOffsets {
+  real dalpha_star = 0;
+  real ddelta = 0;
+};
+RotationOffsets rotation_offsets(const FrameRotation& rot,
+                                 const matrix::Star& star);
+
+/// Applies a rotation/spin to the astrometric section of a solution
+/// vector in place (adds the induced offsets). Inverse of de-rotation;
+/// used to inject known rotations in tests and pipelines.
+void apply_rotation(std::span<real> x, const matrix::ParameterLayout& layout,
+                    std::span<const matrix::Star> catalogue,
+                    const FrameRotation& rot);
+
+/// Estimates the rigid rotation and spin carried by a solution, from the
+/// reference stars listed by index. Requires >= 3 well-spread reference
+/// stars (throws otherwise); the fit is plain linear least squares on
+/// the 2 equations per star.
+FrameRotation estimate_rotation(std::span<const real> x,
+                                const matrix::ParameterLayout& layout,
+                                std::span<const matrix::Star> catalogue,
+                                std::span<const row_index> reference_stars);
+
+/// Estimate + subtract: returns the rotation that was removed.
+FrameRotation derotate_solution(std::span<real> x,
+                                const matrix::ParameterLayout& layout,
+                                std::span<const matrix::Star> catalogue,
+                                std::span<const row_index> reference_stars);
+
+}  // namespace gaia::core

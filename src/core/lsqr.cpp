@@ -1,0 +1,41 @@
+#include "core/lsqr.hpp"
+
+#include "core/lsqr_engine.hpp"
+
+namespace gaia::core {
+
+std::string to_string(LsqrStop stop) {
+  switch (stop) {
+    case LsqrStop::kXZero:
+      return "x = 0 is the exact solution";
+    case LsqrStop::kAtolBtol:
+      return "Ax = b solved to atol/btol";
+    case LsqrStop::kLeastSquares:
+      return "least-squares solution within atol";
+    case LsqrStop::kConlim:
+      return "cond(A) exceeds conlim";
+    case LsqrStop::kAtolBtolEps:
+      return "Ax = b solved to machine precision";
+    case LsqrStop::kLeastSquaresEps:
+      return "least-squares solution at machine precision";
+    case LsqrStop::kConlimEps:
+      return "cond(A) too large for machine precision";
+    case LsqrStop::kIterationLimit:
+      return "iteration limit reached";
+  }
+  return "unknown";
+}
+
+LsqrResult lsqr_solve(const matrix::SystemMatrix& A,
+                      const LsqrOptions& options) {
+  return lsqr_solve(A, A.known_terms(), options);
+}
+
+LsqrResult lsqr_solve(const matrix::SystemMatrix& A,
+                      std::span<const real> b, const LsqrOptions& options) {
+  LsqrEngine engine(A, b, options);
+  engine.run_to_completion();
+  return engine.result();
+}
+
+}  // namespace gaia::core

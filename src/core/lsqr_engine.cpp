@@ -1,0 +1,411 @@
+#include "core/lsqr_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "core/preconditioner.hpp"
+#include "core/vector_ops.hpp"
+#include "util/profiler.hpp"
+#include "util/stopwatch.hpp"
+
+namespace gaia::core {
+
+namespace {
+constexpr char kCheckpointMagic[8] = {'G', 'A', 'I', 'A', 'C', 'K', 'P',
+                                      '2'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  GAIA_CHECK(is.good(), "truncated checkpoint");
+  return v;
+}
+void write_vec(std::ostream& os, std::span<const real> v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size_bytes()));
+}
+void read_vec(std::istream& is, std::span<real> v) {
+  const auto n = read_pod<std::uint64_t>(is);
+  GAIA_CHECK(n == v.size(), "checkpoint vector size mismatch");
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size_bytes()));
+  GAIA_CHECK(is.good(), "truncated checkpoint");
+}
+}  // namespace
+
+struct LsqrEngine::Impl {
+  LsqrOptions options;
+  const matrix::SystemMatrix* A_orig = nullptr;
+  matrix::SystemMatrix scaled;       // used when preconditioning
+  const matrix::SystemMatrix* A = nullptr;
+  std::vector<real> col_scale;
+  std::size_t m = 0, n = 0;
+
+  backends::DeviceContext device;
+  std::unique_ptr<Aprod> aprod;
+  backends::DeviceBuffer<real> d_u, d_v, d_w, d_x, d_var;
+
+  // Recurrence scalars.
+  real alpha = 0, beta = 0, bnorm = 0;
+  real rhobar = 0, phibar = 0;
+  real rnorm = 0, arnorm = 0;
+  real anorm = 0, acond = 0, ddnorm = 0, res2 = 0;
+  real xnorm = 0, xxnorm = 0, z = 0, cs2 = -1, sn2 = 0;
+
+  std::int64_t itn = 0;
+  bool finished = false;
+  LsqrStop istop = LsqrStop::kIterationLimit;
+  std::vector<double> iteration_seconds;
+  std::vector<real> rnorm_history, arnorm_history, xnorm_history;
+
+  Impl(const matrix::SystemMatrix& A_in, std::span<const real> b,
+       const LsqrOptions& opts)
+      : options(opts),
+        A_orig(&A_in),
+        device(opts.device_capacity,
+               backends::to_string(opts.aprod.backend) + "-device") {
+    GAIA_CHECK(static_cast<row_index>(b.size()) == A_in.n_rows(),
+               "rhs size mismatch");
+    GAIA_CHECK(options.max_iterations > 0,
+               "need a positive iteration limit");
+    if (options.precondition) {
+      col_scale = column_norms(A_in);
+      scaled = A_in;
+      apply_column_scaling(scaled, col_scale);
+      A = &scaled;
+    } else {
+      A = &A_in;
+    }
+    m = static_cast<std::size_t>(A->n_rows());
+    n = static_cast<std::size_t>(A->n_cols());
+
+    aprod = std::make_unique<Aprod>(*A, device, options.aprod);
+    d_u = backends::DeviceBuffer<real>(device, b);
+    d_v = backends::DeviceBuffer<real>(device, n);
+    d_w = backends::DeviceBuffer<real>(device, n);
+    d_x = backends::DeviceBuffer<real>(device, n);
+    d_var = backends::DeviceBuffer<real>(
+        device, options.compute_std_errors ? n : std::size_t{0});
+    d_v.fill(real{0});
+    d_w.fill(real{0});
+    d_x.fill(real{0});
+    if (options.compute_std_errors) d_var.fill(real{0});
+
+    // Golub-Kahan start.
+    const auto backend = options.aprod.backend;
+    beta = vnorm(d_u.span());
+    if (beta > 0) {
+      vscale(backend, d_u.span(), real{1} / beta);
+      aprod->apply2(d_u.span(), d_v.span());
+      alpha = vnorm(d_v.span());
+    }
+    if (alpha > 0) {
+      vscale(backend, d_v.span(), real{1} / alpha);
+      std::copy(d_v.span().begin(), d_v.span().end(), d_w.span().begin());
+    }
+    bnorm = beta;
+    rhobar = alpha;
+    phibar = beta;
+    rnorm = beta;
+    arnorm = alpha * beta;
+    if (arnorm == 0) {
+      finished = true;
+      istop = LsqrStop::kXZero;
+    }
+  }
+
+  /// Fingerprint binding a checkpoint to (problem, options).
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(A->n_rows()));
+    mix(static_cast<std::uint64_t>(A->n_cols()));
+    mix(static_cast<std::uint64_t>(options.max_iterations));
+    mix(static_cast<std::uint64_t>(options.precondition));
+    mix(static_cast<std::uint64_t>(options.compute_std_errors));
+    mix(std::bit_cast<std::uint64_t>(options.damp));
+    mix(std::bit_cast<std::uint64_t>(
+        static_cast<double>(A->values()[0])));
+    mix(std::bit_cast<std::uint64_t>(static_cast<double>(
+        A->values()[A->values().size() - 1])));
+    return h;
+  }
+
+  bool step() {
+    if (finished) return false;
+    const auto backend = options.aprod.backend;
+    const real damp = options.damp;
+    util::Stopwatch watch;
+    ++itn;
+
+    auto u = d_u.span();
+    auto v = d_v.span();
+    auto w = d_w.span();
+    auto x = d_x.span();
+
+    {
+      util::ScopedRegion region("blas1_scale");
+      vscale(backend, u, -alpha);
+    }
+    aprod->apply1(v, u);
+    {
+      util::ScopedRegion region("reduction_norm");
+      beta = vnorm(u);
+    }
+    if (beta > 0) {
+      {
+        util::ScopedRegion region("blas1_scale");
+        vscale(backend, u, real{1} / beta);
+        anorm = std::sqrt(anorm * anorm + alpha * alpha + beta * beta +
+                          damp * damp);
+        vscale(backend, v, -beta);
+      }
+      aprod->apply2(u, v);
+      {
+        util::ScopedRegion region("reduction_norm");
+        alpha = vnorm(v);
+      }
+      if (alpha > 0) {
+        util::ScopedRegion region("blas1_scale");
+        vscale(backend, v, real{1} / alpha);
+      }
+    }
+
+    const real rhobar1 = std::sqrt(rhobar * rhobar + damp * damp);
+    const real cs1 = rhobar / rhobar1;
+    const real psi = (damp / rhobar1) * phibar;
+    phibar = cs1 * phibar;
+
+    const real rho = std::sqrt(rhobar1 * rhobar1 + beta * beta);
+    const real cs = rhobar1 / rho;
+    const real sn = beta / rho;
+    const real theta = sn * alpha;
+    rhobar = -cs * alpha;
+    const real phi = cs * phibar;
+    phibar = sn * phibar;
+    const real tau = sn * phi;
+
+    {
+      util::ScopedRegion region("blas1_updates");
+      if (options.compute_std_errors)
+        vaccumulate_sq(backend, d_var.span(), real{1} / rho, w);
+      ddnorm += (real{1} / rho) * (real{1} / rho) * vdot(w, w);
+      vaxpy(backend, x, phi / rho, w);
+      vxpby(backend, w, v, -theta / rho);
+    }
+
+    const real delta = sn2 * rho;
+    const real gambar = -cs2 * rho;
+    const real rhs = phi - delta * z;
+    xnorm = std::sqrt(xxnorm + (rhs / gambar) * (rhs / gambar));
+    const real gamma = std::sqrt(gambar * gambar + theta * theta);
+    cs2 = gambar / gamma;
+    sn2 = theta / gamma;
+    z = rhs / gamma;
+    xxnorm += z * z;
+
+    acond = anorm * std::sqrt(ddnorm);
+    res2 += psi * psi;
+    rnorm = std::sqrt(phibar * phibar + res2);
+    arnorm = alpha * std::abs(tau);
+
+    if (options.record_history) {
+      rnorm_history.push_back(rnorm);
+      arnorm_history.push_back(arnorm);
+      xnorm_history.push_back(xnorm);
+    }
+    iteration_seconds.push_back(watch.elapsed_s());
+
+    // Stopping tests (reference-code numbering; skipped when all
+    // tolerances are zero, the paper's fixed-iteration timing mode).
+    if (options.atol > 0 || options.btol > 0 || options.conlim > 0) {
+      const real ctol =
+          options.conlim > 0 ? real{1} / options.conlim : real{0};
+      const real test1 = rnorm / bnorm;
+      const real test2 =
+          anorm * rnorm > 0 ? arnorm / (anorm * rnorm) : real{0};
+      const real test3 = acond > 0 ? real{1} / acond : real{0};
+      const real t1s = test1 / (real{1} + anorm * xnorm / bnorm);
+      const real rtol = options.btol + options.atol * anorm * xnorm / bnorm;
+      if (real{1} + test3 <= real{1}) {
+        istop = LsqrStop::kConlimEps;
+      } else if (real{1} + test2 <= real{1}) {
+        istop = LsqrStop::kLeastSquaresEps;
+      } else if (real{1} + t1s <= real{1}) {
+        istop = LsqrStop::kAtolBtolEps;
+      } else if (ctol > 0 && test3 <= ctol) {
+        istop = LsqrStop::kConlim;
+      } else if (options.atol > 0 && test2 <= options.atol) {
+        istop = LsqrStop::kLeastSquares;
+      } else if ((options.atol > 0 || options.btol > 0) && test1 <= rtol) {
+        istop = LsqrStop::kAtolBtol;
+      }
+      if (istop != LsqrStop::kIterationLimit) finished = true;
+    }
+    if (itn >= options.max_iterations) finished = true;
+    return !finished;
+  }
+
+  LsqrResult make_result() const {
+    LsqrResult result;
+    result.x.assign(n, real{0});
+    d_x.copy_to_host(result.x);
+    if (options.precondition) unscale_solution(result.x, col_scale);
+    if (options.compute_std_errors) {
+      result.std_errors.assign(n, real{0});
+      d_var.copy_to_host(result.std_errors);
+      const real dof = m > n ? static_cast<real>(m - n) : real{1};
+      const real s = rnorm / std::sqrt(dof);
+      for (auto& se : result.std_errors) se = s * std::sqrt(se);
+      if (options.precondition)
+        unscale_solution(result.std_errors, col_scale);
+    }
+    result.istop = istop;
+    result.iterations = itn;
+    result.anorm = anorm;
+    result.acond = acond;
+    result.rnorm = rnorm;
+    result.arnorm = arnorm;
+    result.xnorm = xnorm;
+    result.iteration_seconds = iteration_seconds;
+    result.rnorm_history = rnorm_history;
+    result.arnorm_history = arnorm_history;
+    result.xnorm_history = xnorm_history;
+    if (!iteration_seconds.empty()) {
+      double total = 0;
+      for (double t : iteration_seconds) total += t;
+      result.mean_iteration_s =
+          total / static_cast<double>(iteration_seconds.size());
+    }
+    result.device_allocated_bytes = device.allocated();
+    result.h2d_bytes = device.h2d_bytes();
+    return result;
+  }
+};
+
+LsqrEngine::LsqrEngine(const matrix::SystemMatrix& A,
+                       std::span<const real> b, const LsqrOptions& options)
+    : impl_(std::make_unique<Impl>(A, b, options)) {
+  sync_mirrors();
+}
+
+LsqrEngine::LsqrEngine(const matrix::SystemMatrix& A,
+                       const LsqrOptions& options)
+    : LsqrEngine(A, A.known_terms(), options) {}
+
+LsqrEngine::~LsqrEngine() = default;
+
+void LsqrEngine::sync_mirrors() {
+  finished_ = impl_->finished;
+  itn_ = impl_->itn;
+  istop_ = impl_->istop;
+  rnorm_ = impl_->rnorm;
+  arnorm_ = impl_->arnorm;
+}
+
+bool LsqrEngine::step() {
+  const bool more = impl_->step();
+  sync_mirrors();
+  return more;
+}
+
+std::int64_t LsqrEngine::run_to_completion() {
+  std::int64_t steps = 0;
+  while (!impl_->finished) {
+    impl_->step();
+    ++steps;
+  }
+  sync_mirrors();
+  return steps;
+}
+
+LsqrResult LsqrEngine::result() const { return impl_->make_result(); }
+
+void LsqrEngine::checkpoint(std::ostream& os) const {
+  const Impl& s = *impl_;
+  os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  write_pod(os, s.fingerprint());
+  write_pod(os, s.itn);
+  write_pod(os, static_cast<std::uint8_t>(s.finished ? 1 : 0));
+  write_pod(os, static_cast<std::int32_t>(s.istop));
+  for (real v : {s.alpha, s.beta, s.bnorm, s.rhobar, s.phibar, s.rnorm,
+                 s.arnorm, s.anorm, s.acond, s.ddnorm, s.res2, s.xnorm,
+                 s.xxnorm, s.z, s.cs2, s.sn2})
+    write_pod(os, v);
+  write_vec(os, s.d_u.span());
+  write_vec(os, s.d_v.span());
+  write_vec(os, s.d_w.span());
+  write_vec(os, s.d_x.span());
+  write_vec(os, s.d_var.span());
+  write_pod(os, static_cast<std::uint64_t>(s.iteration_seconds.size()));
+  os.write(reinterpret_cast<const char*>(s.iteration_seconds.data()),
+           static_cast<std::streamsize>(s.iteration_seconds.size() *
+                                        sizeof(double)));
+  for (const auto* hist :
+       {&s.rnorm_history, &s.arnorm_history, &s.xnorm_history})
+    write_vec(os, std::span<const real>(hist->data(), hist->size()));
+  GAIA_CHECK(os.good(), "checkpoint write failed");
+}
+
+void LsqrEngine::checkpoint(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  GAIA_CHECK(f.good(), "cannot open checkpoint for writing: " + path);
+  checkpoint(f);
+}
+
+void LsqrEngine::restore(std::istream& is) {
+  Impl& s = *impl_;
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  GAIA_CHECK(is.good() &&
+                 std::memcmp(magic, kCheckpointMagic, sizeof(magic)) == 0,
+             "not a gaia LSQR checkpoint");
+  GAIA_CHECK(read_pod<std::uint64_t>(is) == s.fingerprint(),
+             "checkpoint does not match this system/options");
+  s.itn = read_pod<std::int64_t>(is);
+  s.finished = read_pod<std::uint8_t>(is) != 0;
+  s.istop = static_cast<LsqrStop>(read_pod<std::int32_t>(is));
+  for (real* v : {&s.alpha, &s.beta, &s.bnorm, &s.rhobar, &s.phibar,
+                  &s.rnorm, &s.arnorm, &s.anorm, &s.acond, &s.ddnorm,
+                  &s.res2, &s.xnorm, &s.xxnorm, &s.z, &s.cs2, &s.sn2})
+    *v = read_pod<real>(is);
+  read_vec(is, s.d_u.span());
+  read_vec(is, s.d_v.span());
+  read_vec(is, s.d_w.span());
+  read_vec(is, s.d_x.span());
+  read_vec(is, s.d_var.span());
+  const auto n_times = read_pod<std::uint64_t>(is);
+  s.iteration_seconds.resize(n_times);
+  is.read(reinterpret_cast<char*>(s.iteration_seconds.data()),
+          static_cast<std::streamsize>(n_times * sizeof(double)));
+  GAIA_CHECK(is.good(), "truncated checkpoint");
+  for (auto* hist : {&s.rnorm_history, &s.arnorm_history, &s.xnorm_history}) {
+    const auto n_hist = read_pod<std::uint64_t>(is);
+    hist->resize(n_hist);
+    is.read(reinterpret_cast<char*>(hist->data()),
+            static_cast<std::streamsize>(n_hist * sizeof(real)));
+    GAIA_CHECK(is.good(), "truncated checkpoint");
+  }
+  sync_mirrors();
+}
+
+void LsqrEngine::restore(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  GAIA_CHECK(f.good(), "cannot open checkpoint for reading: " + path);
+  restore(f);
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,71 @@
+#include "core/outer_loop.hpp"
+
+#include <cmath>
+#include <span>
+
+namespace gaia::core {
+
+OuterLoopResult robust_solve(const matrix::SystemMatrix& A,
+                             const OuterLoopOptions& options) {
+  GAIA_CHECK(options.max_outer_iterations >= 1,
+             "need at least one outer iteration");
+  const auto n_rows = static_cast<std::size_t>(A.n_rows());
+
+  OuterLoopResult result;
+  result.weights.assign(n_rows, real{1});
+
+  // The robust scale is estimated once, from the first solve's
+  // residuals, and then frozen: re-estimating it every round makes the
+  // borderline-outlier set churn and the IRLS iteration oscillate.
+  HuberConfig huber = options.huber;
+
+  for (int outer = 0; outer < options.max_outer_iterations; ++outer) {
+    ++result.outer_iterations;
+
+    // Weighted copy of the pristine system (weights compose across
+    // outer iterations through result.weights).
+    matrix::SystemMatrix weighted = A;
+    bool any_weighting = false;
+    for (real w : result.weights) any_weighting |= (w != real{1});
+    if (any_weighting) apply_row_weights(weighted, result.weights);
+
+    result.solution = lsqr_solve(weighted, options.lsqr);
+
+    // Residuals of the *unweighted* system: outliers are judged in
+    // observation units, not down-weighted units.
+    const auto residuals = compute_residuals(A, result.solution.x);
+    // Constraint rows are never down-weighted (production keeps them
+    // pinned): judge observation rows only.
+    const auto obs_residuals =
+        std::span<const real>(residuals).subspan(
+            0, static_cast<std::size_t>(A.n_obs()));
+    if (outer == 0 && huber.sigma_unit <= 0)
+      huber.sigma_unit = robust_scale(obs_residuals);
+    const auto factors = huber_factors(obs_residuals, huber);
+
+    std::vector<real> new_weights(n_rows, real{1});
+    std::int64_t downweighted = 0;
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      new_weights[i] = factors[i];
+      downweighted += (factors[i] < real{1});
+    }
+    result.downweighted_rows.push_back(downweighted);
+
+    double rms = 0;
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      const double d = new_weights[i] - result.weights[i];
+      rms += d * d;
+    }
+    rms = std::sqrt(rms / static_cast<double>(n_rows));
+    result.weight_rms_change.push_back(rms);
+    result.weights = std::move(new_weights);
+
+    if (rms < options.weight_change_tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace gaia::core

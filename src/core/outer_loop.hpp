@@ -1,0 +1,46 @@
+/// \file outer_loop.hpp
+/// \brief Iterated robust re-weighting around the LSQR solver — the
+/// outer loop the AGIS-style pipelines run (paper Fig. 1: the solver is
+/// embedded between the weights stage and the residual analysis).
+///
+/// Each outer iteration solves the (currently weighted) system, computes
+/// the residuals, derives Huber factors from them and re-weights; the
+/// loop converges when the active-outlier set stabilizes (the weights
+/// stop changing materially).
+#pragma once
+
+#include <vector>
+
+#include "core/lsqr.hpp"
+#include "core/weights.hpp"
+
+namespace gaia::core {
+
+struct OuterLoopOptions {
+  LsqrOptions lsqr{};
+  HuberConfig huber{};
+  /// Maximum outer iterations (production pipelines use a handful).
+  int max_outer_iterations = 5;
+  /// Converged when the rms change of the weight factors drops below
+  /// this threshold. (A single borderline row toggling its Huber factor
+  /// moves the rms by ~0.1/sqrt(n_rows), so the tolerance is deliberately
+  /// coarse.)
+  real weight_change_tol = 1e-2;
+};
+
+struct OuterLoopResult {
+  LsqrResult solution;             ///< final inner solve
+  std::vector<real> weights;       ///< final combined weight per row
+  int outer_iterations = 0;
+  bool converged = false;
+  /// Per-outer-iteration diagnostics.
+  std::vector<double> weight_rms_change;
+  std::vector<std::int64_t> downweighted_rows;
+};
+
+/// Runs the re-weighted solve. The input system is not modified; the
+/// weighted copies live inside the loop.
+OuterLoopResult robust_solve(const matrix::SystemMatrix& A,
+                             const OuterLoopOptions& options = {});
+
+}  // namespace gaia::core

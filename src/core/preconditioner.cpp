@@ -1,0 +1,66 @@
+#include "core/preconditioner.hpp"
+
+#include <cmath>
+
+namespace gaia::core {
+
+using matrix::kAstroCoeffOffset;
+using matrix::kAttCoeffOffset;
+using matrix::kGlobCoeffOffset;
+using matrix::kInstrCoeffOffset;
+
+namespace {
+
+/// Visits every (column, coefficient reference) pair of a row.
+template <typename F>
+void for_each_entry(matrix::SystemMatrix& A, F&& f) {
+  const matrix::ParameterLayout& lay = A.layout();
+  auto vals = A.values();
+  const auto ia = A.matrix_index_astro();
+  const auto it = A.matrix_index_att();
+  const auto ic = A.instr_col();
+  for (row_index r = 0; r < A.n_rows(); ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    real* rv = vals.data() + ri * kNnzPerRow;
+    for (int i = 0; i < kAstroNnzPerRow; ++i)
+      f(ia[ri] + i, rv[kAstroCoeffOffset + i]);
+    for (int blk = 0; blk < kAttBlocks; ++blk)
+      for (int i = 0; i < kAttBlockSize; ++i)
+        f(lay.att_offset() + it[ri] + blk * lay.att_stride() + i,
+          rv[kAttCoeffOffset + blk * kAttBlockSize + i]);
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      f(lay.instr_offset() + ic[ri * kInstrNnzPerRow + i],
+        rv[kInstrCoeffOffset + i]);
+    if (lay.has_global()) f(lay.glob_offset(), rv[kGlobCoeffOffset]);
+  }
+}
+
+}  // namespace
+
+std::vector<real> column_norms(const matrix::SystemMatrix& A) {
+  std::vector<real> norms(static_cast<std::size_t>(A.n_cols()), real{0});
+  // const_cast is safe: the visitor only reads when f takes by value; we
+  // keep one mutable visitor to avoid duplicating the traversal.
+  auto& mutable_A = const_cast<matrix::SystemMatrix&>(A);
+  for_each_entry(mutable_A, [&](col_index c, real& v) {
+    norms[static_cast<std::size_t>(c)] += v * v;
+  });
+  for (auto& n : norms) n = n > real{0} ? std::sqrt(n) : real{1};
+  return norms;
+}
+
+void apply_column_scaling(matrix::SystemMatrix& A,
+                          std::span<const real> norms) {
+  GAIA_CHECK(static_cast<col_index>(norms.size()) == A.n_cols(),
+             "column-norm vector size mismatch");
+  for_each_entry(A, [&](col_index c, real& v) {
+    v /= norms[static_cast<std::size_t>(c)];
+  });
+}
+
+void unscale_solution(std::span<real> x, std::span<const real> norms) {
+  GAIA_CHECK(x.size() == norms.size(), "unscale size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] /= norms[i];
+}
+
+}  // namespace gaia::core

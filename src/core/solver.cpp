@@ -1,0 +1,49 @@
+#include "core/solver.hpp"
+
+#include <sstream>
+
+#include "util/stopwatch.hpp"
+#include "util/string_utils.hpp"
+
+namespace gaia::core {
+
+SolverRunReport run_solver(const SolverRunConfig& config) {
+  util::Stopwatch watch;
+
+  matrix::GeneratorConfig gen_cfg =
+      config.generator.has_value()
+          ? *config.generator
+          : matrix::config_for_footprint(config.footprint_bytes, config.seed);
+
+  matrix::GeneratedSystem generated = matrix::generate_system(gen_cfg);
+  SolverRunReport report;
+  report.generation_seconds = watch.elapsed_s();
+  report.layout = generated.A.layout();
+  report.n_obs = generated.A.n_obs();
+  report.n_constraints = generated.A.n_constraints();
+  report.system_bytes = generated.A.footprint_bytes();
+
+  watch.reset();
+  report.result = lsqr_solve(generated.A, config.lsqr);
+  report.solve_seconds = watch.elapsed_s();
+  return report;
+}
+
+std::string SolverRunReport::summary() const {
+  std::ostringstream os;
+  os << "system: " << n_obs << " observations + " << n_constraints
+     << " constraints x " << layout.n_unknowns() << " unknowns ("
+     << layout.n_stars() << " stars), footprint "
+     << util::format_bytes(system_bytes) << '\n';
+  os << "solve:  " << result.iterations << " iterations, stop: \""
+     << to_string(result.istop) << "\"\n";
+  os << "        mean iteration time "
+     << util::format_seconds(result.mean_iteration_s) << ", total solve "
+     << util::format_seconds(solve_seconds) << '\n';
+  os << "        estimates: |A|=" << result.anorm
+     << " cond(A)=" << result.acond << " |r|=" << result.rnorm
+     << " |A'r|=" << result.arnorm << " |x|=" << result.xnorm << '\n';
+  return os.str();
+}
+
+}  // namespace gaia::core

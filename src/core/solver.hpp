@@ -1,0 +1,46 @@
+/// \file solver.hpp
+/// \brief High-level AVU-GSR solver run — the `solvergaiaSim` analog.
+///
+/// The paper's artifact is a single binary that (i) generates a synthetic
+/// system of a requested size in GB from a seed, (ii) runs the LSQR for
+/// a fixed number of iterations on the selected framework, and (iii)
+/// reports the average iteration time. This facade packages that flow
+/// for the examples and benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/lsqr.hpp"
+#include "matrix/generator.hpp"
+
+namespace gaia::core {
+
+struct SolverRunConfig {
+  /// Either an explicit generator configuration...
+  std::optional<matrix::GeneratorConfig> generator;
+  /// ...or a target memory footprint the generator is sized for.
+  byte_size footprint_bytes = 16 * kMiB;
+  std::uint64_t seed = 0x6761696173696dull;
+
+  LsqrOptions lsqr{};
+};
+
+struct SolverRunReport {
+  LsqrResult result;
+  matrix::ParameterLayout layout;
+  row_index n_obs = 0;
+  row_index n_constraints = 0;
+  byte_size system_bytes = 0;
+  double generation_seconds = 0;
+  double solve_seconds = 0;
+
+  /// One-paragraph human summary (examples print it verbatim).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Generates the system and solves it per the configuration.
+SolverRunReport run_solver(const SolverRunConfig& config);
+
+}  // namespace gaia::core

@@ -1,0 +1,57 @@
+/// \file system_view.hpp
+/// \brief Non-owning, kernel-side view of the system data.
+///
+/// Kernels receive raw pointers plus layout scalars — the same contract a
+/// CUDA kernel has after the one-time host-to-device copy. Building a
+/// view from `DeviceBuffer`s (device residency) or straight from a
+/// `SystemMatrix` (tests) is equally valid.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/system_matrix.hpp"
+#include "util/types.hpp"
+
+namespace gaia::core {
+
+struct SystemView {
+  row_index n_rows = 0;   ///< observation + constraint rows
+  row_index n_obs = 0;    ///< observation rows only
+  row_index n_stars = 0;
+  col_index n_cols = 0;
+
+  const real* values = nullptr;            ///< n_rows * kNnzPerRow
+  const col_index* idx_astro = nullptr;    ///< n_rows
+  const col_index* idx_att = nullptr;      ///< n_rows
+  const std::int32_t* instr_col = nullptr; ///< n_rows * kInstrNnzPerRow
+  const row_index* star_row_start = nullptr;  ///< n_stars + 1
+
+  col_index att_offset = 0;
+  col_index att_stride = 0;
+  col_index instr_offset = 0;
+  col_index glob_offset = 0;
+  bool has_global = false;
+
+  /// View over host-resident system data (test/reference path).
+  static SystemView from(const matrix::SystemMatrix& A) {
+    const matrix::ParameterLayout& lay = A.layout();
+    SystemView v;
+    v.n_rows = A.n_rows();
+    v.n_obs = A.n_obs();
+    v.n_stars = lay.n_stars();
+    v.n_cols = A.n_cols();
+    v.values = A.values().data();
+    v.idx_astro = A.matrix_index_astro().data();
+    v.idx_att = A.matrix_index_att().data();
+    v.instr_col = A.instr_col().data();
+    v.star_row_start = A.star_row_start().data();
+    v.att_offset = lay.att_offset();
+    v.att_stride = lay.att_stride();
+    v.instr_offset = lay.instr_offset();
+    v.glob_offset = lay.glob_offset();
+    v.has_global = lay.has_global();
+    return v;
+  }
+};
+
+}  // namespace gaia::core

@@ -1,0 +1,92 @@
+#include "core/weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace gaia::core {
+
+void apply_row_weights(matrix::SystemMatrix& A,
+                       std::span<const real> weights) {
+  GAIA_CHECK(static_cast<row_index>(weights.size()) == A.n_rows(),
+             "one weight per row required");
+  auto vals = A.values();
+  auto b = A.known_terms();
+  for (row_index r = 0; r < A.n_rows(); ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    const real w = weights[ri];
+    GAIA_CHECK(w > 0, "weights must be positive");
+    real* rv = vals.data() + ri * kNnzPerRow;
+    for (int i = 0; i < kNnzPerRow; ++i) rv[i] *= w;
+    b[ri] *= w;
+  }
+}
+
+std::vector<real> weights_from_formal_errors(std::span<const real> sigmas) {
+  std::vector<real> w(sigmas.size());
+  for (std::size_t i = 0; i < sigmas.size(); ++i) {
+    GAIA_CHECK(sigmas[i] > 0, "formal errors must be positive");
+    w[i] = real{1} / sigmas[i];
+  }
+  return w;
+}
+
+real robust_scale(std::span<const real> residuals) {
+  std::vector<double> abs_r(residuals.size());
+  for (std::size_t i = 0; i < residuals.size(); ++i)
+    abs_r[i] = std::abs(residuals[i]);
+  const real s = static_cast<real>(1.4826 * util::median(abs_r));
+  return s > 0 ? s : real{1};  // all-zero residuals: no downweighting
+}
+
+std::vector<real> huber_factors(std::span<const real> residuals,
+                                const HuberConfig& config) {
+  GAIA_CHECK(config.k > 0, "huber threshold must be positive");
+  const real s =
+      config.sigma_unit > 0 ? config.sigma_unit : robust_scale(residuals);
+  const real cut = config.k * s;
+  std::vector<real> factors(residuals.size(), real{1});
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    const real a = std::abs(residuals[i]);
+    if (a > cut) factors[i] = cut / a;
+  }
+  return factors;
+}
+
+std::vector<real> compute_residuals(const matrix::SystemMatrix& A,
+                                    std::span<const real> x) {
+  GAIA_CHECK(static_cast<col_index>(x.size()) == A.n_cols(),
+             "solution size mismatch");
+  const matrix::ParameterLayout& lay = A.layout();
+  const auto vals = A.values();
+  const auto ia = A.matrix_index_astro();
+  const auto it = A.matrix_index_att();
+  const auto ic = A.instr_col();
+  const auto b = A.known_terms();
+  std::vector<real> res(static_cast<std::size_t>(A.n_rows()));
+  for (row_index rr = 0; rr < A.n_rows(); ++rr) {
+    const auto r = static_cast<std::size_t>(rr);
+    const real* rv = vals.data() + r * kNnzPerRow;
+    real sum = 0;
+    for (int i = 0; i < kAstroNnzPerRow; ++i)
+      sum += rv[matrix::kAstroCoeffOffset + i] *
+             x[static_cast<std::size_t>(ia[r] + i)];
+    for (int blk = 0; blk < kAttBlocks; ++blk)
+      for (int i = 0; i < kAttBlockSize; ++i)
+        sum += rv[matrix::kAttCoeffOffset + blk * kAttBlockSize + i] *
+               x[static_cast<std::size_t>(lay.att_offset() + it[r] +
+                                          blk * lay.att_stride() + i)];
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      sum += rv[matrix::kInstrCoeffOffset + i] *
+             x[static_cast<std::size_t>(
+                 lay.instr_offset() + ic[r * kInstrNnzPerRow + i])];
+    if (lay.has_global())
+      sum += rv[matrix::kGlobCoeffOffset] *
+             x[static_cast<std::size_t>(lay.glob_offset())];
+    res[r] = sum - b[r];
+  }
+  return res;
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,54 @@
+/// \file weights.hpp
+/// \brief Observation weighting — the pipeline's "Weights Calculation"
+/// stage (paper Fig. 1).
+///
+/// The production pipeline solves a *weighted* least-squares problem:
+/// each observation equation is scaled by w_i = 1/sigma_i (formal
+/// measurement error), optionally tempered by a robust (Huber-style)
+/// factor computed from the previous outer iteration's residuals to
+/// deactivate outliers. Row scaling commutes with everything downstream
+/// (LSQR just sees a different A and b), so the stage is a pre-pass over
+/// the system.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/system_matrix.hpp"
+
+namespace gaia::core {
+
+/// In-place row scaling: row i of A and b_i are multiplied by w_i.
+/// Weights must be positive and cover every row (constraints included —
+/// production keeps constraint weights at 1).
+void apply_row_weights(matrix::SystemMatrix& A,
+                       std::span<const real> weights);
+
+/// Formal weights from per-observation standard errors: w = 1/sigma.
+std::vector<real> weights_from_formal_errors(
+    std::span<const real> sigmas);
+
+struct HuberConfig {
+  /// Residuals beyond k * sigma_unit are downweighted (AGIS uses ~3).
+  real k = 3.0;
+  /// Robust scale estimate of the residuals; <= 0 means "estimate from
+  /// the median absolute deviation".
+  real sigma_unit = 0.0;
+};
+
+/// Robust scale estimate of a residual sample: 1.4826 * MAD (a
+/// sigma-consistent estimator for gaussian cores). Returns 1 when the
+/// sample is degenerate (all zeros).
+real robust_scale(std::span<const real> residuals);
+
+/// Huber tempering factors from residuals: 1 inside the core, k*s/|r|
+/// outside. Returns one factor per residual.
+std::vector<real> huber_factors(std::span<const real> residuals,
+                                const HuberConfig& config = {});
+
+/// Convenience: residuals r = A x - b of a candidate solution (serial
+/// host computation; used by the outer re-weighting loop).
+std::vector<real> compute_residuals(const matrix::SystemMatrix& A,
+                                    std::span<const real> x);
+
+}  // namespace gaia::core

@@ -1,0 +1,101 @@
+#include "dist/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace gaia::dist {
+
+World::World(int size) : size_(size) {
+  GAIA_CHECK(size_ >= 1, "world needs at least one rank");
+  barrier_ = std::make_unique<std::barrier<>>(size_);
+}
+
+void World::arrive_barrier() { barrier_->arrive_and_wait(); }
+
+void World::collective_reduce(int rank, std::span<real> data, ReduceOp op) {
+  const std::size_t n = data.size();
+  arrive_barrier();
+  if (rank == 0) reduce_buffer_.assign(static_cast<std::size_t>(size_) * n,
+                                       real{0});
+  arrive_barrier();
+  // Each rank publishes its contribution in its own slice: no locking,
+  // and the subsequent rank-ordered reduction is deterministic (the
+  // production MPI_Allreduce is reproducible for a fixed rank count).
+  std::copy(data.begin(), data.end(),
+            reduce_buffer_.begin() + static_cast<std::size_t>(rank) * n);
+  arrive_barrier();
+  for (std::size_t i = 0; i < n; ++i) {
+    real acc = reduce_buffer_[i];
+    for (int r = 1; r < size_; ++r) {
+      const real v = reduce_buffer_[static_cast<std::size_t>(r) * n + i];
+      switch (op) {
+        case ReduceOp::kSum:
+          acc += v;
+          break;
+        case ReduceOp::kMax:
+          acc = std::max(acc, v);
+          break;
+        case ReduceOp::kMin:
+          acc = std::min(acc, v);
+          break;
+      }
+    }
+    data[i] = acc;
+  }
+  arrive_barrier();
+}
+
+void World::collective_bcast(int rank, std::span<real> data, int root) {
+  GAIA_CHECK(root >= 0 && root < size_, "bcast root out of range");
+  arrive_barrier();
+  if (rank == root) bcast_source_ = data;
+  arrive_barrier();
+  if (rank != root)
+    std::copy(bcast_source_.begin(), bcast_source_.end(), data.begin());
+  arrive_barrier();
+}
+
+void Comm::barrier() { world_->arrive_barrier(); }
+
+void Comm::allreduce(std::span<real> data, ReduceOp op) {
+  world_->collective_reduce(rank_, data, op);
+}
+
+real Comm::allreduce(real value, ReduceOp op) {
+  allreduce(std::span<real>(&value, 1), op);
+  return value;
+}
+
+void Comm::bcast(std::span<real> data, int root) {
+  world_->collective_bcast(rank_, data, root);
+}
+
+void World::run(const std::function<void(Comm&)>& body) {
+  // Fresh barrier per collective epoch: a previous run may have dropped
+  // participants on error.
+  barrier_ = std::make_unique<std::barrier<>>(size_);
+  bcast_source_ = {};
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &body, &errors] {
+      Comm comm(this, r, size_);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Leave the barrier so surviving ranks cannot deadlock waiting
+        // for this one (their collective results are discarded anyway —
+        // run() rethrows below).
+        barrier_->arrive_and_drop();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace gaia::dist

@@ -1,0 +1,85 @@
+/// \file comm.hpp
+/// \brief In-process message-passing world (MPI stand-in).
+///
+/// The production solver distributes observations over MPI ranks; each
+/// rank runs the LSQR recurrences on its row slice and the ranks combine
+/// partial results with allreduce (paper SIV). The paper's P runs use a
+/// single GPU (= one rank), but the solver keeps the distributed
+/// structure, so we reproduce it: a `World` spawns N ranks as threads,
+/// and `Comm` gives each rank the usual rank/size/allreduce/bcast/
+/// barrier primitives over shared memory.
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace gaia::dist {
+
+enum class ReduceOp : std::uint8_t { kSum, kMax, kMin };
+
+class World;
+
+/// Per-rank communicator handle. Methods are collective: every rank of
+/// the world must call them in the same order (like MPI).
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Collective barrier.
+  void barrier();
+
+  /// In-place allreduce over doubles.
+  void allreduce(std::span<real> data, ReduceOp op);
+
+  /// Allreduce of one scalar (returns the reduced value on every rank).
+  real allreduce(real value, ReduceOp op);
+
+  /// Broadcast from `root` into `data` on every rank.
+  void bcast(std::span<real> data, int root);
+
+ private:
+  friend class World;
+  Comm(World* world, int rank, int size)
+      : world_(world), rank_(rank), size_(size) {}
+
+  World* world_;
+  int rank_;
+  int size_;
+};
+
+/// Launches `size` ranks, each running `body(comm)` on its own thread,
+/// and joins them. Exceptions from any rank are rethrown (first wins).
+class World {
+ public:
+  explicit World(int size);
+
+  /// Collective run. May be called multiple times sequentially.
+  void run(const std::function<void(Comm&)>& body);
+
+  [[nodiscard]] int size() const { return size_; }
+
+ private:
+  friend class Comm;
+
+  // Reduction scratch shared by the collectives.
+  void collective_reduce(int rank, std::span<real> data, ReduceOp op);
+  void collective_bcast(int rank, std::span<real> data, int root);
+  void arrive_barrier();
+
+  int size_;
+  std::unique_ptr<std::barrier<>> barrier_;
+  std::mutex reduce_mutex_;
+  std::vector<real> reduce_buffer_;
+  std::span<real> bcast_source_;
+};
+
+}  // namespace gaia::dist

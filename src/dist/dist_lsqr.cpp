@@ -1,0 +1,217 @@
+#include "dist/dist_lsqr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/preconditioner.hpp"
+#include "core/vector_ops.hpp"
+#include "util/stopwatch.hpp"
+
+namespace gaia::dist {
+
+using core::Aprod;
+using core::LsqrStop;
+using core::vaccumulate_sq;
+using core::vaxpy;
+using core::vdot;
+using core::vnorm;
+using core::vscale;
+using core::vxpby;
+
+DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
+                               const DistLsqrOptions& options) {
+  GAIA_CHECK(options.lsqr.max_iterations > 0, "need positive iterations");
+  const auto backend = options.lsqr.aprod.backend;
+  const auto n = static_cast<std::size_t>(A_in.n_cols());
+
+  // Global preconditioning before slicing: every rank must scale by the
+  // same (global) column norms.
+  std::vector<real> col_scale;
+  const matrix::SystemMatrix* A = &A_in;
+  matrix::SystemMatrix scaled;
+  if (options.lsqr.precondition) {
+    col_scale = core::column_norms(A_in);
+    scaled = A_in;
+    core::apply_column_scaling(scaled, col_scale);
+    A = &scaled;
+  }
+
+  DistLsqrResult result;
+  result.partition = partition_by_stars(*A, options.n_ranks);
+
+  // Rank-local slices built up front (production reads its slice from
+  // the distributed filesystem the same way).
+  std::vector<matrix::SystemMatrix> slices;
+  slices.reserve(static_cast<std::size_t>(options.n_ranks));
+  for (int r = 0; r < options.n_ranks; ++r)
+    slices.push_back(extract_rank_slice(*A, result.partition, r));
+
+  World world(options.n_ranks);
+  std::vector<double> iteration_max(
+      static_cast<std::size_t>(options.lsqr.max_iterations), 0.0);
+
+  world.run([&](Comm& comm) {
+    const matrix::SystemMatrix& local = slices[static_cast<std::size_t>(
+        comm.rank())];
+    const auto m_local = static_cast<std::size_t>(local.n_rows());
+
+    backends::DeviceContext device(options.lsqr.device_capacity,
+                                   "rank" + std::to_string(comm.rank()));
+    Aprod aprod(local, device, options.lsqr.aprod);
+
+    std::vector<real> u(local.known_terms().begin(),
+                        local.known_terms().end());
+    std::vector<real> v(n, real{0}), w(n, real{0}), x(n, real{0});
+    std::vector<real> scatter(n, real{0});
+    std::vector<real> var(options.lsqr.compute_std_errors ? n : 0, real{0});
+
+    auto global_norm_rows = [&](std::span<const real> local_vec) {
+      const real local_n = vnorm(local_vec);
+      return std::sqrt(comm.allreduce(local_n * local_n, ReduceOp::kSum));
+    };
+    auto apply2_global = [&](std::span<const real> y_local,
+                             std::span<real> target, real scale_target) {
+      std::fill(scatter.begin(), scatter.end(), real{0});
+      aprod.apply2(y_local, scatter);
+      comm.allreduce(scatter, ReduceOp::kSum);
+      if (scale_target != real{1}) vscale(backend, target, scale_target);
+      vaxpy(backend, target, real{1}, scatter);
+    };
+
+    // --- bidiagonalization start ----------------------------------------
+    real beta = global_norm_rows(u);
+    real alpha = 0;
+    if (beta > 0) {
+      vscale(backend, u, real{1} / beta);
+      apply2_global(u, v, real{1});  // v = A^T u (v starts zero)
+      alpha = vnorm(v);              // v replicated: local == global
+    }
+    if (alpha > 0) {
+      vscale(backend, v, real{1} / alpha);
+      std::copy(v.begin(), v.end(), w.begin());
+    }
+
+    const real bnorm = beta;
+    const real damp = options.lsqr.damp;
+    real rhobar = alpha, phibar = beta;
+    real rnorm = beta, arnorm = alpha * beta;
+    real anorm = 0, acond = 0, ddnorm = 0, res2 = 0, xnorm = 0, xxnorm = 0;
+    real z = 0, cs2 = -1, sn2 = 0;
+    LsqrStop istop = LsqrStop::kIterationLimit;
+    std::int64_t itn = 0;
+
+    if (arnorm > 0) {
+      util::Stopwatch watch;
+      while (itn < options.lsqr.max_iterations) {
+        ++itn;
+        watch.reset();
+
+        vscale(backend, u, -alpha);
+        aprod.apply1(v, u);
+        beta = global_norm_rows(u);
+        if (beta > 0) {
+          vscale(backend, u, real{1} / beta);
+          anorm = std::sqrt(anorm * anorm + alpha * alpha + beta * beta +
+                            damp * damp);
+          apply2_global(u, v, -beta);  // v = A^T u - beta v
+          alpha = vnorm(v);
+          if (alpha > 0) vscale(backend, v, real{1} / alpha);
+        }
+
+        const real rhobar1 = std::sqrt(rhobar * rhobar + damp * damp);
+        const real cs1 = rhobar / rhobar1;
+        const real psi = (damp / rhobar1) * phibar;
+        phibar = cs1 * phibar;
+
+        const real rho = std::sqrt(rhobar1 * rhobar1 + beta * beta);
+        const real cs = rhobar1 / rho;
+        const real sn = beta / rho;
+        const real theta = sn * alpha;
+        rhobar = -cs * alpha;
+        const real phi = cs * phibar;
+        phibar = sn * phibar;
+        const real tau = sn * phi;
+
+        if (options.lsqr.compute_std_errors)
+          vaccumulate_sq(backend, var, real{1} / rho, w);
+        ddnorm += (real{1} / rho) * (real{1} / rho) * vdot(w, w);
+        vaxpy(backend, x, phi / rho, w);
+        vxpby(backend, w, v, -theta / rho);
+
+        const real delta = sn2 * rho;
+        const real gambar = -cs2 * rho;
+        const real rhs = phi - delta * z;
+        xnorm = std::sqrt(xxnorm + (rhs / gambar) * (rhs / gambar));
+        const real gamma = std::sqrt(gambar * gambar + theta * theta);
+        cs2 = gambar / gamma;
+        sn2 = theta / gamma;
+        z = rhs / gamma;
+        xxnorm += z * z;
+
+        acond = anorm * std::sqrt(ddnorm);
+        res2 += psi * psi;
+        rnorm = std::sqrt(phibar * phibar + res2);
+        arnorm = alpha * std::abs(tau);
+
+        // Iteration wall time, maximized over ranks (paper Appendix B).
+        const double t_local = watch.elapsed_s();
+        const double t_max =
+            comm.allreduce(static_cast<real>(t_local), ReduceOp::kMax);
+        if (comm.rank() == 0)
+          iteration_max[static_cast<std::size_t>(itn - 1)] = t_max;
+
+        if (options.lsqr.atol > 0 || options.lsqr.btol > 0) {
+          const real test1 = rnorm / bnorm;
+          const real test2 =
+              anorm * rnorm > 0 ? arnorm / (anorm * rnorm) : real{0};
+          const real rtol =
+              options.lsqr.btol + options.lsqr.atol * anorm * xnorm / bnorm;
+          if (options.lsqr.atol > 0 && test2 <= options.lsqr.atol) {
+            istop = LsqrStop::kLeastSquares;
+            break;
+          }
+          if (test1 <= rtol) {
+            istop = LsqrStop::kAtolBtol;
+            break;
+          }
+        }
+      }
+    } else {
+      istop = LsqrStop::kXZero;
+    }
+
+    if (comm.rank() == 0) {
+      result.x = x;
+      if (options.lsqr.precondition)
+        core::unscale_solution(result.x, col_scale);
+      if (options.lsqr.compute_std_errors) {
+        result.std_errors = var;
+        // Degrees of freedom from the *global* row count.
+        const auto m_global = static_cast<std::size_t>(A->n_rows());
+        const real dof =
+            m_global > n ? static_cast<real>(m_global - n) : real{1};
+        const real s = rnorm / std::sqrt(dof);
+        for (auto& se : result.std_errors) se = s * std::sqrt(se);
+        if (options.lsqr.precondition)
+          core::unscale_solution(result.std_errors, col_scale);
+      }
+      result.istop = istop;
+      result.iterations = itn;
+      result.rnorm = rnorm;
+      result.anorm = anorm;
+      result.acond = acond;
+    }
+    (void)m_local;
+  });
+
+  iteration_max.resize(static_cast<std::size_t>(result.iterations));
+  result.iteration_seconds = iteration_max;
+  double total = 0;
+  for (double t : iteration_max) total += t;
+  result.mean_iteration_s =
+      iteration_max.empty() ? 0.0
+                            : total / static_cast<double>(iteration_max.size());
+  return result;
+}
+
+}  // namespace gaia::dist

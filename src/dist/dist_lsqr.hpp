@@ -1,0 +1,43 @@
+/// \file dist_lsqr.hpp
+/// \brief Distributed (multi-rank) LSQR — the MPI structure of the
+/// production solver over the in-process World.
+///
+/// Data placement mirrors production: u and the matrix rows are
+/// distributed by observation; x, v, w are replicated; every aprod2
+/// partial result is allreduce-summed; the recurrence scalars are
+/// computed from allreduced norms, so all ranks follow the same scalar
+/// trajectory. The reported iteration time is the *maximum over ranks*,
+/// exactly the paper's measurement rule (Appendix B).
+#pragma once
+
+#include "core/lsqr.hpp"
+#include "dist/comm.hpp"
+#include "dist/partition.hpp"
+
+namespace gaia::dist {
+
+struct DistLsqrOptions {
+  int n_ranks = 2;
+  core::LsqrOptions lsqr{};
+};
+
+struct DistLsqrResult {
+  std::vector<real> x;
+  std::vector<real> std_errors;
+  core::LsqrStop istop = core::LsqrStop::kIterationLimit;
+  std::int64_t iterations = 0;
+  real rnorm = 0;
+  real anorm = 0;
+  real acond = 0;
+  /// Mean over iterations of the per-iteration wall time maximized over
+  /// ranks (paper: "iteration time maximized among all MPI processes").
+  double mean_iteration_s = 0;
+  std::vector<double> iteration_seconds;
+  RowPartition partition;
+};
+
+/// Solves A x ~= A.known_terms() on `n_ranks` simulated MPI ranks.
+DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A,
+                               const DistLsqrOptions& options);
+
+}  // namespace gaia::dist

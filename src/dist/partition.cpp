@@ -1,0 +1,94 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+
+namespace gaia::dist {
+
+RowPartition partition_by_stars(const matrix::SystemMatrix& A, int n_ranks) {
+  GAIA_CHECK(n_ranks >= 1, "need at least one rank");
+  const row_index n_stars = A.layout().n_stars();
+  GAIA_CHECK(n_ranks <= n_stars, "more ranks than stars");
+
+  const auto starts = A.star_row_start();
+  RowPartition part;
+  part.n_ranks = n_ranks;
+  part.star_begin.resize(static_cast<std::size_t>(n_ranks) + 1);
+  part.row_begin.resize(static_cast<std::size_t>(n_ranks) + 1);
+  part.star_begin[0] = 0;
+  part.row_begin[0] = 0;
+
+  // Greedy row-balanced cuts at star boundaries: rank r's cut is the
+  // first star whose cumulative row count reaches (r+1)/n of the total.
+  const double total_rows = static_cast<double>(A.n_obs());
+  row_index star = 0;
+  for (int r = 0; r < n_ranks - 1; ++r) {
+    const double target = total_rows * (r + 1) / n_ranks;
+    while (star < n_stars &&
+           static_cast<double>(starts[static_cast<std::size_t>(star) + 1]) <
+               target) {
+      ++star;
+    }
+    // Leave enough stars for the remaining ranks.
+    star = std::min(star + 0, n_stars - (n_ranks - 1 - r));
+    star = std::max<row_index>(star, part.star_begin[static_cast<std::size_t>(r)] + 1);
+    part.star_begin[static_cast<std::size_t>(r) + 1] = star;
+    part.row_begin[static_cast<std::size_t>(r) + 1] =
+        starts[static_cast<std::size_t>(star)];
+  }
+  part.star_begin[static_cast<std::size_t>(n_ranks)] = n_stars;
+  part.row_begin[static_cast<std::size_t>(n_ranks)] = A.n_obs();
+  return part;
+}
+
+matrix::SystemMatrix extract_rank_slice(const matrix::SystemMatrix& A,
+                                        const RowPartition& part, int rank) {
+  GAIA_CHECK(rank >= 0 && rank < part.n_ranks, "rank out of range");
+  const bool last = rank == part.n_ranks - 1;
+  const row_index row_lo = part.row_begin[static_cast<std::size_t>(rank)];
+  const row_index row_hi = part.row_begin[static_cast<std::size_t>(rank) + 1];
+  const row_index n_local_obs = row_hi - row_lo;
+  const row_index n_local_constraints = last ? A.n_constraints() : 0;
+  GAIA_CHECK(n_local_obs > 0, "rank received no rows");
+
+  matrix::SystemMatrix S(A.layout(), n_local_obs, n_local_constraints);
+
+  auto copy_rows = [&](row_index src_begin, row_index dst_begin,
+                       row_index count) {
+    for (row_index i = 0; i < count; ++i) {
+      const auto src = static_cast<std::size_t>(src_begin + i);
+      const auto dst = static_cast<std::size_t>(dst_begin + i);
+      std::copy_n(A.values().data() + src * kNnzPerRow, kNnzPerRow,
+                  S.values().data() + dst * kNnzPerRow);
+      S.matrix_index_astro()[dst] = A.matrix_index_astro()[src];
+      S.matrix_index_att()[dst] = A.matrix_index_att()[src];
+      std::copy_n(A.instr_col().data() + src * kInstrNnzPerRow,
+                  kInstrNnzPerRow,
+                  S.instr_col().data() + dst * kInstrNnzPerRow);
+      S.known_terms()[dst] = A.known_terms()[src];
+    }
+  };
+  copy_rows(row_lo, 0, n_local_obs);
+  if (n_local_constraints > 0)
+    copy_rows(A.n_obs(), n_local_obs, n_local_constraints);
+
+  // Star partition over the full star space: stars before this rank own
+  // zero local rows, local stars own shifted ranges, stars after own
+  // zero rows (pinned at n_local_obs).
+  const auto g_starts = A.star_row_start();
+  auto l_starts = S.star_row_start();
+  const row_index star_lo = part.star_begin[static_cast<std::size_t>(rank)];
+  const row_index star_hi =
+      part.star_begin[static_cast<std::size_t>(rank) + 1];
+  for (row_index s = 0; s <= A.layout().n_stars(); ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    if (s <= star_lo)
+      l_starts[i] = 0;
+    else if (s >= star_hi)
+      l_starts[i] = n_local_obs;
+    else
+      l_starts[i] = g_starts[i] - row_lo;
+  }
+  return S;
+}
+
+}  // namespace gaia::dist

@@ -1,0 +1,45 @@
+/// \file partition.hpp
+/// \brief Observation partitioning across ranks.
+///
+/// The production code distributes observations over MPI ranks. The
+/// partition must respect star boundaries: a star's rows stay on one
+/// rank so the atomic-free star-parallel aprod2 astrometric kernel
+/// remains valid rank-locally. Constraint rows live on the last rank.
+#pragma once
+
+#include <vector>
+
+#include "matrix/system_matrix.hpp"
+
+namespace gaia::dist {
+
+struct RowPartition {
+  int n_ranks = 0;
+  /// star_begin[r]..star_begin[r+1] are rank r's stars (size n_ranks+1).
+  std::vector<row_index> star_begin;
+  /// row_begin[r]..row_begin[r+1] are rank r's observation rows.
+  std::vector<row_index> row_begin;
+
+  [[nodiscard]] row_index stars_of(int rank) const {
+    return star_begin[static_cast<std::size_t>(rank) + 1] -
+           star_begin[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] row_index rows_of(int rank) const {
+    return row_begin[static_cast<std::size_t>(rank) + 1] -
+           row_begin[static_cast<std::size_t>(rank)];
+  }
+};
+
+/// Balanced-by-rows partition along star boundaries. Every rank receives
+/// at least one star (throws if n_ranks > n_stars).
+RowPartition partition_by_stars(const matrix::SystemMatrix& A, int n_ranks);
+
+/// Extracts rank `rank`'s slice: local observation rows (plus, on the
+/// last rank, the constraint rows) over the *global* column layout.
+/// The star partition of the slice covers all stars; non-local stars
+/// simply own zero rows.
+matrix::SystemMatrix extract_rank_slice(const matrix::SystemMatrix& A,
+                                        const RowPartition& partition,
+                                        int rank);
+
+}  // namespace gaia::dist

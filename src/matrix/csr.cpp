@@ -1,0 +1,85 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace gaia::matrix {
+
+CsrMatrix to_csr(const SystemMatrix& A) {
+  const ParameterLayout& lay = A.layout();
+  CsrMatrix M;
+  M.n_rows = A.n_rows();
+  M.n_cols = A.n_cols();
+  M.row_ptr.reserve(static_cast<std::size_t>(M.n_rows) + 1);
+  M.row_ptr.push_back(0);
+
+  const auto vals = A.values();
+  const auto ia = A.matrix_index_astro();
+  const auto it = A.matrix_index_att();
+  const auto ic = A.instr_col();
+
+  std::array<std::pair<col_index, real>, kNnzPerRow> entries;
+  for (row_index rr = 0; rr < A.n_rows(); ++rr) {
+    const auto r = static_cast<std::size_t>(rr);
+    const real* rv = vals.data() + r * kNnzPerRow;
+    int n = 0;
+    for (int i = 0; i < kAstroNnzPerRow; ++i)
+      entries[n++] = {ia[r] + i, rv[kAstroCoeffOffset + i]};
+    for (int blk = 0; blk < kAttBlocks; ++blk)
+      for (int i = 0; i < kAttBlockSize; ++i)
+        entries[n++] = {lay.att_offset() + it[r] + blk * lay.att_stride() + i,
+                        rv[kAttCoeffOffset + blk * kAttBlockSize + i]};
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      entries[n++] = {lay.instr_offset() + ic[r * kInstrNnzPerRow + i],
+                      rv[kInstrCoeffOffset + i]};
+    if (lay.has_global())
+      entries[n++] = {lay.glob_offset(), rv[kGlobCoeffOffset]};
+
+    std::sort(entries.begin(), entries.begin() + n);
+    for (int i = 0; i < n; ++i) {
+      // Skip exact zeros (e.g. the silent blocks of constraint rows):
+      // CSR is a generic format, there is no reason to carry them.
+      if (entries[static_cast<std::size_t>(i)].second == real{0}) continue;
+      M.col_idx.push_back(entries[static_cast<std::size_t>(i)].first);
+      M.values.push_back(entries[static_cast<std::size_t>(i)].second);
+    }
+    M.row_ptr.push_back(static_cast<std::int64_t>(M.values.size()));
+  }
+  return M;
+}
+
+void csr_matvec(const CsrMatrix& M, std::span<const real> x,
+                std::span<real> y) {
+  GAIA_CHECK(static_cast<col_index>(x.size()) == M.n_cols,
+             "csr matvec x size mismatch");
+  GAIA_CHECK(static_cast<row_index>(y.size()) == M.n_rows,
+             "csr matvec y size mismatch");
+  for (row_index r = 0; r < M.n_rows; ++r) {
+    real sum = 0;
+    for (std::int64_t k = M.row_ptr[static_cast<std::size_t>(r)];
+         k < M.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      sum += M.values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(M.col_idx[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] += sum;
+  }
+}
+
+void csr_rmatvec(const CsrMatrix& M, std::span<const real> y,
+                 std::span<real> x) {
+  GAIA_CHECK(static_cast<row_index>(y.size()) == M.n_rows,
+             "csr rmatvec y size mismatch");
+  GAIA_CHECK(static_cast<col_index>(x.size()) == M.n_cols,
+             "csr rmatvec x size mismatch");
+  for (row_index r = 0; r < M.n_rows; ++r) {
+    const real yr = y[static_cast<std::size_t>(r)];
+    for (std::int64_t k = M.row_ptr[static_cast<std::size_t>(r)];
+         k < M.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      x[static_cast<std::size_t>(M.col_idx[static_cast<std::size_t>(k)])] +=
+          M.values[static_cast<std::size_t>(k)] * yr;
+    }
+  }
+}
+
+}  // namespace gaia::matrix

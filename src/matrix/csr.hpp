@@ -1,0 +1,54 @@
+/// \file csr.hpp
+/// \brief Interop with the generic CSR sparse format.
+///
+/// The AVU-GSR storage is *structure-exploiting*: one coefficient array
+/// plus two indices and the instrumental column list per row (paper
+/// SIII-B). Generic CSR needs an explicit column index per non-zero.
+/// This module converts between the two so that
+///  * downstream users can hand the system to standard sparse libraries,
+///  * tests can cross-check the custom kernels against a canonical SpMV,
+///  * the storage ablation (`bench/ablation_storage`) can quantify what
+///    the custom layout saves (the column-index payload and the implied
+///    bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/system_matrix.hpp"
+
+namespace gaia::matrix {
+
+/// Standard CSR: row_ptr has n_rows+1 entries; col_idx/values hold the
+/// nnz entries of each row sorted by column.
+struct CsrMatrix {
+  row_index n_rows = 0;
+  col_index n_cols = 0;
+  std::vector<std::int64_t> row_ptr;
+  std::vector<col_index> col_idx;
+  std::vector<real> values;
+
+  [[nodiscard]] std::int64_t nnz() const {
+    return static_cast<std::int64_t>(values.size());
+  }
+  /// Memory footprint of the CSR arrays.
+  [[nodiscard]] byte_size bytes() const {
+    return row_ptr.size() * sizeof(std::int64_t) +
+           col_idx.size() * sizeof(col_index) +
+           values.size() * sizeof(real);
+  }
+};
+
+/// Expands the structure-exploiting storage into CSR. Entries within a
+/// row come out sorted by column index.
+CsrMatrix to_csr(const SystemMatrix& A);
+
+/// y += M x (canonical CSR SpMV; serial reference).
+void csr_matvec(const CsrMatrix& M, std::span<const real> x,
+                std::span<real> y);
+
+/// x += M^T y (canonical CSR transposed SpMV; serial reference).
+void csr_rmatvec(const CsrMatrix& M, std::span<const real> y,
+                 std::span<real> x);
+
+}  // namespace gaia::matrix

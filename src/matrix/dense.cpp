@@ -1,0 +1,124 @@
+#include "matrix/dense.hpp"
+
+#include <cmath>
+
+namespace gaia::matrix {
+
+std::vector<real> to_dense(const SystemMatrix& A, byte_size max_bytes) {
+  const auto rows = static_cast<byte_size>(A.n_rows());
+  const auto cols = static_cast<byte_size>(A.n_cols());
+  GAIA_CHECK(rows * cols * sizeof(real) <= max_bytes,
+             "dense expansion would exceed the oracle size limit");
+
+  std::vector<real> M(static_cast<std::size_t>(rows * cols), real{0});
+  const ParameterLayout& lay = A.layout();
+  const auto vals = A.values();
+  const auto ia = A.matrix_index_astro();
+  const auto it = A.matrix_index_att();
+  const auto ic = A.instr_col();
+
+  for (row_index r = 0; r < A.n_rows(); ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    real* out = M.data() + ri * static_cast<std::size_t>(A.n_cols());
+    const real* rv = vals.data() + ri * kNnzPerRow;
+    for (int i = 0; i < kAstroNnzPerRow; ++i)
+      out[ia[ri] + i] += rv[kAstroCoeffOffset + i];
+    for (int blk = 0; blk < kAttBlocks; ++blk)
+      for (int i = 0; i < kAttBlockSize; ++i)
+        out[lay.att_offset() + it[ri] + blk * lay.att_stride() + i] +=
+            rv[kAttCoeffOffset + blk * kAttBlockSize + i];
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      out[lay.instr_offset() + ic[ri * kInstrNnzPerRow + i]] +=
+          rv[kInstrCoeffOffset + i];
+    if (lay.has_global()) out[lay.glob_offset()] += rv[kGlobCoeffOffset];
+  }
+  return M;
+}
+
+std::vector<real> dense_matvec(const std::vector<real>& M, row_index rows,
+                               col_index cols, std::span<const real> x) {
+  GAIA_CHECK(static_cast<col_index>(x.size()) == cols,
+             "matvec size mismatch");
+  std::vector<real> y(static_cast<std::size_t>(rows), real{0});
+  for (row_index r = 0; r < rows; ++r) {
+    const real* mr =
+        M.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols);
+    real sum = 0;
+    for (col_index c = 0; c < cols; ++c)
+      sum += mr[c] * x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+  return y;
+}
+
+std::vector<real> dense_rmatvec(const std::vector<real>& M, row_index rows,
+                                col_index cols, std::span<const real> x) {
+  GAIA_CHECK(static_cast<row_index>(x.size()) == rows,
+             "rmatvec size mismatch");
+  std::vector<real> y(static_cast<std::size_t>(cols), real{0});
+  for (row_index r = 0; r < rows; ++r) {
+    const real* mr =
+        M.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols);
+    const real xr = x[static_cast<std::size_t>(r)];
+    for (col_index c = 0; c < cols; ++c)
+      y[static_cast<std::size_t>(c)] += mr[c] * xr;
+  }
+  return y;
+}
+
+std::vector<real> dense_least_squares(const std::vector<real>& M,
+                                      row_index rows, col_index cols,
+                                      std::span<const real> b, real damp) {
+  GAIA_CHECK(static_cast<row_index>(b.size()) == rows,
+             "least-squares rhs size mismatch");
+  const auto n = static_cast<std::size_t>(cols);
+
+  // Normal matrix N = M^T M + damp^2 I and rhs g = M^T b.
+  std::vector<real> N(n * n, real{0});
+  for (row_index r = 0; r < rows; ++r) {
+    const real* mr = M.data() + static_cast<std::size_t>(r) * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mr[i] == real{0}) continue;
+      for (std::size_t j = i; j < n; ++j) N[i * n + j] += mr[i] * mr[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    N[i * n + i] += damp * damp;
+    for (std::size_t j = 0; j < i; ++j) N[i * n + j] = N[j * n + i];
+  }
+  std::vector<real> g = dense_rmatvec(M, rows, cols, b);
+
+  // Cholesky N = L L^T (N is SPD when M has full column rank or damp > 0).
+  std::vector<real> L(n * n, real{0});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      real sum = N[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= L[i * n + k] * L[j * n + k];
+      if (i == j) {
+        GAIA_CHECK(sum > real{0},
+                   "normal matrix not positive definite (rank deficient "
+                   "system; add constraints or damping)");
+        L[i * n + i] = std::sqrt(sum);
+      } else {
+        L[i * n + j] = sum / L[j * n + j];
+      }
+    }
+  }
+
+  // Forward/backward substitution.
+  std::vector<real> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    real sum = g[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= L[i * n + k] * y[k];
+    y[i] = sum / L[i * n + i];
+  }
+  std::vector<real> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    real sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= L[k * n + ii] * x[k];
+    x[ii] = sum / L[ii * n + ii];
+  }
+  return x;
+}
+
+}  // namespace gaia::matrix

@@ -1,0 +1,37 @@
+/// \file dense.hpp
+/// \brief Dense expansion of the compressed system — the test oracle.
+///
+/// The compressed kernels (aprod1/aprod2) are verified against a plain
+/// dense matrix built by scattering each row's 24 coefficients into an
+/// n_rows x n_cols buffer. Only usable for small test systems.
+#pragma once
+
+#include <vector>
+
+#include "matrix/system_matrix.hpp"
+
+namespace gaia::matrix {
+
+/// Row-major dense expansion (n_rows x n_cols doubles). Throws if the
+/// dense buffer would exceed `max_bytes` (default 256 MiB) — the oracle
+/// is for tests, not production sizes.
+std::vector<real> to_dense(const SystemMatrix& A,
+                           byte_size max_bytes = 256 * kMiB);
+
+/// Dense y = M x with M given row-major as rows x cols.
+std::vector<real> dense_matvec(const std::vector<real>& M, row_index rows,
+                               col_index cols, std::span<const real> x);
+
+/// Dense y = M^T x.
+std::vector<real> dense_rmatvec(const std::vector<real>& M, row_index rows,
+                                col_index cols, std::span<const real> x);
+
+/// Solves the normal equations (M^T M + damp^2 I) x = M^T b by dense
+/// Cholesky — the reference least-squares solution LSQR must agree with.
+/// Throws gaia::Error if the normal matrix is numerically singular.
+std::vector<real> dense_least_squares(const std::vector<real>& M,
+                                      row_index rows, col_index cols,
+                                      std::span<const real> b,
+                                      real damp = 0);
+
+}  // namespace gaia::matrix

@@ -1,0 +1,230 @@
+#include "matrix/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace gaia::matrix {
+
+namespace {
+
+/// Draws `kInstrNnzPerRow` distinct instrumental columns. The section is
+/// small relative to the draw count in tests, so use rejection over a
+/// fixed-size set (cheap: at most 6 live values).
+void draw_instr_columns(util::Xoshiro256& rng, col_index n_instr,
+                        std::span<std::int32_t> out) {
+  std::array<std::int32_t, kInstrNnzPerRow> picked{};
+  int count = 0;
+  while (count < kInstrNnzPerRow) {
+    const auto c = static_cast<std::int32_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(n_instr)));
+    bool duplicate = false;
+    for (int i = 0; i < count; ++i) duplicate |= (picked[i] == c);
+    if (!duplicate) picked[count++] = c;
+  }
+  // Sorted columns give the kernels the (mostly) ascending access pattern
+  // real calibration tables exhibit.
+  std::sort(picked.begin(), picked.end());
+  std::copy(picked.begin(), picked.end(), out.begin());
+}
+
+}  // namespace
+
+GeneratedSystem generate_system(const GeneratorConfig& config) {
+  GAIA_CHECK(config.n_stars > 0, "generator needs stars");
+  GAIA_CHECK(config.obs_per_star_min >= 1, "stars need observations");
+  GAIA_CHECK(config.obs_per_star_mean >=
+                 static_cast<double>(config.obs_per_star_min),
+             "mean observations below minimum");
+
+  util::Xoshiro256 rng(config.seed);
+
+  const ParameterLayout layout(config.n_stars, kAttBlocks,
+                               config.att_dof_per_axis,
+                               config.n_instr_params, config.has_global);
+
+  // --- observation counts per star -------------------------------------
+  std::vector<row_index> obs_per_star(
+      static_cast<std::size_t>(config.n_stars));
+  row_index n_obs = 0;
+  for (auto& n : obs_per_star) {
+    const double jitter = rng.normal(0.0, config.obs_per_star_mean * 0.25);
+    n = std::max<row_index>(
+        config.obs_per_star_min,
+        static_cast<row_index>(
+            std::llround(config.obs_per_star_mean + jitter)));
+    n_obs += n;
+  }
+
+  const row_index n_constraints =
+      config.constraints_per_axis * kAttBlocks;
+  SystemMatrix A(layout, n_obs, n_constraints);
+
+  // Star partition (contiguous rows per star).
+  {
+    auto starts = A.star_row_start();
+    starts[0] = 0;
+    for (std::size_t s = 0; s < obs_per_star.size(); ++s)
+      starts[s + 1] = starts[s] + obs_per_star[s];
+  }
+
+  auto values = A.values();
+  auto idx_astro = A.matrix_index_astro();
+  auto idx_att = A.matrix_index_att();
+  auto instr = A.instr_col();
+  auto b = A.known_terms();
+
+  // Attitude block starts drift along the spline as observation time
+  // advances (the "stride stemming from the measurement campaign"): the
+  // row's position in the global observation sequence selects the knot.
+  const col_index att_span = layout.att_stride() - kAttBlockSize;  // >= 0
+
+  // --- observation rows --------------------------------------------------
+  row_index row = 0;
+  for (row_index s = 0; s < config.n_stars; ++s) {
+    for (row_index k = 0; k < obs_per_star[static_cast<std::size_t>(s)];
+         ++k, ++row) {
+      const auto r = static_cast<std::size_t>(row);
+      idx_astro[r] = s * kAstroParamsPerStar;
+
+      const double phase =
+          n_obs > 1 ? static_cast<double>(row) / static_cast<double>(n_obs - 1)
+                    : 0.0;
+      col_index t0 = att_span > 0
+                         ? static_cast<col_index>(std::llround(
+                               phase * static_cast<double>(att_span)))
+                         : 0;
+      // Small jitter keeps neighbouring rows from all hitting the same
+      // knot (it is what makes the aprod2 attitude updates collide).
+      if (att_span > 0) {
+        const auto j = static_cast<col_index>(rng.uniform_index(3)) - 1;
+        t0 = std::clamp<col_index>(t0 + j, 0, att_span);
+      }
+      idx_att[r] = t0;
+
+      draw_instr_columns(
+          rng, layout.n_instr_params(),
+          instr.subspan(r * kInstrNnzPerRow, kInstrNnzPerRow));
+
+      auto rv = A.row_values(row);
+      for (int i = 0; i < kAstroNnzPerRow; ++i)
+        rv[kAstroCoeffOffset + i] = rng.normal();
+      for (int i = 0; i < kAttNnzPerRow; ++i)
+        rv[kAttCoeffOffset + i] = rng.normal(0.0, 0.5);
+      for (int i = 0; i < kInstrNnzPerRow; ++i)
+        rv[kInstrCoeffOffset + i] = rng.normal(0.0, 0.5);
+      rv[kGlobCoeffOffset] =
+          config.has_global ? rng.normal(0.0, 0.1) : real{0};
+    }
+  }
+
+  // --- constraint rows ----------------------------------------------------
+  // One (or more) per attitude axis: sum of that axis' spline coefficients
+  // pinned to zero, removing the attitude nullspace. All other blocks are
+  // structurally present but zero-valued, keeping the kernels uniform.
+  for (row_index c = 0; c < n_constraints; ++c, ++row) {
+    const auto r = static_cast<std::size_t>(row);
+    const int axis = static_cast<int>(c % kAttBlocks);
+    idx_astro[r] = 0;
+    idx_att[r] = 0;
+    draw_instr_columns(rng, layout.n_instr_params(),
+                       instr.subspan(r * kInstrNnzPerRow, kInstrNnzPerRow));
+    auto rv = A.row_values(row);
+    for (int i = 0; i < kAttBlockSize; ++i)
+      rv[kAttCoeffOffset + axis * kAttBlockSize + i] = real{1};
+    b[r] = real{0};
+  }
+
+  // --- right-hand side -----------------------------------------------------
+  GeneratedSystem out{std::move(A), std::nullopt};
+  if (config.rhs_mode == RhsMode::kRandomRhs) {
+    auto kt = out.A.known_terms();
+    for (row_index i = 0; i < out.A.n_obs(); ++i)
+      kt[static_cast<std::size_t>(i)] = rng.normal();
+  } else {
+    std::vector<real> x_true(static_cast<std::size_t>(layout.n_unknowns()));
+    for (auto& x : x_true) x = rng.normal();
+    // Make the truth consistent with the constraint rows (all pin the
+    // first 4-wide window of each axis to zero sum): subtract the
+    // offending constant per axis. Otherwise the constraints contradict
+    // x* and inject structured residuals into every observation.
+    if (n_constraints > 0) {
+      for (int axis = 0; axis < kAttBlocks; ++axis) {
+        real* xa = x_true.data() + layout.att_offset() +
+                   axis * layout.att_stride();
+        real sum = 0;
+        for (int i = 0; i < kAttBlockSize; ++i) sum += xa[i];
+        const real shift = sum / kAttBlockSize;
+        for (col_index j = 0; j < layout.att_stride(); ++j) xa[j] -= shift;
+      }
+    }
+    // b = A x* (+ noise) over observation rows; constraint rows keep
+    // b = 0, now exactly satisfied by the adjusted truth.
+    auto kt = out.A.known_terms();
+    const auto& M = out.A;
+    const auto vals = M.values();
+    const auto ia = M.matrix_index_astro();
+    const auto it = M.matrix_index_att();
+    const auto ic = M.instr_col();
+    const ParameterLayout& lay = M.layout();
+    for (row_index rr = 0; rr < M.n_obs(); ++rr) {
+      const auto r = static_cast<std::size_t>(rr);
+      real sum = 0;
+      const real* rv = vals.data() + r * kNnzPerRow;
+      for (int i = 0; i < kAstroNnzPerRow; ++i)
+        sum += rv[kAstroCoeffOffset + i] *
+               x_true[static_cast<std::size_t>(ia[r] + i)];
+      for (int blk = 0; blk < kAttBlocks; ++blk)
+        for (int i = 0; i < kAttBlockSize; ++i)
+          sum += rv[kAttCoeffOffset + blk * kAttBlockSize + i] *
+                 x_true[static_cast<std::size_t>(
+                     lay.att_offset() + it[r] + blk * lay.att_stride() + i)];
+      for (int i = 0; i < kInstrNnzPerRow; ++i)
+        sum += rv[kInstrCoeffOffset + i] *
+               x_true[static_cast<std::size_t>(
+                   lay.instr_offset() + ic[r * kInstrNnzPerRow + i])];
+      if (lay.has_global())
+        sum += rv[kGlobCoeffOffset] *
+               x_true[static_cast<std::size_t>(lay.glob_offset())];
+      if (config.noise_sigma > 0) sum += rng.normal(0.0, config.noise_sigma);
+      kt[r] = sum;
+    }
+    out.ground_truth = std::move(x_true);
+  }
+  return out;
+}
+
+GeneratorConfig config_for_footprint(byte_size bytes, std::uint64_t seed) {
+  GAIA_CHECK(bytes >= 64 * kKiB, "footprint too small to shape a system");
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+
+  // Per-row storage cost (see SystemMatrix::footprint_bytes_for).
+  constexpr double kBytesPerRow =
+      kNnzPerRow * sizeof(real) + 2 * sizeof(col_index) +
+      kInstrNnzPerRow * sizeof(std::int32_t) + sizeof(real);
+  // Production-like row/unknown ratio: hundreds of observations per star
+  // keep the unknown vector (and the solver's per-unknown work vectors)
+  // small relative to the matrix, which is what lets the paper run a
+  // 30 GB problem on the 32 GB V100.
+  cfg.obs_per_star_mean = 50.0;
+
+  const double rows =
+      static_cast<double>(bytes) /
+      (kBytesPerRow + sizeof(row_index) / cfg.obs_per_star_mean);
+  cfg.n_stars = std::max<row_index>(
+      8, static_cast<row_index>(rows / cfg.obs_per_star_mean));
+
+  // Secondary sections scale sub-linearly (production: astro ~90 % of the
+  // footprint, everything else ~10 %): grow them with rows^(1/3).
+  const double scale = std::cbrt(rows / 1024.0);
+  cfg.att_dof_per_axis = std::max<col_index>(
+      32, static_cast<col_index>(32.0 * scale));
+  cfg.n_instr_params = std::max<col_index>(
+      24, static_cast<col_index>(24.0 * scale));
+  cfg.has_global = true;
+  cfg.constraints_per_axis = 1;
+  return cfg;
+}
+
+}  // namespace gaia::matrix

@@ -1,0 +1,97 @@
+#include "matrix/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace gaia::matrix {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'A', 'I', 'A', 'S', 'Y', 'S', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  GAIA_CHECK(is.good(), "truncated system file");
+  return v;
+}
+
+template <typename T>
+void write_span(std::ostream& os, std::span<const T> s) {
+  os.write(reinterpret_cast<const char*>(s.data()),
+           static_cast<std::streamsize>(s.size_bytes()));
+}
+
+template <typename T>
+void read_span(std::istream& is, std::span<T> s) {
+  is.read(reinterpret_cast<char*>(s.data()),
+          static_cast<std::streamsize>(s.size_bytes()));
+  GAIA_CHECK(is.good(), "truncated system file");
+}
+
+}  // namespace
+
+void save_system(const SystemMatrix& A, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  const ParameterLayout& lay = A.layout();
+  write_pod(os, lay.n_stars());
+  write_pod(os, static_cast<std::int64_t>(lay.att_axes()));
+  write_pod(os, lay.att_dof_per_axis());
+  write_pod(os, lay.n_instr_params());
+  write_pod(os, static_cast<std::int64_t>(lay.has_global() ? 1 : 0));
+  write_pod(os, A.n_obs());
+  write_pod(os, A.n_constraints());
+  write_span(os, A.values());
+  write_span(os, A.matrix_index_astro());
+  write_span(os, A.matrix_index_att());
+  write_span(os, A.instr_col());
+  write_span(os, A.known_terms());
+  write_span(os, A.star_row_start());
+  GAIA_CHECK(os.good(), "system write failed");
+}
+
+void save_system(const SystemMatrix& A, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  GAIA_CHECK(f.good(), "cannot open for writing: " + path);
+  save_system(A, f);
+}
+
+SystemMatrix load_system(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  GAIA_CHECK(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+             "not a gaia system file (bad magic)");
+  const auto n_stars = read_pod<row_index>(is);
+  const auto att_axes = static_cast<int>(read_pod<std::int64_t>(is));
+  const auto att_dof = read_pod<col_index>(is);
+  const auto n_instr = read_pod<col_index>(is);
+  const bool has_global = read_pod<std::int64_t>(is) != 0;
+  const auto n_obs = read_pod<row_index>(is);
+  const auto n_constraints = read_pod<row_index>(is);
+
+  ParameterLayout layout(n_stars, att_axes, att_dof, n_instr, has_global);
+  SystemMatrix A(layout, n_obs, n_constraints);
+  read_span(is, A.values());
+  read_span(is, A.matrix_index_astro());
+  read_span(is, A.matrix_index_att());
+  read_span(is, A.instr_col());
+  read_span(is, A.known_terms());
+  read_span(is, A.star_row_start());
+  return A;
+}
+
+SystemMatrix load_system(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  GAIA_CHECK(f.good(), "cannot open for reading: " + path);
+  return load_system(f);
+}
+
+}  // namespace gaia::matrix

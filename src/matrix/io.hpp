@@ -1,0 +1,25 @@
+/// \file io.hpp
+/// \brief Binary (de)serialization of generated systems.
+///
+/// Lets the validation experiments persist the reference dataset once and
+/// replay it against every backend, mirroring how the paper's validation
+/// replays the production datasets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/system_matrix.hpp"
+
+namespace gaia::matrix {
+
+/// Writes the system in a versioned little-endian binary format.
+void save_system(const SystemMatrix& A, std::ostream& os);
+void save_system(const SystemMatrix& A, const std::string& path);
+
+/// Reads a system back; throws gaia::Error on format/version mismatch or
+/// truncated input.
+SystemMatrix load_system(std::istream& is);
+SystemMatrix load_system(const std::string& path);
+
+}  // namespace gaia::matrix

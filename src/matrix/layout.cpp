@@ -1,0 +1,22 @@
+#include "matrix/layout.hpp"
+
+namespace gaia::matrix {
+
+ParameterLayout::ParameterLayout(row_index n_stars, int att_axes,
+                                 col_index att_dof_per_axis,
+                                 col_index n_instr_params, bool has_global)
+    : n_stars_(n_stars),
+      att_axes_(att_axes),
+      att_dof_(att_dof_per_axis),
+      n_instr_(n_instr_params),
+      has_global_(has_global) {
+  GAIA_CHECK(n_stars_ > 0, "layout needs at least one star");
+  GAIA_CHECK(att_axes_ == kAttBlocks,
+             "AVU-GSR rows touch exactly 3 attitude axes");
+  GAIA_CHECK(att_dof_ >= kAttBlockSize,
+             "attitude axis must fit one 4-wide block");
+  GAIA_CHECK(n_instr_ >= kInstrNnzPerRow,
+             "instrumental section must fit 6 distinct columns");
+}
+
+}  // namespace gaia::matrix

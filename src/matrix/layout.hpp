@@ -1,0 +1,82 @@
+/// \file layout.hpp
+/// \brief Layout of the unknown vector x of the AVU-GSR system.
+///
+/// The unknowns are partitioned into four contiguous sections (paper Fig 2):
+///
+///   [ astrometric | attitude | instrumental | global ]
+///
+/// * astrometric: 5 parameters per primary star (block diagonal part);
+/// * attitude: the satellite attitude splines — 3 axes, each with a number
+///   of degrees of freedom; a row touches 3 blocks of 4 consecutive
+///   coefficients, one block per axis, separated by a fixed stride;
+/// * instrumental: calibration unknowns with an irregular access pattern;
+/// * global: at most one parameter (the PPN gamma), optional.
+#pragma once
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace gaia::matrix {
+
+/// Immutable description of the unknown space. All cross-section offsets
+/// derive from it, so every module (kernels, generator, validation)
+/// agrees on where each parameter block lives.
+class ParameterLayout {
+ public:
+  ParameterLayout() = default;
+
+  /// \param n_stars        number of primary stars (5 unknowns each)
+  /// \param att_axes       number of attitude axes (3 in production)
+  /// \param att_dof_per_axis degrees of freedom per attitude axis; must be
+  ///                       >= kAttBlockSize so a 4-wide block fits
+  /// \param n_instr_params number of instrumental unknowns (>= 6 so a
+  ///                       row's 6 irregular columns can be distinct)
+  /// \param has_global     whether the PPN-gamma global unknown is solved
+  ParameterLayout(row_index n_stars, int att_axes, col_index att_dof_per_axis,
+                  col_index n_instr_params, bool has_global);
+
+  [[nodiscard]] row_index n_stars() const { return n_stars_; }
+  [[nodiscard]] int att_axes() const { return att_axes_; }
+  [[nodiscard]] col_index att_dof_per_axis() const { return att_dof_; }
+  [[nodiscard]] bool has_global() const { return has_global_; }
+
+  /// Stride between the start of consecutive per-axis attitude blocks in a
+  /// row: exactly the per-axis degree-of-freedom count, so axis k of the
+  /// attitude section occupies [k*stride, (k+1)*stride).
+  [[nodiscard]] col_index att_stride() const { return att_dof_; }
+
+  [[nodiscard]] col_index n_astro_params() const {
+    return n_stars_ * kAstroParamsPerStar;
+  }
+  [[nodiscard]] col_index n_att_params() const {
+    return static_cast<col_index>(att_axes_) * att_dof_;
+  }
+  [[nodiscard]] col_index n_instr_params() const { return n_instr_; }
+  [[nodiscard]] col_index n_glob_params() const { return has_global_ ? 1 : 0; }
+
+  /// Section offsets within the global unknown vector.
+  [[nodiscard]] col_index astro_offset() const { return 0; }
+  [[nodiscard]] col_index att_offset() const { return n_astro_params(); }
+  [[nodiscard]] col_index instr_offset() const {
+    return att_offset() + n_att_params();
+  }
+  [[nodiscard]] col_index glob_offset() const {
+    return instr_offset() + n_instr_params();
+  }
+
+  /// Total number of unknowns.
+  [[nodiscard]] col_index n_unknowns() const {
+    return glob_offset() + n_glob_params();
+  }
+
+  bool operator==(const ParameterLayout&) const = default;
+
+ private:
+  row_index n_stars_ = 0;
+  int att_axes_ = 0;
+  col_index att_dof_ = 0;
+  col_index n_instr_ = 0;
+  bool has_global_ = false;
+};
+
+}  // namespace gaia::matrix

@@ -1,0 +1,316 @@
+#include "matrix/scanlaw.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <utility>
+
+namespace gaia::matrix {
+
+namespace {
+
+constexpr real kTwoPi = 6.283185307179586476925286766559;
+
+/// Parallax factor of the along-scan observation: the projection of the
+/// Earth's (here: unit, circular) orbital displacement onto the scan
+/// direction at time t.
+real parallax_factor(real t_years, real scan_angle) {
+  const real orbit_phase = kTwoPi * t_years;  // 1-year period
+  return std::sin(scan_angle) * std::cos(orbit_phase) +
+         std::cos(scan_angle) * std::sin(orbit_phase);
+}
+
+/// Draws kInstrNnzPerRow distinct instrumental columns from the focal
+/// plane crossing: a deterministic base column from (time, angle) plus
+/// jittered neighbours, mirroring how a transit touches one CCD strip's
+/// calibration unknowns.
+void instrumental_columns(util::Xoshiro256& rng, const Transit& tr,
+                          col_index n_instr, std::span<std::int32_t> out) {
+  const double frac =
+      std::fmod(std::abs(tr.time * 37.0 + tr.scan_angle * 11.0), 1.0);
+  const auto base = static_cast<std::int64_t>(
+      frac * static_cast<double>(n_instr));
+  std::array<std::int32_t, kInstrNnzPerRow> cols{};
+  int count = 0;
+  std::int64_t candidate = base;
+  while (count < kInstrNnzPerRow) {
+    candidate = (candidate + 1 + static_cast<std::int64_t>(
+                                     rng.uniform_index(3))) %
+                n_instr;
+    bool dup = false;
+    for (int i = 0; i < count; ++i)
+      dup |= (cols[i] == static_cast<std::int32_t>(candidate));
+    if (!dup) cols[count++] = static_cast<std::int32_t>(candidate);
+  }
+  std::sort(cols.begin(), cols.end());
+  std::copy(cols.begin(), cols.end(), out.begin());
+}
+
+}  // namespace
+
+std::vector<Star> make_catalogue(row_index n_stars, std::uint64_t seed) {
+  GAIA_CHECK(n_stars > 0, "catalogue needs stars");
+  util::Xoshiro256 rng(seed);
+  std::vector<Star> stars(static_cast<std::size_t>(n_stars));
+  for (auto& s : stars) {
+    s.alpha = rng.uniform(0.0, kTwoPi);
+    // Uniform on the sphere: delta = asin(u), u ~ U(-1, 1).
+    s.delta = std::asin(rng.uniform(-1.0, 1.0));
+  }
+  return stars;
+}
+
+std::vector<Transit> transits_for(const ScanLawConfig& config,
+                                  const Star& star, row_index star_index) {
+  GAIA_CHECK(config.mission_years > 0, "mission must have duration");
+  GAIA_CHECK(config.spin_period_hours > 0 && config.precession_days > 0,
+             "scan law needs positive periods");
+  // Per-star deterministic stream: a jumped copy of the config stream.
+  util::Xoshiro256 rng(config.seed ^
+                       (0x9e3779b97f4a7c15ull *
+                        (static_cast<std::uint64_t>(star_index) + 1)));
+
+  const auto n = std::max<row_index>(
+      config.transits_per_star_min,
+      static_cast<row_index>(std::llround(
+          config.transits_per_star_mean +
+          rng.normal(0.0, config.transits_per_star_mean * 0.25))));
+
+  const real spin_rate =
+      kTwoPi / (config.spin_period_hours / (24.0 * 365.25));  // rad/year
+  const real precession_rate =
+      kTwoPi / (config.precession_days / 365.25);  // rad/year
+
+  std::vector<Transit> transits(static_cast<std::size_t>(n));
+  for (row_index k = 0; k < n; ++k) {
+    // Visibility windows recur with the precession period; jitter within.
+    const real base =
+        config.mission_years * (static_cast<real>(k) + real{0.5}) /
+        static_cast<real>(n);
+    const real t = std::clamp<real>(
+        base + rng.normal(0.0, config.mission_years * 0.02), real{0},
+        config.mission_years);
+    // Scan position angle at the star: spin phase + precession phase +
+    // star-dependent geometric offset.
+    const real psi = std::fmod(
+        spin_rate * t + precession_rate * t * std::sin(star.delta) +
+            star.alpha,
+        kTwoPi);
+    transits[static_cast<std::size_t>(k)] = {t, psi};
+  }
+  std::sort(transits.begin(), transits.end(),
+            [](const Transit& a, const Transit& b) { return a.time < b.time; });
+  return transits;
+}
+
+ScanLawSystem generate_from_scanlaw(const ScanLawConfig& config) {
+  const std::vector<Star> catalogue =
+      make_catalogue(config.n_stars, config.seed);
+
+  // Collect all transits first to size the system.
+  std::vector<std::vector<Transit>> per_star(
+      static_cast<std::size_t>(config.n_stars));
+  row_index n_obs = 0;
+  for (row_index s = 0; s < config.n_stars; ++s) {
+    per_star[static_cast<std::size_t>(s)] =
+        transits_for(config, catalogue[static_cast<std::size_t>(s)], s);
+    n_obs += static_cast<row_index>(per_star[static_cast<std::size_t>(s)]
+                                        .size());
+  }
+
+  const ParameterLayout layout(config.n_stars, kAttBlocks,
+                               config.att_dof_per_axis,
+                               config.n_instr_params, config.has_global);
+  const row_index n_constraints = config.constraints_per_axis * kAttBlocks;
+  SystemMatrix A(layout, n_obs, n_constraints);
+
+  util::Xoshiro256 rng(config.seed ^ 0xfeedfacecafebeefull);
+
+  // Ground truth: astrometric-scale corrections. The attitude sections
+  // are then made consistent with the constraint equations (each
+  // constraint window must sum to zero) by removing a per-axis linear
+  // ramp — otherwise the constraints contradict the truth and the
+  // least-squares solution is pulled away from it.
+  std::vector<real> x_true(static_cast<std::size_t>(layout.n_unknowns()));
+  for (auto& v : x_true) v = rng.normal();
+  if (config.constraints_per_axis >= 2) {
+    const col_index dof = layout.att_dof_per_axis();
+    const col_index c_span = layout.att_stride() - kAttBlockSize;
+    const row_index k_max = config.constraints_per_axis - 1;
+    const col_index q1 = 0;
+    const col_index q2 = std::clamp<col_index>(
+        static_cast<col_index>(k_max * std::max<row_index>(1, c_span) /
+                               std::max<row_index>(1, k_max)),
+        0, c_span);
+    for (int axis = 0; axis < kAttBlocks; ++axis) {
+      real* xa = x_true.data() + layout.att_offset() + axis * dof;
+      auto window_sums = [&](col_index q) {
+        real s = 0, sj = 0;
+        for (int i = 0; i < kAttBlockSize; ++i) {
+          s += xa[q + i];
+          sj += static_cast<real>(q + i);
+        }
+        return std::pair<real, real>(s, sj);
+      };
+      const auto [s1, j1] = window_sums(q1);
+      const auto [s2, j2] = window_sums(q2);
+      // Solve 4a + b*j1 = s1, 4a + b*j2 = s2 and subtract a + b*j.
+      const real det = real{4} * (j2 - j1);
+      real a = s1 / 4, b_ramp = 0;
+      if (std::abs(det) > 1e-12) {
+        b_ramp = real{4} * (s2 - s1) / det;
+        a = (s1 - b_ramp * j1) / 4;
+      }
+      for (col_index j = 0; j < dof; ++j)
+        xa[j] -= a + b_ramp * static_cast<real>(j);
+    }
+  }
+
+  ScanLawSystem out{std::move(A), catalogue, std::move(x_true), {}};
+  out.row_transits.reserve(static_cast<std::size_t>(n_obs));
+
+  auto starts = out.A.star_row_start();
+  auto idx_astro = out.A.matrix_index_astro();
+  auto idx_att = out.A.matrix_index_att();
+  auto instr = out.A.instr_col();
+  auto b = out.A.known_terms();
+
+  const col_index att_span = layout.att_stride() - kAttBlockSize;
+  const real t_ref = config.mission_years / 2;  // reference epoch
+
+  row_index row = 0;
+  starts[0] = 0;
+  for (row_index s = 0; s < config.n_stars; ++s) {
+    for (const Transit& tr : per_star[static_cast<std::size_t>(s)]) {
+      const auto r = static_cast<std::size_t>(row);
+      out.row_transits.push_back(tr);
+      idx_astro[r] = s * kAstroParamsPerStar;
+
+      // Attitude knot active at the transit time: the mission maps onto
+      // the att_span+1 spline segments so every segment (and therefore
+      // every spline coefficient, including the tail ones) receives
+      // observation support. The fractional position within the segment
+      // drives the B-spline basis weights below.
+      const real phase = tr.time / config.mission_years;
+      const real knot_pos =
+          phase * (static_cast<real>(att_span) + 1) * real{0.999999};
+      idx_att[r] = att_span > 0
+                       ? std::clamp<col_index>(
+                             static_cast<col_index>(std::floor(knot_pos)),
+                             0, att_span)
+                       : 0;
+      const real u = std::clamp<real>(
+          knot_pos - static_cast<real>(idx_att[r]), real{0}, real{1});
+
+      instrumental_columns(rng, tr, layout.n_instr_params(),
+                           instr.subspan(r * kInstrNnzPerRow,
+                                         kInstrNnzPerRow));
+
+      auto rv = out.A.row_values(row);
+      // Astrometric partials of the along-scan observation equation.
+      const real sp = std::sin(tr.scan_angle);
+      const real cp = std::cos(tr.scan_angle);
+      const real dt = tr.time - t_ref;
+      rv[kAstroCoeffOffset + 0] = sp;                          // d alpha*
+      rv[kAstroCoeffOffset + 1] = cp;                          // d delta
+      rv[kAstroCoeffOffset + 2] = parallax_factor(tr.time,     // d parallax
+                                                  tr.scan_angle);
+      rv[kAstroCoeffOffset + 3] = dt * sp;                     // d mu_alpha*
+      rv[kAstroCoeffOffset + 4] = dt * cp;                     // d mu_delta
+      // Attitude partials: uniform cubic B-spline basis weights at the
+      // fractional knot position (they vary continuously row to row,
+      // keeping the attitude columns independent), modulated per axis by
+      // the scan geometry — the along-scan direction couples differently
+      // to the three attitude angles.
+      const real u2 = u * u, u3 = u2 * u;
+      const real w[kAttBlockSize] = {
+          (1 - 3 * u + 3 * u2 - u3) / 6, (4 - 6 * u2 + 3 * u3) / 6,
+          (1 + 3 * u + 3 * u2 - 3 * u3) / 6, u3 / 6};
+      // Third axis couples through the doubled angle — nonlinear in
+      // (cp, sp), so no exact column dependence across rows.
+      const real axis_gain[kAttBlocks] = {cp, sp, cp * cp - sp * sp};
+      for (int blk = 0; blk < kAttBlocks; ++blk) {
+        for (int i = 0; i < kAttBlockSize; ++i) {
+          rv[kAttCoeffOffset + blk * kAttBlockSize + i] =
+              axis_gain[blk] * w[i];
+        }
+      }
+      // Instrumental partials: unit-scale calibration sensitivities.
+      for (int i = 0; i < kInstrNnzPerRow; ++i)
+        rv[kInstrCoeffOffset + i] = rng.normal(0.0, 0.5);
+      // Global (PPN gamma) partial: light-deflection sensitivity varies
+      // slowly with the solar aspect angle ~ orbit phase.
+      rv[kGlobCoeffOffset] =
+          config.has_global
+              ? real{0.1} * std::cos(kTwoPi * tr.time) * sp
+              : real{0};
+      ++row;
+    }
+    starts[static_cast<std::size_t>(s) + 1] = row;
+  }
+
+  // Attitude nullspace constraints at distinct spline knots: the k-th
+  // constraint of each axis pins the coefficient sum of a 4-wide window
+  // at a different position, which removes both the constant and the
+  // linear (rotation- and spin-like) degeneracies per axis (see
+  // ScanLawConfig::constraints_per_axis).
+  GAIA_CHECK(config.constraints_per_axis >= 2,
+             "scan-law systems need >= 2 constraints per axis");
+  for (row_index c = 0; c < n_constraints; ++c, ++row) {
+    const auto r = static_cast<std::size_t>(row);
+    const int axis = static_cast<int>(c % kAttBlocks);
+    const auto k = c / kAttBlocks;
+    idx_astro[r] = 0;
+    idx_att[r] =
+        att_span > 0
+            ? std::clamp<col_index>(
+                  static_cast<col_index>(
+                      k * std::max<row_index>(1, att_span) /
+                      std::max<row_index>(1, config.constraints_per_axis - 1)),
+                  0, att_span)
+            : 0;
+    // Valid distinct instrumental columns (coefficients stay zero).
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      instr[r * kInstrNnzPerRow + i] = static_cast<std::int32_t>(i);
+    auto rv = out.A.row_values(row);
+    for (int i = 0; i < kAttBlockSize; ++i)
+      rv[kAttCoeffOffset + axis * kAttBlockSize + i] = real{1};
+    b[r] = real{0};
+  }
+
+  // Right-hand side from the ground truth (observation rows only).
+  {
+    const auto& M = out.A;
+    const auto vals = M.values();
+    const auto ia = M.matrix_index_astro();
+    const auto it = M.matrix_index_att();
+    const auto ic = M.instr_col();
+    for (row_index rr = 0; rr < M.n_obs(); ++rr) {
+      const auto r = static_cast<std::size_t>(rr);
+      real sum = 0;
+      const real* rv = vals.data() + r * kNnzPerRow;
+      for (int i = 0; i < kAstroNnzPerRow; ++i)
+        sum += rv[kAstroCoeffOffset + i] *
+               out.ground_truth[static_cast<std::size_t>(ia[r] + i)];
+      for (int blk = 0; blk < kAttBlocks; ++blk)
+        for (int i = 0; i < kAttBlockSize; ++i)
+          sum += rv[kAttCoeffOffset + blk * kAttBlockSize + i] *
+                 out.ground_truth[static_cast<std::size_t>(
+                     layout.att_offset() + it[r] +
+                     blk * layout.att_stride() + i)];
+      for (int i = 0; i < kInstrNnzPerRow; ++i)
+        sum += rv[kInstrCoeffOffset + i] *
+               out.ground_truth[static_cast<std::size_t>(
+                   layout.instr_offset() + ic[r * kInstrNnzPerRow + i])];
+      if (layout.has_global())
+        sum += rv[kGlobCoeffOffset] *
+               out.ground_truth[static_cast<std::size_t>(
+                   layout.glob_offset())];
+      if (config.noise_sigma > 0) sum += rng.normal(0.0, config.noise_sigma);
+      b[r] = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace gaia::matrix

@@ -1,0 +1,103 @@
+/// \file scanlaw.hpp
+/// \brief Simplified Gaia nominal scanning law and astrometric system
+/// generation from it — the pipeline's "System Generation" stage
+/// (paper Fig. 1).
+///
+/// The plain generator (`generator.hpp`) draws coefficients randomly;
+/// this module builds them the way the real pre-processor does: a star
+/// catalogue, a scanning law that determines *when* and *at which scan
+/// angle* each star is observed, and the standard linearized astrometric
+/// observation equation whose partial derivatives become the row's five
+/// astrometric coefficients:
+///
+///   along-scan abscissa residual =
+///       sin(psi) * d(alpha*) + cos(psi) * d(delta)
+///     + f_parallax(t, psi) * d(parallax)
+///     + (t - t_ref) * sin(psi) * d(mu_alpha*)
+///     + (t - t_ref) * cos(psi) * d(mu_delta)
+///
+/// where psi is the scan position angle at transit time t. The attitude
+/// block start follows directly from the transit time (the spline knot
+/// active at t), reproducing the "stride stemming from the measurement
+/// campaign" structurally instead of statistically.
+///
+/// The model is deliberately simplified (circular scan-angle evolution,
+/// uniform sky coverage) — it exercises the same code paths and produces
+/// the same sparsity structure; it is not a flight-dynamics simulator.
+#pragma once
+
+#include <vector>
+
+#include "matrix/generator.hpp"
+#include "matrix/system_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace gaia::matrix {
+
+/// A catalogue star: ICRS-like position (radians) used by the scan law
+/// and the de-rotation stage.
+struct Star {
+  real alpha = 0;  ///< right ascension [0, 2pi)
+  real delta = 0;  ///< declination (-pi/2, pi/2)
+};
+
+/// One transit of a star across the focal plane.
+struct Transit {
+  real time = 0;        ///< years since mission reference epoch
+  real scan_angle = 0;  ///< scan position angle psi (radians)
+};
+
+struct ScanLawConfig {
+  std::uint64_t seed = 0x5343414eull;  // "SCAN"
+  row_index n_stars = 64;
+  /// Mission duration in years (nominal: 5, extended: ~10).
+  real mission_years = 5.0;
+  /// Satellite spin period (hours) -> scan-angle evolution rate.
+  real spin_period_hours = 6.0;
+  /// Precession period of the spin axis (days).
+  real precession_days = 63.0;
+  /// Mean transits per star over the mission (production ~70-100; keep
+  /// small for tests).
+  double transits_per_star_mean = 12.0;
+  row_index transits_per_star_min = 5;
+  /// Attitude spline degrees of freedom per axis over the mission.
+  col_index att_dof_per_axis = 32;
+  col_index n_instr_params = 24;
+  bool has_global = true;
+  /// Constraint rows per attitude axis, placed at distinct spline knots.
+  /// Must be >= 2: the B-spline basis reproduces constants *and* linear
+  /// ramps, so each axis carries a two-dimensional sphere-attitude
+  /// degeneracy (against the delta/mu_delta and alpha*/mu_alpha* star
+  /// columns) that a single constraint cannot pin — this is the rigid
+  /// rotation + spin indeterminacy the pipeline's constraint equations
+  /// and de-rotation stage exist for.
+  row_index constraints_per_axis = 2;
+  /// Observation noise on the synthetic along-scan abscissae.
+  real noise_sigma = 0.0;
+};
+
+/// Deterministic synthetic star catalogue, uniform on the sphere.
+std::vector<Star> make_catalogue(row_index n_stars, std::uint64_t seed);
+
+/// Transit times and scan angles for one star under the nominal law.
+/// Deterministic in (config, star, star_index).
+std::vector<Transit> transits_for(const ScanLawConfig& config,
+                                  const Star& star, row_index star_index);
+
+/// Result of scan-law generation: the system, the catalogue, the ground
+/// truth the right-hand side was built from, and each observation row's
+/// transit (for diagnostics / de-rotation weighting).
+struct ScanLawSystem {
+  SystemMatrix A;
+  std::vector<Star> catalogue;
+  std::vector<real> ground_truth;  ///< size n_unknowns
+  std::vector<Transit> row_transits;  ///< size n_obs
+};
+
+/// Builds the full AVU-GSR system from the scan law: astrometric
+/// coefficients from the observation-equation partials, attitude block
+/// start from the transit time, instrumental columns from the (time,
+/// angle)-dependent focal-plane crossing, b = A x_true + noise.
+ScanLawSystem generate_from_scanlaw(const ScanLawConfig& config);
+
+}  // namespace gaia::matrix

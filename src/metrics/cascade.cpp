@@ -1,0 +1,62 @@
+#include "metrics/cascade.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "metrics/pennycook.hpp"
+#include "util/table.hpp"
+
+namespace gaia::metrics {
+
+Cascade build_cascade(const PerformanceMatrix& m) {
+  const auto eff = application_efficiency(m);
+  Cascade out;
+  out.series.reserve(m.n_applications());
+
+  for (std::size_t a = 0; a < m.n_applications(); ++a) {
+    CascadeSeries s;
+    s.application = m.applications()[a];
+
+    std::vector<std::size_t> order(m.n_platforms());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t i, std::size_t j) {
+                       return eff[a][i] > eff[a][j];
+                     });
+
+    double inv_sum = 0.0;
+    bool dead = false;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::size_t p = order[k];
+      s.platform_order.push_back(m.platforms()[p]);
+      s.efficiency.push_back(eff[a][p]);
+      if (eff[a][p] <= 0.0) dead = true;
+      if (!dead) {
+        inv_sum += 1.0 / eff[a][p];
+        s.running_p.push_back(static_cast<double>(k + 1) / inv_sum);
+      } else {
+        s.running_p.push_back(0.0);
+      }
+    }
+    s.final_p = s.running_p.empty() ? 0.0 : s.running_p.back();
+    out.series.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string render_cascade(const Cascade& cascade) {
+  std::ostringstream os;
+  for (const auto& s : cascade.series) {
+    os << s.application << "  (P = " << util::Table::num(s.final_p, 3)
+       << ")\n";
+    for (std::size_t k = 0; k < s.platform_order.size(); ++k) {
+      os << "  " << util::bar(s.platform_order[k], s.efficiency[k], 1.0, 32)
+         << "   running-P " << util::Table::num(s.running_p[k], 3) << '\n';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gaia::metrics

@@ -1,0 +1,41 @@
+/// \file cascade.hpp
+/// \brief Cascade-plot data, the p3-analysis-library visualization the
+/// paper uses for Figure 3.
+///
+/// For each application the cascade sorts platforms by decreasing
+/// efficiency and tracks the running P as platforms are added: the line
+/// starts at the application's best efficiency and decays; an
+/// unsupported platform drops the final P to zero.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/efficiency.hpp"
+
+namespace gaia::metrics {
+
+struct CascadeSeries {
+  std::string application;
+  /// Platform names in decreasing-efficiency order.
+  std::vector<std::string> platform_order;
+  /// Efficiency at each step of the order.
+  std::vector<double> efficiency;
+  /// Harmonic mean of the first k+1 efficiencies (running P).
+  std::vector<double> running_p;
+  /// Final P over the full platform set (0 if any unsupported).
+  double final_p = 0.0;
+};
+
+struct Cascade {
+  std::vector<CascadeSeries> series;  ///< one per application
+};
+
+/// Builds the cascade from application efficiencies.
+Cascade build_cascade(const PerformanceMatrix& m);
+
+/// ASCII rendering: one block per application with efficiency bars plus
+/// the running-P column (terminal stand-in for the paper's Fig. 3).
+std::string render_cascade(const Cascade& cascade);
+
+}  // namespace gaia::metrics

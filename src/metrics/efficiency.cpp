@@ -1,0 +1,96 @@
+#include "metrics/efficiency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gaia::metrics {
+
+PerformanceMatrix::PerformanceMatrix(std::vector<std::string> applications,
+                                     std::vector<std::string> platforms)
+    : apps_(std::move(applications)), platforms_(std::move(platforms)) {
+  GAIA_CHECK(!apps_.empty() && !platforms_.empty(),
+             "performance matrix needs at least one app and platform");
+  times_.assign(apps_.size() * platforms_.size(), -1.0);
+}
+
+void PerformanceMatrix::set_time(std::size_t app, std::size_t platform,
+                                 double seconds) {
+  GAIA_CHECK(app < apps_.size() && platform < platforms_.size(),
+             "performance matrix index out of range");
+  GAIA_CHECK(seconds != 0.0, "zero time is ill-defined; use negative for "
+                             "unsupported");
+  times_[app * platforms_.size() + platform] = seconds;
+}
+
+double PerformanceMatrix::time(std::size_t app, std::size_t platform) const {
+  GAIA_CHECK(app < apps_.size() && platform < platforms_.size(),
+             "performance matrix index out of range");
+  return times_[app * platforms_.size() + platform];
+}
+
+bool PerformanceMatrix::supported(std::size_t app,
+                                  std::size_t platform) const {
+  return time(app, platform) > 0.0;
+}
+
+std::size_t PerformanceMatrix::app_index(const std::string& name) const {
+  const auto it = std::find(apps_.begin(), apps_.end(), name);
+  GAIA_CHECK(it != apps_.end(), "unknown application: " + name);
+  return static_cast<std::size_t>(it - apps_.begin());
+}
+
+std::size_t PerformanceMatrix::platform_index(const std::string& name) const {
+  const auto it = std::find(platforms_.begin(), platforms_.end(), name);
+  GAIA_CHECK(it != platforms_.end(), "unknown platform: " + name);
+  return static_cast<std::size_t>(it - platforms_.begin());
+}
+
+PerformanceMatrix PerformanceMatrix::subset_platforms(
+    const std::vector<std::string>& platform_names) const {
+  PerformanceMatrix out(apps_, platform_names);
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    for (std::size_t p = 0; p < platform_names.size(); ++p) {
+      const std::size_t src = platform_index(platform_names[p]);
+      const double t = time(a, src);
+      if (t > 0.0) out.set_time(a, p, t);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> application_efficiency(
+    const PerformanceMatrix& m) {
+  const std::size_t na = m.n_applications();
+  const std::size_t np = m.n_platforms();
+  // Best time per platform across applications.
+  std::vector<double> best(np, std::numeric_limits<double>::infinity());
+  for (std::size_t p = 0; p < np; ++p)
+    for (std::size_t a = 0; a < na; ++a)
+      if (m.supported(a, p)) best[p] = std::min(best[p], m.time(a, p));
+
+  std::vector<std::vector<double>> eff(na, std::vector<double>(np, 0.0));
+  for (std::size_t a = 0; a < na; ++a)
+    for (std::size_t p = 0; p < np; ++p)
+      if (m.supported(a, p) && std::isfinite(best[p]))
+        eff[a][p] = best[p] / m.time(a, p);
+  return eff;
+}
+
+std::vector<std::vector<double>> best_platform_efficiency(
+    const PerformanceMatrix& m) {
+  const std::size_t na = m.n_applications();
+  const std::size_t np = m.n_platforms();
+  std::vector<std::vector<double>> eff(na, std::vector<double>(np, 0.0));
+  for (std::size_t a = 0; a < na; ++a) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < np; ++p)
+      if (m.supported(a, p)) best = std::min(best, m.time(a, p));
+    if (!std::isfinite(best)) continue;
+    for (std::size_t p = 0; p < np; ++p)
+      if (m.supported(a, p)) eff[a][p] = best / m.time(a, p);
+  }
+  return eff;
+}
+
+}  // namespace gaia::metrics

@@ -1,0 +1,65 @@
+/// \file efficiency.hpp
+/// \brief Performance matrices and efficiency definitions.
+///
+/// Terminology follows Pennycook et al. (the paper's Eq. 1):
+/// * *application efficiency* of application a on platform i = (best
+///   observed time by ANY application on i) / (a's time on i) — "how
+///   close is this port to the fastest known port on this hardware";
+/// * *best-platform efficiency* (used by the paper's cascade x-axis
+///   narration) = (a's best time across platforms) / (a's time on i).
+///
+/// Times are seconds; a negative time means "unsupported" (does not run
+/// or does not fit), which zeroes the P score by definition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gaia::metrics {
+
+/// Application x platform time matrix.
+class PerformanceMatrix {
+ public:
+  PerformanceMatrix(std::vector<std::string> applications,
+                    std::vector<std::string> platforms);
+
+  [[nodiscard]] std::size_t n_applications() const { return apps_.size(); }
+  [[nodiscard]] std::size_t n_platforms() const { return platforms_.size(); }
+  [[nodiscard]] const std::vector<std::string>& applications() const {
+    return apps_;
+  }
+  [[nodiscard]] const std::vector<std::string>& platforms() const {
+    return platforms_;
+  }
+
+  /// Negative marks unsupported.
+  void set_time(std::size_t app, std::size_t platform, double seconds);
+  [[nodiscard]] double time(std::size_t app, std::size_t platform) const;
+  [[nodiscard]] bool supported(std::size_t app, std::size_t platform) const;
+
+  [[nodiscard]] std::size_t app_index(const std::string& name) const;
+  [[nodiscard]] std::size_t platform_index(const std::string& name) const;
+
+  /// Restrict to a subset of platforms (e.g. the paper's NVIDIA-only
+  /// CUDA score); names must exist.
+  [[nodiscard]] PerformanceMatrix subset_platforms(
+      const std::vector<std::string>& platform_names) const;
+
+ private:
+  std::vector<std::string> apps_;
+  std::vector<std::string> platforms_;
+  std::vector<double> times_;  // row-major app x platform; <0 unsupported
+};
+
+/// e_i(a) = min_a' t(a', i) / t(a, i); 0 where unsupported. A platform
+/// where no application runs yields 0 for everyone.
+std::vector<std::vector<double>> application_efficiency(
+    const PerformanceMatrix& m);
+
+/// e_i(a) = min_i' t(a, i') / t(a, i); 0 where unsupported.
+std::vector<std::vector<double>> best_platform_efficiency(
+    const PerformanceMatrix& m);
+
+}  // namespace gaia::metrics

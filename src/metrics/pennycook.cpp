@@ -1,0 +1,27 @@
+#include "metrics/pennycook.hpp"
+
+#include "util/stats.hpp"
+
+namespace gaia::metrics {
+
+double pennycook_p(std::span<const double> efficiencies) {
+  // harmonic_mean already returns 0 when any entry is <= 0 or the set is
+  // empty — exactly the P convention.
+  return util::harmonic_mean(efficiencies);
+}
+
+std::vector<double> pennycook_scores(const PerformanceMatrix& m) {
+  const auto eff = application_efficiency(m);
+  std::vector<double> p;
+  p.reserve(eff.size());
+  for (const auto& row : eff) p.push_back(pennycook_p(row));
+  return p;
+}
+
+std::vector<double> pennycook_scores(
+    const PerformanceMatrix& m,
+    const std::vector<std::string>& platform_subset) {
+  return pennycook_scores(m.subset_platforms(platform_subset));
+}
+
+}  // namespace gaia::metrics

@@ -1,0 +1,32 @@
+/// \file pennycook.hpp
+/// \brief The P performance-portability metric (paper Eq. 1).
+///
+///   P(a, p, H) = |H| / sum_{i in H} 1/e_i(a, p)   if a runs on all of H
+///   P(a, p, H) = 0                                 otherwise
+///
+/// i.e. the harmonic mean of the application's efficiency over the
+/// platform set, zeroed when any platform is unsupported.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/efficiency.hpp"
+
+namespace gaia::metrics {
+
+/// P from an efficiency row (0 entries mean unsupported -> P = 0).
+double pennycook_p(std::span<const double> efficiencies);
+
+/// Per-application P over all platforms of the matrix, using application
+/// efficiency (the paper's choice).
+std::vector<double> pennycook_scores(const PerformanceMatrix& m);
+
+/// Per-application P over a platform subset (e.g. NVIDIA-only, which the
+/// paper reports for CUDA).
+std::vector<double> pennycook_scores(
+    const PerformanceMatrix& m,
+    const std::vector<std::string>& platform_subset);
+
+}  // namespace gaia::metrics

@@ -1,0 +1,108 @@
+#include "metrics/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "metrics/pennycook.hpp"
+
+namespace gaia::metrics {
+
+namespace {
+
+std::string num(double v, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void markdown_row(std::ostringstream& os,
+                  const std::vector<std::string>& cells) {
+  os << '|';
+  for (const auto& c : cells) os << ' ' << c << " |";
+  os << '\n';
+}
+
+void markdown_rule(std::ostringstream& os, std::size_t columns) {
+  os << '|';
+  for (std::size_t i = 0; i < columns; ++i) os << "---|";
+  os << '\n';
+}
+
+}  // namespace
+
+std::string markdown_report(const PerformanceMatrix& m,
+                            const ReportOptions& options) {
+  std::ostringstream os;
+  os << "# " << options.title << "\n\n";
+  if (!options.subtitle.empty()) os << options.subtitle << "\n\n";
+
+  // --- iteration times ----------------------------------------------------
+  os << "## Average iteration time (ms)\n\n";
+  {
+    std::vector<std::string> header = {"framework"};
+    header.insert(header.end(), m.platforms().begin(), m.platforms().end());
+    markdown_row(os, header);
+    markdown_rule(os, header.size());
+    for (std::size_t a = 0; a < m.n_applications(); ++a) {
+      std::vector<std::string> row = {m.applications()[a]};
+      for (std::size_t p = 0; p < m.n_platforms(); ++p)
+        row.push_back(m.supported(a, p) ? num(m.time(a, p) * 1e3, 1)
+                                        : "n/a");
+      markdown_row(os, row);
+    }
+    os << '\n';
+  }
+
+  // --- application efficiency ----------------------------------------------
+  os << "## Application efficiency\n\n";
+  const auto eff = application_efficiency(m);
+  {
+    std::vector<std::string> header = {"framework"};
+    header.insert(header.end(), m.platforms().begin(), m.platforms().end());
+    markdown_row(os, header);
+    markdown_rule(os, header.size());
+    for (std::size_t a = 0; a < m.n_applications(); ++a) {
+      std::vector<std::string> row = {m.applications()[a]};
+      for (std::size_t p = 0; p < m.n_platforms(); ++p)
+        row.push_back(m.supported(a, p) ? num(eff[a][p]) : "0 (n/s)");
+      markdown_row(os, row);
+    }
+    os << '\n';
+  }
+
+  // --- P summary -------------------------------------------------------------
+  os << "## Pennycook P\n\n";
+  const auto p_all = pennycook_scores(m);
+  std::vector<double> p_sub;
+  const bool has_subset = !options.secondary_subset.empty();
+  if (has_subset) p_sub = pennycook_scores(m, options.secondary_subset);
+  {
+    std::vector<std::string> header = {"framework", "P"};
+    if (has_subset) header.push_back(options.secondary_subset_label);
+    markdown_row(os, header);
+    markdown_rule(os, header.size());
+    for (std::size_t a = 0; a < m.n_applications(); ++a) {
+      std::vector<std::string> row = {m.applications()[a], num(p_all[a])};
+      if (has_subset) row.push_back(num(p_sub[a]));
+      markdown_row(os, row);
+    }
+    os << '\n';
+  }
+
+  // --- cascades -------------------------------------------------------------
+  os << "## Efficiency cascades (platforms by decreasing efficiency, "
+        "running P)\n\n";
+  const Cascade cascade = build_cascade(m);
+  for (const auto& s : cascade.series) {
+    os << "* **" << s.application << "** (P = " << num(s.final_p) << "): ";
+    for (std::size_t k = 0; k < s.platform_order.size(); ++k) {
+      if (k) os << " → ";
+      os << s.platform_order[k] << " " << num(s.efficiency[k], 2);
+    }
+    os << '\n';
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace gaia::metrics

@@ -1,0 +1,32 @@
+/// \file report.hpp
+/// \brief Self-contained campaign reports (markdown / CSV bundle).
+///
+/// Renders one measurement campaign — times, application efficiencies,
+/// cascades and P scores — as a markdown document, the library analog of
+/// the paper's result section for a given problem size. Benches and
+/// downstream pipelines persist these next to the raw CSVs.
+#pragma once
+
+#include <string>
+
+#include "metrics/cascade.hpp"
+#include "metrics/efficiency.hpp"
+
+namespace gaia::metrics {
+
+struct ReportOptions {
+  std::string title = "Performance-portability campaign";
+  /// Free-form context line (problem size, seed, platform set...).
+  std::string subtitle;
+  /// Platform subset for the secondary P column (e.g. NVIDIA-only);
+  /// empty = omit the column.
+  std::vector<std::string> secondary_subset;
+  std::string secondary_subset_label = "P (subset)";
+};
+
+/// Markdown report: iteration-time table, efficiency table, P summary,
+/// and per-application cascade listings.
+std::string markdown_report(const PerformanceMatrix& m,
+                            const ReportOptions& options = {});
+
+}  // namespace gaia::metrics

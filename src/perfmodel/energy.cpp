@@ -1,0 +1,61 @@
+#include "perfmodel/energy.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace gaia::perfmodel {
+
+const PowerSpec& power_spec(Platform p) {
+  // TDP/idle from public datasheets; the utilization factor reflects
+  // that HBM-bound kernels hold the memory system near its power limit
+  // while leaving compute partially idle.
+  static const std::array<PowerSpec, kNumPlatforms> specs = {{
+      /* T4     */ {70.0, 10.0, 0.85},
+      /* V100   */ {250.0, 25.0, 0.80},
+      /* A100   */ {400.0, 40.0, 0.78},
+      /* H100   */ {700.0, 60.0, 0.75},
+      /* MI250X */ {560.0, 90.0, 0.70},
+  }};
+  const auto idx = static_cast<std::size_t>(p);
+  GAIA_CHECK(idx < specs.size(), "unknown platform");
+  return specs[idx];
+}
+
+EnergyResult EnergyModel::evaluate(Framework f, Platform p,
+                                   byte_size footprint) const {
+  EnergyResult result;
+  result.framework = f;
+  result.platform = p;
+  if (simulator_.unsupported_reason(f, p, footprint)) return result;
+
+  result.supported = true;
+  result.iteration_s = simulator_.model_iteration_seconds(f, p, footprint);
+  const PowerSpec& power = power_spec(p);
+  result.avg_power_w =
+      power.idle_w +
+      (power.tdp_w - power.idle_w) * power.mem_bound_utilization;
+  result.energy_per_iteration_j = result.avg_power_w * result.iteration_s;
+  result.energy_per_run_j =
+      result.energy_per_iteration_j * simulator_.options().iterations;
+  return result;
+}
+
+metrics::PerformanceMatrix EnergyModel::energy_campaign(
+    byte_size footprint, const std::vector<Framework>& frameworks,
+    const std::vector<Platform>& platforms) const {
+  std::vector<std::string> app_names, plat_names;
+  for (Framework f : frameworks) app_names.push_back(to_string(f));
+  for (Platform p : platforms) plat_names.push_back(to_string(p));
+  metrics::PerformanceMatrix m(app_names, plat_names);
+  for (std::size_t a = 0; a < frameworks.size(); ++a) {
+    for (std::size_t p = 0; p < platforms.size(); ++p) {
+      const EnergyResult r =
+          evaluate(frameworks[a], platforms[p], footprint);
+      if (r.supported) m.set_time(a, p, r.energy_per_run_j);
+    }
+  }
+  return m;
+}
+
+}  // namespace gaia::perfmodel

@@ -1,0 +1,65 @@
+/// \file energy.hpp
+/// \brief Energy-to-solution model.
+///
+/// The AVU-GSR line of work explicitly tracks "new green computing
+/// milestones" (Cesare et al., INAF TR 164): on exascale machines the
+/// energy bill of a production solve matters as much as its wall time.
+/// This module extends the platform model with a simple power model —
+///
+///   P(t) = P_idle + (P_tdp - P_idle) * utilization
+///
+/// where utilization reflects how bandwidth-bound kernels load the
+/// device — and derives energy per iteration and energy-to-solution for
+/// every framework x platform cell, including an energy-based analog of
+/// the Pennycook metric (harmonic mean of energy efficiency).
+#pragma once
+
+#include "metrics/efficiency.hpp"
+#include "perfmodel/framework.hpp"
+#include "perfmodel/simulator.hpp"
+
+namespace gaia::perfmodel {
+
+struct PowerSpec {
+  double tdp_w;    ///< board power limit
+  double idle_w;   ///< idle draw
+  /// Average utilization of a bandwidth-bound solver iteration (memory
+  /// systems pull near-TDP power even when ALUs idle).
+  double mem_bound_utilization;
+};
+
+/// Board power data (public datasheets + the bandwidth-bound utilization
+/// calibration).
+const PowerSpec& power_spec(Platform p);
+
+struct EnergyResult {
+  Framework framework;
+  Platform platform;
+  bool supported = false;
+  double iteration_s = 0;
+  double avg_power_w = 0;
+  double energy_per_iteration_j = 0;
+  /// Energy for the paper's standard 100-iteration measurement run.
+  double energy_per_run_j = 0;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(SimulatorOptions options = {})
+      : simulator_(options) {}
+
+  [[nodiscard]] EnergyResult evaluate(Framework f, Platform p,
+                                      byte_size footprint) const;
+
+  /// Energy-per-run matrix (joules; negative = unsupported) over a
+  /// platform set — feed to metrics::application_efficiency /
+  /// pennycook_scores for the energy-portability analog.
+  [[nodiscard]] metrics::PerformanceMatrix energy_campaign(
+      byte_size footprint, const std::vector<Framework>& frameworks,
+      const std::vector<Platform>& platforms) const;
+
+ private:
+  PlatformSimulator simulator_;
+};
+
+}  // namespace gaia::perfmodel

@@ -1,0 +1,91 @@
+/// \file framework.hpp
+/// \brief The eight framework + compiler combinations of the study.
+///
+/// Each combination is modelled by how it *structurally* executes the
+/// solver (can it tune launch shapes? what does its compiler lower FP
+/// atomics to on each vendor? can it overlap kernels in streams?) plus a
+/// residual per-platform efficiency transcribed from the paper's
+/// measurements (compiler maturity effects we cannot derive from first
+/// principles — e.g. DPC++'s NVPTX code generation quality).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/gpu_spec.hpp"
+
+namespace gaia::perfmodel {
+
+enum class Framework : std::uint8_t {
+  kCuda = 0,
+  kHip,
+  kOmpLlvm,     ///< OpenMP offload, base clang
+  kOmpVendor,   ///< OpenMP offload, nvc++ / amdclang++
+  kPstlAcpp,    ///< C++ PSTL, AdaptiveCpp --acpp-stdpar
+  kPstlVendor,  ///< C++ PSTL, nvc++ -stdpar / clang++ --hipstdpar
+  kSyclAcpp,    ///< SYCL, AdaptiveCpp
+  kSyclDpcpp,   ///< SYCL, DPC++
+};
+inline constexpr int kNumFrameworks = 8;
+
+[[nodiscard]] std::string to_string(Framework f);
+[[nodiscard]] std::optional<Framework> parse_framework(
+    const std::string& name);
+[[nodiscard]] const std::vector<Framework>& all_frameworks();
+
+/// Compiler (name + flags) per vendor — regenerates the paper's Tables
+/// I-III provenance info.
+struct CompilerInfo {
+  std::string compiler;
+  std::string version;
+  std::string flags;
+};
+
+struct FrameworkTraits {
+  Framework framework;
+  std::string name;          ///< plot label, e.g. "SYCL+ACPP"
+  bool runs_on_nvidia;
+  bool runs_on_amd;
+  /// Launch shapes can be tuned per kernel/platform (CUDA/HIP/SYCL and,
+  /// via num_teams/thread_limit, OpenMP — but not C++ PSTL, SIV-e).
+  bool tunable;
+  /// Fixed threads-per-block when not tunable (nsys showed 256 for
+  /// stdpar on every architecture, SV-B).
+  std::int32_t fixed_threads;
+  /// Can overlap independent kernels (streams / queues); PSTL cannot.
+  bool supports_streams;
+
+  [[nodiscard]] bool runs_on(Vendor v) const {
+    return v == Vendor::kNvidia ? runs_on_nvidia : runs_on_amd;
+  }
+};
+
+const FrameworkTraits& framework_traits(Framework f);
+
+/// FP-atomic lowering this framework+compiler emits on a vendor: the
+/// paper found clang-based OpenMP and DPC++ unable to emit native RMW on
+/// MI250X (`-munsafe-fp-atomics` unsupported), falling back to CAS loops
+/// (SV-B). Everything emits native RMW on NVIDIA.
+[[nodiscard]] AtomicMode atomic_lowering(Framework f, Vendor v);
+
+/// Compiler provenance (paper Tables I-III).
+[[nodiscard]] CompilerInfo compiler_info(Framework f, Vendor v);
+
+/// Residual efficiency factor (0..1] for framework f on platform p at
+/// size class s (0: ~10 GB, 1: ~30 GB, 2: ~60 GB) — calibration
+/// transcribed from the paper's Fig. 5 after the structural model terms
+/// are accounted for. 1.0 = fully explained by structure.
+[[nodiscard]] double residual_efficiency(Framework f, Platform p,
+                                         int size_class);
+
+/// Size class from a problem footprint.
+[[nodiscard]] int size_class_of(double gigabytes);
+
+/// The execution plan framework f uses on platform p (tuned table or
+/// fixed shape, atomic lowering, stream capability).
+[[nodiscard]] ExecutionPlan execution_plan(Framework f, const GpuSpec& spec);
+
+}  // namespace gaia::perfmodel

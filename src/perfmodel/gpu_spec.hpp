@@ -1,0 +1,59 @@
+/// \file gpu_spec.hpp
+/// \brief Descriptions of the five accelerators of the study.
+///
+/// This environment has no GPUs, so the paper's platform axis is a
+/// calibrated analytical model (see DESIGN.md "Substitutions"). The
+/// numbers below are public datasheet values plus two behavioural
+/// parameters extracted from the paper's observations:
+///  * `spmv_bw_efficiency` — the fraction of peak bandwidth these
+///    scattered SpMV kernels achieve (the paper traces the MI250X gap to
+///    non-coalescent accesses and reproduces it with the amd-lab-notes
+///    SpMV kernels, SV-B);
+///  * `preferred_threads` — the threads-per-block sweet spot the paper's
+///    tuning found (32 on T4/V100, 256 on A100/H100, small on MI250X).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gaia::perfmodel {
+
+enum class Vendor : std::uint8_t { kNvidia, kAmd };
+
+enum class Platform : std::uint8_t {
+  kT4 = 0,
+  kV100,
+  kA100,
+  kH100,
+  kMi250x,
+};
+inline constexpr int kNumPlatforms = 5;
+
+[[nodiscard]] std::string to_string(Platform p);
+[[nodiscard]] std::optional<Platform> parse_platform(const std::string& name);
+[[nodiscard]] const std::vector<Platform>& all_platforms();
+
+struct GpuSpec {
+  Platform platform;
+  std::string name;      ///< marketing name (paper Table IV)
+  std::string cluster;   ///< hosting cluster in the paper
+  Vendor vendor;
+  double mem_capacity_gb;     ///< usable HBM/GDDR capacity
+  double peak_bw_gbs;         ///< peak memory bandwidth
+  double fp64_tflops;         ///< peak FP64 (vector) throughput
+  double launch_overhead_us;  ///< kernel launch latency
+  double spmv_bw_efficiency;  ///< achieved/peak bandwidth for these kernels
+  std::int32_t preferred_threads;  ///< best threads-per-block (paper SV-B)
+  double atomic_rmw_ns;       ///< per-update cost, native FP64 atomic
+  double atomic_cas_retry;    ///< extra cost factor of the CAS-loop lowering
+  std::int32_t max_concurrent_lanes;  ///< SMs/CUs x resident warps (model)
+};
+
+/// Datasheet + calibration record for a platform.
+const GpuSpec& gpu_spec(Platform p);
+
+}  // namespace gaia::perfmodel

@@ -1,0 +1,121 @@
+#include "perfmodel/multi_gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gaia::perfmodel {
+
+const InterconnectSpec& leonardo_interconnect() {
+  static const InterconnectSpec spec{
+      "NVLink3 + HDR InfiniBand (Leonardo-like)",
+      /*intra bw*/ 100.0, /*intra lat*/ 3.0,
+      /*ranks per node*/ 4,
+      /*inter bw*/ 25.0, /*inter lat*/ 8.0};
+  return spec;
+}
+
+const InterconnectSpec& setonix_interconnect() {
+  static const InterconnectSpec spec{
+      "Infinity Fabric + Slingshot (Setonix-like)",
+      /*intra bw*/ 72.0, /*intra lat*/ 3.5,
+      /*ranks per node*/ 8,
+      /*inter bw*/ 25.0, /*inter lat*/ 10.0};
+  return spec;
+}
+
+double MultiGpuModel::allreduce_seconds(double bytes, int ranks) const {
+  GAIA_CHECK(ranks >= 1, "need at least one rank");
+  if (ranks == 1) return 0.0;
+  // Ring allreduce: 2 (N-1)/N of the payload crosses the slowest link
+  // involved; 2 (N-1) latency hops.
+  const bool multi_node = ranks > net_.ranks_per_node;
+  const double link_bw =
+      (multi_node ? net_.internode_bw_gbs : net_.bw_gbs) * 1e9;
+  const double latency =
+      (multi_node ? net_.internode_latency_us : net_.latency_us) * 1e-6;
+  const double n = static_cast<double>(ranks);
+  return 2.0 * (n - 1.0) / n * bytes / link_bw +
+         2.0 * (n - 1.0) * latency;
+}
+
+ProblemShape MultiGpuModel::slice(const ProblemShape& total, int ranks) {
+  ProblemShape s = total;
+  s.n_rows = std::max<row_index>(1, total.n_rows / ranks);
+  s.n_stars = std::max<row_index>(1, total.n_stars / ranks);
+  // The unknown space stays global (x is replicated), but the astro
+  // scatter each rank performs covers only its own stars; the cost model
+  // prices by rows, which is what shrinks.
+  s.footprint_bytes = total.footprint_bytes / static_cast<byte_size>(ranks);
+  return s;
+}
+
+ProblemShape MultiGpuModel::scale_up(const ProblemShape& per_rank,
+                                     int ranks) {
+  ProblemShape s = per_rank;
+  s.n_rows = per_rank.n_rows * ranks;
+  s.n_stars = per_rank.n_stars * ranks;
+  s.n_astro_params = per_rank.n_astro_params * ranks;
+  s.footprint_bytes = per_rank.footprint_bytes * static_cast<byte_size>(ranks);
+  return s;
+}
+
+double MultiGpuModel::iteration_seconds(const ProblemShape& total,
+                                        const ExecutionPlan& plan,
+                                        int ranks) const {
+  GAIA_CHECK(ranks >= 1, "need at least one rank");
+  const ProblemShape local = slice(total, ranks);
+  const double compute = model_.iteration_seconds(local, plan);
+  // Per iteration the ranks allreduce the aprod2 scatter result over the
+  // replicated unknown space (production reduces the shared attitude /
+  // instrumental / global sections; the astrometric section is owned
+  // rank-locally thanks to the star partition) plus a handful of
+  // scalars.
+  const double shared_unknowns_bytes =
+      static_cast<double>(total.n_att_params + total.n_instr_params +
+                          total.n_glob_params) *
+      sizeof(real);
+  const double scalars_bytes = 4.0 * sizeof(real);
+  return compute + allreduce_seconds(shared_unknowns_bytes, ranks) +
+         allreduce_seconds(scalars_bytes, ranks);
+}
+
+std::vector<ScalingPoint> MultiGpuModel::strong_scaling(
+    const ProblemShape& total, const ExecutionPlan& plan,
+    int max_ranks) const {
+  GAIA_CHECK(max_ranks >= 1, "need at least one rank");
+  std::vector<ScalingPoint> points;
+  const double t1 = iteration_seconds(total, plan, 1);
+  for (int n = 1; n <= max_ranks; n *= 2) {
+    ScalingPoint p;
+    p.ranks = n;
+    p.compute_s = model_.iteration_seconds(slice(total, n), plan);
+    p.iteration_s = iteration_seconds(total, plan, n);
+    p.allreduce_s = p.iteration_s - p.compute_s;
+    p.efficiency = t1 / (p.iteration_s * n);  // parallel efficiency
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<ScalingPoint> MultiGpuModel::weak_scaling(
+    const ProblemShape& per_rank, const ExecutionPlan& plan,
+    int max_ranks) const {
+  GAIA_CHECK(max_ranks >= 1, "need at least one rank");
+  std::vector<ScalingPoint> points;
+  const double t1 = iteration_seconds(per_rank, plan, 1);
+  for (int n = 1; n <= max_ranks; n *= 2) {
+    ScalingPoint p;
+    p.ranks = n;
+    const ProblemShape total = scale_up(per_rank, n);
+    p.compute_s = model_.iteration_seconds(slice(total, n), plan);
+    p.iteration_s = iteration_seconds(total, plan, n);
+    p.allreduce_s = p.iteration_s - p.compute_s;
+    p.efficiency = t1 / p.iteration_s;  // constant-work efficiency
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace gaia::perfmodel

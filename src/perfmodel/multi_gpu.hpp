@@ -1,0 +1,88 @@
+/// \file multi_gpu.hpp
+/// \brief Multi-GPU / multi-node scaling model.
+///
+/// The paper measures single-GPU P and defers bigger problems to
+/// "multiple GPUs eventually on multiple nodes" (SV-B, footnote 3); the
+/// companion study (Malenza et al. 2024) ran the same solver on up to
+/// 256 Leonardo nodes. This module extends the iteration cost model to
+/// N ranks: each rank holds rows/N observations, computes its aprod
+/// share locally, and the iteration ends with an allreduce of the
+/// unknown-space updates plus the scalar reductions:
+///
+///   t_iter(N) = t_compute(shape / N) + t_allreduce(x bytes, N) + t_scalars
+///
+/// with a ring allreduce (2 (N-1)/N * bytes over the slowest link) and a
+/// latency term per hop. Produces the strong/weak-scaling curves and
+/// the communication-bound crossover.
+#pragma once
+
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/framework.hpp"
+
+namespace gaia::perfmodel {
+
+struct InterconnectSpec {
+  std::string name;
+  double bw_gbs;         ///< per-link bandwidth (unidirectional)
+  double latency_us;     ///< per-message latency
+  /// Ranks per node sharing the fast intra-node fabric; beyond this, the
+  /// inter-node network (typically slower) is the bottleneck.
+  int ranks_per_node = 4;
+  double internode_bw_gbs;
+  double internode_latency_us;
+};
+
+/// NVLink-class intra-node + InfiniBand-class inter-node (Leonardo-like).
+const InterconnectSpec& leonardo_interconnect();
+/// Slingshot-class (Setonix-like).
+const InterconnectSpec& setonix_interconnect();
+
+struct ScalingPoint {
+  int ranks = 1;
+  double compute_s = 0;
+  double allreduce_s = 0;
+  double iteration_s = 0;
+  /// Weak scaling: efficiency vs 1 rank at constant per-rank load.
+  /// Strong scaling: speedup vs 1 rank at constant total load.
+  double efficiency = 0;
+};
+
+class MultiGpuModel {
+ public:
+  MultiGpuModel(const GpuSpec& gpu, InterconnectSpec net)
+      : model_(gpu), net_(std::move(net)) {}
+
+  /// Ring-allreduce time for `bytes` over `ranks`.
+  [[nodiscard]] double allreduce_seconds(double bytes, int ranks) const;
+
+  /// One distributed LSQR iteration: local compute on rows/ranks plus
+  /// the two allreduces (aprod2 result and solver scalars).
+  [[nodiscard]] double iteration_seconds(const ProblemShape& total,
+                                         const ExecutionPlan& plan,
+                                         int ranks) const;
+
+  /// Strong scaling: fixed total problem, 1..max_ranks.
+  [[nodiscard]] std::vector<ScalingPoint> strong_scaling(
+      const ProblemShape& total, const ExecutionPlan& plan,
+      int max_ranks) const;
+
+  /// Weak scaling: fixed per-rank problem, 1..max_ranks.
+  [[nodiscard]] std::vector<ScalingPoint> weak_scaling(
+      const ProblemShape& per_rank, const ExecutionPlan& plan,
+      int max_ranks) const;
+
+  [[nodiscard]] const KernelCostModel& gpu_model() const { return model_; }
+
+ private:
+  /// Shape of one rank's slice of a total problem.
+  [[nodiscard]] static ProblemShape slice(const ProblemShape& total,
+                                          int ranks);
+  /// Total problem made of `ranks` copies of a per-rank shape.
+  [[nodiscard]] static ProblemShape scale_up(const ProblemShape& per_rank,
+                                             int ranks);
+
+  KernelCostModel model_;
+  InterconnectSpec net_;
+};
+
+}  // namespace gaia::perfmodel

@@ -1,0 +1,27 @@
+#include "perfmodel/problem_shape.hpp"
+
+#include <cmath>
+
+namespace gaia::perfmodel {
+
+ProblemShape ProblemShape::from_config(const matrix::GeneratorConfig& cfg) {
+  ProblemShape s;
+  s.n_stars = cfg.n_stars;
+  const double expected_rows =
+      static_cast<double>(cfg.n_stars) * cfg.obs_per_star_mean;
+  s.n_rows = static_cast<row_index>(expected_rows) +
+             cfg.constraints_per_axis * kAttBlocks;
+  s.n_astro_params = cfg.n_stars * kAstroParamsPerStar;
+  s.n_att_params = static_cast<col_index>(kAttBlocks) * cfg.att_dof_per_axis;
+  s.n_instr_params = cfg.n_instr_params;
+  s.n_glob_params = cfg.has_global ? 1 : 0;
+  s.footprint_bytes =
+      matrix::SystemMatrix::footprint_bytes_for(s.n_rows, s.n_stars);
+  return s;
+}
+
+ProblemShape ProblemShape::from_footprint(byte_size bytes) {
+  return from_config(matrix::config_for_footprint(bytes));
+}
+
+}  // namespace gaia::perfmodel

@@ -1,0 +1,40 @@
+/// \file problem_shape.hpp
+/// \brief Analytic problem dimensions for a given footprint.
+///
+/// The performance model prices kernels from the system's dimensions
+/// without allocating it (a 60 GB problem must be modellable on a
+/// laptop). The shape formulae are the same ones the generator uses
+/// (`matrix::config_for_footprint`), so a problem small enough to
+/// actually generate has exactly the modelled dimensions.
+#pragma once
+
+#include "matrix/generator.hpp"
+#include "util/types.hpp"
+
+namespace gaia::perfmodel {
+
+struct ProblemShape {
+  byte_size footprint_bytes = 0;
+  row_index n_rows = 0;    ///< observation + constraint rows
+  row_index n_stars = 0;
+  col_index n_astro_params = 0;
+  col_index n_att_params = 0;   ///< 3 axes x dof
+  col_index n_instr_params = 0;
+  col_index n_glob_params = 1;
+
+  [[nodiscard]] col_index n_unknowns() const {
+    return n_astro_params + n_att_params + n_instr_params + n_glob_params;
+  }
+  [[nodiscard]] double gigabytes() const {
+    return static_cast<double>(footprint_bytes) / static_cast<double>(kGiB);
+  }
+
+  /// Shape of the system `matrix::config_for_footprint(bytes)` generates,
+  /// computed without generating it.
+  static ProblemShape from_footprint(byte_size bytes);
+
+  /// Shape of an explicit generator configuration (expected rows).
+  static ProblemShape from_config(const matrix::GeneratorConfig& cfg);
+};
+
+}  // namespace gaia::perfmodel

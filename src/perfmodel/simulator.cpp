@@ -1,0 +1,141 @@
+#include "perfmodel/simulator.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/string_utils.hpp"
+
+namespace gaia::perfmodel {
+
+PlatformSimulator::PlatformSimulator(SimulatorOptions options)
+    : options_(options) {
+  GAIA_CHECK(options_.iterations > 0, "need at least one iteration");
+  GAIA_CHECK(options_.repetitions > 0, "need at least one repetition");
+}
+
+byte_size PlatformSimulator::device_bytes_needed(byte_size footprint) {
+  const ProblemShape shape = ProblemShape::from_footprint(footprint);
+  // System data + the five solver vectors (u on rows; v, w, x, var on
+  // unknowns).
+  const byte_size vectors =
+      static_cast<byte_size>(shape.n_rows) * sizeof(real) +
+      4ull * static_cast<byte_size>(shape.n_unknowns()) * sizeof(real);
+  return shape.footprint_bytes + vectors;
+}
+
+std::optional<std::string> PlatformSimulator::unsupported_reason(
+    Framework f, Platform p, byte_size footprint) const {
+  const GpuSpec& spec = gpu_spec(p);
+  const FrameworkTraits& traits = framework_traits(f);
+  if (!traits.runs_on(spec.vendor)) {
+    return traits.name + " has no " +
+           (spec.vendor == Vendor::kAmd ? std::string("AMD")
+                                        : std::string("NVIDIA")) +
+           " toolchain";
+  }
+  const byte_size needed = device_bytes_needed(footprint);
+  const auto capacity =
+      static_cast<byte_size>(spec.mem_capacity_gb * static_cast<double>(kGiB));
+  if (needed > capacity) {
+    return "problem needs " + util::format_bytes(needed) + " but " +
+           spec.name + " has " + util::format_bytes(capacity);
+  }
+  return std::nullopt;
+}
+
+double PlatformSimulator::model_iteration_seconds(
+    Framework f, Platform p, byte_size footprint) const {
+  const GpuSpec& spec = gpu_spec(p);
+  const ProblemShape shape = ProblemShape::from_footprint(footprint);
+  ExecutionPlan plan = execution_plan(f, spec);
+  plan.solve_global = options_.solve_global;
+  const KernelCostModel model(spec);
+  const double structural = model.iteration_seconds(shape, plan);
+  const double residual =
+      residual_efficiency(f, p, size_class_of(shape.gigabytes()));
+  return structural / residual;
+}
+
+SimulationResult PlatformSimulator::run(Framework f, Platform p,
+                                        byte_size footprint) const {
+  SimulationResult result;
+  result.framework = f;
+  result.platform = p;
+  result.problem_gb =
+      static_cast<double>(footprint) / static_cast<double>(kGiB);
+
+  if (const auto reason = unsupported_reason(f, p, footprint)) {
+    result.supported = false;
+    result.unsupported_reason = *reason;
+    return result;
+  }
+  result.supported = true;
+
+  const double base = model_iteration_seconds(f, p, footprint);
+  // Deterministic per-cell noise stream (seed mixes the campaign seed
+  // with the cell coordinates).
+  util::Xoshiro256 rng(options_.seed ^
+                       (static_cast<std::uint64_t>(f) << 32) ^
+                       (static_cast<std::uint64_t>(p) << 40) ^
+                       footprint);
+  const int total =
+      options_.iterations * options_.repetitions;
+  result.iteration_samples.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    const double noise = 1.0 + options_.jitter_fraction * rng.normal();
+    result.iteration_samples.push_back(base * std::max(0.5, noise));
+  }
+  result.mean_iteration_s = util::mean(result.iteration_samples);
+  result.stddev_iteration_s = util::stddev(result.iteration_samples);
+  return result;
+}
+
+metrics::PerformanceMatrix PlatformSimulator::measure_campaign(
+    byte_size footprint) const {
+  return measure_campaign(footprint, all_frameworks(), all_platforms());
+}
+
+metrics::PerformanceMatrix PlatformSimulator::measure_campaign(
+    byte_size footprint, const std::vector<Framework>& frameworks,
+    const std::vector<Platform>& platforms) const {
+  std::vector<std::string> app_names, plat_names;
+  for (Framework f : frameworks) app_names.push_back(to_string(f));
+  for (Platform p : platforms) plat_names.push_back(to_string(p));
+  metrics::PerformanceMatrix m(app_names, plat_names);
+  for (std::size_t a = 0; a < frameworks.size(); ++a) {
+    for (std::size_t p = 0; p < platforms.size(); ++p) {
+      const SimulationResult r = run(frameworks[a], platforms[p], footprint);
+      if (r.supported) m.set_time(a, p, r.mean_iteration_s);
+    }
+  }
+  return m;
+}
+
+std::vector<Platform> platforms_for_size(byte_size footprint) {
+  const byte_size needed = PlatformSimulator::device_bytes_needed(footprint);
+  std::vector<Platform> fits;
+  for (Platform p : all_platforms()) {
+    const auto capacity = static_cast<byte_size>(
+        gpu_spec(p).mem_capacity_gb * static_cast<double>(kGiB));
+    if (needed <= capacity) fits.push_back(p);
+  }
+  return fits;
+}
+
+std::vector<std::string> platform_names(
+    const std::vector<Platform>& platforms) {
+  std::vector<std::string> names;
+  names.reserve(platforms.size());
+  for (Platform p : platforms) names.push_back(to_string(p));
+  return names;
+}
+
+std::vector<std::string> nvidia_platform_names() {
+  std::vector<std::string> names;
+  for (Platform p : all_platforms())
+    if (gpu_spec(p).vendor == Vendor::kNvidia) names.push_back(to_string(p));
+  return names;
+}
+
+}  // namespace gaia::perfmodel

@@ -1,0 +1,86 @@
+/// \file simulator.hpp
+/// \brief Framework x platform x problem-size "measurement" campaign.
+///
+/// Reproduces the paper's experimental protocol on the analytical
+/// platform model: for every framework+compiler combination and every
+/// platform, check support (toolchain vendor coverage + device memory
+/// capacity), then produce the average LSQR iteration time over N
+/// iterations with a small deterministic run-to-run jitter (the paper
+/// averages 100 iterations and repeats 3 times).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/efficiency.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/framework.hpp"
+
+namespace gaia::perfmodel {
+
+struct SimulationResult {
+  Framework framework;
+  Platform platform;
+  double problem_gb = 0;
+  bool supported = false;
+  std::string unsupported_reason;
+  double mean_iteration_s = 0;
+  double stddev_iteration_s = 0;
+  std::vector<double> iteration_samples;
+};
+
+struct SimulatorOptions {
+  int iterations = 100;        ///< paper: 100 LSQR iterations
+  int repetitions = 3;         ///< paper: 3 repeats
+  double jitter_fraction = 0.01;  ///< run-to-run noise (1 sigma)
+  std::uint64_t seed = 0x70337033ull;
+  bool solve_global = false;   ///< production leaves gamma out (SV-C)
+};
+
+class PlatformSimulator {
+ public:
+  explicit PlatformSimulator(SimulatorOptions options = {});
+
+  [[nodiscard]] const SimulatorOptions& options() const { return options_; }
+
+  /// Does this framework run this problem on this platform? Returns the
+  /// reason when not (vendor toolchain, or device memory).
+  [[nodiscard]] std::optional<std::string> unsupported_reason(
+      Framework f, Platform p, byte_size footprint) const;
+
+  /// One measurement campaign cell.
+  [[nodiscard]] SimulationResult run(Framework f, Platform p,
+                                     byte_size footprint) const;
+
+  /// Deterministic noise-free iteration time (model output).
+  [[nodiscard]] double model_iteration_seconds(Framework f, Platform p,
+                                               byte_size footprint) const;
+
+  /// Full campaign: all frameworks x all platforms at one size, as a
+  /// metrics::PerformanceMatrix (unsupported cells marked).
+  [[nodiscard]] metrics::PerformanceMatrix measure_campaign(
+      byte_size footprint) const;
+  [[nodiscard]] metrics::PerformanceMatrix measure_campaign(
+      byte_size footprint, const std::vector<Framework>& frameworks,
+      const std::vector<Platform>& platforms) const;
+
+  /// Device memory needed for the solver at this footprint (system +
+  /// solver vectors), used by the capacity check.
+  [[nodiscard]] static byte_size device_bytes_needed(byte_size footprint);
+
+ private:
+  SimulatorOptions options_;
+};
+
+/// Names of the NVIDIA platforms (the paper's CUDA-only P subset).
+[[nodiscard]] std::vector<std::string> nvidia_platform_names();
+
+/// The platform set H for a problem size: every platform whose device
+/// memory fits the problem (the paper evaluates each size on exactly
+/// this set — 5 platforms at 10 GB, 4 at 30 GB, 2 at 60 GB).
+[[nodiscard]] std::vector<Platform> platforms_for_size(byte_size footprint);
+[[nodiscard]] std::vector<std::string> platform_names(
+    const std::vector<Platform>& platforms);
+
+}  // namespace gaia::perfmodel

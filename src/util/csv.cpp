@@ -1,0 +1,53 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gaia::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GAIA_CHECK(!headers_.empty(), "csv needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  GAIA_CHECK(cells.size() == headers_.size(),
+             "csv row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << escape(cells[i]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream f(path);
+  GAIA_CHECK(f.good(), "cannot open csv output: " + path);
+  f << str();
+  GAIA_CHECK(f.good(), "csv write failed: " + path);
+}
+
+}  // namespace gaia::util

@@ -1,0 +1,30 @@
+/// \file csv.hpp
+/// \brief Minimal CSV emission (benchmark side-files for plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gaia::util {
+
+/// Builds CSV content in memory; `write()` persists it. Values containing
+/// commas/quotes/newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file path; throws gaia::Error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gaia::util

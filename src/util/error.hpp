@@ -1,0 +1,43 @@
+/// \file error.hpp
+/// \brief Precondition checking helpers.
+///
+/// The library throws `gaia::Error` on contract violations instead of
+/// aborting: the solver is meant to be embeddable in long-running pipeline
+/// processes that must be able to reject a malformed dataset and continue.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gaia {
+
+/// Exception type used for all library-level failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(
+    const char* expr, const std::string& message,
+    const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": check failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace gaia
+
+/// Check a precondition; throws gaia::Error (never compiled out — these
+/// guard user-facing API boundaries, not inner loops).
+#define GAIA_CHECK(expr, msg)                              \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::gaia::detail::raise_check_failure(                 \
+          #expr, (msg), std::source_location::current());  \
+    }                                                      \
+  } while (false)

@@ -1,0 +1,72 @@
+#include "util/profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace gaia::util {
+
+void Profiler::record(const std::string& region, double seconds) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegionStats& stats = regions_[region];
+  if (stats.name.empty()) stats.name = region;
+  ++stats.calls;
+  stats.total_s += seconds;
+}
+
+std::vector<Profiler::RegionStats> Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RegionStats> out;
+  out.reserve(regions_.size());
+  for (const auto& [name, stats] : regions_) out.push_back(stats);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total_s > b.total_s;
+  });
+  return out;
+}
+
+double Profiler::total_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0;
+  for (const auto& [name, stats] : regions_) total += stats.total_s;
+  return total;
+}
+
+double Profiler::fraction_of(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0, matching = 0;
+  for (const auto& [name, stats] : regions_) {
+    total += stats.total_s;
+    if (name.rfind(prefix, 0) == 0) matching += stats.total_s;
+  }
+  return total > 0 ? matching / total : 0.0;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  regions_.clear();
+}
+
+std::string Profiler::report() const {
+  const auto stats = snapshot();
+  const double total = total_seconds();
+  std::ostringstream os;
+  os << std::left << std::setw(24) << "region" << std::right << std::setw(10)
+     << "calls" << std::setw(14) << "total (ms)" << std::setw(10) << "share"
+     << '\n';
+  for (const auto& s : stats) {
+    os << std::left << std::setw(24) << s.name << std::right << std::setw(10)
+       << s.calls << std::setw(14) << std::fixed << std::setprecision(3)
+       << s.total_s * 1e3 << std::setw(9) << std::setprecision(1)
+       << (total > 0 ? s.total_s / total * 100 : 0) << "%\n";
+  }
+  return os.str();
+}
+
+Profiler& Profiler::global() {
+  static Profiler profiler;
+  return profiler;
+}
+
+}  // namespace gaia::util

@@ -1,0 +1,55 @@
+/// \file stats.hpp
+/// \brief Summary statistics used by the benchmark harnesses and the
+/// Pennycook-P analysis (harmonic means, dispersion, percentiles).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gaia::util {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased (n-1) standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Harmonic mean; 0 if any element is <= 0 (matches the P-metric
+/// convention that an unsupported platform zeroes the score).
+double harmonic_mean(std::span<const double> xs);
+
+/// Geometric mean; 0 if any element is <= 0.
+double geometric_mean(std::span<const double> xs);
+
+/// Sample minimum / maximum; 0 for an empty sample.
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Median (linear-interpolated); 0 for an empty sample.
+double median(std::span<const double> xs);
+
+/// q-th percentile with linear interpolation, q in [0, 100].
+double percentile(std::span<const double> xs, double q);
+
+/// Least-squares slope/intercept of y over x (simple linear regression).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination R^2 in [0, 1].
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Aggregate of repeated measurements (the paper repeats each experiment
+/// 3 times and reports the average over 100 iterations).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+Summary summarize(std::span<const double> xs);
+
+}  // namespace gaia::util

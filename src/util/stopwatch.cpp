@@ -1,0 +1,5 @@
+#include "util/stopwatch.hpp"
+
+// Header-only today; translation unit kept so the target always has at
+// least one object file and future non-inline additions have a home.
+namespace gaia::util {}

@@ -1,0 +1,57 @@
+/// \file stopwatch.hpp
+/// \brief Wall-clock timing for iteration-time measurements.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace gaia::util {
+
+/// Monotonic stopwatch. The paper's metric is the average LSQR iteration
+/// time; all timings in this library are wall-clock seconds as doubles.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+  [[nodiscard]] double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates per-iteration samples (seconds) and exposes summary stats.
+class IterationTimer {
+ public:
+  void start() { watch_.reset(); }
+  void stop() { samples_.push_back(watch_.elapsed_s()); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double total_s() const {
+    double t = 0.0;
+    for (double s : samples_) t += s;
+    return t;
+  }
+
+  [[nodiscard]] double mean_s() const {
+    return samples_.empty() ? 0.0
+                            : total_s() / static_cast<double>(samples_.size());
+  }
+
+ private:
+  Stopwatch watch_;
+  std::vector<double> samples_;
+};
+
+}  // namespace gaia::util

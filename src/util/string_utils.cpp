@@ -1,0 +1,116 @@
+#include "util/string_utils.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace gaia::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::optional<byte_size> parse_size(std::string_view raw) {
+  const std::string s = trim(raw);
+  if (s.empty()) return std::nullopt;
+  // Split numeric prefix from unit suffix.
+  std::size_t i = 0;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.'))
+    ++i;
+  if (i == 0) return std::nullopt;
+  double value = 0.0;
+  try {
+    value = std::stod(s.substr(0, i));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (value < 0.0) return std::nullopt;
+  std::string unit = trim(s.substr(i));
+  double mult = 1.0;
+  if (unit.empty() || iequals(unit, "b")) {
+    mult = 1.0;
+  } else if (iequals(unit, "k") || iequals(unit, "kb") || iequals(unit, "kib")) {
+    mult = static_cast<double>(kKiB);
+  } else if (iequals(unit, "m") || iequals(unit, "mb") || iequals(unit, "mib")) {
+    mult = static_cast<double>(kMiB);
+  } else if (iequals(unit, "g") || iequals(unit, "gb") || iequals(unit, "gib")) {
+    mult = static_cast<double>(kGiB);
+  } else if (iequals(unit, "t") || iequals(unit, "tb") || iequals(unit, "tib")) {
+    mult = static_cast<double>(kGiB) * 1024.0;
+  } else {
+    return std::nullopt;
+  }
+  return static_cast<byte_size>(std::llround(value * mult));
+}
+
+std::string format_bytes(byte_size bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << ' '
+     << units[u];
+  return os.str();
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  const double a = std::abs(seconds);
+  if (a >= 1.0)
+    os << seconds << " s";
+  else if (a >= 1e-3)
+    os << seconds * 1e3 << " ms";
+  else if (a >= 1e-6)
+    os << seconds * 1e6 << " us";
+  else
+    os << seconds * 1e9 << " ns";
+  return os.str();
+}
+
+}  // namespace gaia::util

@@ -1,0 +1,38 @@
+/// \file string_utils.hpp
+/// \brief Small string helpers (parsing sizes, joining, formatting).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gaia::util {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// Case-insensitive equality (ASCII).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Parse a human size such as "10GB", "512MB", "42G", "1.5GiB" into bytes.
+/// Returns nullopt on malformed input. Decimal prefixes are treated as
+/// binary (the paper sizes datasets "in GB" loosely).
+std::optional<byte_size> parse_size(std::string_view s);
+
+/// Render bytes as a human string ("10.0 GiB").
+std::string format_bytes(byte_size bytes);
+
+/// Render seconds with an adaptive unit ("1.23 ms", "45.6 us").
+std::string format_seconds(double seconds);
+
+}  // namespace gaia::util

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gaia::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GAIA_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GAIA_CHECK(cells.size() == headers_.size(),
+             "row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num_or_na(double v, int precision) {
+  return v < 0.0 ? std::string("n/a") : num(v, precision);
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+std::string bar(const std::string& label, double value, double max_value,
+                int width) {
+  const double frac =
+      max_value > 0.0 ? std::clamp(value / max_value, 0.0, 1.0) : 0.0;
+  const int filled = static_cast<int>(std::lround(frac * width));
+  std::ostringstream os;
+  os << std::left << std::setw(22) << label << " |"
+     << std::string(static_cast<std::size_t>(filled), '#')
+     << std::string(static_cast<std::size_t>(width - filled), ' ') << "| "
+     << std::fixed << std::setprecision(3) << value;
+  return os.str();
+}
+
+}  // namespace gaia::util

@@ -1,0 +1,44 @@
+/// \file table.hpp
+/// \brief Fixed-width ASCII table rendering for benchmark reports.
+///
+/// The benchmark harnesses regenerate the paper's tables/figures as text:
+/// rows of numbers plus simple ASCII "cascade" charts. This keeps the
+/// reproduction self-contained (no plotting stack needed) while emitting
+/// CSV side-files for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gaia::util {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Formats a double or "n/a" when the value is negative (used for
+  /// unsupported platform/framework combinations).
+  static std::string num_or_na(double v, int precision = 3);
+
+  /// Render with box-drawing separators.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a horizontal bar chart line: `label |#####     | value`.
+/// Used for the efficiency cascades (paper Fig. 3) in terminal output.
+std::string bar(const std::string& label, double value, double max_value,
+                int width = 40);
+
+}  // namespace gaia::util

@@ -1,0 +1,51 @@
+/// \file types.hpp
+/// \brief Fundamental scalar and index types shared across the library.
+///
+/// The AVU-GSR system is indexed by observation (row) and unknown (column).
+/// Row counts reach O(1e10) in production, so 64-bit indices are mandatory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gaia {
+
+/// Floating-point type of the solver. The production code is double
+/// precision end to end (micro-arcsecond accuracy needs ~1e-11 rad).
+using real = double;
+
+/// Row index: one observation equation of the system A x = b.
+using row_index = std::int64_t;
+
+/// Column index: one unknown (astrometric / attitude / instrumental /
+/// global parameter).
+using col_index = std::int64_t;
+
+/// Raw byte sizes (memory footprints, device-buffer accounting).
+using byte_size = std::uint64_t;
+
+inline constexpr byte_size kKiB = 1024ull;
+inline constexpr byte_size kMiB = 1024ull * kKiB;
+inline constexpr byte_size kGiB = 1024ull * kMiB;
+
+/// Number of non-zero coefficients each row of the reduced matrix carries,
+/// split by parameter block (see paper SIII-B).
+inline constexpr int kAstroNnzPerRow = 5;   ///< contiguous, block diagonal
+inline constexpr int kAttNnzPerRow   = 12;  ///< 3 blocks of 4, fixed stride
+inline constexpr int kAttBlocks      = 3;   ///< attitude blocks per row
+inline constexpr int kAttBlockSize   = 4;   ///< non-zeros per attitude block
+inline constexpr int kInstrNnzPerRow = 6;   ///< irregular column pattern
+inline constexpr int kGlobNnzPerRow  = 1;   ///< at most one global (PPN gamma)
+inline constexpr int kNnzPerRow =
+    kAstroNnzPerRow + kAttNnzPerRow + kInstrNnzPerRow + kGlobNnzPerRow;  // 24
+
+/// Astrometric parameters per star (alpha, delta, parallax, mu_alpha*,
+/// mu_delta).
+inline constexpr int kAstroParamsPerStar = 5;
+
+/// Gaia accuracy goal: 10 micro-arcseconds expressed in radians. Used as
+/// the agreement threshold in the validation experiments (paper SV-C).
+inline constexpr real kMicroArcsecInRad = 4.84813681109536e-12;
+inline constexpr real kAccuracyGoalRad  = 10.0 * kMicroArcsecInRad;
+
+}  // namespace gaia

@@ -1,0 +1,103 @@
+#include "validation/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace gaia::validation {
+
+SolutionComparison compare_solutions(std::span<const real> candidate,
+                                     std::span<const real> reference,
+                                     std::span<const real> candidate_err,
+                                     std::span<const real> reference_err,
+                                     real accuracy_goal) {
+  GAIA_CHECK(candidate.size() == reference.size(),
+             "solution size mismatch");
+  const bool have_errors =
+      !candidate_err.empty() && !reference_err.empty();
+  if (have_errors) {
+    GAIA_CHECK(candidate_err.size() == candidate.size() &&
+                   reference_err.size() == reference.size(),
+               "error-vector size mismatch");
+  }
+
+  SolutionComparison cmp;
+  cmp.n = candidate.size();
+  if (cmp.n == 0) return cmp;
+
+  std::vector<double> diffs(cmp.n);
+  double ref_sq = 0, diff_sq = 0;
+  std::size_t within_sigma = 0;
+  for (std::size_t i = 0; i < cmp.n; ++i) {
+    const double d = candidate[i] - reference[i];
+    diffs[i] = d;
+    diff_sq += d * d;
+    ref_sq += reference[i] * reference[i];
+    cmp.max_abs_diff = std::max(cmp.max_abs_diff, std::abs(d));
+    if (have_errors) {
+      const double sigma = std::sqrt(candidate_err[i] * candidate_err[i] +
+                                     reference_err[i] * reference_err[i]);
+      if (std::abs(d) <= sigma || sigma == 0.0) ++within_sigma;
+    }
+  }
+  cmp.mean_diff = util::mean(diffs);
+  cmp.stddev_diff = util::stddev(diffs);
+  cmp.rel_l2_error =
+      std::sqrt(diff_sq) / std::max(std::sqrt(ref_sq), 1e-300);
+  cmp.sigma_agreement =
+      have_errors ? static_cast<double>(within_sigma) /
+                        static_cast<double>(cmp.n)
+                  : 0.0;
+
+  // Paper SV-C: mean and sigma of the standard-error differences must
+  // stay below the astrometric accuracy goal. Applied here to the
+  // solution differences of whatever pair is being validated.
+  cmp.below_accuracy_goal = std::abs(cmp.mean_diff) < accuracy_goal &&
+                            cmp.stddev_diff < accuracy_goal;
+  return cmp;
+}
+
+std::string SolutionComparison::summary() const {
+  std::ostringstream os;
+  os << "n=" << n << " max|d|=" << max_abs_diff << " mean(d)=" << mean_diff
+     << " sigma(d)=" << stddev_diff << " rel-l2=" << rel_l2_error
+     << " 1sigma-agreement=" << sigma_agreement * 100 << "%"
+     << (below_accuracy_goal ? " [within accuracy goal]"
+                             : " [EXCEEDS accuracy goal]");
+  return os.str();
+}
+
+std::vector<ScatterPoint> astrometric_scatter(
+    const matrix::ParameterLayout& layout, std::span<const real> candidate,
+    std::span<const real> reference, std::size_t max_points) {
+  GAIA_CHECK(candidate.size() == reference.size(), "size mismatch");
+  GAIA_CHECK(static_cast<col_index>(candidate.size()) ==
+                 layout.n_unknowns(),
+             "solution does not match layout");
+  const auto n_astro = static_cast<std::size_t>(layout.n_astro_params());
+  const std::size_t stride =
+      std::max<std::size_t>(1, n_astro / std::max<std::size_t>(1, max_points));
+  std::vector<ScatterPoint> points;
+  points.reserve(n_astro / stride + 1);
+  for (std::size_t c = 0; c < n_astro; c += stride) {
+    points.push_back({static_cast<col_index>(c), reference[c], candidate[c]});
+  }
+  return points;
+}
+
+OneToOneFit fit_one_to_one(const std::vector<ScatterPoint>& points) {
+  std::vector<double> x, y;
+  x.reserve(points.size());
+  y.reserve(points.size());
+  for (const auto& p : points) {
+    x.push_back(p.reference);
+    y.push_back(p.candidate);
+  }
+  const util::LinearFit fit = util::linear_fit(x, y);
+  return {fit.slope, fit.intercept, fit.r2};
+}
+
+}  // namespace gaia::validation

@@ -1,0 +1,68 @@
+/// \file compare.hpp
+/// \brief Cross-port solution validation (paper SV-C / Fig. 6).
+///
+/// The paper validates every port against the production CUDA solution:
+/// (i) the solutions and their standard errors must agree within 1 sigma,
+/// and (ii) the mean and standard deviation of the standard-error
+/// differences must stay below the 10 micro-arcsecond astrometric
+/// accuracy goal. This module computes those acceptance statistics and
+/// emits the one-to-one scatter series Fig. 6 plots.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "matrix/layout.hpp"
+#include "util/types.hpp"
+
+namespace gaia::validation {
+
+/// Statistics of a candidate solution against a reference solution.
+struct SolutionComparison {
+  std::size_t n = 0;
+  double max_abs_diff = 0;
+  double mean_diff = 0;       ///< signed mean of (candidate - reference)
+  double stddev_diff = 0;
+  double rel_l2_error = 0;    ///< ||cand - ref|| / ||ref||
+  /// Fraction of unknowns where |cand - ref| <= combined 1-sigma error
+  /// (only meaningful when standard errors are supplied).
+  double sigma_agreement = 0;
+  /// Paper acceptance: mean and sigma of the std-error differences below
+  /// the 10 uas threshold.
+  bool below_accuracy_goal = false;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compare solutions; when both error spans are non-empty the 1-sigma
+/// agreement fraction is computed from their combined uncertainty.
+SolutionComparison compare_solutions(std::span<const real> candidate,
+                                     std::span<const real> reference,
+                                     std::span<const real> candidate_err = {},
+                                     std::span<const real> reference_err = {},
+                                     real accuracy_goal = kAccuracyGoalRad);
+
+/// One point of the Fig. 6 one-to-one scatter.
+struct ScatterPoint {
+  col_index unknown = 0;
+  real reference = 0;
+  real candidate = 0;
+};
+
+/// Scatter of the astrometric section only (what Fig. 6 shows),
+/// downsampled to at most `max_points` evenly spaced unknowns.
+std::vector<ScatterPoint> astrometric_scatter(
+    const matrix::ParameterLayout& layout, std::span<const real> candidate,
+    std::span<const real> reference, std::size_t max_points = 2000);
+
+/// Linear fit through the scatter: slope ~ 1 and intercept ~ 0 certify
+/// the one-to-one relation (the dashed line of Fig. 6).
+struct OneToOneFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;
+};
+OneToOneFit fit_one_to_one(const std::vector<ScatterPoint>& points);
+
+}  // namespace gaia::validation

@@ -1,0 +1,81 @@
+#include "validation/residual_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace gaia::validation {
+
+ResidualAnalysis analyze_residuals(std::span<const real> residuals,
+                                   std::span<const matrix::Transit> transits,
+                                   int n_bins) {
+  GAIA_CHECK(residuals.size() == transits.size(),
+             "one residual per transit required");
+  GAIA_CHECK(n_bins >= 2, "need at least two bins");
+  GAIA_CHECK(!residuals.empty(), "no residuals to analyze");
+
+  double t_min = transits[0].time, t_max = transits[0].time;
+  for (const auto& tr : transits) {
+    t_min = std::min(t_min, tr.time);
+    t_max = std::max(t_max, tr.time);
+  }
+  const double span = std::max(1e-12, t_max - t_min);
+
+  std::vector<std::vector<double>> buckets(
+      static_cast<std::size_t>(n_bins));
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    const auto b = std::min<std::size_t>(
+        static_cast<std::size_t>((transits[i].time - t_min) / span *
+                                 n_bins),
+        static_cast<std::size_t>(n_bins - 1));
+    buckets[b].push_back(residuals[i]);
+  }
+
+  ResidualAnalysis out;
+  std::vector<double> bin_means, bin_centers;
+  std::size_t zero_consistent = 0, populated = 0;
+  for (int b = 0; b < n_bins; ++b) {
+    const auto& bucket = buckets[static_cast<std::size_t>(b)];
+    ResidualBin bin;
+    bin.t_center = t_min + span * (b + 0.5) / n_bins;
+    bin.count = bucket.size();
+    if (!bucket.empty()) {
+      bin.mean = util::mean(bucket);
+      bin.stddev = util::stddev(bucket);
+      bin_means.push_back(bin.mean);
+      bin_centers.push_back(bin.t_center);
+      ++populated;
+      const double sem =
+          bin.stddev / std::sqrt(static_cast<double>(bucket.size()));
+      if (std::abs(bin.mean) <= 3.0 * std::max(sem, 1e-300))
+        ++zero_consistent;
+    }
+    out.bins.push_back(bin);
+  }
+
+  std::vector<double> all(residuals.begin(), residuals.end());
+  out.global_mean = util::mean(all);
+  out.global_stddev = util::stddev(all);
+  out.bins_consistent_with_zero =
+      populated > 0 ? static_cast<double>(zero_consistent) /
+                          static_cast<double>(populated)
+                    : 0.0;
+  out.trend_slope = util::linear_fit(bin_centers, bin_means).slope;
+
+  // Lag-1 autocorrelation of the binned means.
+  if (bin_means.size() >= 3) {
+    const double m = util::mean(bin_means);
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < bin_means.size(); ++i) {
+      den += (bin_means[i] - m) * (bin_means[i] - m);
+      if (i + 1 < bin_means.size())
+        num += (bin_means[i] - m) * (bin_means[i + 1] - m);
+    }
+    out.lag1_autocorrelation = den > 0 ? num / den : 0.0;
+  }
+  return out;
+}
+
+}  // namespace gaia::validation

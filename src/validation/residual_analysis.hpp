@@ -1,0 +1,53 @@
+/// \file residual_analysis.hpp
+/// \brief Post-solve residual time-series analysis (paper Fig. 1:
+/// "Residuals Time-series Analysis" / "Statistical Fit").
+///
+/// After the solver, the pipeline inspects the along-scan residuals as a
+/// function of observation time: a healthy solution leaves white,
+/// zero-mean residuals; attitude mis-modelling or calibration drift show
+/// up as time-correlated structure. This module bins residuals by
+/// transit time, fits the trend, and computes the lag-1 autocorrelation
+/// whiteness statistic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/scanlaw.hpp"
+
+namespace gaia::validation {
+
+struct ResidualBin {
+  double t_center = 0;   ///< bin center (years)
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+};
+
+struct ResidualAnalysis {
+  std::vector<ResidualBin> bins;
+  double global_mean = 0;
+  double global_stddev = 0;
+  /// Linear drift of the residual mean over time (units / year).
+  double trend_slope = 0;
+  /// Lag-1 autocorrelation of the binned means: ~0 for white residuals,
+  /// -> 1 for strongly time-correlated structure.
+  double lag1_autocorrelation = 0;
+  /// Fraction of bins whose mean is within 3 sigma/sqrt(n) of zero.
+  double bins_consistent_with_zero = 0;
+
+  [[nodiscard]] bool looks_white(double trend_tol, double autocorr_tol)
+      const {
+    return std::abs(trend_slope) < trend_tol &&
+           std::abs(lag1_autocorrelation) < autocorr_tol;
+  }
+};
+
+/// Bins the per-observation residuals by transit time and computes the
+/// whiteness statistics. `residuals` must cover the observation rows
+/// (constraint-row residuals are excluded by the caller).
+ResidualAnalysis analyze_residuals(std::span<const real> residuals,
+                                   std::span<const matrix::Transit> transits,
+                                   int n_bins = 20);
+
+}  // namespace gaia::validation

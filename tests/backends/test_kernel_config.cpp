@@ -1,0 +1,75 @@
+#include "backends/kernel_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace gaia::backends {
+namespace {
+
+TEST(KernelConfig, DefaultIsSentinel) {
+  KernelConfig cfg;
+  EXPECT_TRUE(cfg.is_default());
+  EXPECT_FALSE((KernelConfig{32, 32}).is_default());
+  EXPECT_EQ((KernelConfig{4, 8}).total_threads(), 32);
+}
+
+TEST(KernelId, NamesAreUniqueAndStable) {
+  EXPECT_EQ(to_string(KernelId::kAprod1Astro), "aprod1_astro");
+  EXPECT_EQ(to_string(KernelId::kAprod2Glob), "aprod2_glob");
+  std::set<std::string> names;
+  for (int k = 0; k < kNumKernels; ++k)
+    names.insert(to_string(static_cast<KernelId>(k)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumKernels));
+}
+
+TEST(KernelId, AtomicsFlagMatchesPaper) {
+  // Only the aprod2 scatter kernels for shared columns need atomics; the
+  // block-diagonal astrometric scatter and all gathers do not.
+  EXPECT_FALSE(kernel_uses_atomics(KernelId::kAprod1Astro));
+  EXPECT_FALSE(kernel_uses_atomics(KernelId::kAprod1Att));
+  EXPECT_FALSE(kernel_uses_atomics(KernelId::kAprod1Instr));
+  EXPECT_FALSE(kernel_uses_atomics(KernelId::kAprod1Glob));
+  EXPECT_FALSE(kernel_uses_atomics(KernelId::kAprod2Astro));
+  EXPECT_TRUE(kernel_uses_atomics(KernelId::kAprod2Att));
+  EXPECT_TRUE(kernel_uses_atomics(KernelId::kAprod2Instr));
+  EXPECT_TRUE(kernel_uses_atomics(KernelId::kAprod2Glob));
+}
+
+TEST(TuningTable, SetGetRoundTrip) {
+  TuningTable t;
+  t.set(KernelId::kAprod1Att, {10, 20});
+  EXPECT_EQ(t.get(KernelId::kAprod1Att), (KernelConfig{10, 20}));
+  EXPECT_TRUE(t.get(KernelId::kAprod1Astro).is_default());
+}
+
+TEST(TuningTable, SetAllAppliesEverywhere) {
+  TuningTable t;
+  t.set_all({7, 9});
+  for (int k = 0; k < kNumKernels; ++k)
+    EXPECT_EQ(t.get(static_cast<KernelId>(k)), (KernelConfig{7, 9}));
+}
+
+TEST(TuningTable, TunedDefaultNarrowsAtomicKernels) {
+  // The production optimization: atomic kernels get fewer virtual
+  // threads than gather kernels (paper SIV).
+  const TuningTable t = TuningTable::tuned_default();
+  const auto wide = t.get(KernelId::kAprod1Astro).total_threads();
+  for (const KernelId id : {KernelId::kAprod2Att, KernelId::kAprod2Instr,
+                            KernelId::kAprod2Glob}) {
+    EXPECT_LT(t.get(id).total_threads(), wide) << to_string(id);
+  }
+  // The most contended kernel (single global column) is the narrowest.
+  EXPECT_LE(t.get(KernelId::kAprod2Glob).total_threads(),
+            t.get(KernelId::kAprod2Att).total_threads());
+}
+
+TEST(TuningTable, UntunedIsUniform) {
+  const TuningTable t = TuningTable::untuned({256, 256});
+  for (int k = 0; k < kNumKernels; ++k)
+    EXPECT_EQ(t.get(static_cast<KernelId>(k)), (KernelConfig{256, 256}));
+}
+
+}  // namespace
+}  // namespace gaia::backends

@@ -1,0 +1,94 @@
+#include "backends/pstl_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "backends/counting_iterator.hpp"
+
+namespace gaia::backends {
+namespace {
+
+TEST(CountingIterator, SatisfiesRandomAccessSemantics) {
+  CountingIterator it(10);
+  EXPECT_EQ(*it, 10);
+  EXPECT_EQ(it[5], 15);
+  EXPECT_EQ(*(it + 3), 13);
+  EXPECT_EQ(*(3 + it), 13);
+  EXPECT_EQ(*(it - 2), 8);
+  EXPECT_EQ(CountingIterator(20) - CountingIterator(5), 15);
+  EXPECT_TRUE(CountingIterator(1) < CountingIterator(2));
+  EXPECT_EQ(CountingIterator(7), CountingIterator(7));
+  ++it;
+  EXPECT_EQ(*it, 11);
+  --it;
+  EXPECT_EQ(*it, 10);
+  it += 4;
+  EXPECT_EQ(*it, 14);
+  it -= 4;
+  EXPECT_EQ(*it, 10);
+  EXPECT_EQ(*it++, 10);
+  EXPECT_EQ(*it--, 11);
+  EXPECT_EQ(*it, 10);
+}
+
+static_assert(std::random_access_iterator<CountingIterator>);
+
+TEST(PstlForEach, SequencedVisitsInOrder) {
+  std::vector<std::int64_t> seen;
+  pstl::for_each(pstl::seq, CountingIterator(0), CountingIterator(10),
+                 [&](std::int64_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(PstlForEach, ParallelVisitsEveryIndexOnce) {
+  constexpr std::int64_t n = 50000;
+  std::vector<std::atomic<int>> hits(n);
+  pstl::for_each(pstl::par, CountingIterator(0), CountingIterator(n),
+                 [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(PstlForEachN, ReturnsAdvancedIterator) {
+  std::atomic<std::int64_t> sum{0};
+  const auto end = pstl::for_each_n(pstl::par, CountingIterator(5), 10,
+                                    [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(*end, 15);
+  EXPECT_EQ(sum.load(), 5 + 6 + 7 + 8 + 9 + 10 + 11 + 12 + 13 + 14);
+}
+
+TEST(PstlTransformReduce, SequencedMatchesClosedForm) {
+  const auto sum = pstl::transform_reduce(
+      pstl::seq, CountingIterator(0), CountingIterator(101), std::int64_t{0},
+      std::plus<>{}, [](std::int64_t i) { return i; });
+  EXPECT_EQ(sum, 5050);
+}
+
+TEST(PstlTransformReduce, ParallelMatchesSequenced) {
+  auto square = [](std::int64_t i) { return static_cast<double>(i) * i; };
+  const double seq_sum = pstl::transform_reduce(
+      pstl::seq, CountingIterator(0), CountingIterator(10000), 0.0,
+      std::plus<>{}, square);
+  const double par_sum = pstl::transform_reduce(
+      pstl::par, CountingIterator(0), CountingIterator(10000), 0.0,
+      std::plus<>{}, square);
+  EXPECT_NEAR(par_sum, seq_sum, 1e-6 * seq_sum);
+}
+
+TEST(PstlTransformReduce, EmptyRangeReturnsInit) {
+  const double r = pstl::transform_reduce(
+      pstl::par, CountingIterator(5), CountingIterator(5), 7.5,
+      std::plus<>{}, [](std::int64_t) { return 1.0; });
+  EXPECT_DOUBLE_EQ(r, 7.5);
+}
+
+TEST(PstlForEach, EmptyRangeNoop) {
+  bool called = false;
+  pstl::for_each(pstl::par, CountingIterator(3), CountingIterator(3),
+                 [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace gaia::backends

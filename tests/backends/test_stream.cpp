@@ -1,0 +1,118 @@
+#include "backends/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace gaia::backends {
+namespace {
+
+TEST(Stream, ExecutesTasksInFifoOrder) {
+  Stream s;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    s.enqueue([&order, i] { order.push_back(i); });
+  }
+  s.synchronize();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Stream, SynchronizeWaitsForInFlightTask) {
+  Stream s;
+  std::atomic<bool> finished{false};
+  s.enqueue([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    finished.store(true);
+  });
+  s.synchronize();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(Stream, SynchronizeOnIdleStreamReturnsImmediately) {
+  Stream s;
+  s.synchronize();  // must not hang
+  EXPECT_EQ(s.completed(), 0u);
+}
+
+TEST(Stream, CompletedCounterAdvances) {
+  Stream s;
+  for (int i = 0; i < 5; ++i) s.enqueue([] {});
+  s.synchronize();
+  EXPECT_EQ(s.completed(), 5u);
+}
+
+TEST(Stream, TasksRunOffCallerThread) {
+  Stream s;
+  std::thread::id worker_id;
+  s.enqueue([&] { worker_id = std::this_thread::get_id(); });
+  s.synchronize();
+  EXPECT_NE(worker_id, std::this_thread::get_id());
+}
+
+TEST(Stream, MultipleStreamsOverlap) {
+  // Two streams each sleeping 50 ms should finish in well under 100 ms
+  // when truly concurrent.
+  Stream s1, s2;
+  const auto t0 = std::chrono::steady_clock::now();
+  s1.enqueue([] { std::this_thread::sleep_for(std::chrono::milliseconds(50)); });
+  s2.enqueue([] { std::this_thread::sleep_for(std::chrono::milliseconds(50)); });
+  s1.synchronize();
+  s2.synchronize();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_LT(ms, 95.0);
+}
+
+TEST(Stream, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    Stream s;
+    for (int i = 0; i < 10; ++i) s.enqueue([&] { ran.fetch_add(1); });
+  }  // destructor joins after draining
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(Event, RecordsAfterPriorTasks) {
+  Stream s;
+  std::atomic<bool> task_done{false};
+  Event e;
+  s.enqueue([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    task_done.store(true);
+  });
+  s.record(e);
+  e.wait();
+  EXPECT_TRUE(task_done.load());
+  EXPECT_TRUE(e.query());
+}
+
+TEST(Event, QueryBeforeSignalIsFalse) {
+  Event e;
+  EXPECT_FALSE(e.query());
+}
+
+TEST(Event, CrossStreamWait) {
+  Stream producer, consumer;
+  Event ready;
+  std::atomic<int> value{0};
+  producer.enqueue([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    value.store(42);
+  });
+  producer.record(ready);
+  std::atomic<int> observed{-1};
+  consumer.enqueue([&] {
+    ready.wait();
+    observed.store(value.load());
+  });
+  consumer.synchronize();
+  EXPECT_EQ(observed.load(), 42);
+}
+
+}  // namespace
+}  // namespace gaia::backends

@@ -1,0 +1,194 @@
+#include "core/aprod_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/dense.hpp"
+#include "matrix/generator.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace gaia::core {
+namespace {
+
+using backends::BackendKind;
+using matrix::dense_matvec;
+using matrix::dense_rmatvec;
+using matrix::to_dense;
+
+/// Fixture: one generated system + its dense oracle + random vectors.
+class AprodKernels : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    gen_ = matrix::generate_system(gaia::testing::small_config(17));
+    view_ = SystemView::from(gen_.A);
+    dense_ = to_dense(gen_.A);
+    util::Xoshiro256 rng(31);
+    x_.resize(static_cast<std::size_t>(gen_.A.n_cols()));
+    y_.resize(static_cast<std::size_t>(gen_.A.n_rows()));
+    for (auto& v : x_) v = rng.normal();
+    for (auto& v : y_) v = rng.normal();
+  }
+
+  template <typename F>
+  void run(F&& f) {
+    backends::dispatch(GetParam(), std::forward<F>(f));
+  }
+
+  matrix::GeneratedSystem gen_;
+  SystemView view_{};
+  std::vector<real> dense_;
+  std::vector<real> x_;
+  std::vector<real> y_;
+};
+
+TEST_P(AprodKernels, Aprod1SumOfKernelsMatchesDenseMatvec) {
+  std::vector<real> y(y_.size(), 0.0);
+  run([&](auto exec) {
+    using Exec = decltype(exec);
+    aprod1_astro<Exec>(view_, x_.data(), y.data(), {});
+    aprod1_att<Exec>(view_, x_.data(), y.data(), {});
+    aprod1_instr<Exec>(view_, x_.data(), y.data(), {});
+    aprod1_glob<Exec>(view_, x_.data(), y.data(), {});
+  });
+  const auto oracle = dense_matvec(dense_, gen_.A.n_rows(), gen_.A.n_cols(),
+                                   x_);
+  EXPECT_LT(gaia::testing::rel_l2_error(y, oracle), 1e-12);
+}
+
+TEST_P(AprodKernels, Aprod1AccumulatesOntoExistingY) {
+  // y += A x semantics: pre-filled y must be preserved additively.
+  std::vector<real> y = y_;
+  run([&](auto exec) {
+    using Exec = decltype(exec);
+    aprod1_astro<Exec>(view_, x_.data(), y.data(), {});
+    aprod1_att<Exec>(view_, x_.data(), y.data(), {});
+    aprod1_instr<Exec>(view_, x_.data(), y.data(), {});
+    aprod1_glob<Exec>(view_, x_.data(), y.data(), {});
+  });
+  auto oracle = dense_matvec(dense_, gen_.A.n_rows(), gen_.A.n_cols(), x_);
+  for (std::size_t i = 0; i < oracle.size(); ++i) oracle[i] += y_[i];
+  EXPECT_LT(gaia::testing::rel_l2_error(y, oracle), 1e-12);
+}
+
+TEST_P(AprodKernels, Aprod2SumOfKernelsMatchesDenseRmatvec) {
+  std::vector<real> x(x_.size(), 0.0);
+  run([&](auto exec) {
+    using Exec = decltype(exec);
+    aprod2_astro<Exec>(view_, y_.data(), x.data(), {});
+    aprod2_att<Exec>(view_, y_.data(), x.data(), {},
+                     backends::AtomicMode::kNativeRmw);
+    aprod2_instr<Exec>(view_, y_.data(), x.data(), {},
+                       backends::AtomicMode::kNativeRmw);
+    aprod2_glob<Exec>(view_, y_.data(), x.data(), {},
+                      backends::AtomicMode::kNativeRmw);
+  });
+  const auto oracle = dense_rmatvec(dense_, gen_.A.n_rows(), gen_.A.n_cols(),
+                                    y_);
+  EXPECT_LT(gaia::testing::rel_l2_error(x, oracle), 1e-10);
+}
+
+TEST_P(AprodKernels, Aprod2CasModeMatchesOracleToo) {
+  std::vector<real> x(x_.size(), 0.0);
+  run([&](auto exec) {
+    using Exec = decltype(exec);
+    aprod2_astro<Exec>(view_, y_.data(), x.data(), {});
+    aprod2_att<Exec>(view_, y_.data(), x.data(), {},
+                     backends::AtomicMode::kCasLoop);
+    aprod2_instr<Exec>(view_, y_.data(), x.data(), {},
+                       backends::AtomicMode::kCasLoop);
+    aprod2_glob<Exec>(view_, y_.data(), x.data(), {},
+                      backends::AtomicMode::kCasLoop);
+  });
+  const auto oracle = dense_rmatvec(dense_, gen_.A.n_rows(), gen_.A.n_cols(),
+                                    y_);
+  EXPECT_LT(gaia::testing::rel_l2_error(x, oracle), 1e-10);
+}
+
+TEST_P(AprodKernels, IndividualKernelsTargetOnlyTheirSection) {
+  const auto& lay = gen_.A.layout();
+  std::vector<real> x(x_.size(), 0.0);
+  run([&](auto exec) {
+    aprod2_att<decltype(exec)>(view_, y_.data(), x.data(), {},
+                               backends::AtomicMode::kNativeRmw);
+  });
+  // Astro, instr and glob sections must be untouched by the att kernel.
+  for (col_index c = 0; c < lay.att_offset(); ++c)
+    ASSERT_EQ(x[static_cast<std::size_t>(c)], 0.0) << c;
+  for (col_index c = lay.instr_offset(); c < lay.n_unknowns(); ++c)
+    ASSERT_EQ(x[static_cast<std::size_t>(c)], 0.0) << c;
+}
+
+TEST_P(AprodKernels, AdjointIdentityHolds) {
+  // <A x, y> == <x, A^T y>: ties aprod1 and aprod2 together without the
+  // dense oracle.
+  std::vector<real> Ax(y_.size(), 0.0);
+  std::vector<real> Aty(x_.size(), 0.0);
+  run([&](auto exec) {
+    using Exec = decltype(exec);
+    aprod1_astro<Exec>(view_, x_.data(), Ax.data(), {});
+    aprod1_att<Exec>(view_, x_.data(), Ax.data(), {});
+    aprod1_instr<Exec>(view_, x_.data(), Ax.data(), {});
+    aprod1_glob<Exec>(view_, x_.data(), Ax.data(), {});
+    aprod2_astro<Exec>(view_, y_.data(), Aty.data(), {});
+    aprod2_att<Exec>(view_, y_.data(), Aty.data(), {},
+                     backends::AtomicMode::kNativeRmw);
+    aprod2_instr<Exec>(view_, y_.data(), Aty.data(), {},
+                       backends::AtomicMode::kNativeRmw);
+    aprod2_glob<Exec>(view_, y_.data(), Aty.data(), {},
+                      backends::AtomicMode::kNativeRmw);
+  });
+  real lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < Ax.size(); ++i) lhs += Ax[i] * y_[i];
+  for (std::size_t i = 0; i < Aty.size(); ++i) rhs += Aty[i] * x_[i];
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::max<real>(1, std::abs(lhs)));
+}
+
+TEST_P(AprodKernels, ExtremeKernelShapesPreserveResults) {
+  // Tuning must never change semantics, only performance.
+  const auto oracle = dense_rmatvec(dense_, gen_.A.n_rows(), gen_.A.n_cols(),
+                                    y_);
+  for (const backends::KernelConfig cfg :
+       {backends::KernelConfig{1, 1}, backends::KernelConfig{3, 7},
+        backends::KernelConfig{512, 64}}) {
+    std::vector<real> x(x_.size(), 0.0);
+    run([&](auto exec) {
+      using Exec = decltype(exec);
+      aprod2_astro<Exec>(view_, y_.data(), x.data(), cfg);
+      aprod2_att<Exec>(view_, y_.data(), x.data(), cfg,
+                       backends::AtomicMode::kNativeRmw);
+      aprod2_instr<Exec>(view_, y_.data(), x.data(), cfg,
+                         backends::AtomicMode::kNativeRmw);
+      aprod2_glob<Exec>(view_, y_.data(), x.data(), cfg,
+                        backends::AtomicMode::kNativeRmw);
+    });
+    EXPECT_LT(gaia::testing::rel_l2_error(x, oracle), 1e-10)
+        << "cfg " << cfg.blocks << "x" << cfg.threads;
+  }
+}
+
+TEST_P(AprodKernels, GlobalKernelsNoopWithoutGlobalSection) {
+  auto cfg = gaia::testing::small_config(18);
+  cfg.has_global = false;
+  auto gen = matrix::generate_system(cfg);
+  const SystemView view = SystemView::from(gen.A);
+  std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()), 0.0);
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()), 0.0);
+  std::vector<real> ones(y.size(), 1.0);
+  run([&](auto exec) {
+    using Exec = decltype(exec);
+    aprod1_glob<Exec>(view, x.data(), y.data(), {});
+    aprod2_glob<Exec>(view, ones.data(), x.data(), {},
+                      backends::AtomicMode::kNativeRmw);
+  });
+  for (real v : y) ASSERT_EQ(v, 0.0);
+  for (real v : x) ASSERT_EQ(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, AprodKernels,
+                         ::testing::ValuesIn(backends::all_backends()),
+                         [](const auto& info) {
+                           return backends::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gaia::core

@@ -1,0 +1,148 @@
+#include "core/derotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gaia::core {
+namespace {
+
+matrix::ParameterLayout layout_for(row_index stars) {
+  return matrix::ParameterLayout(stars, 3, 8, 6, true);
+}
+
+std::vector<row_index> all_stars(row_index n) {
+  std::vector<row_index> idx(static_cast<std::size_t>(n));
+  for (row_index s = 0; s < n; ++s) idx[static_cast<std::size_t>(s)] = s;
+  return idx;
+}
+
+TEST(RotationOffsets, PoleStarOnlySeesZRotationInAlpha) {
+  // Near the pole, sin(delta) ~ 1: ez rotation shifts alpha* by cos(delta)
+  // ~ 0 while ex/ey dominate.
+  const matrix::Star pole{0.0, 1.5607};  // ~89.4 deg
+  const FrameRotation ez_only{0, 0, 1e-6, 0, 0, 0};
+  const auto off = rotation_offsets(ez_only, pole);
+  EXPECT_NEAR(off.dalpha_star, 1e-6 * std::cos(pole.delta), 1e-18);
+  EXPECT_DOUBLE_EQ(off.ddelta, 0.0);
+}
+
+TEST(RotationOffsets, EquatorStarDeltaRespondsToXy) {
+  const matrix::Star eq{0.0, 0.0};  // alpha=0, delta=0
+  const FrameRotation rot{1e-6, 2e-6, 3e-6, 0, 0, 0};
+  const auto off = rotation_offsets(rot, eq);
+  // d(alpha*) = -ex*0 - ey*0 + ez*1; d(delta) = ex*0 - ey*1.
+  EXPECT_NEAR(off.dalpha_star, 3e-6, 1e-18);
+  EXPECT_NEAR(off.ddelta, -2e-6, 1e-18);
+}
+
+TEST(ApplyRotation, OnlyTouchesPositionsAndProperMotions) {
+  const auto layout = layout_for(20);
+  const auto cat = matrix::make_catalogue(20, 1);
+  std::vector<real> x(static_cast<std::size_t>(layout.n_unknowns()), 0.0);
+  apply_rotation(x, layout, cat, {1e-6, -2e-6, 3e-6, 1e-7, 2e-7, -3e-7});
+  for (row_index s = 0; s < 20; ++s) {
+    const auto base = static_cast<std::size_t>(s) * kAstroParamsPerStar;
+    EXPECT_NE(x[base + 0], 0.0);  // alpha*
+    EXPECT_DOUBLE_EQ(x[base + 2], 0.0);  // parallax untouched
+  }
+  // Attitude/instrumental/global untouched.
+  for (col_index c = layout.att_offset(); c < layout.n_unknowns(); ++c)
+    EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(c)], 0.0);
+}
+
+TEST(EstimateRotation, RecoversInjectedRotationExactly) {
+  const auto layout = layout_for(50);
+  const auto cat = matrix::make_catalogue(50, 2);
+  std::vector<real> x(static_cast<std::size_t>(layout.n_unknowns()), 0.0);
+  const FrameRotation injected{4e-7, -1e-7, 2.5e-7, 3e-8, -2e-8, 1e-8};
+  apply_rotation(x, layout, cat, injected);
+  const auto refs = all_stars(50);
+  const FrameRotation est = estimate_rotation(x, layout, cat, refs);
+  EXPECT_NEAR(est.ex, injected.ex, 1e-18);
+  EXPECT_NEAR(est.ey, injected.ey, 1e-18);
+  EXPECT_NEAR(est.ez, injected.ez, 1e-18);
+  EXPECT_NEAR(est.wx, injected.wx, 1e-19);
+  EXPECT_NEAR(est.wy, injected.wy, 1e-19);
+  EXPECT_NEAR(est.wz, injected.wz, 1e-19);
+}
+
+TEST(EstimateRotation, RobustToUncorrelatedNoise) {
+  const auto layout = layout_for(400);
+  const auto cat = matrix::make_catalogue(400, 3);
+  std::vector<real> x(static_cast<std::size_t>(layout.n_unknowns()), 0.0);
+  const FrameRotation injected{5e-7, 5e-7, -5e-7, 0, 0, 0};
+  apply_rotation(x, layout, cat, injected);
+  util::Xoshiro256 rng(4);
+  for (row_index s = 0; s < 400; ++s) {
+    const auto base = static_cast<std::size_t>(s) * kAstroParamsPerStar;
+    x[base + 0] += rng.normal(0.0, 1e-8);
+    x[base + 1] += rng.normal(0.0, 1e-8);
+  }
+  const auto est = estimate_rotation(x, layout, cat, all_stars(400));
+  EXPECT_NEAR(est.ex, injected.ex, 3e-9);
+  EXPECT_NEAR(est.ey, injected.ey, 3e-9);
+  EXPECT_NEAR(est.ez, injected.ez, 3e-9);
+}
+
+TEST(Derotate, RemovesRotationFromFullSolution) {
+  const auto layout = layout_for(60);
+  const auto cat = matrix::make_catalogue(60, 5);
+  util::Xoshiro256 rng(6);
+  // A "real" solution plus a rigid rotation.
+  std::vector<real> clean(static_cast<std::size_t>(layout.n_unknowns()));
+  for (auto& v : clean) v = rng.normal(0.0, 1e-9);
+  std::vector<real> contaminated = clean;
+  const FrameRotation injected{2e-7, -3e-7, 1e-7, 4e-8, 0, -4e-8};
+  apply_rotation(contaminated, layout, cat, injected);
+
+  const FrameRotation removed =
+      derotate_solution(contaminated, layout, cat, all_stars(60));
+  EXPECT_NEAR(removed.ex, injected.ex, 2e-9);
+  EXPECT_NEAR(removed.ez, injected.ez, 2e-9);
+  // The de-rotated solution is close to the clean one (up to the small
+  // rotation component present in `clean` itself, now also removed).
+  for (std::size_t i = 0; i < clean.size(); ++i)
+    EXPECT_NEAR(contaminated[i], clean[i], 5e-9);
+}
+
+TEST(Derotate, DerotatedSolutionHasNoResidualRotation) {
+  const auto layout = layout_for(80);
+  const auto cat = matrix::make_catalogue(80, 7);
+  util::Xoshiro256 rng(8);
+  std::vector<real> x(static_cast<std::size_t>(layout.n_unknowns()));
+  for (auto& v : x) v = rng.normal(0.0, 1e-8);
+  derotate_solution(x, layout, cat, all_stars(80));
+  const auto residual = estimate_rotation(x, layout, cat, all_stars(80));
+  EXPECT_NEAR(residual.ex, 0.0, 1e-20);
+  EXPECT_NEAR(residual.ey, 0.0, 1e-20);
+  EXPECT_NEAR(residual.ez, 0.0, 1e-20);
+}
+
+TEST(EstimateRotation, RejectsDegenerateInputs) {
+  const auto layout = layout_for(10);
+  const auto cat = matrix::make_catalogue(10, 9);
+  std::vector<real> x(static_cast<std::size_t>(layout.n_unknowns()), 0.0);
+  std::vector<row_index> too_few{0, 1};
+  EXPECT_THROW(estimate_rotation(x, layout, cat, too_few), gaia::Error);
+  std::vector<row_index> out_of_range{0, 1, 99};
+  EXPECT_THROW(estimate_rotation(x, layout, cat, out_of_range), gaia::Error);
+  std::vector<real> wrong_size(5);
+  std::vector<row_index> refs{0, 1, 2};
+  EXPECT_THROW(estimate_rotation(wrong_size, layout, cat, refs),
+               gaia::Error);
+}
+
+TEST(EstimateRotation, DegenerateGeometryThrows) {
+  // All reference stars at the same position: the 3x3 normal matrix is
+  // singular.
+  const auto layout = layout_for(5);
+  std::vector<matrix::Star> cat(5, matrix::Star{1.0, 0.5});
+  std::vector<real> x(static_cast<std::size_t>(layout.n_unknowns()), 0.0);
+  EXPECT_THROW(estimate_rotation(x, layout, cat, all_stars(5)), gaia::Error);
+}
+
+}  // namespace
+}  // namespace gaia::core

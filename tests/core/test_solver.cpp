@@ -1,0 +1,62 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace gaia::core {
+namespace {
+
+TEST(Solver, RunsEndToEndWithFootprintSizing) {
+  SolverRunConfig cfg;
+  cfg.footprint_bytes = 8 * kMiB;
+  cfg.lsqr.max_iterations = 5;
+  cfg.lsqr.aprod.backend = backends::BackendKind::kGpuSim;
+  const auto report = run_solver(cfg);
+  EXPECT_EQ(report.result.iterations, 5);
+  EXPECT_GT(report.n_obs, 0);
+  const double ratio = static_cast<double>(report.system_bytes) /
+                       static_cast<double>(cfg.footprint_bytes);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.2);
+  EXPECT_GT(report.generation_seconds, 0.0);
+  EXPECT_GT(report.solve_seconds, 0.0);
+}
+
+TEST(Solver, ExplicitGeneratorConfigWins) {
+  SolverRunConfig cfg;
+  cfg.generator = gaia::testing::small_config(80);
+  cfg.footprint_bytes = 999 * kMiB;  // must be ignored
+  cfg.lsqr.max_iterations = 3;
+  cfg.lsqr.aprod.backend = backends::BackendKind::kSerial;
+  const auto report = run_solver(cfg);
+  EXPECT_EQ(report.layout.n_stars(), cfg.generator->n_stars);
+  EXPECT_LT(report.system_bytes, kMiB);
+}
+
+TEST(Solver, SummaryMentionsKeyQuantities) {
+  SolverRunConfig cfg;
+  cfg.generator = gaia::testing::small_config(81);
+  cfg.lsqr.max_iterations = 2;
+  cfg.lsqr.aprod.backend = backends::BackendKind::kSerial;
+  const auto report = run_solver(cfg);
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("iterations"), std::string::npos);
+  EXPECT_NE(s.find("observations"), std::string::npos);
+  EXPECT_NE(s.find("mean iteration time"), std::string::npos);
+}
+
+TEST(Solver, SameSeedSameSolution) {
+  SolverRunConfig cfg;
+  cfg.generator = gaia::testing::small_config(82);
+  cfg.lsqr.max_iterations = 10;
+  cfg.lsqr.aprod.backend = backends::BackendKind::kSerial;
+  const auto a = run_solver(cfg);
+  const auto b = run_solver(cfg);
+  ASSERT_EQ(a.result.x.size(), b.result.x.size());
+  for (std::size_t i = 0; i < a.result.x.size(); ++i)
+    EXPECT_EQ(a.result.x[i], b.result.x[i]);  // bitwise: serial backend
+}
+
+}  // namespace
+}  // namespace gaia::core

@@ -1,0 +1,113 @@
+#include "core/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gaia::core {
+namespace {
+
+using backends::BackendKind;
+
+class VectorOps : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  static std::vector<real> random_vec(std::size_t n, std::uint64_t seed) {
+    util::Xoshiro256 rng(seed);
+    std::vector<real> v(n);
+    for (auto& x : v) x = rng.normal();
+    return v;
+  }
+};
+
+TEST_P(VectorOps, ScaleMultipliesEveryElement) {
+  auto v = random_vec(10001, 1);
+  const auto orig = v;
+  vscale(GetParam(), v, 2.5);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    ASSERT_DOUBLE_EQ(v[i], orig[i] * 2.5);
+}
+
+TEST_P(VectorOps, AxpyMatchesReference) {
+  auto y = random_vec(10001, 2);
+  const auto x = random_vec(10001, 3);
+  const auto y0 = y;
+  vaxpy(GetParam(), y, -1.5, x);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_DOUBLE_EQ(y[i], y0[i] - 1.5 * x[i]);
+}
+
+TEST_P(VectorOps, XpbyMatchesReference) {
+  auto y = random_vec(5000, 4);
+  const auto x = random_vec(5000, 5);
+  const auto y0 = y;
+  vxpby(GetParam(), y, x, 0.75);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_DOUBLE_EQ(y[i], x[i] + 0.75 * y0[i]);
+}
+
+TEST_P(VectorOps, AccumulateSquareMatchesReference) {
+  auto y = random_vec(5000, 6);
+  const auto x = random_vec(5000, 7);
+  const auto y0 = y;
+  vaccumulate_sq(GetParam(), y, 0.5, x);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_DOUBLE_EQ(y[i], y0[i] + 0.25 * x[i] * x[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, VectorOps,
+                         ::testing::ValuesIn(backends::all_backends()),
+                         [](const auto& info) {
+                           return backends::to_string(info.param);
+                         });
+
+TEST(VectorNorm, MatchesHandComputed) {
+  std::vector<real> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(vnorm(v), 5.0);
+  EXPECT_DOUBLE_EQ(vnorm(std::vector<real>{}), 0.0);
+}
+
+TEST(VectorDot, KahanSummationBeatsNaiveOnSkewedData) {
+  // One large product followed by many small ones of alternating sign:
+  // naive left-to-right summation loses the small terms entirely;
+  // compensated summation keeps them. Compare against a long-double
+  // reference.
+  std::vector<real> a, b;
+  a.push_back(1e12);
+  b.push_back(1.0);
+  for (int i = 0; i < 100000; ++i) {
+    a.push_back(1.0);
+    b.push_back(i % 2 ? 1e-3 : -1e-3 + 1e-5);
+  }
+  long double exact = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    exact += static_cast<long double>(a[i]) * b[i];
+  double naive = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) naive += a[i] * b[i];
+  const real kahan = vdot(a, b);
+  const double kahan_err = std::abs(static_cast<double>(kahan - exact));
+  const double naive_err = std::abs(static_cast<double>(naive - exact));
+  EXPECT_LE(kahan_err, naive_err);
+  EXPECT_LT(kahan_err, 1e-3);
+}
+
+TEST(VectorDot, MatchesHandComputed) {
+  std::vector<real> a{1, 2, 3};
+  std::vector<real> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(vdot(a, b), 32.0);
+}
+
+TEST(VectorDot, DeterministicAcrossCalls) {
+  util::Xoshiro256 rng(11);
+  std::vector<real> a(100000), b(100000);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  const real d1 = vdot(a, b);
+  const real d2 = vdot(a, b);
+  EXPECT_EQ(d1, d2);  // bitwise: reductions are serial by design
+}
+
+}  // namespace
+}  // namespace gaia::core

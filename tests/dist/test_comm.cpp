@@ -1,0 +1,153 @@
+#include "dist/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gaia::dist {
+namespace {
+
+TEST(World, RunsEveryRankExactlyOnce) {
+  World world(4);
+  std::atomic<int> count{0};
+  std::array<std::atomic<int>, 4> seen{};
+  world.run([&](Comm& comm) {
+    count.fetch_add(1);
+    seen[static_cast<std::size_t>(comm.rank())].fetch_add(1);
+    EXPECT_EQ(comm.size(), 4);
+  });
+  EXPECT_EQ(count.load(), 4);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(World, SingleRankWorldWorks) {
+  World world(1);
+  world.run([&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    std::vector<real> v{1.0, 2.0};
+    comm.allreduce(v, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(v[0], 1.0);
+    EXPECT_DOUBLE_EQ(v[1], 2.0);
+  });
+}
+
+TEST(World, RejectsNonPositiveSize) {
+  EXPECT_THROW(World(0), gaia::Error);
+}
+
+TEST(Comm, AllreduceSumAddsContributions) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    std::vector<real> v(4, static_cast<real>(comm.rank() + 1));
+    comm.allreduce(v, ReduceOp::kSum);
+    for (real x : v) EXPECT_DOUBLE_EQ(x, 6.0);  // 1 + 2 + 3
+  });
+}
+
+TEST(Comm, AllreduceMaxAndMin) {
+  World world(4);
+  world.run([&](Comm& comm) {
+    const real mx = comm.allreduce(static_cast<real>(comm.rank()),
+                                   ReduceOp::kMax);
+    const real mn = comm.allreduce(static_cast<real>(comm.rank()),
+                                   ReduceOp::kMin);
+    EXPECT_DOUBLE_EQ(mx, 3.0);
+    EXPECT_DOUBLE_EQ(mn, 0.0);
+  });
+}
+
+TEST(Comm, AllreduceIsDeterministicAcrossRuns) {
+  // Rank-ordered reduction: identical inputs -> bitwise identical sums.
+  World world(4);
+  real first = 0, second = 0;
+  auto body = [&](real& out) {
+    return [&out](Comm& comm) {
+      const real v = 0.1 * (comm.rank() + 1);
+      const real sum = comm.allreduce(v, ReduceOp::kSum);
+      if (comm.rank() == 0) out = sum;
+    };
+  };
+  world.run(body(first));
+  world.run(body(second));
+  EXPECT_EQ(first, second);
+}
+
+TEST(Comm, BcastDistributesRootData) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    std::vector<real> v(3, comm.rank() == 1 ? 7.5 : 0.0);
+    comm.bcast(v, 1);
+    for (real x : v) EXPECT_DOUBLE_EQ(x, 7.5);
+  });
+}
+
+TEST(Comm, BcastBadRootThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+                 std::vector<real> v(1);
+                 comm.bcast(v, 5);
+               }),
+               gaia::Error);
+}
+
+TEST(Comm, SequentialCollectivesStayCoherent) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    for (int round = 0; round < 50; ++round) {
+      const real sum = comm.allreduce(real{1}, ReduceOp::kSum);
+      ASSERT_DOUBLE_EQ(sum, 3.0) << "round " << round;
+      comm.barrier();
+    }
+  });
+}
+
+TEST(World, ExceptionInOneRankPropagates) {
+  World world(3);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+                 if (comm.rank() == 2) throw gaia::Error("rank 2 failed");
+                 // Other ranks try a collective; the dropped rank must
+                 // not deadlock them.
+                 comm.allreduce(real{1}, ReduceOp::kSum);
+               }),
+               gaia::Error);
+  // The world stays usable afterwards.
+  std::atomic<int> ok{0};
+  world.run([&](Comm&) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(Comm, EmptySpanCollectivesAreSafe) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    std::vector<real> empty;
+    comm.allreduce(empty, ReduceOp::kSum);  // must not deadlock or crash
+    comm.bcast(empty, 0);
+    comm.barrier();
+  });
+  SUCCEED();
+}
+
+TEST(Comm, MixedCollectiveSequenceStaysOrdered) {
+  // Alternating allreduce/bcast/barrier across ranks exercises the
+  // shared-buffer reuse between different collective types.
+  World world(4);
+  world.run([&](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<real> v(3, static_cast<real>(comm.rank()));
+      comm.allreduce(v, ReduceOp::kSum);
+      ASSERT_DOUBLE_EQ(v[0], 6.0);  // 0+1+2+3
+      std::vector<real> b(2, comm.rank() == 0 ? 42.0 : 0.0);
+      comm.bcast(b, 0);
+      ASSERT_DOUBLE_EQ(b[1], 42.0);
+      const real mx = comm.allreduce(
+          static_cast<real>(comm.rank() * round), ReduceOp::kMax);
+      ASSERT_DOUBLE_EQ(mx, 3.0 * round);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace gaia::dist

@@ -1,0 +1,132 @@
+#include "dist/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/dense.hpp"
+#include "matrix/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace gaia::dist {
+namespace {
+
+class Partition : public ::testing::TestWithParam<int> {};
+
+TEST_P(Partition, CoversAllStarsAndRowsDisjointly) {
+  const int ranks = GetParam();
+  const auto gen = matrix::generate_system(gaia::testing::medium_config(90));
+  const auto part = partition_by_stars(gen.A, ranks);
+
+  EXPECT_EQ(part.star_begin.front(), 0);
+  EXPECT_EQ(part.star_begin.back(), gen.A.layout().n_stars());
+  EXPECT_EQ(part.row_begin.front(), 0);
+  EXPECT_EQ(part.row_begin.back(), gen.A.n_obs());
+  row_index stars = 0, rows = 0;
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_GE(part.stars_of(r), 1) << "rank " << r;
+    EXPECT_GT(part.rows_of(r), 0) << "rank " << r;
+    stars += part.stars_of(r);
+    rows += part.rows_of(r);
+  }
+  EXPECT_EQ(stars, gen.A.layout().n_stars());
+  EXPECT_EQ(rows, gen.A.n_obs());
+}
+
+TEST_P(Partition, CutsRespectStarBoundaries) {
+  const int ranks = GetParam();
+  const auto gen = matrix::generate_system(gaia::testing::medium_config(91));
+  const auto part = partition_by_stars(gen.A, ranks);
+  const auto starts = gen.A.star_row_start();
+  for (int r = 0; r <= ranks; ++r) {
+    const row_index star = part.star_begin[static_cast<std::size_t>(r)];
+    EXPECT_EQ(part.row_begin[static_cast<std::size_t>(r)],
+              starts[static_cast<std::size_t>(star)]);
+  }
+}
+
+TEST_P(Partition, RowBalanceIsReasonable) {
+  const int ranks = GetParam();
+  const auto gen = matrix::generate_system(gaia::testing::medium_config(92));
+  const auto part = partition_by_stars(gen.A, ranks);
+  const double ideal =
+      static_cast<double>(gen.A.n_obs()) / static_cast<double>(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_LT(static_cast<double>(part.rows_of(r)), ideal * 1.5)
+        << "rank " << r;
+    EXPECT_GT(static_cast<double>(part.rows_of(r)), ideal * 0.5)
+        << "rank " << r;
+  }
+}
+
+TEST_P(Partition, SlicesReassembleTheGlobalMatrix) {
+  const int ranks = GetParam();
+  const auto gen = matrix::generate_system(gaia::testing::small_config(93));
+  const auto part = partition_by_stars(gen.A, ranks);
+
+  row_index total_obs = 0, total_constraints = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const auto slice = extract_rank_slice(gen.A, part, r);
+    EXPECT_NO_THROW(slice.validate_structure()) << "rank " << r;
+    EXPECT_EQ(slice.n_cols(), gen.A.n_cols());
+    total_obs += slice.n_obs();
+    total_constraints += slice.n_constraints();
+    // Row content must match the global rows verbatim.
+    const row_index lo = part.row_begin[static_cast<std::size_t>(r)];
+    for (row_index i = 0; i < slice.n_obs(); ++i) {
+      const auto g = gen.A.row_values(lo + i);
+      const auto l = slice.row_values(i);
+      for (int k = 0; k < kNnzPerRow; ++k)
+        ASSERT_EQ(l[k], g[k]) << "rank " << r << " row " << i;
+      ASSERT_EQ(slice.known_terms()[static_cast<std::size_t>(i)],
+                gen.A.known_terms()[static_cast<std::size_t>(lo + i)]);
+    }
+  }
+  EXPECT_EQ(total_obs, gen.A.n_obs());
+  EXPECT_EQ(total_constraints, gen.A.n_constraints());
+}
+
+TEST_P(Partition, SliceProductsSumToGlobalProduct) {
+  // sum_r A_r^T y_r == A^T y : the algebraic identity the distributed
+  // aprod2 allreduce relies on.
+  const int ranks = GetParam();
+  const auto gen = matrix::generate_system(gaia::testing::small_config(94));
+  const auto part = partition_by_stars(gen.A, ranks);
+  const auto M = matrix::to_dense(gen.A);
+  util::Xoshiro256 rng(4);
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+  for (auto& v : y) v = rng.normal();
+  const auto oracle =
+      matrix::dense_rmatvec(M, gen.A.n_rows(), gen.A.n_cols(), y);
+
+  std::vector<real> sum(static_cast<std::size_t>(gen.A.n_cols()), 0.0);
+  for (int r = 0; r < ranks; ++r) {
+    const auto slice = extract_rank_slice(gen.A, part, r);
+    const auto Ms = matrix::to_dense(slice);
+    // Local y: observation slice (+ constraints on the last rank).
+    std::vector<real> y_local;
+    const row_index lo = part.row_begin[static_cast<std::size_t>(r)];
+    for (row_index i = 0; i < slice.n_obs(); ++i)
+      y_local.push_back(y[static_cast<std::size_t>(lo + i)]);
+    for (row_index i = 0; i < slice.n_constraints(); ++i)
+      y_local.push_back(y[static_cast<std::size_t>(gen.A.n_obs() + i)]);
+    const auto partial =
+        matrix::dense_rmatvec(Ms, slice.n_rows(), slice.n_cols(), y_local);
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += partial[i];
+  }
+  EXPECT_LT(gaia::testing::max_abs_diff(sum, oracle), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, Partition, ::testing::Values(1, 2, 3, 7),
+                         [](const auto& info) {
+                           return "ranks" + std::to_string(info.param);
+                         });
+
+TEST(PartitionErrors, MoreRanksThanStarsThrows) {
+  auto cfg = gaia::testing::small_config(95);
+  cfg.n_stars = 3;
+  const auto gen = matrix::generate_system(cfg);
+  EXPECT_THROW(partition_by_stars(gen.A, 4), gaia::Error);
+  EXPECT_THROW(partition_by_stars(gen.A, 0), gaia::Error);
+}
+
+}  // namespace
+}  // namespace gaia::dist

@@ -1,0 +1,141 @@
+#include "matrix/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generator.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gaia::matrix {
+namespace {
+
+TEST(Dense, ExpansionHasTwentyFourNnzPerObservationRow) {
+  const auto gen = generate_system(gaia::testing::small_config());
+  const auto M = to_dense(gen.A);
+  const auto cols = static_cast<std::size_t>(gen.A.n_cols());
+  for (row_index r = 0; r < gen.A.n_obs(); ++r) {
+    int nnz = 0;
+    for (std::size_t c = 0; c < cols; ++c)
+      nnz += (M[static_cast<std::size_t>(r) * cols + c] != 0.0);
+    // Random normal coefficients are almost surely non-zero; column
+    // collisions inside a row cannot happen across sections.
+    EXPECT_EQ(nnz, kNnzPerRow) << "row " << r;
+  }
+}
+
+TEST(Dense, ExpansionRespectsSectionBoundaries) {
+  const auto gen = generate_system(gaia::testing::small_config());
+  const auto& lay = gen.A.layout();
+  const auto M = to_dense(gen.A);
+  const auto cols = static_cast<std::size_t>(gen.A.n_cols());
+  // For each observation row, entries outside the four recorded block
+  // windows must be zero; we spot-check the astrometric window.
+  for (row_index r = 0; r < gen.A.n_obs(); ++r) {
+    const auto c0 = gen.A.matrix_index_astro()[static_cast<std::size_t>(r)];
+    for (col_index c = 0; c < lay.n_astro_params(); ++c) {
+      const real v = M[static_cast<std::size_t>(r) * cols +
+                       static_cast<std::size_t>(c)];
+      if (c < c0 || c >= c0 + kAstroNnzPerRow) {
+        EXPECT_DOUBLE_EQ(v, 0.0) << "row " << r << " col " << c;
+        if (v != 0.0) return;  // avoid error spam
+      }
+    }
+  }
+}
+
+TEST(Dense, OracleSizeLimitEnforced) {
+  const auto gen = generate_system(gaia::testing::small_config());
+  EXPECT_THROW(to_dense(gen.A, 16), gaia::Error);
+}
+
+TEST(Dense, MatvecAgainstHandComputed) {
+  // 2x3 matrix [[1,2,3],[4,5,6]]
+  const std::vector<real> M{1, 2, 3, 4, 5, 6};
+  const std::vector<real> x{1, 0, -1};
+  const auto y = dense_matvec(M, 2, 3, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Dense, RmatvecAgainstHandComputed) {
+  const std::vector<real> M{1, 2, 3, 4, 5, 6};
+  const std::vector<real> y{1, 1};
+  const auto x = dense_rmatvec(M, 2, 3, y);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_DOUBLE_EQ(x[1], 7.0);
+  EXPECT_DOUBLE_EQ(x[2], 9.0);
+}
+
+TEST(Dense, MatvecRmatvecAdjointIdentity) {
+  // <A x, y> == <x, A^T y> for random inputs (adjoint property).
+  const auto gen = generate_system(gaia::testing::small_config(3));
+  const auto M = to_dense(gen.A);
+  const auto rows = gen.A.n_rows();
+  const auto cols = gen.A.n_cols();
+  util::Xoshiro256 rng(5);
+  std::vector<real> x(static_cast<std::size_t>(cols));
+  std::vector<real> y(static_cast<std::size_t>(rows));
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  const auto Ax = dense_matvec(M, rows, cols, x);
+  const auto Aty = dense_rmatvec(M, rows, cols, y);
+  real lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < Ax.size(); ++i) lhs += Ax[i] * y[i];
+  for (std::size_t i = 0; i < Aty.size(); ++i) rhs += Aty[i] * x[i];
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST(Dense, LeastSquaresSolvesSquareSystemExactly) {
+  // Full-rank square system: least squares == exact solve.
+  const std::vector<real> M{2, 0, 0, 3};  // diag(2,3)
+  const std::vector<real> b{4, 9};
+  const auto x = dense_least_squares(M, 2, 2, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Dense, LeastSquaresMinimizesResidual) {
+  // Overdetermined 3x2; verify the normal equations hold: A^T(Ax-b)=0.
+  const std::vector<real> M{1, 1, 1, 2, 1, 3};
+  const std::vector<real> b{1, 2, 2};
+  const auto x = dense_least_squares(M, 3, 2, b);
+  auto r = dense_matvec(M, 3, 2, x);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  const auto g = dense_rmatvec(M, 3, 2, r);
+  EXPECT_NEAR(g[0], 0.0, 1e-10);
+  EXPECT_NEAR(g[1], 0.0, 1e-10);
+}
+
+TEST(Dense, LeastSquaresDampingShrinksSolution) {
+  const std::vector<real> M{1, 0, 0, 1};
+  const std::vector<real> b{1, 1};
+  const auto x0 = dense_least_squares(M, 2, 2, b, 0.0);
+  const auto x1 = dense_least_squares(M, 2, 2, b, 1.0);
+  EXPECT_NEAR(x0[0], 1.0, 1e-12);
+  EXPECT_NEAR(x1[0], 0.5, 1e-12);  // (1 + damp^2)^-1
+}
+
+TEST(Dense, LeastSquaresRejectsRankDeficient) {
+  // Two identical columns: singular normal matrix without damping.
+  const std::vector<real> M{1, 1, 2, 2};
+  const std::vector<real> b{1, 2};
+  EXPECT_THROW(dense_least_squares(M, 2, 2, b), gaia::Error);
+  // ...but solvable with damping.
+  EXPECT_NO_THROW(dense_least_squares(M, 2, 2, b, 0.1));
+}
+
+TEST(Dense, GeneratedSystemIsFullColumnRankWithConstraints) {
+  // The constraint rows must remove the attitude nullspace: the normal
+  // matrix of the full generated system is SPD.
+  auto cfg = gaia::testing::small_config();
+  const auto gen = generate_system(cfg);
+  const auto M = to_dense(gen.A);
+  EXPECT_NO_THROW(dense_least_squares(M, gen.A.n_rows(), gen.A.n_cols(),
+                                      gen.A.known_terms()));
+}
+
+}  // namespace
+}  // namespace gaia::matrix

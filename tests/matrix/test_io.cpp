@@ -1,0 +1,71 @@
+#include "matrix/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrix/generator.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gaia::matrix {
+namespace {
+
+TEST(Io, RoundTripPreservesEverything) {
+  const auto gen = generate_system(gaia::testing::small_config(21));
+  std::stringstream buf;
+  save_system(gen.A, buf);
+  const SystemMatrix B = load_system(buf);
+
+  EXPECT_EQ(B.layout(), gen.A.layout());
+  EXPECT_EQ(B.n_obs(), gen.A.n_obs());
+  EXPECT_EQ(B.n_constraints(), gen.A.n_constraints());
+  EXPECT_TRUE(std::equal(B.values().begin(), B.values().end(),
+                         gen.A.values().begin()));
+  EXPECT_TRUE(std::equal(B.matrix_index_astro().begin(),
+                         B.matrix_index_astro().end(),
+                         gen.A.matrix_index_astro().begin()));
+  EXPECT_TRUE(std::equal(B.matrix_index_att().begin(),
+                         B.matrix_index_att().end(),
+                         gen.A.matrix_index_att().begin()));
+  EXPECT_TRUE(std::equal(B.instr_col().begin(), B.instr_col().end(),
+                         gen.A.instr_col().begin()));
+  EXPECT_TRUE(std::equal(B.known_terms().begin(), B.known_terms().end(),
+                         gen.A.known_terms().begin()));
+  EXPECT_TRUE(std::equal(B.star_row_start().begin(),
+                         B.star_row_start().end(),
+                         gen.A.star_row_start().begin()));
+  EXPECT_NO_THROW(B.validate_structure());
+}
+
+TEST(Io, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "gaia_sys_test.bin";
+  const auto gen = generate_system(gaia::testing::small_config(22));
+  save_system(gen.A, path);
+  const SystemMatrix B = load_system(path);
+  EXPECT_EQ(B.n_rows(), gen.A.n_rows());
+  EXPECT_TRUE(std::equal(B.values().begin(), B.values().end(),
+                         gen.A.values().begin()));
+  std::remove(path.c_str());
+}
+
+TEST(Io, BadMagicRejected) {
+  std::stringstream buf("NOTAGAIA-file-content");
+  EXPECT_THROW(load_system(buf), gaia::Error);
+}
+
+TEST(Io, TruncatedStreamRejected) {
+  const auto gen = generate_system(gaia::testing::small_config(23));
+  std::stringstream buf;
+  save_system(gen.A, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_system(cut), gaia::Error);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_system(std::string("/no/such/dir/x.bin")), gaia::Error);
+}
+
+}  // namespace
+}  // namespace gaia::matrix

@@ -1,0 +1,61 @@
+#include "matrix/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gaia::matrix {
+namespace {
+
+TEST(Layout, OffsetsArePackedContiguously) {
+  const ParameterLayout lay(100, 3, 40, 25, true);
+  EXPECT_EQ(lay.astro_offset(), 0);
+  EXPECT_EQ(lay.n_astro_params(), 500);
+  EXPECT_EQ(lay.att_offset(), 500);
+  EXPECT_EQ(lay.n_att_params(), 120);
+  EXPECT_EQ(lay.instr_offset(), 620);
+  EXPECT_EQ(lay.n_instr_params(), 25);
+  EXPECT_EQ(lay.glob_offset(), 645);
+  EXPECT_EQ(lay.n_glob_params(), 1);
+  EXPECT_EQ(lay.n_unknowns(), 646);
+}
+
+TEST(Layout, GlobalSectionOptional) {
+  const ParameterLayout lay(10, 3, 8, 6, false);
+  EXPECT_EQ(lay.n_glob_params(), 0);
+  EXPECT_EQ(lay.n_unknowns(), lay.glob_offset());
+}
+
+TEST(Layout, AttStrideEqualsPerAxisDof) {
+  const ParameterLayout lay(10, 3, 17, 6, true);
+  EXPECT_EQ(lay.att_stride(), 17);
+  EXPECT_EQ(lay.n_att_params(), 51);
+}
+
+TEST(Layout, AstroDominatesProductionShapedLayout) {
+  // The astrometric section must dominate the unknowns, as in production
+  // (5 params x ~1e8 stars vs O(1e6) attitude+instrumental).
+  const ParameterLayout lay(100000, 3, 100, 50, true);
+  const double astro_frac =
+      static_cast<double>(lay.n_astro_params()) /
+      static_cast<double>(lay.n_unknowns());
+  EXPECT_GT(astro_frac, 0.99);
+}
+
+TEST(Layout, RejectsInvalidShapes) {
+  EXPECT_THROW(ParameterLayout(0, 3, 8, 6, true), Error);   // no stars
+  EXPECT_THROW(ParameterLayout(10, 2, 8, 6, true), Error);  // not 3 axes
+  EXPECT_THROW(ParameterLayout(10, 3, 3, 6, true), Error);  // block misfit
+  EXPECT_THROW(ParameterLayout(10, 3, 8, 5, true), Error);  // instr too small
+}
+
+TEST(Layout, EqualityComparesAllFields) {
+  const ParameterLayout a(10, 3, 8, 6, true);
+  const ParameterLayout b(10, 3, 8, 6, true);
+  const ParameterLayout c(10, 3, 8, 6, false);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace gaia::matrix

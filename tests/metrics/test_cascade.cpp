@@ -1,0 +1,70 @@
+#include "metrics/cascade.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/pennycook.hpp"
+
+namespace gaia::metrics {
+namespace {
+
+PerformanceMatrix demo_matrix() {
+  PerformanceMatrix m({"portable", "specialist"}, {"p0", "p1", "p2"});
+  // portable: decent everywhere.
+  m.set_time(0, 0, 1.1);
+  m.set_time(0, 1, 1.2);
+  m.set_time(0, 2, 1.0);
+  // specialist: fastest on p0, missing on p2.
+  m.set_time(1, 0, 1.0);
+  m.set_time(1, 1, 1.1);
+  return m;
+}
+
+TEST(Cascade, PlatformsSortedByDecreasingEfficiency) {
+  const auto cascade = build_cascade(demo_matrix());
+  ASSERT_EQ(cascade.series.size(), 2u);
+  for (const auto& s : cascade.series) {
+    EXPECT_TRUE(std::is_sorted(s.efficiency.begin(), s.efficiency.end(),
+                               std::greater<>{}))
+        << s.application;
+    EXPECT_EQ(s.platform_order.size(), 3u);
+  }
+}
+
+TEST(Cascade, FirstPointIsBestEfficiencyAndRunningPDecays) {
+  const auto cascade = build_cascade(demo_matrix());
+  const auto& s = cascade.series[0];  // portable
+  EXPECT_DOUBLE_EQ(s.running_p[0], s.efficiency[0]);
+  // Running P is non-increasing as worse platforms join.
+  for (std::size_t k = 1; k < s.running_p.size(); ++k)
+    EXPECT_LE(s.running_p[k], s.running_p[k - 1] + 1e-12);
+}
+
+TEST(Cascade, FinalPMatchesPennycook) {
+  const auto m = demo_matrix();
+  const auto cascade = build_cascade(m);
+  const auto p = pennycook_scores(m);
+  for (std::size_t a = 0; a < p.size(); ++a)
+    EXPECT_NEAR(cascade.series[a].final_p, p[a], 1e-12);
+}
+
+TEST(Cascade, UnsupportedPlatformZeroesTail) {
+  const auto cascade = build_cascade(demo_matrix());
+  const auto& s = cascade.series[1];  // specialist, missing p2
+  EXPECT_DOUBLE_EQ(s.efficiency.back(), 0.0);
+  EXPECT_DOUBLE_EQ(s.running_p.back(), 0.0);
+  EXPECT_DOUBLE_EQ(s.final_p, 0.0);
+  // But its running P before the unsupported platform is positive.
+  EXPECT_GT(s.running_p[1], 0.9);
+}
+
+TEST(Cascade, RenderMentionsAllSeries) {
+  const auto text = render_cascade(build_cascade(demo_matrix()));
+  EXPECT_NE(text.find("portable"), std::string::npos);
+  EXPECT_NE(text.find("specialist"), std::string::npos);
+  EXPECT_NE(text.find("P ="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaia::metrics

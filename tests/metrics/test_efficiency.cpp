@@ -1,0 +1,77 @@
+#include "metrics/efficiency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gaia::metrics {
+namespace {
+
+PerformanceMatrix example_matrix() {
+  // apps: fast, slow, partial; platforms: p0, p1
+  PerformanceMatrix m({"fast", "slow", "partial"}, {"p0", "p1"});
+  m.set_time(0, 0, 1.0);
+  m.set_time(0, 1, 2.0);
+  m.set_time(1, 0, 2.0);
+  m.set_time(1, 1, 4.0);
+  m.set_time(2, 0, 1.5);  // partial does not run on p1
+  return m;
+}
+
+TEST(PerformanceMatrix, StoresAndReportsSupport) {
+  const auto m = example_matrix();
+  EXPECT_TRUE(m.supported(0, 0));
+  EXPECT_FALSE(m.supported(2, 1));
+  EXPECT_DOUBLE_EQ(m.time(1, 1), 4.0);
+  EXPECT_EQ(m.app_index("slow"), 1u);
+  EXPECT_EQ(m.platform_index("p1"), 1u);
+}
+
+TEST(PerformanceMatrix, RejectsBadInput) {
+  EXPECT_THROW(PerformanceMatrix({}, {"p"}), gaia::Error);
+  auto m = example_matrix();
+  EXPECT_THROW(m.set_time(9, 0, 1.0), gaia::Error);
+  EXPECT_THROW(m.set_time(0, 0, 0.0), gaia::Error);
+  EXPECT_THROW((void)m.app_index("nope"), gaia::Error);
+}
+
+TEST(ApplicationEfficiency, NormalizesByPlatformBest) {
+  const auto eff = application_efficiency(example_matrix());
+  EXPECT_DOUBLE_EQ(eff[0][0], 1.0);   // fast is the best on p0
+  EXPECT_DOUBLE_EQ(eff[0][1], 1.0);   // and on p1
+  EXPECT_DOUBLE_EQ(eff[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(eff[1][1], 0.5);
+  EXPECT_DOUBLE_EQ(eff[2][0], 1.0 / 1.5);
+  EXPECT_DOUBLE_EQ(eff[2][1], 0.0);   // unsupported
+}
+
+TEST(ApplicationEfficiency, PlatformWithNoAppsGivesZero) {
+  PerformanceMatrix m({"a"}, {"p0", "dead"});
+  m.set_time(0, 0, 1.0);
+  const auto eff = application_efficiency(m);
+  EXPECT_DOUBLE_EQ(eff[0][1], 0.0);
+}
+
+TEST(BestPlatformEfficiency, NormalizesByOwnBest) {
+  const auto eff = best_platform_efficiency(example_matrix());
+  EXPECT_DOUBLE_EQ(eff[1][0], 1.0);  // slow's own best is p0
+  EXPECT_DOUBLE_EQ(eff[1][1], 0.5);
+  EXPECT_DOUBLE_EQ(eff[2][0], 1.0);
+  EXPECT_DOUBLE_EQ(eff[2][1], 0.0);
+}
+
+TEST(SubsetPlatforms, KeepsTimesAndSupport) {
+  const auto m = example_matrix();
+  const auto s = m.subset_platforms({"p1"});
+  EXPECT_EQ(s.n_platforms(), 1u);
+  EXPECT_DOUBLE_EQ(s.time(0, 0), 2.0);
+  EXPECT_FALSE(s.supported(2, 0));
+}
+
+TEST(SubsetPlatforms, UnknownNameThrows) {
+  const auto m = example_matrix();
+  EXPECT_THROW(m.subset_platforms({"mystery"}), gaia::Error);
+}
+
+}  // namespace
+}  // namespace gaia::metrics

@@ -1,0 +1,57 @@
+#include "metrics/pennycook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gaia::metrics {
+namespace {
+
+TEST(PennycookP, HarmonicMeanOfEfficiencies) {
+  // Paper Eq. 1: |H| / sum(1/e_i).
+  std::vector<double> eff{1.0, 0.5};
+  EXPECT_NEAR(pennycook_p(eff), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PennycookP, ZeroWhenAnyPlatformUnsupported) {
+  EXPECT_DOUBLE_EQ(pennycook_p(std::vector<double>{1.0, 0.0, 0.9}), 0.0);
+}
+
+TEST(PennycookP, PerfectPortabilityIsOne) {
+  EXPECT_DOUBLE_EQ(pennycook_p(std::vector<double>{1.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(PennycookP, DominatedByWorstPlatform) {
+  // The harmonic mean punishes imbalance: one bad platform drags P far
+  // below the arithmetic mean.
+  std::vector<double> eff{1.0, 1.0, 1.0, 1.0, 0.1};
+  EXPECT_LT(pennycook_p(eff), 0.36);
+  EXPECT_GT(pennycook_p(eff), 0.3);
+}
+
+TEST(PennycookScores, MatchesManualComputation) {
+  PerformanceMatrix m({"a", "b"}, {"p0", "p1"});
+  m.set_time(0, 0, 1.0);
+  m.set_time(0, 1, 1.0);
+  m.set_time(1, 0, 2.0);
+  m.set_time(1, 1, 1.0);
+  const auto p = pennycook_scores(m);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  // b: eff = {0.5, 1.0} -> HM = 2/3.
+  EXPECT_NEAR(p[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(PennycookScores, CudaLikeUnsupportedPlatformZeroesFullSetOnly) {
+  // The paper's CUDA case: P = 0 over the full set (no AMD toolchain)
+  // but 0.97 over the NVIDIA subset.
+  PerformanceMatrix m({"cuda"}, {"nv0", "nv1", "amd"});
+  m.set_time(0, 0, 1.0);
+  m.set_time(0, 1, 1.0);
+  const auto p_full = pennycook_scores(m);
+  EXPECT_DOUBLE_EQ(p_full[0], 0.0);
+  const auto p_nv = pennycook_scores(m, {"nv0", "nv1"});
+  EXPECT_DOUBLE_EQ(p_nv[0], 1.0);
+}
+
+}  // namespace
+}  // namespace gaia::metrics

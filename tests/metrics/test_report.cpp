@@ -1,0 +1,72 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gaia::metrics {
+namespace {
+
+PerformanceMatrix demo() {
+  PerformanceMatrix m({"HIP", "CUDA"}, {"nv0", "amd0"});
+  m.set_time(0, 0, 0.010);
+  m.set_time(0, 1, 0.012);
+  m.set_time(1, 0, 0.009);
+  return m;
+}
+
+TEST(Report, ContainsAllSections) {
+  const std::string md = markdown_report(demo());
+  EXPECT_NE(md.find("# Performance-portability campaign"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Average iteration time"), std::string::npos);
+  EXPECT_NE(md.find("## Application efficiency"), std::string::npos);
+  EXPECT_NE(md.find("## Pennycook P"), std::string::npos);
+  EXPECT_NE(md.find("## Efficiency cascades"), std::string::npos);
+}
+
+TEST(Report, MarksUnsupportedCells) {
+  const std::string md = markdown_report(demo());
+  EXPECT_NE(md.find("n/a"), std::string::npos);      // CUDA on amd0
+  EXPECT_NE(md.find("0 (n/s)"), std::string::npos);  // efficiency cell
+}
+
+TEST(Report, SubtitleAndSecondarySubsetRendered) {
+  ReportOptions opts;
+  opts.subtitle = "10 GB problem, 5 platforms";
+  opts.secondary_subset = {"nv0"};
+  opts.secondary_subset_label = "P (NVIDIA)";
+  const std::string md = markdown_report(demo(), opts);
+  EXPECT_NE(md.find("10 GB problem"), std::string::npos);
+  EXPECT_NE(md.find("P (NVIDIA)"), std::string::npos);
+  // CUDA scores 1.0 on the nv0-only subset.
+  EXPECT_NE(md.find("| CUDA | 0.000 | 1.000 |"), std::string::npos);
+}
+
+TEST(Report, CascadeLineListsPlatformsInOrder) {
+  const std::string md = markdown_report(demo());
+  // HIP's application efficiency: 1.0 on amd0 (only framework there),
+  // 0.9 on nv0 (CUDA is faster) -> amd0 listed first.
+  const auto pos = md.find("**HIP**");
+  ASSERT_NE(pos, std::string::npos);
+  const auto nv = md.find("nv0 0.90", pos);
+  const auto amd = md.find("amd0 1.00", pos);
+  ASSERT_NE(nv, std::string::npos);
+  ASSERT_NE(amd, std::string::npos);
+  EXPECT_LT(amd, nv);
+}
+
+TEST(Report, TablesAreValidMarkdown) {
+  const std::string md = markdown_report(demo());
+  // Every table header row is followed by a rule row.
+  std::size_t pos = 0;
+  int tables = 0;
+  while ((pos = md.find("| framework |", pos)) != std::string::npos) {
+    const auto line_end = md.find('\n', pos);
+    EXPECT_EQ(md.compare(line_end + 1, 4, "|---"), 0);
+    pos = line_end;
+    ++tables;
+  }
+  EXPECT_GE(tables, 3);
+}
+
+}  // namespace
+}  // namespace gaia::metrics

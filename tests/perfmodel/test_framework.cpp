@@ -1,0 +1,123 @@
+#include "perfmodel/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gaia::perfmodel {
+namespace {
+
+TEST(Framework, EightCombinationsWithUniqueNames) {
+  EXPECT_EQ(all_frameworks().size(), 8u);
+  std::set<std::string> names;
+  for (Framework f : all_frameworks()) names.insert(to_string(f));
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Framework, ParseRoundTrip) {
+  for (Framework f : all_frameworks()) {
+    const auto parsed = parse_framework(to_string(f));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_EQ(parse_framework("sycl+acpp"), Framework::kSyclAcpp);
+  EXPECT_FALSE(parse_framework("OpenCL").has_value());
+}
+
+TEST(Framework, CudaIsNvidiaOnly) {
+  const auto& t = framework_traits(Framework::kCuda);
+  EXPECT_TRUE(t.runs_on(Vendor::kNvidia));
+  EXPECT_FALSE(t.runs_on(Vendor::kAmd));
+  for (Framework f : all_frameworks()) {
+    if (f == Framework::kCuda) continue;
+    EXPECT_TRUE(framework_traits(f).runs_on(Vendor::kAmd)) << to_string(f);
+    EXPECT_TRUE(framework_traits(f).runs_on(Vendor::kNvidia)) << to_string(f);
+  }
+}
+
+TEST(Framework, PstlIsTheOnlyUntunableFamily) {
+  for (Framework f : all_frameworks()) {
+    const auto& t = framework_traits(f);
+    const bool is_pstl =
+        f == Framework::kPstlAcpp || f == Framework::kPstlVendor;
+    EXPECT_EQ(t.tunable, !is_pstl) << to_string(f);
+    if (is_pstl) {
+      EXPECT_EQ(t.fixed_threads, 256);     // nsys observation (SV-B)
+      EXPECT_FALSE(t.supports_streams);
+    }
+  }
+}
+
+TEST(Framework, AtomicLoweringMatchesPaper) {
+  // Everything is native RMW on NVIDIA.
+  for (Framework f : all_frameworks())
+    EXPECT_EQ(atomic_lowering(f, Vendor::kNvidia), AtomicMode::kNativeRmw)
+        << to_string(f);
+  // On AMD, base clang OpenMP and DPC++ fall back to CAS loops (SV-B).
+  EXPECT_EQ(atomic_lowering(Framework::kOmpLlvm, Vendor::kAmd),
+            AtomicMode::kCasLoop);
+  EXPECT_EQ(atomic_lowering(Framework::kSyclDpcpp, Vendor::kAmd),
+            AtomicMode::kCasLoop);
+  EXPECT_EQ(atomic_lowering(Framework::kHip, Vendor::kAmd),
+            AtomicMode::kNativeRmw);
+  EXPECT_EQ(atomic_lowering(Framework::kOmpVendor, Vendor::kAmd),
+            AtomicMode::kNativeRmw);
+  EXPECT_EQ(atomic_lowering(Framework::kPstlAcpp, Vendor::kAmd),
+            AtomicMode::kNativeRmw);
+}
+
+TEST(Framework, CompilerInfoTranscribesPaperTables) {
+  EXPECT_EQ(compiler_info(Framework::kCuda, Vendor::kNvidia).compiler,
+            "nvcc");
+  EXPECT_EQ(compiler_info(Framework::kOmpVendor, Vendor::kNvidia).compiler,
+            "nvc++");
+  EXPECT_EQ(compiler_info(Framework::kOmpVendor, Vendor::kAmd).compiler,
+            "amdclang++");
+  const auto hip_amd = compiler_info(Framework::kHip, Vendor::kAmd);
+  EXPECT_NE(hip_amd.flags.find("-munsafe-fp-atomics"), std::string::npos);
+  const auto dpcpp_amd = compiler_info(Framework::kSyclDpcpp, Vendor::kAmd);
+  EXPECT_EQ(dpcpp_amd.flags.find("-munsafe-fp-atomics"), std::string::npos);
+}
+
+TEST(Framework, SizeClassesPartitionTheStudySizes) {
+  EXPECT_EQ(size_class_of(10.0), 0);
+  EXPECT_EQ(size_class_of(30.0), 1);
+  EXPECT_EQ(size_class_of(60.0), 2);
+  EXPECT_EQ(size_class_of(1.0), 0);
+  EXPECT_EQ(size_class_of(100.0), 2);
+}
+
+TEST(Framework, ResidualsAreInUnitRange) {
+  for (Framework f : all_frameworks()) {
+    for (Platform p : all_platforms()) {
+      for (int s = 0; s < 3; ++s) {
+        const double r = residual_efficiency(f, p, s);
+        EXPECT_GT(r, 0.0) << to_string(f) << "/" << to_string(p);
+        EXPECT_LE(r, 1.0) << to_string(f) << "/" << to_string(p);
+      }
+    }
+  }
+  EXPECT_THROW((void)residual_efficiency(Framework::kCuda, Platform::kT4, 3),
+               gaia::Error);
+}
+
+TEST(Framework, ExecutionPlansFollowTraits) {
+  const GpuSpec& h100 = gpu_spec(Platform::kH100);
+  const GpuSpec& mi = gpu_spec(Platform::kMi250x);
+
+  const auto cuda = execution_plan(Framework::kCuda, h100);
+  EXPECT_TRUE(cuda.use_streams);
+  EXPECT_EQ(cuda.atomic_mode, AtomicMode::kNativeRmw);
+
+  const auto pstl = execution_plan(Framework::kPstlAcpp, h100);
+  EXPECT_FALSE(pstl.use_streams);
+  // Every kernel gets the same fixed 256-thread shape.
+  for (int k = 0; k < backends::kNumKernels; ++k)
+    EXPECT_EQ(pstl.tuning.get(static_cast<KernelId>(k)).threads, 256);
+
+  const auto omp_llvm = execution_plan(Framework::kOmpLlvm, mi);
+  EXPECT_EQ(omp_llvm.atomic_mode, AtomicMode::kCasLoop);
+}
+
+}  // namespace
+}  // namespace gaia::perfmodel

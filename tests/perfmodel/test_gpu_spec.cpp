@@ -1,0 +1,85 @@
+#include "perfmodel/gpu_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gaia::perfmodel {
+namespace {
+
+TEST(GpuSpec, FivePlatformsWithUniqueNames) {
+  EXPECT_EQ(all_platforms().size(), 5u);
+  std::set<std::string> names;
+  for (Platform p : all_platforms()) names.insert(to_string(p));
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(GpuSpec, ParseRoundTrip) {
+  for (Platform p : all_platforms()) {
+    const auto parsed = parse_platform(to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_EQ(parse_platform("mi250x"), Platform::kMi250x);  // case-insensitive
+  EXPECT_FALSE(parse_platform("RTX4090").has_value());
+}
+
+TEST(GpuSpec, VendorsMatchPaper) {
+  EXPECT_EQ(gpu_spec(Platform::kT4).vendor, Vendor::kNvidia);
+  EXPECT_EQ(gpu_spec(Platform::kV100).vendor, Vendor::kNvidia);
+  EXPECT_EQ(gpu_spec(Platform::kA100).vendor, Vendor::kNvidia);
+  EXPECT_EQ(gpu_spec(Platform::kH100).vendor, Vendor::kNvidia);
+  EXPECT_EQ(gpu_spec(Platform::kMi250x).vendor, Vendor::kAmd);
+}
+
+TEST(GpuSpec, MemoryCapacitiesGateTheProblemSizesLikeThePaper) {
+  // 10 GB on all, 30 GB on all but T4, 60 GB only H100 + MI250X.
+  EXPECT_LT(gpu_spec(Platform::kT4).mem_capacity_gb, 30.0);
+  EXPECT_GE(gpu_spec(Platform::kV100).mem_capacity_gb, 32.0);
+  EXPECT_LT(gpu_spec(Platform::kV100).mem_capacity_gb, 60.0);
+  EXPECT_LT(gpu_spec(Platform::kA100).mem_capacity_gb, 60.0);
+  EXPECT_GE(gpu_spec(Platform::kH100).mem_capacity_gb, 60.0);
+  EXPECT_GE(gpu_spec(Platform::kMi250x).mem_capacity_gb, 60.0);
+}
+
+TEST(GpuSpec, BandwidthOrderingMatchesGenerations) {
+  EXPECT_LT(gpu_spec(Platform::kT4).peak_bw_gbs,
+            gpu_spec(Platform::kV100).peak_bw_gbs);
+  EXPECT_LT(gpu_spec(Platform::kV100).peak_bw_gbs,
+            gpu_spec(Platform::kA100).peak_bw_gbs);
+  EXPECT_LT(gpu_spec(Platform::kA100).peak_bw_gbs,
+            gpu_spec(Platform::kH100).peak_bw_gbs);
+}
+
+TEST(GpuSpec, Mi250xHasLowSpmvEfficiency) {
+  // The paper's diagnosis: noncoalesced accesses hit MI250X much harder
+  // than the NVIDIA parts for these kernels (SV-B).
+  const double amd = gpu_spec(Platform::kMi250x).spmv_bw_efficiency;
+  for (Platform p : all_platforms()) {
+    if (p == Platform::kMi250x) continue;
+    EXPECT_LT(amd, gpu_spec(p).spmv_bw_efficiency);
+  }
+}
+
+TEST(GpuSpec, PreferredThreadsMatchPaperTuning) {
+  // "the number of threads that give best performance is 32" on T4/V100,
+  // while 256 "efficiently optimizes ... on H100 and A100" (SV-B).
+  EXPECT_EQ(gpu_spec(Platform::kT4).preferred_threads, 32);
+  EXPECT_EQ(gpu_spec(Platform::kV100).preferred_threads, 32);
+  EXPECT_EQ(gpu_spec(Platform::kA100).preferred_threads, 256);
+  EXPECT_EQ(gpu_spec(Platform::kH100).preferred_threads, 256);
+}
+
+TEST(GpuSpec, SaneLatenciesAndLanes) {
+  for (Platform p : all_platforms()) {
+    const GpuSpec& s = gpu_spec(p);
+    EXPECT_GT(s.launch_overhead_us, 0.0);
+    EXPECT_LT(s.launch_overhead_us, 100.0);
+    EXPECT_GT(s.max_concurrent_lanes, 1024);
+    EXPECT_GT(s.atomic_rmw_ns, 0.0);
+    EXPECT_GT(s.atomic_cas_retry, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace gaia::perfmodel

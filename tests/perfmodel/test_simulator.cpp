@@ -1,0 +1,237 @@
+#include "perfmodel/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/pennycook.hpp"
+
+namespace gaia::perfmodel {
+namespace {
+
+byte_size gb(double g) { return static_cast<byte_size>(g * kGiB); }
+
+double p_score(const metrics::PerformanceMatrix& m, Framework f) {
+  return metrics::pennycook_scores(m)[m.app_index(to_string(f))];
+}
+
+double eff_of(const metrics::PerformanceMatrix& m, Framework f,
+              Platform p) {
+  const auto eff = metrics::application_efficiency(m);
+  return eff[m.app_index(to_string(f))][m.platform_index(to_string(p))];
+}
+
+class Campaign {
+ public:
+  explicit Campaign(double gigabytes)
+      : matrix_(PlatformSimulator().measure_campaign(
+            gb(gigabytes), all_frameworks(),
+            platforms_for_size(gb(gigabytes)))) {}
+  const metrics::PerformanceMatrix& matrix() const { return matrix_; }
+
+ private:
+  metrics::PerformanceMatrix matrix_;
+};
+
+TEST(Simulator, PlatformSetsPerSizeMatchPaper) {
+  EXPECT_EQ(platforms_for_size(gb(10)).size(), 5u);
+  const auto p30 = platforms_for_size(gb(30));
+  EXPECT_EQ(p30.size(), 4u);  // all but T4
+  EXPECT_EQ(std::count(p30.begin(), p30.end(), Platform::kT4), 0);
+  const auto p60 = platforms_for_size(gb(60));
+  ASSERT_EQ(p60.size(), 2u);  // only H100 and MI250X
+  EXPECT_EQ(p60[0], Platform::kH100);
+  EXPECT_EQ(p60[1], Platform::kMi250x);
+}
+
+TEST(Simulator, CudaUnsupportedOnAmdWithReason) {
+  PlatformSimulator sim;
+  const auto reason =
+      sim.unsupported_reason(Framework::kCuda, Platform::kMi250x, gb(10));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("toolchain"), std::string::npos);
+  EXPECT_FALSE(
+      sim.unsupported_reason(Framework::kHip, Platform::kMi250x, gb(10)));
+}
+
+TEST(Simulator, CapacityRejectionNamesTheDevice) {
+  PlatformSimulator sim;
+  const auto reason =
+      sim.unsupported_reason(Framework::kCuda, Platform::kT4, gb(30));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("T4"), std::string::npos);
+}
+
+TEST(Simulator, RunProducesJitteredSamplesAroundModel) {
+  PlatformSimulator sim;
+  const auto r = sim.run(Framework::kHip, Platform::kH100, gb(10));
+  ASSERT_TRUE(r.supported);
+  EXPECT_EQ(r.iteration_samples.size(), 300u);  // 100 iters x 3 reps
+  const double model =
+      sim.model_iteration_seconds(Framework::kHip, Platform::kH100, gb(10));
+  EXPECT_NEAR(r.mean_iteration_s, model, model * 0.02);
+  EXPECT_GT(r.stddev_iteration_s, 0.0);
+  EXPECT_LT(r.stddev_iteration_s, model * 0.05);
+}
+
+TEST(Simulator, RunsAreDeterministic) {
+  PlatformSimulator sim;
+  const auto a = sim.run(Framework::kSyclAcpp, Platform::kV100, gb(10));
+  const auto b = sim.run(Framework::kSyclAcpp, Platform::kV100, gb(10));
+  EXPECT_EQ(a.mean_iteration_s, b.mean_iteration_s);
+}
+
+TEST(Simulator, UnsupportedCellsCarryReasonAndNoSamples) {
+  PlatformSimulator sim;
+  const auto r = sim.run(Framework::kCuda, Platform::kMi250x, gb(10));
+  EXPECT_FALSE(r.supported);
+  EXPECT_FALSE(r.unsupported_reason.empty());
+  EXPECT_TRUE(r.iteration_samples.empty());
+}
+
+// ---- paper-shape acceptance (DESIGN.md section 6) --------------------------
+
+TEST(PaperShape, Fig3a_10GB_PortabilityScores) {
+  const Campaign c(10);
+  // HIP ~0.98, best overall.
+  const double p_hip = p_score(c.matrix(), Framework::kHip);
+  EXPECT_GT(p_hip, 0.93);
+  for (Framework f : all_frameworks())
+    EXPECT_GE(p_hip, p_score(c.matrix(), f)) << to_string(f);
+  // SYCL+ACPP ~0.92.
+  const double p_sycl = p_score(c.matrix(), Framework::kSyclAcpp);
+  EXPECT_GT(p_sycl, 0.88);
+  EXPECT_LT(p_sycl, p_hip);
+  // CUDA: zero over the full set, ~0.97 NVIDIA-only.
+  EXPECT_DOUBLE_EQ(p_score(c.matrix(), Framework::kCuda), 0.0);
+  const auto p_nv = metrics::pennycook_scores(c.matrix(),
+                                              nvidia_platform_names());
+  EXPECT_NEAR(p_nv[c.matrix().app_index("CUDA")], 0.97, 0.02);
+  // OMP+LLVM is the worst non-zero score (~0.25).
+  const double p_ompllvm = p_score(c.matrix(), Framework::kOmpLlvm);
+  EXPECT_GT(p_ompllvm, 0.15);
+  EXPECT_LT(p_ompllvm, 0.40);
+  for (Framework f : all_frameworks()) {
+    if (f == Framework::kCuda || f == Framework::kOmpLlvm) continue;
+    EXPECT_GT(p_score(c.matrix(), f), p_ompllvm) << to_string(f);
+  }
+}
+
+TEST(PaperShape, Fig3b_30GB_SyclOvertakesHip) {
+  const Campaign c(30);
+  const double p_hip = p_score(c.matrix(), Framework::kHip);
+  const double p_sycl = p_score(c.matrix(), Framework::kSyclAcpp);
+  EXPECT_GT(p_sycl, p_hip);          // the paper's 0.93 vs 0.88 flip
+  EXPECT_NEAR(p_hip, 0.88, 0.05);
+  EXPECT_NEAR(p_sycl, 0.93, 0.04);
+  const auto p_nv = metrics::pennycook_scores(
+      c.matrix(), {"V100", "A100", "H100"});
+  EXPECT_GT(p_nv[c.matrix().app_index("CUDA")], 0.94);
+}
+
+TEST(PaperShape, Fig3c_60GB_TwoPlatformScoresAreHigh) {
+  const Campaign c(60);
+  EXPECT_EQ(c.matrix().n_platforms(), 2u);
+  // More frameworks score high due to the small platform set.
+  int high = 0, decent = 0;
+  for (Framework f : all_frameworks()) {
+    if (f == Framework::kCuda) continue;
+    if (p_score(c.matrix(), f) > 0.88) ++high;
+    if (p_score(c.matrix(), f) > 0.60) ++decent;
+  }
+  EXPECT_GE(high, 3);    // HIP, SYCL+ACPP, OMP+V
+  EXPECT_GE(decent, 5);  // plus DPC++ and at least one PSTL
+}
+
+TEST(PaperShape, Fig4_IterationTimeOrderings) {
+  const Campaign c(10);
+  const auto& m = c.matrix();
+  auto t = [&](Framework f, Platform p) {
+    return m.time(m.app_index(to_string(f)),
+                  m.platform_index(to_string(p)));
+  };
+  // Newer NVIDIA platforms are strictly faster (for a fixed framework).
+  for (Framework f : all_frameworks()) {
+    if (f == Framework::kCuda) continue;
+    EXPECT_GT(t(f, Platform::kT4), t(f, Platform::kV100)) << to_string(f);
+    EXPECT_GT(t(f, Platform::kV100), t(f, Platform::kA100)) << to_string(f);
+    EXPECT_GT(t(f, Platform::kA100), t(f, Platform::kH100)) << to_string(f);
+  }
+  // MI250X sits behind A100/H100 despite its bandwidth (paper SV-B).
+  EXPECT_GT(t(Framework::kHip, Platform::kMi250x),
+            t(Framework::kHip, Platform::kA100));
+  // Fastest per platform: CUDA on T4/A100, HIP on V100/H100, OMP+V on
+  // MI250X.
+  auto best = [&](Platform p) {
+    Framework arg = Framework::kCuda;
+    double bt = 1e30;
+    for (Framework f : all_frameworks()) {
+      const auto a = m.app_index(to_string(f));
+      const auto pi = m.platform_index(to_string(p));
+      if (!m.supported(a, pi)) continue;
+      if (m.time(a, pi) < bt) {
+        bt = m.time(a, pi);
+        arg = f;
+      }
+    }
+    return arg;
+  };
+  EXPECT_EQ(best(Platform::kT4), Framework::kCuda);
+  EXPECT_EQ(best(Platform::kV100), Framework::kHip);
+  EXPECT_EQ(best(Platform::kA100), Framework::kCuda);
+  EXPECT_EQ(best(Platform::kH100), Framework::kHip);
+  EXPECT_EQ(best(Platform::kMi250x), Framework::kOmpVendor);
+}
+
+TEST(PaperShape, Fig5_PstlEfficiencyRisesAcrossGenerationsAndSagsOnAmd) {
+  const Campaign c(10);
+  const auto& m = c.matrix();
+  const double t4 = eff_of(m, Framework::kPstlAcpp, Platform::kT4);
+  const double v100 = eff_of(m, Framework::kPstlAcpp, Platform::kV100);
+  const double a100 = eff_of(m, Framework::kPstlAcpp, Platform::kA100);
+  const double h100 = eff_of(m, Framework::kPstlAcpp, Platform::kH100);
+  const double mi = eff_of(m, Framework::kPstlAcpp, Platform::kMi250x);
+  EXPECT_LT(t4, v100 + 0.05);
+  EXPECT_LT(v100, a100);
+  EXPECT_LT(a100, h100);
+  EXPECT_NEAR(h100, 0.90, 0.05);  // "reaching 0.90 on H100"
+  EXPECT_GT(mi, 0.40);            // "0.45-0.6 on MI250X"
+  EXPECT_LT(mi, 0.62);
+}
+
+TEST(PaperShape, Fig5_OpenMpEfficienciesOnH100) {
+  // OMP+V ~0.91 and OMP+LLVM ~0.84 of the best on H100 (SV-B).
+  const Campaign c(10);
+  EXPECT_NEAR(eff_of(c.matrix(), Framework::kOmpVendor, Platform::kH100),
+              0.91, 0.04);
+  EXPECT_NEAR(eff_of(c.matrix(), Framework::kOmpLlvm, Platform::kH100),
+              0.84, 0.04);
+}
+
+TEST(PaperShape, Fig5_CasFrameworksCollapseOnMi250x) {
+  const Campaign c(10);
+  const auto& m = c.matrix();
+  // CAS-emitting combinations sit far below the RMW ones on MI250X.
+  const double omp_v = eff_of(m, Framework::kOmpVendor, Platform::kMi250x);
+  const double omp_llvm = eff_of(m, Framework::kOmpLlvm, Platform::kMi250x);
+  const double dpcpp = eff_of(m, Framework::kSyclDpcpp, Platform::kMi250x);
+  const double hip = eff_of(m, Framework::kHip, Platform::kMi250x);
+  EXPECT_LT(omp_llvm, 0.5 * omp_v);
+  EXPECT_LT(dpcpp, 0.5 * hip);
+  EXPECT_DOUBLE_EQ(omp_v, 1.0);  // best framework on MI250X
+}
+
+TEST(PaperShape, AveragePAcrossSizesMatchesAbstract) {
+  // Abstract: HIP 0.94 average, SYCL+ACPP 0.93, PSTL+V 0.62.
+  double hip = 0, sycl = 0, pstl_v = 0;
+  for (double g : {10.0, 30.0, 60.0}) {
+    const Campaign c(g);
+    hip += p_score(c.matrix(), Framework::kHip) / 3;
+    sycl += p_score(c.matrix(), Framework::kSyclAcpp) / 3;
+    pstl_v += p_score(c.matrix(), Framework::kPstlVendor) / 3;
+  }
+  EXPECT_NEAR(hip, 0.94, 0.04);
+  EXPECT_NEAR(sycl, 0.93, 0.04);
+  EXPECT_NEAR(pstl_v, 0.62, 0.08);
+}
+
+}  // namespace
+}  // namespace gaia::perfmodel

@@ -1,0 +1,103 @@
+/// Property sweeps over the dataset generator: structural invariants
+/// must hold for every (size, seed) combination, not just the fixtures.
+#include <gtest/gtest.h>
+
+#include "matrix/dense.hpp"
+#include "matrix/generator.hpp"
+#include "util/rng.hpp"
+
+namespace gaia::matrix {
+namespace {
+
+struct SweepParam {
+  std::uint64_t seed;
+  row_index n_stars;
+  double obs_mean;
+  col_index att_dof;
+  col_index n_instr;
+  bool has_global;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static GeneratorConfig config() {
+    const SweepParam& p = GetParam();
+    GeneratorConfig cfg;
+    cfg.seed = p.seed;
+    cfg.n_stars = p.n_stars;
+    cfg.obs_per_star_mean = p.obs_mean;
+    cfg.att_dof_per_axis = p.att_dof;
+    cfg.n_instr_params = p.n_instr;
+    cfg.has_global = p.has_global;
+    return cfg;
+  }
+};
+
+TEST_P(GeneratorSweep, StructureAlwaysValid) {
+  const auto gen = generate_system(config());
+  EXPECT_NO_THROW(gen.A.validate_structure());
+}
+
+TEST_P(GeneratorSweep, FootprintFormulaExact) {
+  const auto gen = generate_system(config());
+  EXPECT_EQ(gen.A.footprint_bytes(),
+            SystemMatrix::footprint_bytes_for(gen.A.n_rows(),
+                                              gen.A.layout().n_stars()));
+}
+
+TEST_P(GeneratorSweep, AdjointIdentityOnCompressedForm) {
+  // <A x, y> == <x, A^T y> straight from the dense expansion — ties the
+  // compressed storage semantics down for every sweep point.
+  const auto gen = generate_system(config());
+  if (gen.A.n_rows() * gen.A.n_cols() > 4'000'000) GTEST_SKIP();
+  const auto M = to_dense(gen.A);
+  util::Xoshiro256 rng(GetParam().seed + 1);
+  std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()));
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  const auto Ax = dense_matvec(M, gen.A.n_rows(), gen.A.n_cols(), x);
+  const auto Aty = dense_rmatvec(M, gen.A.n_rows(), gen.A.n_cols(), y);
+  real lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < Ax.size(); ++i) lhs += Ax[i] * y[i];
+  for (std::size_t i = 0; i < Aty.size(); ++i) rhs += Aty[i] * x[i];
+  EXPECT_NEAR(lhs, rhs, 1e-8 * std::max<real>(1, std::abs(lhs)));
+}
+
+TEST_P(GeneratorSweep, GroundTruthSatisfiesConstraints) {
+  auto cfg = config();
+  cfg.rhs_mode = RhsMode::kFromGroundTruth;
+  const auto gen = generate_system(cfg);
+  ASSERT_TRUE(gen.ground_truth.has_value());
+  const auto& lay = gen.A.layout();
+  // Every axis' first constraint window must sum to ~0 in the truth.
+  for (int axis = 0; axis < kAttBlocks; ++axis) {
+    real sum = 0;
+    for (int i = 0; i < kAttBlockSize; ++i)
+      sum += (*gen.ground_truth)[static_cast<std::size_t>(
+          lay.att_offset() + axis * lay.att_stride() + i)];
+    EXPECT_NEAR(sum, 0.0, 1e-10) << "axis " << axis;
+  }
+}
+
+TEST_P(GeneratorSweep, SeedStabilityAcrossRepeatedCalls) {
+  const auto a = generate_system(config());
+  const auto b = generate_system(config());
+  EXPECT_TRUE(std::equal(a.A.values().begin(), a.A.values().end(),
+                         b.A.values().begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorSweep,
+    ::testing::Values(SweepParam{1, 8, 6.0, 8, 6, false},
+                      SweepParam{2, 16, 10.0, 16, 8, true},
+                      SweepParam{3, 64, 8.0, 32, 24, true},
+                      SweepParam{4, 100, 20.0, 48, 12, false},
+                      SweepParam{5, 256, 12.0, 64, 64, true},
+                      SweepParam{6, 500, 30.0, 24, 7, true}),
+    [](const auto& info) {
+      return "case" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace gaia::matrix

@@ -1,0 +1,126 @@
+/// Property sweeps over the platform model: monotonicity and sanity
+/// invariants that must hold for every framework x platform x size cell.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "metrics/pennycook.hpp"
+#include "perfmodel/simulator.hpp"
+
+namespace gaia::perfmodel {
+namespace {
+
+byte_size gb(double g) { return static_cast<byte_size>(g * kGiB); }
+
+class CellSweep
+    : public ::testing::TestWithParam<std::tuple<Framework, Platform>> {};
+
+TEST_P(CellSweep, TimeGrowsMonotonicallyWithProblemSize) {
+  const auto [f, p] = GetParam();
+  PlatformSimulator sim;
+  double prev = 0;
+  for (double size : {1.0, 4.0, 8.0, 10.0}) {
+    if (sim.unsupported_reason(f, p, gb(size))) continue;
+    const double t = sim.model_iteration_seconds(f, p, gb(size));
+    EXPECT_GT(t, prev) << size << " GB";
+    prev = t;
+  }
+}
+
+TEST_P(CellSweep, TimeScalesRoughlyLinearlyInSize) {
+  const auto [f, p] = GetParam();
+  PlatformSimulator sim;
+  if (sim.unsupported_reason(f, p, gb(10))) GTEST_SKIP();
+  const double t2 = sim.model_iteration_seconds(f, p, gb(2));
+  const double t10 = sim.model_iteration_seconds(f, p, gb(10));
+  const double ratio = t10 / t2;
+  // CAS-lowered cells scale sublinearly: the conflict ratio falls as the
+  // column space grows with the problem, so allow a wider band there.
+  const bool cas = atomic_lowering(f, gpu_spec(p).vendor) ==
+                   AtomicMode::kCasLoop;
+  EXPECT_GT(ratio, cas ? 1.3 : 3.0) << to_string(f) << "/" << to_string(p);
+  EXPECT_LT(ratio, 7.0) << to_string(f) << "/" << to_string(p);
+}
+
+TEST_P(CellSweep, SupportedCellsProducePositiveTimes) {
+  const auto [f, p] = GetParam();
+  PlatformSimulator sim;
+  for (double size : {10.0, 30.0, 60.0}) {
+    const auto r = sim.run(f, p, gb(size));
+    if (r.supported) {
+      EXPECT_GT(r.mean_iteration_s, 0.0);
+      EXPECT_LT(r.mean_iteration_s, 10.0);  // sane: < 10 s per iteration
+    } else {
+      EXPECT_FALSE(r.unsupported_reason.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, CellSweep,
+    ::testing::Combine(::testing::ValuesIn(all_frameworks()),
+                       ::testing::ValuesIn(all_platforms())),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_" +
+                         to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(CampaignProperties, EveryPlatformHasABestFrameworkWithEfficiencyOne) {
+  PlatformSimulator sim;
+  const auto platforms = platforms_for_size(gb(10));
+  const auto m = sim.measure_campaign(gb(10), all_frameworks(), platforms);
+  const auto eff = metrics::application_efficiency(m);
+  for (std::size_t p = 0; p < m.n_platforms(); ++p) {
+    double best = 0;
+    for (std::size_t a = 0; a < m.n_applications(); ++a)
+      best = std::max(best, eff[a][p]);
+    EXPECT_NEAR(best, 1.0, 1e-12) << m.platforms()[p];
+  }
+}
+
+TEST(CampaignProperties, PNeverExceedsBestEfficiency) {
+  PlatformSimulator sim;
+  const auto platforms = platforms_for_size(gb(10));
+  const auto m = sim.measure_campaign(gb(10), all_frameworks(), platforms);
+  const auto eff = metrics::application_efficiency(m);
+  const auto p_scores = metrics::pennycook_scores(m);
+  for (std::size_t a = 0; a < m.n_applications(); ++a) {
+    double mx = 0, mn = 2;
+    for (double e : eff[a]) {
+      mx = std::max(mx, e);
+      if (e > 0) mn = std::min(mn, e);
+    }
+    // Harmonic mean lies between the min and max positive efficiency
+    // (or is zero when any platform is unsupported).
+    if (p_scores[a] > 0) {
+      EXPECT_LE(p_scores[a], mx + 1e-12) << m.applications()[a];
+      EXPECT_GE(p_scores[a], mn - 1e-12) << m.applications()[a];
+    }
+  }
+}
+
+TEST(CampaignProperties, ResidualCalibrationNeverInvertsStructuralLosses) {
+  // Sanity guard on the calibration: no framework may beat CUDA/HIP on
+  // an NVIDIA platform purely through its residual (they are the
+  // reference points of the paper's measurements).
+  PlatformSimulator sim;
+  for (Platform p :
+       {Platform::kT4, Platform::kV100, Platform::kA100, Platform::kH100}) {
+    const double best_native =
+        std::min(sim.model_iteration_seconds(Framework::kCuda, p, gb(10)),
+                 sim.model_iteration_seconds(Framework::kHip, p, gb(10)));
+    for (Framework f : all_frameworks()) {
+      if (f == Framework::kCuda || f == Framework::kHip) continue;
+      EXPECT_GE(sim.model_iteration_seconds(f, p, gb(10)),
+                best_native * 0.999)
+          << to_string(f) << " on " << to_string(p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gaia::perfmodel

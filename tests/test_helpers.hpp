@@ -1,0 +1,63 @@
+/// \file test_helpers.hpp
+/// \brief Shared fixtures/utilities for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "matrix/generator.hpp"
+
+namespace gaia::testing {
+
+/// Small, deterministic system usable with the dense oracle.
+inline matrix::GeneratorConfig small_config(std::uint64_t seed = 42) {
+  matrix::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.n_stars = 24;
+  cfg.obs_per_star_mean = 9.0;
+  cfg.obs_per_star_min = 5;
+  cfg.att_dof_per_axis = 16;
+  cfg.n_instr_params = 12;
+  cfg.has_global = true;
+  cfg.constraints_per_axis = 1;
+  return cfg;
+}
+
+/// Medium system for concurrency-sensitive tests (enough rows that the
+/// pool actually splits work and atomics actually collide).
+inline matrix::GeneratorConfig medium_config(std::uint64_t seed = 7) {
+  matrix::GeneratorConfig cfg = small_config(seed);
+  cfg.n_stars = 400;
+  cfg.obs_per_star_mean = 25.0;
+  cfg.att_dof_per_axis = 64;
+  cfg.n_instr_params = 48;
+  return cfg;
+}
+
+inline double max_abs_diff(std::span<const double> a,
+                           std::span<const double> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+/// Relative L2 error ||a-b|| / max(||b||, tiny).
+inline double rel_l2_error(std::span<const double> a,
+                           std::span<const double> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double num = 0, den = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num) / std::max(std::sqrt(den), 1e-300);
+}
+
+}  // namespace gaia::testing

@@ -1,0 +1,56 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace gaia::util {
+namespace {
+
+TEST(Csv, EmitsHeaderAndRows) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  w.add_row({"3", "4"});
+  EXPECT_EQ(w.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter w({"text"});
+  w.add_row({"has,comma"});
+  w.add_row({"has\"quote"});
+  w.add_row({"has\nnewline"});
+  const std::string s = w.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), Error);
+}
+
+TEST(Csv, WriteRoundTripsThroughFile) {
+  const std::string path = ::testing::TempDir() + "gaia_csv_test.csv";
+  {
+    CsvWriter w({"x"});
+    w.add_row({"42"});
+    w.write(path);
+  }
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteToUnwritablePathThrows) {
+  CsvWriter w({"x"});
+  EXPECT_THROW(w.write("/nonexistent-dir/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace gaia::util

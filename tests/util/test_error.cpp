@@ -1,0 +1,56 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+TEST(Error, CheckPassesOnTrueCondition) {
+  EXPECT_NO_THROW(GAIA_CHECK(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Error, CheckThrowsGaiaErrorOnFalse) {
+  EXPECT_THROW(GAIA_CHECK(false, "deliberate"), Error);
+}
+
+TEST(Error, MessageCarriesExpressionLocationAndText) {
+  try {
+    GAIA_CHECK(2 > 3, "two is not greater than three");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not greater than three"),
+              std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, IsARuntimeError) {
+  // Callers may catch std::runtime_error or std::exception generically.
+  EXPECT_THROW(GAIA_CHECK(false, "x"), std::runtime_error);
+  EXPECT_THROW(GAIA_CHECK(false, "x"), std::exception);
+}
+
+TEST(Error, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto probe = [&calls] {
+    ++calls;
+    return true;
+  };
+  GAIA_CHECK(probe(), "side effects must not repeat");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Error, EmptyMessageStillThrowsCleanly) {
+  try {
+    GAIA_CHECK(false, "");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("check failed"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gaia

@@ -1,0 +1,105 @@
+#include "util/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gaia::util {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::global().reset();
+    Profiler::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Profiler::global().set_enabled(false);
+    Profiler::global().reset();
+  }
+};
+
+TEST_F(ProfilerTest, RecordsCallsAndTotals) {
+  auto& p = Profiler::global();
+  p.record("kernel_a", 0.010);
+  p.record("kernel_a", 0.020);
+  p.record("kernel_b", 0.005);
+  const auto stats = p.snapshot();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "kernel_a");  // sorted by total desc
+  EXPECT_EQ(stats[0].calls, 2u);
+  EXPECT_NEAR(stats[0].total_s, 0.030, 1e-12);
+  EXPECT_NEAR(p.total_seconds(), 0.035, 1e-12);
+}
+
+TEST_F(ProfilerTest, FractionOfPrefix) {
+  auto& p = Profiler::global();
+  p.record("aprod1_astro", 0.3);
+  p.record("aprod2_att", 0.5);
+  p.record("blas1_scale", 0.2);
+  EXPECT_NEAR(p.fraction_of("aprod"), 0.8, 1e-12);
+  EXPECT_NEAR(p.fraction_of("blas1"), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(p.fraction_of("missing"), 0.0);
+}
+
+TEST_F(ProfilerTest, DisabledRecordsNothing) {
+  auto& p = Profiler::global();
+  p.set_enabled(false);
+  p.record("ghost", 1.0);
+  EXPECT_TRUE(p.snapshot().empty());
+  EXPECT_DOUBLE_EQ(p.total_seconds(), 0.0);
+}
+
+TEST_F(ProfilerTest, ScopedRegionMeasuresElapsed) {
+  {
+    ScopedRegion region("scoped");
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  const auto stats = Profiler::global().snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "scoped");
+  EXPECT_GE(stats[0].total_s, 0.010);
+}
+
+TEST_F(ProfilerTest, ScopedRegionNoopWhenDisabledAtConstruction) {
+  Profiler::global().set_enabled(false);
+  {
+    ScopedRegion region("ghost");
+  }
+  Profiler::global().set_enabled(true);
+  EXPECT_TRUE(Profiler::global().snapshot().empty());
+}
+
+TEST_F(ProfilerTest, ConcurrentRecordingIsSound) {
+  auto& p = Profiler::global();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&p] {
+      for (int i = 0; i < 1000; ++i) p.record("shared", 0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto stats = p.snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].calls, 4000u);
+  EXPECT_NEAR(stats[0].total_s, 4.0, 1e-9);
+}
+
+TEST_F(ProfilerTest, ReportListsRegionsWithShares) {
+  auto& p = Profiler::global();
+  p.record("aprod1_astro", 0.75);
+  p.record("blas1", 0.25);
+  const std::string report = p.report();
+  EXPECT_NE(report.find("aprod1_astro"), std::string::npos);
+  EXPECT_NE(report.find("75.0%"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ResetClearsEverything) {
+  Profiler::global().record("x", 1.0);
+  Profiler::global().reset();
+  EXPECT_TRUE(Profiler::global().snapshot().empty());
+}
+
+}  // namespace
+}  // namespace gaia::util

@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gaia::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7}), 7.0);
+}
+
+TEST(Stats, StddevUnbiased) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);  // sqrt(32/7)
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1}), 0.0);
+}
+
+TEST(Stats, HarmonicMeanMatchesClosedForm) {
+  std::vector<double> xs{1.0, 0.5};  // HM = 2 / (1 + 2) = 2/3
+  EXPECT_NEAR(harmonic_mean(xs), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, HarmonicMeanZeroOnNonPositive) {
+  // The P-metric convention: any unsupported platform (efficiency 0)
+  // zeroes the harmonic mean.
+  EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{0.9, 0.0, 0.8}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{0.9, -0.1}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, HarmonicMeanOfEqualValuesIsThatValue) {
+  std::vector<double> xs{0.7, 0.7, 0.7, 0.7};
+  EXPECT_NEAR(harmonic_mean(xs), 0.7, 1e-12);
+}
+
+TEST(Stats, HarmonicLeqGeometricLeqArithmetic) {
+  std::vector<double> xs{0.3, 0.9, 0.5, 0.75};
+  const double h = harmonic_mean(xs);
+  const double g = geometric_mean(xs);
+  const double a = mean(xs);
+  EXPECT_LE(h, g + 1e-12);
+  EXPECT_LE(g, a + 1e-12);
+}
+
+TEST(Stats, MinMaxMedian) {
+  std::vector<double> xs{3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 5.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  std::vector<double> xs{1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, PercentileClampsQ) {
+  std::vector<double> xs{1, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 150), 2.0);
+}
+
+TEST(Stats, LinearFitExactLine) {
+  std::vector<double> x{0, 1, 2, 3};
+  std::vector<double> y{1, 3, 5, 7};  // y = 2x + 1
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(linear_fit(std::vector<double>{1},
+                              std::vector<double>{2}).slope, 0.0);
+  // Vertical data (sxx == 0) must not divide by zero.
+  std::vector<double> x{2, 2, 2};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(linear_fit(x, y).slope, 0.0);
+}
+
+TEST(Stats, SummarizeAggregates) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+}  // namespace
+}  // namespace gaia::util

@@ -1,0 +1,53 @@
+#include "util/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace gaia::util {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = w.elapsed_s();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);  // generous upper bound for loaded CI
+}
+
+TEST(Stopwatch, ResetRestartsClock) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.reset();
+  EXPECT_LT(w.elapsed_s(), 0.015);
+}
+
+TEST(Stopwatch, UnitConversionsConsistent) {
+  Stopwatch w;
+  const double s = w.elapsed_s();
+  EXPECT_GE(w.elapsed_ms(), s * 1e3 * 0.5);
+  EXPECT_GE(w.elapsed_us(), s * 1e6 * 0.5);
+}
+
+TEST(IterationTimer, AccumulatesSamples) {
+  IterationTimer t;
+  for (int i = 0; i < 3; ++i) {
+    t.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    t.stop();
+  }
+  EXPECT_EQ(t.count(), 3u);
+  EXPECT_GT(t.total_s(), 0.010);
+  EXPECT_GT(t.mean_s(), 0.003);
+  EXPECT_EQ(t.samples().size(), 3u);
+}
+
+TEST(IterationTimer, EmptyTimerIsZero) {
+  IterationTimer t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.total_s(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace gaia::util

@@ -1,0 +1,65 @@
+#include "util/string_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gaia::util {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("GaiA", "gAIa"));
+  EXPECT_FALSE(iequals("gaia", "gaia2"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(ParseSize, UnitsAndFractions) {
+  EXPECT_EQ(parse_size("1024"), 1024u);
+  EXPECT_EQ(parse_size("1KB"), kKiB);
+  EXPECT_EQ(parse_size("10GB"), 10 * kGiB);
+  EXPECT_EQ(parse_size("10 GiB"), 10 * kGiB);
+  EXPECT_EQ(parse_size("1.5MB"), kMiB + kMiB / 2);
+  EXPECT_EQ(parse_size("2g"), 2 * kGiB);
+  EXPECT_EQ(parse_size("1TB"), 1024 * kGiB);
+}
+
+TEST(ParseSize, RejectsMalformed) {
+  EXPECT_FALSE(parse_size("").has_value());
+  EXPECT_FALSE(parse_size("GB").has_value());
+  EXPECT_FALSE(parse_size("10XB").has_value());
+  EXPECT_FALSE(parse_size("ten GB").has_value());
+}
+
+TEST(FormatBytes, PicksUnit) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(kGiB), "1.00 GiB");
+  EXPECT_EQ(format_bytes(10 * kGiB), "10.0 GiB");
+}
+
+TEST(FormatSeconds, AdaptiveUnits) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0015), "1.500 ms");
+  EXPECT_EQ(format_seconds(1.5e-6), "1.500 us");
+  EXPECT_EQ(format_seconds(2.0e-9), "2.000 ns");
+}
+
+}  // namespace
+}  // namespace gaia::util

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gaia::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h", "x"});
+  t.add_row({"a-very-long-cell", "1"});
+  const std::string s = t.str();
+  // Every rendered line must have equal length (fixed-width table).
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    const std::size_t len = end - start;
+    if (expected == 0) expected = len;
+    EXPECT_EQ(len, expected);
+    start = end + 1;
+  }
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, NumOrNaHandlesNegativeSentinel) {
+  EXPECT_EQ(Table::num_or_na(-1.0), "n/a");
+  EXPECT_EQ(Table::num_or_na(0.5, 1), "0.5");
+}
+
+TEST(Bar, FillsProportionally) {
+  const std::string full = bar("x", 1.0, 1.0, 10);
+  const std::string half = bar("x", 0.5, 1.0, 10);
+  const std::string none = bar("x", 0.0, 1.0, 10);
+  auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_EQ(count(full), 10);
+  EXPECT_EQ(count(half), 5);
+  EXPECT_EQ(count(none), 0);
+}
+
+TEST(Bar, ClampsOverflowAndZeroMax) {
+  auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_EQ(count(bar("x", 2.0, 1.0, 10)), 10);
+  EXPECT_EQ(count(bar("x", 1.0, 0.0, 10)), 0);
+}
+
+}  // namespace
+}  // namespace gaia::util

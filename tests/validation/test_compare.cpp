@@ -1,0 +1,94 @@
+#include "validation/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gaia::validation {
+namespace {
+
+TEST(CompareSolutions, IdenticalVectorsAreInPerfectAgreement) {
+  std::vector<real> a{1e-6, -2e-6, 3e-7};
+  const auto cmp = compare_solutions(a, a);
+  EXPECT_DOUBLE_EQ(cmp.max_abs_diff, 0.0);
+  EXPECT_DOUBLE_EQ(cmp.rel_l2_error, 0.0);
+  EXPECT_TRUE(cmp.below_accuracy_goal);
+}
+
+TEST(CompareSolutions, DetectsLargeDisagreement) {
+  std::vector<real> a{1e-6, 2e-6};
+  std::vector<real> b{1e-6, 2e-6 + 1e-9};  // way above 10 uas (4.8e-11)
+  const auto cmp = compare_solutions(b, a);
+  EXPECT_FALSE(cmp.below_accuracy_goal);
+  EXPECT_NEAR(cmp.max_abs_diff, 1e-9, 1e-15);
+}
+
+TEST(CompareSolutions, AccuracyGoalUsesMeanAndSigma) {
+  // Differences individually below the goal but with custom threshold.
+  std::vector<real> ref(100, 0.0);
+  std::vector<real> cand(100, 1e-12);
+  const auto strict = compare_solutions(cand, ref, {}, {}, 1e-13);
+  EXPECT_FALSE(strict.below_accuracy_goal);
+  const auto loose = compare_solutions(cand, ref, {}, {}, 1e-11);
+  EXPECT_TRUE(loose.below_accuracy_goal);
+}
+
+TEST(CompareSolutions, SigmaAgreementCountsCombinedErrors) {
+  std::vector<real> ref{0.0, 0.0, 0.0, 0.0};
+  std::vector<real> cand{0.5, 1.5, 0.9, 3.0};
+  std::vector<real> err(4, 1.0);  // combined sigma = sqrt(2)
+  const auto cmp = compare_solutions(cand, ref, err, err);
+  // |d| <= sqrt(2): 0.5 yes, 1.5 no... sqrt(2)=1.414 -> 1.5 out, 0.9 in,
+  // 3.0 out => 2/4.
+  EXPECT_DOUBLE_EQ(cmp.sigma_agreement, 0.5);
+}
+
+TEST(CompareSolutions, SizeMismatchThrows) {
+  std::vector<real> a{1.0};
+  std::vector<real> b{1.0, 2.0};
+  EXPECT_THROW(compare_solutions(a, b), gaia::Error);
+}
+
+TEST(CompareSolutions, SummaryMentionsVerdict) {
+  std::vector<real> a{1e-6};
+  EXPECT_NE(compare_solutions(a, a).summary().find("within accuracy goal"),
+            std::string::npos);
+}
+
+TEST(Scatter, SamplesAstrometricSectionOnly) {
+  const matrix::ParameterLayout lay(100, 3, 8, 6, true);
+  std::vector<real> ref(static_cast<std::size_t>(lay.n_unknowns()), 1.0);
+  std::vector<real> cand = ref;
+  const auto pts = astrometric_scatter(lay, cand, ref, 50);
+  EXPECT_GT(pts.size(), 10u);
+  EXPECT_LE(pts.size(), 60u);
+  for (const auto& p : pts) EXPECT_LT(p.unknown, lay.n_astro_params());
+}
+
+TEST(Scatter, OneToOneFitOfPerfectAgreement) {
+  const matrix::ParameterLayout lay(50, 3, 8, 6, true);
+  util::Xoshiro256 rng(3);
+  std::vector<real> ref(static_cast<std::size_t>(lay.n_unknowns()));
+  for (auto& v : ref) v = rng.normal();
+  const auto pts = astrometric_scatter(lay, ref, ref, 1000);
+  const auto fit = fit_one_to_one(pts);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Scatter, FitDetectsSystematicBias) {
+  const matrix::ParameterLayout lay(50, 3, 8, 6, true);
+  util::Xoshiro256 rng(4);
+  std::vector<real> ref(static_cast<std::size_t>(lay.n_unknowns()));
+  for (auto& v : ref) v = rng.normal();
+  std::vector<real> cand = ref;
+  for (auto& v : cand) v = 2.0 * v + 0.5;
+  const auto fit = fit_one_to_one(astrometric_scatter(lay, cand, ref, 1000));
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace gaia::validation

@@ -1,0 +1,83 @@
+#include "validation/cross_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace gaia::validation {
+namespace {
+
+ValidationOptions options() {
+  ValidationOptions opts;
+  opts.dataset = gaia::testing::medium_config(110);
+  opts.dataset.noise_sigma = 0.05;
+  opts.lsqr.max_iterations = 200;
+  opts.lsqr.atol = 1e-13;
+  opts.lsqr.btol = 1e-13;
+  return opts;
+}
+
+class CrossBackendValidation : public ::testing::Test {
+ protected:
+  static const ValidationCampaign& campaign() {
+    static const ValidationCampaign c = run_validation(options());
+    return c;
+  }
+};
+
+TEST_F(CrossBackendValidation, EveryPortPassesThePaperAcceptance) {
+  const auto& c = campaign();
+  EXPECT_EQ(c.ports.size(), backends::all_backends().size() - 1);
+  for (const auto& port : c.ports) {
+    SCOPED_TRACE(backends::to_string(port.backend));
+    // Solutions agree within 1 sigma (paper: "in agreement within 1a").
+    EXPECT_GT(port.solution.sigma_agreement, 0.99);
+    // Mean and sigma of the differences below the 10 uas goal.
+    EXPECT_TRUE(port.solution.below_accuracy_goal)
+        << port.solution.summary();
+    EXPECT_TRUE(port.std_errors.below_accuracy_goal)
+        << port.std_errors.summary();
+  }
+  EXPECT_TRUE(c.all_passed);
+}
+
+TEST_F(CrossBackendValidation, OneToOneRelationHolds) {
+  for (const auto& port : campaign().ports) {
+    SCOPED_TRACE(backends::to_string(port.backend));
+    EXPECT_NEAR(port.one_to_one.slope, 1.0, 1e-6);
+    EXPECT_NEAR(port.one_to_one.intercept, 0.0, 1e-9);
+    EXPECT_GT(port.one_to_one.r2, 0.999999);
+  }
+}
+
+TEST_F(CrossBackendValidation, SolutionsAreAstrometricScale) {
+  // The validation datasets are radian-scale quantities (~1e-6), making
+  // the micro-arcsecond threshold meaningful.
+  const auto& ref = campaign().reference;
+  double max_abs = 0;
+  for (real v : ref.x) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_LT(max_abs, 1e-3);
+  EXPECT_GT(max_abs, 1e-9);
+}
+
+TEST_F(CrossBackendValidation, StdErrorsArePositive) {
+  for (const auto& port : campaign().ports) {
+    for (real se : port.result.std_errors) {
+      ASSERT_GT(se, 0.0);
+    }
+  }
+}
+
+TEST(CrossBackendValidationConfig, ScaleOneLeavesRawUnits) {
+  ValidationOptions opts = options();
+  opts.dataset = gaia::testing::small_config(111);
+  opts.lsqr.max_iterations = 50;
+  opts.solution_scale = 1.0;
+  const auto c = run_validation(opts);
+  double max_abs = 0;
+  for (real v : c.reference.x) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_GT(max_abs, 1e-2);  // O(1) ground truth
+}
+
+}  // namespace
+}  // namespace gaia::validation
