@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_atomics.dir/ablation_atomics.cpp.o"
+  "CMakeFiles/ablation_atomics.dir/ablation_atomics.cpp.o.d"
+  "ablation_atomics"
+  "ablation_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

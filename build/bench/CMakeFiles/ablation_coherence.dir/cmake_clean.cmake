@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coherence.dir/ablation_coherence.cpp.o"
+  "CMakeFiles/ablation_coherence.dir/ablation_coherence.cpp.o.d"
+  "ablation_coherence"
+  "ablation_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multigpu.dir/ablation_multigpu.cpp.o"
+  "CMakeFiles/ablation_multigpu.dir/ablation_multigpu.cpp.o.d"
+  "ablation_multigpu"
+  "ablation_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storage.dir/ablation_storage.cpp.o"
+  "CMakeFiles/ablation_storage.dir/ablation_storage.cpp.o.d"
+  "ablation_storage"
+  "ablation_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_streams.dir/ablation_streams.cpp.o"
+  "CMakeFiles/ablation_streams.dir/ablation_streams.cpp.o.d"
+  "ablation_streams"
+  "ablation_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

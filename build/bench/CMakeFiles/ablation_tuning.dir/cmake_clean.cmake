@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tuning.dir/ablation_tuning.cpp.o"
+  "CMakeFiles/ablation_tuning.dir/ablation_tuning.cpp.o.d"
+  "ablation_tuning"
+  "ablation_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

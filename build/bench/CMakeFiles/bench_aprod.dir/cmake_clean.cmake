@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aprod.dir/bench_aprod.cpp.o"
+  "CMakeFiles/bench_aprod.dir/bench_aprod.cpp.o.d"
+  "bench_aprod"
+  "bench_aprod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aprod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

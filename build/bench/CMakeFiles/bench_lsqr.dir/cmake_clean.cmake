@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsqr.dir/bench_lsqr.cpp.o"
+  "CMakeFiles/bench_lsqr.dir/bench_lsqr.cpp.o.d"
+  "bench_lsqr"
+  "bench_lsqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_portability.dir/fig3_portability.cpp.o"
+  "CMakeFiles/fig3_portability.dir/fig3_portability.cpp.o.d"
+  "fig3_portability"
+  "fig3_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_iteration_time.dir/fig4_iteration_time.cpp.o"
+  "CMakeFiles/fig4_iteration_time.dir/fig4_iteration_time.cpp.o.d"
+  "fig4_iteration_time"
+  "fig4_iteration_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_iteration_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_app_efficiency.dir/fig5_app_efficiency.cpp.o"
+  "CMakeFiles/fig5_app_efficiency.dir/fig5_app_efficiency.cpp.o.d"
+  "fig5_app_efficiency"
+  "fig5_app_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_app_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_validation.cpp" "bench/CMakeFiles/fig6_validation.dir/fig6_validation.cpp.o" "gcc" "bench/CMakeFiles/fig6_validation.dir/fig6_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/gaia_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gaia_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gaia_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/gaia_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/gaia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/gaia_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_energy.dir/table_energy.cpp.o"
+  "CMakeFiles/table_energy.dir/table_energy.cpp.o.d"
+  "table_energy"
+  "table_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

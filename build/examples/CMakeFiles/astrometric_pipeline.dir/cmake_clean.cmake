@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astrometric_pipeline.dir/astrometric_pipeline.cpp.o"
+  "CMakeFiles/astrometric_pipeline.dir/astrometric_pipeline.cpp.o.d"
+  "astrometric_pipeline"
+  "astrometric_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astrometric_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_study.dir/convergence_study.cpp.o"
+  "CMakeFiles/convergence_study.dir/convergence_study.cpp.o.d"
+  "convergence_study"
+  "convergence_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_solver.dir/gaia_solver.cpp.o"
+  "CMakeFiles/gaia_solver.dir/gaia_solver.cpp.o.d"
+  "gaia_solver"
+  "gaia_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

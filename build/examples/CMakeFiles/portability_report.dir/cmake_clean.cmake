@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portability_report.dir/portability_report.cpp.o"
+  "CMakeFiles/portability_report.dir/portability_report.cpp.o.d"
+  "portability_report"
+  "portability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_ports.dir/validate_ports.cpp.o"
+  "CMakeFiles/validate_ports.dir/validate_ports.cpp.o.d"
+  "validate_ports"
+  "validate_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/backend.cpp" "src/backends/CMakeFiles/gaia_backends.dir/backend.cpp.o" "gcc" "src/backends/CMakeFiles/gaia_backends.dir/backend.cpp.o.d"
+  "/root/repo/src/backends/device_buffer.cpp" "src/backends/CMakeFiles/gaia_backends.dir/device_buffer.cpp.o" "gcc" "src/backends/CMakeFiles/gaia_backends.dir/device_buffer.cpp.o.d"
+  "/root/repo/src/backends/kernel_config.cpp" "src/backends/CMakeFiles/gaia_backends.dir/kernel_config.cpp.o" "gcc" "src/backends/CMakeFiles/gaia_backends.dir/kernel_config.cpp.o.d"
+  "/root/repo/src/backends/stream.cpp" "src/backends/CMakeFiles/gaia_backends.dir/stream.cpp.o" "gcc" "src/backends/CMakeFiles/gaia_backends.dir/stream.cpp.o.d"
+  "/root/repo/src/backends/thread_pool.cpp" "src/backends/CMakeFiles/gaia_backends.dir/thread_pool.cpp.o" "gcc" "src/backends/CMakeFiles/gaia_backends.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_backends.dir/backend.cpp.o"
+  "CMakeFiles/gaia_backends.dir/backend.cpp.o.d"
+  "CMakeFiles/gaia_backends.dir/device_buffer.cpp.o"
+  "CMakeFiles/gaia_backends.dir/device_buffer.cpp.o.d"
+  "CMakeFiles/gaia_backends.dir/kernel_config.cpp.o"
+  "CMakeFiles/gaia_backends.dir/kernel_config.cpp.o.d"
+  "CMakeFiles/gaia_backends.dir/stream.cpp.o"
+  "CMakeFiles/gaia_backends.dir/stream.cpp.o.d"
+  "CMakeFiles/gaia_backends.dir/thread_pool.cpp.o"
+  "CMakeFiles/gaia_backends.dir/thread_pool.cpp.o.d"
+  "libgaia_backends.a"
+  "libgaia_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gaia_backends.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aprod.cpp" "src/core/CMakeFiles/gaia_core.dir/aprod.cpp.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/aprod.cpp.o.d"
+  "/root/repo/src/core/derotation.cpp" "src/core/CMakeFiles/gaia_core.dir/derotation.cpp.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/derotation.cpp.o.d"
+  "/root/repo/src/core/lsqr.cpp" "src/core/CMakeFiles/gaia_core.dir/lsqr.cpp.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/lsqr.cpp.o.d"
+  "/root/repo/src/core/lsqr_engine.cpp" "src/core/CMakeFiles/gaia_core.dir/lsqr_engine.cpp.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/lsqr_engine.cpp.o.d"
+  "/root/repo/src/core/outer_loop.cpp" "src/core/CMakeFiles/gaia_core.dir/outer_loop.cpp.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/outer_loop.cpp.o.d"
+  "/root/repo/src/core/preconditioner.cpp" "src/core/CMakeFiles/gaia_core.dir/preconditioner.cpp.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/preconditioner.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/gaia_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/weights.cpp" "src/core/CMakeFiles/gaia_core.dir/weights.cpp.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/gaia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/gaia_backends.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

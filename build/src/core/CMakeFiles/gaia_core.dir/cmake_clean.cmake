@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_core.dir/aprod.cpp.o"
+  "CMakeFiles/gaia_core.dir/aprod.cpp.o.d"
+  "CMakeFiles/gaia_core.dir/derotation.cpp.o"
+  "CMakeFiles/gaia_core.dir/derotation.cpp.o.d"
+  "CMakeFiles/gaia_core.dir/lsqr.cpp.o"
+  "CMakeFiles/gaia_core.dir/lsqr.cpp.o.d"
+  "CMakeFiles/gaia_core.dir/lsqr_engine.cpp.o"
+  "CMakeFiles/gaia_core.dir/lsqr_engine.cpp.o.d"
+  "CMakeFiles/gaia_core.dir/outer_loop.cpp.o"
+  "CMakeFiles/gaia_core.dir/outer_loop.cpp.o.d"
+  "CMakeFiles/gaia_core.dir/preconditioner.cpp.o"
+  "CMakeFiles/gaia_core.dir/preconditioner.cpp.o.d"
+  "CMakeFiles/gaia_core.dir/solver.cpp.o"
+  "CMakeFiles/gaia_core.dir/solver.cpp.o.d"
+  "CMakeFiles/gaia_core.dir/weights.cpp.o"
+  "CMakeFiles/gaia_core.dir/weights.cpp.o.d"
+  "libgaia_core.a"
+  "libgaia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

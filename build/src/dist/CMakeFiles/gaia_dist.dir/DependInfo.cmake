@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/comm.cpp" "src/dist/CMakeFiles/gaia_dist.dir/comm.cpp.o" "gcc" "src/dist/CMakeFiles/gaia_dist.dir/comm.cpp.o.d"
+  "/root/repo/src/dist/dist_lsqr.cpp" "src/dist/CMakeFiles/gaia_dist.dir/dist_lsqr.cpp.o" "gcc" "src/dist/CMakeFiles/gaia_dist.dir/dist_lsqr.cpp.o.d"
+  "/root/repo/src/dist/partition.cpp" "src/dist/CMakeFiles/gaia_dist.dir/partition.cpp.o" "gcc" "src/dist/CMakeFiles/gaia_dist.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/gaia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/gaia_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_dist.dir/comm.cpp.o"
+  "CMakeFiles/gaia_dist.dir/comm.cpp.o.d"
+  "CMakeFiles/gaia_dist.dir/dist_lsqr.cpp.o"
+  "CMakeFiles/gaia_dist.dir/dist_lsqr.cpp.o.d"
+  "CMakeFiles/gaia_dist.dir/partition.cpp.o"
+  "CMakeFiles/gaia_dist.dir/partition.cpp.o.d"
+  "libgaia_dist.a"
+  "libgaia_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

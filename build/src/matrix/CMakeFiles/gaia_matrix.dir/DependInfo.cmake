@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/csr.cpp" "src/matrix/CMakeFiles/gaia_matrix.dir/csr.cpp.o" "gcc" "src/matrix/CMakeFiles/gaia_matrix.dir/csr.cpp.o.d"
+  "/root/repo/src/matrix/dense.cpp" "src/matrix/CMakeFiles/gaia_matrix.dir/dense.cpp.o" "gcc" "src/matrix/CMakeFiles/gaia_matrix.dir/dense.cpp.o.d"
+  "/root/repo/src/matrix/generator.cpp" "src/matrix/CMakeFiles/gaia_matrix.dir/generator.cpp.o" "gcc" "src/matrix/CMakeFiles/gaia_matrix.dir/generator.cpp.o.d"
+  "/root/repo/src/matrix/io.cpp" "src/matrix/CMakeFiles/gaia_matrix.dir/io.cpp.o" "gcc" "src/matrix/CMakeFiles/gaia_matrix.dir/io.cpp.o.d"
+  "/root/repo/src/matrix/layout.cpp" "src/matrix/CMakeFiles/gaia_matrix.dir/layout.cpp.o" "gcc" "src/matrix/CMakeFiles/gaia_matrix.dir/layout.cpp.o.d"
+  "/root/repo/src/matrix/scanlaw.cpp" "src/matrix/CMakeFiles/gaia_matrix.dir/scanlaw.cpp.o" "gcc" "src/matrix/CMakeFiles/gaia_matrix.dir/scanlaw.cpp.o.d"
+  "/root/repo/src/matrix/system_matrix.cpp" "src/matrix/CMakeFiles/gaia_matrix.dir/system_matrix.cpp.o" "gcc" "src/matrix/CMakeFiles/gaia_matrix.dir/system_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_matrix.dir/csr.cpp.o"
+  "CMakeFiles/gaia_matrix.dir/csr.cpp.o.d"
+  "CMakeFiles/gaia_matrix.dir/dense.cpp.o"
+  "CMakeFiles/gaia_matrix.dir/dense.cpp.o.d"
+  "CMakeFiles/gaia_matrix.dir/generator.cpp.o"
+  "CMakeFiles/gaia_matrix.dir/generator.cpp.o.d"
+  "CMakeFiles/gaia_matrix.dir/io.cpp.o"
+  "CMakeFiles/gaia_matrix.dir/io.cpp.o.d"
+  "CMakeFiles/gaia_matrix.dir/layout.cpp.o"
+  "CMakeFiles/gaia_matrix.dir/layout.cpp.o.d"
+  "CMakeFiles/gaia_matrix.dir/scanlaw.cpp.o"
+  "CMakeFiles/gaia_matrix.dir/scanlaw.cpp.o.d"
+  "CMakeFiles/gaia_matrix.dir/system_matrix.cpp.o"
+  "CMakeFiles/gaia_matrix.dir/system_matrix.cpp.o.d"
+  "libgaia_matrix.a"
+  "libgaia_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgaia_matrix.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cascade.cpp" "src/metrics/CMakeFiles/gaia_metrics.dir/cascade.cpp.o" "gcc" "src/metrics/CMakeFiles/gaia_metrics.dir/cascade.cpp.o.d"
+  "/root/repo/src/metrics/efficiency.cpp" "src/metrics/CMakeFiles/gaia_metrics.dir/efficiency.cpp.o" "gcc" "src/metrics/CMakeFiles/gaia_metrics.dir/efficiency.cpp.o.d"
+  "/root/repo/src/metrics/pennycook.cpp" "src/metrics/CMakeFiles/gaia_metrics.dir/pennycook.cpp.o" "gcc" "src/metrics/CMakeFiles/gaia_metrics.dir/pennycook.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/gaia_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/gaia_metrics.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_metrics.dir/cascade.cpp.o"
+  "CMakeFiles/gaia_metrics.dir/cascade.cpp.o.d"
+  "CMakeFiles/gaia_metrics.dir/efficiency.cpp.o"
+  "CMakeFiles/gaia_metrics.dir/efficiency.cpp.o.d"
+  "CMakeFiles/gaia_metrics.dir/pennycook.cpp.o"
+  "CMakeFiles/gaia_metrics.dir/pennycook.cpp.o.d"
+  "CMakeFiles/gaia_metrics.dir/report.cpp.o"
+  "CMakeFiles/gaia_metrics.dir/report.cpp.o.d"
+  "libgaia_metrics.a"
+  "libgaia_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/cost_model.cpp" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/cost_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/cost_model.cpp.o.d"
+  "/root/repo/src/perfmodel/energy.cpp" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/energy.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/energy.cpp.o.d"
+  "/root/repo/src/perfmodel/framework.cpp" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/framework.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/framework.cpp.o.d"
+  "/root/repo/src/perfmodel/gpu_spec.cpp" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/gpu_spec.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/perfmodel/multi_gpu.cpp" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/multi_gpu.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/multi_gpu.cpp.o.d"
+  "/root/repo/src/perfmodel/problem_shape.cpp" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/problem_shape.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/problem_shape.cpp.o.d"
+  "/root/repo/src/perfmodel/simulator.cpp" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/simulator.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gaia_perfmodel.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/gaia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/gaia_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gaia_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_perfmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/gaia_perfmodel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/gaia_perfmodel.dir/energy.cpp.o"
+  "CMakeFiles/gaia_perfmodel.dir/energy.cpp.o.d"
+  "CMakeFiles/gaia_perfmodel.dir/framework.cpp.o"
+  "CMakeFiles/gaia_perfmodel.dir/framework.cpp.o.d"
+  "CMakeFiles/gaia_perfmodel.dir/gpu_spec.cpp.o"
+  "CMakeFiles/gaia_perfmodel.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/gaia_perfmodel.dir/multi_gpu.cpp.o"
+  "CMakeFiles/gaia_perfmodel.dir/multi_gpu.cpp.o.d"
+  "CMakeFiles/gaia_perfmodel.dir/problem_shape.cpp.o"
+  "CMakeFiles/gaia_perfmodel.dir/problem_shape.cpp.o.d"
+  "CMakeFiles/gaia_perfmodel.dir/simulator.cpp.o"
+  "CMakeFiles/gaia_perfmodel.dir/simulator.cpp.o.d"
+  "libgaia_perfmodel.a"
+  "libgaia_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

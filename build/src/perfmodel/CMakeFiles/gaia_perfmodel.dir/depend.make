@@ -1,0 +1,2 @@
+# Empty dependencies file for gaia_perfmodel.
+# This may be replaced when dependencies are built.

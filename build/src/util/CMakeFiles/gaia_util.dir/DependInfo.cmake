@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/gaia_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/gaia_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/gaia_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/gaia_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/profiler.cpp" "src/util/CMakeFiles/gaia_util.dir/profiler.cpp.o" "gcc" "src/util/CMakeFiles/gaia_util.dir/profiler.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/gaia_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/gaia_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/gaia_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/gaia_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/util/CMakeFiles/gaia_util.dir/stopwatch.cpp.o" "gcc" "src/util/CMakeFiles/gaia_util.dir/stopwatch.cpp.o.d"
+  "/root/repo/src/util/string_utils.cpp" "src/util/CMakeFiles/gaia_util.dir/string_utils.cpp.o" "gcc" "src/util/CMakeFiles/gaia_util.dir/string_utils.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/gaia_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/gaia_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

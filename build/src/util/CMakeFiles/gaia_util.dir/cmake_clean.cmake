@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_util.dir/cli.cpp.o"
+  "CMakeFiles/gaia_util.dir/cli.cpp.o.d"
+  "CMakeFiles/gaia_util.dir/csv.cpp.o"
+  "CMakeFiles/gaia_util.dir/csv.cpp.o.d"
+  "CMakeFiles/gaia_util.dir/profiler.cpp.o"
+  "CMakeFiles/gaia_util.dir/profiler.cpp.o.d"
+  "CMakeFiles/gaia_util.dir/rng.cpp.o"
+  "CMakeFiles/gaia_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gaia_util.dir/stats.cpp.o"
+  "CMakeFiles/gaia_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gaia_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/gaia_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/gaia_util.dir/string_utils.cpp.o"
+  "CMakeFiles/gaia_util.dir/string_utils.cpp.o.d"
+  "CMakeFiles/gaia_util.dir/table.cpp.o"
+  "CMakeFiles/gaia_util.dir/table.cpp.o.d"
+  "libgaia_util.a"
+  "libgaia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

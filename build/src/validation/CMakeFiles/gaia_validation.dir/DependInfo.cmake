@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validation/compare.cpp" "src/validation/CMakeFiles/gaia_validation.dir/compare.cpp.o" "gcc" "src/validation/CMakeFiles/gaia_validation.dir/compare.cpp.o.d"
+  "/root/repo/src/validation/cross_backend.cpp" "src/validation/CMakeFiles/gaia_validation.dir/cross_backend.cpp.o" "gcc" "src/validation/CMakeFiles/gaia_validation.dir/cross_backend.cpp.o.d"
+  "/root/repo/src/validation/residual_analysis.cpp" "src/validation/CMakeFiles/gaia_validation.dir/residual_analysis.cpp.o" "gcc" "src/validation/CMakeFiles/gaia_validation.dir/residual_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/gaia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/gaia_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

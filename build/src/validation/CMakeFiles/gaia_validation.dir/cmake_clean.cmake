@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_validation.dir/compare.cpp.o"
+  "CMakeFiles/gaia_validation.dir/compare.cpp.o.d"
+  "CMakeFiles/gaia_validation.dir/cross_backend.cpp.o"
+  "CMakeFiles/gaia_validation.dir/cross_backend.cpp.o.d"
+  "CMakeFiles/gaia_validation.dir/residual_analysis.cpp.o"
+  "CMakeFiles/gaia_validation.dir/residual_analysis.cpp.o.d"
+  "libgaia_validation.a"
+  "libgaia_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

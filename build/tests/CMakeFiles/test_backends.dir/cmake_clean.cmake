@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backends.dir/backends/test_atomic.cpp.o"
+  "CMakeFiles/test_backends.dir/backends/test_atomic.cpp.o.d"
+  "CMakeFiles/test_backends.dir/backends/test_device_buffer.cpp.o"
+  "CMakeFiles/test_backends.dir/backends/test_device_buffer.cpp.o.d"
+  "CMakeFiles/test_backends.dir/backends/test_exec_policies.cpp.o"
+  "CMakeFiles/test_backends.dir/backends/test_exec_policies.cpp.o.d"
+  "CMakeFiles/test_backends.dir/backends/test_kernel_config.cpp.o"
+  "CMakeFiles/test_backends.dir/backends/test_kernel_config.cpp.o.d"
+  "CMakeFiles/test_backends.dir/backends/test_pstl_algorithms.cpp.o"
+  "CMakeFiles/test_backends.dir/backends/test_pstl_algorithms.cpp.o.d"
+  "CMakeFiles/test_backends.dir/backends/test_stream.cpp.o"
+  "CMakeFiles/test_backends.dir/backends/test_stream.cpp.o.d"
+  "CMakeFiles/test_backends.dir/backends/test_thread_pool.cpp.o"
+  "CMakeFiles/test_backends.dir/backends/test_thread_pool.cpp.o.d"
+  "test_backends"
+  "test_backends.pdb"
+  "test_backends[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

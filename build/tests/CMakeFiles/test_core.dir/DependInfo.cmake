@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_aprod_driver.cpp" "tests/CMakeFiles/test_core.dir/core/test_aprod_driver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_aprod_driver.cpp.o.d"
+  "/root/repo/tests/core/test_aprod_kernels.cpp" "tests/CMakeFiles/test_core.dir/core/test_aprod_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_aprod_kernels.cpp.o.d"
+  "/root/repo/tests/core/test_derotation.cpp" "tests/CMakeFiles/test_core.dir/core/test_derotation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_derotation.cpp.o.d"
+  "/root/repo/tests/core/test_lsqr.cpp" "tests/CMakeFiles/test_core.dir/core/test_lsqr.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_lsqr.cpp.o.d"
+  "/root/repo/tests/core/test_lsqr_engine.cpp" "tests/CMakeFiles/test_core.dir/core/test_lsqr_engine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_lsqr_engine.cpp.o.d"
+  "/root/repo/tests/core/test_outer_loop.cpp" "tests/CMakeFiles/test_core.dir/core/test_outer_loop.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_outer_loop.cpp.o.d"
+  "/root/repo/tests/core/test_preconditioner.cpp" "tests/CMakeFiles/test_core.dir/core/test_preconditioner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_preconditioner.cpp.o.d"
+  "/root/repo/tests/core/test_profiling_integration.cpp" "tests/CMakeFiles/test_core.dir/core/test_profiling_integration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_profiling_integration.cpp.o.d"
+  "/root/repo/tests/core/test_solver.cpp" "tests/CMakeFiles/test_core.dir/core/test_solver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_solver.cpp.o.d"
+  "/root/repo/tests/core/test_vector_ops.cpp" "tests/CMakeFiles/test_core.dir/core/test_vector_ops.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_vector_ops.cpp.o.d"
+  "/root/repo/tests/core/test_weights.cpp" "tests/CMakeFiles/test_core.dir/core/test_weights.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/gaia_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gaia_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gaia_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/gaia_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/gaia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/gaia_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_aprod_driver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_aprod_driver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_aprod_kernels.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_aprod_kernels.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_derotation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_derotation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_lsqr.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_lsqr.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_lsqr_engine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_lsqr_engine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_outer_loop.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_outer_loop.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_preconditioner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_preconditioner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_profiling_integration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_profiling_integration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_vector_ops.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_vector_ops.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_weights.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_weights.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist.dir/dist/test_comm.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_comm.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_dist_lsqr.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_dist_lsqr.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_partition.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_partition.cpp.o.d"
+  "test_dist"
+  "test_dist.pdb"
+  "test_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/matrix/test_csr.cpp" "tests/CMakeFiles/test_matrix.dir/matrix/test_csr.cpp.o" "gcc" "tests/CMakeFiles/test_matrix.dir/matrix/test_csr.cpp.o.d"
+  "/root/repo/tests/matrix/test_dense.cpp" "tests/CMakeFiles/test_matrix.dir/matrix/test_dense.cpp.o" "gcc" "tests/CMakeFiles/test_matrix.dir/matrix/test_dense.cpp.o.d"
+  "/root/repo/tests/matrix/test_generator.cpp" "tests/CMakeFiles/test_matrix.dir/matrix/test_generator.cpp.o" "gcc" "tests/CMakeFiles/test_matrix.dir/matrix/test_generator.cpp.o.d"
+  "/root/repo/tests/matrix/test_io.cpp" "tests/CMakeFiles/test_matrix.dir/matrix/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_matrix.dir/matrix/test_io.cpp.o.d"
+  "/root/repo/tests/matrix/test_layout.cpp" "tests/CMakeFiles/test_matrix.dir/matrix/test_layout.cpp.o" "gcc" "tests/CMakeFiles/test_matrix.dir/matrix/test_layout.cpp.o.d"
+  "/root/repo/tests/matrix/test_scanlaw.cpp" "tests/CMakeFiles/test_matrix.dir/matrix/test_scanlaw.cpp.o" "gcc" "tests/CMakeFiles/test_matrix.dir/matrix/test_scanlaw.cpp.o.d"
+  "/root/repo/tests/matrix/test_system_matrix.cpp" "tests/CMakeFiles/test_matrix.dir/matrix/test_system_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_matrix.dir/matrix/test_system_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/gaia_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gaia_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gaia_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/gaia_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/gaia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/gaia_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix.dir/matrix/test_csr.cpp.o"
+  "CMakeFiles/test_matrix.dir/matrix/test_csr.cpp.o.d"
+  "CMakeFiles/test_matrix.dir/matrix/test_dense.cpp.o"
+  "CMakeFiles/test_matrix.dir/matrix/test_dense.cpp.o.d"
+  "CMakeFiles/test_matrix.dir/matrix/test_generator.cpp.o"
+  "CMakeFiles/test_matrix.dir/matrix/test_generator.cpp.o.d"
+  "CMakeFiles/test_matrix.dir/matrix/test_io.cpp.o"
+  "CMakeFiles/test_matrix.dir/matrix/test_io.cpp.o.d"
+  "CMakeFiles/test_matrix.dir/matrix/test_layout.cpp.o"
+  "CMakeFiles/test_matrix.dir/matrix/test_layout.cpp.o.d"
+  "CMakeFiles/test_matrix.dir/matrix/test_scanlaw.cpp.o"
+  "CMakeFiles/test_matrix.dir/matrix/test_scanlaw.cpp.o.d"
+  "CMakeFiles/test_matrix.dir/matrix/test_system_matrix.cpp.o"
+  "CMakeFiles/test_matrix.dir/matrix/test_system_matrix.cpp.o.d"
+  "test_matrix"
+  "test_matrix.pdb"
+  "test_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

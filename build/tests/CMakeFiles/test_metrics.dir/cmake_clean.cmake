@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/metrics/test_cascade.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_cascade.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/test_efficiency.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_efficiency.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/test_pennycook.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_pennycook.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/test_report.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_report.cpp.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+  "test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_cost_model.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_energy.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_energy.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_framework.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_framework.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_gpu_spec.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_gpu_spec.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_multi_gpu.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_multi_gpu.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_simulator.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_simulator.cpp.o.d"
+  "test_perfmodel"
+  "test_perfmodel.pdb"
+  "test_perfmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

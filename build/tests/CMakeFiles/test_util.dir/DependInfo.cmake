@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_error.cpp" "tests/CMakeFiles/test_util.dir/util/test_error.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_error.cpp.o.d"
+  "/root/repo/tests/util/test_profiler.cpp" "tests/CMakeFiles/test_util.dir/util/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_profiler.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_stopwatch.cpp" "tests/CMakeFiles/test_util.dir/util/test_stopwatch.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stopwatch.cpp.o.d"
+  "/root/repo/tests/util/test_string_utils.cpp" "tests/CMakeFiles/test_util.dir/util/test_string_utils.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_string_utils.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/gaia_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gaia_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gaia_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/gaia_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/gaia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/gaia_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_cli.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_cli.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_error.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_error.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_profiler.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_profiler.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stopwatch.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stopwatch.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_string_utils.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_string_utils.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validation.dir/validation/test_compare.cpp.o"
+  "CMakeFiles/test_validation.dir/validation/test_compare.cpp.o.d"
+  "CMakeFiles/test_validation.dir/validation/test_cross_backend.cpp.o"
+  "CMakeFiles/test_validation.dir/validation/test_cross_backend.cpp.o.d"
+  "CMakeFiles/test_validation.dir/validation/test_residual_analysis.cpp.o"
+  "CMakeFiles/test_validation.dir/validation/test_residual_analysis.cpp.o.d"
+  "test_validation"
+  "test_validation.pdb"
+  "test_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
