@@ -4,6 +4,8 @@
 /// models at 10/30/60 GB.
 #include <iostream>
 
+#include "model_drift_helper.hpp"
+#include "obs/session.hpp"
 #include "perfmodel/simulator.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -18,6 +20,7 @@ int main(int argc, char** argv) {
   try {
     if (!cli.parse(argc, argv)) return 0;
     const std::string csv_dir = cli.get("csv-dir");
+    obs::Session obs_session = obs::Session::from_env();
 
     PlatformSimulator sim;
     const double sizes[] = {10.0, 30.0, 60.0};
@@ -59,7 +62,17 @@ int main(int argc, char** argv) {
     }
     std::cout << "shape checks vs the paper: newer NVIDIA GPUs are faster; "
                  "MI250X trails A100/H100 (noncoalesced SpMV); the fastest "
-                 "framework is CUDA or HIP on NVIDIA and OMP+V on MI250X.\n";
+                 "framework is CUDA or HIP on NVIDIA and OMP+V on MI250X.\n\n";
+
+    // --- model drift: predicted vs host-measured kernel time shares ----
+    // The figure above is pure model output; this confronts the model
+    // with a real (host gpusim) run of the same kernels and reports how
+    // far the predicted time distribution drifted from the measured one.
+    const auto drift = bench::host_drift_report(bench::drift_bench_config(),
+                                                gpu_spec(Platform::kH100));
+    std::cout << drift.markdown(
+        "model drift: H100 prediction vs host gpusim measurement");
+    if (!csv_dir.empty()) drift.write_csv(csv_dir + "/fig4_model_drift.csv");
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,79 @@
+/// \file model_drift_helper.hpp
+/// \brief Shared bench plumbing for the model-drift report: run a real
+/// host LSQR under the profiler, aggregate the measured per-kernel
+/// times, and confront them with the cost model's predictions for the
+/// same problem shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lsqr.hpp"
+#include "matrix/generator.hpp"
+#include "metrics/model_drift.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/problem_shape.hpp"
+#include "util/profiler.hpp"
+
+namespace gaia::bench {
+
+/// Runs `iterations` LSQR steps of the generated system on the given
+/// backend with per-kernel profiling, then builds one drift row per
+/// aprod kernel: predicted = cost-model kernel seconds on `spec` x
+/// iteration count, measured = profiler totals from the host run.
+inline metrics::ModelDriftReport host_drift_report(
+    const matrix::GeneratorConfig& gen_cfg,
+    const perfmodel::GpuSpec& spec,
+    backends::BackendKind backend = backends::BackendKind::kGpuSim,
+    int iterations = 20) {
+  const auto gen = matrix::generate_system(gen_cfg);
+  const perfmodel::ProblemShape shape =
+      perfmodel::ProblemShape::from_config(gen_cfg);
+  const perfmodel::KernelCostModel model(spec);
+  const backends::TuningTable tuning = model.tuned_table();
+
+  auto& prof = util::Profiler::global();
+  const bool was_enabled = prof.enabled();
+  prof.reset();
+  prof.set_enabled(true);
+
+  core::LsqrOptions opts;
+  opts.aprod.backend = backend;
+  opts.aprod.use_streams = false;  // serialize so per-kernel times add up
+  opts.aprod.tuning = tuning;
+  opts.max_iterations = iterations;
+  opts.compute_std_errors = false;
+  core::lsqr_solve(gen.A, opts);
+
+  const auto snapshot = prof.snapshot();
+  prof.set_enabled(was_enabled);
+  prof.reset();
+
+  std::vector<metrics::KernelDrift> rows;
+  for (int k = 0; k < backends::kNumKernels; ++k) {
+    const auto id = static_cast<backends::KernelId>(k);
+    metrics::KernelDrift row;
+    row.kernel = backends::to_string(id);
+    row.predicted_s =
+        model.kernel_seconds(id, shape, tuning.get(id),
+                             backends::AtomicMode::kNativeRmw) *
+        iterations;
+    for (const auto& region : snapshot)
+      if (region.name == row.kernel) row.measured_s = region.total_s;
+    rows.push_back(std::move(row));
+  }
+  return metrics::ModelDriftReport(std::move(rows));
+}
+
+/// The small-but-real system both drift benches measure.
+inline matrix::GeneratorConfig drift_bench_config() {
+  matrix::GeneratorConfig cfg;
+  cfg.seed = 4242;
+  cfg.n_stars = 2000;
+  cfg.obs_per_star_mean = 30.0;
+  cfg.att_dof_per_axis = 64;
+  cfg.n_instr_params = 64;
+  return cfg;
+}
+
+}  // namespace gaia::bench

@@ -7,10 +7,13 @@
 ///   $ ./gaia_solver --size 64MB --iterations 100 --backend gpusim
 ///   $ ./gaia_solver --size 128MB --backend openmp --no-streams
 ///   $ ./gaia_solver --size 32MB --backend serial --ranks 4
+///   $ ./gaia_solver --trace trace.json --metrics metrics.csv
+///   $ GAIA_TRACE=trace.json GAIA_METRICS=metrics.csv ./gaia_solver
 #include <iostream>
 
 #include "core/solver.hpp"
 #include "dist/dist_lsqr.hpp"
+#include "obs/session.hpp"
 #include "util/cli.hpp"
 #include "util/profiler.hpp"
 #include "util/string_utils.hpp"
@@ -34,8 +37,18 @@ int main(int argc, char** argv) {
   cli.add_flag("profile",
                "collect and print the per-kernel time breakdown (the "
                "nsys/rocprof-style view of paper SV-A)");
+  cli.add_option("trace", "",
+                 "write a Chrome/Perfetto kernel timeline here (also "
+                 "honored via GAIA_TRACE)");
+  cli.add_option("metrics", "",
+                 "write transfer/atomic/convergence counters as CSV here "
+                 "(also honored via GAIA_METRICS)");
   try {
     if (!cli.parse(argc, argv)) return 0;
+
+    // Arms tracing/metrics when requested; flushed at scope exit.
+    obs::Session obs_session =
+        obs::Session::from_env(cli.get("trace"), cli.get("metrics"));
 
     const auto backend = backends::parse_backend(cli.get("backend"));
     GAIA_CHECK(backend.has_value(), "unknown backend: " + cli.get("backend"));
@@ -102,6 +115,11 @@ int main(int argc, char** argv) {
                 << " % (paper SV-A: the products dominate)\n";
       util::Profiler::global().set_enabled(false);
     }
+    if (obs_session.tracing())
+      std::cout << "trace timeline: " << obs_session.trace_path()
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    if (obs_session.metrics())
+      std::cout << "metrics CSV:    " << obs_session.metrics_path() << '\n';
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

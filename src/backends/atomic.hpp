@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/types.hpp"
 
 namespace gaia::backends {
@@ -36,10 +37,23 @@ inline void atomic_add_rmw(real& target, real value) {
 }
 
 /// Explicit CAS retry loop, the lowering emitted by compilers that cannot
-/// prove the unsafe-FP-atomics contract.
+/// prove the unsafe-FP-atomics contract. With metrics enabled, retry
+/// counts are recorded — the host-measurable analog of the contention
+/// the performance model prices on MI250X; the disabled path stays at
+/// one relaxed load on top of the loop itself.
 inline void atomic_add_cas(real& target, real value) {
   std::atomic_ref<real> ref(target);
   real expected = ref.load(std::memory_order_relaxed);
+  if (obs::MetricsRegistry::global().enabled()) [[unlikely]] {
+    std::uint64_t retries = 0;
+    while (!ref.compare_exchange_weak(expected, expected + value,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+      ++retries;
+    }
+    obs::count_cas(1, retries);
+    return;
+  }
   while (!ref.compare_exchange_weak(expected, expected + value,
                                     std::memory_order_relaxed,
                                     std::memory_order_relaxed)) {

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/types.hpp"
 
@@ -131,15 +133,33 @@ class DeviceBuffer {
   /// cudaMemcpy(HostToDevice) analog.
   void copy_from_host(std::span<const T> host) {
     GAIA_CHECK(host.size() == data_.size(), "H2D size mismatch");
+    obs::ScopedTrace span("h2d", "transfer");
+    if (span.armed() && ctx_) {
+      span.add_arg({"bytes", static_cast<std::uint64_t>(host.size_bytes())});
+      span.add_arg({"device", ctx_->name()});
+    }
     std::memcpy(data_.data(), host.data(), host.size_bytes());
-    if (ctx_) ctx_->on_h2d(host.size_bytes());
+    if (ctx_) {
+      ctx_->on_h2d(host.size_bytes());
+      // Same increment point and amount as the device accounting, so
+      // the metrics CSV totals match DeviceContext::h2d_bytes exactly.
+      obs::count_h2d(host.size_bytes());
+    }
   }
 
   /// cudaMemcpy(DeviceToHost) analog.
   void copy_to_host(std::span<T> host) const {
     GAIA_CHECK(host.size() == data_.size(), "D2H size mismatch");
+    obs::ScopedTrace span("d2h", "transfer");
+    if (span.armed() && ctx_) {
+      span.add_arg({"bytes", static_cast<std::uint64_t>(host.size_bytes())});
+      span.add_arg({"device", ctx_->name()});
+    }
     std::memcpy(host.data(), data_.data(), host.size_bytes());
-    if (ctx_) ctx_->on_d2h(host.size_bytes());
+    if (ctx_) {
+      ctx_->on_d2h(host.size_bytes());
+      obs::count_d2h(host.size_bytes());
+    }
   }
 
   /// cudaMemset analog.

@@ -1,10 +1,26 @@
 #include "backends/stream.hpp"
 
+#include <atomic>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gaia::backends {
 
-Stream::Stream() : worker_([this] { run(); }) {}
+namespace {
+std::int32_t next_stream_id() {
+  static std::atomic<std::int32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Stream::Stream() : id_(next_stream_id()), worker_([this] { run(); }) {
+  // Announce the stream's timeline track up front so even an idle
+  // stream shows up labelled in the trace.
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) rec.name_track(id_, "stream-" + std::to_string(id_));
+}
 
 Stream::~Stream() {
   {
@@ -28,6 +44,11 @@ void Stream::record(Event event) {
 }
 
 void Stream::synchronize() {
+  // The join is the cudaStreamSynchronize analog; the span makes stream
+  // stalls visible on the caller's track like nsys does.
+  obs::ScopedTrace span("stream.sync", "stream",
+                        obs::TraceRecorder::kMainTrack);
+  span.add_arg({"stream", static_cast<std::int64_t>(id_)});
   std::unique_lock<std::mutex> lock(m_);
   cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
 }
@@ -48,7 +69,17 @@ void Stream::run() {
       queue_.pop_front();
       busy_ = true;
     }
-    task();
+    {
+      obs::ScopedTrace span("stream.task", "stream", id_);
+      task();
+    }
+    {
+      auto& reg = obs::MetricsRegistry::global();
+      if (reg.enabled()) {
+        static obs::Counter& tasks = reg.counter("stream.tasks");
+        tasks.add(1);
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(m_);
       busy_ = false;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -59,6 +60,12 @@ class Stream {
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
 
+  /// Process-lifetime-unique id (1-based; 0 is the caller's thread).
+  /// Kernel spans launched on this stream carry it, and the trace
+  /// timeline maps each stream to its own track — the cudaStream lane
+  /// view of an nsys timeline.
+  [[nodiscard]] std::int32_t id() const { return id_; }
+
   /// Enqueue a task; returns immediately. Tasks in one stream execute in
   /// order; tasks in different streams may overlap.
   void enqueue(std::function<void()> task);
@@ -75,6 +82,7 @@ class Stream {
  private:
   void run();
 
+  std::int32_t id_ = 0;
   mutable std::mutex m_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;

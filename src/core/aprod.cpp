@@ -1,12 +1,88 @@
 #include "core/aprod.hpp"
 
 #include "core/aprod_kernels.hpp"
+#include "obs/trace.hpp"
 #include "util/profiler.hpp"
 
 namespace gaia::core {
 
 using backends::BackendKind;
 using backends::KernelId;
+
+namespace {
+
+/// Bytes a kernel moves through memory (the HBM-traffic accounting a
+/// vendor profiler reports): coefficient values + index arrays + vector
+/// gathers/scatters, per row. An estimate with the same structure as
+/// perfmodel::KernelCostModel::kernel_traffic_bytes, computed from the
+/// live system dimensions.
+std::uint64_t kernel_trace_bytes(const SystemView& v, KernelId id) {
+  const auto rows = static_cast<std::uint64_t>(v.n_rows);
+  const bool is_aprod1 = id < KernelId::kAprod2Astro;
+  int nnz = 0;
+  std::uint64_t idx_bytes = 0;
+  switch (id) {
+    case KernelId::kAprod1Astro:
+    case KernelId::kAprod2Astro:
+      nnz = kAstroNnzPerRow;
+      idx_bytes = sizeof(col_index);
+      break;
+    case KernelId::kAprod1Att:
+    case KernelId::kAprod2Att:
+      nnz = kAttNnzPerRow;
+      idx_bytes = sizeof(col_index);
+      break;
+    case KernelId::kAprod1Instr:
+    case KernelId::kAprod2Instr:
+      nnz = kInstrNnzPerRow;
+      idx_bytes = kInstrNnzPerRow * sizeof(std::int32_t);
+      break;
+    case KernelId::kAprod1Glob:
+    case KernelId::kAprod2Glob:
+      nnz = kGlobNnzPerRow;
+      idx_bytes = 0;
+      break;
+  }
+  const auto value_bytes = static_cast<std::uint64_t>(nnz) * sizeof(real);
+  // aprod1 gathers x (nnz reads) and read-modify-writes y once; aprod2
+  // reads y once and read-modify-writes nnz entries of x.
+  const std::uint64_t vector_bytes =
+      is_aprod1 ? value_bytes + 2 * sizeof(real)
+                : sizeof(real) + 2 * value_bytes;
+  return rows * (value_bytes + idx_bytes + vector_bytes);
+}
+
+const char* kernel_region_name(KernelId id) {
+  static const char* kNames[] = {"aprod1_astro", "aprod1_att",
+                                 "aprod1_instr", "aprod1_glob",
+                                 "aprod2_astro", "aprod2_att",
+                                 "aprod2_instr", "aprod2_glob"};
+  return kNames[static_cast<int>(id)];
+}
+
+/// Span annotations of one kernel launch: backend, launch shape
+/// (resolved to the actual grid for the gpusim backend), stream lane,
+/// and bytes moved.
+std::vector<obs::TraceArg> kernel_trace_args(const AprodOptions& options,
+                                             const SystemView& view,
+                                             KernelId id,
+                                             std::int32_t stream) {
+  backends::KernelConfig cfg = options.tuning.get(id);
+  if (options.backend == BackendKind::kGpuSim)
+    cfg = backends::GpuSimExec::resolve(cfg);
+  std::vector<obs::TraceArg> args;
+  args.reserve(6);
+  args.emplace_back("backend", backends::to_string(options.backend));
+  args.emplace_back("blocks", static_cast<std::int64_t>(cfg.blocks));
+  args.emplace_back("threads", static_cast<std::int64_t>(cfg.threads));
+  args.emplace_back("stream", static_cast<std::int64_t>(stream));
+  args.emplace_back("bytes", kernel_trace_bytes(view, id));
+  if (backends::kernel_uses_atomics(id))
+    args.emplace_back("atomic", backends::to_string(options.atomic_mode));
+  return args;
+}
+
+}  // namespace
 
 Aprod::Aprod(const matrix::SystemMatrix& A, backends::DeviceContext& device,
              AprodOptions options)
@@ -38,44 +114,49 @@ void Aprod::apply1(std::span<const real> x, std::span<real> y) {
              "aprod1 y size mismatch");
   const real* xp = x.data();
   real* yp = y.data();
+  obs::ScopedTrace pass("aprod1", "aprod");
   // The four gathers all accumulate into y[r]: they must run in order
   // (one stream). Launched back to back on the calling thread.
   backends::dispatch(options_.backend, [&](auto exec) {
     using Exec = decltype(exec);
-    {
-      util::ScopedRegion region("aprod1_astro");
-      aprod1_astro<Exec>(view_, xp, yp,
-                         options_.tuning.get(KernelId::kAprod1Astro));
-    }
-    {
-      util::ScopedRegion region("aprod1_att");
-      aprod1_att<Exec>(view_, xp, yp,
-                       options_.tuning.get(KernelId::kAprod1Att));
-    }
-    {
-      util::ScopedRegion region("aprod1_instr");
-      aprod1_instr<Exec>(view_, xp, yp,
-                         options_.tuning.get(KernelId::kAprod1Instr));
-    }
-    {
-      util::ScopedRegion region("aprod1_glob");
-      aprod1_glob<Exec>(view_, xp, yp,
-                        options_.tuning.get(KernelId::kAprod1Glob));
-    }
+    auto launch1 = [&](KernelId id, auto&& kernel) {
+      obs::ScopedTrace span(kernel_region_name(id), "kernel",
+                            obs::TraceRecorder::kMainTrack);
+      if (span.armed())
+        for (auto& a : kernel_trace_args(options_, view_, id, 0))
+          span.add_arg(std::move(a));
+      util::ScopedRegion region(kernel_region_name(id));
+      kernel(options_.tuning.get(id));
+    };
+    launch1(KernelId::kAprod1Astro, [&](backends::KernelConfig cfg) {
+      aprod1_astro<Exec>(view_, xp, yp, cfg);
+    });
+    launch1(KernelId::kAprod1Att, [&](backends::KernelConfig cfg) {
+      aprod1_att<Exec>(view_, xp, yp, cfg);
+    });
+    launch1(KernelId::kAprod1Instr, [&](backends::KernelConfig cfg) {
+      aprod1_instr<Exec>(view_, xp, yp, cfg);
+    });
+    launch1(KernelId::kAprod1Glob, [&](backends::KernelConfig cfg) {
+      aprod1_glob<Exec>(view_, xp, yp, cfg);
+    });
   });
   launches_ += view_.has_global ? 4 : 3;
 }
 
-void Aprod::launch_aprod2(KernelId id, const real* y, real* x) {
+void Aprod::launch_aprod2(KernelId id, const real* y, real* x,
+                          std::int32_t track) {
   const backends::KernelConfig cfg = options_.tuning.get(id);
   const backends::AtomicMode mode = options_.atomic_mode;
-  static const char* kRegionNames[] = {"aprod2_astro", "aprod2_att",
-                                       "aprod2_instr", "aprod2_glob"};
   const int region_idx =
       static_cast<int>(id) - static_cast<int>(KernelId::kAprod2Astro);
   GAIA_CHECK(region_idx >= 0 && region_idx < 4,
              "launch_aprod2 called with an aprod1 kernel id");
-  util::ScopedRegion region(kRegionNames[region_idx]);
+  obs::ScopedTrace span(kernel_region_name(id), "kernel", track);
+  if (span.armed())
+    for (auto& a : kernel_trace_args(options_, view_, id, track))
+      span.add_arg(std::move(a));
+  util::ScopedRegion region(kernel_region_name(id));
   backends::dispatch(options_.backend, [&](auto exec) {
     using Exec = decltype(exec);
     switch (id) {
@@ -104,16 +185,27 @@ void Aprod::apply2(std::span<const real> y, std::span<real> x) {
              "aprod2 x size mismatch");
   const real* yp = y.data();
   real* xp = x.data();
+  obs::ScopedTrace pass("aprod2", "aprod");
 
   if (options_.fuse_aprod2) {
     backends::dispatch(options_.backend, [&](auto exec) {
       using Exec = decltype(exec);
       {
+        obs::ScopedTrace span("aprod2_astro", "kernel");
+        if (span.armed())
+          for (auto& a :
+               kernel_trace_args(options_, view_, KernelId::kAprod2Astro, 0))
+            span.add_arg(std::move(a));
         util::ScopedRegion region("aprod2_astro");
         aprod2_astro<Exec>(view_, yp, xp,
                            options_.tuning.get(KernelId::kAprod2Astro));
       }
       {
+        obs::ScopedTrace span("aprod2_fused", "kernel");
+        if (span.armed())
+          for (auto& a :
+               kernel_trace_args(options_, view_, KernelId::kAprod2Att, 0))
+            span.add_arg(std::move(a));
         util::ScopedRegion region("aprod2_fused");
         aprod2_shared_fused<Exec>(view_, yp, xp,
                                   options_.tuning.get(KernelId::kAprod2Att),
@@ -134,12 +226,15 @@ void Aprod::apply2(std::span<const real> y, std::span<real> x) {
     // does not increase atomic contention (paper SIV); each kernel goes
     // to its own stream, then all streams are joined.
     for (std::size_t k = 0; k < active; ++k) {
-      streams_[k]->enqueue(
-          [this, id = kernels[k], yp, xp] { launch_aprod2(id, yp, xp); });
+      streams_[k]->enqueue([this, id = kernels[k], yp, xp,
+                            track = streams_[k]->id()] {
+        launch_aprod2(id, yp, xp, track);
+      });
     }
     for (std::size_t k = 0; k < active; ++k) streams_[k]->synchronize();
   } else {
-    for (std::size_t k = 0; k < active; ++k) launch_aprod2(kernels[k], yp, xp);
+    for (std::size_t k = 0; k < active; ++k)
+      launch_aprod2(kernels[k], yp, xp, obs::TraceRecorder::kMainTrack);
   }
   launches_ += active;
 }

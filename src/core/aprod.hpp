@@ -67,7 +67,10 @@ class Aprod {
   [[nodiscard]] std::uint64_t launches() const { return launches_; }
 
  private:
-  void launch_aprod2(backends::KernelId id, const real* y, real* x);
+  /// `track` is the trace-timeline lane: 0 for the calling thread,
+  /// Stream::id() when the kernel was enqueued on a stream.
+  void launch_aprod2(backends::KernelId id, const real* y, real* x,
+                     std::int32_t track);
 
   AprodOptions options_;
   backends::DeviceBuffer<real> d_values_;

@@ -9,6 +9,8 @@
 
 #include "core/preconditioner.hpp"
 #include "core/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/profiler.hpp"
 #include "util/stopwatch.hpp"
 
@@ -144,12 +146,41 @@ struct LsqrEngine::Impl {
     return h;
   }
 
+  /// Convergence telemetry for the iteration that just finished: span
+  /// args for the timeline, counter tracks for Perfetto's counter view,
+  /// and registry metrics for the CSV export.
+  void record_iteration_telemetry(obs::ScopedTrace& span, double seconds) {
+    span.add_arg({"rnorm", static_cast<double>(rnorm)});
+    span.add_arg({"arnorm", static_cast<double>(arnorm)});
+    auto& rec = obs::TraceRecorder::global();
+    if (rec.enabled()) {
+      const double now = rec.now_us();
+      rec.counter("lsqr.rnorm", now, rnorm);
+      rec.counter("lsqr.arnorm", now, arnorm);
+    }
+    auto& reg = obs::MetricsRegistry::global();
+    if (reg.enabled()) {
+      static obs::Counter& iters = reg.counter("lsqr.iterations");
+      static obs::Histogram& times = reg.histogram("lsqr.iteration_seconds");
+      static obs::Gauge& g_rnorm = reg.gauge("lsqr.rnorm");
+      static obs::Gauge& g_arnorm = reg.gauge("lsqr.arnorm");
+      static obs::Gauge& g_xnorm = reg.gauge("lsqr.xnorm");
+      iters.add(1);
+      times.record(seconds);
+      g_rnorm.set(rnorm);
+      g_arnorm.set(arnorm);
+      g_xnorm.set(xnorm);
+    }
+  }
+
   bool step() {
     if (finished) return false;
     const auto backend = options.aprod.backend;
     const real damp = options.damp;
     util::Stopwatch watch;
     ++itn;
+    obs::ScopedTrace iter_span("lsqr.iteration", "lsqr");
+    iter_span.add_arg({"itn", static_cast<std::int64_t>(itn)});
 
     auto u = d_u.span();
     auto v = d_v.span();
@@ -227,7 +258,9 @@ struct LsqrEngine::Impl {
       arnorm_history.push_back(arnorm);
       xnorm_history.push_back(xnorm);
     }
-    iteration_seconds.push_back(watch.elapsed_s());
+    const double iteration_s = watch.elapsed_s();
+    iteration_seconds.push_back(iteration_s);
+    record_iteration_telemetry(iter_span, iteration_s);
 
     // Stopping tests (reference-code numbering; skipped when all
     // tolerances are zero, the paper's fixed-iteration timing mode).

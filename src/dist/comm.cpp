@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+
 namespace gaia::dist {
+
+namespace {
+/// Trace track of a rank's collectives. Ranks run on their own threads,
+/// so each gets its own timeline lane (offset to stay clear of stream
+/// ids).
+std::int32_t rank_track(int rank) { return 1000 + rank; }
+}  // namespace
 
 World::World(int size) : size_(size) {
   GAIA_CHECK(size_ >= 1, "world needs at least one rank");
@@ -58,7 +69,24 @@ void World::collective_bcast(int rank, std::span<real> data, int root) {
 void Comm::barrier() { world_->arrive_barrier(); }
 
 void Comm::allreduce(std::span<real> data, ReduceOp op) {
+  const auto bytes = static_cast<std::uint64_t>(data.size_bytes());
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) rec.name_track(rank_track(rank_), "rank-" +
+                                    std::to_string(rank_));
+  obs::ScopedTrace span("allreduce", "comm", rank_track(rank_));
+  span.add_arg({"rank", static_cast<std::int64_t>(rank_)});
+  span.add_arg({"bytes", bytes});
+  util::Stopwatch watch;
   world_->collective_reduce(rank_, data, op);
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    static obs::Counter& calls = reg.counter("comm.allreduce_calls");
+    static obs::Counter& traffic = reg.counter("comm.allreduce_bytes");
+    static obs::Histogram& seconds = reg.histogram("comm.allreduce_seconds");
+    calls.add(1);
+    traffic.add(bytes);
+    seconds.record(watch.elapsed_s());
+  }
 }
 
 real Comm::allreduce(real value, ReduceOp op) {

@@ -1,0 +1,90 @@
+#include "metrics/model_drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gaia::metrics {
+
+ModelDriftReport::ModelDriftReport(std::vector<KernelDrift> rows) {
+  for (const KernelDrift& r : rows) {
+    total_predicted_ += r.predicted_s;
+    total_measured_ += r.measured_s;
+  }
+  rows_.reserve(rows.size());
+  for (const KernelDrift& r : rows) {
+    KernelDriftRow out;
+    out.kernel = r.kernel;
+    out.predicted_s = r.predicted_s;
+    out.measured_s = r.measured_s;
+    out.ratio = r.predicted_s > 0 ? r.measured_s / r.predicted_s : 0;
+    out.predicted_share =
+        total_predicted_ > 0 ? r.predicted_s / total_predicted_ : 0;
+    out.measured_share =
+        total_measured_ > 0 ? r.measured_s / total_measured_ : 0;
+    out.share_drift_pp =
+        (out.measured_share - out.predicted_share) * 100.0;
+    rows_.push_back(std::move(out));
+  }
+}
+
+double ModelDriftReport::mean_abs_share_drift_pp() const {
+  if (rows_.empty()) return 0;
+  double sum = 0;
+  for (const auto& r : rows_) sum += std::abs(r.share_drift_pp);
+  return sum / static_cast<double>(rows_.size());
+}
+
+double ModelDriftReport::max_abs_share_drift_pp() const {
+  double worst = 0;
+  for (const auto& r : rows_)
+    worst = std::max(worst, std::abs(r.share_drift_pp));
+  return worst;
+}
+
+std::string ModelDriftReport::csv() const {
+  std::ostringstream os;
+  os << "kernel,predicted_s,measured_s,ratio,predicted_share,"
+        "measured_share,share_drift_pp\n";
+  os.precision(9);
+  for (const auto& r : rows_) {
+    os << r.kernel << ',' << r.predicted_s << ',' << r.measured_s << ','
+       << r.ratio << ',' << r.predicted_share << ',' << r.measured_share
+       << ',' << r.share_drift_pp << '\n';
+  }
+  return os.str();
+}
+
+void ModelDriftReport::write_csv(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  GAIA_CHECK(f.good(), "cannot open drift report output: " + path);
+  f << csv();
+  GAIA_CHECK(f.good(), "drift report write failed: " + path);
+}
+
+std::string ModelDriftReport::markdown(const std::string& title) const {
+  std::ostringstream os;
+  if (!title.empty()) os << "### " << title << "\n\n";
+  os << "| kernel | predicted (ms) | measured (ms) | ratio | predicted "
+        "share | measured share | drift (pp) |\n";
+  os << "|---|---|---|---|---|---|---|\n";
+  os << std::fixed;
+  for (const auto& r : rows_) {
+    os << "| " << r.kernel << " | " << std::setprecision(3)
+       << r.predicted_s * 1e3 << " | " << r.measured_s * 1e3 << " | "
+       << std::setprecision(2) << r.ratio << " | " << std::setprecision(1)
+       << r.predicted_share * 100 << " % | " << r.measured_share * 100
+       << " % | " << std::showpos << r.share_drift_pp << std::noshowpos
+       << " |\n";
+  }
+  os << "\nmean |share drift| = " << std::setprecision(1)
+     << mean_abs_share_drift_pp() << " pp, max = " << max_abs_share_drift_pp()
+     << " pp\n";
+  return os.str();
+}
+
+}  // namespace gaia::metrics

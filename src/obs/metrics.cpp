@@ -1,0 +1,188 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gaia::obs {
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  last_ = v;
+  if (samples_.size() < kMaxSamples) samples_.push_back(v);
+}
+
+namespace {
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  // Nearest-rank on the sorted sample set.
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+}  // namespace
+
+Histogram::Summary Histogram::summary() const {
+  std::vector<double> samples;
+  Summary s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) return s;
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    s.last = last_;
+    samples = samples_;
+  }
+  std::sort(samples.begin(), samples.end());
+  s.p50 = percentile(samples, 0.50);
+  s.p95 = percentile(samples, 0.95);
+  s.p99 = percentile(samples, 0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  last_ = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[name];
+  if (!e.counter) {
+    GAIA_CHECK(!e.gauge && !e.histogram,
+               "metric '" + name + "' already registered with another type");
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[name];
+  if (!e.gauge) {
+    GAIA_CHECK(!e.counter && !e.histogram,
+               "metric '" + name + "' already registered with another type");
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[name];
+  if (!e.histogram) {
+    GAIA_CHECK(!e.counter && !e.gauge,
+               "metric '" + name + "' already registered with another type");
+    e.histogram = std::make_unique<Histogram>();
+  }
+  return *e.histogram;
+}
+
+std::vector<MetricRow> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricRow> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricRow row;
+    row.name = name;
+    if (e.counter) {
+      row.type = "counter";
+      row.count = e.counter->value();
+      row.sum = static_cast<double>(e.counter->value());
+      row.last = row.sum;
+    } else if (e.gauge) {
+      row.type = "gauge";
+      row.count = 1;
+      row.last = e.gauge->value();
+      row.sum = row.last;
+    } else if (e.histogram) {
+      const auto s = e.histogram->summary();
+      row.type = "histogram";
+      row.count = s.count;
+      row.sum = s.sum;
+      row.min = s.count ? s.min : 0;
+      row.max = s.count ? s.max : 0;
+      row.last = s.last;
+      row.p50 = s.p50;
+      row.p95 = s.p95;
+      row.p99 = s.p99;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;  // std::map iteration is already name-sorted
+}
+
+std::string MetricsRegistry::csv() const {
+  std::ostringstream os;
+  os << "name,type,count,sum,min,max,last,p50,p95,p99\n";
+  os.precision(17);
+  for (const MetricRow& r : snapshot()) {
+    os << r.name << ',' << r.type << ',' << r.count << ',' << r.sum << ','
+       << r.min << ',' << r.max << ',' << r.last << ',' << r.p50 << ','
+       << r.p95 << ',' << r.p99 << '\n';
+  }
+  return os.str();
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  GAIA_CHECK(f.good(), "cannot open metrics output: " + path);
+  f << csv();
+  GAIA_CHECK(f.good(), "metrics write failed: " + path);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void count_h2d(std::uint64_t bytes) {
+  auto& reg = MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  static Counter& total = reg.counter("transfer.h2d_bytes");
+  static Counter& calls = reg.counter("transfer.h2d_count");
+  total.add(bytes);
+  calls.add(1);
+}
+
+void count_d2h(std::uint64_t bytes) {
+  auto& reg = MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  static Counter& total = reg.counter("transfer.d2h_bytes");
+  static Counter& calls = reg.counter("transfer.d2h_count");
+  total.add(bytes);
+  calls.add(1);
+}
+
+void count_cas(std::uint64_t attempts, std::uint64_t retries) {
+  auto& reg = MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  static Counter& ops = reg.counter("atomic.cas_ops");
+  static Counter& retry = reg.counter("atomic.cas_retries");
+  ops.add(attempts);
+  retry.add(retries);
+}
+
+}  // namespace gaia::obs

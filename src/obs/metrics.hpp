@@ -1,0 +1,162 @@
+/// \file metrics.hpp
+/// \brief Metrics registry: counters, gauges and latency histograms.
+///
+/// Complements the trace recorder with aggregate accounting the paper's
+/// analysis needs but a timeline does not surface well: H2D/D2H transfer
+/// totals (the "copy once, iterate device-resident" contract, SIV-a),
+/// CAS-loop retry counts (the MI250X `-munsafe-fp-atomics` story, SV-B),
+/// allreduce traffic, and LSQR per-iteration latency quantiles.
+///
+/// Concurrency and cost contract:
+///  * while disabled (default), instrumentation sites pay one relaxed
+///    atomic load;
+///  * while enabled, counters are single relaxed fetch-adds and
+///    histograms take a short mutex;
+///  * metric objects are created once and never invalidated — call sites
+///    may cache `Counter&` across `reset()` (reset zeroes, not deletes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gaia::obs {
+
+/// Monotonic event/byte counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (e.g. the current residual norm).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Sample distribution with exact quantiles. Samples are kept verbatim
+/// up to a cap (the workloads here record at most thousands of
+/// iterations); beyond the cap new samples still update count/sum/
+/// min/max/last but no longer refine the quantiles.
+class Histogram {
+ public:
+  static constexpr std::size_t kMaxSamples = 1 << 20;
+
+  void record(double v);
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double last = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+  [[nodiscard]] Summary summary() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double last_ = 0;
+};
+
+/// One row of a registry snapshot (and of the CSV export).
+struct MetricRow {
+  std::string name;
+  std::string type;  ///< "counter" | "gauge" | "histogram"
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double last = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Named metric store. Lookup is mutex-protected (cache the returned
+/// reference at hot sites); metric identities are stable for the
+/// registry's lifetime.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create. Throws gaia::Error if `name` already exists with a
+  /// different metric type.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// All metrics, sorted by name.
+  [[nodiscard]] std::vector<MetricRow> snapshot() const;
+
+  /// CSV export: name,type,count,sum,min,max,last,p50,p95,p99.
+  [[nodiscard]] std::string csv() const;
+  void write_csv(const std::string& path) const;
+
+  /// Zero every metric (identities survive; cached references stay
+  /// valid). Does not change the enabled flag.
+  void reset();
+
+  /// Process-wide registry used by the library's instrumentation.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    // Exactly one is non-null; tag implied.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Well-known instrumentation hooks (cached lookups, enabled-gated)
+// ---------------------------------------------------------------------------
+
+/// Transfer accounting — incremented at the exact points where
+/// DeviceContext counts bytes, so the CSV totals match the device
+/// accounting bit for bit.
+void count_h2d(std::uint64_t bytes);
+void count_d2h(std::uint64_t bytes);
+
+/// CAS-loop retry accounting for the aprod2 scatter atomics.
+void count_cas(std::uint64_t attempts, std::uint64_t retries);
+
+}  // namespace gaia::obs

@@ -1,0 +1,63 @@
+#include "obs/session.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gaia::obs {
+
+Session::Session(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)),
+      armed_(true) {
+  if (tracing()) {
+    TraceRecorder::global().reset();
+    TraceRecorder::global().set_enabled(true);
+  }
+  if (metrics()) {
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().set_enabled(true);
+  }
+}
+
+Session Session::from_env(std::string trace_override,
+                          std::string metrics_override) {
+  auto env_or = [](const char* var, std::string explicit_path) {
+    if (!explicit_path.empty()) return explicit_path;
+    const char* v = std::getenv(var);
+    return std::string(v ? v : "");
+  };
+  return Session(env_or(kTraceEnv, std::move(trace_override)),
+                 env_or(kMetricsEnv, std::move(metrics_override)));
+}
+
+Session::Session(Session&& other) noexcept
+    : trace_path_(std::move(other.trace_path_)),
+      metrics_path_(std::move(other.metrics_path_)),
+      armed_(other.armed_) {
+  other.armed_ = false;
+}
+
+void Session::flush() {
+  if (!armed_) return;
+  try {
+    if (tracing()) TraceRecorder::global().write(trace_path_);
+    if (metrics()) MetricsRegistry::global().write_csv(metrics_path_);
+  } catch (const std::exception& e) {
+    std::cerr << "observability flush failed: " << e.what() << '\n';
+  }
+}
+
+Session::~Session() {
+  if (!armed_) return;
+  flush();
+  if (tracing()) TraceRecorder::global().set_enabled(false);
+  if (metrics()) MetricsRegistry::global().set_enabled(false);
+  armed_ = false;
+}
+
+}  // namespace gaia::obs

@@ -1,0 +1,59 @@
+/// \file session.hpp
+/// \brief One-line enablement of tracing/metrics for binaries.
+///
+/// The paper's measurement flow is "run the solver under nsys, open the
+/// timeline". Ours is:
+///
+///   $ GAIA_TRACE=trace.json GAIA_METRICS=metrics.csv ./gaia_solver ...
+///
+/// A `Session` placed at the top of main() reads the environment (or
+/// explicit CLI-provided paths), arms the global recorder/registry, and
+/// writes the output files when it goes out of scope.
+#pragma once
+
+#include <string>
+
+namespace gaia::obs {
+
+/// Environment variables honored by `Session::from_env()`.
+inline constexpr const char* kTraceEnv = "GAIA_TRACE";
+inline constexpr const char* kMetricsEnv = "GAIA_METRICS";
+
+/// RAII enablement + flush of the global TraceRecorder/MetricsRegistry.
+/// Empty paths leave the corresponding subsystem untouched, so an
+/// un-instrumented run stays at the one-relaxed-load cost.
+class Session {
+ public:
+  /// Explicit paths (CLI flags). Empty string = off.
+  Session(std::string trace_path, std::string metrics_path);
+
+  /// Paths from GAIA_TRACE / GAIA_METRICS (unset/empty = off). Explicit
+  /// paths passed here override the environment.
+  static Session from_env(std::string trace_override = "",
+                          std::string metrics_override = "");
+
+  /// Writes the outputs and disables collection. Errors are reported to
+  /// stderr, never thrown (runs from destructors).
+  ~Session();
+
+  /// Write/refresh the output files now (outputs stay armed).
+  void flush();
+
+  [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
+  [[nodiscard]] bool metrics() const { return !metrics_path_.empty(); }
+  [[nodiscard]] const std::string& trace_path() const { return trace_path_; }
+  [[nodiscard]] const std::string& metrics_path() const {
+    return metrics_path_;
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&& other) noexcept;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool armed_ = false;
+};
+
+}  // namespace gaia::obs

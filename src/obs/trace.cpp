@@ -1,0 +1,190 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gaia::obs {
+
+namespace {
+
+/// JSON string escaping (control characters, quotes, backslash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  // JSON has no inf/nan; clamp non-finite values to 0.
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+TraceArg::TraceArg(std::string key, const std::string& value)
+    : key_(std::move(key)), json_value_('"' + json_escape(value) + '"') {}
+TraceArg::TraceArg(std::string key, const char* value)
+    : TraceArg(std::move(key), std::string(value)) {}
+TraceArg::TraceArg(std::string key, double value)
+    : key_(std::move(key)), json_value_(json_number(value)) {}
+TraceArg::TraceArg(std::string key, std::int64_t value)
+    : key_(std::move(key)), json_value_(std::to_string(value)) {}
+TraceArg::TraceArg(std::string key, std::uint64_t value)
+    : key_(std::move(key)), json_value_(std::to_string(value)) {}
+
+void TraceRecorder::set_enabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+  if (enabled) name_track(kMainTrack, "main");
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::complete(std::string name, std::string cat, double ts_us,
+                             double dur_us, std::int32_t tid,
+                             std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e{std::move(name), std::move(cat), 'X', ts_us, dur_us, tid,
+               std::move(args)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::instant(std::string name, std::string cat,
+                            std::int32_t tid, std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e{std::move(name), std::move(cat), 'i', now_us(), 0, tid,
+               std::move(args)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::counter(std::string name, double ts_us, double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = 'C';
+  e.cat = "counter";
+  e.ts_us = ts_us;
+  e.tid = kMainTrack;
+  e.args.emplace_back(name, value);
+  e.name = std::move(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::name_track(std::int32_t tid, const std::string& name) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = "thread_name";
+  e.cat = "__metadata";
+  e.phase = 'M';
+  e.ts_us = 0;
+  e.tid = tid;
+  e.args.emplace_back("name", name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One metadata record per track: callers may re-announce freely.
+  if (!named_tracks_.insert(tid).second) return;
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  named_tracks_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string TraceRecorder::json() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void TraceRecorder::write(std::ostream& os) const {
+  const auto snapshot = events();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : snapshot) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.cat) << "\",\"ph\":\"" << e.phase
+       << "\",\"ts\":" << json_number(e.ts_us) << ",\"pid\":1,\"tid\":"
+       << e.tid;
+    if (e.phase == 'X') os << ",\"dur\":" << json_number(e.dur_us);
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) os << ',';
+        os << '"' << json_escape(e.args[i].key())
+           << "\":" << e.args[i].json_value();
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "]}";
+}
+
+void TraceRecorder::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  GAIA_CHECK(f.good(), "cannot open trace output: " + path);
+  write(f);
+  GAIA_CHECK(f.good(), "trace write failed: " + path);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+}  // namespace gaia::obs

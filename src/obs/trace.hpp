@@ -1,0 +1,164 @@
+/// \file trace.hpp
+/// \brief Kernel-level trace recorder (the nsys/rocprof timeline analog).
+///
+/// The paper's evidence is timeline-shaped: nsys/rocprof screenshots
+/// showing that aprod1/aprod2 dominate the iteration and that the four
+/// aprod2 scatter kernels overlap in concurrent streams (SIV, SV-A).
+/// This recorder produces the same artifact for our host backends: every
+/// kernel launch, transfer and iteration becomes a span in a Chrome
+/// trace-event JSON file (`chrome://tracing` / Perfetto loadable), with
+/// stream ids mapped to timeline tracks and the launch configuration
+/// attached as span arguments.
+///
+/// Cost contract: while disabled (the default), every instrumentation
+/// site pays exactly one relaxed atomic load — the same discipline as
+/// `util::Profiler`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gaia::obs {
+
+/// One key/value annotation on a span ("args" in the trace-event
+/// format). Values are stored pre-rendered as JSON fragments so the
+/// writer needs no type dispatch.
+class TraceArg {
+ public:
+  TraceArg(std::string key, const std::string& value);
+  TraceArg(std::string key, const char* value);
+  TraceArg(std::string key, double value);
+  TraceArg(std::string key, std::int64_t value);
+  TraceArg(std::string key, std::int32_t value)
+      : TraceArg(std::move(key), static_cast<std::int64_t>(value)) {}
+  TraceArg(std::string key, std::uint64_t value);
+
+  [[nodiscard]] const std::string& key() const { return key_; }
+  /// Value as a ready-to-emit JSON fragment (quoted iff string).
+  [[nodiscard]] const std::string& json_value() const { return json_value_; }
+
+ private:
+  std::string key_;
+  std::string json_value_;
+};
+
+/// One trace-event record. Phases used: 'X' (complete span), 'i'
+/// (instant), 'C' (counter), 'M' (metadata, e.g. thread names).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';
+  double ts_us = 0;   ///< steady-clock microseconds since reset()
+  double dur_us = 0;  ///< span duration ('X' only)
+  std::int32_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Thread-safe append-only recorder for trace events.
+class TraceRecorder {
+ public:
+  /// Track id of spans emitted from the caller's thread context (the
+  /// LSQR driver loop); streams use their own ids (see Stream::id()).
+  static constexpr std::int32_t kMainTrack = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Enabling also (re-)stamps the main-track thread name so an empty
+  /// trace is still a valid, labelled timeline.
+  void set_enabled(bool enabled);
+
+  /// Microseconds since construction/reset — the trace time base.
+  [[nodiscard]] double now_us() const;
+
+  /// Record a completed span (no-op while disabled).
+  void complete(std::string name, std::string cat, double ts_us,
+                double dur_us, std::int32_t tid,
+                std::vector<TraceArg> args = {});
+  /// Record an instant event.
+  void instant(std::string name, std::string cat, std::int32_t tid,
+               std::vector<TraceArg> args = {});
+  /// Record a counter sample (Perfetto renders these as counter tracks;
+  /// used for per-iteration convergence telemetry).
+  void counter(std::string name, double ts_us, double value);
+  /// Name a track (trace-event "thread_name" metadata).
+  void name_track(std::int32_t tid, const std::string& name);
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Drop all events and restart the time base (enabled state kept).
+  void reset();
+
+  /// The full trace as a JSON document (Chrome trace-event format:
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}).
+  [[nodiscard]] std::string json() const;
+  void write(std::ostream& os) const;
+  void write(const std::string& path) const;
+
+  /// Process-wide recorder used by the library's instrumentation.
+  static TraceRecorder& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::set<std::int32_t> named_tracks_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII span against the global recorder. Args are only materialized by
+/// the caller when tracing is on (check `armed()` / use the two-phase
+/// pattern below); the disabled path is one relaxed atomic load.
+class ScopedTrace {
+ public:
+  ScopedTrace(const char* name, const char* cat,
+              std::int32_t tid = TraceRecorder::kMainTrack)
+      : name_(TraceRecorder::global().enabled() ? name : nullptr),
+        cat_(cat),
+        tid_(tid),
+        start_us_(name_ ? TraceRecorder::global().now_us() : 0) {}
+
+  ScopedTrace(const char* name, const char* cat, std::int32_t tid,
+              std::vector<TraceArg> args)
+      : ScopedTrace(name, cat, tid) {
+    if (name_) args_ = std::move(args);
+  }
+
+  /// True when the span will actually be recorded — gate any expensive
+  /// argument construction on this.
+  [[nodiscard]] bool armed() const { return name_ != nullptr; }
+
+  /// Attach/extend args after construction (e.g. values only known at
+  /// scope end, like the iteration's residual norm).
+  void add_arg(TraceArg arg) {
+    if (name_) args_.push_back(std::move(arg));
+  }
+
+  ~ScopedTrace() {
+    if (!name_) return;
+    auto& rec = TraceRecorder::global();
+    const double end = rec.now_us();
+    rec.complete(name_, cat_, start_us_, end - start_us_, tid_,
+                 std::move(args_));
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::int32_t tid_;
+  double start_us_;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace gaia::obs

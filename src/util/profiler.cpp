@@ -11,6 +11,9 @@ void Profiler::record(const std::string& region, double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   RegionStats& stats = regions_[region];
   if (stats.name.empty()) stats.name = region;
+  stats.min_s = stats.calls ? std::min(stats.min_s, seconds) : seconds;
+  stats.max_s = std::max(stats.max_s, seconds);
+  stats.last_s = seconds;
   ++stats.calls;
   stats.total_s += seconds;
 }
@@ -53,12 +56,14 @@ std::string Profiler::report() const {
   const double total = total_seconds();
   std::ostringstream os;
   os << std::left << std::setw(24) << "region" << std::right << std::setw(10)
-     << "calls" << std::setw(14) << "total (ms)" << std::setw(10) << "share"
+     << "calls" << std::setw(14) << "total (ms)" << std::setw(12)
+     << "min (ms)" << std::setw(12) << "max (ms)" << std::setw(10) << "share"
      << '\n';
   for (const auto& s : stats) {
     os << std::left << std::setw(24) << s.name << std::right << std::setw(10)
        << s.calls << std::setw(14) << std::fixed << std::setprecision(3)
-       << s.total_s * 1e3 << std::setw(9) << std::setprecision(1)
+       << s.total_s * 1e3 << std::setw(12) << s.min_s * 1e3 << std::setw(12)
+       << s.max_s * 1e3 << std::setw(9) << std::setprecision(1)
        << (total > 0 ? s.total_s / total * 100 : 0) << "%\n";
   }
   return os.str();

@@ -26,6 +26,12 @@ class Profiler {
     std::string name;
     std::uint64_t calls = 0;
     double total_s = 0;
+    double min_s = 0;   ///< shortest recorded duration (0 when no calls)
+    double max_s = 0;   ///< longest recorded duration
+    double last_s = 0;  ///< most recently recorded duration
+    [[nodiscard]] double mean_s() const {
+      return calls ? total_s / static_cast<double>(calls) : 0.0;
+    }
   };
 
   /// Enable/disable collection (disabled costs one relaxed atomic load

@@ -116,11 +116,45 @@ TEST_P(LsqrCheckpoint, ResumedRunIsBitIdentical) {
     // The elementwise divergence between two parallel runs is chaotic
     // (atomic-order roundoff amplified by the Krylov recurrence), so the
     // meaningful resume invariant is solution *quality*: the resumed run
-    // must land on an equally good least-squares solution.
+    // must land on an equally good least-squares solution. The observed
+    // run-to-run rnorm spread of this problem is ~1e-4 relative (the
+    // old 1e-6 bound flaked roughly one run in seven), so the bound is
+    // set an order of magnitude above the spread. Bit-exactness of the
+    // checkpoint mechanism itself is covered by the serial branch above
+    // and by SingleLaneGpusimResumeIsBitIdentical below.
     EXPECT_NEAR(resumed.rnorm, expected.rnorm,
-                1e-6 * std::max<real>(1, expected.rnorm));
+                1e-3 * std::max<real>(1, expected.rnorm));
     EXPECT_LT(gaia::testing::rel_l2_error(resumed.x, expected.x), 1e-2);
   }
+}
+
+// With a single block and a single thread per block the gpusim backend
+// has a deterministic accumulation order, so resume must be bitwise
+// exact — this isolates checkpoint-state completeness from the
+// atomic-order roundoff the stochastic bound above tolerates.
+TEST(LsqrCheckpointDeterministic, SingleLaneGpusimResumeIsBitIdentical) {
+  const auto gen = matrix::generate_system(gaia::testing::small_config(135));
+  auto opts = engine_options(backends::BackendKind::kGpuSim);
+  opts.aprod.tuning = backends::TuningTable::untuned({1, 1});
+
+  LsqrEngine full(gen.A, opts);
+  full.run_to_completion();
+  const auto expected = full.result();
+
+  LsqrEngine first(gen.A, opts);
+  for (int i = 0; i < 20; ++i) first.step();
+  std::stringstream ckpt;
+  first.checkpoint(ckpt);
+
+  LsqrEngine second(gen.A, opts);
+  second.restore(ckpt);
+  second.run_to_completion();
+  const auto resumed = second.result();
+
+  ASSERT_EQ(resumed.iterations, expected.iterations);
+  for (std::size_t i = 0; i < expected.x.size(); ++i)
+    ASSERT_EQ(resumed.x[i], expected.x[i]) << i;
+  EXPECT_EQ(resumed.rnorm, expected.rnorm);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, LsqrCheckpoint,

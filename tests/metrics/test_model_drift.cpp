@@ -1,0 +1,98 @@
+#include "metrics/model_drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gaia::metrics {
+namespace {
+
+std::vector<KernelDrift> sample_rows() {
+  // Predicted shares 25/75, measured 50/50: both kernels drift 25 pp.
+  return {{"aprod1_astro", 1.0, 2.0}, {"aprod2_att", 3.0, 2.0}};
+}
+
+TEST(ModelDrift, DerivesSharesAndRatios) {
+  const ModelDriftReport report(sample_rows());
+  ASSERT_EQ(report.rows().size(), 2u);
+  EXPECT_DOUBLE_EQ(report.total_predicted_s(), 4.0);
+  EXPECT_DOUBLE_EQ(report.total_measured_s(), 4.0);
+
+  const auto& r0 = report.rows()[0];
+  EXPECT_EQ(r0.kernel, "aprod1_astro");
+  EXPECT_DOUBLE_EQ(r0.ratio, 2.0);
+  EXPECT_DOUBLE_EQ(r0.predicted_share, 0.25);
+  EXPECT_DOUBLE_EQ(r0.measured_share, 0.50);
+  EXPECT_DOUBLE_EQ(r0.share_drift_pp, 25.0);
+
+  const auto& r1 = report.rows()[1];
+  EXPECT_DOUBLE_EQ(r1.share_drift_pp, -25.0);
+  EXPECT_DOUBLE_EQ(report.mean_abs_share_drift_pp(), 25.0);
+  EXPECT_DOUBLE_EQ(report.max_abs_share_drift_pp(), 25.0);
+}
+
+TEST(ModelDrift, ZeroTotalsProduceZeroSharesNotNan) {
+  const ModelDriftReport report({{"k", 0.0, 0.0}});
+  const auto& r = report.rows()[0];
+  EXPECT_DOUBLE_EQ(r.ratio, 0.0);
+  EXPECT_DOUBLE_EQ(r.predicted_share, 0.0);
+  EXPECT_DOUBLE_EQ(r.measured_share, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_abs_share_drift_pp(), 0.0);
+}
+
+TEST(ModelDrift, EmptyReportIsWellBehaved) {
+  const ModelDriftReport report({});
+  EXPECT_TRUE(report.rows().empty());
+  EXPECT_DOUBLE_EQ(report.mean_abs_share_drift_pp(), 0.0);
+  EXPECT_DOUBLE_EQ(report.max_abs_share_drift_pp(), 0.0);
+  EXPECT_NE(report.csv().find("kernel,predicted_s"), std::string::npos);
+}
+
+TEST(ModelDrift, CsvRoundTrips) {
+  const ModelDriftReport report(sample_rows());
+  const std::string csv = report.csv();
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line,
+            "kernel,predicted_s,measured_s,ratio,predicted_share,"
+            "measured_share,share_drift_pp");
+  int rows = 0;
+  while (std::getline(is, line)) {
+    ++rows;
+    EXPECT_NE(line.find("aprod"), std::string::npos);
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(ModelDrift, WriteCsvCreatesReadableFile) {
+  const std::string path = "model_drift_test.csv";
+  const ModelDriftReport report(sample_rows());
+  report.write_csv(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header.rfind("kernel,", 0), 0u);
+  f.close();
+  std::remove(path.c_str());
+}
+
+TEST(ModelDrift, MarkdownHasTableAndSummary) {
+  const ModelDriftReport report(sample_rows());
+  const std::string md = report.markdown("drift check");
+  EXPECT_NE(md.find("### drift check"), std::string::npos);
+  EXPECT_NE(md.find("| kernel |"), std::string::npos);
+  EXPECT_NE(md.find("| aprod1_astro |"), std::string::npos);
+  EXPECT_NE(md.find("mean |share drift| = 25.0 pp"), std::string::npos);
+  // Drift signs are explicit so regressions read at a glance.
+  EXPECT_NE(md.find("+25.0"), std::string::npos);
+  EXPECT_NE(md.find("-25.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaia::metrics

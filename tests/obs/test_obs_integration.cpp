@@ -1,0 +1,169 @@
+/// \file test_obs_integration.cpp
+/// \brief End-to-end observability check: a traced LSQR campaign emits a
+/// valid timeline with all eight kernel spans, and the metrics CSV
+/// transfer totals equal the device-side byte accounting exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/lsqr.hpp"
+#include "matrix/generator.hpp"
+#include "obs/json_checker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+#include "test_helpers.hpp"
+
+namespace gaia::obs {
+namespace {
+
+/// Reads `name,...,sum,...` rows back out of the metrics CSV.
+std::map<std::string, double> csv_sums(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << path;
+  std::map<std::string, double> sums;
+  std::string line;
+  std::getline(f, line);  // header
+  EXPECT_EQ(line, "name,type,count,sum,min,max,last,p50,p95,p99");
+  while (std::getline(f, line)) {
+    std::istringstream row(line);
+    std::string name, type, count, sum;
+    std::getline(row, name, ',');
+    std::getline(row, type, ',');
+    std::getline(row, count, ',');
+    std::getline(row, sum, ',');
+    sums[name] = std::stod(sum);
+  }
+  return sums;
+}
+
+struct ScopedFile {
+  explicit ScopedFile(std::string p) : path(std::move(p)) {}
+  ~ScopedFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(ObsIntegration, TracedLsqrRunEmitsFullTimelineAndExactByteTotals) {
+  const ScopedFile trace_file("obs_integration_trace.json");
+  const ScopedFile metrics_file("obs_integration_metrics.csv");
+
+  const auto gen = matrix::generate_system(gaia::testing::small_config(640));
+  core::LsqrResult result;
+  std::vector<TraceEvent> events;
+  {
+    Session session(trace_file.path, metrics_file.path);
+    core::LsqrOptions opts;
+    opts.aprod.backend = backends::BackendKind::kGpuSim;
+    opts.aprod.use_streams = true;  // aprod2 spans must land on stream tracks
+    opts.max_iterations = 100;
+    opts.atol = 0;  // run all 100 iterations (the acceptance scenario)
+    opts.btol = 0;
+    opts.compute_std_errors = false;
+    result = core::lsqr_solve(gen.A, opts);
+    events = TraceRecorder::global().events();
+  }
+  ASSERT_EQ(result.iterations, 100);
+
+  // 1. The emitted file is valid trace-event JSON.
+  std::ifstream f(trace_file.path);
+  ASSERT_TRUE(f.good());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  gaia::testing::JsonChecker checker(buf.str());
+  EXPECT_TRUE(checker.valid());
+  EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+
+  // 2. All eight aprod sub-kernels appear as spans, each annotated with
+  // its launch config and stream lane.
+  const std::set<std::string> expected = {
+      "aprod1_astro", "aprod1_att", "aprod1_instr", "aprod1_glob",
+      "aprod2_astro", "aprod2_att", "aprod2_instr", "aprod2_glob"};
+  std::set<std::string> seen;
+  std::set<std::int32_t> aprod2_tracks;
+  for (const auto& e : events) {
+    if (e.phase != 'X' || e.cat != "kernel") continue;
+    if (expected.count(e.name) == 0) continue;
+    seen.insert(e.name);
+    std::set<std::string> keys;
+    for (const auto& a : e.args) keys.insert(a.key());
+    EXPECT_TRUE(keys.count("backend")) << e.name;
+    EXPECT_TRUE(keys.count("blocks")) << e.name;
+    EXPECT_TRUE(keys.count("threads")) << e.name;
+    EXPECT_TRUE(keys.count("stream")) << e.name;
+    EXPECT_TRUE(keys.count("bytes")) << e.name;
+    if (e.name.rfind("aprod2", 0) == 0) aprod2_tracks.insert(e.tid);
+  }
+  EXPECT_EQ(seen, expected);
+  // The four aprod2 scatters ran in four distinct streams, i.e. four
+  // distinct non-main timeline tracks.
+  EXPECT_EQ(aprod2_tracks.size(), 4u);
+  EXPECT_EQ(aprod2_tracks.count(TraceRecorder::kMainTrack), 0u);
+
+  // 3. Per-iteration telemetry: one lsqr.iteration span per iteration.
+  int iteration_spans = 0;
+  for (const auto& e : events)
+    if (e.phase == 'X' && e.name == "lsqr.iteration") ++iteration_spans;
+  EXPECT_EQ(iteration_spans, 100);
+
+  // 4. The metrics CSV transfer totals equal the device accounting that
+  // the solver itself reports — not approximately, bit for bit.
+  const auto sums = csv_sums(metrics_file.path);
+  ASSERT_TRUE(sums.count("transfer.h2d_bytes"));
+  EXPECT_EQ(static_cast<std::uint64_t>(sums.at("transfer.h2d_bytes")),
+            result.h2d_bytes);
+  ASSERT_TRUE(sums.count("lsqr.iterations"));
+  EXPECT_EQ(static_cast<std::uint64_t>(sums.at("lsqr.iterations")), 100u);
+  ASSERT_TRUE(sums.count("stream.tasks"));
+  // 4 aprod2 kernels per iteration, each enqueued as one stream task.
+  EXPECT_GE(static_cast<std::uint64_t>(sums.at("stream.tasks")), 400u);
+}
+
+TEST(ObsIntegration, CasRetriesAreCountedUnderCasLoopMode) {
+  const ScopedFile metrics_file("obs_cas_metrics.csv");
+  const auto gen = matrix::generate_system(gaia::testing::medium_config(641));
+  {
+    Session session("", metrics_file.path);
+    core::LsqrOptions opts;
+    // gpusim honors the atomic mode; OpenMPExec lowers to `omp atomic`
+    // regardless (that *is* its native RMW), so it never counts CAS ops.
+    opts.aprod.backend = backends::BackendKind::kGpuSim;
+    opts.aprod.atomic_mode = backends::AtomicMode::kCasLoop;
+    opts.aprod.use_streams = false;
+    opts.max_iterations = 3;
+    opts.compute_std_errors = false;
+    core::lsqr_solve(gen.A, opts);
+  }
+  const auto sums = csv_sums(metrics_file.path);
+  ASSERT_TRUE(sums.count("atomic.cas_ops"));
+  EXPECT_GT(sums.at("atomic.cas_ops"), 0.0);
+  // Retries exist as a metric (their count is contention-dependent).
+  EXPECT_TRUE(sums.count("atomic.cas_retries"));
+}
+
+TEST(ObsIntegration, UntracedRunLeavesGlobalsUntouched) {
+  TraceRecorder::global().set_enabled(false);
+  TraceRecorder::global().reset();
+  MetricsRegistry::global().set_enabled(false);
+  MetricsRegistry::global().reset();
+
+  const auto gen = matrix::generate_system(gaia::testing::small_config(642));
+  core::LsqrOptions opts;
+  opts.aprod.backend = backends::BackendKind::kGpuSim;
+  opts.max_iterations = 10;
+  opts.compute_std_errors = false;
+  core::lsqr_solve(gen.A, opts);
+
+  EXPECT_EQ(TraceRecorder::global().event_count(), 0u);
+  EXPECT_EQ(
+      MetricsRegistry::global().counter("transfer.h2d_bytes").value(), 0u);
+}
+
+}  // namespace
+}  // namespace gaia::obs

@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_checker.hpp"
+
+namespace gaia::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::global().set_enabled(false);
+    TraceRecorder::global().reset();
+  }
+  void TearDown() override {
+    TraceRecorder::global().set_enabled(false);
+    TraceRecorder::global().reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecorderAddsZeroEvents) {
+  auto& rec = TraceRecorder::global();
+  ASSERT_FALSE(rec.enabled());
+  rec.complete("k", "kernel", 0, 1, 0);
+  rec.instant("i", "mark", 0);
+  rec.counter("c", 0, 1.0);
+  {
+    ScopedTrace span("scoped", "kernel");
+    EXPECT_FALSE(span.armed());
+    span.add_arg({"ignored", 1.0});
+  }
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST_F(TraceTest, ScopedSpanRecordsCompleteEvent) {
+  auto& rec = TraceRecorder::global();
+  rec.set_enabled(true);
+  {
+    ScopedTrace span("aprod1_astro", "kernel", 3);
+    ASSERT_TRUE(span.armed());
+    span.add_arg({"blocks", std::int64_t{64}});
+    span.add_arg({"backend", "gpusim"});
+  }
+  const auto events = rec.events();
+  // set_enabled stamps the main-track name metadata; find the 'X' span.
+  const auto it = std::find_if(events.begin(), events.end(),
+                               [](const auto& e) { return e.phase == 'X'; });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(it->name, "aprod1_astro");
+  EXPECT_EQ(it->cat, "kernel");
+  EXPECT_EQ(it->tid, 3);
+  EXPECT_GE(it->dur_us, 0.0);
+  ASSERT_EQ(it->args.size(), 2u);
+  EXPECT_EQ(it->args[0].key(), "blocks");
+  EXPECT_EQ(it->args[0].json_value(), "64");
+  EXPECT_EQ(it->args[1].json_value(), "\"gpusim\"");
+}
+
+TEST_F(TraceTest, JsonDocumentIsWellFormed) {
+  auto& rec = TraceRecorder::global();
+  rec.set_enabled(true);
+  rec.name_track(1, "stream-1");
+  rec.complete("k\"quoted\\name", "kernel", 1.5, 2.5, 1,
+               {{"note", "line\nbreak\tand \"quotes\""},
+                {"bytes", std::uint64_t{1234567890123ull}},
+                {"ratio", 0.25}});
+  rec.instant("marker", "mark", 0);
+  rec.counter("lsqr.rnorm", 10.0, 42.5);
+  const std::string doc = rec.json();
+  gaia::testing::JsonChecker checker(doc);
+  EXPECT_TRUE(checker.valid()) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST_F(TraceTest, NonFiniteArgValuesStayValidJson) {
+  auto& rec = TraceRecorder::global();
+  rec.set_enabled(true);
+  rec.complete("k", "kernel", 0, 1, 0,
+               {{"nan", std::nan("")}, {"inf", 1e308 * 10}});
+  gaia::testing::JsonChecker checker(rec.json());
+  EXPECT_TRUE(checker.valid()) << rec.json();
+}
+
+TEST_F(TraceTest, SpansNestWithinTheirTrack) {
+  auto& rec = TraceRecorder::global();
+  rec.set_enabled(true);
+  {
+    ScopedTrace outer("iteration", "lsqr");
+    {
+      ScopedTrace inner1("aprod1", "aprod");
+    }
+    {
+      ScopedTrace inner2("aprod2", "aprod");
+    }
+  }
+  const auto events = rec.events();
+  std::vector<TraceEvent> spans;
+  for (const auto& e : events)
+    if (e.phase == 'X') spans.push_back(e);
+  ASSERT_EQ(spans.size(), 3u);
+  // Spans close innermost-first, so the outer one is recorded last.
+  const auto& outer = spans.back();
+  EXPECT_EQ(outer.name, "iteration");
+  for (const auto& s : spans) {
+    if (s.name == "iteration") continue;
+    EXPECT_EQ(s.tid, outer.tid);
+    // Same-track spans must nest: child interval inside the parent's.
+    EXPECT_GE(s.ts_us, outer.ts_us);
+    EXPECT_LE(s.ts_us + s.dur_us, outer.ts_us + outer.dur_us + 1e-6);
+  }
+  // The two siblings must not overlap.
+  const auto& a = spans[0];
+  const auto& b = spans[1];
+  EXPECT_TRUE(a.ts_us + a.dur_us <= b.ts_us + 1e-6 ||
+              b.ts_us + b.dur_us <= a.ts_us + 1e-6);
+}
+
+TEST_F(TraceTest, TrackNamesAreDeduplicated) {
+  auto& rec = TraceRecorder::global();
+  rec.set_enabled(true);
+  rec.name_track(7, "stream-7");
+  rec.name_track(7, "stream-7");
+  rec.name_track(7, "stream-7");
+  int metadata = 0;
+  for (const auto& e : rec.events())
+    if (e.phase == 'M' && e.tid == 7) ++metadata;
+  EXPECT_EQ(metadata, 1);
+}
+
+TEST_F(TraceTest, ResetDropsEventsAndRestartsClock) {
+  auto& rec = TraceRecorder::global();
+  rec.set_enabled(true);
+  rec.complete("k", "kernel", 0, 1, 0);
+  EXPECT_GT(rec.event_count(), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  rec.reset();
+  EXPECT_EQ(rec.event_count(), 0u);
+  EXPECT_TRUE(rec.enabled());  // reset keeps the enabled state
+  EXPECT_LT(rec.now_us(), 4000.0);  // clock restarted at reset
+  // A re-named track is emitted again after reset.
+  rec.name_track(7, "stream-7");
+  int metadata = 0;
+  for (const auto& e : rec.events())
+    if (e.phase == 'M' && e.tid == 7) ++metadata;
+  EXPECT_EQ(metadata, 1);
+}
+
+TEST_F(TraceTest, ConcurrentSpansAreAllRecorded) {
+  auto& rec = TraceRecorder::global();
+  rec.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpans; ++i) {
+        ScopedTrace span("work", "stress", t + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  int spans = 0;
+  for (const auto& e : rec.events())
+    if (e.phase == 'X') ++spans;
+  EXPECT_EQ(spans, kThreads * kSpans);
+  gaia::testing::JsonChecker checker(rec.json());
+  EXPECT_TRUE(checker.valid());
+}
+
+TEST_F(TraceTest, ArmedStateIsLatchedAtConstruction) {
+  auto& rec = TraceRecorder::global();
+  rec.set_enabled(true);
+  const std::size_t before = rec.event_count();
+  {
+    ScopedTrace span("latched", "kernel");
+    ASSERT_TRUE(span.armed());
+    // Disabling mid-span must not lose the already-armed span (the
+    // Session destructor disables while solver spans may be open).
+    rec.set_enabled(false);
+  }
+  rec.set_enabled(true);
+  EXPECT_EQ(rec.event_count(), before);  // complete() is a no-op while off
+  rec.set_enabled(false);
+}
+
+}  // namespace
+}  // namespace gaia::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -84,6 +86,69 @@ TEST_F(ProfilerTest, ConcurrentRecordingIsSound) {
   ASSERT_EQ(stats.size(), 1u);
   EXPECT_EQ(stats[0].calls, 4000u);
   EXPECT_NEAR(stats[0].total_s, 4.0, 1e-9);
+}
+
+TEST_F(ProfilerTest, TracksMinMaxLast) {
+  auto& p = Profiler::global();
+  p.record("k", 0.020);
+  p.record("k", 0.005);
+  p.record("k", 0.012);
+  const auto stats = p.snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats[0].min_s, 0.005);
+  EXPECT_DOUBLE_EQ(stats[0].max_s, 0.020);
+  EXPECT_DOUBLE_EQ(stats[0].last_s, 0.012);
+  EXPECT_NEAR(stats[0].mean_s(), 0.037 / 3.0, 1e-15);
+}
+
+TEST_F(ProfilerTest, MinIsSeededByFirstSample) {
+  // min must come from the first recorded value, not from a zero
+  // default that every positive sample would lose to.
+  auto& p = Profiler::global();
+  p.record("k", 0.5);
+  EXPECT_DOUBLE_EQ(p.snapshot()[0].min_s, 0.5);
+  p.record("k", 0.7);
+  EXPECT_DOUBLE_EQ(p.snapshot()[0].min_s, 0.5);
+}
+
+TEST_F(ProfilerTest, ReportIncludesMinMaxColumns) {
+  auto& p = Profiler::global();
+  p.record("k", 0.001);
+  p.record("k", 0.004);
+  const std::string report = p.report();
+  EXPECT_NE(report.find("min (ms)"), std::string::npos);
+  EXPECT_NE(report.find("max (ms)"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ConcurrentMinMaxStress) {
+  // Many threads hammer overlapping regions with distinct durations;
+  // afterwards every region's stats must be internally consistent:
+  // exact call counts and totals, min/max equal to the known extremes,
+  // last equal to one of the recorded values. Run under TSan in CI.
+  auto& p = Profiler::global();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p, t] {
+      const std::string region = (t % 2 == 0) ? "even" : "odd";
+      for (int i = 0; i < kIters; ++i) {
+        // Durations in {1ms .. 4ms}, extremes known a priori.
+        p.record(region, 0.001 * (1 + (i + t) % 4));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto stats = p.snapshot();
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.calls, static_cast<std::uint64_t>(kThreads / 2) * kIters);
+    EXPECT_DOUBLE_EQ(s.min_s, 0.001);
+    EXPECT_DOUBLE_EQ(s.max_s, 0.004);
+    EXPECT_GE(s.last_s, 0.001);
+    EXPECT_LE(s.last_s, 0.004);
+    EXPECT_NEAR(s.total_s, s.calls * 0.0025, s.calls * 0.0016);
+  }
 }
 
 TEST_F(ProfilerTest, ReportListsRegionsWithShares) {
