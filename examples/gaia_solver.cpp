@@ -9,11 +9,14 @@
 ///   $ ./gaia_solver --size 32MB --backend serial --ranks 4
 ///   $ ./gaia_solver --trace trace.json --metrics metrics.csv
 ///   $ GAIA_TRACE=trace.json GAIA_METRICS=metrics.csv ./gaia_solver
+///   $ ./gaia_solver --checkpoint-dir ckpt --checkpoint-every 20
+///   $ GAIA_FAULTS='kernel:p=0.01' ./gaia_solver --backend gpusim
 #include <iostream>
 
 #include "core/solver.hpp"
 #include "dist/dist_lsqr.hpp"
 #include "obs/session.hpp"
+#include "resilience/fault_injector.hpp"
 #include "util/cli.hpp"
 #include "util/profiler.hpp"
 #include "util/string_utils.hpp"
@@ -43,12 +46,32 @@ int main(int argc, char** argv) {
   cli.add_option("metrics", "",
                  "write transfer/atomic/convergence counters as CSV here "
                  "(also honored via GAIA_METRICS)");
+  cli.add_option("faults", "",
+                 "deterministic fault-injection spec, e.g. "
+                 "'kernel:p=0.01;h2d:p=0.005;rank:iter=200,rank=1;"
+                 "ckpt:truncate' (also honored via GAIA_FAULTS)");
+  cli.add_option("fault-seed", "1746",
+                 "seed of the fault-injection decision stream (also "
+                 "honored via GAIA_FAULT_SEED)");
+  cli.add_option("checkpoint-every", "0",
+                 "seal a checkpoint every N iterations (0 = off)");
+  cli.add_option("checkpoint-dir", "",
+                 "directory for the checkpoint rotation; resumes from "
+                 "the newest valid checkpoint found there");
+  cli.add_option("checkpoint-keep", "3", "checkpoints kept on disk");
+  cli.add_option("max-restarts", "3",
+                 "rank-death recoveries allowed (dist solver)");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
     // Arms tracing/metrics when requested; flushed at scope exit.
     obs::Session obs_session =
         obs::Session::from_env(cli.get("trace"), cli.get("metrics"));
+
+    // Arm deterministic fault injection (flag wins over GAIA_FAULTS).
+    resilience::FaultInjector::global().configure_from_env(
+        cli.get("faults"),
+        static_cast<std::uint64_t>(cli.get_int("fault-seed")));
 
     const auto backend = backends::parse_backend(cli.get("backend"));
     GAIA_CHECK(backend.has_value(), "unknown backend: " + cli.get("backend"));
@@ -62,6 +85,12 @@ int main(int argc, char** argv) {
         cli.get_flag("untuned") ? backends::TuningTable::untuned()
                                 : backends::TuningTable::tuned_default();
     config.lsqr.max_iterations = cli.get_int("iterations");
+    config.checkpoint.directory = cli.get("checkpoint-dir");
+    config.checkpoint.every = cli.get_int("checkpoint-every");
+    config.checkpoint.keep_last =
+        static_cast<int>(cli.get_int("checkpoint-keep"));
+    if (config.checkpoint.every > 0 && config.checkpoint.directory.empty())
+      config.checkpoint.directory = "gaia-checkpoints";
 
     if (cli.get_flag("validate")) {
       auto gen_cfg =
@@ -97,13 +126,20 @@ int main(int argc, char** argv) {
       dist::DistLsqrOptions dopts;
       dopts.n_ranks = ranks;
       dopts.lsqr = config.lsqr;
+      dopts.checkpoint = config.checkpoint;
+      dopts.max_restarts = static_cast<int>(cli.get_int("max-restarts"));
       const dist::DistLsqrResult result = dist::dist_lsqr_solve(gen.A, dopts);
       std::cout << "dist solve: " << result.iterations
-                << " iterations on " << ranks << " ranks\n"
+                << " iterations on " << result.final_ranks << " ranks\n"
                 << "  mean iteration time (max over ranks): "
                 << util::format_seconds(result.mean_iteration_s) << '\n'
                 << "  |r| = " << result.rnorm << '\n';
-      for (int r = 0; r < ranks; ++r)
+      if (result.restarts > 0)
+        std::cout << "  resilience: " << result.restarts
+                  << " restart(s) after rank death, resumed from iteration "
+                  << result.resumed_from_iteration << ", "
+                  << result.checkpoints_written << " checkpoint(s) sealed\n";
+      for (int r = 0; r < result.final_ranks; ++r)
         std::cout << "  rank " << r << ": " << result.partition.rows_of(r)
                   << " rows, " << result.partition.stars_of(r) << " stars\n";
     }

@@ -19,6 +19,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/retry.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/types.hpp"
 
@@ -130,9 +132,61 @@ class DeviceBuffer {
   [[nodiscard]] T* data() { return data_.data(); }
   [[nodiscard]] const T* data() const { return data_.data(); }
 
-  /// cudaMemcpy(HostToDevice) analog.
+  /// cudaMemcpy(HostToDevice) analog. When fault injection is armed,
+  /// each copy is checksummed and retried with backoff: an injected
+  /// failure throws before moving bytes; an injected corruption flips a
+  /// bit which the CRC verification catches, so the retry re-copies.
   void copy_from_host(std::span<const T> host) {
     GAIA_CHECK(host.size() == data_.size(), "H2D size mismatch");
+    auto& injector = resilience::FaultInjector::global();
+    if (!injector.armed()) {
+      transfer_h2d(host);
+      return;
+    }
+    resilience::with_retry("h2d", util::BackoffPolicy{}, [&] {
+      const auto fault = injector.on_transfer(resilience::FaultSite::kH2D);
+      if (fault == resilience::TransferFault::kFail)
+        throw resilience::TransientFault("injected H2D transfer failure");
+      transfer_h2d(host);
+      if (fault == resilience::TransferFault::kCorrupt)
+        flip_bit(data_.data(), bytes());
+      if (util::crc32(host.data(), host.size_bytes()) !=
+          util::crc32(data_.data(), host.size_bytes()))
+        throw resilience::TransientFault(
+            "H2D transfer verification failed (corrupt copy)");
+    });
+  }
+
+  /// cudaMemcpy(DeviceToHost) analog (same fault/verify contract as
+  /// copy_from_host).
+  void copy_to_host(std::span<T> host) const {
+    GAIA_CHECK(host.size() == data_.size(), "D2H size mismatch");
+    auto& injector = resilience::FaultInjector::global();
+    if (!injector.armed()) {
+      transfer_d2h(host);
+      return;
+    }
+    resilience::with_retry("d2h", util::BackoffPolicy{}, [&] {
+      const auto fault = injector.on_transfer(resilience::FaultSite::kD2H);
+      if (fault == resilience::TransferFault::kFail)
+        throw resilience::TransientFault("injected D2H transfer failure");
+      transfer_d2h(host);
+      if (fault == resilience::TransferFault::kCorrupt)
+        flip_bit(host.data(), host.size_bytes());
+      if (util::crc32(data_.data(), host.size_bytes()) !=
+          util::crc32(host.data(), host.size_bytes()))
+        throw resilience::TransientFault(
+            "D2H transfer verification failed (corrupt copy)");
+    });
+  }
+
+  /// cudaMemset analog.
+  void fill(const T& value) {
+    std::fill(data_.begin(), data_.end(), value);
+  }
+
+ private:
+  void transfer_h2d(std::span<const T> host) {
     obs::ScopedTrace span("h2d", "transfer");
     if (span.armed() && ctx_) {
       span.add_arg({"bytes", static_cast<std::uint64_t>(host.size_bytes())});
@@ -147,9 +201,7 @@ class DeviceBuffer {
     }
   }
 
-  /// cudaMemcpy(DeviceToHost) analog.
-  void copy_to_host(std::span<T> host) const {
-    GAIA_CHECK(host.size() == data_.size(), "D2H size mismatch");
+  void transfer_d2h(std::span<T> host) const {
     obs::ScopedTrace span("d2h", "transfer");
     if (span.armed() && ctx_) {
       span.add_arg({"bytes", static_cast<std::uint64_t>(host.size_bytes())});
@@ -162,12 +214,12 @@ class DeviceBuffer {
     }
   }
 
-  /// cudaMemset analog.
-  void fill(const T& value) {
-    std::fill(data_.begin(), data_.end(), value);
+  static void flip_bit(void* data, byte_size bytes) {
+    if (bytes == 0) return;
+    auto* raw = static_cast<unsigned char*>(data);
+    raw[bytes / 2] ^= 0x10;
   }
 
- private:
   DeviceContext* ctx_ = nullptr;
   CoherenceMode coherence_ = CoherenceMode::kCoarseGrain;
   std::vector<T> data_;

@@ -51,6 +51,11 @@ void Stream::synchronize() {
   span.add_arg({"stream", static_cast<std::int64_t>(id_)});
   std::unique_lock<std::mutex> lock(m_);
   cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  if (error_) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 std::uint64_t Stream::completed() const {
@@ -71,7 +76,12 @@ void Stream::run() {
     }
     {
       obs::ScopedTrace span("stream.task", "stream", id_);
-      task();
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(m_);
+        if (!error_) error_ = std::current_exception();
+      }
     }
     {
       auto& reg = obs::MetricsRegistry::global();

@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -73,7 +74,10 @@ class Stream {
   /// Record an event that fires once all previously enqueued tasks ran.
   void record(Event event);
 
-  /// Block until the queue drains and the in-flight task finishes.
+  /// Block until the queue drains and the in-flight task finishes. If a
+  /// task threw, the first exception is rethrown here (and cleared) —
+  /// the cudaStreamSynchronize error-return analog; without this a
+  /// faulted kernel launch inside a stream would terminate the process.
   void synchronize();
 
   /// Number of tasks executed so far (for tests/instrumentation).
@@ -89,6 +93,7 @@ class Stream {
   bool busy_ = false;
   bool stopping_ = false;
   std::uint64_t completed_ = 0;
+  std::exception_ptr error_;  ///< first task failure, surfaced by synchronize()
   std::thread worker_;
 };
 

@@ -1,7 +1,11 @@
 #include "core/aprod.hpp"
 
 #include "core/aprod_kernels.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/failover.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/retry.hpp"
 #include "util/profiler.hpp"
 
 namespace gaia::core {
@@ -63,16 +67,17 @@ const char* kernel_region_name(KernelId id) {
 /// Span annotations of one kernel launch: backend, launch shape
 /// (resolved to the actual grid for the gpusim backend), stream lane,
 /// and bytes moved.
-std::vector<obs::TraceArg> kernel_trace_args(const AprodOptions& options,
+std::vector<obs::TraceArg> kernel_trace_args(BackendKind backend,
+                                             const AprodOptions& options,
                                              const SystemView& view,
                                              KernelId id,
                                              std::int32_t stream) {
   backends::KernelConfig cfg = options.tuning.get(id);
-  if (options.backend == BackendKind::kGpuSim)
+  if (backend == BackendKind::kGpuSim)
     cfg = backends::GpuSimExec::resolve(cfg);
   std::vector<obs::TraceArg> args;
   args.reserve(6);
-  args.emplace_back("backend", backends::to_string(options.backend));
+  args.emplace_back("backend", backends::to_string(backend));
   args.emplace_back("blocks", static_cast<std::int64_t>(cfg.blocks));
   args.emplace_back("threads", static_cast<std::int64_t>(cfg.threads));
   args.emplace_back("stream", static_cast<std::int64_t>(stream));
@@ -82,11 +87,27 @@ std::vector<obs::TraceArg> kernel_trace_args(const AprodOptions& options,
   return args;
 }
 
+void note_failover(const char* kernel, BackendKind from, BackendKind to) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    static obs::Counter& failovers = reg.counter("resilience.failovers");
+    failovers.add(1);
+  }
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) {
+    rec.instant("failover", "resilience", obs::TraceRecorder::kMainTrack,
+                {{"kernel", std::string(kernel)},
+                 {"from", backends::to_string(from)},
+                 {"to", backends::to_string(to)}});
+  }
+}
+
 }  // namespace
 
 Aprod::Aprod(const matrix::SystemMatrix& A, backends::DeviceContext& device,
              AprodOptions options)
     : options_(options),
+      active_backend_(options.backend),
       d_values_(device, A.values(), options.coherence),
       d_idx_astro_(device, A.matrix_index_astro(), options.coherence),
       d_idx_att_(device, A.matrix_index_att(), options.coherence),
@@ -107,6 +128,67 @@ Aprod::Aprod(const matrix::SystemMatrix& A, backends::DeviceContext& device,
 
 Aprod::~Aprod() = default;
 
+void Aprod::resilient_launch(KernelId id, std::int32_t track,
+                             const std::function<void(BackendKind)>& run) {
+  auto& injector = resilience::FaultInjector::global();
+  const char* name = kernel_region_name(id);
+  for (;;) {
+    const BackendKind backend = active_backend();
+    try {
+      resilience::with_retry(name, options_.retry, [&] {
+        obs::ScopedTrace span(name, "kernel", track);
+        if (span.armed())
+          for (auto& a :
+               kernel_trace_args(backend, options_, view_, id, track))
+            span.add_arg(std::move(a));
+        util::ScopedRegion region(name);
+        if (injector.armed() &&
+            injector.should_fail_kernel(name, backends::to_string(backend)))
+          throw resilience::TransientFault(
+              std::string("injected launch failure: ") + name);
+        run(backend);
+      });
+      return;
+    } catch (const resilience::PersistentFault&) {
+      const auto next = resilience::next_backend(backend);
+      if (!options_.failover || !next) throw;
+      // Several streams can fault concurrently; only the first thread
+      // advances the chain, the rest retry on the already-updated
+      // backend.
+      BackendKind expected = backend;
+      if (active_backend_.compare_exchange_strong(expected, *next)) {
+        failover_count_.fetch_add(1, std::memory_order_relaxed);
+        note_failover(name, backend, *next);
+      }
+    }
+  }
+}
+
+void Aprod::launch_aprod1(KernelId id, const real* x, real* y) {
+  resilient_launch(id, obs::TraceRecorder::kMainTrack, [&](BackendKind bk) {
+    const backends::KernelConfig cfg = options_.tuning.get(id);
+    backends::dispatch(bk, [&](auto exec) {
+      using Exec = decltype(exec);
+      switch (id) {
+        case KernelId::kAprod1Astro:
+          aprod1_astro<Exec>(view_, x, y, cfg);
+          break;
+        case KernelId::kAprod1Att:
+          aprod1_att<Exec>(view_, x, y, cfg);
+          break;
+        case KernelId::kAprod1Instr:
+          aprod1_instr<Exec>(view_, x, y, cfg);
+          break;
+        case KernelId::kAprod1Glob:
+          aprod1_glob<Exec>(view_, x, y, cfg);
+          break;
+        default:
+          throw Error("launch_aprod1 called with an aprod2 kernel id");
+      }
+    });
+  });
+}
+
 void Aprod::apply1(std::span<const real> x, std::span<real> y) {
   GAIA_CHECK(static_cast<col_index>(x.size()) == view_.n_cols,
              "aprod1 x size mismatch");
@@ -116,31 +198,13 @@ void Aprod::apply1(std::span<const real> x, std::span<real> y) {
   real* yp = y.data();
   obs::ScopedTrace pass("aprod1", "aprod");
   // The four gathers all accumulate into y[r]: they must run in order
-  // (one stream). Launched back to back on the calling thread.
-  backends::dispatch(options_.backend, [&](auto exec) {
-    using Exec = decltype(exec);
-    auto launch1 = [&](KernelId id, auto&& kernel) {
-      obs::ScopedTrace span(kernel_region_name(id), "kernel",
-                            obs::TraceRecorder::kMainTrack);
-      if (span.armed())
-        for (auto& a : kernel_trace_args(options_, view_, id, 0))
-          span.add_arg(std::move(a));
-      util::ScopedRegion region(kernel_region_name(id));
-      kernel(options_.tuning.get(id));
-    };
-    launch1(KernelId::kAprod1Astro, [&](backends::KernelConfig cfg) {
-      aprod1_astro<Exec>(view_, xp, yp, cfg);
-    });
-    launch1(KernelId::kAprod1Att, [&](backends::KernelConfig cfg) {
-      aprod1_att<Exec>(view_, xp, yp, cfg);
-    });
-    launch1(KernelId::kAprod1Instr, [&](backends::KernelConfig cfg) {
-      aprod1_instr<Exec>(view_, xp, yp, cfg);
-    });
-    launch1(KernelId::kAprod1Glob, [&](backends::KernelConfig cfg) {
-      aprod1_glob<Exec>(view_, xp, yp, cfg);
-    });
-  });
+  // (one stream). Launched back to back on the calling thread, each one
+  // independently retryable/failover-able (injected faults throw before
+  // the kernel body runs, so a retried launch never double-applies).
+  launch_aprod1(KernelId::kAprod1Astro, xp, yp);
+  launch_aprod1(KernelId::kAprod1Att, xp, yp);
+  launch_aprod1(KernelId::kAprod1Instr, xp, yp);
+  launch_aprod1(KernelId::kAprod1Glob, xp, yp);
   launches_ += view_.has_global ? 4 : 3;
 }
 
@@ -152,29 +216,26 @@ void Aprod::launch_aprod2(KernelId id, const real* y, real* x,
       static_cast<int>(id) - static_cast<int>(KernelId::kAprod2Astro);
   GAIA_CHECK(region_idx >= 0 && region_idx < 4,
              "launch_aprod2 called with an aprod1 kernel id");
-  obs::ScopedTrace span(kernel_region_name(id), "kernel", track);
-  if (span.armed())
-    for (auto& a : kernel_trace_args(options_, view_, id, track))
-      span.add_arg(std::move(a));
-  util::ScopedRegion region(kernel_region_name(id));
-  backends::dispatch(options_.backend, [&](auto exec) {
-    using Exec = decltype(exec);
-    switch (id) {
-      case KernelId::kAprod2Astro:
-        aprod2_astro<Exec>(view_, y, x, cfg);
-        break;
-      case KernelId::kAprod2Att:
-        aprod2_att<Exec>(view_, y, x, cfg, mode);
-        break;
-      case KernelId::kAprod2Instr:
-        aprod2_instr<Exec>(view_, y, x, cfg, mode);
-        break;
-      case KernelId::kAprod2Glob:
-        aprod2_glob<Exec>(view_, y, x, cfg, mode);
-        break;
-      default:
-        throw Error("launch_aprod2 called with an aprod1 kernel id");
-    }
+  resilient_launch(id, track, [&](BackendKind bk) {
+    backends::dispatch(bk, [&](auto exec) {
+      using Exec = decltype(exec);
+      switch (id) {
+        case KernelId::kAprod2Astro:
+          aprod2_astro<Exec>(view_, y, x, cfg);
+          break;
+        case KernelId::kAprod2Att:
+          aprod2_att<Exec>(view_, y, x, cfg, mode);
+          break;
+        case KernelId::kAprod2Instr:
+          aprod2_instr<Exec>(view_, y, x, cfg, mode);
+          break;
+        case KernelId::kAprod2Glob:
+          aprod2_glob<Exec>(view_, y, x, cfg, mode);
+          break;
+        default:
+          throw Error("launch_aprod2 called with an aprod1 kernel id");
+      }
+    });
   });
 }
 
@@ -188,30 +249,31 @@ void Aprod::apply2(std::span<const real> y, std::span<real> x) {
   obs::ScopedTrace pass("aprod2", "aprod");
 
   if (options_.fuse_aprod2) {
-    backends::dispatch(options_.backend, [&](auto exec) {
-      using Exec = decltype(exec);
-      {
-        obs::ScopedTrace span("aprod2_astro", "kernel");
-        if (span.armed())
-          for (auto& a :
-               kernel_trace_args(options_, view_, KernelId::kAprod2Astro, 0))
-            span.add_arg(std::move(a));
-        util::ScopedRegion region("aprod2_astro");
-        aprod2_astro<Exec>(view_, yp, xp,
-                           options_.tuning.get(KernelId::kAprod2Astro));
-      }
-      {
-        obs::ScopedTrace span("aprod2_fused", "kernel");
-        if (span.armed())
-          for (auto& a :
-               kernel_trace_args(options_, view_, KernelId::kAprod2Att, 0))
-            span.add_arg(std::move(a));
-        util::ScopedRegion region("aprod2_fused");
+    resilient_launch(KernelId::kAprod2Astro, obs::TraceRecorder::kMainTrack,
+                     [&](BackendKind bk) {
+                       backends::dispatch(bk, [&](auto exec) {
+                         using Exec = decltype(exec);
+                         aprod2_astro<Exec>(
+                             view_, yp, xp,
+                             options_.tuning.get(KernelId::kAprod2Astro));
+                       });
+                     });
+    {
+      // The fused scatter is traced under its own name but shares the
+      // attitude kernel's tuning/fault identity.
+      obs::ScopedTrace span("aprod2_fused", "kernel");
+      if (span.armed())
+        for (auto& a : kernel_trace_args(active_backend(), options_, view_,
+                                         KernelId::kAprod2Att, 0))
+          span.add_arg(std::move(a));
+      util::ScopedRegion region("aprod2_fused");
+      backends::dispatch(active_backend(), [&](auto exec) {
+        using Exec = decltype(exec);
         aprod2_shared_fused<Exec>(view_, yp, xp,
                                   options_.tuning.get(KernelId::kAprod2Att),
                                   options_.atomic_mode);
-      }
-    });
+      });
+    }
     launches_ += 2;
     return;
   }
@@ -224,7 +286,9 @@ void Aprod::apply2(std::span<const real> y, std::span<real> x) {
   if (options_.use_streams) {
     // The scatters target disjoint sections of x, so overlapping them
     // does not increase atomic contention (paper SIV); each kernel goes
-    // to its own stream, then all streams are joined.
+    // to its own stream, then all streams are joined. A launch fault
+    // inside a stream retries/fails-over on the stream's thread; an
+    // exhausted chain surfaces at synchronize().
     for (std::size_t k = 0; k < active; ++k) {
       streams_[k]->enqueue([this, id = kernels[k], yp, xp,
                             track = streams_[k]->id()] {

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 
@@ -20,6 +22,7 @@
 #include "backends/stream.hpp"
 #include "core/system_view.hpp"
 #include "matrix/system_matrix.hpp"
+#include "util/backoff.hpp"
 
 namespace gaia::core {
 
@@ -38,6 +41,13 @@ struct AprodOptions {
   /// aprod2.
   bool fuse_aprod2 = false;
   backends::CoherenceMode coherence = backends::CoherenceMode::kCoarseGrain;
+  /// Retry budget for transient kernel-launch faults (injected via
+  /// GAIA_FAULTS or real): bounded exponential backoff per launch.
+  util::BackoffPolicy retry{};
+  /// When a launch fault survives the retry budget, step down the
+  /// degradation chain (gpusim -> openmp -> serial) for the remainder
+  /// of the run instead of aborting.
+  bool failover = true;
 };
 
 class Aprod {
@@ -56,6 +66,16 @@ class Aprod {
   [[nodiscard]] row_index n_rows() const { return view_.n_rows; }
   [[nodiscard]] col_index n_cols() const { return view_.n_cols; }
 
+  /// Backend currently executing kernels. Equals options().backend until
+  /// a persistent launch fault triggers failover down the chain.
+  [[nodiscard]] backends::BackendKind active_backend() const {
+    return active_backend_.load(std::memory_order_relaxed);
+  }
+  /// Failover steps taken so far (0 on a healthy run).
+  [[nodiscard]] std::uint64_t failovers() const {
+    return failover_count_.load(std::memory_order_relaxed);
+  }
+
   /// aprod mode 1: y += A x. x has n_cols elements, y has n_rows.
   void apply1(std::span<const real> x, std::span<real> y);
 
@@ -69,10 +89,21 @@ class Aprod {
  private:
   /// `track` is the trace-timeline lane: 0 for the calling thread,
   /// Stream::id() when the kernel was enqueued on a stream.
+  void launch_aprod1(backends::KernelId id, const real* x, real* y);
   void launch_aprod2(backends::KernelId id, const real* y, real* x,
                      std::int32_t track);
 
+  /// Runs `run(backend)` under the retry budget with fault injection;
+  /// on a persistent fault, fails over to the next backend in the chain
+  /// (atomically, first thread wins) and tries again. Throws
+  /// resilience::PersistentFault once the chain is exhausted.
+  void resilient_launch(
+      backends::KernelId id, std::int32_t track,
+      const std::function<void(backends::BackendKind)>& run);
+
   AprodOptions options_;
+  std::atomic<backends::BackendKind> active_backend_;
+  std::atomic<std::uint64_t> failover_count_{0};
   backends::DeviceBuffer<real> d_values_;
   backends::DeviceBuffer<col_index> d_idx_astro_;
   backends::DeviceBuffer<col_index> d_idx_att_;

@@ -91,6 +91,16 @@ struct LsqrResult {
   /// (checked by tests via these counters).
   byte_size device_allocated_bytes = 0;
   byte_size h2d_bytes = 0;
+
+  /// Resilience: backend the run finished on (differs from
+  /// options.aprod.backend after failover) and how many degradation
+  /// steps were taken. All backends compute identical results, so a
+  /// failed-over run is still numerically valid.
+  backends::BackendKind final_backend = backends::BackendKind::kSerial;
+  std::uint64_t failovers = 0;
+  /// Iteration a resumed run restarted from (-1 = fresh start); filled
+  /// by the checkpoint-orchestrating callers (run_solver, dist).
+  std::int64_t resumed_from_iteration = -1;
 };
 
 /// Solves A x ~= b where b = A.known_terms(). Throws gaia::Error if the

@@ -6,11 +6,13 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "core/preconditioner.hpp"
 #include "core/vector_ops.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/checkpoint.hpp"
 #include "util/profiler.hpp"
 #include "util/stopwatch.hpp"
 
@@ -104,7 +106,7 @@ struct LsqrEngine::Impl {
     if (options.compute_std_errors) d_var.fill(real{0});
 
     // Golub-Kahan start.
-    const auto backend = options.aprod.backend;
+    const auto backend = aprod->active_backend();
     beta = vnorm(d_u.span());
     if (beta > 0) {
       vscale(backend, d_u.span(), real{1} / beta);
@@ -135,7 +137,9 @@ struct LsqrEngine::Impl {
     };
     mix(static_cast<std::uint64_t>(A->n_rows()));
     mix(static_cast<std::uint64_t>(A->n_cols()));
-    mix(static_cast<std::uint64_t>(options.max_iterations));
+    // max_iterations is deliberately NOT part of the fingerprint: the
+  // iteration budget does not change the trajectory, so a resumed run
+  // may extend it (rerun with a larger --iterations).
     mix(static_cast<std::uint64_t>(options.precondition));
     mix(static_cast<std::uint64_t>(options.compute_std_errors));
     mix(std::bit_cast<std::uint64_t>(options.damp));
@@ -175,7 +179,9 @@ struct LsqrEngine::Impl {
 
   bool step() {
     if (finished) return false;
-    const auto backend = options.aprod.backend;
+    // Vector ops follow the aprod driver's backend so a failed-over run
+    // stays coherent (aprod kernels and BLAS1 on the same executor).
+    const auto backend = aprod->active_backend();
     const real damp = options.damp;
     util::Stopwatch watch;
     ++itn;
@@ -325,6 +331,8 @@ struct LsqrEngine::Impl {
     }
     result.device_allocated_bytes = device.allocated();
     result.h2d_bytes = device.h2d_bytes();
+    result.final_backend = aprod->active_backend();
+    result.failovers = aprod->failovers();
     return result;
   }
 };
@@ -394,9 +402,12 @@ void LsqrEngine::checkpoint(std::ostream& os) const {
 }
 
 void LsqrEngine::checkpoint(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  GAIA_CHECK(f.good(), "cannot open checkpoint for writing: " + path);
-  checkpoint(f);
+  // File checkpoints get the durable framing on top of the raw stream
+  // format: write-temp-then-rename plus a CRC32 footer, so a crash
+  // mid-write can never leave a half-checkpoint under the final name.
+  std::ostringstream payload(std::ios::binary);
+  checkpoint(payload);
+  resilience::write_framed_file(path, payload.view());
 }
 
 void LsqrEngine::restore(std::istream& is) {
@@ -436,9 +447,11 @@ void LsqrEngine::restore(std::istream& is) {
 }
 
 void LsqrEngine::restore(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  GAIA_CHECK(f.good(), "cannot open checkpoint for reading: " + path);
-  restore(f);
+  // Validates the CRC32 footer before parsing: truncated or bit-flipped
+  // files are rejected with an error naming the path and the reason.
+  std::istringstream payload(resilience::read_framed_file(path),
+                             std::ios::binary);
+  restore(payload);
 }
 
 }  // namespace gaia::core

@@ -1,7 +1,9 @@
 #include "core/solver.hpp"
 
+#include <iostream>
 #include <sstream>
 
+#include "core/lsqr_engine.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_utils.hpp"
 
@@ -24,7 +26,43 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
   report.system_bytes = generated.A.footprint_bytes();
 
   watch.reset();
-  report.result = lsqr_solve(generated.A, config.lsqr);
+  resilience::CheckpointManager manager(config.checkpoint);
+  if (!manager.enabled()) {
+    report.result = lsqr_solve(generated.A, config.lsqr);
+    report.solve_seconds = watch.elapsed_s();
+    return report;
+  }
+
+  core::LsqrEngine engine(generated.A, config.lsqr);
+  // Auto-resume: walk the rotation newest-first and take the first
+  // checkpoint that passes both the CRC framing and the engine's
+  // problem-fingerprint check; anything corrupt or stale is skipped
+  // with a warning instead of failing the run.
+  for (const auto& info : manager.list()) {
+    try {
+      std::istringstream payload(resilience::read_framed_file(info.path),
+                                 std::ios::binary);
+      engine.restore(payload);
+      report.resumed_from_iteration = info.iteration;
+      resilience::note_resilience_event("checkpoint.resumed", info.path);
+      break;
+    } catch (const Error& e) {
+      std::cerr << "warning: skipping checkpoint " << info.path << ": "
+                << e.what() << '\n';
+      resilience::note_resilience_event("checkpoint.skipped", info.path);
+    }
+  }
+
+  while (engine.step()) {
+    if (manager.due(engine.iteration())) {
+      std::ostringstream payload(std::ios::binary);
+      engine.checkpoint(payload);
+      manager.write(engine.iteration(), payload.view());
+    }
+  }
+  report.result = engine.result();
+  report.result.resumed_from_iteration = report.resumed_from_iteration;
+  report.checkpoints_written = manager.written();
   report.solve_seconds = watch.elapsed_s();
   return report;
 }
@@ -43,6 +81,19 @@ std::string SolverRunReport::summary() const {
   os << "        estimates: |A|=" << result.anorm
      << " cond(A)=" << result.acond << " |r|=" << result.rnorm
      << " |A'r|=" << result.arnorm << " |x|=" << result.xnorm << '\n';
+  if (resumed_from_iteration >= 0 || checkpoints_written > 0 ||
+      result.failovers > 0) {
+    os << "resilience:";
+    if (resumed_from_iteration >= 0)
+      os << " resumed from iteration " << resumed_from_iteration << ",";
+    if (checkpoints_written > 0)
+      os << " wrote " << checkpoints_written << " checkpoint(s),";
+    os << " finished on backend "
+       << backends::to_string(result.final_backend);
+    if (result.failovers > 0)
+      os << " after " << result.failovers << " failover(s)";
+    os << '\n';
+  }
   return os.str();
 }
 

@@ -14,6 +14,7 @@
 
 #include "core/lsqr.hpp"
 #include "matrix/generator.hpp"
+#include "resilience/checkpoint.hpp"
 
 namespace gaia::core {
 
@@ -25,6 +26,12 @@ struct SolverRunConfig {
   std::uint64_t seed = 0x6761696173696dull;
 
   LsqrOptions lsqr{};
+
+  /// Checkpoint orchestration (off unless `every > 0` and a directory is
+  /// set): the solve periodically seals its state to disk and, when the
+  /// directory already holds checkpoints of the same run, auto-resumes
+  /// from the newest one that verifies.
+  resilience::CheckpointConfig checkpoint{};
 };
 
 struct SolverRunReport {
@@ -35,6 +42,10 @@ struct SolverRunReport {
   byte_size system_bytes = 0;
   double generation_seconds = 0;
   double solve_seconds = 0;
+  /// Iteration the solve resumed from (-1 = fresh start) and checkpoints
+  /// sealed during this run.
+  std::int64_t resumed_from_iteration = -1;
+  std::uint64_t checkpoints_written = 0;
 
   /// One-paragraph human summary (examples print it verbatim).
   [[nodiscard]] std::string summary() const;

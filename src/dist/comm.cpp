@@ -21,7 +21,24 @@ World::World(int size) : size_(size) {
   barrier_ = std::make_unique<std::barrier<>>(size_);
 }
 
-void World::arrive_barrier() { barrier_->arrive_and_wait(); }
+void World::arrive_barrier() {
+  // Checked on both sides of the wait: before, so a poisoned survivor
+  // exits without arriving (its catch-side arrive_and_drop keeps the
+  // phase count consistent); after, because the dead rank's
+  // arrive_and_drop is what completed the phase we were blocked in, and
+  // its poison store happens-before that completion.
+  if (poisoned_.load(std::memory_order_acquire)) throw WorldPoisoned();
+  barrier_->arrive_and_wait();
+  if (poisoned_.load(std::memory_order_acquire)) throw WorldPoisoned();
+}
+
+void World::poison(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = std::move(error);
+  }
+  poisoned_.store(true, std::memory_order_release);
+}
 
 void World::collective_reduce(int rank, std::span<real> data, ReduceOp op) {
   const std::size_t n = data.size();
@@ -99,30 +116,36 @@ void Comm::bcast(std::span<real> data, int root) {
 }
 
 void World::run(const std::function<void(Comm&)>& body) {
-  // Fresh barrier per collective epoch: a previous run may have dropped
-  // participants on error.
+  // Fresh barrier and poison state per collective epoch: a previous run
+  // may have dropped participants on error.
   barrier_ = std::make_unique<std::barrier<>>(size_);
   bcast_source_ = {};
+  poisoned_.store(false, std::memory_order_release);
+  first_error_ = nullptr;
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([this, r, &body, &errors] {
+    threads.emplace_back([this, r, &body] {
       Comm comm(this, r, size_);
       try {
         body(comm);
+      } catch (const WorldPoisoned&) {
+        // Collateral unwind of a survivor — the real error is already
+        // recorded. Leave the barrier so remaining waiters progress.
+        barrier_->arrive_and_drop();
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        poison(std::current_exception());
         // Leave the barrier so surviving ranks cannot deadlock waiting
-        // for this one (their collective results are discarded anyway —
-        // run() rethrows below).
+        // for this one; their next barrier crossing sees the poison and
+        // unwinds too.
         barrier_->arrive_and_drop();
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  if (std::exception_ptr error = std::exchange(first_error_, nullptr)) {
+    poisoned_.store(false, std::memory_order_release);
+    std::rethrow_exception(error);
   }
 }
 

@@ -10,8 +10,10 @@
 /// barrier primitives over shared memory.
 #pragma once
 
+#include <atomic>
 #include <barrier>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <span>
@@ -22,6 +24,16 @@
 #include "util/types.hpp"
 
 namespace gaia::dist {
+
+/// Thrown by collectives on surviving ranks once the world is poisoned
+/// (another rank failed mid-collective-epoch). Survivors unwind cleanly
+/// instead of deadlocking on a barrier the dead rank will never reach;
+/// `World::run` suppresses this marker and rethrows the original error.
+class WorldPoisoned : public Error {
+ public:
+  WorldPoisoned()
+      : Error("world poisoned: a peer rank failed; collective aborted") {}
+};
 
 enum class ReduceOp : std::uint8_t { kSum, kMax, kMin };
 
@@ -57,7 +69,12 @@ class Comm {
 };
 
 /// Launches `size` ranks, each running `body(comm)` on its own thread,
-/// and joins them. Exceptions from any rank are rethrown (first wins).
+/// and joins them. When a rank throws, the world is *poisoned*: every
+/// surviving rank's next collective throws WorldPoisoned (so nobody
+/// blocks on a barrier the dead rank will never reach), and run()
+/// rethrows the first real error. The world stays usable for another
+/// run() afterwards — the restart path of the distributed solver relies
+/// on both properties.
 class World {
  public:
   explicit World(int size);
@@ -74,12 +91,18 @@ class World {
   void collective_reduce(int rank, std::span<real> data, ReduceOp op);
   void collective_bcast(int rank, std::span<real> data, int root);
   void arrive_barrier();
+  /// Records `error` (first wins) and flips the poison flag that every
+  /// barrier crossing checks.
+  void poison(std::exception_ptr error);
 
   int size_;
   std::unique_ptr<std::barrier<>> barrier_;
   std::mutex reduce_mutex_;
   std::vector<real> reduce_buffer_;
   std::span<real> bcast_source_;
+  std::atomic<bool> poisoned_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace gaia::dist

@@ -1,10 +1,17 @@
 #include "dist/dist_lsqr.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
+#include <bit>
+#include <iostream>
+#include <optional>
+#include <sstream>
 
 #include "core/preconditioner.hpp"
 #include "core/vector_ops.hpp"
+#include "resilience/fault_injector.hpp"
 #include "util/stopwatch.hpp"
 
 namespace gaia::dist {
@@ -18,9 +25,109 @@ using core::vnorm;
 using core::vscale;
 using core::vxpby;
 
+namespace {
+
+constexpr char kDistMagic[8] = {'G', 'A', 'I', 'A', 'D', 'S', 'T', '1'};
+
+/// Rank-count-independent state of the distributed recurrence at an
+/// iteration boundary. u is stored globally assembled so a restart can
+/// re-slice it over a *different* (shrunk) rank set; v/w/x/var are
+/// replicated on every rank already.
+struct DistState {
+  std::int64_t itn = 0;
+  std::array<real, 16> scalars{};  // alpha..sn2, engine ordering
+  std::vector<real> u_global, v, w, x, var;
+};
+
+/// Binds a checkpoint to (problem, solver options) but *not* to the rank
+/// count — resuming on fewer ranks after a death is the point.
+std::uint64_t dist_fingerprint(const matrix::SystemMatrix& A,
+                               const core::LsqrOptions& lsqr) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<std::uint64_t>(A.n_rows()));
+  mix(static_cast<std::uint64_t>(A.n_cols()));
+  // max_iterations is deliberately NOT part of the fingerprint: the
+  // iteration budget does not change the trajectory, so a resumed run
+  // may extend it (rerun with a larger --iterations).
+  mix(static_cast<std::uint64_t>(lsqr.precondition));
+  mix(static_cast<std::uint64_t>(lsqr.compute_std_errors));
+  mix(std::bit_cast<std::uint64_t>(lsqr.damp));
+  mix(std::bit_cast<std::uint64_t>(static_cast<double>(A.values()[0])));
+  mix(std::bit_cast<std::uint64_t>(
+      static_cast<double>(A.values()[A.values().size() - 1])));
+  return h;
+}
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  GAIA_CHECK(is.good(), "truncated distributed checkpoint");
+  return v;
+}
+void write_vec(std::ostream& os, const std::vector<real>& v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(real)));
+}
+std::vector<real> read_vec(std::istream& is) {
+  const auto size = read_pod<std::uint64_t>(is);
+  std::vector<real> v(size);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(real)));
+  GAIA_CHECK(is.good(), "truncated distributed checkpoint");
+  return v;
+}
+
+std::string serialize_dist_state(const DistState& state,
+                                 std::uint64_t fingerprint) {
+  std::ostringstream os(std::ios::binary);
+  os.write(kDistMagic, sizeof(kDistMagic));
+  write_pod(os, fingerprint);
+  write_pod(os, state.itn);
+  for (real s : state.scalars) write_pod(os, s);
+  write_vec(os, state.u_global);
+  write_vec(os, state.v);
+  write_vec(os, state.w);
+  write_vec(os, state.x);
+  write_vec(os, state.var);
+  return std::move(os).str();
+}
+
+DistState parse_dist_state(const std::string& payload,
+                           std::uint64_t fingerprint) {
+  std::istringstream is(payload, std::ios::binary);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  GAIA_CHECK(is.good() && std::memcmp(magic, kDistMagic, sizeof(magic)) == 0,
+             "not a gaia distributed-LSQR checkpoint");
+  GAIA_CHECK(read_pod<std::uint64_t>(is) == fingerprint,
+             "checkpoint does not match this system/options");
+  DistState state;
+  state.itn = read_pod<std::int64_t>(is);
+  for (real& s : state.scalars) s = read_pod<real>(is);
+  state.u_global = read_vec(is);
+  state.v = read_vec(is);
+  state.w = read_vec(is);
+  state.x = read_vec(is);
+  state.var = read_vec(is);
+  return state;
+}
+
+}  // namespace
+
 DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
                                const DistLsqrOptions& options) {
   GAIA_CHECK(options.lsqr.max_iterations > 0, "need positive iterations");
+  GAIA_CHECK(options.max_restarts >= 0, "max_restarts must be >= 0");
   const auto backend = options.lsqr.aprod.backend;
   const auto n = static_cast<std::size_t>(A_in.n_cols());
 
@@ -36,173 +143,303 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
     A = &scaled;
   }
 
+  const auto m_global = static_cast<std::size_t>(A->n_rows());
+  const auto n_obs = static_cast<std::size_t>(A->n_obs());
+  resilience::CheckpointManager manager(options.checkpoint);
+  const std::uint64_t fingerprint = dist_fingerprint(*A, options.lsqr);
+
   DistLsqrResult result;
-  result.partition = partition_by_stars(*A, options.n_ranks);
-
-  // Rank-local slices built up front (production reads its slice from
-  // the distributed filesystem the same way).
-  std::vector<matrix::SystemMatrix> slices;
-  slices.reserve(static_cast<std::size_t>(options.n_ranks));
-  for (int r = 0; r < options.n_ranks; ++r)
-    slices.push_back(extract_rank_slice(*A, result.partition, r));
-
-  World world(options.n_ranks);
+  int n_ranks = options.n_ranks;
   std::vector<double> iteration_max(
       static_cast<std::size_t>(options.lsqr.max_iterations), 0.0);
 
-  world.run([&](Comm& comm) {
-    const matrix::SystemMatrix& local = slices[static_cast<std::size_t>(
-        comm.rank())];
-    const auto m_local = static_cast<std::size_t>(local.n_rows());
-
-    backends::DeviceContext device(options.lsqr.device_capacity,
-                                   "rank" + std::to_string(comm.rank()));
-    Aprod aprod(local, device, options.lsqr.aprod);
-
-    std::vector<real> u(local.known_terms().begin(),
-                        local.known_terms().end());
-    std::vector<real> v(n, real{0}), w(n, real{0}), x(n, real{0});
-    std::vector<real> scatter(n, real{0});
-    std::vector<real> var(options.lsqr.compute_std_errors ? n : 0, real{0});
-
-    auto global_norm_rows = [&](std::span<const real> local_vec) {
-      const real local_n = vnorm(local_vec);
-      return std::sqrt(comm.allreduce(local_n * local_n, ReduceOp::kSum));
-    };
-    auto apply2_global = [&](std::span<const real> y_local,
-                             std::span<real> target, real scale_target) {
-      std::fill(scatter.begin(), scatter.end(), real{0});
-      aprod.apply2(y_local, scatter);
-      comm.allreduce(scatter, ReduceOp::kSum);
-      if (scale_target != real{1}) vscale(backend, target, scale_target);
-      vaxpy(backend, target, real{1}, scatter);
-    };
-
-    // --- bidiagonalization start ----------------------------------------
-    real beta = global_norm_rows(u);
-    real alpha = 0;
-    if (beta > 0) {
-      vscale(backend, u, real{1} / beta);
-      apply2_global(u, v, real{1});  // v = A^T u (v starts zero)
-      alpha = vnorm(v);              // v replicated: local == global
-    }
-    if (alpha > 0) {
-      vscale(backend, v, real{1} / alpha);
-      std::copy(v.begin(), v.end(), w.begin());
-    }
-
-    const real bnorm = beta;
-    const real damp = options.lsqr.damp;
-    real rhobar = alpha, phibar = beta;
-    real rnorm = beta, arnorm = alpha * beta;
-    real anorm = 0, acond = 0, ddnorm = 0, res2 = 0, xnorm = 0, xxnorm = 0;
-    real z = 0, cs2 = -1, sn2 = 0;
-    LsqrStop istop = LsqrStop::kIterationLimit;
-    std::int64_t itn = 0;
-
-    if (arnorm > 0) {
-      util::Stopwatch watch;
-      while (itn < options.lsqr.max_iterations) {
-        ++itn;
-        watch.reset();
-
-        vscale(backend, u, -alpha);
-        aprod.apply1(v, u);
-        beta = global_norm_rows(u);
-        if (beta > 0) {
-          vscale(backend, u, real{1} / beta);
-          anorm = std::sqrt(anorm * anorm + alpha * alpha + beta * beta +
-                            damp * damp);
-          apply2_global(u, v, -beta);  // v = A^T u - beta v
-          alpha = vnorm(v);
-          if (alpha > 0) vscale(backend, v, real{1} / alpha);
-        }
-
-        const real rhobar1 = std::sqrt(rhobar * rhobar + damp * damp);
-        const real cs1 = rhobar / rhobar1;
-        const real psi = (damp / rhobar1) * phibar;
-        phibar = cs1 * phibar;
-
-        const real rho = std::sqrt(rhobar1 * rhobar1 + beta * beta);
-        const real cs = rhobar1 / rho;
-        const real sn = beta / rho;
-        const real theta = sn * alpha;
-        rhobar = -cs * alpha;
-        const real phi = cs * phibar;
-        phibar = sn * phibar;
-        const real tau = sn * phi;
-
-        if (options.lsqr.compute_std_errors)
-          vaccumulate_sq(backend, var, real{1} / rho, w);
-        ddnorm += (real{1} / rho) * (real{1} / rho) * vdot(w, w);
-        vaxpy(backend, x, phi / rho, w);
-        vxpby(backend, w, v, -theta / rho);
-
-        const real delta = sn2 * rho;
-        const real gambar = -cs2 * rho;
-        const real rhs = phi - delta * z;
-        xnorm = std::sqrt(xxnorm + (rhs / gambar) * (rhs / gambar));
-        const real gamma = std::sqrt(gambar * gambar + theta * theta);
-        cs2 = gambar / gamma;
-        sn2 = theta / gamma;
-        z = rhs / gamma;
-        xxnorm += z * z;
-
-        acond = anorm * std::sqrt(ddnorm);
-        res2 += psi * psi;
-        rnorm = std::sqrt(phibar * phibar + res2);
-        arnorm = alpha * std::abs(tau);
-
-        // Iteration wall time, maximized over ranks (paper Appendix B).
-        const double t_local = watch.elapsed_s();
-        const double t_max =
-            comm.allreduce(static_cast<real>(t_local), ReduceOp::kMax);
-        if (comm.rank() == 0)
-          iteration_max[static_cast<std::size_t>(itn - 1)] = t_max;
-
-        if (options.lsqr.atol > 0 || options.lsqr.btol > 0) {
-          const real test1 = rnorm / bnorm;
-          const real test2 =
-              anorm * rnorm > 0 ? arnorm / (anorm * rnorm) : real{0};
-          const real rtol =
-              options.lsqr.btol + options.lsqr.atol * anorm * xnorm / bnorm;
-          if (options.lsqr.atol > 0 && test2 <= options.lsqr.atol) {
-            istop = LsqrStop::kLeastSquares;
-            break;
-          }
-          if (test1 <= rtol) {
-            istop = LsqrStop::kAtolBtol;
-            break;
-          }
+  for (;;) {
+    // Auto-resume: newest checkpoint that passes CRC framing *and*
+    // parses against this problem's fingerprint; anything else is
+    // skipped with a warning. Also the recovery path after a restart.
+    std::optional<DistState> resume;
+    if (manager.enabled()) {
+      for (const auto& info : manager.list()) {
+        try {
+          resume =
+              parse_dist_state(resilience::read_framed_file(info.path),
+                               fingerprint);
+          result.resumed_from_iteration = info.iteration;
+          resilience::note_resilience_event("checkpoint.resumed",
+                                            info.path);
+          break;
+        } catch (const Error& e) {
+          std::cerr << "warning: skipping checkpoint " << info.path << ": "
+                    << e.what() << '\n';
+          resilience::note_resilience_event("checkpoint.skipped",
+                                            info.path);
         }
       }
-    } else {
-      istop = LsqrStop::kXZero;
     }
 
-    if (comm.rank() == 0) {
-      result.x = x;
-      if (options.lsqr.precondition)
-        core::unscale_solution(result.x, col_scale);
-      if (options.lsqr.compute_std_errors) {
-        result.std_errors = var;
-        // Degrees of freedom from the *global* row count.
-        const auto m_global = static_cast<std::size_t>(A->n_rows());
-        const real dof =
-            m_global > n ? static_cast<real>(m_global - n) : real{1};
-        const real s = rnorm / std::sqrt(dof);
-        for (auto& se : result.std_errors) se = s * std::sqrt(se);
-        if (options.lsqr.precondition)
-          core::unscale_solution(result.std_errors, col_scale);
-      }
-      result.istop = istop;
-      result.iterations = itn;
-      result.rnorm = rnorm;
-      result.anorm = anorm;
-      result.acond = acond;
+    result.partition = partition_by_stars(*A, n_ranks);
+    const RowPartition& partition = result.partition;
+
+    // Rank-local slices built up front (production reads its slice from
+    // the distributed filesystem the same way).
+    std::vector<matrix::SystemMatrix> slices;
+    slices.reserve(static_cast<std::size_t>(n_ranks));
+    for (int r = 0; r < n_ranks; ++r)
+      slices.push_back(extract_rank_slice(*A, partition, r));
+
+    World world(n_ranks);
+    try {
+      world.run([&](Comm& comm) {
+        const int rank = comm.rank();
+        const matrix::SystemMatrix& local =
+            slices[static_cast<std::size_t>(rank)];
+        const auto m_local = static_cast<std::size_t>(local.n_rows());
+        const auto obs_local =
+            static_cast<std::size_t>(partition.rows_of(rank));
+        const auto row_offset = static_cast<std::size_t>(
+            partition.row_begin[static_cast<std::size_t>(rank)]);
+
+        backends::DeviceContext device(options.lsqr.device_capacity,
+                                       "rank" + std::to_string(rank));
+        Aprod aprod(local, device, options.lsqr.aprod);
+
+        // Local obs rows sit at [row_offset, row_offset + obs_local) of
+        // the global row space; the last rank also owns the constraint
+        // tail [n_obs, m_global).
+        auto gather_local_u = [&](const std::vector<real>& u_global,
+                                  std::span<real> u_local) {
+          std::copy_n(u_global.begin() + static_cast<std::ptrdiff_t>(
+                                             row_offset),
+                      obs_local, u_local.begin());
+          for (std::size_t j = obs_local; j < u_local.size(); ++j)
+            u_local[j] = u_global[n_obs + (j - obs_local)];
+        };
+
+        std::vector<real> u(local.known_terms().begin(),
+                            local.known_terms().end());
+        std::vector<real> v(n, real{0}), w(n, real{0}), x(n, real{0});
+        std::vector<real> scatter(n, real{0});
+        std::vector<real> var(options.lsqr.compute_std_errors ? n : 0,
+                              real{0});
+        // Scratch for reassembling the global u at checkpoint time.
+        std::vector<real> u_assembled(manager.enabled() ? m_global : 0);
+
+        auto global_norm_rows = [&](std::span<const real> local_vec) {
+          const real local_n = vnorm(local_vec);
+          return std::sqrt(comm.allreduce(local_n * local_n,
+                                          ReduceOp::kSum));
+        };
+        auto apply2_global = [&](std::span<const real> y_local,
+                                 std::span<real> target, real scale_target) {
+          std::fill(scatter.begin(), scatter.end(), real{0});
+          aprod.apply2(y_local, scatter);
+          comm.allreduce(scatter, ReduceOp::kSum);
+          if (scale_target != real{1}) vscale(backend, target, scale_target);
+          vaxpy(backend, target, real{1}, scatter);
+        };
+
+        real alpha = 0, beta = 0, bnorm = 0;
+        real rhobar = 0, phibar = 0, rnorm = 0, arnorm = 0;
+        real anorm = 0, acond = 0, ddnorm = 0, res2 = 0, xnorm = 0,
+             xxnorm = 0;
+        real z = 0, cs2 = -1, sn2 = 0;
+        std::int64_t itn = 0;
+
+        if (resume) {
+          const auto& s = resume->scalars;
+          alpha = s[0];
+          beta = s[1];
+          bnorm = s[2];
+          rhobar = s[3];
+          phibar = s[4];
+          rnorm = s[5];
+          arnorm = s[6];
+          anorm = s[7];
+          acond = s[8];
+          ddnorm = s[9];
+          res2 = s[10];
+          xnorm = s[11];
+          xxnorm = s[12];
+          z = s[13];
+          cs2 = s[14];
+          sn2 = s[15];
+          itn = resume->itn;
+          gather_local_u(resume->u_global, u);
+          v = resume->v;
+          w = resume->w;
+          x = resume->x;
+          if (options.lsqr.compute_std_errors) var = resume->var;
+        } else {
+          // --- bidiagonalization start ---------------------------------
+          beta = global_norm_rows(u);
+          if (beta > 0) {
+            vscale(backend, u, real{1} / beta);
+            apply2_global(u, v, real{1});  // v = A^T u (v starts zero)
+            alpha = vnorm(v);              // v replicated: local == global
+          }
+          if (alpha > 0) {
+            vscale(backend, v, real{1} / alpha);
+            std::copy(v.begin(), v.end(), w.begin());
+          }
+          bnorm = beta;
+          rhobar = alpha;
+          phibar = beta;
+          rnorm = beta;
+          arnorm = alpha * beta;
+        }
+
+        const real damp = options.lsqr.damp;
+        LsqrStop istop = LsqrStop::kIterationLimit;
+        auto& injector = resilience::FaultInjector::global();
+
+        if (arnorm > 0) {
+          util::Stopwatch watch;
+          while (itn < options.lsqr.max_iterations) {
+            ++itn;
+            watch.reset();
+            // Injected rank death (rank:iter=...,rank=... clauses) fires
+            // here, at the iteration boundary — the RankDeath unwinds
+            // through the collectives, poisons the world and reaches the
+            // restart loop below.
+            injector.maybe_kill_rank(rank, itn);
+
+            vscale(backend, u, -alpha);
+            aprod.apply1(v, u);
+            beta = global_norm_rows(u);
+            if (beta > 0) {
+              vscale(backend, u, real{1} / beta);
+              anorm = std::sqrt(anorm * anorm + alpha * alpha +
+                                beta * beta + damp * damp);
+              apply2_global(u, v, -beta);  // v = A^T u - beta v
+              alpha = vnorm(v);
+              if (alpha > 0) vscale(backend, v, real{1} / alpha);
+            }
+
+            const real rhobar1 = std::sqrt(rhobar * rhobar + damp * damp);
+            const real cs1 = rhobar / rhobar1;
+            const real psi = (damp / rhobar1) * phibar;
+            phibar = cs1 * phibar;
+
+            const real rho = std::sqrt(rhobar1 * rhobar1 + beta * beta);
+            const real cs = rhobar1 / rho;
+            const real sn = beta / rho;
+            const real theta = sn * alpha;
+            rhobar = -cs * alpha;
+            const real phi = cs * phibar;
+            phibar = sn * phibar;
+            const real tau = sn * phi;
+
+            if (options.lsqr.compute_std_errors)
+              vaccumulate_sq(backend, var, real{1} / rho, w);
+            ddnorm += (real{1} / rho) * (real{1} / rho) * vdot(w, w);
+            vaxpy(backend, x, phi / rho, w);
+            vxpby(backend, w, v, -theta / rho);
+
+            const real delta = sn2 * rho;
+            const real gambar = -cs2 * rho;
+            const real rhs = phi - delta * z;
+            xnorm = std::sqrt(xxnorm + (rhs / gambar) * (rhs / gambar));
+            const real gamma = std::sqrt(gambar * gambar + theta * theta);
+            cs2 = gambar / gamma;
+            sn2 = theta / gamma;
+            z = rhs / gamma;
+            xxnorm += z * z;
+
+            acond = anorm * std::sqrt(ddnorm);
+            res2 += psi * psi;
+            rnorm = std::sqrt(phibar * phibar + res2);
+            arnorm = alpha * std::abs(tau);
+
+            // Iteration wall time, maximized over ranks (paper App. B).
+            const double t_local = watch.elapsed_s();
+            const double t_max =
+                comm.allreduce(static_cast<real>(t_local), ReduceOp::kMax);
+            if (rank == 0)
+              iteration_max[static_cast<std::size_t>(itn - 1)] = t_max;
+
+            if (manager.due(itn)) {
+              // Reassemble the global u (collective): each rank deposits
+              // its slice at its global offsets, then sum-reduce.
+              std::fill(u_assembled.begin(), u_assembled.end(), real{0});
+              std::copy(u.begin(),
+                        u.begin() + static_cast<std::ptrdiff_t>(obs_local),
+                        u_assembled.begin() +
+                            static_cast<std::ptrdiff_t>(row_offset));
+              for (std::size_t j = obs_local; j < m_local; ++j)
+                u_assembled[n_obs + (j - obs_local)] = u[j];
+              comm.allreduce(u_assembled, ReduceOp::kSum);
+              if (rank == 0) {
+                DistState state;
+                state.itn = itn;
+                state.scalars = {alpha, beta, bnorm, rhobar, phibar,
+                                 rnorm, arnorm, anorm, acond, ddnorm,
+                                 res2, xnorm, xxnorm, z, cs2, sn2};
+                state.u_global = u_assembled;
+                state.v = v;
+                state.w = w;
+                state.x = x;
+                state.var = var;
+                manager.write(itn, serialize_dist_state(state, fingerprint));
+              }
+            }
+
+            if (options.lsqr.atol > 0 || options.lsqr.btol > 0) {
+              const real test1 = rnorm / bnorm;
+              const real test2 =
+                  anorm * rnorm > 0 ? arnorm / (anorm * rnorm) : real{0};
+              const real rtol = options.lsqr.btol +
+                                options.lsqr.atol * anorm * xnorm / bnorm;
+              if (options.lsqr.atol > 0 && test2 <= options.lsqr.atol) {
+                istop = LsqrStop::kLeastSquares;
+                break;
+              }
+              if (test1 <= rtol) {
+                istop = LsqrStop::kAtolBtol;
+                break;
+              }
+            }
+          }
+        } else {
+          istop = LsqrStop::kXZero;
+        }
+
+        if (rank == 0) {
+          result.x = x;
+          if (options.lsqr.precondition)
+            core::unscale_solution(result.x, col_scale);
+          if (options.lsqr.compute_std_errors) {
+            result.std_errors = var;
+            // Degrees of freedom from the *global* row count.
+            const real dof = m_global > n
+                                 ? static_cast<real>(m_global - n)
+                                 : real{1};
+            const real s = rnorm / std::sqrt(dof);
+            for (auto& se : result.std_errors) se = s * std::sqrt(se);
+            if (options.lsqr.precondition)
+              core::unscale_solution(result.std_errors, col_scale);
+          }
+          result.istop = istop;
+          result.iterations = itn;
+          result.rnorm = rnorm;
+          result.anorm = anorm;
+          result.acond = acond;
+        }
+      });
+      result.final_ranks = n_ranks;
+      result.checkpoints_written = manager.written();
+      break;
+    } catch (const resilience::RankDeath& death) {
+      if (result.restarts >= options.max_restarts || n_ranks <= 1) throw;
+      ++result.restarts;
+      --n_ranks;
+      const std::string detail =
+          "rank " + std::to_string(death.rank()) + " died at iteration " +
+          std::to_string(death.iteration()) + "; restarting on " +
+          std::to_string(n_ranks) + " rank(s)";
+      std::cerr << "warning: " << detail << '\n';
+      resilience::note_resilience_event("rank_death.recovered", detail);
     }
-    (void)m_local;
-  });
+  }
 
   iteration_max.resize(static_cast<std::size_t>(result.iterations));
   result.iteration_seconds = iteration_max;

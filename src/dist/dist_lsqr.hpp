@@ -13,12 +13,22 @@
 #include "core/lsqr.hpp"
 #include "dist/comm.hpp"
 #include "dist/partition.hpp"
+#include "resilience/checkpoint.hpp"
 
 namespace gaia::dist {
 
 struct DistLsqrOptions {
   int n_ranks = 2;
   core::LsqrOptions lsqr{};
+  /// Periodic distributed checkpoints (rank 0 seals the replicated +
+  /// reassembled state every `checkpoint.every` iterations). Also the
+  /// recovery source after a rank death: disabled (`every == 0`) means a
+  /// rank death restarts the solve from iteration 0.
+  resilience::CheckpointConfig checkpoint{};
+  /// Rank-death recoveries allowed before the error propagates. Each
+  /// recovery drops the dead rank, re-partitions over the survivors and
+  /// resumes from the newest valid checkpoint.
+  int max_restarts = 3;
 };
 
 struct DistLsqrResult {
@@ -34,6 +44,14 @@ struct DistLsqrResult {
   double mean_iteration_s = 0;
   std::vector<double> iteration_seconds;
   RowPartition partition;
+
+  /// Recovery bookkeeping: restarts taken (0 = healthy run), ranks the
+  /// final attempt ran on, iteration the last restart resumed from
+  /// (-1 = never resumed) and checkpoints sealed across all attempts.
+  int restarts = 0;
+  int final_ranks = 0;
+  std::int64_t resumed_from_iteration = -1;
+  std::uint64_t checkpoints_written = 0;
 };
 
 /// Solves A x ~= A.known_terms() on `n_ranks` simulated MPI ranks.

@@ -1,0 +1,220 @@
+#include "resilience/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "resilience/fault_injector.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace gaia::resilience {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kFooterMagic[8] = {'G', 'A', 'I', 'A', 'F', 'T', 'R', '1'};
+constexpr std::size_t kFooterSize =
+    sizeof(kFooterMagic) + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+
+std::string footer_for(std::string_view payload) {
+  std::string footer(kFooterSize, '\0');
+  char* out = footer.data();
+  std::memcpy(out, kFooterMagic, sizeof(kFooterMagic));
+  out += sizeof(kFooterMagic);
+  const auto size = static_cast<std::uint64_t>(payload.size());
+  std::memcpy(out, &size, sizeof(size));
+  out += sizeof(size);
+  const std::uint32_t crc = util::crc32(payload);
+  std::memcpy(out, &crc, sizeof(crc));
+  return footer;
+}
+
+/// Applies an injected `ckpt:` corruption to the file just written.
+void corrupt_file(const std::string& path, CheckpointFault mode) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size == 0) return;
+  if (mode == CheckpointFault::kTruncate) {
+    fs::resize_file(path, size / 2, ec);
+  } else {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    if (!f.good()) return;
+    const auto offset = static_cast<std::streamoff>(size / 2);
+    f.seekg(offset);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(offset);
+    f.write(&byte, 1);
+  }
+}
+
+}  // namespace
+
+void note_resilience_event(const char* name, const std::string& detail) {
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) {
+    rec.instant(name, "resilience", obs::TraceRecorder::kMainTrack,
+                {{"detail", detail}});
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) reg.counter(std::string("resilience.") + name).add(1);
+}
+
+void write_framed_file(const std::string& path, std::string_view payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    GAIA_CHECK(f.good(), "cannot open checkpoint for writing: " + tmp);
+    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const std::string footer = footer_for(payload);
+    f.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw Error("checkpoint write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error("checkpoint rename failed: " + tmp + " -> " + path);
+  }
+}
+
+std::string read_framed_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  GAIA_CHECK(f.good(), "cannot open checkpoint for reading: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  std::string bytes = std::move(buffer).str();
+
+  if (bytes.size() < kFooterSize ||
+      std::memcmp(bytes.data() + bytes.size() - kFooterSize, kFooterMagic,
+                  sizeof(kFooterMagic)) != 0) {
+    throw Error("corrupt checkpoint '" + path +
+                "': missing CRC footer (file truncated or not a sealed "
+                "checkpoint)");
+  }
+  const char* footer = bytes.data() + bytes.size() - kFooterSize;
+  std::uint64_t payload_size = 0;
+  std::memcpy(&payload_size, footer + sizeof(kFooterMagic),
+              sizeof(payload_size));
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc,
+              footer + sizeof(kFooterMagic) + sizeof(payload_size),
+              sizeof(stored_crc));
+  if (payload_size != bytes.size() - kFooterSize) {
+    throw Error("corrupt checkpoint '" + path + "': truncated (footer says " +
+                std::to_string(payload_size) + " payload bytes, file has " +
+                std::to_string(bytes.size() - kFooterSize) + ")");
+  }
+  bytes.resize(static_cast<std::size_t>(payload_size));
+  const std::uint32_t actual_crc = util::crc32(bytes);
+  if (actual_crc != stored_crc) {
+    throw Error("corrupt checkpoint '" + path +
+                "': CRC mismatch (bit flip or partial write)");
+  }
+  return bytes;
+}
+
+bool verify_framed_file(const std::string& path) {
+  try {
+    (void)read_framed_file(path);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+CheckpointManager::CheckpointManager(CheckpointConfig config)
+    : config_(std::move(config)) {
+  GAIA_CHECK(config_.keep_last >= 1, "checkpoint keep_last must be >= 1");
+  if (enabled()) fs::create_directories(config_.directory);
+}
+
+std::string CheckpointManager::write(std::int64_t iteration,
+                                     std::string_view payload) {
+  GAIA_CHECK(!config_.directory.empty(),
+             "checkpoint manager has no directory configured");
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s.%08lld.ckpt",
+                config_.basename.c_str(),
+                static_cast<long long>(iteration));
+  const std::string path = (fs::path(config_.directory) / name).string();
+  {
+    obs::ScopedTrace span("checkpoint.write", "resilience");
+    span.add_arg({"iteration", static_cast<std::int64_t>(iteration)});
+    span.add_arg({"bytes", static_cast<std::uint64_t>(payload.size())});
+    write_framed_file(path, payload);
+  }
+  ++written_;
+  note_resilience_event("checkpoint.written", path);
+  if (const auto fault = FaultInjector::global().on_checkpoint_write())
+    corrupt_file(path, *fault);
+  prune();
+  return path;
+}
+
+std::vector<CheckpointInfo> CheckpointManager::list() const {
+  std::vector<CheckpointInfo> found;
+  if (config_.directory.empty()) return found;
+  std::error_code ec;
+  const std::string prefix = config_.basename + ".";
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    if (filename.rfind(prefix, 0) != 0) continue;
+    if (entry.path().extension() != ".ckpt") continue;
+    const std::string middle = filename.substr(
+        prefix.size(), filename.size() - prefix.size() - 5 /*.ckpt*/);
+    try {
+      found.push_back({entry.path().string(), std::stoll(middle)});
+    } catch (const std::exception&) {
+      continue;  // unrelated file matching the prefix
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.iteration > b.iteration;
+            });
+  return found;
+}
+
+std::optional<CheckpointManager::Loaded>
+CheckpointManager::load_newest_valid() const {
+  for (const CheckpointInfo& info : list()) {
+    try {
+      std::string payload = read_framed_file(info.path);
+      return Loaded{info, std::move(payload)};
+    } catch (const Error& e) {
+      std::cerr << "warning: skipping checkpoint " << info.path << ": "
+                << e.what() << '\n';
+      note_resilience_event("checkpoint.skipped", info.path);
+    }
+  }
+  return std::nullopt;
+}
+
+void CheckpointManager::prune() const {
+  const auto all = list();
+  for (std::size_t i = static_cast<std::size_t>(config_.keep_last);
+       i < all.size(); ++i) {
+    std::error_code ec;
+    fs::remove(all[i].path, ec);
+  }
+}
+
+}  // namespace gaia::resilience

@@ -1,0 +1,39 @@
+/// \file failover.hpp
+/// \brief Backend failover chain for graceful degradation.
+///
+/// When a kernel launch keeps failing on one backend (a persistent
+/// fault surviving the retry budget), the solver does not abort: it
+/// steps down a degradation chain and finishes the run on a slower but
+/// healthy backend — the paper's portability layer turned into a
+/// resilience asset (every backend computes identical results, SV-C,
+/// so failover is numerically free).
+///
+/// Chain: gpusim -> openmp -> serial; pstl -> openmp -> serial.
+/// Header-only: the chain logic only needs the BackendKind enum.
+#pragma once
+
+#include <optional>
+
+#include "backends/backend.hpp"
+
+namespace gaia::resilience {
+
+/// Next backend to try after `kind` persistently fails; nullopt when the
+/// chain is exhausted (serial has no fallback).
+[[nodiscard]] inline std::optional<backends::BackendKind> next_backend(
+    backends::BackendKind kind) {
+  using backends::BackendKind;
+  switch (kind) {
+    case BackendKind::kGpuSim:
+      return BackendKind::kOpenMP;
+    case BackendKind::kPstl:
+      return BackendKind::kOpenMP;
+    case BackendKind::kOpenMP:
+      return BackendKind::kSerial;
+    case BackendKind::kSerial:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gaia::resilience

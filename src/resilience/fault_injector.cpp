@@ -1,0 +1,313 @@
+#include "resilience/fault_injector.hpp"
+
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+
+namespace gaia::resilience {
+
+namespace {
+
+std::optional<FaultSite> parse_site(std::string_view name) {
+  if (name == "kernel") return FaultSite::kKernel;
+  if (name == "h2d") return FaultSite::kH2D;
+  if (name == "d2h") return FaultSite::kD2H;
+  if (name == "rank") return FaultSite::kRank;
+  if (name == "ckpt" || name == "checkpoint") return FaultSite::kCheckpoint;
+  return std::nullopt;
+}
+
+/// Uniform [0,1) from (seed, site, event index): one SplitMix64 step.
+double event_uniform(std::uint64_t seed, FaultSite site,
+                     std::int64_t event) {
+  util::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(site) + 1) *
+                                 0x9e3779b97f4a7c15ull ^
+                      static_cast<std::uint64_t>(event));
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+double parse_probability(const std::string& clause_text,
+                         const std::string& value) {
+  try {
+    const double p = std::stod(value);
+    GAIA_CHECK(p >= 0 && p <= 1,
+               "fault probability out of [0,1] in clause '" + clause_text +
+                   "'");
+    return p;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("malformed fault probability in clause '" + clause_text +
+                "'");
+  }
+}
+
+std::int64_t parse_int_field(const std::string& clause_text,
+                             const std::string& value) {
+  try {
+    return std::stoll(value);
+  } catch (const std::exception&) {
+    throw Error("malformed integer field in fault clause '" + clause_text +
+                "'");
+  }
+}
+
+}  // namespace
+
+std::string to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kKernel:
+      return "kernel";
+    case FaultSite::kH2D:
+      return "h2d";
+    case FaultSite::kD2H:
+      return "d2h";
+    case FaultSite::kRank:
+      return "rank";
+    case FaultSite::kCheckpoint:
+      return "ckpt";
+  }
+  return "unknown";
+}
+
+FaultSpec parse_fault_spec(std::string_view spec,
+                           std::uint64_t default_seed) {
+  FaultSpec result;
+  result.seed = default_seed;
+  for (const std::string& raw : util::split(spec, ';')) {
+    const std::string clause_text = util::trim(raw);
+    if (clause_text.empty()) continue;
+
+    // Global `seed=N` clause (no site prefix).
+    if (clause_text.rfind("seed=", 0) == 0) {
+      result.seed = static_cast<std::uint64_t>(
+          parse_int_field(clause_text, clause_text.substr(5)));
+      continue;
+    }
+
+    const auto colon = clause_text.find(':');
+    GAIA_CHECK(colon != std::string::npos,
+               "fault clause missing ':' — '" + clause_text + "'");
+    const auto site = parse_site(util::trim(clause_text.substr(0, colon)));
+    GAIA_CHECK(site.has_value(),
+               "unknown fault site in clause '" + clause_text + "'");
+
+    FaultClause clause;
+    clause.site = *site;
+    if (clause.site == FaultSite::kRank) clause.max_count = 1;
+
+    for (const std::string& raw_field :
+         util::split(clause_text.substr(colon + 1), ',')) {
+      const std::string field = util::trim(raw_field);
+      if (field.empty()) continue;
+      const auto eq = field.find('=');
+      const std::string key =
+          eq == std::string::npos ? field : util::trim(field.substr(0, eq));
+      const std::string value =
+          eq == std::string::npos ? "" : util::trim(field.substr(eq + 1));
+
+      if (key == "p") {
+        clause.probability = parse_probability(clause_text, value);
+      } else if (key == "backend") {
+        clause.backend = value;
+      } else if (key == "count") {
+        clause.max_count = parse_int_field(clause_text, value);
+      } else if (key == "nth") {
+        clause.nth = parse_int_field(clause_text, value);
+      } else if (key == "rank") {
+        clause.rank = parse_int_field(clause_text, value);
+      } else if (key == "iter") {
+        clause.iteration = parse_int_field(clause_text, value);
+      } else if (key == "mode") {
+        if (value == "fail") {
+          clause.transfer_mode = TransferFault::kFail;
+        } else if (value == "corrupt") {
+          clause.transfer_mode = TransferFault::kCorrupt;
+        } else {
+          throw Error("unknown transfer mode '" + value + "' in clause '" +
+                      clause_text + "'");
+        }
+      } else if (key == "truncate") {
+        clause.ckpt_mode = CheckpointFault::kTruncate;
+      } else if (key == "bitflip") {
+        clause.ckpt_mode = CheckpointFault::kBitflip;
+      } else {
+        throw Error("unknown field '" + key + "' in fault clause '" +
+                    clause_text + "'");
+      }
+    }
+
+    if (clause.site == FaultSite::kRank) {
+      GAIA_CHECK(clause.rank >= 0 && clause.iteration >= 1,
+                 "rank clause needs rank= and iter= — '" + clause_text +
+                     "'");
+    }
+    result.clauses.push_back(clause);
+  }
+  return result;
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const FaultSpec& spec) {
+  armed_.store(false, std::memory_order_relaxed);
+  clauses_.clear();
+  seed_ = spec.seed;
+  for (const FaultClause& clause : spec.clauses) {
+    auto state = std::make_unique<ClauseState>();
+    state->clause = clause;
+    clauses_.push_back(std::move(state));
+  }
+  for (auto& count : injected_by_site_)
+    count.store(0, std::memory_order_relaxed);
+  if (!clauses_.empty()) armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
+  configure(parse_fault_spec(spec, seed));
+}
+
+void FaultInjector::configure_from_env(const std::string& spec_override,
+                                       std::uint64_t default_seed) {
+  std::uint64_t seed = default_seed;
+  if (const char* env_seed = std::getenv(kFaultSeedEnv);
+      env_seed != nullptr && *env_seed != '\0') {
+    seed = static_cast<std::uint64_t>(std::strtoull(env_seed, nullptr, 10));
+  }
+  std::string spec = spec_override;
+  if (spec.empty()) {
+    if (const char* env_spec = std::getenv(kFaultsEnv);
+        env_spec != nullptr) {
+      spec = env_spec;
+    }
+  }
+  if (spec.empty()) return;
+  configure(spec, seed);
+}
+
+void FaultInjector::disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+  clauses_.clear();
+}
+
+bool FaultInjector::draw(ClauseState& state) {
+  const FaultClause& clause = state.clause;
+  const std::int64_t event =
+      state.events.fetch_add(1, std::memory_order_relaxed);
+  if (clause.max_count >= 0 &&
+      state.fired.load(std::memory_order_relaxed) >= clause.max_count)
+    return false;
+  if (event_uniform(seed_, clause.site, event) >= clause.probability)
+    return false;
+  if (clause.max_count >= 0 &&
+      state.fired.fetch_add(1, std::memory_order_relaxed) >=
+          clause.max_count) {
+    return false;  // lost the race for the last allowed injection
+  }
+  if (clause.max_count < 0) state.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::record_injection(FaultSite site,
+                                     const std::string& detail) {
+  injected_by_site_[static_cast<std::size_t>(site)].fetch_add(
+      1, std::memory_order_relaxed);
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) {
+    rec.instant("fault." + to_string(site), "resilience",
+                obs::TraceRecorder::kMainTrack, {{"detail", detail}});
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("resilience.faults." + to_string(site)).add(1);
+  }
+}
+
+bool FaultInjector::should_fail_kernel(std::string_view kernel,
+                                       std::string_view backend) {
+  if (!armed()) return false;
+  for (auto& state : clauses_) {
+    const FaultClause& clause = state->clause;
+    if (clause.site != FaultSite::kKernel) continue;
+    if (!clause.backend.empty() && clause.backend != backend) continue;
+    if (draw(*state)) {
+      record_injection(FaultSite::kKernel,
+                       std::string(kernel) + " on " + std::string(backend));
+      return true;
+    }
+  }
+  return false;
+}
+
+TransferFault FaultInjector::on_transfer(FaultSite site) {
+  if (!armed()) return TransferFault::kNone;
+  for (auto& state : clauses_) {
+    const FaultClause& clause = state->clause;
+    if (clause.site != site) continue;
+    if (draw(*state)) {
+      record_injection(site, clause.transfer_mode == TransferFault::kCorrupt
+                                 ? "corrupt"
+                                 : "fail");
+      return clause.transfer_mode;
+    }
+  }
+  return TransferFault::kNone;
+}
+
+void FaultInjector::maybe_kill_rank(int rank, std::int64_t iteration) {
+  if (!armed()) return;
+  for (auto& state : clauses_) {
+    const FaultClause& clause = state->clause;
+    if (clause.site != FaultSite::kRank) continue;
+    if (clause.rank != rank || clause.iteration != iteration) continue;
+    if (clause.max_count >= 0 &&
+        state->fired.fetch_add(1, std::memory_order_relaxed) >=
+            clause.max_count)
+      continue;
+    record_injection(FaultSite::kRank,
+                     "rank " + std::to_string(rank) + " iteration " +
+                         std::to_string(iteration));
+    throw RankDeath(rank, iteration);
+  }
+}
+
+std::optional<CheckpointFault> FaultInjector::on_checkpoint_write() {
+  if (!armed()) return std::nullopt;
+  for (auto& state : clauses_) {
+    const FaultClause& clause = state->clause;
+    if (clause.site != FaultSite::kCheckpoint) continue;
+    const std::int64_t event =
+        state->events.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (clause.nth >= 0 && event != clause.nth) continue;
+    if (clause.max_count >= 0 &&
+        state->fired.load(std::memory_order_relaxed) >= clause.max_count)
+      continue;
+    state->fired.fetch_add(1, std::memory_order_relaxed);
+    record_injection(FaultSite::kCheckpoint,
+                     clause.ckpt_mode == CheckpointFault::kTruncate
+                         ? "truncate"
+                         : "bitflip");
+    return clause.ckpt_mode;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FaultInjector::injected(FaultSite site) const {
+  return injected_by_site_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const auto& count : injected_by_site_)
+    total += count.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace gaia::resilience

@@ -1,0 +1,60 @@
+/// \file retry.hpp
+/// \brief Retry-with-backoff wrapper for transient faults.
+///
+/// Wraps an operation that may throw `TransientFault` (injected or
+/// real): retries up to the policy's attempt budget with bounded
+/// exponential backoff, counting every retry in the metrics registry
+/// (`resilience.retries.<site>`) and emitting a trace instant per
+/// retry. Exhausting the budget escalates to `PersistentFault`, which
+/// callers treat as "this resource is down" (e.g. the Aprod driver
+/// fails over to the next backend in the chain).
+#pragma once
+
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "resilience/fault_injector.hpp"
+#include "util/backoff.hpp"
+
+namespace gaia::resilience {
+
+namespace detail {
+inline void note_retry(const char* site, int attempt) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("resilience.retries").add(1);
+    reg.counter(std::string("resilience.retries.") + site).add(1);
+  }
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) {
+    rec.instant("retry", "resilience", obs::TraceRecorder::kMainTrack,
+                {{"site", site}, {"attempt", static_cast<std::int64_t>(attempt)}});
+  }
+}
+}  // namespace detail
+
+/// Runs `op`, absorbing `TransientFault` with bounded exponential
+/// backoff. Throws `PersistentFault` (carrying the last transient
+/// message) once `policy.max_attempts` attempts all failed. Any other
+/// exception propagates immediately.
+template <typename Op>
+auto with_retry(const char* site, const util::BackoffPolicy& policy,
+                Op&& op) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return op();
+    } catch (const TransientFault& fault) {
+      if (attempt >= policy.max_attempts) {
+        throw PersistentFault(std::string(site) + ": " + fault.what() +
+                              " (after " + std::to_string(attempt) +
+                              " attempts)");
+      }
+      detail::note_retry(site, attempt);
+      std::this_thread::sleep_for(util::backoff_delay(policy, attempt));
+    }
+  }
+}
+
+}  // namespace gaia::resilience

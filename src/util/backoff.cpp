@@ -1,0 +1,18 @@
+#include "util/backoff.hpp"
+
+#include <cmath>
+
+namespace gaia::util {
+
+std::chrono::microseconds backoff_delay(const BackoffPolicy& policy,
+                                        int attempt) {
+  const int exponent = attempt > 1 ? attempt - 1 : 0;
+  const double scaled =
+      static_cast<double>(policy.base_delay.count()) *
+      std::pow(policy.multiplier, static_cast<double>(exponent));
+  const auto capped = static_cast<std::int64_t>(
+      std::min(scaled, static_cast<double>(policy.max_delay.count())));
+  return std::chrono::microseconds(capped);
+}
+
+}  // namespace gaia::util

@@ -1,0 +1,33 @@
+/// \file backoff.hpp
+/// \brief Bounded exponential backoff schedule for retryable operations.
+///
+/// Transient faults (a failed simulated transfer, a spuriously failed
+/// kernel launch) are retried a bounded number of times with
+/// exponentially growing, capped delays — the standard production
+/// pattern for flaky interconnects and allocators. Delays here are
+/// microseconds-scale: the point is the *structure* (attempt budget,
+/// growth factor, cap), which tests and the metrics registry observe,
+/// not wall-clock realism.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gaia::util {
+
+struct BackoffPolicy {
+  /// Total attempts including the first (>= 1). Exhausting the budget
+  /// escalates the fault from transient to persistent.
+  int max_attempts = 4;
+  std::chrono::microseconds base_delay{50};
+  std::chrono::microseconds max_delay{5000};
+  double multiplier = 2.0;
+};
+
+/// Delay to sleep after failed attempt `attempt` (1-based):
+/// min(base * multiplier^(attempt-1), max). Attempt values < 1 clamp
+/// to the base delay.
+[[nodiscard]] std::chrono::microseconds backoff_delay(
+    const BackoffPolicy& policy, int attempt);
+
+}  // namespace gaia::util

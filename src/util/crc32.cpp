@@ -1,0 +1,40 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace gaia::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i)
+    state = kTable[(state ^ p[i]) & 0xffu] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(crc32_init(), data, size));
+}
+
+std::uint32_t crc32(std::string_view data) {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace gaia::util

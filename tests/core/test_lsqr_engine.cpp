@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "matrix/generator.hpp"
@@ -187,6 +190,26 @@ TEST(LsqrCheckpointErrors, WrongOptionsRejected) {
   EXPECT_THROW(b.restore(ckpt), gaia::Error);
 }
 
+TEST(LsqrCheckpointErrors, LargerIterationBudgetStillAccepted) {
+  // The iteration budget is not part of the problem: a rerun with a
+  // larger --iterations must be able to resume the same checkpoint.
+  const auto gen = matrix::generate_system(gaia::testing::small_config(143));
+  auto short_opts = engine_options();
+  short_opts.max_iterations = 15;
+  LsqrEngine a(gen.A, short_opts);
+  for (int i = 0; i < 10; ++i) a.step();
+  std::stringstream ckpt;
+  a.checkpoint(ckpt);
+
+  auto long_opts = engine_options();
+  long_opts.max_iterations = 60;
+  LsqrEngine b(gen.A, long_opts);
+  b.restore(ckpt);
+  EXPECT_EQ(b.iteration(), 10);
+  b.run_to_completion();
+  EXPECT_EQ(b.iteration(), 60);
+}
+
 TEST(LsqrCheckpointErrors, CorruptStreamRejected) {
   const auto gen = matrix::generate_system(gaia::testing::small_config(139));
   LsqrEngine a(gen.A, engine_options());
@@ -210,6 +233,52 @@ TEST(LsqrCheckpointFiles, RoundTripsThroughDisk) {
   LsqrEngine b(gen.A, engine_options());
   b.restore(path);
   EXPECT_EQ(b.iteration(), 5);
+  std::remove(path.c_str());
+}
+
+TEST(LsqrCheckpointFiles, TruncatedFileRejectedNamingPathAndReason) {
+  const auto gen = matrix::generate_system(gaia::testing::small_config(141));
+  const std::string path = ::testing::TempDir() + "gaia_lsqr_trunc.ckpt";
+  LsqrEngine a(gen.A, engine_options());
+  for (int i = 0; i < 5; ++i) a.step();
+  a.checkpoint(path);
+  // Simulate a job killed mid-write: the sealed file loses its tail.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 16);
+  LsqrEngine b(gen.A, engine_options());
+  try {
+    b.restore(path);
+    FAIL() << "expected gaia::Error";
+  } catch (const gaia::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LsqrCheckpointFiles, BitFlippedFileRejectedNamingPathAndReason) {
+  const auto gen = matrix::generate_system(gaia::testing::small_config(142));
+  const std::string path = ::testing::TempDir() + "gaia_lsqr_flip.ckpt";
+  LsqrEngine a(gen.A, engine_options());
+  for (int i = 0; i < 5; ++i) a.step();
+  a.checkpoint(path);
+  {
+    // One bit of cosmic-ray rot in the middle of the payload.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(64);
+    const int byte = f.get();
+    f.seekp(64);
+    f.put(static_cast<char>(byte ^ 0x01));
+  }
+  LsqrEngine b(gen.A, engine_options());
+  try {
+    b.restore(path);
+    FAIL() << "expected gaia::Error";
+  } catch (const gaia::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("CRC mismatch"), std::string::npos) << what;
+  }
   std::remove(path.c_str());
 }
 

@@ -5,6 +5,7 @@
 #include <array>
 #include <atomic>
 #include <numeric>
+#include <string>
 #include <vector>
 
 namespace gaia::dist {
@@ -117,6 +118,68 @@ TEST(World, ExceptionInOneRankPropagates) {
   std::atomic<int> ok{0};
   world.run([&](Comm&) { ok.fetch_add(1); });
   EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(World, MidLoopRankFailureDoesNotDeadlockSurvivors) {
+  // Regression: rank 1 dies *between* collectives while the survivors
+  // are already blocked inside the next barrier phase. Without world
+  // poisoning the survivors would wait forever on the dead rank's
+  // arrival; with it, every survivor unwinds cleanly instead.
+  World world(3);
+  try {
+    world.run([&](Comm& comm) {
+      for (int round = 0;; ++round) {
+        if (comm.rank() == 1 && round == 3)
+          throw gaia::Error("rank 1 died mid-loop");
+        comm.allreduce(real{1}, ReduceOp::kSum);
+        comm.barrier();
+      }
+    });
+    FAIL() << "expected the rank failure to propagate";
+  } catch (const gaia::Error& e) {
+    // The *original* error surfaces, not the collateral poisoning.
+    EXPECT_NE(std::string(e.what()).find("rank 1 died mid-loop"),
+              std::string::npos);
+  }
+  // The world recovers fully: collectives work on the next run().
+  world.run([&](Comm& comm) {
+    const real sum = comm.allreduce(real{1}, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(sum, 3.0);
+  });
+}
+
+TEST(World, AllRanksFailingReportsOneErrorAndRecovers) {
+  World world(4);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+                 throw gaia::Error("rank " + std::to_string(comm.rank()));
+               }),
+               gaia::Error);
+  std::atomic<int> ok{0};
+  world.run([&](Comm&) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(World, PoisonedCollectiveThrowsWorldPoisonedOnSurvivors) {
+  // Survivors observe the failure as WorldPoisoned (a gaia::Error), so
+  // rank-level cleanup code can distinguish "I failed" from "a peer
+  // failed". The run() itself reports the original error.
+  World world(2);
+  std::atomic<int> poisoned_seen{0};
+  try {
+    world.run([&](Comm& comm) {
+      if (comm.rank() == 0) throw gaia::Error("boom");
+      try {
+        for (;;) comm.barrier();
+      } catch (const WorldPoisoned&) {
+        poisoned_seen.fetch_add(1);
+        throw;
+      }
+    });
+    FAIL() << "expected an error";
+  } catch (const gaia::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  EXPECT_EQ(poisoned_seen.load(), 1);
 }
 
 TEST(Comm, EmptySpanCollectivesAreSafe) {

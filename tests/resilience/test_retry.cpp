@@ -1,0 +1,97 @@
+#include "resilience/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/backoff.hpp"
+
+namespace gaia::resilience {
+namespace {
+
+util::BackoffPolicy fast_policy() {
+  util::BackoffPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_delay = std::chrono::microseconds(1);
+  policy.max_delay = std::chrono::microseconds(8);
+  return policy;
+}
+
+TEST(Backoff, DelayGrowsExponentiallyAndSaturates) {
+  util::BackoffPolicy policy;
+  policy.base_delay = std::chrono::microseconds(50);
+  policy.max_delay = std::chrono::microseconds(500);
+  policy.multiplier = 2.0;
+  EXPECT_EQ(util::backoff_delay(policy, 1).count(), 50);
+  EXPECT_EQ(util::backoff_delay(policy, 2).count(), 100);
+  EXPECT_EQ(util::backoff_delay(policy, 3).count(), 200);
+  EXPECT_EQ(util::backoff_delay(policy, 4).count(), 400);
+  EXPECT_EQ(util::backoff_delay(policy, 5).count(), 500);  // capped
+  EXPECT_EQ(util::backoff_delay(policy, 20).count(), 500);
+}
+
+TEST(Retry, ReturnsTheValueOnFirstSuccess) {
+  int calls = 0;
+  const int result = with_retry("site", fast_policy(), [&] {
+    ++calls;
+    return 17;
+  });
+  EXPECT_EQ(result, 17);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, AbsorbsTransientFaultsUpToTheBudget) {
+  int calls = 0;
+  const int result = with_retry("site", fast_policy(), [&] {
+    if (++calls < 3) throw TransientFault("hiccup");
+    return calls;
+  });
+  EXPECT_EQ(result, 3);
+}
+
+TEST(Retry, EscalatesToPersistentFaultNamingTheSite) {
+  int calls = 0;
+  try {
+    with_retry("aprod1_astro", fast_policy(), [&]() -> int {
+      ++calls;
+      throw TransientFault("injected launch failure");
+    });
+    FAIL() << "expected PersistentFault";
+  } catch (const PersistentFault& fault) {
+    const std::string what = fault.what();
+    EXPECT_NE(what.find("aprod1_astro"), std::string::npos);
+    EXPECT_NE(what.find("injected launch failure"), std::string::npos);
+    EXPECT_NE(what.find("4 attempts"), std::string::npos);
+  }
+  EXPECT_EQ(calls, 4);  // max_attempts calls, then escalation
+}
+
+TEST(Retry, NonTransientExceptionsPropagateImmediately) {
+  int calls = 0;
+  EXPECT_THROW(with_retry("site", fast_policy(),
+                          [&]() -> int {
+                            ++calls;
+                            throw Error("not transient");
+                          }),
+               Error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, CountsRetriesInTheMetricsRegistry) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset();
+  reg.set_enabled(true);
+  int calls = 0;
+  (void)with_retry("unit", fast_policy(), [&] {
+    if (++calls < 3) throw TransientFault("hiccup");
+    return 0;
+  });
+  EXPECT_EQ(reg.counter("resilience.retries").value(), 2u);
+  EXPECT_EQ(reg.counter("resilience.retries.unit").value(), 2u);
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+}  // namespace
+}  // namespace gaia::resilience

@@ -1,0 +1,46 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gaia::util {
+namespace {
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32/IEEE check value (reveng catalogue).
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+}
+
+TEST(Crc32, IncrementalUpdateEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  std::uint32_t state = crc32_init();
+  state = crc32_update(state, data.data(), 10);
+  state = crc32_update(state, data.data() + 10, 7);
+  state = crc32_update(state, data.data() + 17, data.size() - 17);
+  EXPECT_EQ(crc32_final(state), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string data(256, '\x5a');
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t byte : {0u, 100u, 255u}) {
+    std::string flipped = data;
+    flipped[byte] ^= 0x01;
+    EXPECT_NE(crc32(flipped), clean) << "byte " << byte;
+  }
+}
+
+TEST(Crc32, DetectsTruncation) {
+  const std::string data(128, 'q');
+  EXPECT_NE(crc32(std::string_view(data).substr(0, 64)), crc32(data));
+}
+
+}  // namespace
+}  // namespace gaia::util
