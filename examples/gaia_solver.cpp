@@ -19,6 +19,7 @@
 #include "resilience/fault_injector.hpp"
 #include "util/cli.hpp"
 #include "util/profiler.hpp"
+#include "util/stats.hpp"
 #include "util/string_utils.hpp"
 
 int main(int argc, char** argv) {
@@ -36,6 +37,16 @@ int main(int argc, char** argv) {
   cli.add_option("ranks", "1", "simulated MPI ranks (>1 uses dist solver)");
   cli.add_flag("no-streams", "disable aprod2 stream overlap");
   cli.add_flag("untuned", "use naive 256x256 kernel shapes");
+  cli.add_flag("autotune",
+               "search (blocks, threads) per kernel during warm-up "
+               "launches and run the solve with the winners");
+  cli.add_option("tuning-cache", "",
+                 "CRC-sealed tuning cache file: loaded on startup (a "
+                 "complete entry skips the search), winners sealed back "
+                 "after a fresh search");
+  cli.add_option("shape", "",
+                 "force one BLOCKSxTHREADS launch shape for all kernels "
+                 "(e.g. 64x128); validated at parse time");
   cli.add_flag("validate", "solve from a ground truth and report recovery");
   cli.add_flag("profile",
                "collect and print the per-kernel time breakdown (the "
@@ -84,6 +95,11 @@ int main(int argc, char** argv) {
     config.lsqr.aprod.tuning =
         cli.get_flag("untuned") ? backends::TuningTable::untuned()
                                 : backends::TuningTable::tuned_default();
+    if (!cli.get("shape").empty())
+      config.lsqr.aprod.tuning = backends::TuningTable::untuned(
+          backends::parse_kernel_config(cli.get("shape")));
+    config.autotune.enabled = cli.get_flag("autotune");
+    config.autotune.cache_path = cli.get("tuning-cache");
     config.lsqr.max_iterations = cli.get_int("iterations");
     config.checkpoint.directory = cli.get("checkpoint-dir");
     config.checkpoint.every = cli.get_int("checkpoint-every");
@@ -114,6 +130,10 @@ int main(int argc, char** argv) {
     if (ranks <= 1) {
       const core::SolverRunReport report = core::run_solver(config);
       std::cout << report.summary();
+      std::cout << "        median iteration time "
+                << util::format_seconds(
+                       util::median(report.result.iteration_seconds))
+                << '\n';
       std::cout << "device:  "
                 << util::format_bytes(report.result.device_allocated_bytes)
                 << " resident, "
@@ -128,6 +148,8 @@ int main(int argc, char** argv) {
       dopts.lsqr = config.lsqr;
       dopts.checkpoint = config.checkpoint;
       dopts.max_restarts = static_cast<int>(cli.get_int("max-restarts"));
+      dopts.autotune = config.autotune.enabled;
+      dopts.autotune_search = config.autotune.search;
       const dist::DistLsqrResult result = dist::dist_lsqr_solve(gen.A, dopts);
       std::cout << "dist solve: " << result.iterations
                 << " iterations on " << result.final_ranks << " ranks\n"

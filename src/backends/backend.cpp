@@ -44,6 +44,12 @@ const std::vector<BackendKind>& all_backends() {
   return kinds;
 }
 
+bool honors_kernel_config(BackendKind kind) {
+  return dispatch(kind, [](auto exec) {
+    return decltype(exec)::kHonorsKernelConfig;
+  });
+}
+
 int OpenMPExec::resolve_threads(KernelConfig cfg) {
 #if defined(GAIA_HAS_OPENMP)
   const int hw = std::max(1, omp_get_max_threads());

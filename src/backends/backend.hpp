@@ -41,12 +41,18 @@ enum class BackendKind : std::uint8_t {
   kPstl,
   kGpuSim,
 };
+inline constexpr int kNumBackends = 4;
 
 [[nodiscard]] std::string to_string(BackendKind kind);
 [[nodiscard]] std::optional<BackendKind> parse_backend(
     const std::string& name);
 /// All backends compiled into this build.
 [[nodiscard]] const std::vector<BackendKind>& all_backends();
+
+/// Runtime view of Exec::kHonorsKernelConfig: whether launch shapes
+/// change execution on this backend (true for OpenMP and GpuSim). The
+/// autotuner refuses to search backends where the knob is a no-op.
+[[nodiscard]] bool honors_kernel_config(BackendKind kind);
 
 // ---------------------------------------------------------------------------
 // Execution policies

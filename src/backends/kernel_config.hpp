@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "util/types.hpp"
@@ -28,6 +29,27 @@ struct KernelConfig {
   bool operator==(const KernelConfig&) const = default;
 };
 
+/// Sanity bounds on launch shapes. No real GPU accepts more than 1024
+/// threads per block (CUDA/HIP hard limit; we allow 4096 for the
+/// simulated device's virtual threads), and a million blocks of host
+/// work is far past any shape this solver could use productively.
+inline constexpr std::int32_t kMaxBlocks = 1 << 20;
+inline constexpr std::int32_t kMaxThreads = 4096;
+
+/// True iff `cfg` is either the backend-default sentinel {0,0} or a
+/// positive shape within [1, kMaxBlocks] x [1, kMaxThreads]. Negative
+/// values and zero-paired-with-nonzero are never valid.
+[[nodiscard]] bool is_valid_kernel_config(KernelConfig cfg);
+
+/// Throws gaia::Error naming `context` and the offending values when
+/// `cfg` fails is_valid_kernel_config. Call sites: CLI parsing, tuning
+/// cache ingestion, TuningTable::set.
+void validate_kernel_config(KernelConfig cfg, const std::string& context);
+
+/// Parses "BxT" (e.g. "32x128") into a validated KernelConfig. Throws
+/// gaia::Error on malformed input or out-of-range values.
+[[nodiscard]] KernelConfig parse_kernel_config(const std::string& text);
+
 /// The eight hot kernels of the solver (paper SIV: aprod{1,2} x
 /// {astro, att, instr, glob}).
 enum class KernelId : std::uint8_t {
@@ -43,6 +65,12 @@ enum class KernelId : std::uint8_t {
 inline constexpr int kNumKernels = 8;
 
 [[nodiscard]] std::string to_string(KernelId id);
+/// Inverse of to_string(KernelId); nullopt for unknown names. Used by
+/// the tuning cache to validate kernel keys on load.
+[[nodiscard]] std::optional<KernelId> parse_kernel_id(
+    const std::string& name);
+/// All eight kernel ids in enum order (for registry/tuning iteration).
+[[nodiscard]] const std::array<KernelId, kNumKernels>& all_kernels();
 
 /// Whether the kernel performs atomic updates (all aprod2 kernels except
 /// the block-diagonal astrometric one, paper SIV).
@@ -57,10 +85,11 @@ class TuningTable {
   [[nodiscard]] KernelConfig get(KernelId id) const {
     return table_[static_cast<std::size_t>(id)];
   }
-  void set(KernelId id, KernelConfig cfg) {
-    table_[static_cast<std::size_t>(id)] = cfg;
-  }
-  void set_all(KernelConfig cfg) { table_.fill(cfg); }
+  /// Validates the shape (throws gaia::Error on negative/absurd values)
+  /// before storing — a TuningTable can never hold an unlaunchable
+  /// config.
+  void set(KernelId id, KernelConfig cfg);
+  void set_all(KernelConfig cfg);
 
   /// The production-code heuristic: full occupancy for aprod1, reduced
   /// blocks/threads where atomics collide (paper SIV "we redesigned the

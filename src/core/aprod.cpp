@@ -1,12 +1,15 @@
 #include "core/aprod.hpp"
 
-#include "core/aprod_kernels.hpp"
+#include "core/kernel_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "resilience/failover.hpp"
 #include "resilience/fault_injector.hpp"
 #include "resilience/retry.hpp"
+#include "tuning/autotuner.hpp"
+#include "tuning/kernel_registry.hpp"
 #include "util/profiler.hpp"
+#include "util/stopwatch.hpp"
 
 namespace gaia::core {
 
@@ -15,75 +18,25 @@ using backends::KernelId;
 
 namespace {
 
-/// Bytes a kernel moves through memory (the HBM-traffic accounting a
-/// vendor profiler reports): coefficient values + index arrays + vector
-/// gathers/scatters, per row. An estimate with the same structure as
-/// perfmodel::KernelCostModel::kernel_traffic_bytes, computed from the
-/// live system dimensions.
-std::uint64_t kernel_trace_bytes(const SystemView& v, KernelId id) {
-  const auto rows = static_cast<std::uint64_t>(v.n_rows);
-  const bool is_aprod1 = id < KernelId::kAprod2Astro;
-  int nnz = 0;
-  std::uint64_t idx_bytes = 0;
-  switch (id) {
-    case KernelId::kAprod1Astro:
-    case KernelId::kAprod2Astro:
-      nnz = kAstroNnzPerRow;
-      idx_bytes = sizeof(col_index);
-      break;
-    case KernelId::kAprod1Att:
-    case KernelId::kAprod2Att:
-      nnz = kAttNnzPerRow;
-      idx_bytes = sizeof(col_index);
-      break;
-    case KernelId::kAprod1Instr:
-    case KernelId::kAprod2Instr:
-      nnz = kInstrNnzPerRow;
-      idx_bytes = kInstrNnzPerRow * sizeof(std::int32_t);
-      break;
-    case KernelId::kAprod1Glob:
-    case KernelId::kAprod2Glob:
-      nnz = kGlobNnzPerRow;
-      idx_bytes = 0;
-      break;
-  }
-  const auto value_bytes = static_cast<std::uint64_t>(nnz) * sizeof(real);
-  // aprod1 gathers x (nnz reads) and read-modify-writes y once; aprod2
-  // reads y once and read-modify-writes nnz entries of x.
-  const std::uint64_t vector_bytes =
-      is_aprod1 ? value_bytes + 2 * sizeof(real)
-                : sizeof(real) + 2 * value_bytes;
-  return rows * (value_bytes + idx_bytes + vector_bytes);
-}
-
-const char* kernel_region_name(KernelId id) {
-  static const char* kNames[] = {"aprod1_astro", "aprod1_att",
-                                 "aprod1_instr", "aprod1_glob",
-                                 "aprod2_astro", "aprod2_att",
-                                 "aprod2_instr", "aprod2_glob"};
-  return kNames[static_cast<int>(id)];
-}
-
 /// Span annotations of one kernel launch: backend, launch shape
 /// (resolved to the actual grid for the gpusim backend), stream lane,
-/// and bytes moved.
-std::vector<obs::TraceArg> kernel_trace_args(BackendKind backend,
-                                             const AprodOptions& options,
-                                             const SystemView& view,
-                                             KernelId id,
-                                             std::int32_t stream) {
-  backends::KernelConfig cfg = options.tuning.get(id);
+/// bytes moved, and whether this launch was an autotuner trial.
+std::vector<obs::TraceArg> kernel_trace_args(
+    BackendKind backend, backends::KernelConfig cfg,
+    backends::AtomicMode atomic_mode, const SystemView& view, KernelId id,
+    std::int32_t stream, bool trial) {
   if (backend == BackendKind::kGpuSim)
     cfg = backends::GpuSimExec::resolve(cfg);
   std::vector<obs::TraceArg> args;
-  args.reserve(6);
+  args.reserve(7);
   args.emplace_back("backend", backends::to_string(backend));
   args.emplace_back("blocks", static_cast<std::int64_t>(cfg.blocks));
   args.emplace_back("threads", static_cast<std::int64_t>(cfg.threads));
   args.emplace_back("stream", static_cast<std::int64_t>(stream));
-  args.emplace_back("bytes", kernel_trace_bytes(view, id));
+  args.emplace_back("bytes", kernel_traffic_bytes(view, id));
   if (backends::kernel_uses_atomics(id))
-    args.emplace_back("atomic", backends::to_string(options.atomic_mode));
+    args.emplace_back("atomic", backends::to_string(atomic_mode));
+  if (trial) args.emplace_back("tuning_trial", std::int64_t{1});
   return args;
 }
 
@@ -113,6 +66,7 @@ Aprod::Aprod(const matrix::SystemMatrix& A, backends::DeviceContext& device,
       d_idx_att_(device, A.matrix_index_att(), options.coherence),
       d_instr_col_(device, A.instr_col(), options.coherence),
       d_star_row_start_(device, A.star_row_start(), options.coherence) {
+  ensure_kernel_catalog();
   view_ = SystemView::from(A);
   // Re-point the view at the device-resident copies.
   view_.values = d_values_.data();
@@ -128,25 +82,58 @@ Aprod::Aprod(const matrix::SystemMatrix& A, backends::DeviceContext& device,
 
 Aprod::~Aprod() = default;
 
-void Aprod::resilient_launch(KernelId id, std::int32_t track,
-                             const std::function<void(BackendKind)>& run) {
+bool Aprod::tuning_in_progress() const {
+  tuning::Autotuner* tuner = options_.autotuner;
+  return tuner && active_backend() == tuner->backend() && tuner->active();
+}
+
+void Aprod::launch_kernel(KernelId id, bool fused, const real* in, real* out,
+                          std::int32_t track) {
+  const tuning::KernelRegistry& registry = tuning::KernelRegistry::global();
   auto& injector = resilience::FaultInjector::global();
-  const char* name = kernel_region_name(id);
+  const char* name = fused ? "aprod2_fused" : kernel_region_name(id);
   for (;;) {
     const BackendKind backend = active_backend();
+    // Trial launches only happen on the tuner's own backend: after a
+    // failover the shapes being searched no longer describe the backend
+    // actually executing, so the run falls back to the installed table.
+    tuning::Autotuner* tuner = options_.autotuner;
+    const bool trial = !fused && tuner && backend == tuner->backend() &&
+                       tuner->searching(id);
+    const backends::KernelConfig cfg =
+        trial ? tuner->propose(id) : options_.tuning.get(id);
     try {
       resilience::with_retry(name, options_.retry, [&] {
         obs::ScopedTrace span(name, "kernel", track);
         if (span.armed())
-          for (auto& a :
-               kernel_trace_args(backend, options_, view_, id, track))
+          for (auto& a : kernel_trace_args(backend, cfg,
+                                           options_.atomic_mode, view_, id,
+                                           track, trial))
             span.add_arg(std::move(a));
         util::ScopedRegion region(name);
         if (injector.armed() &&
             injector.should_fail_kernel(name, backends::to_string(backend)))
           throw resilience::TransientFault(
               std::string("injected launch failure: ") + name);
-        run(backend);
+        tuning::LaunchArgs args;
+        args.view = &view_;
+        args.in = in;
+        args.out = out;
+        args.config = cfg;
+        args.atomic_mode = options_.atomic_mode;
+        if (trial) {
+          util::Stopwatch watch;
+          registry.launch(id, backend, args);
+          // Closing a kernel's search installs its measured winner into
+          // the live table, so the remaining iterations already run
+          // tuned.
+          if (tuner->report(id, cfg, watch.elapsed_s()))
+            options_.tuning.set(id, tuner->best(id));
+        } else if (fused) {
+          registry.launch_fused(backend, args);
+        } else {
+          registry.launch(id, backend, args);
+        }
       });
       return;
     } catch (const resilience::PersistentFault&) {
@@ -164,31 +151,6 @@ void Aprod::resilient_launch(KernelId id, std::int32_t track,
   }
 }
 
-void Aprod::launch_aprod1(KernelId id, const real* x, real* y) {
-  resilient_launch(id, obs::TraceRecorder::kMainTrack, [&](BackendKind bk) {
-    const backends::KernelConfig cfg = options_.tuning.get(id);
-    backends::dispatch(bk, [&](auto exec) {
-      using Exec = decltype(exec);
-      switch (id) {
-        case KernelId::kAprod1Astro:
-          aprod1_astro<Exec>(view_, x, y, cfg);
-          break;
-        case KernelId::kAprod1Att:
-          aprod1_att<Exec>(view_, x, y, cfg);
-          break;
-        case KernelId::kAprod1Instr:
-          aprod1_instr<Exec>(view_, x, y, cfg);
-          break;
-        case KernelId::kAprod1Glob:
-          aprod1_glob<Exec>(view_, x, y, cfg);
-          break;
-        default:
-          throw Error("launch_aprod1 called with an aprod2 kernel id");
-      }
-    });
-  });
-}
-
 void Aprod::apply1(std::span<const real> x, std::span<real> y) {
   GAIA_CHECK(static_cast<col_index>(x.size()) == view_.n_cols,
              "aprod1 x size mismatch");
@@ -201,42 +163,15 @@ void Aprod::apply1(std::span<const real> x, std::span<real> y) {
   // (one stream). Launched back to back on the calling thread, each one
   // independently retryable/failover-able (injected faults throw before
   // the kernel body runs, so a retried launch never double-applies).
-  launch_aprod1(KernelId::kAprod1Astro, xp, yp);
-  launch_aprod1(KernelId::kAprod1Att, xp, yp);
-  launch_aprod1(KernelId::kAprod1Instr, xp, yp);
-  launch_aprod1(KernelId::kAprod1Glob, xp, yp);
+  launch_kernel(KernelId::kAprod1Astro, false, xp, yp,
+                obs::TraceRecorder::kMainTrack);
+  launch_kernel(KernelId::kAprod1Att, false, xp, yp,
+                obs::TraceRecorder::kMainTrack);
+  launch_kernel(KernelId::kAprod1Instr, false, xp, yp,
+                obs::TraceRecorder::kMainTrack);
+  launch_kernel(KernelId::kAprod1Glob, false, xp, yp,
+                obs::TraceRecorder::kMainTrack);
   launches_ += view_.has_global ? 4 : 3;
-}
-
-void Aprod::launch_aprod2(KernelId id, const real* y, real* x,
-                          std::int32_t track) {
-  const backends::KernelConfig cfg = options_.tuning.get(id);
-  const backends::AtomicMode mode = options_.atomic_mode;
-  const int region_idx =
-      static_cast<int>(id) - static_cast<int>(KernelId::kAprod2Astro);
-  GAIA_CHECK(region_idx >= 0 && region_idx < 4,
-             "launch_aprod2 called with an aprod1 kernel id");
-  resilient_launch(id, track, [&](BackendKind bk) {
-    backends::dispatch(bk, [&](auto exec) {
-      using Exec = decltype(exec);
-      switch (id) {
-        case KernelId::kAprod2Astro:
-          aprod2_astro<Exec>(view_, y, x, cfg);
-          break;
-        case KernelId::kAprod2Att:
-          aprod2_att<Exec>(view_, y, x, cfg, mode);
-          break;
-        case KernelId::kAprod2Instr:
-          aprod2_instr<Exec>(view_, y, x, cfg, mode);
-          break;
-        case KernelId::kAprod2Glob:
-          aprod2_glob<Exec>(view_, y, x, cfg, mode);
-          break;
-        default:
-          throw Error("launch_aprod2 called with an aprod1 kernel id");
-      }
-    });
-  });
 }
 
 void Aprod::apply2(std::span<const real> y, std::span<real> x) {
@@ -249,31 +184,12 @@ void Aprod::apply2(std::span<const real> y, std::span<real> x) {
   obs::ScopedTrace pass("aprod2", "aprod");
 
   if (options_.fuse_aprod2) {
-    resilient_launch(KernelId::kAprod2Astro, obs::TraceRecorder::kMainTrack,
-                     [&](BackendKind bk) {
-                       backends::dispatch(bk, [&](auto exec) {
-                         using Exec = decltype(exec);
-                         aprod2_astro<Exec>(
-                             view_, yp, xp,
-                             options_.tuning.get(KernelId::kAprod2Astro));
-                       });
-                     });
-    {
-      // The fused scatter is traced under its own name but shares the
-      // attitude kernel's tuning/fault identity.
-      obs::ScopedTrace span("aprod2_fused", "kernel");
-      if (span.armed())
-        for (auto& a : kernel_trace_args(active_backend(), options_, view_,
-                                         KernelId::kAprod2Att, 0))
-          span.add_arg(std::move(a));
-      util::ScopedRegion region("aprod2_fused");
-      backends::dispatch(active_backend(), [&](auto exec) {
-        using Exec = decltype(exec);
-        aprod2_shared_fused<Exec>(view_, yp, xp,
-                                  options_.tuning.get(KernelId::kAprod2Att),
-                                  options_.atomic_mode);
-      });
-    }
+    launch_kernel(KernelId::kAprod2Astro, false, yp, xp,
+                  obs::TraceRecorder::kMainTrack);
+    // The fused scatter is traced under its own name but shares the
+    // attitude kernel's tuning/fault identity.
+    launch_kernel(KernelId::kAprod2Att, true, yp, xp,
+                  obs::TraceRecorder::kMainTrack);
     launches_ += 2;
     return;
   }
@@ -283,22 +199,25 @@ void Aprod::apply2(std::span<const real> y, std::span<real> x) {
       KernelId::kAprod2Glob};
   const std::size_t active = view_.has_global ? 4 : 3;
 
-  if (options_.use_streams) {
+  if (options_.use_streams && !tuning_in_progress()) {
     // The scatters target disjoint sections of x, so overlapping them
     // does not increase atomic contention (paper SIV); each kernel goes
     // to its own stream, then all streams are joined. A launch fault
     // inside a stream retries/fails-over on the stream's thread; an
-    // exhausted chain surfaces at synchronize().
+    // exhausted chain surfaces at synchronize(). While the autotuner is
+    // still searching, overlap is suppressed: four concurrent kernels
+    // would pollute each other's trial timings.
     for (std::size_t k = 0; k < active; ++k) {
       streams_[k]->enqueue([this, id = kernels[k], yp, xp,
                             track = streams_[k]->id()] {
-        launch_aprod2(id, yp, xp, track);
+        launch_kernel(id, false, yp, xp, track);
       });
     }
     for (std::size_t k = 0; k < active; ++k) streams_[k]->synchronize();
   } else {
     for (std::size_t k = 0; k < active; ++k)
-      launch_aprod2(kernels[k], yp, xp, obs::TraceRecorder::kMainTrack);
+      launch_kernel(kernels[k], false, yp, xp,
+                    obs::TraceRecorder::kMainTrack);
   }
   launches_ += active;
 }

@@ -6,12 +6,18 @@
 /// construction — the "matrices are copied to the GPU before the main
 /// loop and remain there until the end" contract of paper SIV-a) and the
 /// four streams used to overlap the aprod2 scatter kernels.
+///
+/// Every kernel launch — normal, failover re-dispatch, and autotuner
+/// trial — goes through one path (`launch_kernel`) that dispatches via
+/// `tuning::KernelRegistry`. When an `Autotuner` is attached, launches
+/// of kernels still under search run the tuner's candidate shape, are
+/// timed, and feed the measurement back; the winner is installed into
+/// the live TuningTable the moment a kernel's search closes.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <span>
 
@@ -23,6 +29,10 @@
 #include "core/system_view.hpp"
 #include "matrix/system_matrix.hpp"
 #include "util/backoff.hpp"
+
+namespace gaia::tuning {
+class Autotuner;
+}
 
 namespace gaia::core {
 
@@ -48,6 +58,10 @@ struct AprodOptions {
   /// degradation chain (gpusim -> openmp -> serial) for the remainder
   /// of the run instead of aborting.
   bool failover = true;
+  /// Online launch-shape search: when set (and its backend matches the
+  /// active one), kernels still under search launch trial shapes and
+  /// report their timings. Not owned; must outlive the Aprod.
+  tuning::Autotuner* autotuner = nullptr;
 };
 
 class Aprod {
@@ -65,6 +79,14 @@ class Aprod {
   [[nodiscard]] const SystemView& view() const { return view_; }
   [[nodiscard]] row_index n_rows() const { return view_.n_rows; }
   [[nodiscard]] col_index n_cols() const { return view_.n_cols; }
+
+  /// Live launch shapes (updated by the autotuner as searches close).
+  [[nodiscard]] const backends::TuningTable& tuning() const {
+    return options_.tuning;
+  }
+  void set_tuning(const backends::TuningTable& table) {
+    options_.tuning = table;
+  }
 
   /// Backend currently executing kernels. Equals options().backend until
   /// a persistent launch fault triggers failover down the chain.
@@ -87,19 +109,22 @@ class Aprod {
   [[nodiscard]] std::uint64_t launches() const { return launches_; }
 
  private:
+  /// The single launch path: resolves the shape (tuner candidate or
+  /// installed table), dispatches through the KernelRegistry under the
+  /// retry budget with fault injection, and on a persistent fault fails
+  /// over to the next backend in the chain (atomically, first thread
+  /// wins) and re-dispatches — through the same registry. `fused` routes
+  /// to the fused aprod2 scatter, which shares `id`'s (= kAprod2Att's)
+  /// tuning and fault identity but is traced under its own name.
   /// `track` is the trace-timeline lane: 0 for the calling thread,
   /// Stream::id() when the kernel was enqueued on a stream.
-  void launch_aprod1(backends::KernelId id, const real* x, real* y);
-  void launch_aprod2(backends::KernelId id, const real* y, real* x,
-                     std::int32_t track);
+  void launch_kernel(backends::KernelId id, bool fused, const real* in,
+                     real* out, std::int32_t track);
 
-  /// Runs `run(backend)` under the retry budget with fault injection;
-  /// on a persistent fault, fails over to the next backend in the chain
-  /// (atomically, first thread wins) and tries again. Throws
-  /// resilience::PersistentFault once the chain is exhausted.
-  void resilient_launch(
-      backends::KernelId id, std::int32_t track,
-      const std::function<void(backends::BackendKind)>& run);
+  /// True while trial launches may still happen on the active backend —
+  /// apply2 then keeps kernels on the calling thread (no stream overlap)
+  /// so trial timings measure one kernel, not four.
+  [[nodiscard]] bool tuning_in_progress() const;
 
   AprodOptions options_;
   std::atomic<backends::BackendKind> active_backend_;

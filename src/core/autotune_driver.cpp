@@ -1,0 +1,34 @@
+#include "core/autotune_driver.hpp"
+
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "tuning/autotuner.hpp"
+
+namespace gaia::core {
+
+AutotuneWarmupReport autotune_warmup(Aprod& aprod, tuning::Autotuner& tuner,
+                                     int max_rounds) {
+  AutotuneWarmupReport report;
+  obs::ScopedTrace span("autotune_warmup", "tuning");
+  std::vector<real> x(static_cast<std::size_t>(aprod.n_cols()), real{0});
+  std::vector<real> y(static_cast<std::size_t>(aprod.n_rows()), real{0});
+  while (tuner.active() && report.rounds < max_rounds) {
+    aprod.apply1(x, y);
+    aprod.apply2(y, x);
+    report.rounds++;
+  }
+  tuner.finish();
+  aprod.set_tuning(tuner.apply_winners(aprod.tuning()));
+  report.kernels_tuned = tuner.kernels_tuned();
+  report.trials = tuner.trials();
+  if (span.armed()) {
+    span.add_arg({"rounds", static_cast<std::int64_t>(report.rounds)});
+    span.add_arg(
+        {"kernels_tuned", static_cast<std::int64_t>(report.kernels_tuned)});
+    span.add_arg({"trials", static_cast<std::int64_t>(report.trials)});
+  }
+  return report;
+}
+
+}  // namespace gaia::core

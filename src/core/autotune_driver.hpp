@@ -1,0 +1,39 @@
+/// \file autotune_driver.hpp
+/// \brief Warm-up orchestration of the online launch-shape search.
+///
+/// The Autotuner itself is passive — it only proposes and scores shapes
+/// when the Aprod driver launches kernels. This driver supplies the
+/// launches: warm-up rounds of the exact aprod1/aprod2 sequence an LSQR
+/// iteration performs, over zero-valued vectors (y += A·0 and x += Aᵀ·0
+/// leave every vector untouched, so warm-up has no numerical effect on
+/// the solve that follows). Used by run_solver and the dist solver's
+/// rank 0 before the iteration loop starts.
+#pragma once
+
+#include <cstdint>
+
+#include "core/aprod.hpp"
+
+namespace gaia::tuning {
+class Autotuner;
+}
+
+namespace gaia::core {
+
+struct AutotuneWarmupReport {
+  /// Warm-up apply1+apply2 rounds executed.
+  int rounds = 0;
+  /// Kernels whose search closed with a measured winner.
+  int kernels_tuned = 0;
+  /// Timed trial launches consumed across all kernels.
+  std::uint64_t trials = 0;
+};
+
+/// Runs warm-up rounds through `aprod` (which must have `tuner` attached
+/// via AprodOptions::autotuner) until every kernel's search closes or
+/// `max_rounds` is exhausted, then closes any stragglers and installs
+/// all measured winners into the aprod's live TuningTable.
+AutotuneWarmupReport autotune_warmup(Aprod& aprod, tuning::Autotuner& tuner,
+                                     int max_rounds = 256);
+
+}  // namespace gaia::core

@@ -1,0 +1,110 @@
+#include "core/kernel_catalog.hpp"
+
+#include <mutex>
+
+#include "core/aprod_kernels.hpp"
+#include "tuning/kernel_registry.hpp"
+
+namespace gaia::core {
+
+using backends::BackendKind;
+using backends::KernelId;
+using tuning::KernelRegistry;
+using tuning::LaunchArgs;
+
+namespace {
+
+/// Instantiates all launchers for one execution policy and hands them to
+/// the registry. Each launcher captures nothing: the full launch state
+/// travels in LaunchArgs, so the registry entries are valid for the
+/// process lifetime.
+template <typename Exec>
+void register_kernels(KernelRegistry& reg) {
+  constexpr BackendKind kind = Exec::kKind;
+  reg.add(KernelId::kAprod1Astro, kind, [](const LaunchArgs& a) {
+    aprod1_astro<Exec>(*a.view, a.in, a.out, a.config);
+  });
+  reg.add(KernelId::kAprod1Att, kind, [](const LaunchArgs& a) {
+    aprod1_att<Exec>(*a.view, a.in, a.out, a.config);
+  });
+  reg.add(KernelId::kAprod1Instr, kind, [](const LaunchArgs& a) {
+    aprod1_instr<Exec>(*a.view, a.in, a.out, a.config);
+  });
+  reg.add(KernelId::kAprod1Glob, kind, [](const LaunchArgs& a) {
+    aprod1_glob<Exec>(*a.view, a.in, a.out, a.config);
+  });
+  reg.add(KernelId::kAprod2Astro, kind, [](const LaunchArgs& a) {
+    aprod2_astro<Exec>(*a.view, a.in, a.out, a.config);
+  });
+  reg.add(KernelId::kAprod2Att, kind, [](const LaunchArgs& a) {
+    aprod2_att<Exec>(*a.view, a.in, a.out, a.config, a.atomic_mode);
+  });
+  reg.add(KernelId::kAprod2Instr, kind, [](const LaunchArgs& a) {
+    aprod2_instr<Exec>(*a.view, a.in, a.out, a.config, a.atomic_mode);
+  });
+  reg.add(KernelId::kAprod2Glob, kind, [](const LaunchArgs& a) {
+    aprod2_glob<Exec>(*a.view, a.in, a.out, a.config, a.atomic_mode);
+  });
+  reg.add_fused(kind, [](const LaunchArgs& a) {
+    aprod2_shared_fused<Exec>(*a.view, a.in, a.out, a.config, a.atomic_mode);
+  });
+}
+
+}  // namespace
+
+void ensure_kernel_catalog() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    KernelRegistry& reg = KernelRegistry::global();
+    register_kernels<backends::SerialExec>(reg);
+    register_kernels<backends::OpenMPExec>(reg);
+    register_kernels<backends::PstlExec>(reg);
+    register_kernels<backends::GpuSimExec>(reg);
+  });
+}
+
+const char* kernel_region_name(KernelId id) {
+  static const char* kNames[] = {"aprod1_astro", "aprod1_att",
+                                 "aprod1_instr", "aprod1_glob",
+                                 "aprod2_astro", "aprod2_att",
+                                 "aprod2_instr", "aprod2_glob"};
+  return kNames[static_cast<int>(id)];
+}
+
+std::uint64_t kernel_traffic_bytes(const SystemView& v, KernelId id) {
+  const auto rows = static_cast<std::uint64_t>(v.n_rows);
+  const bool is_aprod1 = id < KernelId::kAprod2Astro;
+  int nnz = 0;
+  std::uint64_t idx_bytes = 0;
+  switch (id) {
+    case KernelId::kAprod1Astro:
+    case KernelId::kAprod2Astro:
+      nnz = kAstroNnzPerRow;
+      idx_bytes = sizeof(col_index);
+      break;
+    case KernelId::kAprod1Att:
+    case KernelId::kAprod2Att:
+      nnz = kAttNnzPerRow;
+      idx_bytes = sizeof(col_index);
+      break;
+    case KernelId::kAprod1Instr:
+    case KernelId::kAprod2Instr:
+      nnz = kInstrNnzPerRow;
+      idx_bytes = kInstrNnzPerRow * sizeof(std::int32_t);
+      break;
+    case KernelId::kAprod1Glob:
+    case KernelId::kAprod2Glob:
+      nnz = kGlobNnzPerRow;
+      idx_bytes = 0;
+      break;
+  }
+  const auto value_bytes = static_cast<std::uint64_t>(nnz) * sizeof(real);
+  // aprod1 gathers x (nnz reads) and read-modify-writes y once; aprod2
+  // reads y once and read-modify-writes nnz entries of x.
+  const std::uint64_t vector_bytes =
+      is_aprod1 ? value_bytes + 2 * sizeof(real)
+                : sizeof(real) + 2 * value_bytes;
+  return rows * (value_bytes + idx_bytes + vector_bytes);
+}
+
+}  // namespace gaia::core

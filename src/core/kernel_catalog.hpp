@@ -1,0 +1,36 @@
+/// \file kernel_catalog.hpp
+/// \brief Registers the solver's kernels with the tuning registry.
+///
+/// The tuning library owns the dispatch *mechanism* (a type-erased
+/// (KernelId, Backend) table); this file owns the dispatch *content*:
+/// the eight templated aprod kernels instantiated for every compiled
+/// backend, plus the fused aprod2 scatter. Registration is idempotent
+/// and runs on first Aprod construction, so any binary that launches a
+/// kernel has a fully populated registry without global-initializer
+/// ordering games across libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "backends/kernel_config.hpp"
+
+namespace gaia::core {
+
+struct SystemView;
+
+/// Populates tuning::KernelRegistry::global() with every (kernel,
+/// backend) launcher (idempotent, thread-safe).
+void ensure_kernel_catalog();
+
+/// Stable region/span name of a kernel ("aprod2_att", ...).
+[[nodiscard]] const char* kernel_region_name(backends::KernelId id);
+
+/// Bytes a kernel moves through memory (the HBM-traffic accounting a
+/// vendor profiler reports): coefficient values + index arrays + vector
+/// gathers/scatters, per row. An estimate with the same structure as
+/// perfmodel::KernelCostModel::kernel_traffic_bytes, computed from the
+/// live system dimensions.
+[[nodiscard]] std::uint64_t kernel_traffic_bytes(const SystemView& view,
+                                                 backends::KernelId id);
+
+}  // namespace gaia::core

@@ -139,7 +139,10 @@ struct LsqrEngine::Impl {
     mix(static_cast<std::uint64_t>(A->n_cols()));
     // max_iterations is deliberately NOT part of the fingerprint: the
   // iteration budget does not change the trajectory, so a resumed run
-  // may extend it (rerun with a larger --iterations).
+  // may extend it (rerun with a larger --iterations). Launch-shape
+  // tuning (AprodOptions::tuning, the autotuner) is excluded for the
+  // same reason: shapes change kernel timing, never the numerics, so a
+  // checkpoint taken untuned may be resumed autotuned and vice versa.
     mix(static_cast<std::uint64_t>(options.precondition));
     mix(static_cast<std::uint64_t>(options.compute_std_errors));
     mix(std::bit_cast<std::uint64_t>(options.damp));

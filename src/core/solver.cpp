@@ -3,11 +3,66 @@
 #include <iostream>
 #include <sstream>
 
+#include "core/autotune_driver.hpp"
 #include "core/lsqr_engine.hpp"
+#include "obs/metrics.hpp"
+#include "tuning/tuning_cache.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_utils.hpp"
 
 namespace gaia::core {
+
+namespace {
+
+/// Resolves the launch shapes the solve will run with: a complete cache
+/// entry for this (backend, shape bucket) skips the search outright;
+/// otherwise a warm-up search runs on a scoped device (its residency is
+/// released before the real solve allocates), and fresh winners are
+/// sealed back to the cache file.
+void run_autotune(const SolverRunConfig& config,
+                  const matrix::SystemMatrix& A, LsqrOptions& lsqr,
+                  SolverRunReport& report) {
+  report.autotune_enabled = true;
+  const backends::BackendKind backend = lsqr.aprod.backend;
+  const tuning::ShapeBucket bucket =
+      tuning::bucket_for(A.n_rows(), A.n_cols());
+
+  tuning::TuningCache cache;
+  auto& metrics = obs::MetricsRegistry::global();
+  if (!config.autotune.cache_path.empty() &&
+      cache.load(config.autotune.cache_path) &&
+      cache.complete_for(backend, bucket)) {
+    report.kernels_tuned = cache.apply(backend, bucket, lsqr.aprod.tuning);
+    report.autotune_cache_hit = true;
+    if (metrics.enabled()) metrics.counter("tuning.cache_hits").add(1);
+    return;
+  }
+  if (metrics.enabled()) metrics.counter("tuning.cache_misses").add(1);
+  if (!backends::honors_kernel_config(backend)) return;
+
+  tuning::Autotuner tuner(backend, config.autotune.search);
+  {
+    backends::DeviceContext device(lsqr.device_capacity, "autotune");
+    AprodOptions opts = lsqr.aprod;
+    opts.autotuner = &tuner;
+    Aprod aprod(A, device, opts);
+    const AutotuneWarmupReport warm =
+        autotune_warmup(aprod, tuner, config.autotune.max_warmup_rounds);
+    lsqr.aprod.tuning = aprod.tuning();
+    report.kernels_tuned = warm.kernels_tuned;
+    report.tuning_trials = warm.trials;
+  }
+  if (!config.autotune.cache_path.empty()) {
+    // Seal the *full* table for this key — including kernels the search
+    // left at their prior shape — so the next run's complete_for() check
+    // can skip the search without re-deriving anything.
+    for (backends::KernelId id : backends::all_kernels())
+      cache.put(backend, bucket, id, lsqr.aprod.tuning.get(id));
+    cache.save(config.autotune.cache_path);
+  }
+}
+
+}  // namespace
 
 SolverRunReport run_solver(const SolverRunConfig& config) {
   util::Stopwatch watch;
@@ -25,15 +80,19 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
   report.n_constraints = generated.A.n_constraints();
   report.system_bytes = generated.A.footprint_bytes();
 
+  LsqrOptions lsqr = config.lsqr;
+  if (config.autotune.enabled) run_autotune(config, generated.A, lsqr, report);
+  report.tuning_used = lsqr.aprod.tuning;
+
   watch.reset();
   resilience::CheckpointManager manager(config.checkpoint);
   if (!manager.enabled()) {
-    report.result = lsqr_solve(generated.A, config.lsqr);
+    report.result = lsqr_solve(generated.A, lsqr);
     report.solve_seconds = watch.elapsed_s();
     return report;
   }
 
-  core::LsqrEngine engine(generated.A, config.lsqr);
+  core::LsqrEngine engine(generated.A, lsqr);
   // Auto-resume: walk the rotation newest-first and take the first
   // checkpoint that passes both the CRC framing and the engine's
   // problem-fingerprint check; anything corrupt or stale is skipped
@@ -75,6 +134,18 @@ std::string SolverRunReport::summary() const {
      << util::format_bytes(system_bytes) << '\n';
   os << "solve:  " << result.iterations << " iterations, stop: \""
      << to_string(result.istop) << "\"\n";
+  if (autotune_enabled) {
+    os << "tuning: ";
+    if (autotune_cache_hit)
+      os << "loaded " << kernels_tuned
+         << " kernel shape(s) from cache (search skipped)";
+    else if (tuning_trials > 0)
+      os << "autotuned " << kernels_tuned << " kernel(s) in "
+         << tuning_trials << " trial launch(es)";
+    else
+      os << "backend ignores launch shapes; nothing to tune";
+    os << '\n';
+  }
   os << "        mean iteration time "
      << util::format_seconds(result.mean_iteration_s) << ", total solve "
      << util::format_seconds(solve_seconds) << '\n';

@@ -15,8 +15,21 @@
 #include "core/lsqr.hpp"
 #include "matrix/generator.hpp"
 #include "resilience/checkpoint.hpp"
+#include "tuning/autotuner.hpp"
 
 namespace gaia::core {
+
+/// Launch-shape autotuning for a solver run (off by default).
+struct AutotuneRunConfig {
+  bool enabled = false;
+  /// CRC-framed JSON cache file. When the file already holds winners for
+  /// this (backend, problem-shape bucket) the search is skipped; after a
+  /// fresh search the winners are sealed back. Empty = no persistence.
+  std::string cache_path;
+  tuning::AutotuneOptions search{};
+  /// Upper bound on warm-up apply1+apply2 rounds used by the search.
+  int max_warmup_rounds = 256;
+};
 
 struct SolverRunConfig {
   /// Either an explicit generator configuration...
@@ -32,6 +45,11 @@ struct SolverRunConfig {
   /// directory already holds checkpoints of the same run, auto-resumes
   /// from the newest one that verifies.
   resilience::CheckpointConfig checkpoint{};
+
+  /// Online (blocks, threads) search before the solve, with a persistent
+  /// cache (paper SIV/SV-B: per-kernel launch shapes are worth up to
+  /// 40 % of the iteration time and the optimum is device-dependent).
+  AutotuneRunConfig autotune{};
 };
 
 struct SolverRunReport {
@@ -46,6 +64,15 @@ struct SolverRunReport {
   /// sealed during this run.
   std::int64_t resumed_from_iteration = -1;
   std::uint64_t checkpoints_written = 0;
+
+  /// Autotuning outcome (all zero/false unless autotune.enabled).
+  bool autotune_enabled = false;
+  /// All shapes came from the cache; no search ran.
+  bool autotune_cache_hit = false;
+  int kernels_tuned = 0;
+  std::uint64_t tuning_trials = 0;
+  /// Launch shapes the solve actually ran with.
+  backends::TuningTable tuning_used{};
 
   /// One-paragraph human summary (examples print it verbatim).
   [[nodiscard]] std::string summary() const;

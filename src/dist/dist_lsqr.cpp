@@ -9,6 +9,7 @@
 #include <optional>
 #include <sstream>
 
+#include "core/autotune_driver.hpp"
 #include "core/preconditioner.hpp"
 #include "core/vector_ops.hpp"
 #include "resilience/fault_injector.hpp"
@@ -202,6 +203,28 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
         backends::DeviceContext device(options.lsqr.device_capacity,
                                        "rank" + std::to_string(rank));
         Aprod aprod(local, device, options.lsqr.aprod);
+
+        if (options.autotune) {
+          // Rank 0 searches on its own slice; everyone else waits in the
+          // broadcast. All ranks then install the same winning table —
+          // identical shapes keep the max-over-ranks iteration time
+          // meaningful and the per-rank kernel timelines comparable.
+          std::vector<real> encoded(
+              2 * static_cast<std::size_t>(backends::kNumKernels), real{0});
+          if (rank == 0) {
+            tuning::Autotuner tuner(options.lsqr.aprod.backend,
+                                    options.autotune_search);
+            core::AprodOptions tune_opts = options.lsqr.aprod;
+            tune_opts.autotuner = &tuner;
+            backends::DeviceContext tune_device(
+                options.lsqr.device_capacity, "rank0-autotune");
+            Aprod tune_aprod(local, tune_device, tune_opts);
+            core::autotune_warmup(tune_aprod, tuner);
+            encoded = tuning::encode_table(tune_aprod.tuning());
+          }
+          comm.bcast(encoded, 0);
+          aprod.set_tuning(tuning::decode_table(encoded));
+        }
 
         // Local obs rows sit at [row_offset, row_offset + obs_local) of
         // the global row space; the last rank also owns the constraint

@@ -14,6 +14,7 @@
 #include "dist/comm.hpp"
 #include "dist/partition.hpp"
 #include "resilience/checkpoint.hpp"
+#include "tuning/autotuner.hpp"
 
 namespace gaia::dist {
 
@@ -29,6 +30,12 @@ struct DistLsqrOptions {
   /// recovery drops the dead rank, re-partitions over the survivors and
   /// resumes from the newest valid checkpoint.
   int max_restarts = 3;
+  /// Launch-shape search before the iteration loop: rank 0 tunes on its
+  /// local slice and broadcasts the winning table, so every rank runs
+  /// identical shapes (the production rule — mismatched shapes would
+  /// skew the max-over-ranks iteration time).
+  bool autotune = false;
+  tuning::AutotuneOptions autotune_search{};
 };
 
 struct DistLsqrResult {

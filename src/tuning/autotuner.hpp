@@ -1,0 +1,131 @@
+/// \file autotuner.hpp
+/// \brief Online (blocks, threads) search over live kernel launches.
+///
+/// The paper finds the winning launch shapes empirically — nsys sweeps
+/// per GPU, with *small* thread counts winning the atomic-heavy aprod2
+/// kernels — and its exascale follow-up (Cesare et al. 2023) shows the
+/// optimum moves with both the device and the problem size. So the
+/// search has to happen at runtime, on the user's actual system: during
+/// warm-up launches the `Aprod` driver asks this class to `propose()` a
+/// candidate shape, times the launch, and `report()`s the measurement
+/// back; the tuner walks a pow-2 grid by greedy coordinate descent and
+/// keeps the shape with the lowest *median* launch time (medians resist
+/// the scheduler noise of a shared host).
+///
+/// Atomic kernels (`kernel_uses_atomics`) start the descent at a narrow
+/// shape — the paper's core tuning insight is that fewer concurrent
+/// threads mean fewer atomic collisions — while gather kernels start
+/// wide. Backends whose launch shape is a no-op (serial, PSTL) are
+/// never searched: `active()` is false and the solver runs as if no
+/// tuner were attached.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "backends/backend.hpp"
+#include "util/types.hpp"
+
+namespace gaia::tuning {
+
+struct AutotuneOptions {
+  /// Launches timed per candidate shape; the median is the score.
+  int samples_per_config = 3;
+  /// Budget: candidate shapes evaluated per kernel before the search is
+  /// cut off (the greedy descent usually converges well under this).
+  int max_configs_per_kernel = 12;
+  /// The pow-2 axes of the search grid.
+  std::vector<std::int32_t> block_grid{8, 16, 32, 64, 128, 256};
+  std::vector<std::int32_t> thread_grid{32, 64, 128, 256, 512};
+};
+
+/// Per-(backend) search state over all eight kernels. Thread-safe: the
+/// stream threads of an overlapped aprod2 could race propose/report (the
+/// driver disables overlap while tuning, but the tuner does not rely on
+/// it).
+class Autotuner {
+ public:
+  explicit Autotuner(backends::BackendKind backend,
+                     AutotuneOptions options = {});
+
+  [[nodiscard]] backends::BackendKind backend() const { return backend_; }
+
+  /// True while at least one kernel's search is still open. Permanently
+  /// false on backends that ignore launch shapes.
+  [[nodiscard]] bool active() const;
+  /// True while `id`'s search is still open.
+  [[nodiscard]] bool searching(backends::KernelId id) const;
+
+  /// Candidate shape the next launch of `id` should use. Returns the
+  /// best-known shape once the search is closed.
+  [[nodiscard]] backends::KernelConfig propose(backends::KernelId id);
+
+  /// Feed back one timed launch of `id` at shape `cfg`. Measurements for
+  /// a shape other than the current candidate (failover ran the launch
+  /// elsewhere, or the caller used the installed table) are ignored.
+  /// Returns true exactly when this report *closes* `id`'s search.
+  bool report(backends::KernelId id, backends::KernelConfig cfg,
+              double seconds);
+
+  /// Best shape found so far ({0,0} until the first candidate scored).
+  [[nodiscard]] backends::KernelConfig best(backends::KernelId id) const;
+  /// Median launch seconds of the best shape (inf until scored).
+  [[nodiscard]] double best_median_s(backends::KernelId id) const;
+
+  /// Timed launches consumed so far (all kernels).
+  [[nodiscard]] std::uint64_t trials() const;
+  /// Kernels whose search closed with a measured winner.
+  [[nodiscard]] int kernels_tuned() const;
+
+  /// `base` with every measured winner installed.
+  [[nodiscard]] backends::TuningTable apply_winners(
+      backends::TuningTable base) const;
+
+  /// Close every kernel's search (keeps the winners found so far).
+  void finish();
+
+ private:
+  struct Candidate {
+    int bi = 0;  ///< index into options_.block_grid
+    int ti = 0;  ///< index into options_.thread_grid
+  };
+  struct KernelSearch {
+    bool started = false;
+    bool finished = false;
+    Candidate current{};
+    std::vector<double> samples;   ///< of the current candidate
+    std::vector<Candidate> pending;
+    std::set<std::pair<int, int>> visited;
+    Candidate best{};
+    double best_median = 0;  ///< valid iff scored
+    bool scored = false;
+    int evaluated = 0;
+  };
+
+  [[nodiscard]] backends::KernelConfig config_of(Candidate c) const;
+  void seed_locked(backends::KernelId id, KernelSearch& s);
+  void push_neighbors_locked(KernelSearch& s, Candidate c);
+  [[nodiscard]] int nearest_index(const std::vector<std::int32_t>& grid,
+                                  std::int32_t value) const;
+
+  backends::BackendKind backend_;
+  AutotuneOptions options_;
+  bool enabled_;  ///< honors_kernel_config(backend_)
+  mutable std::mutex mutex_;
+  std::array<KernelSearch, backends::kNumKernels> search_{};
+  std::uint64_t trials_ = 0;
+};
+
+/// Flat encoding of a TuningTable as 2*kNumKernels reals (blocks,
+/// threads per kernel in enum order) — the dist layer broadcasts rank
+/// 0's winners to all ranks through the existing Comm::bcast(span<real>)
+/// so every rank runs identical shapes.
+[[nodiscard]] std::vector<real> encode_table(
+    const backends::TuningTable& table);
+[[nodiscard]] backends::TuningTable decode_table(std::span<const real> data);
+
+}  // namespace gaia::tuning

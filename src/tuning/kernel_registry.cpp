@@ -1,0 +1,62 @@
+#include "tuning/kernel_registry.hpp"
+
+#include "util/error.hpp"
+
+namespace gaia::tuning {
+
+void KernelRegistry::add(backends::KernelId id,
+                         backends::BackendKind backend,
+                         KernelLauncher launcher) {
+  GAIA_CHECK(launcher != nullptr, "KernelRegistry::add: null launcher");
+  table_[index(id, backend)] = std::move(launcher);
+}
+
+void KernelRegistry::add_fused(backends::BackendKind backend,
+                               KernelLauncher launcher) {
+  GAIA_CHECK(launcher != nullptr, "KernelRegistry::add_fused: null launcher");
+  fused_[static_cast<std::size_t>(backend)] = std::move(launcher);
+}
+
+bool KernelRegistry::has(backends::KernelId id,
+                         backends::BackendKind backend) const {
+  return table_[index(id, backend)] != nullptr;
+}
+
+bool KernelRegistry::has_fused(backends::BackendKind backend) const {
+  return fused_[static_cast<std::size_t>(backend)] != nullptr;
+}
+
+void KernelRegistry::launch(backends::KernelId id,
+                            backends::BackendKind backend,
+                            const LaunchArgs& args) const {
+  const KernelLauncher& fn = table_[index(id, backend)];
+  if (!fn)
+    throw Error("KernelRegistry: no launcher registered for kernel " +
+                backends::to_string(id) + " on backend " +
+                backends::to_string(backend));
+  fn(args);
+}
+
+void KernelRegistry::launch_fused(backends::BackendKind backend,
+                                  const LaunchArgs& args) const {
+  const KernelLauncher& fn = fused_[static_cast<std::size_t>(backend)];
+  if (!fn)
+    throw Error("KernelRegistry: no fused aprod2 launcher registered for "
+                "backend " +
+                backends::to_string(backend));
+  fn(args);
+}
+
+std::size_t KernelRegistry::size() const {
+  std::size_t n = 0;
+  for (const auto& fn : table_)
+    if (fn) ++n;
+  return n;
+}
+
+KernelRegistry& KernelRegistry::global() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+}  // namespace gaia::tuning

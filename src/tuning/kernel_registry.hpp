@@ -1,0 +1,89 @@
+/// \file kernel_registry.hpp
+/// \brief Type-erased kernel dispatch: (KernelId, BackendKind) -> launcher.
+///
+/// Before this subsystem, every launch site in `core/aprod.cpp` carried
+/// its own `switch (id)` over the eight kernels — three copies of the
+/// same dispatch, and anything new (the failover re-dispatch, the
+/// autotuner's trial launches, benches) grew a fourth. The registry
+/// replaces them with one table: each backend registers its eight
+/// templated kernel instantiations once (see `core/kernel_catalog.cpp`),
+/// and aprod, failover and bench all launch through `launch()`.
+///
+/// The launchers are type-erased `std::function`s over a flat argument
+/// struct so the registry depends only on forward declarations — the
+/// tuning library sits *below* core in the link order (core registers
+/// into it, tuning never calls into core).
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "backends/backend.hpp"
+#include "util/types.hpp"
+
+namespace gaia::core {
+struct SystemView;
+}
+
+namespace gaia::tuning {
+
+/// Flat argument pack of one kernel launch. `in`/`out` follow the data
+/// flow: for aprod1 kernels in = x (n_cols), out = y (n_rows); for
+/// aprod2 kernels in = y, out = x. atomic_mode is ignored by the
+/// atomic-free kernels.
+struct LaunchArgs {
+  const core::SystemView* view = nullptr;
+  const real* in = nullptr;
+  real* out = nullptr;
+  backends::KernelConfig config{};
+  backends::AtomicMode atomic_mode = backends::AtomicMode::kNativeRmw;
+};
+
+using KernelLauncher = std::function<void(const LaunchArgs&)>;
+
+/// Dense (KernelId x BackendKind) table of launchers plus one fused
+/// aprod2 launcher per backend (the fused scatter is not a KernelId of
+/// its own — it shares kAprod2Att's tuning and fault identity).
+///
+/// Registration happens once at startup (core::ensure_kernel_catalog());
+/// after that the table is read-only, so launches need no locking.
+class KernelRegistry {
+ public:
+  void add(backends::KernelId id, backends::BackendKind backend,
+           KernelLauncher launcher);
+  void add_fused(backends::BackendKind backend, KernelLauncher launcher);
+
+  [[nodiscard]] bool has(backends::KernelId id,
+                         backends::BackendKind backend) const;
+  [[nodiscard]] bool has_fused(backends::BackendKind backend) const;
+
+  /// Dispatches through the registered launcher; throws gaia::Error
+  /// naming the (kernel, backend) pair when nothing is registered —
+  /// a registration bug, not a user error.
+  void launch(backends::KernelId id, backends::BackendKind backend,
+              const LaunchArgs& args) const;
+  void launch_fused(backends::BackendKind backend,
+                    const LaunchArgs& args) const;
+
+  /// Registered (kernel, backend) entries, fused slots excluded.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Process-wide registry the solver dispatches through.
+  static KernelRegistry& global();
+
+ private:
+  [[nodiscard]] static std::size_t index(backends::KernelId id,
+                                         backends::BackendKind backend) {
+    return static_cast<std::size_t>(id) *
+               static_cast<std::size_t>(backends::kNumBackends) +
+           static_cast<std::size_t>(backend);
+  }
+
+  std::array<KernelLauncher,
+             static_cast<std::size_t>(backends::kNumKernels) *
+                 static_cast<std::size_t>(backends::kNumBackends)>
+      table_{};
+  std::array<KernelLauncher, backends::kNumBackends> fused_{};
+};
+
+}  // namespace gaia::tuning

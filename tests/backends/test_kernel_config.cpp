@@ -5,6 +5,8 @@
 #include <set>
 #include <string>
 
+#include "util/error.hpp"
+
 namespace gaia::backends {
 namespace {
 
@@ -63,6 +65,73 @@ TEST(TuningTable, TunedDefaultNarrowsAtomicKernels) {
   // The most contended kernel (single global column) is the narrowest.
   EXPECT_LE(t.get(KernelId::kAprod2Glob).total_threads(),
             t.get(KernelId::kAprod2Att).total_threads());
+}
+
+TEST(KernelConfig, ValidityAcceptsSentinelAndSaneShapes) {
+  EXPECT_TRUE(is_valid_kernel_config({0, 0}));  // "backend default"
+  EXPECT_TRUE(is_valid_kernel_config({1, 1}));
+  EXPECT_TRUE(is_valid_kernel_config({kMaxBlocks, kMaxThreads}));
+}
+
+TEST(KernelConfig, ValidityRejectsNegativeZeroPairedAndAbsurd) {
+  EXPECT_FALSE(is_valid_kernel_config({-1, 32}));
+  EXPECT_FALSE(is_valid_kernel_config({32, -32}));
+  EXPECT_FALSE(is_valid_kernel_config({0, 32}));  // half-default
+  EXPECT_FALSE(is_valid_kernel_config({32, 0}));
+  EXPECT_FALSE(is_valid_kernel_config({kMaxBlocks + 1, 32}));
+  EXPECT_FALSE(is_valid_kernel_config({32, kMaxThreads + 1}));
+}
+
+TEST(KernelConfig, ValidateNamesTheContextAndValues) {
+  EXPECT_NO_THROW(validate_kernel_config({32, 128}, "test"));
+  try {
+    validate_kernel_config({-3, 128}, "the-cli-flag");
+    FAIL() << "expected gaia::Error";
+  } catch (const Error& e) {
+    // The message must let the user locate and fix the input.
+    EXPECT_NE(std::string(e.what()).find("the-cli-flag"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+}
+
+TEST(KernelConfig, ParseAcceptsTheDocumentedForms) {
+  EXPECT_EQ(parse_kernel_config("32x128"), (KernelConfig{32, 128}));
+  EXPECT_EQ(parse_kernel_config("1X1"), (KernelConfig{1, 1}));
+  EXPECT_EQ(parse_kernel_config("8*256"), (KernelConfig{8, 256}));
+}
+
+TEST(KernelConfig, ParseRejectsMalformedAndOutOfRange) {
+  for (const std::string bad :
+       {"", "32", "x128", "32x", "32y128", "axb", "32x128x4", "-4x128",
+        "32x-1", "0x64", "2000000x32", "32x100000"}) {
+    EXPECT_THROW((void)parse_kernel_config(bad), Error) << "'" << bad << "'";
+  }
+}
+
+TEST(KernelId, ParseIsTheInverseOfToString) {
+  for (int k = 0; k < kNumKernels; ++k) {
+    const auto id = static_cast<KernelId>(k);
+    const auto parsed = parse_kernel_id(to_string(id));
+    ASSERT_TRUE(parsed.has_value()) << to_string(id);
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(parse_kernel_id("aprod3_astro").has_value());
+  EXPECT_FALSE(parse_kernel_id("").has_value());
+}
+
+TEST(KernelId, AllKernelsEnumeratesInOrder) {
+  const auto& all = all_kernels();
+  for (int k = 0; k < kNumKernels; ++k)
+    EXPECT_EQ(all[static_cast<std::size_t>(k)], static_cast<KernelId>(k));
+}
+
+TEST(TuningTable, SetRejectsUnlaunchableShapes) {
+  TuningTable t;
+  EXPECT_THROW(t.set(KernelId::kAprod1Astro, {-1, 32}), Error);
+  EXPECT_THROW(t.set(KernelId::kAprod1Astro, {32, kMaxThreads + 1}), Error);
+  EXPECT_THROW(t.set_all({0, 7}), Error);
+  // The failed set must not have modified the table.
+  EXPECT_TRUE(t.get(KernelId::kAprod1Astro).is_default());
 }
 
 TEST(TuningTable, UntunedIsUniform) {

@@ -1,0 +1,214 @@
+/// Persistence contract of the tuning cache: winners round-trip through
+/// the CRC-framed JSON file; anything torn, corrupted, or syntactically
+/// off is *ignored* (load() -> false, cache stays empty) so the solver
+/// falls back to searching; a different problem-shape bucket is a miss
+/// that forces a re-tune.
+#include "tuning/tuning_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "resilience/checkpoint.hpp"
+
+namespace gaia::tuning {
+namespace {
+
+namespace fs = std::filesystem;
+using backends::BackendKind;
+using backends::KernelConfig;
+using backends::KernelId;
+
+class TuningCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("gaia_tuning_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Cache with a complete gpusim entry set for `bucket`.
+  [[nodiscard]] static TuningCache full_cache(ShapeBucket bucket) {
+    TuningCache cache;
+    for (KernelId id : backends::all_kernels())
+      cache.put(BackendKind::kGpuSim, bucket, id,
+                {32 + static_cast<int>(id), 64});
+    return cache;
+  }
+
+  fs::path dir_;
+};
+
+TEST(ShapeBucketTest, BucketsAreFloorLog2) {
+  EXPECT_EQ(bucket_for(1024, 512), (ShapeBucket{10, 9}));
+  EXPECT_EQ(bucket_for(1023, 511), (ShapeBucket{9, 8}));
+  EXPECT_EQ(bucket_for(1, 1), (ShapeBucket{0, 0}));
+  // Degenerate sizes clamp instead of producing negative exponents.
+  EXPECT_EQ(bucket_for(0, -5), (ShapeBucket{0, 0}));
+  // Same order of magnitude -> same bucket (the transfer rule).
+  EXPECT_EQ(bucket_for(40000, 3000), bucket_for(65535, 2048));
+}
+
+TEST_F(TuningCacheTest, PutFindApplyRoundTrip) {
+  const ShapeBucket bucket{15, 11};
+  TuningCache cache;
+  EXPECT_FALSE(cache.find(BackendKind::kGpuSim, bucket, KernelId::kAprod2Att)
+                   .has_value());
+  EXPECT_FALSE(cache.complete_for(BackendKind::kGpuSim, bucket));
+
+  cache.put(BackendKind::kGpuSim, bucket, KernelId::kAprod2Att, {32, 32});
+  const auto hit =
+      cache.find(BackendKind::kGpuSim, bucket, KernelId::kAprod2Att);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (KernelConfig{32, 32}));
+  // Partial coverage installs what it has but is not "complete".
+  backends::TuningTable table = backends::TuningTable::untuned({256, 256});
+  EXPECT_EQ(cache.apply(BackendKind::kGpuSim, bucket, table), 1);
+  EXPECT_EQ(table.get(KernelId::kAprod2Att), (KernelConfig{32, 32}));
+  EXPECT_EQ(table.get(KernelId::kAprod1Astro), (KernelConfig{256, 256}));
+  EXPECT_FALSE(cache.complete_for(BackendKind::kGpuSim, bucket));
+
+  const TuningCache full = full_cache(bucket);
+  EXPECT_TRUE(full.complete_for(BackendKind::kGpuSim, bucket));
+  EXPECT_EQ(full.size(), static_cast<std::size_t>(backends::kNumKernels));
+}
+
+TEST_F(TuningCacheTest, SaveLoadRoundTripsThroughTheSealedFile) {
+  const ShapeBucket bucket{15, 11};
+  full_cache(bucket).save(path("tc.json"));
+
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.load(path("tc.json")));
+  EXPECT_TRUE(loaded.complete_for(BackendKind::kGpuSim, bucket));
+  for (KernelId id : backends::all_kernels()) {
+    const auto hit = loaded.find(BackendKind::kGpuSim, bucket, id);
+    ASSERT_TRUE(hit.has_value()) << to_string(id);
+    EXPECT_EQ(*hit, (KernelConfig{32 + static_cast<int>(id), 64}));
+  }
+}
+
+TEST_F(TuningCacheTest, MissingFileIsACleanMiss) {
+  TuningCache cache;
+  EXPECT_FALSE(cache.load(path("nonexistent.json")));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(TuningCacheTest, CorruptedFileIsRejectedAndIgnored) {
+  full_cache({15, 11}).save(path("tc.json"));
+  // Flip one byte in the middle of the sealed payload: the CRC framing
+  // must catch it and load() must leave the cache empty.
+  std::fstream f(path("tc.json"),
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(40);
+  f.put('~');
+  f.close();
+  TuningCache cache;
+  EXPECT_FALSE(cache.load(path("tc.json")));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(TuningCacheTest, TruncatedFileIsRejectedAndIgnored) {
+  full_cache({15, 11}).save(path("tc.json"));
+  const auto full_size = fs::file_size(path("tc.json"));
+  fs::resize_file(path("tc.json"), full_size / 2);  // torn write
+  TuningCache cache;
+  EXPECT_FALSE(cache.load(path("tc.json")));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(TuningCacheTest, ValidFramingWithGarbageJsonIsRejected) {
+  // The CRC can pass while the payload is still not a cache document;
+  // the strict parser is the second line of defense.
+  resilience::write_framed_file(path("tc.json"), "{\"version\":1,\"entr");
+  TuningCache cache;
+  EXPECT_FALSE(cache.load(path("tc.json")));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(TuningCacheTest, BucketMismatchForcesAReTune) {
+  const ShapeBucket tuned_bucket{15, 11};
+  full_cache(tuned_bucket).save(path("tc.json"));
+  TuningCache cache;
+  ASSERT_TRUE(cache.load(path("tc.json")));
+  // A problem one order of magnitude larger lands in another bucket:
+  // nothing applies, complete_for is false, the solver searches afresh.
+  const ShapeBucket other{16, 11};
+  EXPECT_FALSE(cache.complete_for(BackendKind::kGpuSim, other));
+  backends::TuningTable table;
+  EXPECT_EQ(cache.apply(BackendKind::kGpuSim, other, table), 0);
+  // Same bucket, different backend: also a miss.
+  EXPECT_FALSE(cache.complete_for(BackendKind::kOpenMP, tuned_bucket));
+}
+
+TEST(TuningCacheJson, DocumentRoundTripsAndIsStable) {
+  TuningCache cache;
+  cache.put(BackendKind::kGpuSim, {8, 7}, KernelId::kAprod2Att, {32, 32});
+  cache.put(BackendKind::kOpenMP, {8, 7}, KernelId::kAprod1Astro, {16, 128});
+  const std::string json = cache.to_json();
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"kernel\":\"aprod2_att\""), std::string::npos);
+  const auto parsed = TuningCache::parse_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 2u);
+  const auto hit =
+      parsed->find(BackendKind::kGpuSim, {8, 7}, KernelId::kAprod2Att);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (KernelConfig{32, 32}));
+  // Serialization is deterministic (diffable caches).
+  EXPECT_EQ(parsed->to_json(), json);
+}
+
+TEST(TuningCacheJson, StrictParserRejectsEveryMalformation) {
+  const auto entry = [](const std::string& backend, const std::string& kernel,
+                        int blocks, int threads) {
+    return "{\"version\":1,\"entries\":[{\"backend\":\"" + backend +
+           "\",\"rows_log2\":8,\"cols_log2\":7,\"kernel\":\"" + kernel +
+           "\",\"blocks\":" + std::to_string(blocks) +
+           ",\"threads\":" + std::to_string(threads) + "}]}";
+  };
+  // The control: the generator above produces a parsable document.
+  ASSERT_TRUE(TuningCache::parse_json(entry("gpusim", "aprod2_att", 32, 32))
+                  .has_value());
+
+  EXPECT_FALSE(TuningCache::parse_json("").has_value());
+  EXPECT_FALSE(TuningCache::parse_json("not json").has_value());
+  EXPECT_FALSE(TuningCache::parse_json("{\"version\":1}").has_value());
+  // Wrong version.
+  EXPECT_FALSE(
+      TuningCache::parse_json("{\"version\":2,\"entries\":[]}").has_value());
+  // Unknown backend / kernel names.
+  EXPECT_FALSE(TuningCache::parse_json(entry("cuda11", "aprod2_att", 32, 32))
+                   .has_value());
+  EXPECT_FALSE(TuningCache::parse_json(entry("gpusim", "aprod9_att", 32, 32))
+                   .has_value());
+  // Unlaunchable shapes: negative, zero-paired, absurd.
+  EXPECT_FALSE(TuningCache::parse_json(entry("gpusim", "aprod2_att", -1, 32))
+                   .has_value());
+  EXPECT_FALSE(TuningCache::parse_json(entry("gpusim", "aprod2_att", 0, 32))
+                   .has_value());
+  EXPECT_FALSE(
+      TuningCache::parse_json(entry("gpusim", "aprod2_att", 32, 1 << 20))
+          .has_value());
+  // Trailing garbage after a well-formed document.
+  EXPECT_FALSE(
+      TuningCache::parse_json(entry("gpusim", "aprod2_att", 32, 32) + "x")
+          .has_value());
+}
+
+TEST(ShapeBucketTest, ToStringNamesBothAxes) {
+  const std::string s = to_string(ShapeBucket{15, 11});
+  EXPECT_NE(s.find("15"), std::string::npos);
+  EXPECT_NE(s.find("11"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaia::tuning
