@@ -32,6 +32,18 @@ core::AprodOptions options_for(backends::BackendKind backend, bool streams) {
   return opts;
 }
 
+/// Installs `strategy` on the three atomic aprod2 kernels.
+backends::TuningTable table_with_strategy(backends::ScatterStrategy strategy) {
+  backends::TuningTable table = backends::TuningTable::tuned_default();
+  for (backends::KernelId id : backends::all_kernels()) {
+    if (!backends::kernel_uses_atomics(id)) continue;
+    backends::KernelConfig cfg = table.get(id);
+    cfg.strategy = strategy;
+    table.set(id, cfg);
+  }
+  return table;
+}
+
 void BM_Aprod1(benchmark::State& state) {
   const auto backend = static_cast<backends::BackendKind>(state.range(0));
   const auto& gen = system_under_test();
@@ -70,6 +82,54 @@ void BM_Aprod2(benchmark::State& state) {
                  (streams ? "/streams" : "/sequential"));
 }
 
+/// The atomic-vs-privatized comparison at the benchmark level: same
+/// apply2 pass, strategy selected via the tuning table (the registry
+/// routes the three atomic kernels to the privatized launchers).
+void BM_Aprod2Strategy(benchmark::State& state) {
+  const auto backend = static_cast<backends::BackendKind>(state.range(0));
+  const auto strategy =
+      static_cast<backends::ScatterStrategy>(state.range(1));
+  const auto& gen = system_under_test();
+  backends::DeviceContext device;
+  core::AprodOptions opts = options_for(backend, false);
+  opts.tuning = table_with_strategy(strategy);
+  core::Aprod aprod(gen.A, device, opts);
+  util::Xoshiro256 rng(2);
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+  std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()), 0.0);
+  for (auto& v : y) v = rng.normal();
+  for (auto _ : state) {
+    aprod.apply2(y, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gen.A.values().size_bytes()));
+  state.SetLabel(backends::to_string(backend) + "/" +
+                 backends::to_string(strategy));
+}
+
+/// The fused single-row-pass aprod2 (the PSTL-port shape): att, instr
+/// and glob scatters folded into one kernel.
+void BM_Aprod2Fused(benchmark::State& state) {
+  const auto backend = static_cast<backends::BackendKind>(state.range(0));
+  const auto& gen = system_under_test();
+  backends::DeviceContext device;
+  core::AprodOptions opts = options_for(backend, false);
+  opts.fuse_aprod2 = true;
+  core::Aprod aprod(gen.A, device, opts);
+  util::Xoshiro256 rng(2);
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+  std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()), 0.0);
+  for (auto& v : y) v = rng.normal();
+  for (auto _ : state) {
+    aprod.apply2(y, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gen.A.values().size_bytes()));
+  state.SetLabel(backends::to_string(backend) + "/fused");
+}
+
 void RegisterAll() {
   for (backends::BackendKind backend : backends::all_backends()) {
     benchmark::RegisterBenchmark("aprod1", BM_Aprod1)
@@ -80,6 +140,16 @@ void RegisterAll() {
           ->Args({static_cast<int>(backend), streams})
           ->Unit(benchmark::kMillisecond);
     }
+    for (backends::ScatterStrategy strategy :
+         {backends::ScatterStrategy::kAtomic,
+          backends::ScatterStrategy::kPrivatized}) {
+      benchmark::RegisterBenchmark("aprod2_scatter", BM_Aprod2Strategy)
+          ->Args({static_cast<int>(backend), static_cast<int>(strategy)})
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark("aprod2_fused", BM_Aprod2Fused)
+        ->Arg(static_cast<int>(backend))
+        ->Unit(benchmark::kMillisecond);
   }
 }
 

@@ -44,6 +44,11 @@ int main(int argc, char** argv) {
                  "CRC-sealed tuning cache file: loaded on startup (a "
                  "complete entry skips the search), winners sealed back "
                  "after a fresh search");
+  cli.add_option("scatter", "atomic",
+                 "aprod2 scatter strategy: atomic (hardware atomics, "
+                 "default) | privatized (contention-free per-worker "
+                 "slices + tree reduction) | auto (measured with "
+                 "--autotune, cost-model predicted otherwise)");
   cli.add_option("shape", "",
                  "force one BLOCKSxTHREADS launch shape for all kernels "
                  "(e.g. 64x128); validated at parse time");
@@ -100,6 +105,10 @@ int main(int argc, char** argv) {
           backends::parse_kernel_config(cli.get("shape")));
     config.autotune.enabled = cli.get_flag("autotune");
     config.autotune.cache_path = cli.get("tuning-cache");
+    const auto scatter = core::parse_scatter_mode(cli.get("scatter"));
+    GAIA_CHECK(scatter.has_value(),
+               "unknown scatter mode: " + cli.get("scatter"));
+    config.scatter = *scatter;
     config.lsqr.max_iterations = cli.get_int("iterations");
     config.checkpoint.directory = cli.get("checkpoint-dir");
     config.checkpoint.every = cli.get_int("checkpoint-every");
@@ -150,6 +159,20 @@ int main(int argc, char** argv) {
       dopts.max_restarts = static_cast<int>(cli.get_int("max-restarts"));
       dopts.autotune = config.autotune.enabled;
       dopts.autotune_search = config.autotune.search;
+      // Mirror the single-rank scatter policy: rank 0's winners (incl.
+      // the strategy) are broadcast via the encoded tuning table.
+      if (config.scatter == core::ScatterMode::kPrivatized) {
+        for (backends::KernelId id : backends::all_kernels()) {
+          if (!backends::kernel_uses_atomics(id)) continue;
+          backends::KernelConfig kcfg = dopts.lsqr.aprod.tuning.get(id);
+          kcfg.strategy = backends::ScatterStrategy::kPrivatized;
+          dopts.lsqr.aprod.tuning.set(id, kcfg);
+        }
+        dopts.autotune_search.scatter =
+            backends::ScatterStrategy::kPrivatized;
+      } else if (config.scatter == core::ScatterMode::kAuto) {
+        dopts.autotune_search.scatter = std::nullopt;
+      }
       const dist::DistLsqrResult result = dist::dist_lsqr_solve(gen.A, dopts);
       std::cout << "dist solve: " << result.iterations
                 << " iterations on " << result.final_ranks << " ranks\n"

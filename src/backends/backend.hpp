@@ -58,6 +58,12 @@ inline constexpr int kNumBackends = 4;
 // Execution policies
 // ---------------------------------------------------------------------------
 
+/// Upper bound on privatized-scatter workers per launch. Each worker
+/// privatizes a full column section, so scratch grows linearly with the
+/// worker count; past a few hundred host workers the reduction tree
+/// dominates anyway.
+inline constexpr int kMaxScatterWorkers = 256;
+
 /// Reference backend: sequential, deterministic; plays the role of the
 /// "production code" the paper validates every port against (SV-C).
 struct SerialExec {
@@ -67,6 +73,19 @@ struct SerialExec {
   template <typename F>
   static void launch(std::int64_t n, KernelConfig /*cfg*/, F&& body) {
     for (std::int64_t i = 0; i < n; ++i) body(i);
+  }
+
+  /// Privatized-scatter workers a launch at `cfg` uses. A pure function
+  /// of the launch shape (and the fixed machine), so a fixed config
+  /// always reduces in the same combine order — the determinism contract
+  /// of the privatized path.
+  static int scatter_workers(KernelConfig /*cfg*/) { return 1; }
+
+  /// Runs body(w) once per worker w in [0, workers). Worker w is the
+  /// segment id of the privatized reduction; serial runs them in order.
+  template <typename F>
+  static void launch_workers(int workers, KernelConfig /*cfg*/, F&& body) {
+    for (int w = 0; w < workers; ++w) body(w);
   }
 
   static void atomic_add(real& target, real value, AtomicMode /*mode*/) {
@@ -96,6 +115,22 @@ struct OpenMPExec {
 #endif
   }
 
+  /// One privatized segment per OpenMP thread of this launch shape.
+  static int scatter_workers(KernelConfig cfg) {
+    const int nt = resolve_threads(cfg);
+    return nt < 1 ? 1 : (nt > kMaxScatterWorkers ? kMaxScatterWorkers : nt);
+  }
+
+  template <typename F>
+  static void launch_workers(int workers, KernelConfig /*cfg*/, F&& body) {
+#if defined(GAIA_HAS_OPENMP)
+#pragma omp parallel for schedule(static) num_threads(workers)
+    for (int w = 0; w < workers; ++w) body(w);
+#else
+    for (int w = 0; w < workers; ++w) body(w);
+#endif
+  }
+
   static void atomic_add(real& target, real value, AtomicMode /*mode*/) {
 #if defined(GAIA_HAS_OPENMP)
 #pragma omp atomic update
@@ -117,6 +152,26 @@ struct PstlExec {
   static void launch(std::int64_t n, KernelConfig /*ignored*/, F&& body) {
     pstl::for_each(pstl::par, CountingIterator(0), CountingIterator(n),
                    [&](std::int64_t i) { body(i); });
+  }
+
+  /// PSTL has no shape knob, so the worker count comes from the pool the
+  /// parallel algorithms execute on (workers + the submitting thread) —
+  /// fixed for the process, keeping the reduction order reproducible.
+  static int scatter_workers(KernelConfig /*ignored*/) {
+    const int w = static_cast<int>(ThreadPool::global().workers()) + 1;
+    return w > kMaxScatterWorkers ? kMaxScatterWorkers : w;
+  }
+
+  template <typename F>
+  static void launch_workers(int workers, KernelConfig /*ignored*/,
+                             F&& body) {
+    // Grain 1: one pool chunk per worker segment (the default pstl grain
+    // of 1024 would serialize a handful of segment-sized items).
+    ThreadPool::global().parallel_for(
+        workers, 1, [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t w = begin; w < end; ++w)
+            body(static_cast<int>(w));
+        });
   }
 
   static void atomic_add(real& target, real value, AtomicMode mode) {
@@ -153,6 +208,24 @@ struct GpuSimExec {
               body(i);
             }
           }
+        });
+  }
+
+  /// One privatized segment per virtual block (blocks are the gpusim
+  /// scheduling unit), capped so scratch stays bounded when the tuner
+  /// probes very wide grids.
+  static int scatter_workers(KernelConfig cfg) {
+    const std::int32_t blocks = resolve(cfg).blocks;
+    return blocks > kMaxScatterWorkers ? kMaxScatterWorkers
+                                       : static_cast<int>(blocks);
+  }
+
+  template <typename F>
+  static void launch_workers(int workers, KernelConfig /*cfg*/, F&& body) {
+    ThreadPool::global().parallel_for(
+        workers, 1, [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t w = begin; w < end; ++w)
+            body(static_cast<int>(w));
         });
   }
 

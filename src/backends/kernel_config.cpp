@@ -34,6 +34,17 @@ std::string to_string(AtomicMode mode) {
   return mode == AtomicMode::kNativeRmw ? "rmw" : "cas";
 }
 
+std::string to_string(ScatterStrategy strategy) {
+  return strategy == ScatterStrategy::kAtomic ? "atomic" : "privatized";
+}
+
+std::optional<ScatterStrategy> parse_scatter_strategy(
+    const std::string& name) {
+  if (name == "atomic") return ScatterStrategy::kAtomic;
+  if (name == "privatized") return ScatterStrategy::kPrivatized;
+  return std::nullopt;
+}
+
 std::optional<KernelId> parse_kernel_id(const std::string& name) {
   for (KernelId id : all_kernels()) {
     if (name == to_string(id)) return id;

@@ -1,0 +1,116 @@
+#include "backends/scratch_arena.hpp"
+
+#include <bit>
+
+#include "backends/backend.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace gaia::backends {
+
+ScratchArena::Lease& ScratchArena::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    arena_ = other.arena_;
+    buffer_ = std::move(other.buffer_);
+    other.arena_ = nullptr;
+  }
+  return *this;
+}
+
+void ScratchArena::Lease::release() {
+  if (arena_ && buffer_) arena_->give_back(std::move(buffer_));
+  arena_ = nullptr;
+  buffer_.reset();
+}
+
+int ScratchArena::bucket_of(std::size_t n) {
+  const auto rounded = std::bit_ceil(n == 0 ? std::size_t{1} : n);
+  const int bucket = static_cast<int>(std::bit_width(rounded) - 1);
+  GAIA_CHECK(bucket < kNumBuckets, "ScratchArena: request too large");
+  return bucket;
+}
+
+ScratchArena::Lease ScratchArena::acquire(std::size_t n) {
+  if (n == 0) return {};
+  const int bucket = bucket_of(n);
+  const std::size_t rounded = std::size_t{1} << bucket;
+  std::unique_ptr<std::vector<real>> buffer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& pool = buckets_[bucket];
+    if (!pool.empty()) {
+      buffer = std::move(pool.back());
+      pool.pop_back();
+      hits_++;
+      pooled_bytes_ -= rounded * sizeof(real);
+    } else {
+      misses_++;
+    }
+    in_use_bytes_ += rounded * sizeof(real);
+    publish_gauges_locked();
+  }
+  // Allocation happens outside the lock; accounting already reserved it.
+  if (!buffer) buffer = std::make_unique<std::vector<real>>(rounded);
+  return {this, std::move(buffer)};
+}
+
+void ScratchArena::give_back(std::unique_ptr<std::vector<real>> buffer) {
+  const std::size_t bytes = buffer->size() * sizeof(real);
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_use_bytes_ -= bytes;
+  pooled_bytes_ += bytes;
+  buckets_[bucket_of(buffer->size())].push_back(std::move(buffer));
+  publish_gauges_locked();
+}
+
+void ScratchArena::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& pool : buckets_) pool.clear();
+  pooled_bytes_ = 0;
+  publish_gauges_locked();
+}
+
+std::uint64_t ScratchArena::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ScratchArena::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+byte_size ScratchArena::pooled_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pooled_bytes_;
+}
+
+byte_size ScratchArena::in_use_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_bytes_;
+}
+
+void ScratchArena::publish_gauges_locked() {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  static obs::Gauge& pooled = reg.gauge("scratch.arena.pooled_bytes");
+  static obs::Gauge& in_use = reg.gauge("scratch.arena.in_use_bytes");
+  static obs::Counter& hits = reg.counter("scratch.arena.hits");
+  static obs::Counter& misses = reg.counter("scratch.arena.misses");
+  pooled.set(static_cast<double>(pooled_bytes_));
+  in_use.set(static_cast<double>(in_use_bytes_));
+  // Counters are monotonic and shared across arenas; each instance
+  // contributes the delta since its last publication.
+  if (hits_ > hits_published_) hits.add(hits_ - hits_published_);
+  if (misses_ > misses_published_) misses.add(misses_ - misses_published_);
+  hits_published_ = hits_;
+  misses_published_ = misses_;
+}
+
+ScratchArena& ScratchArena::for_backend(BackendKind kind) {
+  static ScratchArena arenas[kNumBackends];
+  return arenas[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace gaia::backends

@@ -34,8 +34,11 @@ std::vector<obs::TraceArg> kernel_trace_args(
   args.emplace_back("threads", static_cast<std::int64_t>(cfg.threads));
   args.emplace_back("stream", static_cast<std::int64_t>(stream));
   args.emplace_back("bytes", kernel_traffic_bytes(view, id));
-  if (backends::kernel_uses_atomics(id))
-    args.emplace_back("atomic", backends::to_string(atomic_mode));
+  if (backends::kernel_uses_atomics(id)) {
+    args.emplace_back("strategy", backends::to_string(cfg.strategy));
+    if (cfg.strategy == backends::ScatterStrategy::kAtomic)
+      args.emplace_back("atomic", backends::to_string(atomic_mode));
+  }
   if (trial) args.emplace_back("tuning_trial", std::int64_t{1});
   return args;
 }
@@ -100,8 +103,12 @@ void Aprod::launch_kernel(KernelId id, bool fused, const real* in, real* out,
     tuning::Autotuner* tuner = options_.autotuner;
     const bool trial = !fused && tuner && backend == tuner->backend() &&
                        tuner->searching(id);
-    const backends::KernelConfig cfg =
+    backends::KernelConfig cfg =
         trial ? tuner->propose(id) : options_.tuning.get(id);
+    // The fused scatter interleaves all three sections in one row pass;
+    // privatizing it would need every section's scratch at once for no
+    // contention win, so fused launches always run the atomic strategy.
+    if (fused) cfg.strategy = backends::ScatterStrategy::kAtomic;
     try {
       resilience::with_retry(name, options_.retry, [&] {
         obs::ScopedTrace span(name, "kernel", track);
@@ -121,6 +128,7 @@ void Aprod::launch_kernel(KernelId id, bool fused, const real* in, real* out,
         args.out = out;
         args.config = cfg;
         args.atomic_mode = options_.atomic_mode;
+        args.arena = &scratch_arena_;
         if (trial) {
           util::Stopwatch watch;
           registry.launch(id, backend, args);

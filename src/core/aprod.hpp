@@ -25,6 +25,7 @@
 #include "backends/backend.hpp"
 #include "backends/device_buffer.hpp"
 #include "backends/kernel_config.hpp"
+#include "backends/scratch_arena.hpp"
 #include "backends/stream.hpp"
 #include "core/system_view.hpp"
 #include "matrix/system_matrix.hpp"
@@ -108,6 +109,13 @@ class Aprod {
   /// block is disabled) — lets tests pin the stream/launch structure.
   [[nodiscard]] std::uint64_t launches() const { return launches_; }
 
+  /// Scratch pool backing this driver's privatized scatters. Exposed so
+  /// tests can assert the allocator-silent-after-warm-up contract (the
+  /// miss counter stops moving after the first iteration).
+  [[nodiscard]] backends::ScratchArena& scratch_arena() {
+    return scratch_arena_;
+  }
+
  private:
   /// The single launch path: resolves the shape (tuner candidate or
   /// installed table), dispatches through the KernelRegistry under the
@@ -137,6 +145,9 @@ class Aprod {
   SystemView view_{};
   /// One stream per aprod2 kernel, created lazily when streams are on.
   std::array<std::unique_ptr<backends::Stream>, 4> streams_;
+  /// Pooled scratch for the privatized scatter strategy; owned per
+  /// driver so its hit/miss accounting tracks this solve alone.
+  backends::ScratchArena scratch_arena_;
   std::uint64_t launches_ = 0;
 };
 

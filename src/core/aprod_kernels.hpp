@@ -20,7 +20,11 @@
 /// programming model.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+
 #include "backends/backend.hpp"
+#include "backends/scratch_arena.hpp"
 #include "core/system_view.hpp"
 #include "util/types.hpp"
 
@@ -32,15 +36,21 @@ using backends::KernelConfig;
 // ---------------------------------------------------------------------------
 // aprod1: y += A x (row-parallel gathers; no atomics anywhere)
 // ---------------------------------------------------------------------------
+// The gather inner loops run over fixed, tiny trip counts through
+// pointers that never alias (coefficients, index arrays and x come from
+// distinct buffers): GAIA_RESTRICT + the simd reduction hint let the
+// serial/pstl backends vectorize what CUDA gets from the hardware.
 
 template <typename Exec>
 void aprod1_astro(const SystemView& A, const real* x, real* y,
                   KernelConfig cfg) {
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* rv = A.values + r * kNnzPerRow + matrix::kAstroCoeffOffset;
-    const col_index c0 = A.idx_astro[r];
+    const real* GAIA_RESTRICT rv =
+        A.values + r * kNnzPerRow + matrix::kAstroCoeffOffset;
+    const real* GAIA_RESTRICT xs = x + A.idx_astro[r];
     real sum = 0;
-    for (int i = 0; i < kAstroNnzPerRow; ++i) sum += rv[i] * x[c0 + i];
+    GAIA_OMP_SIMD_REDUCTION(sum)
+    for (int i = 0; i < kAstroNnzPerRow; ++i) sum += rv[i] * xs[i];
     y[r] += sum;
   });
 }
@@ -49,13 +59,15 @@ template <typename Exec>
 void aprod1_att(const SystemView& A, const real* x, real* y,
                 KernelConfig cfg) {
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* rv = A.values + r * kNnzPerRow + matrix::kAttCoeffOffset;
+    const real* GAIA_RESTRICT rv =
+        A.values + r * kNnzPerRow + matrix::kAttCoeffOffset;
     const col_index base = A.att_offset + A.idx_att[r];
     real sum = 0;
     for (int blk = 0; blk < kAttBlocks; ++blk) {
-      const col_index c0 = base + blk * A.att_stride;
-      for (int i = 0; i < kAttBlockSize; ++i)
-        sum += rv[blk * kAttBlockSize + i] * x[c0 + i];
+      const real* GAIA_RESTRICT xb = x + base + blk * A.att_stride;
+      const real* GAIA_RESTRICT rb = rv + blk * kAttBlockSize;
+      GAIA_OMP_SIMD_REDUCTION(sum)
+      for (int i = 0; i < kAttBlockSize; ++i) sum += rb[i] * xb[i];
     }
     y[r] += sum;
   });
@@ -65,11 +77,14 @@ template <typename Exec>
 void aprod1_instr(const SystemView& A, const real* x, real* y,
                   KernelConfig cfg) {
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* rv = A.values + r * kNnzPerRow + matrix::kInstrCoeffOffset;
-    const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
+    const real* GAIA_RESTRICT rv =
+        A.values + r * kNnzPerRow + matrix::kInstrCoeffOffset;
+    const std::int32_t* GAIA_RESTRICT cols =
+        A.instr_col + r * kInstrNnzPerRow;
+    const real* GAIA_RESTRICT xs = x + A.instr_offset;
     real sum = 0;
-    for (int i = 0; i < kInstrNnzPerRow; ++i)
-      sum += rv[i] * x[A.instr_offset + cols[i]];
+    GAIA_OMP_SIMD_REDUCTION(sum)
+    for (int i = 0; i < kInstrNnzPerRow; ++i) sum += rv[i] * xs[cols[i]];
     y[r] += sum;
   });
 }
@@ -80,7 +95,8 @@ void aprod1_glob(const SystemView& A, const real* x, real* y,
   if (!A.has_global) return;
   const real xg = x[A.glob_offset];
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    y[r] += A.values[r * kNnzPerRow + matrix::kGlobCoeffOffset] * xg;
+    const real* GAIA_RESTRICT vals = A.values;
+    y[r] += vals[r * kNnzPerRow + matrix::kGlobCoeffOffset] * xg;
   });
 }
 
@@ -180,6 +196,117 @@ void aprod2_shared_fused(const SystemView& A, const real* y, real* x,
       Exec::atomic_add(x[A.glob_offset],
                        rv[matrix::kGlobCoeffOffset] * yr, mode);
   });
+}
+
+// ---------------------------------------------------------------------------
+// aprod2, privatized strategy (ScatterStrategy::kPrivatized): no atomics
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// The contention-free scatter skeleton shared by the three privatized
+/// kernels. W = Exec::scatter_workers(cfg) workers each zero a private
+/// copy of the kernel's column section in pooled scratch and accumulate
+/// a contiguous row chunk into it sequentially (ascending rows); the
+/// copies are then folded pairwise — slice p += slice p+stride, stride
+/// halving from bit_ceil(W)/2 — a combine order fixed by W alone, so a
+/// fixed launch shape reduces bit-identically run to run regardless of
+/// thread scheduling. The folded slice 0 is added into x in one
+/// column-parallel pass. `accumulate_row(slice, r)` adds row r's
+/// contribution at section-relative indices.
+template <typename Exec, typename AccumRow>
+void privatized_scatter(std::int64_t n_rows, real* x, col_index sect_offset,
+                        col_index sect_len, KernelConfig cfg,
+                        backends::ScratchArena* arena,
+                        AccumRow&& accumulate_row) {
+  if (sect_len <= 0) return;
+  const int workers = Exec::scatter_workers(cfg);
+  backends::ScratchArena& pool =
+      arena ? *arena : backends::ScratchArena::for_backend(Exec::kKind);
+  auto lease = pool.acquire(static_cast<std::size_t>(workers) *
+                            static_cast<std::size_t>(sect_len));
+  real* const scratch = lease.data();
+  const std::int64_t chunk = (n_rows + workers - 1) / workers;
+
+  Exec::launch_workers(workers, cfg, [&](int w) {
+    real* GAIA_RESTRICT slice =
+        scratch + static_cast<std::int64_t>(w) * sect_len;
+    std::fill(slice, slice + sect_len, real{0});
+    const std::int64_t begin = static_cast<std::int64_t>(w) * chunk;
+    const std::int64_t end = std::min(n_rows, begin + chunk);
+    for (std::int64_t r = begin; r < end; ++r) accumulate_row(slice, r);
+  });
+
+  const int top =
+      static_cast<int>(std::bit_ceil(static_cast<unsigned>(workers)) / 2);
+  for (int stride = top; stride >= 1; stride /= 2) {
+    const std::int64_t pairs = std::min(stride, workers - stride);
+    if (pairs <= 0) continue;
+    Exec::launch(pairs * sect_len, cfg, [=](std::int64_t i) {
+      const std::int64_t p = i / sect_len;
+      const std::int64_t c = i - p * sect_len;
+      scratch[p * sect_len + c] += scratch[(p + stride) * sect_len + c];
+    });
+  }
+  Exec::launch(sect_len, cfg,
+               [=](std::int64_t c) { x[sect_offset + c] += scratch[c]; });
+}
+
+}  // namespace detail
+
+/// Privatized attitude scatter: each worker owns a private copy of the
+/// full attitude section (n_att entries) — collisions on the shared
+/// spline knots vanish entirely.
+template <typename Exec>
+void aprod2_att_privatized(const SystemView& A, const real* y, real* x,
+                           KernelConfig cfg,
+                           backends::ScratchArena* arena = nullptr) {
+  detail::privatized_scatter<Exec>(
+      A.n_rows, x, A.att_offset, A.instr_offset - A.att_offset, cfg, arena,
+      [=](real* GAIA_RESTRICT slice, std::int64_t r) {
+        const real* GAIA_RESTRICT rv =
+            A.values + r * kNnzPerRow + matrix::kAttCoeffOffset;
+        const real yr = y[r];
+        const col_index base = A.idx_att[r];
+        for (int blk = 0; blk < kAttBlocks; ++blk) {
+          const col_index c0 = base + blk * A.att_stride;
+          for (int i = 0; i < kAttBlockSize; ++i)
+            slice[c0 + i] += rv[blk * kAttBlockSize + i] * yr;
+        }
+      });
+}
+
+template <typename Exec>
+void aprod2_instr_privatized(const SystemView& A, const real* y, real* x,
+                             KernelConfig cfg,
+                             backends::ScratchArena* arena = nullptr) {
+  detail::privatized_scatter<Exec>(
+      A.n_rows, x, A.instr_offset, A.glob_offset - A.instr_offset, cfg,
+      arena, [=](real* GAIA_RESTRICT slice, std::int64_t r) {
+        const real* GAIA_RESTRICT rv =
+            A.values + r * kNnzPerRow + matrix::kInstrCoeffOffset;
+        const std::int32_t* GAIA_RESTRICT cols =
+            A.instr_col + r * kInstrNnzPerRow;
+        const real yr = y[r];
+        for (int i = 0; i < kInstrNnzPerRow; ++i)
+          slice[cols[i]] += rv[i] * yr;
+      });
+}
+
+/// Privatized global scatter: the single PPN-gamma column degenerates to
+/// one private partial sum per worker plus the tree fold — a classic
+/// parallel reduction replacing the most contended atomic of the system.
+template <typename Exec>
+void aprod2_glob_privatized(const SystemView& A, const real* y, real* x,
+                            KernelConfig cfg,
+                            backends::ScratchArena* arena = nullptr) {
+  if (!A.has_global) return;
+  detail::privatized_scatter<Exec>(
+      A.n_rows, x, A.glob_offset, 1, cfg, arena,
+      [=](real* GAIA_RESTRICT slice, std::int64_t r) {
+        slice[0] +=
+            A.values[r * kNnzPerRow + matrix::kGlobCoeffOffset] * y[r];
+      });
 }
 
 }  // namespace gaia::core

@@ -48,6 +48,17 @@ void register_kernels(KernelRegistry& reg) {
   reg.add_fused(kind, [](const LaunchArgs& a) {
     aprod2_shared_fused<Exec>(*a.view, a.in, a.out, a.config, a.atomic_mode);
   });
+  // Second strategy for the atomic scatters: contention-free privatized
+  // accumulation + deterministic tree reduction, pooled scratch.
+  reg.add_privatized(KernelId::kAprod2Att, kind, [](const LaunchArgs& a) {
+    aprod2_att_privatized<Exec>(*a.view, a.in, a.out, a.config, a.arena);
+  });
+  reg.add_privatized(KernelId::kAprod2Instr, kind, [](const LaunchArgs& a) {
+    aprod2_instr_privatized<Exec>(*a.view, a.in, a.out, a.config, a.arena);
+  });
+  reg.add_privatized(KernelId::kAprod2Glob, kind, [](const LaunchArgs& a) {
+    aprod2_glob_privatized<Exec>(*a.view, a.in, a.out, a.config, a.arena);
+  });
 }
 
 }  // namespace

@@ -6,13 +6,68 @@
 #include "core/autotune_driver.hpp"
 #include "core/lsqr_engine.hpp"
 #include "obs/metrics.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/problem_shape.hpp"
 #include "tuning/tuning_cache.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_utils.hpp"
 
 namespace gaia::core {
 
+std::string to_string(ScatterMode mode) {
+  switch (mode) {
+    case ScatterMode::kAtomic:
+      return "atomic";
+    case ScatterMode::kPrivatized:
+      return "privatized";
+    case ScatterMode::kAuto:
+      return "auto";
+  }
+  return "atomic";
+}
+
+std::optional<ScatterMode> parse_scatter_mode(const std::string& name) {
+  if (name == "atomic") return ScatterMode::kAtomic;
+  if (name == "privatized") return ScatterMode::kPrivatized;
+  if (name == "auto") return ScatterMode::kAuto;
+  return std::nullopt;
+}
+
 namespace {
+
+/// Installs `strategy` on every atomic kernel's table entry, leaving the
+/// launch shapes and the gather kernels untouched.
+void force_scatter_strategy(backends::TuningTable& table,
+                            backends::ScatterStrategy strategy) {
+  for (backends::KernelId id : backends::all_kernels()) {
+    if (!backends::kernel_uses_atomics(id)) continue;
+    backends::KernelConfig cfg = table.get(id);
+    cfg.strategy = strategy;
+    table.set(id, cfg);
+  }
+}
+
+/// The no-measurement arm of `--scatter=auto`: asks the cost model's
+/// contention-vs-bandwidth crossover per atomic kernel. A100 is the
+/// representative device (mid-pack bandwidth and atomic throughput among
+/// the paper's five platforms); the *sign* of the crossover, not the
+/// absolute times, is what this decides.
+void apply_model_preferred(const matrix::GeneratorConfig& gen_cfg,
+                           const AprodOptions& aprod,
+                           backends::TuningTable& table) {
+  const perfmodel::ProblemShape shape =
+      perfmodel::ProblemShape::from_config(gen_cfg);
+  const perfmodel::KernelCostModel model(
+      perfmodel::gpu_spec(perfmodel::Platform::kA100));
+  for (backends::KernelId id : backends::all_kernels()) {
+    if (!backends::kernel_uses_atomics(id)) continue;
+    backends::KernelConfig cfg = table.get(id);
+    cfg.strategy = model.preferred_strategy(id, shape, cfg,
+                                            aprod.atomic_mode,
+                                            aprod.coherence);
+    table.set(id, cfg);
+  }
+}
 
 /// Resolves the launch shapes the solve will run with: a complete cache
 /// entry for this (backend, shape bucket) skips the search outright;
@@ -34,13 +89,34 @@ void run_autotune(const SolverRunConfig& config,
       cache.complete_for(backend, bucket)) {
     report.kernels_tuned = cache.apply(backend, bucket, lsqr.aprod.tuning);
     report.autotune_cache_hit = true;
+    // A cached winner may record the other strategy arm (sealed by an
+    // earlier --scatter=auto run); a pinned mode overrides it — pinning
+    // is a correctness/reproducibility request, not a speed hint.
+    if (config.scatter == ScatterMode::kAtomic)
+      force_scatter_strategy(lsqr.aprod.tuning,
+                             backends::ScatterStrategy::kAtomic);
+    else if (config.scatter == ScatterMode::kPrivatized)
+      force_scatter_strategy(lsqr.aprod.tuning,
+                             backends::ScatterStrategy::kPrivatized);
     if (metrics.enabled()) metrics.counter("tuning.cache_hits").add(1);
     return;
   }
   if (metrics.enabled()) metrics.counter("tuning.cache_misses").add(1);
   if (!backends::honors_kernel_config(backend)) return;
 
-  tuning::Autotuner tuner(backend, config.autotune.search);
+  tuning::AutotuneOptions search = config.autotune.search;
+  switch (config.scatter) {
+    case ScatterMode::kAtomic:
+      search.scatter = backends::ScatterStrategy::kAtomic;
+      break;
+    case ScatterMode::kPrivatized:
+      search.scatter = backends::ScatterStrategy::kPrivatized;
+      break;
+    case ScatterMode::kAuto:
+      search.scatter = std::nullopt;  // measure both arms per kernel
+      break;
+  }
+  tuning::Autotuner tuner(backend, search);
   {
     backends::DeviceContext device(lsqr.device_capacity, "autotune");
     AprodOptions opts = lsqr.aprod;
@@ -81,6 +157,17 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
   report.system_bytes = generated.A.footprint_bytes();
 
   LsqrOptions lsqr = config.lsqr;
+  // Resolve the scatter policy before tuning. Pinned modes force the
+  // strategy up front (the search then only walks that arm); kAuto
+  // without a measuring search — autotune off, or a backend that
+  // ignores launch shapes — falls back to the cost model's prediction.
+  if (config.scatter == ScatterMode::kPrivatized)
+    force_scatter_strategy(lsqr.aprod.tuning,
+                           backends::ScatterStrategy::kPrivatized);
+  else if (config.scatter == ScatterMode::kAuto &&
+           (!config.autotune.enabled ||
+            !backends::honors_kernel_config(lsqr.aprod.backend)))
+    apply_model_preferred(gen_cfg, lsqr.aprod, lsqr.aprod.tuning);
   if (config.autotune.enabled) run_autotune(config, generated.A, lsqr, report);
   report.tuning_used = lsqr.aprod.tuning;
 
@@ -146,6 +233,13 @@ std::string SolverRunReport::summary() const {
       os << "backend ignores launch shapes; nothing to tune";
     os << '\n';
   }
+  os << "scatter:";
+  for (backends::KernelId id : backends::all_kernels()) {
+    if (!backends::kernel_uses_atomics(id)) continue;
+    os << ' ' << backends::to_string(id) << '='
+       << backends::to_string(tuning_used.get(id).strategy);
+  }
+  os << '\n';
   os << "        mean iteration time "
      << util::format_seconds(result.mean_iteration_s) << ", total solve "
      << util::format_seconds(solve_seconds) << '\n';

@@ -19,6 +19,22 @@
 
 namespace gaia::core {
 
+/// Scatter-strategy policy for the three atomic aprod2 kernels
+/// (att/instr/glob). `kAtomic` is today's behaviour bit-for-bit;
+/// `kPrivatized` forces the contention-free privatized reduction;
+/// `kAuto` lets the autotuner measure both arms per kernel (when
+/// enabled and the backend honours launch shapes) and otherwise asks
+/// the cost model's contention-vs-bandwidth crossover.
+enum class ScatterMode : std::uint8_t {
+  kAtomic = 0,
+  kPrivatized,
+  kAuto,
+};
+
+[[nodiscard]] std::string to_string(ScatterMode mode);
+[[nodiscard]] std::optional<ScatterMode> parse_scatter_mode(
+    const std::string& name);
+
 /// Launch-shape autotuning for a solver run (off by default).
 struct AutotuneRunConfig {
   bool enabled = false;
@@ -50,6 +66,11 @@ struct SolverRunConfig {
   /// cache (paper SIV/SV-B: per-kernel launch shapes are worth up to
   /// 40 % of the iteration time and the optimum is device-dependent).
   AutotuneRunConfig autotune{};
+
+  /// Scatter policy for the atomic aprod2 kernels. Authoritative over
+  /// `autotune.search.scatter`: the autotune path derives its strategy
+  /// axis from this mode.
+  ScatterMode scatter = ScatterMode::kAtomic;
 };
 
 struct SolverRunReport {

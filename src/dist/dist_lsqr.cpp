@@ -209,8 +209,7 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
           // broadcast. All ranks then install the same winning table —
           // identical shapes keep the max-over-ranks iteration time
           // meaningful and the per-rank kernel timelines comparable.
-          std::vector<real> encoded(
-              2 * static_cast<std::size_t>(backends::kNumKernels), real{0});
+          std::vector<real> encoded(tuning::kEncodedTableSize, real{0});
           if (rank == 0) {
             tuning::Autotuner tuner(options.lsqr.aprod.backend,
                                     options.autotune_search);

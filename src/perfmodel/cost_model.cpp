@@ -1,8 +1,10 @@
 #include "perfmodel/cost_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
+#include "backends/backend.hpp"
 #include "util/error.hpp"
 
 namespace gaia::perfmodel {
@@ -169,6 +171,9 @@ double KernelCostModel::atomic_seconds(KernelId id, const ProblemShape& p,
   if (info.atomic_updates_per_row == 0) return 0.0;
 
   const KernelConfig c = resolve(id, cfg);
+  // The privatized path executes no atomics; its scratch-reduction cost
+  // is priced by privatized_seconds instead.
+  if (c.strategy == backends::ScatterStrategy::kPrivatized) return 0.0;
   const double lanes = static_cast<double>(std::max<std::int64_t>(
       1, std::min<std::int64_t>(c.total_threads(),
                                 spec_.max_concurrent_lanes)));
@@ -194,6 +199,42 @@ double KernelCostModel::atomic_seconds(KernelId id, const ProblemShape& p,
   return effective_updates * cost_ns * 1e-9 / commit_parallelism;
 }
 
+double KernelCostModel::privatized_seconds(KernelId id, const ProblemShape& p,
+                                           KernelConfig cfg) const {
+  const KernelShapeInfo info = shape_info(id);
+  if (info.atomic_updates_per_row == 0) return 0.0;
+
+  const KernelConfig c = resolve(id, cfg);
+  // Worker count mirrors Exec::scatter_workers: one private slice per
+  // block, capped so scratch stays bounded.
+  const double workers = static_cast<double>(std::clamp<std::int32_t>(
+      std::max<std::int32_t>(1, c.blocks), 1, backends::kMaxScatterWorkers));
+  const double section = distinct_columns(id, p);
+  // Zero-fill (1 write pass) + pairwise tree fold (~1 read + ~1 write
+  // pass over the slices in total): ~3 streaming passes over W*section
+  // doubles. Contiguous slices stream at full (non-SpMV) efficiency.
+  const double scratch_bytes = 3.0 * workers * section * sizeof(real);
+  const double scratch_s =
+      scratch_bytes / (spec_.peak_bw_gbs * 1e9 * kStreamEff);
+  // One launch per fold level plus the final fold-into-x launch.
+  const double levels = static_cast<double>(
+      std::bit_width(static_cast<std::uint32_t>(workers)) );
+  return scratch_s + (levels + 1.0) * spec_.launch_overhead_us * 1e-6;
+}
+
+backends::ScatterStrategy KernelCostModel::preferred_strategy(
+    KernelId id, const ProblemShape& p, KernelConfig cfg, AtomicMode mode,
+    backends::CoherenceMode coherence) const {
+  if (!backends::kernel_uses_atomics(id))
+    return backends::ScatterStrategy::kAtomic;
+  KernelConfig atomic_cfg = resolve(id, cfg);
+  atomic_cfg.strategy = backends::ScatterStrategy::kAtomic;
+  const double atomic_s = atomic_seconds(id, p, atomic_cfg, mode, coherence);
+  const double priv_s = privatized_seconds(id, p, atomic_cfg);
+  return priv_s < atomic_s ? backends::ScatterStrategy::kPrivatized
+                           : backends::ScatterStrategy::kAtomic;
+}
+
 double KernelCostModel::kernel_seconds(KernelId id, const ProblemShape& p,
                                        KernelConfig cfg, AtomicMode mode,
                                        backends::CoherenceMode coherence)
@@ -206,8 +247,11 @@ double KernelCostModel::kernel_seconds(KernelId id, const ProblemShape& p,
                     shape_efficiency(c) * lane_utilization(c) * coherence_bw;
   const double mem_s = kernel_traffic_bytes(id, p) / bw;
   const double flop_s = kernel_flops(id, p) / (spec_.fp64_tflops * 1e12);
-  return std::max(mem_s, flop_s) +
-         atomic_seconds(id, p, c, mode, coherence) +
+  const double scatter_s =
+      c.strategy == backends::ScatterStrategy::kPrivatized
+          ? privatized_seconds(id, p, c)
+          : atomic_seconds(id, p, c, mode, coherence);
+  return std::max(mem_s, flop_s) + scatter_s +
          spec_.launch_overhead_us * 1e-6;
 }
 
@@ -248,7 +292,13 @@ double KernelCostModel::iteration_seconds(const ProblemShape& p,
         kernel_flops(id, p) / (spec_.fp64_tflops * 1e12));
     const double atm_s =
         atomic_seconds(id, p, c, plan.atomic_mode, plan.coherence);
-    mem_sum += mem_s;
+    // Privatized scratch traffic is bandwidth, not latency: streams
+    // cannot hide it behind the other kernels' memory phases.
+    const double priv_s =
+        c.strategy == backends::ScatterStrategy::kPrivatized
+            ? privatized_seconds(id, p, c)
+            : 0.0;
+    mem_sum += mem_s + priv_s;
     atomic_sum += atm_s;
     atomic_max = std::max(atomic_max, atm_s);
   }

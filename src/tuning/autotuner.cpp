@@ -37,6 +37,7 @@ void note_winner(KernelId id, KernelConfig cfg, double median_s) {
                 {{"kernel", backends::to_string(id)},
                  {"blocks", static_cast<std::int64_t>(cfg.blocks)},
                  {"threads", static_cast<std::int64_t>(cfg.threads)},
+                 {"strategy", backends::to_string(cfg.strategy)},
                  {"median_us", median_s * 1e6}});
   }
 }
@@ -76,7 +77,9 @@ bool Autotuner::searching(KernelId id) const {
 
 KernelConfig Autotuner::config_of(Candidate c) const {
   return {options_.block_grid[static_cast<std::size_t>(c.bi)],
-          options_.thread_grid[static_cast<std::size_t>(c.ti)]};
+          options_.thread_grid[static_cast<std::size_t>(c.ti)],
+          c.si == 1 ? backends::ScatterStrategy::kPrivatized
+                    : backends::ScatterStrategy::kAtomic};
 }
 
 int Autotuner::nearest_index(const std::vector<std::int32_t>& grid,
@@ -91,13 +94,31 @@ int Autotuner::nearest_index(const std::vector<std::int32_t>& grid,
 
 void Autotuner::seed_locked(KernelId id, KernelSearch& s) {
   // The paper's prior: atomic scatters want few threads in flight
-  // (collision avoidance), gathers want occupancy.
-  const bool narrow = backends::kernel_uses_atomics(id);
-  Candidate start;
-  start.bi = nearest_index(options_.block_grid, narrow ? 32 : 128);
-  start.ti = nearest_index(options_.thread_grid, narrow ? 32 : 128);
+  // (collision avoidance), gathers want occupancy. The privatized
+  // strategy has no collisions, so its arm seeds wide.
+  const bool atomic = backends::kernel_uses_atomics(id);
+  const auto seed_of = [&](int si) {
+    const bool narrow = atomic && si == 0;
+    Candidate c;
+    c.bi = nearest_index(options_.block_grid, narrow ? 32 : 128);
+    c.ti = nearest_index(options_.thread_grid, narrow ? 32 : 128);
+    c.si = si;
+    return c;
+  };
+  int first_arm = 0;
+  if (atomic) {
+    if (!options_.scatter.has_value()) {
+      // Strategy axis open: descend the atomic arm first (today's
+      // search, narrow seed), then the privatized arm from its own
+      // wide seed.
+      s.arm_seeds.push_back(seed_of(1));
+    } else if (*options_.scatter == backends::ScatterStrategy::kPrivatized) {
+      first_arm = 1;
+    }
+  }
+  const Candidate start = seed_of(first_arm);
   s.current = start;
-  s.visited.insert({start.bi, start.ti});
+  s.visited.insert({start.si, start.bi, start.ti});
   s.started = true;
 }
 
@@ -107,10 +128,11 @@ void Autotuner::push_neighbors_locked(KernelSearch& s, Candidate c) {
         bi >= static_cast<int>(options_.block_grid.size()) ||
         ti >= static_cast<int>(options_.thread_grid.size()))
       return;
-    if (!s.visited.insert({bi, ti}).second) return;
-    s.pending.push_back({bi, ti});
+    if (!s.visited.insert({c.si, bi, ti}).second) return;
+    s.pending.push_back({bi, ti, c.si});
   };
-  // Axis moves only — this is the coordinate-descent step set.
+  // Axis moves only — this is the coordinate-descent step set. Strategy
+  // is not a descent axis: each strategy arm descends from its own seed.
   try_push(c.bi - 1, c.ti);
   try_push(c.bi + 1, c.ti);
   try_push(c.bi, c.ti - 1);
@@ -141,13 +163,34 @@ bool Autotuner::report(KernelId id, KernelConfig cfg, double seconds) {
   const double med = util::median(s.samples);
   s.samples.clear();
   s.evaluated++;
+  s.arm_evaluated++;
+  // The descent is per strategy arm: neighbors expand when the *arm's*
+  // best improves (an arm whose seed loses to the other arm still
+  // deserves its local search). The overall winner is tracked alongside.
+  const auto si = static_cast<std::size_t>(s.current.si);
+  if (!s.strategy_scored[si] || med < s.strategy_median[si]) {
+    s.strategy_best[si] = s.current;
+    s.strategy_median[si] = med;
+    s.strategy_scored[si] = true;
+    push_neighbors_locked(s, s.current);
+  }
   if (!s.scored || med < s.best_median) {
     s.best = s.current;
     s.best_median = med;
     s.scored = true;
-    push_neighbors_locked(s, s.current);
   }
-  if (s.pending.empty() || s.evaluated >= options_.max_configs_per_kernel) {
+  if (s.pending.empty() ||
+      s.arm_evaluated >= options_.max_configs_per_kernel) {
+    if (!s.arm_seeds.empty()) {
+      // This arm is done; start the next strategy arm from its seed.
+      const Candidate seed = s.arm_seeds.back();
+      s.arm_seeds.pop_back();
+      s.pending.clear();
+      s.arm_evaluated = 0;
+      s.current = seed;
+      s.visited.insert({seed.si, seed.bi, seed.ti});
+      return false;
+    }
     s.finished = true;
     note_winner(id, config_of(s.best), s.best_median);
     return true;
@@ -167,6 +210,24 @@ double Autotuner::best_median_s(KernelId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const KernelSearch& s = search_[static_cast<std::size_t>(id)];
   return s.scored ? s.best_median : std::numeric_limits<double>::infinity();
+}
+
+KernelConfig Autotuner::best_for(KernelId id,
+                                 backends::ScatterStrategy strategy) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const KernelSearch& s = search_[static_cast<std::size_t>(id)];
+  const auto si = static_cast<std::size_t>(strategy);
+  return s.strategy_scored[si] ? config_of(s.strategy_best[si])
+                               : KernelConfig{};
+}
+
+double Autotuner::best_median_for(KernelId id,
+                                  backends::ScatterStrategy strategy) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const KernelSearch& s = search_[static_cast<std::size_t>(id)];
+  const auto si = static_cast<std::size_t>(strategy);
+  return s.strategy_scored[si] ? s.strategy_median[si]
+                               : std::numeric_limits<double>::infinity();
 }
 
 std::uint64_t Autotuner::trials() const {
@@ -199,25 +260,30 @@ void Autotuner::finish() {
 
 std::vector<real> encode_table(const backends::TuningTable& table) {
   std::vector<real> out;
-  out.reserve(2 * backends::kNumKernels);
+  out.reserve(kEncodedTableSize);
   for (backends::KernelId id : backends::all_kernels()) {
     const KernelConfig cfg = table.get(id);
     out.push_back(static_cast<real>(cfg.blocks));
     out.push_back(static_cast<real>(cfg.threads));
+    out.push_back(static_cast<real>(static_cast<int>(cfg.strategy)));
   }
   return out;
 }
 
 backends::TuningTable decode_table(std::span<const real> data) {
-  GAIA_CHECK(data.size() == 2 * backends::kNumKernels,
+  GAIA_CHECK(data.size() == kEncodedTableSize,
              "decode_table: wrong element count");
   backends::TuningTable table;
   std::size_t i = 0;
   for (backends::KernelId id : backends::all_kernels()) {
+    const auto strategy = static_cast<int>(data[i + 2]);
+    GAIA_CHECK(strategy >= 0 && strategy < backends::kNumScatterStrategies,
+               "decode_table: unknown scatter strategy");
     KernelConfig cfg{static_cast<std::int32_t>(data[i]),
-                     static_cast<std::int32_t>(data[i + 1])};
+                     static_cast<std::int32_t>(data[i + 1]),
+                     static_cast<backends::ScatterStrategy>(strategy)};
     table.set(id, cfg);
-    i += 2;
+    i += 3;
   }
   return table;
 }

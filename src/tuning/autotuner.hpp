@@ -23,8 +23,10 @@
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "backends/backend.hpp"
@@ -35,12 +37,22 @@ namespace gaia::tuning {
 struct AutotuneOptions {
   /// Launches timed per candidate shape; the median is the score.
   int samples_per_config = 3;
-  /// Budget: candidate shapes evaluated per kernel before the search is
-  /// cut off (the greedy descent usually converges well under this).
+  /// Budget: candidate shapes evaluated per kernel *per strategy arm*
+  /// before that arm is cut off (the greedy descent usually converges
+  /// well under this).
   int max_configs_per_kernel = 12;
   /// The pow-2 axes of the search grid.
   std::vector<std::int32_t> block_grid{8, 16, 32, 64, 128, 256};
   std::vector<std::int32_t> thread_grid{32, 64, 128, 256, 512};
+  /// The scatter-strategy axis for the atomic aprod2 kernels. Pinned to
+  /// kAtomic (the default) the search varies only (blocks, threads) —
+  /// today's behaviour. Pinned to kPrivatized every atomic kernel
+  /// searches the privatized path only. nullopt searches *both*: the
+  /// atomic arm seeds narrow (collision avoidance) and the privatized
+  /// arm seeds wide (collisions are gone, bandwidth wants occupancy),
+  /// and the lower measured median wins. Gather kernels ignore this.
+  std::optional<backends::ScatterStrategy> scatter =
+      backends::ScatterStrategy::kAtomic;
 };
 
 /// Per-(backend) search state over all eight kernels. Thread-safe: the
@@ -72,9 +84,20 @@ class Autotuner {
               double seconds);
 
   /// Best shape found so far ({0,0} until the first candidate scored).
+  /// For atomic kernels the config's `strategy` field records which
+  /// scatter strategy won.
   [[nodiscard]] backends::KernelConfig best(backends::KernelId id) const;
   /// Median launch seconds of the best shape (inf until scored).
   [[nodiscard]] double best_median_s(backends::KernelId id) const;
+
+  /// Best shape / median measured *within one strategy arm* — the
+  /// atomic-vs-privatized comparison the tuner report and the
+  /// experiments table are built from. ({0,0} / inf until that arm
+  /// scored a candidate.)
+  [[nodiscard]] backends::KernelConfig best_for(
+      backends::KernelId id, backends::ScatterStrategy strategy) const;
+  [[nodiscard]] double best_median_for(
+      backends::KernelId id, backends::ScatterStrategy strategy) const;
 
   /// Timed launches consumed so far (all kernels).
   [[nodiscard]] std::uint64_t trials() const;
@@ -92,6 +115,7 @@ class Autotuner {
   struct Candidate {
     int bi = 0;  ///< index into options_.block_grid
     int ti = 0;  ///< index into options_.thread_grid
+    int si = 0;  ///< strategy arm: 0 = atomic, 1 = privatized
   };
   struct KernelSearch {
     bool started = false;
@@ -99,10 +123,19 @@ class Autotuner {
     Candidate current{};
     std::vector<double> samples;   ///< of the current candidate
     std::vector<Candidate> pending;
-    std::set<std::pair<int, int>> visited;
+    std::set<std::tuple<int, int, int>> visited;
+    /// Seeds of strategy arms not yet descended (an arm runs to
+    /// convergence or budget before the next seed starts, so both
+    /// strategies are guaranteed their descent).
+    std::vector<Candidate> arm_seeds;
+    int arm_evaluated = 0;  ///< candidates scored in the current arm
     Candidate best{};
     double best_median = 0;  ///< valid iff scored
     bool scored = false;
+    /// Per-strategy best, for the atomic-vs-privatized report.
+    std::array<Candidate, backends::kNumScatterStrategies> strategy_best{};
+    std::array<double, backends::kNumScatterStrategies> strategy_median{};
+    std::array<bool, backends::kNumScatterStrategies> strategy_scored{};
     int evaluated = 0;
   };
 
@@ -120,10 +153,13 @@ class Autotuner {
   std::uint64_t trials_ = 0;
 };
 
-/// Flat encoding of a TuningTable as 2*kNumKernels reals (blocks,
-/// threads per kernel in enum order) — the dist layer broadcasts rank
-/// 0's winners to all ranks through the existing Comm::bcast(span<real>)
-/// so every rank runs identical shapes.
+/// Flat encoding of a TuningTable as 3*kNumKernels reals (blocks,
+/// threads, scatter strategy per kernel in enum order) — the dist layer
+/// broadcasts rank 0's winners to all ranks through the existing
+/// Comm::bcast(span<real>) so every rank runs identical shapes and
+/// strategies.
+inline constexpr std::size_t kEncodedTableSize =
+    3 * static_cast<std::size_t>(backends::kNumKernels);
 [[nodiscard]] std::vector<real> encode_table(
     const backends::TuningTable& table);
 [[nodiscard]] backends::TuningTable decode_table(std::span<const real> data);

@@ -17,6 +17,17 @@ void KernelRegistry::add_fused(backends::BackendKind backend,
   fused_[static_cast<std::size_t>(backend)] = std::move(launcher);
 }
 
+void KernelRegistry::add_privatized(backends::KernelId id,
+                                    backends::BackendKind backend,
+                                    KernelLauncher launcher) {
+  GAIA_CHECK(launcher != nullptr,
+             "KernelRegistry::add_privatized: null launcher");
+  GAIA_CHECK(backends::kernel_uses_atomics(id),
+             "KernelRegistry::add_privatized: " + backends::to_string(id) +
+                 " has no atomic scatter to privatize");
+  privatized_[index(id, backend)] = std::move(launcher);
+}
+
 bool KernelRegistry::has(backends::KernelId id,
                          backends::BackendKind backend) const {
   return table_[index(id, backend)] != nullptr;
@@ -26,9 +37,25 @@ bool KernelRegistry::has_fused(backends::BackendKind backend) const {
   return fused_[static_cast<std::size_t>(backend)] != nullptr;
 }
 
+bool KernelRegistry::has_privatized(backends::KernelId id,
+                                    backends::BackendKind backend) const {
+  return privatized_[index(id, backend)] != nullptr;
+}
+
 void KernelRegistry::launch(backends::KernelId id,
                             backends::BackendKind backend,
                             const LaunchArgs& args) const {
+  if (args.config.strategy == backends::ScatterStrategy::kPrivatized &&
+      backends::kernel_uses_atomics(id)) {
+    const KernelLauncher& pfn = privatized_[index(id, backend)];
+    if (!pfn)
+      throw Error(
+          "KernelRegistry: no privatized launcher registered for kernel " +
+          backends::to_string(id) + " on backend " +
+          backends::to_string(backend));
+    pfn(args);
+    return;
+  }
   const KernelLauncher& fn = table_[index(id, backend)];
   if (!fn)
     throw Error("KernelRegistry: no launcher registered for kernel " +

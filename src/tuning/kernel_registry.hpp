@@ -24,19 +24,25 @@
 namespace gaia::core {
 struct SystemView;
 }
+namespace gaia::backends {
+class ScratchArena;
+}
 
 namespace gaia::tuning {
 
 /// Flat argument pack of one kernel launch. `in`/`out` follow the data
 /// flow: for aprod1 kernels in = x (n_cols), out = y (n_rows); for
 /// aprod2 kernels in = y, out = x. atomic_mode is ignored by the
-/// atomic-free kernels.
+/// atomic-free kernels. `arena` is the scratch pool the privatized
+/// scatter strategy draws from (null = the backend's process-wide
+/// arena); config.strategy selects which launcher variant runs.
 struct LaunchArgs {
   const core::SystemView* view = nullptr;
   const real* in = nullptr;
   real* out = nullptr;
   backends::KernelConfig config{};
   backends::AtomicMode atomic_mode = backends::AtomicMode::kNativeRmw;
+  backends::ScratchArena* arena = nullptr;
 };
 
 using KernelLauncher = std::function<void(const LaunchArgs&)>;
@@ -52,20 +58,30 @@ class KernelRegistry {
   void add(backends::KernelId id, backends::BackendKind backend,
            KernelLauncher launcher);
   void add_fused(backends::BackendKind backend, KernelLauncher launcher);
+  /// Registers the contention-free variant of an atomic scatter kernel;
+  /// `launch()` routes to it when args.config.strategy says so.
+  void add_privatized(backends::KernelId id, backends::BackendKind backend,
+                      KernelLauncher launcher);
 
   [[nodiscard]] bool has(backends::KernelId id,
                          backends::BackendKind backend) const;
   [[nodiscard]] bool has_fused(backends::BackendKind backend) const;
+  [[nodiscard]] bool has_privatized(backends::KernelId id,
+                                    backends::BackendKind backend) const;
 
   /// Dispatches through the registered launcher; throws gaia::Error
   /// naming the (kernel, backend) pair when nothing is registered —
-  /// a registration bug, not a user error.
+  /// a registration bug, not a user error. An atomic scatter kernel
+  /// whose args carry ScatterStrategy::kPrivatized dispatches through
+  /// the privatized variant instead; every other kernel ignores the
+  /// strategy (there is nothing to privatize in a gather).
   void launch(backends::KernelId id, backends::BackendKind backend,
               const LaunchArgs& args) const;
   void launch_fused(backends::BackendKind backend,
                     const LaunchArgs& args) const;
 
-  /// Registered (kernel, backend) entries, fused slots excluded.
+  /// Registered (kernel, backend) entries, fused/privatized slots
+  /// excluded.
   [[nodiscard]] std::size_t size() const;
 
   /// Process-wide registry the solver dispatches through.
@@ -84,6 +100,12 @@ class KernelRegistry {
                  static_cast<std::size_t>(backends::kNumBackends)>
       table_{};
   std::array<KernelLauncher, backends::kNumBackends> fused_{};
+  /// Sparse second strategy table: only the atomic scatter kernels have
+  /// privatized variants registered.
+  std::array<KernelLauncher,
+             static_cast<std::size_t>(backends::kNumKernels) *
+                 static_cast<std::size_t>(backends::kNumBackends)>
+      privatized_{};
 };
 
 }  // namespace gaia::tuning

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "resilience/checkpoint.hpp"
 #include "util/error.hpp"
 
@@ -61,7 +62,7 @@ bool TuningCache::complete_for(BackendKind backend, ShapeBucket bucket) const {
 
 std::string TuningCache::to_json() const {
   std::ostringstream os;
-  os << "{\"version\":1,\"entries\":[";
+  os << "{\"version\":" << kSchemaVersion << ",\"entries\":[";
   bool first = true;
   for (const auto& [key, cfg] : entries_) {
     const auto& [backend, rows_log2, cols_log2, kernel] = key;
@@ -73,7 +74,7 @@ std::string TuningCache::to_json() const {
        << ",\"cols_log2\":" << cols_log2 << ",\"kernel\":\""
        << backends::to_string(static_cast<KernelId>(kernel))
        << "\",\"blocks\":" << cfg.blocks << ",\"threads\":" << cfg.threads
-       << '}';
+       << ",\"strategy\":\"" << backends::to_string(cfg.strategy) << "\"}";
   }
   os << "]}";
   return os.str();
@@ -140,6 +141,7 @@ class JsonCursor {
 struct RawEntry {
   std::string backend;
   std::string kernel;
+  std::string strategy = "atomic";
   std::int64_t rows_log2 = 0;
   std::int64_t cols_log2 = 0;
   std::int64_t blocks = 0;
@@ -158,6 +160,8 @@ bool parse_entry(JsonCursor& cur, RawEntry& entry) {
       if (!cur.parse_string(entry.backend)) return false;
     } else if (key == "kernel") {
       if (!cur.parse_string(entry.kernel)) return false;
+    } else if (key == "strategy") {
+      if (!cur.parse_string(entry.strategy)) return false;
     } else if (key == "rows_log2") {
       if (!cur.parse_int(entry.rows_log2)) return false;
     } else if (key == "cols_log2") {
@@ -173,54 +177,80 @@ bool parse_entry(JsonCursor& cur, RawEntry& entry) {
   return cur.consume('}');
 }
 
+void note_version_miss() {
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    static obs::Counter& misses = reg.counter("tuning.cache.version_miss");
+    misses.add(1);
+  }
+}
+
 }  // namespace
 
-std::optional<TuningCache> TuningCache::parse_json(const std::string& text) {
+std::optional<TuningCache> TuningCache::parse_json(const std::string& text,
+                                                   ParseStatus* status) {
+  const auto fail = [&](ParseStatus why) -> std::optional<TuningCache> {
+    if (status) *status = why;
+    return std::nullopt;
+  };
   JsonCursor cur(text);
-  if (!cur.consume('{')) return std::nullopt;
+  if (!cur.consume('{')) return fail(ParseStatus::kMalformed);
   std::optional<std::int64_t> version;
   bool saw_entries = false;
   TuningCache cache;
   bool first = true;
   while (!cur.peek('}')) {
-    if (!first && !cur.consume(',')) return std::nullopt;
+    if (!first && !cur.consume(',')) return fail(ParseStatus::kMalformed);
     first = false;
     std::string key;
-    if (!cur.parse_string(key) || !cur.consume(':')) return std::nullopt;
+    if (!cur.parse_string(key) || !cur.consume(':'))
+      return fail(ParseStatus::kMalformed);
     if (key == "version") {
       std::int64_t v = 0;
-      if (!cur.parse_int(v)) return std::nullopt;
+      if (!cur.parse_int(v)) return fail(ParseStatus::kMalformed);
       version = v;
+      // An honest file of another schema version is a clean miss, not
+      // corruption — report it as such without trusting its entries
+      // (v1 predates the strategy axis entirely).
+      if (v != kSchemaVersion) return fail(ParseStatus::kVersionMismatch);
     } else if (key == "entries") {
       saw_entries = true;
-      if (!cur.consume('[')) return std::nullopt;
+      if (!cur.consume('[')) return fail(ParseStatus::kMalformed);
       bool first_entry = true;
       while (!cur.peek(']')) {
-        if (!first_entry && !cur.consume(',')) return std::nullopt;
+        if (!first_entry && !cur.consume(','))
+          return fail(ParseStatus::kMalformed);
         first_entry = false;
         RawEntry raw;
-        if (!parse_entry(cur, raw)) return std::nullopt;
+        if (!parse_entry(cur, raw)) return fail(ParseStatus::kMalformed);
         const auto backend = backends::parse_backend(raw.backend);
         const auto kernel = backends::parse_kernel_id(raw.kernel);
-        if (!backend || !kernel) return std::nullopt;
+        const auto strategy = backends::parse_scatter_strategy(raw.strategy);
+        if (!backend || !kernel || !strategy)
+          return fail(ParseStatus::kMalformed);
         if (raw.rows_log2 < 0 || raw.rows_log2 > 62 || raw.cols_log2 < 0 ||
             raw.cols_log2 > 62)
-          return std::nullopt;
+          return fail(ParseStatus::kMalformed);
         const KernelConfig cfg{static_cast<std::int32_t>(raw.blocks),
-                               static_cast<std::int32_t>(raw.threads)};
-        if (!backends::is_valid_kernel_config(cfg)) return std::nullopt;
+                               static_cast<std::int32_t>(raw.threads),
+                               *strategy};
+        if (!backends::is_valid_kernel_config(cfg))
+          return fail(ParseStatus::kMalformed);
         cache.put(*backend,
                   {static_cast<std::int32_t>(raw.rows_log2),
                    static_cast<std::int32_t>(raw.cols_log2)},
                   *kernel, cfg);
       }
-      if (!cur.consume(']')) return std::nullopt;
+      if (!cur.consume(']')) return fail(ParseStatus::kMalformed);
     } else {
-      return std::nullopt;
+      return fail(ParseStatus::kMalformed);
     }
   }
-  if (!cur.consume('}') || !cur.at_end()) return std::nullopt;
-  if (version != 1 || !saw_entries) return std::nullopt;  // both required
+  if (!cur.consume('}') || !cur.at_end())
+    return fail(ParseStatus::kMalformed);
+  if (version != kSchemaVersion || !saw_entries)
+    return fail(ParseStatus::kMalformed);  // both required
+  if (status) *status = ParseStatus::kOk;
   return cache;
 }
 
@@ -232,8 +262,12 @@ bool TuningCache::load(const std::string& path) {
   } catch (const Error&) {
     return false;  // missing, truncated or corrupt: behave as empty
   }
-  auto parsed = parse_json(payload);
-  if (!parsed) return false;
+  ParseStatus status = ParseStatus::kMalformed;
+  auto parsed = parse_json(payload, &status);
+  if (!parsed) {
+    if (status == ParseStatus::kVersionMismatch) note_version_miss();
+    return false;
+  }
   entries_ = std::move(parsed->entries_);
   return true;
 }

@@ -56,19 +56,37 @@ class TuningCache {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Schema version this build reads and writes. v2 added the per-entry
+  /// scatter "strategy"; v1 files (no strategy recorded) are rejected as
+  /// a *version miss*, not corruption — the winners they hold were found
+  /// in a strategy-less search and must not silently pin the new axis.
+  static constexpr std::int64_t kSchemaVersion = 2;
+
+  /// Why a parse produced no cache (kOk when it did).
+  enum class ParseStatus {
+    kOk = 0,
+    kMalformed,        ///< bad syntax, unknown names, invalid shapes
+    kVersionMismatch,  ///< well-formed file of another schema version
+  };
+
   /// JSON document (schema below); stable entry order for diffing.
-  /// {"version":1,"entries":[{"backend":"gpusim","rows_log2":8,
-  ///   "cols_log2":7,"kernel":"aprod2_att","blocks":32,"threads":32}]}
+  /// {"version":2,"entries":[{"backend":"gpusim","rows_log2":8,
+  ///   "cols_log2":7,"kernel":"aprod2_att","blocks":32,"threads":32,
+  ///   "strategy":"privatized"}]}
   [[nodiscard]] std::string to_json() const;
-  /// Strict parse: any malformed syntax, unknown backend/kernel name,
-  /// invalid launch shape or wrong version yields nullopt (the caller
-  /// treats it like a missing cache).
+  /// Strict parse: any malformed syntax, unknown backend/kernel/strategy
+  /// name, invalid launch shape or wrong version yields nullopt (the
+  /// caller treats it like a missing cache). `status`, when non-null,
+  /// distinguishes a clean version miss from corruption.
   [[nodiscard]] static std::optional<TuningCache> parse_json(
-      const std::string& text);
+      const std::string& text, ParseStatus* status = nullptr);
 
   /// Loads a CRC-framed cache file. Returns false (leaving the cache
   /// empty) when the file is missing, truncated, corrupt, or fails to
-  /// parse — a cache is an optimization, never a hard dependency.
+  /// parse — a cache is an optimization, never a hard dependency. An
+  /// old-version file additionally bumps the
+  /// `tuning.cache.version_miss` warning counter so schema evolution is
+  /// distinguishable from bit rot in the metrics.
   [[nodiscard]] bool load(const std::string& path);
   /// Seals the cache to `path` (atomic write + CRC footer).
   void save(const std::string& path) const;

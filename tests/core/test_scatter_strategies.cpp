@@ -1,0 +1,252 @@
+/// \file test_scatter_strategies.cpp
+/// \brief Property suite for the privatized (contention-free) aprod2
+/// scatter strategy: equivalence with the atomic path and the serial
+/// reference on every backend, robustness across worker counts and
+/// degenerate shapes, bit-reproducibility at a fixed launch shape, and
+/// the scratch-arena reuse contract (allocator goes silent after the
+/// first iteration).
+#include <gtest/gtest.h>
+
+#include "backends/scratch_arena.hpp"
+#include "core/aprod.hpp"
+#include "core/aprod_kernels.hpp"
+#include "matrix/generator.hpp"
+#include "obs/metrics.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace gaia::core {
+namespace {
+
+using backends::BackendKind;
+using backends::KernelConfig;
+using backends::ScatterStrategy;
+
+/// Fixture: a system with enough rows per column that scatters actually
+/// collide, plus the serial atomic result as the reference.
+class ScatterStrategies : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    gen_ = matrix::generate_system(gaia::testing::medium_config(23));
+    view_ = SystemView::from(gen_.A);
+    util::Xoshiro256 rng(47);
+    y_.resize(static_cast<std::size_t>(gen_.A.n_rows()));
+    for (auto& v : y_) v = rng.normal();
+    reference_.assign(static_cast<std::size_t>(gen_.A.n_cols()), 0.0);
+    run_atomic<backends::SerialExec>(view_, reference_, {});
+  }
+
+  template <typename Exec>
+  void run_atomic(const SystemView& view, std::vector<real>& x,
+                  KernelConfig cfg) const {
+    aprod2_att<Exec>(view, y_.data(), x.data(), cfg,
+                     backends::AtomicMode::kNativeRmw);
+    aprod2_instr<Exec>(view, y_.data(), x.data(), cfg,
+                       backends::AtomicMode::kNativeRmw);
+    aprod2_glob<Exec>(view, y_.data(), x.data(), cfg,
+                      backends::AtomicMode::kNativeRmw);
+  }
+
+  template <typename Exec>
+  void run_privatized(const SystemView& view, std::vector<real>& x,
+                      KernelConfig cfg,
+                      backends::ScratchArena* arena = nullptr) const {
+    aprod2_att_privatized<Exec>(view, y_.data(), x.data(), cfg, arena);
+    aprod2_instr_privatized<Exec>(view, y_.data(), x.data(), cfg, arena);
+    aprod2_glob_privatized<Exec>(view, y_.data(), x.data(), cfg, arena);
+  }
+
+  std::vector<real> privatized_result(KernelConfig cfg) const {
+    std::vector<real> x(reference_.size(), 0.0);
+    backends::dispatch(GetParam(), [&](auto exec) {
+      run_privatized<decltype(exec)>(view_, x, cfg);
+    });
+    return x;
+  }
+
+  matrix::GeneratedSystem gen_;
+  SystemView view_{};
+  std::vector<real> y_;
+  std::vector<real> reference_;
+};
+
+TEST_P(ScatterStrategies, PrivatizedMatchesSerialAtomicReference) {
+  const auto x = privatized_result({});
+  EXPECT_LT(gaia::testing::rel_l2_error(x, reference_), 1e-12);
+}
+
+TEST_P(ScatterStrategies, PrivatizedMatchesAtomicOnSameBackend) {
+  const KernelConfig cfg{64, 32};
+  std::vector<real> atomic(reference_.size(), 0.0);
+  std::vector<real> priv(reference_.size(), 0.0);
+  backends::dispatch(GetParam(), [&](auto exec) {
+    using Exec = decltype(exec);
+    run_atomic<Exec>(view_, atomic, cfg);
+    run_privatized<Exec>(view_, priv, cfg);
+  });
+  EXPECT_LT(gaia::testing::rel_l2_error(priv, atomic), 1e-12);
+}
+
+TEST_P(ScatterStrategies, WorkerCountSweepPreservesResults) {
+  // scatter_workers is a pure function of the launch shape; every shape
+  // (1 worker, odd counts, the kMaxScatterWorkers cap) must agree with
+  // the reference.
+  for (const KernelConfig cfg :
+       {KernelConfig{1, 1}, KernelConfig{2, 3}, KernelConfig{7, 5},
+        KernelConfig{64, 32}, KernelConfig{300, 64},
+        KernelConfig{1024, 256}}) {
+    const auto x = privatized_result(cfg);
+    EXPECT_LT(gaia::testing::rel_l2_error(x, reference_), 1e-12)
+        << "cfg " << cfg.blocks << "x" << cfg.threads;
+  }
+}
+
+TEST_P(ScatterStrategies, BitIdenticalAcrossRepeatedRuns) {
+  // The fold order is fixed by the worker count alone, and each worker
+  // accumulates its row chunk sequentially — repeated runs at the same
+  // shape must agree to the last bit, on every backend.
+  const KernelConfig cfg{64, 32};
+  const auto first = privatized_result(cfg);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto again = privatized_result(cfg);
+    for (std::size_t i = 0; i < first.size(); ++i)
+      ASSERT_EQ(first[i], again[i]) << "element " << i << " run " << repeat;
+  }
+}
+
+TEST_P(ScatterStrategies, DegenerateSingleStarSystem) {
+  auto cfg = gaia::testing::small_config(29);
+  cfg.n_stars = 1;
+  const auto gen = matrix::generate_system(cfg);
+  const SystemView view = SystemView::from(gen.A);
+  util::Xoshiro256 rng(5);
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+  for (auto& v : y) v = rng.normal();
+
+  std::vector<real> ref(static_cast<std::size_t>(gen.A.n_cols()), 0.0);
+  aprod2_att<backends::SerialExec>(view, y.data(), ref.data(), {},
+                                   backends::AtomicMode::kNativeRmw);
+  aprod2_instr<backends::SerialExec>(view, y.data(), ref.data(), {},
+                                     backends::AtomicMode::kNativeRmw);
+  aprod2_glob<backends::SerialExec>(view, y.data(), ref.data(), {},
+                                    backends::AtomicMode::kNativeRmw);
+
+  std::vector<real> x(ref.size(), 0.0);
+  backends::dispatch(GetParam(), [&](auto exec) {
+    using Exec = decltype(exec);
+    aprod2_att_privatized<Exec>(view, y.data(), x.data(), {128, 64});
+    aprod2_instr_privatized<Exec>(view, y.data(), x.data(), {128, 64});
+    aprod2_glob_privatized<Exec>(view, y.data(), x.data(), {128, 64});
+  });
+  EXPECT_LT(gaia::testing::rel_l2_error(x, ref), 1e-12);
+}
+
+TEST_P(ScatterStrategies, NoGlobalSectionIsANoop) {
+  auto cfg = gaia::testing::small_config(31);
+  cfg.has_global = false;
+  const auto gen = matrix::generate_system(cfg);
+  const SystemView view = SystemView::from(gen.A);
+  std::vector<real> ones(static_cast<std::size_t>(gen.A.n_rows()), 1.0);
+  std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()), 0.0);
+  backends::dispatch(GetParam(), [&](auto exec) {
+    aprod2_glob_privatized<decltype(exec)>(view, ones.data(), x.data(), {});
+  });
+  for (real v : x) ASSERT_EQ(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ScatterStrategies,
+                         ::testing::ValuesIn(backends::all_backends()),
+                         [](const auto& info) {
+                           return backends::to_string(info.param);
+                         });
+
+/// Installs `strategy` on the three atomic kernels of a tuned table.
+backends::TuningTable strategy_table(ScatterStrategy strategy) {
+  backends::TuningTable table = backends::TuningTable::tuned_default();
+  for (backends::KernelId id : backends::all_kernels()) {
+    if (!backends::kernel_uses_atomics(id)) continue;
+    KernelConfig cfg = table.get(id);
+    cfg.strategy = strategy;
+    table.set(id, cfg);
+  }
+  return table;
+}
+
+TEST(ScatterStrategyDriver, PrivatizedTableMatchesAtomicThroughAprod) {
+  // End-to-end through the registry routing: an Aprod whose tuning table
+  // selects kPrivatized must produce the same apply2 as the atomic one.
+  const auto gen = matrix::generate_system(gaia::testing::medium_config(37));
+  util::Xoshiro256 rng(11);
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+  for (auto& v : y) v = rng.normal();
+
+  auto apply2_with = [&](ScatterStrategy strategy) {
+    backends::DeviceContext device;
+    AprodOptions opts;
+    opts.backend = BackendKind::kGpuSim;
+    opts.use_streams = false;
+    opts.tuning = strategy_table(strategy);
+    Aprod aprod(gen.A, device, opts);
+    std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()), 0.0);
+    aprod.apply2(y, x);
+    return x;
+  };
+  const auto atomic = apply2_with(ScatterStrategy::kAtomic);
+  const auto priv = apply2_with(ScatterStrategy::kPrivatized);
+  EXPECT_LT(gaia::testing::rel_l2_error(priv, atomic), 1e-12);
+}
+
+TEST(ScatterStrategyDriver, ArenaAllocatorSilentAfterFirstIteration) {
+  // The pool contract of the tentpole: every buffer the privatized
+  // scatters need is allocated during the first apply2; after that the
+  // miss counter must not move — iterations run allocation-free.
+  const auto gen = matrix::generate_system(gaia::testing::medium_config(41));
+  backends::DeviceContext device;
+  AprodOptions opts;
+  opts.backend = BackendKind::kGpuSim;
+  opts.use_streams = false;  // deterministic lease pattern
+  opts.tuning = strategy_table(ScatterStrategy::kPrivatized);
+  Aprod aprod(gen.A, device, opts);
+
+  util::Xoshiro256 rng(13);
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+  for (auto& v : y) v = rng.normal();
+  std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()), 0.0);
+
+  aprod.apply2(y, x);  // warm-up: populates the pool
+  const std::uint64_t misses_after_warmup = aprod.scratch_arena().misses();
+  EXPECT_GT(misses_after_warmup, 0u);  // the privatized path really ran
+  EXPECT_GT(aprod.scratch_arena().pooled_bytes(), 0u);
+
+  for (int iter = 0; iter < 5; ++iter) aprod.apply2(y, x);
+  EXPECT_EQ(aprod.scratch_arena().misses(), misses_after_warmup);
+  EXPECT_GT(aprod.scratch_arena().hits(), 0u);
+}
+
+TEST(ScatterStrategyDriver, ArenaBytesSurfaceInObsMetrics) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.set_enabled(true);
+  reg.reset();
+
+  const auto gen = matrix::generate_system(gaia::testing::small_config(43));
+  backends::DeviceContext device;
+  AprodOptions opts;
+  opts.backend = BackendKind::kGpuSim;
+  opts.use_streams = false;
+  opts.tuning = strategy_table(ScatterStrategy::kPrivatized);
+  Aprod aprod(gen.A, device, opts);
+  util::Xoshiro256 rng(17);
+  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+  for (auto& v : y) v = rng.normal();
+  std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()), 0.0);
+  aprod.apply2(y, x);
+
+  EXPECT_GT(reg.gauge("scratch.arena.pooled_bytes").value(), 0.0);
+  EXPECT_GT(reg.counter("scratch.arena.misses").value(), 0u);
+
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+}  // namespace
+}  // namespace gaia::core

@@ -171,16 +171,90 @@ TEST(Autotuner, InvalidSearchOptionsAreRejected) {
   EXPECT_THROW(Autotuner(BackendKind::kGpuSim, empty_grid), Error);
 }
 
+TEST(Autotuner, PinnedPrivatizedSearchesOnlyThatArm) {
+  AutotuneOptions opts = one_sample();
+  opts.scatter = backends::ScatterStrategy::kPrivatized;
+  Autotuner tuner(BackendKind::kGpuSim, opts);
+  const KernelId id = KernelId::kAprod2Att;
+  // The privatized arm has no collisions to avoid: it seeds wide.
+  EXPECT_EQ(tuner.propose(id),
+            (KernelConfig{128, 128, backends::ScatterStrategy::kPrivatized}));
+  search_kernel(tuner, id, 64, 128);
+  EXPECT_EQ(tuner.best(id).strategy,
+            backends::ScatterStrategy::kPrivatized);
+  // Gather kernels are strategy-blind and keep their wide atomic seed.
+  EXPECT_EQ(tuner.propose(KernelId::kAprod1Astro).strategy,
+            backends::ScatterStrategy::kAtomic);
+}
+
+TEST(Autotuner, OpenStrategyAxisMeasuresBothArmsAndKeepsTheFaster) {
+  AutotuneOptions opts = one_sample();
+  opts.scatter = std::nullopt;
+  Autotuner tuner(BackendKind::kGpuSim, opts);
+  const KernelId id = KernelId::kAprod2Att;
+  // Oracle: privatized launches are uniformly 3x faster (a contended
+  // scatter) — the winner must carry the privatized strategy.
+  for (int step = 0; step < 2000 && tuner.searching(id); ++step) {
+    const KernelConfig cfg = tuner.propose(id);
+    const double base = oracle_seconds(cfg, 64, 128);
+    tuner.report(
+        id, cfg,
+        cfg.strategy == backends::ScatterStrategy::kPrivatized ? base / 3
+                                                               : base);
+  }
+  ASSERT_FALSE(tuner.searching(id));
+  EXPECT_EQ(tuner.best(id).strategy,
+            backends::ScatterStrategy::kPrivatized);
+  // Both arms were genuinely descended: each holds a scored best, and
+  // the per-arm medians reproduce the 3x oracle gap at the optimum.
+  const double atomic_med =
+      tuner.best_median_for(id, backends::ScatterStrategy::kAtomic);
+  const double priv_med =
+      tuner.best_median_for(id, backends::ScatterStrategy::kPrivatized);
+  EXPECT_LT(atomic_med, std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(priv_med, atomic_med / 3, 1e-9);
+  EXPECT_EQ(tuner.best_for(id, backends::ScatterStrategy::kAtomic).strategy,
+            backends::ScatterStrategy::kAtomic);
+}
+
+TEST(Autotuner, OpenStrategyAxisKeepsAtomicWhenItWins) {
+  AutotuneOptions opts = one_sample();
+  opts.scatter = std::nullopt;
+  Autotuner tuner(BackendKind::kGpuSim, opts);
+  const KernelId id = KernelId::kAprod2Glob;
+  for (int step = 0; step < 2000 && tuner.searching(id); ++step) {
+    const KernelConfig cfg = tuner.propose(id);
+    const double base = oracle_seconds(cfg, 32, 64);
+    // Here the scratch reduction costs more than the atomics save.
+    tuner.report(
+        id, cfg,
+        cfg.strategy == backends::ScatterStrategy::kPrivatized ? base * 2
+                                                               : base);
+  }
+  ASSERT_FALSE(tuner.searching(id));
+  EXPECT_EQ(tuner.best(id).strategy, backends::ScatterStrategy::kAtomic);
+  EXPECT_EQ(tuner.best(id), (KernelConfig{32, 64}));
+}
+
 TEST(AutotunerEncoding, TableRoundTripsThroughTheBroadcastEncoding) {
   backends::TuningTable table = backends::TuningTable::tuned_default();
   table.set(KernelId::kAprod1Glob, {3, 7});
+  table.set(KernelId::kAprod2Att,
+            {16, 32, backends::ScatterStrategy::kPrivatized});
   const std::vector<real> wire = encode_table(table);
-  EXPECT_EQ(wire.size(), 2u * backends::kNumKernels);
+  EXPECT_EQ(wire.size(), 3u * backends::kNumKernels);
   EXPECT_EQ(decode_table(wire), table);
 }
 
 TEST(AutotunerEncoding, WrongElementCountThrows) {
-  std::vector<real> wire(2 * backends::kNumKernels - 1, 0.0);
+  std::vector<real> wire(3 * backends::kNumKernels - 1, 0.0);
+  EXPECT_THROW((void)decode_table(wire), Error);
+}
+
+TEST(AutotunerEncoding, UnknownStrategyCodeThrows) {
+  backends::TuningTable table = backends::TuningTable::tuned_default();
+  std::vector<real> wire = encode_table(table);
+  wire[2] = 9;  // not a ScatterStrategy enumerator
   EXPECT_THROW((void)decode_table(wire), Error);
 }
 

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "resilience/checkpoint.hpp"
 
 namespace gaia::tuning {
@@ -151,45 +152,74 @@ TEST_F(TuningCacheTest, BucketMismatchForcesAReTune) {
 
 TEST(TuningCacheJson, DocumentRoundTripsAndIsStable) {
   TuningCache cache;
-  cache.put(BackendKind::kGpuSim, {8, 7}, KernelId::kAprod2Att, {32, 32});
+  cache.put(BackendKind::kGpuSim, {8, 7}, KernelId::kAprod2Att,
+            {32, 32, backends::ScatterStrategy::kPrivatized});
   cache.put(BackendKind::kOpenMP, {8, 7}, KernelId::kAprod1Astro, {16, 128});
   const std::string json = cache.to_json();
-  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"kernel\":\"aprod2_att\""), std::string::npos);
+  EXPECT_NE(json.find("\"strategy\":\"privatized\""), std::string::npos);
   const auto parsed = TuningCache::parse_json(json);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->size(), 2u);
   const auto hit =
       parsed->find(BackendKind::kGpuSim, {8, 7}, KernelId::kAprod2Att);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(*hit, (KernelConfig{32, 32}));
+  EXPECT_EQ(*hit,
+            (KernelConfig{32, 32, backends::ScatterStrategy::kPrivatized}));
   // Serialization is deterministic (diffable caches).
   EXPECT_EQ(parsed->to_json(), json);
+}
+
+TEST(TuningCacheJson, MissingStrategyKeyDefaultsToAtomic) {
+  // v2 readers accept entries without the key (a hand-edited file);
+  // absent means atomic, the pre-strategy behaviour.
+  const std::string json =
+      "{\"version\":2,\"entries\":[{\"backend\":\"gpusim\","
+      "\"rows_log2\":8,\"cols_log2\":7,\"kernel\":\"aprod2_att\","
+      "\"blocks\":32,\"threads\":32}]}";
+  const auto parsed = TuningCache::parse_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  const auto hit =
+      parsed->find(BackendKind::kGpuSim, {8, 7}, KernelId::kAprod2Att);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->strategy, backends::ScatterStrategy::kAtomic);
 }
 
 TEST(TuningCacheJson, StrictParserRejectsEveryMalformation) {
   const auto entry = [](const std::string& backend, const std::string& kernel,
                         int blocks, int threads) {
-    return "{\"version\":1,\"entries\":[{\"backend\":\"" + backend +
+    return "{\"version\":2,\"entries\":[{\"backend\":\"" + backend +
            "\",\"rows_log2\":8,\"cols_log2\":7,\"kernel\":\"" + kernel +
            "\",\"blocks\":" + std::to_string(blocks) +
-           ",\"threads\":" + std::to_string(threads) + "}]}";
+           ",\"threads\":" + std::to_string(threads) +
+           ",\"strategy\":\"atomic\"}]}";
   };
   // The control: the generator above produces a parsable document.
   ASSERT_TRUE(TuningCache::parse_json(entry("gpusim", "aprod2_att", 32, 32))
                   .has_value());
 
-  EXPECT_FALSE(TuningCache::parse_json("").has_value());
+  using Status = TuningCache::ParseStatus;
+  Status status = Status::kOk;
+  EXPECT_FALSE(TuningCache::parse_json("", &status).has_value());
+  EXPECT_EQ(status, Status::kMalformed);
   EXPECT_FALSE(TuningCache::parse_json("not json").has_value());
-  EXPECT_FALSE(TuningCache::parse_json("{\"version\":1}").has_value());
-  // Wrong version.
+  EXPECT_FALSE(TuningCache::parse_json("{\"version\":2}").has_value());
+  // Another schema version: rejected, but as a *version miss*, not
+  // corruption — the entries are never trusted.
   EXPECT_FALSE(
-      TuningCache::parse_json("{\"version\":2,\"entries\":[]}").has_value());
-  // Unknown backend / kernel names.
+      TuningCache::parse_json("{\"version\":1,\"entries\":[]}", &status)
+          .has_value());
+  EXPECT_EQ(status, Status::kVersionMismatch);
+  // Unknown backend / kernel / strategy names.
   EXPECT_FALSE(TuningCache::parse_json(entry("cuda11", "aprod2_att", 32, 32))
                    .has_value());
   EXPECT_FALSE(TuningCache::parse_json(entry("gpusim", "aprod9_att", 32, 32))
                    .has_value());
+  std::string bad_strategy = entry("gpusim", "aprod2_att", 32, 32);
+  bad_strategy.replace(bad_strategy.find("atomic"), 6, "quantum");
+  EXPECT_FALSE(TuningCache::parse_json(bad_strategy, &status).has_value());
+  EXPECT_EQ(status, Status::kMalformed);
   // Unlaunchable shapes: negative, zero-paired, absurd.
   EXPECT_FALSE(TuningCache::parse_json(entry("gpusim", "aprod2_att", -1, 32))
                    .has_value());
@@ -202,6 +232,30 @@ TEST(TuningCacheJson, StrictParserRejectsEveryMalformation) {
   EXPECT_FALSE(
       TuningCache::parse_json(entry("gpusim", "aprod2_att", 32, 32) + "x")
           .has_value());
+}
+
+TEST(TuningCacheJson, OldVersionFileBumpsTheVersionMissCounter) {
+  namespace fs = std::filesystem;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.set_enabled(true);
+  reg.reset();
+  const std::string p =
+      (fs::path(::testing::TempDir()) / "gaia_tc_v1.json").string();
+  resilience::write_framed_file(
+      p, "{\"version\":1,\"entries\":[{\"backend\":\"gpusim\","
+         "\"rows_log2\":8,\"cols_log2\":7,\"kernel\":\"aprod2_att\","
+         "\"blocks\":32,\"threads\":32}]}");
+  TuningCache cache;
+  EXPECT_FALSE(cache.load(p));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(reg.counter("tuning.cache.version_miss").value(), 1u);
+  // Plain corruption does not touch the version-miss counter.
+  resilience::write_framed_file(p, "not json");
+  EXPECT_FALSE(cache.load(p));
+  EXPECT_EQ(reg.counter("tuning.cache.version_miss").value(), 1u);
+  fs::remove(p);
+  reg.set_enabled(false);
+  reg.reset();
 }
 
 TEST(ShapeBucketTest, ToStringNamesBothAxes) {
