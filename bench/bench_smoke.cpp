@@ -1,0 +1,144 @@
+/// \file bench_smoke.cpp
+/// \brief Fast per-kernel timing sweep that emits a BENCH_smoke.json
+/// perf baseline — the producer side of the `gaia-perfgate` CI gate.
+///
+/// Launches each of the eight aprod kernels directly through the
+/// KernelRegistry on a small host-resident system, records the median
+/// launch time per kernel, and writes a metrics::PerfBaseline. Runs in
+/// well under a second, so CI can afford two runs (baseline + verify)
+/// plus an injected-slowdown run to prove the gate trips:
+///
+///   bench_smoke --out BENCH_smoke.json
+///   bench_smoke --out slow.json --slowdown aprod2_att=2.0
+///   gaia-perfgate BENCH_smoke.json slow.json   # exits 1
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "backends/scratch_arena.hpp"
+#include "core/kernel_catalog.hpp"
+#include "core/system_view.hpp"
+#include "matrix/generator.hpp"
+#include "metrics/perf_baseline.hpp"
+#include "tuning/kernel_registry.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace gaia;
+
+/// `--slowdown KERNEL=FACTOR`: busy-spin after the named kernel inside
+/// the timed region until its launch appears FACTOR times slower. CI
+/// uses this to prove the gate actually trips on a regression.
+struct Slowdown {
+  std::string kernel;
+  double factor = 1.0;
+};
+
+Slowdown parse_slowdown(const std::string& spec) {
+  Slowdown s;
+  if (spec.empty()) return s;
+  const auto eq = spec.find('=');
+  GAIA_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < spec.size(),
+             "bad --slowdown spec '" + spec + "' (want KERNEL=FACTOR)");
+  s.kernel = spec.substr(0, eq);
+  s.factor = std::stod(spec.substr(eq + 1));
+  GAIA_CHECK(s.factor >= 1.0, "--slowdown factor must be >= 1");
+  return s;
+}
+
+void busy_spin_for(double seconds) {
+  util::Stopwatch watch;
+  volatile double sink = 0;
+  while (watch.elapsed_s() < seconds) sink = sink + 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_smoke",
+                "Per-kernel smoke timings -> perf-gate baseline JSON");
+  cli.add_option("out", "BENCH_smoke.json", "baseline output path");
+  cli.add_option("reps", "9", "timed repetitions per kernel");
+  cli.add_option("backend", "openmp", "serial | openmp | pstl | gpusim");
+  cli.add_option("stars", "600", "synthetic system size in stars");
+  cli.add_option("slowdown", "",
+                 "KERNEL=FACTOR: artificially slow one kernel "
+                 "(regression-injection for gate tests)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto backend_opt = backends::parse_backend(cli.get("backend"));
+    GAIA_CHECK(backend_opt.has_value(),
+               "unknown backend '" + cli.get("backend") + "'");
+    const backends::BackendKind backend = *backend_opt;
+    const auto reps = static_cast<int>(cli.get_int("reps"));
+    GAIA_CHECK(reps > 0, "--reps must be positive");
+    const Slowdown slowdown = parse_slowdown(cli.get("slowdown"));
+
+    matrix::GeneratorConfig cfg;
+    cfg.seed = 4242;
+    cfg.n_stars = cli.get_int("stars");
+    const matrix::GeneratedSystem gen = matrix::generate_system(cfg);
+    core::ensure_kernel_catalog();
+    const core::SystemView view = core::SystemView::from(gen.A);
+    const tuning::KernelRegistry& registry = tuning::KernelRegistry::global();
+    const backends::TuningTable table = backends::TuningTable::tuned_default();
+    backends::ScratchArena arena;
+
+    util::Xoshiro256 rng(7);
+    std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()));
+    std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+    for (auto& v : x) v = rng.normal();
+    for (auto& v : y) v = rng.normal();
+
+    metrics::PerfBaseline baseline;
+    baseline.name = "smoke";
+    for (backends::KernelId id : backends::all_kernels()) {
+      const bool is_aprod1 = id < backends::KernelId::kAprod2Astro;
+      tuning::LaunchArgs args;
+      args.view = &view;
+      args.in = is_aprod1 ? x.data() : y.data();
+      args.out = is_aprod1 ? y.data() : x.data();
+      args.config = table.get(id);
+      args.arena = &arena;
+      const std::string name = backends::to_string(id);
+      const double spin_factor =
+          name == slowdown.kernel ? slowdown.factor - 1.0 : 0.0;
+
+      std::vector<double> samples;
+      samples.reserve(static_cast<std::size_t>(reps));
+      registry.launch(id, backend, args);  // warm-up, untimed
+      for (int r = 0; r < reps; ++r) {
+        util::Stopwatch watch;
+        registry.launch(id, backend, args);
+        if (spin_factor > 0) busy_spin_for(spin_factor * watch.elapsed_s());
+        samples.push_back(watch.elapsed_s());
+      }
+
+      metrics::KernelTiming timing;
+      timing.kernel = name;
+      timing.backend = backends::to_string(backend);
+      timing.strategy = backends::kernel_uses_atomics(id)
+                            ? backends::to_string(args.config.strategy)
+                            : "none";
+      timing.median_seconds = util::median(samples);
+      timing.samples = samples.size();
+      baseline.kernels.push_back(timing);
+      std::cout << name << ": median "
+                << timing.median_seconds * 1e3 << " ms over " << reps
+                << " rep(s)\n";
+    }
+
+    metrics::save_baseline(cli.get("out"), baseline);
+    std::cout << "wrote " << baseline.kernels.size() << " series to "
+              << cli.get("out") << '\n';
+    return 0;
+  } catch (const gaia::Error& e) {
+    std::cerr << "bench_smoke: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -61,7 +61,16 @@ int main(int argc, char** argv) {
                  "honored via GAIA_TRACE)");
   cli.add_option("metrics", "",
                  "write transfer/atomic/convergence counters as CSV here "
-                 "(also honored via GAIA_METRICS)");
+                 "(also honored via GAIA_METRICS; format switchable with "
+                 "GAIA_METRICS_FMT=csv|openmetrics|json)");
+  cli.add_option("metrics-openmetrics", "",
+                 "write the per-kernel counters as an OpenMetrics text "
+                 "exposition here (also honored via "
+                 "GAIA_METRICS_OPENMETRICS)");
+  cli.add_option("metrics-snapshot", "",
+                 "write a CRC-sealed JSON metrics snapshot here, "
+                 "refreshed on every checkpoint (also honored via "
+                 "GAIA_METRICS_SNAPSHOT)");
   cli.add_option("faults", "",
                  "deterministic fault-injection spec, e.g. "
                  "'kernel:p=0.01;h2d:p=0.005;rank:iter=200,rank=1;"
@@ -81,8 +90,9 @@ int main(int argc, char** argv) {
     if (!cli.parse(argc, argv)) return 0;
 
     // Arms tracing/metrics when requested; flushed at scope exit.
-    obs::Session obs_session =
-        obs::Session::from_env(cli.get("trace"), cli.get("metrics"));
+    obs::Session obs_session = obs::Session::from_env(
+        cli.get("trace"), cli.get("metrics"), cli.get("metrics-openmetrics"),
+        cli.get("metrics-snapshot"));
 
     // Arm deterministic fault injection (flag wins over GAIA_FAULTS).
     resilience::FaultInjector::global().configure_from_env(
@@ -187,6 +197,12 @@ int main(int argc, char** argv) {
       for (int r = 0; r < result.final_ranks; ++r)
         std::cout << "  rank " << r << ": " << result.partition.rows_of(r)
                   << " rows, " << result.partition.stars_of(r) << " stars\n";
+      std::cout << "  cluster metrics: " << result.cluster_metrics.size()
+                << " row(s), "
+                << (result.cluster_metrics_complete ? "complete"
+                                                    : "partial")
+                << " aggregation over " << result.rank_metrics.size()
+                << " rank(s)\n";
     }
     if (cli.get_flag("profile")) {
       std::cout << "\nper-region time breakdown (all ranks):\n"
@@ -199,8 +215,13 @@ int main(int argc, char** argv) {
     if (obs_session.tracing())
       std::cout << "trace timeline: " << obs_session.trace_path()
                 << " (open in chrome://tracing or ui.perfetto.dev)\n";
-    if (obs_session.metrics())
-      std::cout << "metrics CSV:    " << obs_session.metrics_path() << '\n';
+    if (!obs_session.metrics_path().empty())
+      std::cout << "metrics:        " << obs_session.metrics_path() << '\n';
+    if (!obs_session.openmetrics_path().empty())
+      std::cout << "openmetrics:    " << obs_session.openmetrics_path()
+                << '\n';
+    if (!obs_session.snapshot_path().empty())
+      std::cout << "snapshot:       " << obs_session.snapshot_path() << '\n';
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -2,6 +2,7 @@
 
 #include "core/kernel_catalog.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "resilience/failover.hpp"
 #include "resilience/fault_injector.hpp"
@@ -41,6 +42,46 @@ std::vector<obs::TraceArg> kernel_trace_args(
   }
   if (trial) args.emplace_back("tuning_trial", std::int64_t{1});
   return args;
+}
+
+/// Derived performance counters for one completed (non-trial) launch.
+/// The cost shapes come from the kernel catalog, the wall time from the
+/// launch stopwatch; the fused scatter reports the summed shape of the
+/// three sections it interleaves. Glob launches on a system without a
+/// global block are registry no-ops and record nothing.
+void record_launch_sample(const SystemView& view, KernelId id, bool fused,
+                          BackendKind backend,
+                          const backends::KernelConfig& cfg, double seconds) {
+  if (!obs::MetricsRegistry::global().enabled()) return;
+  const bool glob_noop = !view.has_global;
+  obs::KernelSample s;
+  s.backend = backends::to_string(backend);
+  s.seconds = seconds;
+  if (fused) {
+    s.kernel = "aprod2_fused";
+    s.strategy = "atomic";
+    const std::array<KernelId, 3> parts = {
+        KernelId::kAprod2Att, KernelId::kAprod2Instr, KernelId::kAprod2Glob};
+    for (KernelId part : parts) {
+      if (part == KernelId::kAprod2Glob && glob_noop) continue;
+      s.bytes += kernel_traffic_bytes(view, part);
+      s.flops += kernel_flops(view, part);
+      s.atomic_updates += kernel_atomic_updates(
+          view, part, backends::ScatterStrategy::kAtomic);
+    }
+  } else {
+    if (glob_noop &&
+        (id == KernelId::kAprod1Glob || id == KernelId::kAprod2Glob))
+      return;
+    s.kernel = kernel_region_name(id);
+    s.strategy = backends::kernel_uses_atomics(id)
+                     ? backends::to_string(cfg.strategy)
+                     : "none";
+    s.bytes = kernel_traffic_bytes(view, id);
+    s.flops = kernel_flops(view, id);
+    s.atomic_updates = kernel_atomic_updates(view, id, cfg.strategy);
+  }
+  obs::record_kernel_sample(s);
 }
 
 void note_failover(const char* kernel, BackendKind from, BackendKind to) {
@@ -137,10 +178,16 @@ void Aprod::launch_kernel(KernelId id, bool fused, const real* in, real* out,
           // tuned.
           if (tuner->report(id, cfg, watch.elapsed_s()))
             options_.tuning.set(id, tuner->best(id));
-        } else if (fused) {
-          registry.launch_fused(backend, args);
         } else {
-          registry.launch(id, backend, args);
+          util::Stopwatch watch;
+          if (fused)
+            registry.launch_fused(backend, args);
+          else
+            registry.launch(id, backend, args);
+          const double seconds = watch.elapsed_s();
+          pass_kernel_seconds_.fetch_add(seconds,
+                                         std::memory_order_relaxed);
+          record_launch_sample(view_, id, fused, backend, cfg, seconds);
         }
       });
       return;
@@ -215,6 +262,8 @@ void Aprod::apply2(std::span<const real> y, std::span<real> x) {
     // exhausted chain surfaces at synchronize(). While the autotuner is
     // still searching, overlap is suppressed: four concurrent kernels
     // would pollute each other's trial timings.
+    pass_kernel_seconds_.store(0, std::memory_order_relaxed);
+    util::Stopwatch pass_watch;
     for (std::size_t k = 0; k < active; ++k) {
       streams_[k]->enqueue([this, id = kernels[k], yp, xp,
                             track = streams_[k]->id()] {
@@ -222,6 +271,11 @@ void Aprod::apply2(std::span<const real> y, std::span<real> x) {
       });
     }
     for (std::size_t k = 0; k < active; ++k) streams_[k]->synchronize();
+    // Overlap ratio: sum of per-kernel times over the pass wall time.
+    // ~1.0 means the streams serialized, ~`active` means full overlap.
+    obs::record_stream_overlap(
+        pass_kernel_seconds_.load(std::memory_order_relaxed),
+        pass_watch.elapsed_s());
   } else {
     for (std::size_t k = 0; k < active; ++k)
       launch_kernel(kernels[k], false, yp, xp,

@@ -149,6 +149,11 @@ class Aprod {
   /// driver so its hit/miss accounting tracks this solve alone.
   backends::ScratchArena scratch_arena_;
   std::uint64_t launches_ = 0;
+  /// Sum of per-kernel wall times within the current streamed aprod2
+  /// pass (accumulated from stream threads, hence atomic). Together with
+  /// the pass wall time this yields the stream-overlap ratio exported to
+  /// the metrics registry.
+  std::atomic<double> pass_kernel_seconds_{0};
 };
 
 }  // namespace gaia::core

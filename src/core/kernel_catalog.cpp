@@ -82,6 +82,28 @@ const char* kernel_region_name(KernelId id) {
   return kNames[static_cast<int>(id)];
 }
 
+namespace {
+
+int nnz_per_row(KernelId id) {
+  switch (id) {
+    case KernelId::kAprod1Astro:
+    case KernelId::kAprod2Astro:
+      return kAstroNnzPerRow;
+    case KernelId::kAprod1Att:
+    case KernelId::kAprod2Att:
+      return kAttNnzPerRow;
+    case KernelId::kAprod1Instr:
+    case KernelId::kAprod2Instr:
+      return kInstrNnzPerRow;
+    case KernelId::kAprod1Glob:
+    case KernelId::kAprod2Glob:
+      return kGlobNnzPerRow;
+  }
+  return 0;
+}
+
+}  // namespace
+
 std::uint64_t kernel_traffic_bytes(const SystemView& v, KernelId id) {
   const auto rows = static_cast<std::uint64_t>(v.n_rows);
   const bool is_aprod1 = id < KernelId::kAprod2Astro;
@@ -116,6 +138,20 @@ std::uint64_t kernel_traffic_bytes(const SystemView& v, KernelId id) {
       is_aprod1 ? value_bytes + 2 * sizeof(real)
                 : sizeof(real) + 2 * value_bytes;
   return rows * (value_bytes + idx_bytes + vector_bytes);
+}
+
+std::uint64_t kernel_flops(const SystemView& v, KernelId id) {
+  // One fused multiply-add per stored coefficient, counted as 2 flops.
+  return static_cast<std::uint64_t>(v.n_rows) *
+         static_cast<std::uint64_t>(nnz_per_row(id)) * 2;
+}
+
+std::uint64_t kernel_atomic_updates(const SystemView& v, KernelId id,
+                                    backends::ScatterStrategy strategy) {
+  if (!backends::kernel_uses_atomics(id)) return 0;
+  if (strategy != backends::ScatterStrategy::kAtomic) return 0;
+  return static_cast<std::uint64_t>(v.n_rows) *
+         static_cast<std::uint64_t>(nnz_per_row(id));
 }
 
 }  // namespace gaia::core

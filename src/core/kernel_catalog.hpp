@@ -33,4 +33,19 @@ void ensure_kernel_catalog();
 [[nodiscard]] std::uint64_t kernel_traffic_bytes(const SystemView& view,
                                                  backends::KernelId id);
 
+/// Useful floating-point operations a kernel performs: one multiply +
+/// one add per stored coefficient (rows * nnz * 2). Same convention as
+/// perfmodel::KernelCostModel::kernel_flops, computed from the live
+/// system dimensions.
+[[nodiscard]] std::uint64_t kernel_flops(const SystemView& view,
+                                         backends::KernelId id);
+
+/// Atomic read-modify-write updates a launch issues: rows * nnz for the
+/// aprod2 scatter kernels when running the atomic strategy, zero for
+/// gather kernels and for the privatized strategy (which replaces the
+/// atomics with private accumulators + a deterministic reduction).
+[[nodiscard]] std::uint64_t kernel_atomic_updates(
+    const SystemView& view, backends::KernelId id,
+    backends::ScatterStrategy strategy);
+
 }  // namespace gaia::core

@@ -1,11 +1,16 @@
 #include "core/solver.hpp"
 
+#include <algorithm>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "core/autotune_driver.hpp"
 #include "core/lsqr_engine.hpp"
+#include "metrics/pennycook.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "perfmodel/problem_shape.hpp"
 #include "tuning/tuning_cache.hpp"
@@ -138,6 +143,54 @@ void run_autotune(const SolverRunConfig& config,
   }
 }
 
+/// Post-solve observability digest: Pennycook P across the kernels that
+/// recorded production timing samples, plus the armed snapshot path.
+/// Per-kernel efficiency e_i = (cost-model predicted launch time) /
+/// (measured p50), the per-kernel analog of the paper's application
+/// efficiency; normalized by the best kernel so e_i in (0, 1] and P is
+/// the harmonic mean of Eq. 1. Rows are read from a snapshot — never via
+/// registry lookups, which would create empty series as a side effect.
+void finish_observability(const matrix::GeneratorConfig& gen_cfg,
+                          const LsqrOptions& lsqr, SolverRunReport& report) {
+  report.metrics_snapshot_path = obs::global_snapshot_path();
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  const std::vector<obs::MetricRow> rows = reg.snapshot();
+  const perfmodel::ProblemShape shape =
+      perfmodel::ProblemShape::from_config(gen_cfg);
+  const perfmodel::KernelCostModel model(
+      perfmodel::gpu_spec(perfmodel::Platform::kA100));
+  std::vector<double> eff;
+  for (backends::KernelId id : backends::all_kernels()) {
+    const std::string kname = backends::to_string(id);
+    // Several series can exist per kernel (trial shapes, failover
+    // backends); the one with the most samples is the production config.
+    double measured = 0;
+    std::uint64_t best_count = 0;
+    for (const obs::MetricRow& row : rows) {
+      obs::KernelSeriesName series;
+      if (!obs::parse_kernel_series(row.name, series)) continue;
+      if (series.kernel != kname || series.field != "time_seconds") continue;
+      if (row.count > best_count) {
+        best_count = row.count;
+        measured = row.p50;
+      }
+    }
+    if (best_count == 0 || measured <= 0) continue;
+    const double predicted =
+        model.kernel_seconds(id, shape, report.tuning_used.get(id),
+                             lsqr.aprod.atomic_mode, lsqr.aprod.coherence);
+    if (predicted <= 0) continue;
+    eff.push_back(predicted / measured);
+  }
+  if (eff.empty()) return;
+  const double best = *std::max_element(eff.begin(), eff.end());
+  for (double& e : eff) e /= best;
+  report.pennycook_p = metrics::pennycook_p(eff);
+  report.pennycook_kernels = static_cast<int>(eff.size());
+  reg.gauge("metrics.pennycook").set(report.pennycook_p);
+}
+
 }  // namespace
 
 SolverRunReport run_solver(const SolverRunConfig& config) {
@@ -176,6 +229,7 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
   if (!manager.enabled()) {
     report.result = lsqr_solve(generated.A, lsqr);
     report.solve_seconds = watch.elapsed_s();
+    finish_observability(gen_cfg, lsqr, report);
     return report;
   }
 
@@ -210,6 +264,7 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
   report.result.resumed_from_iteration = report.resumed_from_iteration;
   report.checkpoints_written = manager.written();
   report.solve_seconds = watch.elapsed_s();
+  finish_observability(gen_cfg, lsqr, report);
   return report;
 }
 
@@ -246,6 +301,12 @@ std::string SolverRunReport::summary() const {
   os << "        estimates: |A|=" << result.anorm
      << " cond(A)=" << result.acond << " |r|=" << result.rnorm
      << " |A'r|=" << result.arnorm << " |x|=" << result.xnorm << '\n';
+  if (pennycook_kernels > 0)
+    os << "perf:   Pennycook P=" << pennycook_p << " over "
+       << pennycook_kernels
+       << " kernel(s) (model-predicted / measured p50, best-normalized)\n";
+  if (!metrics_snapshot_path.empty())
+    os << "        metrics snapshot: " << metrics_snapshot_path << '\n';
   if (resumed_from_iteration >= 0 || checkpoints_written > 0 ||
       result.failovers > 0) {
     os << "resilience:";

@@ -95,6 +95,15 @@ struct SolverRunReport {
   /// Launch shapes the solve actually ran with.
   backends::TuningTable tuning_used{};
 
+  /// Pennycook-P digest over the kernels that recorded timing samples
+  /// (0 when metrics were off or no kernel timed): per-kernel efficiency
+  /// is model-predicted time over measured p50, normalized to the best
+  /// kernel, folded with the harmonic mean of paper Eq. 1.
+  double pennycook_p = 0;
+  int pennycook_kernels = 0;
+  /// Path of the sealed metrics snapshot, when one is armed.
+  std::string metrics_snapshot_path;
+
   /// One-paragraph human summary (examples print it verbatim).
   [[nodiscard]] std::string summary() const;
 };

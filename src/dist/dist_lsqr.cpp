@@ -10,9 +10,12 @@
 #include <sstream>
 
 #include "core/autotune_driver.hpp"
+#include "core/kernel_catalog.hpp"
 #include "core/preconditioner.hpp"
 #include "core/vector_ops.hpp"
+#include "obs/export.hpp"
 #include "resilience/fault_injector.hpp"
+#include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 
 namespace gaia::dist {
@@ -123,6 +126,72 @@ DistState parse_dist_state(const std::string& payload,
   return state;
 }
 
+/// Rank-local observatory rows. Built from genuinely per-rank data (the
+/// rank's iteration times, its Aprod launch counter, its row slice) —
+/// the in-process MetricsRegistry is shared by every rank and therefore
+/// already cluster-wide, so it cannot supply per-rank series.
+std::vector<obs::MetricRow> build_rank_rows(
+    const std::vector<double>& iter_seconds, const core::Aprod& aprod,
+    std::int64_t itn, std::size_t m_local) {
+  std::vector<obs::MetricRow> rows;
+  obs::MetricRow iter;
+  iter.name = "dist.rank.iteration_seconds";
+  iter.type = "histogram";
+  iter.count = iter_seconds.size();
+  if (!iter_seconds.empty()) {
+    iter.min = util::min(iter_seconds);
+    iter.max = util::max(iter_seconds);
+    for (double t : iter_seconds) iter.sum += t;
+    iter.last = iter_seconds.back();
+    iter.p50 = util::percentile(iter_seconds, 50.0);
+    iter.p95 = util::percentile(iter_seconds, 95.0);
+    iter.p99 = util::percentile(iter_seconds, 99.0);
+  }
+  rows.push_back(std::move(iter));
+
+  const auto counter = [](const char* name, std::uint64_t v) {
+    obs::MetricRow r;
+    r.name = name;
+    r.type = "counter";
+    r.count = v;
+    r.sum = static_cast<double>(v);
+    r.last = r.sum;
+    return r;
+  };
+  // Bytes this rank's kernels moved: the catalog's per-launch traffic of
+  // all eight kernels over the rank's slice, once per iteration.
+  std::uint64_t bytes_per_iteration = 0;
+  for (backends::KernelId id : backends::all_kernels())
+    bytes_per_iteration += core::kernel_traffic_bytes(aprod.view(), id);
+  rows.push_back(counter("dist.rank.kernel_bytes",
+                         bytes_per_iteration *
+                             static_cast<std::uint64_t>(itn)));
+  rows.push_back(counter("dist.rank.launches", aprod.launches()));
+  rows.push_back(counter("dist.rank.rows",
+                         static_cast<std::uint64_t>(m_local)));
+  return rows;
+}
+
+/// Folds the cluster-wide reduction into the shared registry under a
+/// `cluster.` prefix (rank 0 only, and only when metrics are armed):
+/// counters add; histogram rows flatten to gauges, since the registry
+/// cannot adopt pre-reduced quantiles as histogram samples.
+void publish_cluster_rows(const std::vector<obs::MetricRow>& rows) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  for (const obs::MetricRow& r : rows) {
+    if (r.type == "counter") {
+      reg.counter("cluster." + r.name).add(r.count);
+    } else {
+      reg.gauge("cluster." + r.name + ".count")
+          .set(static_cast<double>(r.count));
+      reg.gauge("cluster." + r.name + ".sum").set(r.sum);
+      reg.gauge("cluster." + r.name + ".max").set(r.max);
+      reg.gauge("cluster." + r.name + ".p50").set(r.p50);
+    }
+  }
+}
+
 }  // namespace
 
 DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
@@ -189,6 +258,10 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
       slices.push_back(extract_rank_slice(*A, partition, r));
 
     World world(n_ranks);
+    // Per-rank observatory rows of this attempt, deposited by each rank
+    // thread at its own index (no sharing) and adopted on success.
+    std::vector<std::vector<obs::MetricRow>> rank_rows(
+        static_cast<std::size_t>(n_ranks));
     try {
       world.run([&](Comm& comm) {
         const int rank = comm.rank();
@@ -313,6 +386,11 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
         const real damp = options.lsqr.damp;
         LsqrStop istop = LsqrStop::kIterationLimit;
         auto& injector = resilience::FaultInjector::global();
+        // This rank's own iteration times (not the max-over-ranks) —
+        // the raw material of its dist.rank.iteration_seconds row.
+        std::vector<double> local_iter_seconds;
+        local_iter_seconds.reserve(
+            static_cast<std::size_t>(options.lsqr.max_iterations));
 
         if (arnorm > 0) {
           util::Stopwatch watch;
@@ -374,6 +452,7 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
 
             // Iteration wall time, maximized over ranks (paper App. B).
             const double t_local = watch.elapsed_s();
+            local_iter_seconds.push_back(t_local);
             const double t_max =
                 comm.allreduce(static_cast<real>(t_local), ReduceOp::kMax);
             if (rank == 0)
@@ -446,9 +525,34 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
           result.anorm = anorm;
           result.acond = acond;
         }
+
+        // Performance observatory (collective): reduce the per-rank
+        // rows to one cluster-wide set. A peer death or schema mismatch
+        // degrades to a partial (local) result — never a hang.
+        std::vector<obs::MetricRow> local_rows =
+            build_rank_rows(local_iter_seconds, aprod, itn, m_local);
+        AggregatedMetrics agg = aggregate_metrics(comm, local_rows);
+        rank_rows[static_cast<std::size_t>(rank)] = std::move(local_rows);
+        if (rank == 0) {
+          result.cluster_metrics_complete = agg.complete;
+          result.cluster_metrics = std::move(agg.rows);
+          publish_cluster_rows(result.cluster_metrics);
+        }
       });
       result.final_ranks = n_ranks;
       result.checkpoints_written = manager.written();
+      result.rank_metrics = std::move(rank_rows);
+      // Exactly one cluster-wide snapshot per distributed solve: the
+      // meta records the rank count and whether the reduction covered
+      // every rank, then the armed sink (if any) re-seals the file.
+      {
+        obs::SnapshotMeta meta;
+        meta.rank = -1;  // aggregated, not a single rank's view
+        meta.ranks = n_ranks;
+        meta.complete = result.cluster_metrics_complete;
+        obs::set_global_snapshot_meta(meta);
+        obs::flush_global_snapshot();
+      }
       break;
     } catch (const resilience::RankDeath& death) {
       if (result.restarts >= options.max_restarts || n_ranks <= 1) throw;

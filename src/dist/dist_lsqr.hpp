@@ -12,6 +12,7 @@
 
 #include "core/lsqr.hpp"
 #include "dist/comm.hpp"
+#include "dist/metrics_reduce.hpp"
 #include "dist/partition.hpp"
 #include "resilience/checkpoint.hpp"
 #include "tuning/autotuner.hpp"
@@ -59,6 +60,15 @@ struct DistLsqrResult {
   int final_ranks = 0;
   std::int64_t resumed_from_iteration = -1;
   std::uint64_t checkpoints_written = 0;
+
+  /// Performance observatory: each rank's local counter rows
+  /// (dist.rank.*, indexed by rank of the final attempt) and their
+  /// cross-rank reduction. `cluster_metrics_complete` is false when the
+  /// reduction was partial (schema mismatch or a peer died mid-reduce),
+  /// in which case `cluster_metrics` holds rank 0's local rows.
+  std::vector<std::vector<obs::MetricRow>> rank_metrics;
+  std::vector<obs::MetricRow> cluster_metrics;
+  bool cluster_metrics_complete = false;
 };
 
 /// Solves A x ~= A.known_terms() on `n_ranks` simulated MPI ranks.

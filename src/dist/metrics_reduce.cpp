@@ -1,0 +1,84 @@
+#include "dist/metrics_reduce.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "util/crc32.hpp"
+
+namespace gaia::dist {
+
+namespace {
+
+/// CRC of the (name, type) schema — the agreement check before any
+/// numeric reduction. Separators keep ("ab","c") != ("a","bc").
+std::uint32_t schema_crc(const std::vector<obs::MetricRow>& rows) {
+  std::uint32_t state = util::crc32_init();
+  for (const obs::MetricRow& r : rows) {
+    state = util::crc32_update(state, r.name.data(), r.name.size());
+    state = util::crc32_update(state, "\x1f", 1);
+    state = util::crc32_update(state, r.type.data(), r.type.size());
+    state = util::crc32_update(state, "\x1e", 1);
+  }
+  return util::crc32_final(state);
+}
+
+}  // namespace
+
+AggregatedMetrics aggregate_metrics(Comm& comm,
+                                    std::vector<obs::MetricRow> local) {
+  const std::size_t n = local.size();
+  try {
+    // Schema agreement: min == max of the CRC over ranks means every
+    // rank holds the same (name, type) list. Disagreeing ranks all see
+    // the mismatch (the allreduce result is symmetric), so they all
+    // fall back to their local rows consistently.
+    const auto crc = static_cast<real>(schema_crc(local));
+    const real crc_min = comm.allreduce(crc, ReduceOp::kMin);
+    const real crc_max = comm.allreduce(crc, ReduceOp::kMax);
+    if (crc_min != crc_max) return {false, std::move(local)};
+
+    // Bulk reduction: one buffer per reduce op, laid out row-major so a
+    // single allreduce covers all rows of that op.
+    std::vector<real> sums(2 * n), mins(n), maxs(5 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sums[2 * i] = static_cast<real>(local[i].count);
+      sums[2 * i + 1] = local[i].sum;
+      mins[i] = local[i].min;
+      maxs[5 * i] = local[i].max;
+      maxs[5 * i + 1] = local[i].last;
+      maxs[5 * i + 2] = local[i].p50;
+      maxs[5 * i + 3] = local[i].p95;
+      maxs[5 * i + 4] = local[i].p99;
+    }
+    comm.allreduce(sums, ReduceOp::kSum);
+    comm.allreduce(mins, ReduceOp::kMin);
+    comm.allreduce(maxs, ReduceOp::kMax);
+
+    AggregatedMetrics out;
+    out.complete = true;
+    out.rows = std::move(local);
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::MetricRow& r = out.rows[i];
+      r.count = static_cast<std::uint64_t>(sums[2 * i]);
+      r.sum = sums[2 * i + 1];
+      r.min = mins[i];
+      r.max = maxs[5 * i];
+      r.last = maxs[5 * i + 1];
+      r.p50 = maxs[5 * i + 2];
+      r.p95 = maxs[5 * i + 3];
+      r.p99 = maxs[5 * i + 4];
+      // A counter's or gauge's "last" is its value; after summing
+      // across ranks the value is the sum, not the max of per-rank
+      // lasts.
+      if (r.type == "counter" || r.type == "gauge") r.last = r.sum;
+    }
+    return out;
+  } catch (const WorldPoisoned&) {
+    // A peer died mid-reduction: deliver what this rank knows rather
+    // than nothing (and never hang — the barrier poisoning already
+    // unwound the collective).
+    return {false, std::move(local)};
+  }
+}
+
+}  // namespace gaia::dist

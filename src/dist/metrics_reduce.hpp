@@ -1,0 +1,41 @@
+/// \file metrics_reduce.hpp
+/// \brief Cross-rank reduction of metric rows — the "MPI_Reduce the
+/// perf counters to rank 0" step of the performance observatory.
+///
+/// Every rank contributes a vector of rank-local MetricRows (built from
+/// data that is genuinely per-rank: its iteration times, its launch
+/// counter, its row slice — the global MetricsRegistry is shared by all
+/// in-process ranks and therefore already cluster-wide). The reduction
+/// is collective and schema-checked: ranks first agree on a CRC of the
+/// (name, type) list, then bulk-allreduce the numeric fields — counts
+/// and sums add, minima min-reduce, maxima and quantiles max-reduce (a
+/// quantile of per-rank quantiles is not exact, so the conservative
+/// upper envelope is reported).
+///
+/// Poison safety: if a peer rank dies during the reduction (or the
+/// schemas disagree), every surviving caller gets its own rows back
+/// with `complete == false` instead of hanging — a partial snapshot is
+/// the contract, not a deadlock.
+#pragma once
+
+#include <vector>
+
+#include "dist/comm.hpp"
+#include "obs/metrics.hpp"
+
+namespace gaia::dist {
+
+/// Outcome of one collective metric reduction.
+struct AggregatedMetrics {
+  /// True when every rank contributed (schema matched, nobody died).
+  bool complete = false;
+  /// Cluster-wide rows on success; the caller's local rows on failure.
+  std::vector<obs::MetricRow> rows;
+};
+
+/// Collective: every rank of `comm` must call with rows of the same
+/// (name, type) schema in the same order.
+AggregatedMetrics aggregate_metrics(Comm& comm,
+                                    std::vector<obs::MetricRow> local);
+
+}  // namespace gaia::dist

@@ -33,6 +33,8 @@ Histogram::Summary Histogram::summary() const {
   Summary s;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Zero-sample case: return the default all-zero Summary before
+    // touching min_/max_, whose +/-inf sentinels must never escape.
     if (count_ == 0) return s;
     s.count = count_;
     s.sum = sum_;
@@ -109,12 +111,14 @@ std::vector<MetricRow> MetricsRegistry::snapshot() const {
       row.last = e.gauge->value();
       row.sum = row.last;
     } else if (e.histogram) {
+      // summary() already guarantees all-zero fields at count == 0, so
+      // the row needs no sentinel guard of its own.
       const auto s = e.histogram->summary();
       row.type = "histogram";
       row.count = s.count;
       row.sum = s.sum;
-      row.min = s.count ? s.min : 0;
-      row.max = s.count ? s.max : 0;
+      row.min = s.min;
+      row.max = s.max;
       row.last = s.last;
       row.p50 = s.p50;
       row.p95 = s.p95;
@@ -152,6 +156,8 @@ void MetricsRegistry::reset() {
     if (e.histogram) e.histogram->reset();
   }
 }
+
+void MetricsRegistry::reset_all() { reset(); }
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;

@@ -75,6 +75,9 @@ class Histogram {
     double p95 = 0;
     double p99 = 0;
   };
+  /// Zero-sample contract: with no samples recorded (fresh or reset),
+  /// every field is exactly 0 — the +/-inf min/max sentinels used
+  /// internally never leak into a Summary, a snapshot row or the CSV.
   [[nodiscard]] Summary summary() const;
   void reset();
 
@@ -127,9 +130,21 @@ class MetricsRegistry {
   [[nodiscard]] std::string csv() const;
   void write_csv(const std::string& path) const;
 
+  /// OpenMetrics text exposition of the current snapshot (see
+  /// obs/export.hpp for the name/label mapping).
+  [[nodiscard]] std::string openmetrics() const;
+  void write_openmetrics(const std::string& path) const;
+
   /// Zero every metric (identities survive; cached references stay
   /// valid). Does not change the enabled flag.
   void reset();
+
+  /// The session-boundary reset: zeroes every metric regardless of
+  /// whether any output is armed. obs::Session calls this at
+  /// construction *unconditionally*, so gauges published by an earlier
+  /// run in the same process (e.g. `scratch.arena.*`) never leak into a
+  /// later run's export when metrics get enabled mid-process.
+  void reset_all();
 
   /// Process-wide registry used by the library's instrumentation.
   static MetricsRegistry& global();

@@ -5,39 +5,70 @@
 #include <iostream>
 #include <utility>
 
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/error.hpp"
 
 namespace gaia::obs {
 
-Session::Session(std::string trace_path, std::string metrics_path)
+Session::Session(std::string trace_path, std::string metrics_path,
+                 std::string openmetrics_path, std::string snapshot_path,
+                 MetricsFormat metrics_format)
     : trace_path_(std::move(trace_path)),
       metrics_path_(std::move(metrics_path)),
+      openmetrics_path_(std::move(openmetrics_path)),
+      snapshot_path_(std::move(snapshot_path)),
+      metrics_format_(metrics_format),
       armed_(true) {
   if (tracing()) {
     TraceRecorder::global().reset();
     TraceRecorder::global().set_enabled(true);
   }
-  if (metrics()) {
-    MetricsRegistry::global().reset();
-    MetricsRegistry::global().set_enabled(true);
-  }
+  // Unconditional: a fresh session never inherits metric values from a
+  // previous run in this process, even when no output is armed yet.
+  MetricsRegistry::global().reset_all();
+  if (metrics()) MetricsRegistry::global().set_enabled(true);
+  // Arm the process-wide snapshot sink so checkpoint writes (and the
+  // distributed solver's cluster aggregation) can re-seal the snapshot
+  // without a reference to this session.
+  set_global_snapshot_path(snapshot_path_);
 }
 
 Session Session::from_env(std::string trace_override,
-                          std::string metrics_override) {
+                          std::string metrics_override,
+                          std::string openmetrics_override,
+                          std::string snapshot_override) {
   auto env_or = [](const char* var, std::string explicit_path) {
     if (!explicit_path.empty()) return explicit_path;
     const char* v = std::getenv(var);
     return std::string(v ? v : "");
   };
+  MetricsFormat format = MetricsFormat::kCsv;
+  if (const char* fmt = std::getenv(kMetricsFmtEnv); fmt && *fmt) {
+    const std::string f(fmt);
+    if (f == "csv")
+      format = MetricsFormat::kCsv;
+    else if (f == "openmetrics")
+      format = MetricsFormat::kOpenMetrics;
+    else if (f == "json")
+      format = MetricsFormat::kJson;
+    else
+      throw Error("unknown " + std::string(kMetricsFmtEnv) + " value '" + f +
+                  "' (expected csv | openmetrics | json)");
+  }
   return Session(env_or(kTraceEnv, std::move(trace_override)),
-                 env_or(kMetricsEnv, std::move(metrics_override)));
+                 env_or(kMetricsEnv, std::move(metrics_override)),
+                 env_or(kOpenMetricsEnv, std::move(openmetrics_override)),
+                 env_or(kSnapshotEnv, std::move(snapshot_override)), format);
 }
 
 Session::Session(Session&& other) noexcept
     : trace_path_(std::move(other.trace_path_)),
       metrics_path_(std::move(other.metrics_path_)),
+      openmetrics_path_(std::move(other.openmetrics_path_)),
+      snapshot_path_(std::move(other.snapshot_path_)),
+      metrics_format_(other.metrics_format_),
       armed_(other.armed_) {
   other.armed_ = false;
 }
@@ -46,7 +77,23 @@ void Session::flush() {
   if (!armed_) return;
   try {
     if (tracing()) TraceRecorder::global().write(trace_path_);
-    if (metrics()) MetricsRegistry::global().write_csv(metrics_path_);
+    auto& reg = MetricsRegistry::global();
+    if (!metrics_path_.empty()) {
+      switch (metrics_format_) {
+        case MetricsFormat::kCsv:
+          reg.write_csv(metrics_path_);
+          break;
+        case MetricsFormat::kOpenMetrics:
+          reg.write_openmetrics(metrics_path_);
+          break;
+        case MetricsFormat::kJson:
+          write_snapshot_file(metrics_path_, reg.snapshot(),
+                              global_snapshot_meta());
+          break;
+      }
+    }
+    if (!openmetrics_path_.empty()) reg.write_openmetrics(openmetrics_path_);
+    if (!snapshot_path_.empty()) flush_global_snapshot();
   } catch (const std::exception& e) {
     std::cerr << "observability flush failed: " << e.what() << '\n';
   }
@@ -57,6 +104,7 @@ Session::~Session() {
   flush();
   if (tracing()) TraceRecorder::global().set_enabled(false);
   if (metrics()) MetricsRegistry::global().set_enabled(false);
+  set_global_snapshot_path("");
   armed_ = false;
 }
 

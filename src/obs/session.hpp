@@ -8,7 +8,13 @@
 ///
 /// A `Session` placed at the top of main() reads the environment (or
 /// explicit CLI-provided paths), arms the global recorder/registry, and
-/// writes the output files when it goes out of scope.
+/// writes the output files when it goes out of scope. Four metric
+/// outputs exist: the CSV (`GAIA_METRICS`, whose format can be switched
+/// with `GAIA_METRICS_FMT=csv|openmetrics|json`), a dedicated
+/// OpenMetrics exposition (`--metrics-openmetrics` /
+/// `GAIA_METRICS_OPENMETRICS`), and a CRC-sealed JSON snapshot
+/// (`--metrics-snapshot` / `GAIA_METRICS_SNAPSHOT`) that is also
+/// re-sealed on every checkpoint via the global snapshot sink.
 #pragma once
 
 #include <string>
@@ -18,19 +24,34 @@ namespace gaia::obs {
 /// Environment variables honored by `Session::from_env()`.
 inline constexpr const char* kTraceEnv = "GAIA_TRACE";
 inline constexpr const char* kMetricsEnv = "GAIA_METRICS";
+inline constexpr const char* kMetricsFmtEnv = "GAIA_METRICS_FMT";
+inline constexpr const char* kOpenMetricsEnv = "GAIA_METRICS_OPENMETRICS";
+inline constexpr const char* kSnapshotEnv = "GAIA_METRICS_SNAPSHOT";
+
+/// Format of the `GAIA_METRICS` output file.
+enum class MetricsFormat { kCsv, kOpenMetrics, kJson };
 
 /// RAII enablement + flush of the global TraceRecorder/MetricsRegistry.
 /// Empty paths leave the corresponding subsystem untouched, so an
-/// un-instrumented run stays at the one-relaxed-load cost.
+/// un-instrumented run stays at the one-relaxed-load cost. Construction
+/// always calls MetricsRegistry::reset_all(): a later solver run in the
+/// same process must not inherit stale gauges (`scratch.arena.*`, ...)
+/// from a previous one.
 class Session {
  public:
   /// Explicit paths (CLI flags). Empty string = off.
-  Session(std::string trace_path, std::string metrics_path);
+  Session(std::string trace_path, std::string metrics_path,
+          std::string openmetrics_path = "", std::string snapshot_path = "",
+          MetricsFormat metrics_format = MetricsFormat::kCsv);
 
-  /// Paths from GAIA_TRACE / GAIA_METRICS (unset/empty = off). Explicit
-  /// paths passed here override the environment.
+  /// Paths from GAIA_TRACE / GAIA_METRICS / GAIA_METRICS_OPENMETRICS /
+  /// GAIA_METRICS_SNAPSHOT (unset/empty = off), format from
+  /// GAIA_METRICS_FMT (unknown value throws). Explicit paths passed
+  /// here override the environment.
   static Session from_env(std::string trace_override = "",
-                          std::string metrics_override = "");
+                          std::string metrics_override = "",
+                          std::string openmetrics_override = "",
+                          std::string snapshot_override = "");
 
   /// Writes the outputs and disables collection. Errors are reported to
   /// stderr, never thrown (runs from destructors).
@@ -40,10 +61,24 @@ class Session {
   void flush();
 
   [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
-  [[nodiscard]] bool metrics() const { return !metrics_path_.empty(); }
+  /// True when any metrics output (CSV, OpenMetrics or snapshot) is
+  /// armed — i.e. the registry is collecting.
+  [[nodiscard]] bool metrics() const {
+    return !metrics_path_.empty() || !openmetrics_path_.empty() ||
+           !snapshot_path_.empty();
+  }
   [[nodiscard]] const std::string& trace_path() const { return trace_path_; }
   [[nodiscard]] const std::string& metrics_path() const {
     return metrics_path_;
+  }
+  [[nodiscard]] const std::string& openmetrics_path() const {
+    return openmetrics_path_;
+  }
+  [[nodiscard]] const std::string& snapshot_path() const {
+    return snapshot_path_;
+  }
+  [[nodiscard]] MetricsFormat metrics_format() const {
+    return metrics_format_;
   }
 
   Session(const Session&) = delete;
@@ -53,6 +88,9 @@ class Session {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string openmetrics_path_;
+  std::string snapshot_path_;
+  MetricsFormat metrics_format_ = MetricsFormat::kCsv;
   bool armed_ = false;
 };
 

@@ -8,34 +8,18 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "resilience/fault_injector.hpp"
-#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/framed_file.hpp"
 
 namespace gaia::resilience {
 
 namespace fs = std::filesystem;
 
 namespace {
-
-constexpr char kFooterMagic[8] = {'G', 'A', 'I', 'A', 'F', 'T', 'R', '1'};
-constexpr std::size_t kFooterSize =
-    sizeof(kFooterMagic) + sizeof(std::uint64_t) + sizeof(std::uint32_t);
-
-std::string footer_for(std::string_view payload) {
-  std::string footer(kFooterSize, '\0');
-  char* out = footer.data();
-  std::memcpy(out, kFooterMagic, sizeof(kFooterMagic));
-  out += sizeof(kFooterMagic);
-  const auto size = static_cast<std::uint64_t>(payload.size());
-  std::memcpy(out, &size, sizeof(size));
-  out += sizeof(size);
-  const std::uint32_t crc = util::crc32(payload);
-  std::memcpy(out, &crc, sizeof(crc));
-  return footer;
-}
 
 /// Applies an injected `ckpt:` corruption to the file just written.
 void corrupt_file(const std::string& path, CheckpointFault mode) {
@@ -71,72 +55,15 @@ void note_resilience_event(const char* name, const std::string& detail) {
 }
 
 void write_framed_file(const std::string& path, std::string_view payload) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    GAIA_CHECK(f.good(), "cannot open checkpoint for writing: " + tmp);
-    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    const std::string footer = footer_for(payload);
-    f.write(footer.data(), static_cast<std::streamsize>(footer.size()));
-    f.flush();
-    if (!f.good()) {
-      f.close();
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      throw Error("checkpoint write failed: " + tmp);
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw Error("checkpoint rename failed: " + tmp + " -> " + path);
-  }
+  util::write_framed_file(path, payload, "checkpoint");
 }
 
 std::string read_framed_file(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  GAIA_CHECK(f.good(), "cannot open checkpoint for reading: " + path);
-  std::ostringstream buffer;
-  buffer << f.rdbuf();
-  std::string bytes = std::move(buffer).str();
-
-  if (bytes.size() < kFooterSize ||
-      std::memcmp(bytes.data() + bytes.size() - kFooterSize, kFooterMagic,
-                  sizeof(kFooterMagic)) != 0) {
-    throw Error("corrupt checkpoint '" + path +
-                "': missing CRC footer (file truncated or not a sealed "
-                "checkpoint)");
-  }
-  const char* footer = bytes.data() + bytes.size() - kFooterSize;
-  std::uint64_t payload_size = 0;
-  std::memcpy(&payload_size, footer + sizeof(kFooterMagic),
-              sizeof(payload_size));
-  std::uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc,
-              footer + sizeof(kFooterMagic) + sizeof(payload_size),
-              sizeof(stored_crc));
-  if (payload_size != bytes.size() - kFooterSize) {
-    throw Error("corrupt checkpoint '" + path + "': truncated (footer says " +
-                std::to_string(payload_size) + " payload bytes, file has " +
-                std::to_string(bytes.size() - kFooterSize) + ")");
-  }
-  bytes.resize(static_cast<std::size_t>(payload_size));
-  const std::uint32_t actual_crc = util::crc32(bytes);
-  if (actual_crc != stored_crc) {
-    throw Error("corrupt checkpoint '" + path +
-                "': CRC mismatch (bit flip or partial write)");
-  }
-  return bytes;
+  return util::read_framed_file(path, "checkpoint");
 }
 
 bool verify_framed_file(const std::string& path) {
-  try {
-    (void)read_framed_file(path);
-    return true;
-  } catch (const Error&) {
-    return false;
-  }
+  return util::verify_framed_file(path);
 }
 
 CheckpointManager::CheckpointManager(CheckpointConfig config)
@@ -162,6 +89,10 @@ std::string CheckpointManager::write(std::int64_t iteration,
   }
   ++written_;
   note_resilience_event("checkpoint.written", path);
+  // The performance observatory's contract: a metrics snapshot is sealed
+  // alongside every checkpoint, so a post-mortem of a killed run has
+  // counters no staler than its newest checkpoint.
+  obs::flush_global_snapshot();
   if (const auto fault = FaultInjector::global().on_checkpoint_write())
     corrupt_file(path, *fault);
   prune();

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -156,6 +157,14 @@ bool Autotuner::report(KernelId id, KernelConfig cfg, double seconds) {
   if (cfg != config_of(s.current)) return false;  // stale (e.g. failover)
   trials_++;
   note_trial();
+  // Trial launches bypass the Aprod sample path (their shapes are search
+  // candidates, not production config), but their wall times still
+  // belong in the per-kernel latency histograms.
+  obs::record_kernel_time(
+      backends::to_string(id), backends::to_string(backend_),
+      backends::kernel_uses_atomics(id) ? backends::to_string(cfg.strategy)
+                                        : "none",
+      seconds);
   s.samples.push_back(seconds);
   if (static_cast<int>(s.samples.size()) < options_.samples_per_config)
     return false;

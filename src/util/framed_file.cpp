@@ -1,0 +1,108 @@
+#include "util/framed_file.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace gaia::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kFooterMagic[8] = {'G', 'A', 'I', 'A', 'F', 'T', 'R', '1'};
+constexpr std::size_t kFooterSize =
+    sizeof(kFooterMagic) + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+
+std::string footer_for(std::string_view payload) {
+  std::string footer(kFooterSize, '\0');
+  char* out = footer.data();
+  std::memcpy(out, kFooterMagic, sizeof(kFooterMagic));
+  out += sizeof(kFooterMagic);
+  const auto size = static_cast<std::uint64_t>(payload.size());
+  std::memcpy(out, &size, sizeof(size));
+  out += sizeof(size);
+  const std::uint32_t crc = util::crc32(payload);
+  std::memcpy(out, &crc, sizeof(crc));
+  return footer;
+}
+
+}  // namespace
+
+void write_framed_file(const std::string& path, std::string_view payload,
+                       const std::string& what) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    GAIA_CHECK(f.good(), "cannot open " + what + " for writing: " + tmp);
+    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const std::string footer = footer_for(payload);
+    f.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw Error(what + " write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error(what + " rename failed: " + tmp + " -> " + path);
+  }
+}
+
+std::string read_framed_file(const std::string& path,
+                             const std::string& what) {
+  std::ifstream f(path, std::ios::binary);
+  GAIA_CHECK(f.good(), "cannot open " + what + " for reading: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  std::string bytes = std::move(buffer).str();
+
+  if (bytes.size() < kFooterSize ||
+      std::memcmp(bytes.data() + bytes.size() - kFooterSize, kFooterMagic,
+                  sizeof(kFooterMagic)) != 0) {
+    throw Error("corrupt " + what + " '" + path +
+                "': missing CRC footer (file truncated or not a sealed " +
+                what + ")");
+  }
+  const char* footer = bytes.data() + bytes.size() - kFooterSize;
+  std::uint64_t payload_size = 0;
+  std::memcpy(&payload_size, footer + sizeof(kFooterMagic),
+              sizeof(payload_size));
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc,
+              footer + sizeof(kFooterMagic) + sizeof(payload_size),
+              sizeof(stored_crc));
+  if (payload_size != bytes.size() - kFooterSize) {
+    throw Error("corrupt " + what + " '" + path + "': truncated (footer says " +
+                std::to_string(payload_size) + " payload bytes, file has " +
+                std::to_string(bytes.size() - kFooterSize) + ")");
+  }
+  bytes.resize(static_cast<std::size_t>(payload_size));
+  const std::uint32_t actual_crc = util::crc32(bytes);
+  if (actual_crc != stored_crc) {
+    throw Error("corrupt " + what + " '" + path +
+                "': CRC mismatch (bit flip or partial write)");
+  }
+  return bytes;
+}
+
+bool verify_framed_file(const std::string& path) {
+  try {
+    (void)read_framed_file(path);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace gaia::util
