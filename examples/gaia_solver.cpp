@@ -8,6 +8,8 @@
 ///   $ ./gaia_solver --size 128MB --backend openmp --no-streams
 ///   $ ./gaia_solver --size 32MB --backend serial --ranks 4
 ///   $ ./gaia_solver --trace trace.json --metrics metrics.csv
+///   $ ./gaia_solver --ranks 3 --trace-dir traces && gaia-critpath \
+///         traces/trace.merged.json
 ///   $ GAIA_TRACE=trace.json GAIA_METRICS=metrics.csv ./gaia_solver
 ///   $ ./gaia_solver --checkpoint-dir ckpt --checkpoint-every 20
 ///   $ GAIA_FAULTS='kernel:p=0.01' ./gaia_solver --backend gpusim
@@ -16,6 +18,7 @@
 #include "core/solver.hpp"
 #include "dist/dist_lsqr.hpp"
 #include "obs/session.hpp"
+#include "obs/trace.hpp"
 #include "resilience/fault_injector.hpp"
 #include "util/cli.hpp"
 #include "util/profiler.hpp"
@@ -59,6 +62,16 @@ int main(int argc, char** argv) {
   cli.add_option("trace", "",
                  "write a Chrome/Perfetto kernel timeline here (also "
                  "honored via GAIA_TRACE)");
+  cli.add_option("trace-dir", "",
+                 "distributed tracing (with --ranks > 1): write one "
+                 "trace.rank<N>.json per rank plus a clock-aligned "
+                 "trace.merged.json into this directory; feed the merged "
+                 "file to gaia-critpath for critical-path / comm-exposure "
+                 "analysis");
+  cli.add_option("trace-capacity", "0",
+                 "event cap per trace buffer; past it the oldest events "
+                 "are dropped (sliding window; 0 = default 1M; also "
+                 "honored via GAIA_TRACE_CAPACITY for --trace)");
   cli.add_option("metrics", "",
                  "write transfer/atomic/convergence counters as CSV here "
                  "(also honored via GAIA_METRICS; format switchable with "
@@ -93,6 +106,10 @@ int main(int argc, char** argv) {
     obs::Session obs_session = obs::Session::from_env(
         cli.get("trace"), cli.get("metrics"), cli.get("metrics-openmetrics"),
         cli.get("metrics-snapshot"));
+    const auto trace_capacity =
+        static_cast<std::size_t>(cli.get_int("trace-capacity"));
+    if (trace_capacity > 0)
+      obs::TraceRecorder::global().set_capacity(trace_capacity);
 
     // Arm deterministic fault injection (flag wins over GAIA_FAULTS).
     resilience::FaultInjector::global().configure_from_env(
@@ -169,6 +186,8 @@ int main(int argc, char** argv) {
       dopts.max_restarts = static_cast<int>(cli.get_int("max-restarts"));
       dopts.autotune = config.autotune.enabled;
       dopts.autotune_search = config.autotune.search;
+      dopts.trace_dir = cli.get("trace-dir");
+      dopts.trace_capacity = trace_capacity;
       // Mirror the single-rank scatter policy: rank 0's winners (incl.
       // the strategy) are broadcast via the encoded tuning table.
       if (config.scatter == core::ScatterMode::kPrivatized) {
@@ -203,6 +222,22 @@ int main(int argc, char** argv) {
                                                     : "partial")
                 << " aggregation over " << result.rank_metrics.size()
                 << " rank(s)\n";
+      std::cout << "  comm (worst rank): "
+                << util::format_seconds(result.comm_seconds_max)
+                << " in collectives ("
+                << util::format_seconds(result.comm_wait_seconds_max)
+                << " barrier wait), exposure "
+                << result.comm_exposure_fraction_max << '\n';
+      if (!result.merged_trace_file.empty()) {
+        std::cout << "  trace: " << result.trace_files.size()
+                  << " per-rank file(s) in " << dopts.trace_dir
+                  << ", merged timeline " << result.merged_trace_file
+                  << "\n         analyze with: gaia-critpath "
+                  << result.merged_trace_file << '\n';
+        if (result.trace_dropped_events > 0)
+          std::cout << "         " << result.trace_dropped_events
+                    << " event(s) dropped by the capacity cap\n";
+      }
     }
     if (cli.get_flag("profile")) {
       std::cout << "\nper-region time breakdown (all ranks):\n"

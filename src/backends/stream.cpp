@@ -15,10 +15,18 @@ std::int32_t next_stream_id() {
 }
 }  // namespace
 
-Stream::Stream() : id_(next_stream_id()), worker_([this] { run(); }) {
+Stream::Stream()
+    : id_(next_stream_id()),
+      // The worker inherits the spawning thread's recorder so streamed
+      // kernel spans land in the owning rank's trace file, not the
+      // global one, during distributed per-rank tracing.
+      worker_([this, rec = obs::TraceRecorder::thread_recorder()] {
+        obs::ThreadRecorderScope scope(rec);
+        run();
+      }) {
   // Announce the stream's timeline track up front so even an idle
   // stream shows up labelled in the trace.
-  auto& rec = obs::TraceRecorder::global();
+  auto& rec = obs::TraceRecorder::current();
   if (rec.enabled()) rec.name_track(id_, "stream-" + std::to_string(id_));
 }
 

@@ -90,7 +90,7 @@ void note_failover(const char* kernel, BackendKind from, BackendKind to) {
     static obs::Counter& failovers = reg.counter("resilience.failovers");
     failovers.add(1);
   }
-  auto& rec = obs::TraceRecorder::global();
+  auto& rec = obs::TraceRecorder::current();
   if (rec.enabled()) {
     rec.instant("failover", "resilience", obs::TraceRecorder::kMainTrack,
                 {{"kernel", std::string(kernel)},

@@ -159,7 +159,7 @@ struct LsqrEngine::Impl {
   void record_iteration_telemetry(obs::ScopedTrace& span, double seconds) {
     span.add_arg({"rnorm", static_cast<double>(rnorm)});
     span.add_arg({"arnorm", static_cast<double>(arnorm)});
-    auto& rec = obs::TraceRecorder::global();
+    auto& rec = obs::TraceRecorder::current();
     if (rec.enabled()) {
       const double now = rec.now_us();
       rec.counter("lsqr.rnorm", now, rnorm);

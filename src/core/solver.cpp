@@ -11,6 +11,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/trace.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "perfmodel/problem_shape.hpp"
 #include "tuning/tuning_cache.hpp"
@@ -153,6 +154,8 @@ void run_autotune(const SolverRunConfig& config,
 void finish_observability(const matrix::GeneratorConfig& gen_cfg,
                           const LsqrOptions& lsqr, SolverRunReport& report) {
   report.metrics_snapshot_path = obs::global_snapshot_path();
+  report.trace_dropped_events =
+      obs::TraceRecorder::global().dropped_events();
   auto& reg = obs::MetricsRegistry::global();
   if (!reg.enabled()) return;
   const std::vector<obs::MetricRow> rows = reg.snapshot();
@@ -307,6 +310,9 @@ std::string SolverRunReport::summary() const {
        << " kernel(s) (model-predicted / measured p50, best-normalized)\n";
   if (!metrics_snapshot_path.empty())
     os << "        metrics snapshot: " << metrics_snapshot_path << '\n';
+  if (trace_dropped_events > 0)
+    os << "        trace: " << trace_dropped_events
+       << " event(s) dropped by the capacity cap (sliding window)\n";
   if (resumed_from_iteration >= 0 || checkpoints_written > 0 ||
       result.failovers > 0) {
     os << "resilience:";

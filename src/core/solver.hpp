@@ -104,6 +104,11 @@ struct SolverRunReport {
   /// Path of the sealed metrics snapshot, when one is armed.
   std::string metrics_snapshot_path;
 
+  /// Events the bounded trace buffer dropped during this run (0 when
+  /// tracing was off or the capacity was never hit); a nonzero value
+  /// means the trace file is a sliding window, not the whole run.
+  std::uint64_t trace_dropped_events = 0;
+
   /// One-paragraph human summary (examples print it verbatim).
   [[nodiscard]] std::string summary() const;
 };

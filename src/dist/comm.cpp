@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -40,9 +41,14 @@ void World::poison(std::exception_ptr error) {
   poisoned_.store(true, std::memory_order_release);
 }
 
-void World::collective_reduce(int rank, std::span<real> data, ReduceOp op) {
+void World::collective_reduce(int rank, std::span<real> data, ReduceOp op,
+                              double* wait_seconds) {
   const std::size_t n = data.size();
-  arrive_barrier();
+  {
+    util::Stopwatch entry;
+    arrive_barrier();
+    if (wait_seconds) *wait_seconds = entry.elapsed_s();
+  }
   if (rank == 0) reduce_buffer_.assign(static_cast<std::size_t>(size_) * n,
                                        real{0});
   arrive_barrier();
@@ -73,9 +79,14 @@ void World::collective_reduce(int rank, std::span<real> data, ReduceOp op) {
   arrive_barrier();
 }
 
-void World::collective_bcast(int rank, std::span<real> data, int root) {
+void World::collective_bcast(int rank, std::span<real> data, int root,
+                             double* wait_seconds) {
   GAIA_CHECK(root >= 0 && root < size_, "bcast root out of range");
-  arrive_barrier();
+  {
+    util::Stopwatch entry;
+    arrive_barrier();
+    if (wait_seconds) *wait_seconds = entry.elapsed_s();
+  }
   if (rank == root) bcast_source_ = data;
   arrive_barrier();
   if (rank != root)
@@ -83,26 +94,78 @@ void World::collective_bcast(int rank, std::span<real> data, int root) {
   arrive_barrier();
 }
 
-void Comm::barrier() { world_->arrive_barrier(); }
+CommStats Comm::timed_collective(const char* name, std::uint64_t bytes,
+                                 const std::function<double()>& body) {
+  auto& rec = obs::TraceRecorder::current();
+  const bool traced = rec.enabled();
+  if (traced)
+    rec.name_track(rank_track(rank_), "rank-" + std::to_string(rank_) +
+                                          " comm");
+  obs::ScopedTrace span(name, "comm", rank_track(rank_));
+  span.add_arg({"rank", static_cast<std::int64_t>(rank_)});
+  span.add_arg({"bytes", bytes});
+  const double t0_us = traced ? rec.now_us() : 0;
+  util::Stopwatch watch;
+  const double wait_s = body();
+  const double total_s = watch.elapsed_s();
+
+  stats_.collectives += 1;
+  stats_.bytes += bytes;
+  stats_.seconds += total_s;
+  stats_.wait_seconds += wait_s;
+  span.add_arg({"wait_us", wait_s * 1e6});
+
+  if (traced) {
+    // The wait/exchange split as nested child spans: wait ends when the
+    // last rank has arrived at the entry barrier, exchange covers the
+    // actual transfer/reduce work. [t0, t0+wait][t0+wait, end] tiles
+    // the parent span exactly, so Perfetto renders a two-level lane.
+    const double wait_us = wait_s * 1e6;
+    const double total_us = total_s * 1e6;
+    const std::string prefix = name;
+    rec.complete(prefix + ".wait", "comm", t0_us, wait_us,
+                 rank_track(rank_), {{"rank", std::int64_t{rank_}}});
+    rec.complete(prefix + ".exchange", "comm", t0_us + wait_us,
+                 std::max(0.0, total_us - wait_us), rank_track(rank_),
+                 {{"rank", std::int64_t{rank_}}, {"bytes", bytes}});
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    static obs::Counter& calls = reg.counter("comm.collective_calls");
+    static obs::Histogram& waits = reg.histogram("comm.wait_seconds");
+    calls.add(1);
+    waits.record(wait_s);
+  }
+  return {1, bytes, total_s, wait_s};
+}
+
+void Comm::barrier() {
+  timed_collective("barrier", 0, [&] {
+    util::Stopwatch entry;
+    world_->arrive_barrier();
+    return entry.elapsed_s();
+  });
+}
 
 void Comm::allreduce(std::span<real> data, ReduceOp op) {
   const auto bytes = static_cast<std::uint64_t>(data.size_bytes());
-  auto& rec = obs::TraceRecorder::global();
-  if (rec.enabled()) rec.name_track(rank_track(rank_), "rank-" +
-                                    std::to_string(rank_));
-  obs::ScopedTrace span("allreduce", "comm", rank_track(rank_));
-  span.add_arg({"rank", static_cast<std::int64_t>(rank_)});
-  span.add_arg({"bytes", bytes});
-  util::Stopwatch watch;
-  world_->collective_reduce(rank_, data, op);
+  const CommStats call = timed_collective("allreduce", bytes, [&] {
+    double wait_s = 0;
+    world_->collective_reduce(rank_, data, op, &wait_s);
+    return wait_s;
+  });
   auto& reg = obs::MetricsRegistry::global();
   if (reg.enabled()) {
     static obs::Counter& calls = reg.counter("comm.allreduce_calls");
     static obs::Counter& traffic = reg.counter("comm.allreduce_bytes");
     static obs::Histogram& seconds = reg.histogram("comm.allreduce_seconds");
+    static obs::Histogram& waits =
+        reg.histogram("comm.allreduce_wait_seconds");
     calls.add(1);
     traffic.add(bytes);
-    seconds.record(watch.elapsed_s());
+    seconds.record(call.seconds);
+    waits.record(call.wait_seconds);
   }
 }
 
@@ -112,7 +175,12 @@ real Comm::allreduce(real value, ReduceOp op) {
 }
 
 void Comm::bcast(std::span<real> data, int root) {
-  world_->collective_bcast(rank_, data, root);
+  const auto bytes = static_cast<std::uint64_t>(data.size_bytes());
+  timed_collective("bcast", bytes, [&] {
+    double wait_s = 0;
+    world_->collective_bcast(rank_, data, root, &wait_s);
+    return wait_s;
+  });
 }
 
 void World::run(const std::function<void(Comm&)>& body) {

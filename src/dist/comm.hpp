@@ -8,10 +8,19 @@
 /// structure, so we reproduce it: a `World` spawns N ranks as threads,
 /// and `Comm` gives each rank the usual rank/size/allreduce/bcast/
 /// barrier primitives over shared memory.
+///
+/// Every collective is traced as a span on the rank's comm track, split
+/// into a *wait* child (time at the entry barrier until the last rank
+/// arrives — pure skew) and an *exchange* child (the transfer/reduce
+/// work after everyone is present). The same split is accumulated in
+/// per-rank `CommStats` (always on; two clock reads per collective) —
+/// the raw material for the comm-exposure rows the distributed solver
+/// publishes and the critical-path analyzer cross-checks.
 #pragma once
 
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -39,6 +48,21 @@ enum class ReduceOp : std::uint8_t { kSum, kMax, kMin };
 
 class World;
 
+/// Per-rank accounting of collective time, split the way the tracing
+/// spans are: `wait_seconds` is time spent at entry barriers waiting for
+/// the slowest peer, the rest of `seconds` is transfer/reduce work.
+struct CommStats {
+  std::uint64_t collectives = 0;  ///< allreduce + bcast + barrier calls
+  std::uint64_t bytes = 0;        ///< payload bytes moved (allreduce+bcast)
+  double seconds = 0;             ///< total wall time inside collectives
+  double wait_seconds = 0;        ///< entry-barrier (skew) share of seconds
+
+  CommStats operator-(const CommStats& other) const {
+    return {collectives - other.collectives, bytes - other.bytes,
+            seconds - other.seconds, wait_seconds - other.wait_seconds};
+  }
+};
+
 /// Per-rank communicator handle. Methods are collective: every rank of
 /// the world must call them in the same order (like MPI).
 class Comm {
@@ -58,14 +82,26 @@ class Comm {
   /// Broadcast from `root` into `data` on every rank.
   void bcast(std::span<real> data, int root);
 
+  /// This rank's accumulated collective timing (monotonic over the
+  /// Comm's lifetime; snapshot-and-diff to scope a region).
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+
  private:
   friend class World;
   Comm(World* world, int rank, int size)
       : world_(world), rank_(rank), size_(size) {}
 
+  /// Shared trace/metrics/stats bookkeeping around one collective.
+  /// `body` runs the collective and returns the entry-barrier seconds.
+  /// Returns this call's {1, bytes, total, wait} delta so the wrappers
+  /// can record per-collective metric series.
+  CommStats timed_collective(const char* name, std::uint64_t bytes,
+                             const std::function<double()>& body);
+
   World* world_;
   int rank_;
   int size_;
+  CommStats stats_;
 };
 
 /// Launches `size` ranks, each running `body(comm)` on its own thread,
@@ -84,18 +120,31 @@ class World {
 
   [[nodiscard]] int size() const { return size_; }
 
+  /// The shared clock epoch every rank aligns its trace against — the
+  /// in-process stand-in for the epoch exchange a real MPI launcher
+  /// would perform at startup.
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
+
  private:
   friend class Comm;
 
-  // Reduction scratch shared by the collectives.
-  void collective_reduce(int rank, std::span<real> data, ReduceOp op);
-  void collective_bcast(int rank, std::span<real> data, int root);
+  // Reduction scratch shared by the collectives. The reduce/bcast
+  // bodies report the duration of their *entry* barrier via
+  // `wait_seconds` (the skew share the comm spans and stats split out).
+  void collective_reduce(int rank, std::span<real> data, ReduceOp op,
+                         double* wait_seconds);
+  void collective_bcast(int rank, std::span<real> data, int root,
+                        double* wait_seconds);
   void arrive_barrier();
   /// Records `error` (first wins) and flips the poison flag that every
   /// barrier crossing checks.
   void poison(std::exception_ptr error);
 
   int size_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
   std::unique_ptr<std::barrier<>> barrier_;
   std::mutex reduce_mutex_;
   std::vector<real> reduce_buffer_;

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstring>
 #include <bit>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -14,6 +16,8 @@
 #include "core/preconditioner.hpp"
 #include "core/vector_ops.hpp"
 #include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "resilience/fault_injector.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
@@ -132,7 +136,8 @@ DistState parse_dist_state(const std::string& payload,
 /// already cluster-wide, so it cannot supply per-rank series.
 std::vector<obs::MetricRow> build_rank_rows(
     const std::vector<double>& iter_seconds, const core::Aprod& aprod,
-    std::int64_t itn, std::size_t m_local) {
+    std::int64_t itn, std::size_t m_local, const CommStats& comm_used,
+    double loop_seconds, std::uint64_t trace_dropped) {
   std::vector<obs::MetricRow> rows;
   obs::MetricRow iter;
   iter.name = "dist.rank.iteration_seconds";
@@ -169,6 +174,39 @@ std::vector<obs::MetricRow> build_rank_rows(
   rows.push_back(counter("dist.rank.launches", aprod.launches()));
   rows.push_back(counter("dist.rank.rows",
                          static_cast<std::uint64_t>(m_local)));
+
+  // Per-rank scalars ride as single-sample histograms (count=1, every
+  // field = the value): the cross-rank reduction then yields the right
+  // envelope — sum is the cluster total, max the worst rank, p50 a
+  // representative rank — where a counter row would only ever sum.
+  const auto scalar = [](const char* name, double v) {
+    obs::MetricRow r;
+    r.name = name;
+    r.type = "histogram";
+    r.count = 1;
+    r.sum = v;
+    r.min = v;
+    r.max = v;
+    r.last = v;
+    r.p50 = v;
+    r.p95 = v;
+    r.p99 = v;
+    return r;
+  };
+  rows.push_back(counter("dist.rank.comm.collectives", comm_used.collectives));
+  rows.push_back(counter("dist.rank.comm.bytes", comm_used.bytes));
+  rows.push_back(scalar("dist.rank.comm.seconds", comm_used.seconds));
+  rows.push_back(
+      scalar("dist.rank.comm.wait_seconds", comm_used.wait_seconds));
+  // The LSQR loop is synchronous (no comm/compute overlap), so the
+  // exposed-comm fraction of this rank's loop is simply its collective
+  // share of the loop wall time. gaia-critpath computes the
+  // overlap-aware version from the trace; the two agree here by
+  // construction and diverge once overlap is introduced.
+  rows.push_back(scalar(
+      "dist.rank.comm.exposure_fraction",
+      loop_seconds > 0 ? comm_used.seconds / loop_seconds : 0.0));
+  rows.push_back(counter("dist.rank.trace.dropped_events", trace_dropped));
   return rows;
 }
 
@@ -262,9 +300,44 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
     // thread at its own index (no sharing) and adopted on success.
     std::vector<std::vector<obs::MetricRow>> rank_rows(
         static_cast<std::size_t>(n_ranks));
+    // Per-rank comm accounting of the iteration loop, deposited the same
+    // way (the driver folds the maxima into the result on success).
+    std::vector<CommStats> rank_comm(static_cast<std::size_t>(n_ranks));
+    std::vector<double> rank_loop_seconds(static_cast<std::size_t>(n_ranks),
+                                          0.0);
+    // One recorder per rank when tracing: each is constructed *after*
+    // the World so its epoch offset against the shared world clock is
+    // the well-defined positive skew the merger undoes. Recorders must
+    // outlive the rank threads; the driver writes/merges them after
+    // join.
+    const bool tracing = !options.trace_dir.empty();
+    std::vector<std::unique_ptr<obs::TraceRecorder>> recorders;
+    if (tracing) {
+      std::filesystem::create_directories(options.trace_dir);
+      recorders.reserve(static_cast<std::size_t>(n_ranks));
+      for (int r = 0; r < n_ranks; ++r) {
+        auto rec = std::make_unique<obs::TraceRecorder>();
+        if (options.trace_capacity > 0)
+          rec->set_capacity(options.trace_capacity);
+        rec->set_enabled(true);
+        rec->set_rank(r, n_ranks);
+        rec->set_epoch_offset_us(
+            std::chrono::duration<double, std::micro>(rec->epoch() -
+                                                      world.epoch())
+                .count());
+        recorders.push_back(std::move(rec));
+      }
+    }
     try {
       world.run([&](Comm& comm) {
         const int rank = comm.rank();
+        // Everything this rank thread records — and everything the
+        // streams it spawns record — lands in its own recorder; without
+        // tracing the scope installs nullptr and instrumentation falls
+        // through to the process-global recorder as before.
+        obs::ThreadRecorderScope trace_scope(
+            tracing ? recorders[static_cast<std::size_t>(rank)].get()
+                    : nullptr);
         const matrix::SystemMatrix& local =
             slices[static_cast<std::size_t>(rank)];
         const auto m_local = static_cast<std::size_t>(local.n_rows());
@@ -392,10 +465,20 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
         local_iter_seconds.reserve(
             static_cast<std::size_t>(options.lsqr.max_iterations));
 
+        // Comm accounting scoped to the iteration loop: the stats/wall
+        // snapshot-diff below feeds this rank's dist.rank.comm.* rows.
+        const CommStats comm_start = comm.stats();
+        util::Stopwatch loop_watch;
+
         if (arnorm > 0) {
           util::Stopwatch watch;
           while (itn < options.lsqr.max_iterations) {
             ++itn;
+            // The per-rank iteration span the critical-path analyzer
+            // keys on: it brackets the full iteration including the
+            // collectives, so comm spans clip cleanly into it.
+            obs::ScopedTrace iter_span("lsqr.iteration", "lsqr");
+            iter_span.add_arg({"itn", static_cast<std::int64_t>(itn)});
             watch.reset();
             // Injected rank death (rank:iter=...,rank=... clauses) fires
             // here, at the iteration boundary — the RankDeath unwinds
@@ -526,22 +609,74 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
           result.acond = acond;
         }
 
+        const double loop_seconds = loop_watch.elapsed_s();
+        const CommStats comm_used = comm.stats() - comm_start;
+        rank_comm[static_cast<std::size_t>(rank)] = comm_used;
+        rank_loop_seconds[static_cast<std::size_t>(rank)] = loop_seconds;
+
         // Performance observatory (collective): reduce the per-rank
         // rows to one cluster-wide set. A peer death or schema mismatch
         // degrades to a partial (local) result — never a hang.
-        std::vector<obs::MetricRow> local_rows =
-            build_rank_rows(local_iter_seconds, aprod, itn, m_local);
+        std::vector<obs::MetricRow> local_rows = build_rank_rows(
+            local_iter_seconds, aprod, itn, m_local, comm_used, loop_seconds,
+            tracing ? recorders[static_cast<std::size_t>(rank)]
+                          ->dropped_events()
+                    : 0);
         AggregatedMetrics agg = aggregate_metrics(comm, local_rows);
         rank_rows[static_cast<std::size_t>(rank)] = std::move(local_rows);
         if (rank == 0) {
           result.cluster_metrics_complete = agg.complete;
           result.cluster_metrics = std::move(agg.rows);
           publish_cluster_rows(result.cluster_metrics);
+          // Headline gauge: the worst rank's exposed-comm fraction, the
+          // number ROADMAP's comm/compute-overlap item tracks.
+          auto& reg = obs::MetricsRegistry::global();
+          if (reg.enabled()) {
+            for (const obs::MetricRow& r : result.cluster_metrics)
+              if (r.name == "dist.rank.comm.exposure_fraction")
+                reg.gauge("comm.exposure_fraction").set(r.max);
+          }
         }
       });
       result.final_ranks = n_ranks;
       result.checkpoints_written = manager.written();
       result.rank_metrics = std::move(rank_rows);
+      result.comm_seconds_max = 0;
+      result.comm_wait_seconds_max = 0;
+      result.comm_exposure_fraction_max = 0;
+      for (int r = 0; r < n_ranks; ++r) {
+        const CommStats& s = rank_comm[static_cast<std::size_t>(r)];
+        const double loop_s = rank_loop_seconds[static_cast<std::size_t>(r)];
+        result.comm_seconds_max =
+            std::max(result.comm_seconds_max, s.seconds);
+        result.comm_wait_seconds_max =
+            std::max(result.comm_wait_seconds_max, s.wait_seconds);
+        if (loop_s > 0)
+          result.comm_exposure_fraction_max = std::max(
+              result.comm_exposure_fraction_max, s.seconds / loop_s);
+      }
+      if (tracing) {
+        // Per-rank files first, then the driver-side merge: the rank
+        // threads are joined, so the recorders are quiescent.
+        std::vector<obs::TraceDoc> docs;
+        docs.reserve(recorders.size());
+        result.trace_files.clear();
+        result.trace_dropped_events = 0;
+        for (int r = 0; r < n_ranks; ++r) {
+          const auto& rec = recorders[static_cast<std::size_t>(r)];
+          const std::string path = options.trace_dir + "/trace.rank" +
+                                   std::to_string(r) + ".json";
+          rec->write(path);
+          result.trace_files.push_back(path);
+          result.trace_dropped_events += rec->dropped_events();
+          docs.push_back(obs::parse_trace_json(rec->json()));
+        }
+        const obs::TraceDoc merged = obs::merge_traces(docs);
+        obs::validate_trace(merged);
+        result.merged_trace_file =
+            options.trace_dir + "/trace.merged.json";
+        obs::write_trace(merged, result.merged_trace_file);
+      }
       // Exactly one cluster-wide snapshot per distributed solve: the
       // meta records the rank count and whether the reduction covered
       // every rank, then the armed sink (if any) re-seals the file.

@@ -37,6 +37,14 @@ struct DistLsqrOptions {
   /// skew the max-over-ranks iteration time).
   bool autotune = false;
   tuning::AutotuneOptions autotune_search{};
+  /// Per-rank distributed tracing: when non-empty, every rank records
+  /// into its own TraceRecorder (clock-aligned against the World epoch)
+  /// and writes `<trace_dir>/trace.rank<N>.json`; the driver then merges
+  /// them into `<trace_dir>/trace.merged.json` — the input of
+  /// tools/gaia-critpath.
+  std::string trace_dir;
+  /// Event cap per rank recorder (0 = recorder default, currently 1M).
+  std::size_t trace_capacity = 0;
 };
 
 struct DistLsqrResult {
@@ -69,6 +77,22 @@ struct DistLsqrResult {
   std::vector<std::vector<obs::MetricRow>> rank_metrics;
   std::vector<obs::MetricRow> cluster_metrics;
   bool cluster_metrics_complete = false;
+
+  /// Collective-time accounting of the final attempt's iteration loop,
+  /// maximized over ranks: total seconds inside collectives, the
+  /// entry-barrier (skew) share, and the comm-exposure fraction
+  /// (collective seconds / loop wall seconds — the LSQR loop is
+  /// synchronous, so unoverlapped comm is simply comm).
+  double comm_seconds_max = 0;
+  double comm_wait_seconds_max = 0;
+  double comm_exposure_fraction_max = 0;
+
+  /// Distributed tracing artifacts (empty unless trace_dir was set):
+  /// one file per rank plus the merged multi-process timeline, and the
+  /// total events lost to the per-rank capacity cap.
+  std::vector<std::string> trace_files;
+  std::string merged_trace_file;
+  std::uint64_t trace_dropped_events = 0;
 };
 
 /// Solves A x ~= A.known_terms() on `n_ranks` simulated MPI ranks.

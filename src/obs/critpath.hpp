@@ -1,0 +1,95 @@
+/// \file critpath.hpp
+/// \brief Critical-path / comm-exposure analysis over merged traces.
+///
+/// The paper's scaling argument (SIV) hinges on how much of each LSQR
+/// iteration is communication that the compute cannot hide: the
+/// per-iteration allreduce is the serial term that caps multi-GPU/rank
+/// speedup. This analyzer turns a merged multi-rank trace
+/// (obs/trace_merge) into those numbers, per iteration:
+///
+///  * **critical path** — the cluster-wide iteration wall window,
+///    `max_r end(r) - min_r start(r)`;
+///  * **comm exposure** — collective time *not* overlapped by compute
+///    (spans of category "kernel"/"transfer") on the same rank; the
+///    fraction of the critical path this represents is the headline
+///    `comm.exposure_fraction` metric;
+///  * **skew** — spread of per-rank iteration starts (load imbalance
+///    showing up as barrier wait);
+///  * **imbalance** — `1 - mean/max` of per-rank compute time;
+///  * **overlap headroom** — how much exposed comm could be hidden by
+///    the compute that already exists (`min(exposed, compute)`, max
+///    over ranks);
+///  * **wait p50/p95** — entry-barrier wait across all collectives and
+///    ranks (the `*.wait` child spans).
+///
+/// `check_gates` applies perfgate-style thresholds so CI can fail a
+/// regression in comm exposure or skew the same way it fails a slowdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_merge.hpp"
+
+namespace gaia::obs {
+
+/// Per-iteration cross-rank timing digest. All times are microseconds
+/// on the merged (world-epoch) clock.
+struct IterationStats {
+  std::int64_t itn = 0;
+  int ranks_seen = 0;       ///< ranks contributing an iteration span
+  double start_us = 0;      ///< min over ranks of iteration start
+  double end_us = 0;        ///< max over ranks of iteration end
+  double critical_path_us = 0;
+  double skew_us = 0;       ///< max - min of per-rank iteration starts
+  double comm_us_max = 0;   ///< max over ranks: collective time in iter
+  double exposed_us_max = 0;  ///< max over ranks: comm not overlapped
+  double exposure_fraction = 0;  ///< exposed_us_max / critical_path_us
+  double imbalance = 0;     ///< 1 - mean/max of per-rank compute time
+  double overlap_headroom_us = 0;  ///< max over ranks: min(exposed, compute)
+  double wait_p50_us = 0;   ///< entry-wait median across collectives/ranks
+  double wait_p95_us = 0;
+};
+
+/// Whole-trace analysis result.
+struct CritpathReport {
+  int n_ranks = 1;
+  std::vector<int> ranks_present;
+  bool complete = false;  ///< every iteration saw every rank
+  std::uint64_t dropped_events = 0;
+  std::vector<IterationStats> iterations;
+  double total_critical_path_us = 0;  ///< sum of per-iteration paths
+  double total_exposed_us = 0;        ///< sum of per-iteration exposed max
+  double exposure_fraction = 0;       ///< total_exposed / total_path
+  double max_skew_us = 0;             ///< worst iteration skew
+  double wait_p50_us = 0;             ///< global entry-wait percentiles
+  double wait_p95_us = 0;
+};
+
+/// Gate thresholds (negative = gate disabled), perfgate-style.
+struct CritpathOptions {
+  double max_exposure_fraction = -1;  ///< fail if overall exposure exceeds
+  double max_skew_us = -1;            ///< fail if any iteration's skew exceeds
+  bool allow_partial = false;  ///< accept traces where ranks are missing
+};
+
+/// Analyzes a (merged) trace document. Requires at least one
+/// "lsqr.iteration" span; throws gaia::Error otherwise, or when the
+/// document is torn in a way validate_trace would reject (callers are
+/// expected to have validated first).
+[[nodiscard]] CritpathReport analyze_critpath(const TraceDoc& doc);
+
+/// Applies the thresholds; returns human-readable violations (empty =
+/// all gates pass). An incomplete trace is itself a violation unless
+/// `allow_partial` is set.
+[[nodiscard]] std::vector<std::string> check_gates(
+    const CritpathReport& report, const CritpathOptions& options);
+
+/// Fixed-width per-iteration table plus a summary block.
+[[nodiscard]] std::string to_string(const CritpathReport& report);
+
+/// Machine-readable form of the report.
+[[nodiscard]] std::string to_json(const CritpathReport& report);
+
+}  // namespace gaia::obs

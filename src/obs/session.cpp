@@ -21,10 +21,20 @@ Session::Session(std::string trace_path, std::string metrics_path,
       snapshot_path_(std::move(snapshot_path)),
       metrics_format_(metrics_format),
       armed_(true) {
-  if (tracing()) {
-    TraceRecorder::global().reset();
-    TraceRecorder::global().set_enabled(true);
+  // Unconditional, like the registry reset below: a fresh session must
+  // restart the trace time base even when tracing stays off — otherwise
+  // a later session that *does* trace inherits events and a clock epoch
+  // from before this one.
+  TraceRecorder::global().reset();
+  if (const char* cap = std::getenv(kTraceCapacityEnv); cap && *cap) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cap, &end, 10);
+    if (end == cap || *end != '\0' || v == 0)
+      throw Error("invalid " + std::string(kTraceCapacityEnv) + " value '" +
+                  std::string(cap) + "' (expected a positive event count)");
+    TraceRecorder::global().set_capacity(static_cast<std::size_t>(v));
   }
+  if (tracing()) TraceRecorder::global().set_enabled(true);
   // Unconditional: a fresh session never inherits metric values from a
   // previous run in this process, even when no output is armed yet.
   MetricsRegistry::global().reset_all();

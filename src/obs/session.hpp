@@ -23,6 +23,7 @@ namespace gaia::obs {
 
 /// Environment variables honored by `Session::from_env()`.
 inline constexpr const char* kTraceEnv = "GAIA_TRACE";
+inline constexpr const char* kTraceCapacityEnv = "GAIA_TRACE_CAPACITY";
 inline constexpr const char* kMetricsEnv = "GAIA_METRICS";
 inline constexpr const char* kMetricsFmtEnv = "GAIA_METRICS_FMT";
 inline constexpr const char* kOpenMetricsEnv = "GAIA_METRICS_OPENMETRICS";

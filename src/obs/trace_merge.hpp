@@ -1,0 +1,87 @@
+/// \file trace_merge.hpp
+/// \brief Per-rank trace parsing, validation and multi-rank merging.
+///
+/// A distributed run emits one Chrome trace-event JSON file per rank
+/// (`trace.rank<N>.json`), each on its own clock (microseconds since the
+/// rank recorder's creation) but carrying an `epoch_offset_us` header —
+/// the offset onto the World's shared construction epoch, the in-process
+/// stand-in for the startup clock exchange a real MPI launcher performs.
+/// The merger applies those offsets and concatenates the ranks into one
+/// multi-process timeline (`pid` = rank) that Perfetto renders with one
+/// process group per rank — the artifact behind the paper's nsys/rocprof
+/// overlap screenshots, extended across ranks.
+///
+/// Parsing is *strict*: a torn or malformed file throws `gaia::Error`
+/// instead of yielding a silently truncated timeline, and
+/// `validate_trace` enforces the structural invariants downstream
+/// analysis (obs/critpath) relies on — spans nest or are disjoint per
+/// track, durations are non-negative, instants/counters are
+/// time-ordered per track.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace gaia::obs {
+
+/// One parsed trace event (mirror of the emitted record; `args` keeps
+/// the raw JSON tree so arbitrary annotations round-trip).
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';
+  double ts_us = 0;
+  double dur_us = 0;
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+  util::JsonValue args;  ///< object when present, null otherwise
+};
+
+/// One trace document: the header fields the recorder writes into
+/// `otherData` plus the event list in file order.
+struct TraceDoc {
+  int rank = -1;    ///< -1 for plain single-process or merged documents
+  int n_ranks = 1;  ///< world size claimed by the header
+  double epoch_offset_us = 0;
+  std::uint64_t dropped_events = 0;
+  bool merged = false;             ///< document produced by merge_traces
+  std::vector<int> source_ranks;   ///< ranks folded in (merged only)
+  std::vector<ParsedEvent> events;
+};
+
+/// Parses one trace document. Throws gaia::Error on malformed JSON,
+/// missing `traceEvents`, events missing required fields, or phases
+/// outside the set this recorder emits ('X','i','I','C','M') — a 'B'
+/// without its 'E' can't slip through because begin/end phases are
+/// rejected outright.
+[[nodiscard]] TraceDoc parse_trace_json(const std::string& text);
+
+/// Reads and parses a trace file (throws on I/O failure too).
+[[nodiscard]] TraceDoc parse_trace_file(const std::string& path);
+
+/// Structural validation: finite timestamps, non-negative durations,
+/// 'X' spans nest-or-disjoint per (pid,tid), 'i'/'C' events time-ordered
+/// per (pid,tid) in file order. Throws gaia::Error naming the first
+/// violating event.
+void validate_trace(const TraceDoc& doc);
+
+/// Folds per-rank documents into one timeline: every event's timestamp
+/// is shifted by its document's `epoch_offset_us` and its pid forced to
+/// the document's rank. Requires at least one document, a rank id on
+/// every document, distinct ranks, and an agreed world size; throws
+/// otherwise. The result's `dropped_events` is the sum over ranks and
+/// `source_ranks` lists what was folded in (callers decide whether a
+/// partial merge — fewer documents than `n_ranks` — is acceptable).
+[[nodiscard]] TraceDoc merge_traces(const std::vector<TraceDoc>& docs);
+
+/// Renders a (typically merged) document back to Chrome trace-event
+/// JSON, header included.
+[[nodiscard]] std::string trace_json(const TraceDoc& doc);
+
+/// trace_json to a file.
+void write_trace(const TraceDoc& doc, const std::string& path);
+
+}  // namespace gaia::obs

@@ -45,7 +45,7 @@ void corrupt_file(const std::string& path, CheckpointFault mode) {
 }  // namespace
 
 void note_resilience_event(const char* name, const std::string& detail) {
-  auto& rec = obs::TraceRecorder::global();
+  auto& rec = obs::TraceRecorder::current();
   if (rec.enabled()) {
     rec.instant(name, "resilience", obs::TraceRecorder::kMainTrack,
                 {{"detail", detail}});

@@ -218,7 +218,7 @@ void FaultInjector::record_injection(FaultSite site,
                                      const std::string& detail) {
   injected_by_site_[static_cast<std::size_t>(site)].fetch_add(
       1, std::memory_order_relaxed);
-  auto& rec = obs::TraceRecorder::global();
+  auto& rec = obs::TraceRecorder::current();
   if (rec.enabled()) {
     rec.instant("fault." + to_string(site), "resilience",
                 obs::TraceRecorder::kMainTrack, {{"detail", detail}});

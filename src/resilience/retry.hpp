@@ -27,7 +27,7 @@ inline void note_retry(const char* site, int attempt) {
     reg.counter("resilience.retries").add(1);
     reg.counter(std::string("resilience.retries.") + site).add(1);
   }
-  auto& rec = obs::TraceRecorder::global();
+  auto& rec = obs::TraceRecorder::current();
   if (rec.enabled()) {
     rec.instant("retry", "resilience", obs::TraceRecorder::kMainTrack,
                 {{"site", site}, {"attempt", static_cast<std::int64_t>(attempt)}});

@@ -32,7 +32,7 @@ void note_winner(KernelId id, KernelConfig cfg, double median_s) {
     static obs::Counter& tuned = reg.counter("tuning.kernels_tuned");
     tuned.add(1);
   }
-  auto& rec = obs::TraceRecorder::global();
+  auto& rec = obs::TraceRecorder::current();
   if (rec.enabled()) {
     rec.instant("tuning_winner", "tuning", obs::TraceRecorder::kMainTrack,
                 {{"kernel", backends::to_string(id)},

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <set>
@@ -20,6 +21,7 @@
 #include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "test_helpers.hpp"
+#include "util/error.hpp"
 
 namespace gaia::obs {
 namespace {
@@ -163,6 +165,50 @@ TEST(ObsIntegration, UntracedRunLeavesGlobalsUntouched) {
   EXPECT_EQ(TraceRecorder::global().event_count(), 0u);
   EXPECT_EQ(
       MetricsRegistry::global().counter("transfer.h2d_bytes").value(), 0u);
+}
+
+TEST(ObsIntegration, SessionResetsBothRegistryAndTraceTimeBase) {
+  // Leftovers from a previous "run" in the same process.
+  TraceRecorder::global().set_enabled(true);
+  TraceRecorder::global().complete("stale", "kernel", 0, 1, 0);
+  TraceRecorder::global().set_enabled(false);
+  MetricsRegistry::global().set_enabled(true);
+  MetricsRegistry::global().counter("stale.counter").add(7);
+  MetricsRegistry::global().set_enabled(false);
+  ASSERT_GT(TraceRecorder::global().event_count(), 0u);
+
+  {
+    // A metrics-only session (no trace path) must still clear the trace
+    // recorder: a later traced session would otherwise inherit events
+    // and a clock epoch from before this one.
+    const ScopedFile metrics_file("obs_session_reset_metrics.csv");
+    Session session("", metrics_file.path);
+    EXPECT_EQ(TraceRecorder::global().event_count(), 0u);
+    EXPECT_LT(TraceRecorder::global().now_us(), 1e6);
+    EXPECT_EQ(MetricsRegistry::global().counter("stale.counter").value(),
+              0u);
+  }
+}
+
+TEST(ObsIntegration, SessionHonorsTraceCapacityEnv) {
+  const ScopedFile trace_file("obs_session_capacity_trace.json");
+  setenv(kTraceCapacityEnv, "8", 1);
+  {
+    Session session = Session::from_env(trace_file.path);
+    EXPECT_EQ(TraceRecorder::global().capacity(), 8u);
+    for (int i = 0; i < 32; ++i)
+      TraceRecorder::global().complete("s", "kernel", i, 1, 0);
+    EXPECT_EQ(TraceRecorder::global().event_count(), 8u);
+    EXPECT_GT(TraceRecorder::global().dropped_events(), 0u);
+  }
+  unsetenv(kTraceCapacityEnv);
+  // Malformed values are rejected loudly, not ignored.
+  setenv(kTraceCapacityEnv, "zero", 1);
+  EXPECT_THROW(Session("", ""), Error);
+  unsetenv(kTraceCapacityEnv);
+  TraceRecorder::global().set_capacity(TraceRecorder::kDefaultCapacity);
+  TraceRecorder::global().set_enabled(false);
+  TraceRecorder::global().reset();
 }
 
 }  // namespace

@@ -177,6 +177,97 @@ TEST_F(TraceTest, ConcurrentSpansAreAllRecorded) {
   EXPECT_TRUE(checker.valid());
 }
 
+TEST_F(TraceTest, CapacityCapDropsOldestAndCounts) {
+  TraceRecorder rec;
+  rec.set_capacity(4);
+  rec.set_enabled(true);  // emits the main-track metadata record
+  for (int i = 0; i < 10; ++i)
+    rec.complete("span" + std::to_string(i), "kernel", i, 1, 0);
+  EXPECT_EQ(rec.event_count(), 4u);
+  // 1 metadata + 10 spans pushed, 4 kept.
+  EXPECT_EQ(rec.dropped_events(), 7u);
+  const auto events = rec.events();
+  // The survivors are the newest spans, in order.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "span6");
+  EXPECT_EQ(events.back().name, "span9");
+}
+
+TEST_F(TraceTest, DroppedTrackNameCanBeReannounced) {
+  TraceRecorder rec;
+  rec.set_capacity(2);
+  rec.set_enabled(true);
+  rec.name_track(7, "stream-7");
+  rec.complete("a", "kernel", 0, 1, 7);
+  rec.complete("b", "kernel", 1, 1, 7);  // evicts the main metadata
+  rec.complete("c", "kernel", 2, 1, 7);  // evicts the thread_name for 7
+  rec.name_track(7, "stream-7");         // must re-announce, not dedup away
+  int metadata = 0;
+  for (const auto& e : rec.events())
+    if (e.phase == 'M' && e.tid == 7) ++metadata;
+  EXPECT_EQ(metadata, 1);
+}
+
+TEST_F(TraceTest, ShrinkingCapacityEvictsExistingEvents) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  for (int i = 0; i < 8; ++i) rec.complete("s", "kernel", i, 1, 0);
+  const std::size_t before = rec.event_count();
+  rec.set_capacity(3);
+  EXPECT_EQ(rec.event_count(), 3u);
+  EXPECT_EQ(rec.dropped_events(), before - 3);
+  rec.set_capacity(0);  // invalid, ignored
+  EXPECT_EQ(rec.capacity(), 3u);
+}
+
+TEST_F(TraceTest, RankIdentityBecomesPidAndHeader) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.set_rank(2, 4);
+  rec.set_epoch_offset_us(123.5);
+  rec.complete("k", "kernel", 0, 1, 0);
+  EXPECT_EQ(rec.rank(), 2);
+  EXPECT_EQ(rec.n_ranks(), 4);
+  const std::string doc = rec.json();
+  gaia::testing::JsonChecker checker(doc);
+  EXPECT_TRUE(checker.valid()) << doc;
+  EXPECT_NE(doc.find("\"rank\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"ranks\":4"), std::string::npos);
+  EXPECT_NE(doc.find("\"epoch_offset_us\":123.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(doc.find("process_name"), std::string::npos);
+}
+
+TEST_F(TraceTest, ThreadRecorderOverridesCurrent) {
+  TraceRecorder rank_rec;
+  rank_rec.set_enabled(true);
+  EXPECT_EQ(&TraceRecorder::current(), &TraceRecorder::global());
+  {
+    ThreadRecorderScope scope(&rank_rec);
+    EXPECT_EQ(&TraceRecorder::current(), &rank_rec);
+    ScopedTrace span("k", "kernel");
+    EXPECT_TRUE(span.armed());  // rank recorder enabled, global disabled
+  }
+  EXPECT_EQ(&TraceRecorder::current(), &TraceRecorder::global());
+  int spans = 0;
+  for (const auto& e : rank_rec.events())
+    if (e.phase == 'X') ++spans;
+  EXPECT_EQ(spans, 1);
+  EXPECT_EQ(TraceRecorder::global().event_count(), 0u);
+}
+
+TEST_F(TraceTest, ThreadRecorderScopesNestAndRestore) {
+  TraceRecorder a, b;
+  ThreadRecorderScope outer(&a);
+  {
+    ThreadRecorderScope inner(&b);
+    EXPECT_EQ(&TraceRecorder::current(), &b);
+  }
+  EXPECT_EQ(&TraceRecorder::current(), &a);
+  ThreadRecorderScope null_scope(nullptr);
+  EXPECT_EQ(&TraceRecorder::current(), &TraceRecorder::global());
+}
+
 TEST_F(TraceTest, ArmedStateIsLatchedAtConstruction) {
   auto& rec = TraceRecorder::global();
   rec.set_enabled(true);

@@ -1,0 +1,149 @@
+#include "obs/trace_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace gaia::obs {
+namespace {
+
+/// A recorder stamped as one rank of a world, with a couple of spans.
+std::string rank_trace(int rank, int n_ranks, double offset_us) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.set_rank(rank, n_ranks);
+  rec.set_epoch_offset_us(offset_us);
+  rec.complete("lsqr.iteration", "lsqr", 10, 100, 0);
+  rec.complete("allreduce", "comm", 20, 30, 1000 + rank);
+  rec.complete("allreduce.wait", "comm", 20, 10, 1000 + rank);
+  rec.complete("allreduce.exchange", "comm", 30, 20, 1000 + rank);
+  return rec.json();
+}
+
+TEST(TraceMerge, RoundTripsRecorderOutput) {
+  const TraceDoc doc = parse_trace_json(rank_trace(1, 3, 42.0));
+  EXPECT_EQ(doc.rank, 1);
+  EXPECT_EQ(doc.n_ranks, 3);
+  EXPECT_DOUBLE_EQ(doc.epoch_offset_us, 42.0);
+  EXPECT_FALSE(doc.merged);
+  int spans = 0;
+  for (const auto& e : doc.events)
+    if (e.phase == 'X') ++spans;
+  EXPECT_EQ(spans, 4);
+  validate_trace(doc);  // must not throw
+
+  // Re-render and re-parse: identical structure.
+  const TraceDoc again = parse_trace_json(trace_json(doc));
+  EXPECT_EQ(again.events.size(), doc.events.size());
+  EXPECT_EQ(again.rank, doc.rank);
+}
+
+TEST(TraceMerge, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_trace_json("{\"broken"), Error);
+  EXPECT_THROW(parse_trace_json("[]"), Error);              // root not object
+  EXPECT_THROW(parse_trace_json("{}"), Error);              // no traceEvents
+  EXPECT_THROW(parse_trace_json(R"({"traceEvents": 3})"), Error);
+  // Event missing required fields.
+  EXPECT_THROW(parse_trace_json(R"({"traceEvents":[{"name":"x"}]})"), Error);
+  // Unmatched begin/end phases are rejected outright.
+  EXPECT_THROW(
+      parse_trace_json(
+          R"({"traceEvents":[{"name":"x","cat":"k","ph":"B","ts":0,"pid":1,"tid":0}]})"),
+      Error);
+}
+
+TEST(TraceMerge, ValidationCatchesTornSpans) {
+  // Negative duration.
+  TraceDoc doc = parse_trace_json(
+      R"({"traceEvents":[{"name":"x","cat":"k","ph":"X","ts":5,"dur":-2,"pid":1,"tid":0}]})");
+  EXPECT_THROW(validate_trace(doc), Error);
+
+  // Partially overlapping spans on one track (not nested, not disjoint).
+  doc = parse_trace_json(
+      R"({"traceEvents":[
+        {"name":"a","cat":"k","ph":"X","ts":0,"dur":10,"pid":1,"tid":0},
+        {"name":"b","cat":"k","ph":"X","ts":5,"dur":10,"pid":1,"tid":0}]})");
+  EXPECT_THROW(validate_trace(doc), Error);
+
+  // Same shape on *different* tracks is fine.
+  doc = parse_trace_json(
+      R"({"traceEvents":[
+        {"name":"a","cat":"k","ph":"X","ts":0,"dur":10,"pid":1,"tid":0},
+        {"name":"b","cat":"k","ph":"X","ts":5,"dur":10,"pid":2,"tid":0}]})");
+  validate_trace(doc);
+
+  // Instants moving backwards on one track.
+  doc = parse_trace_json(
+      R"({"traceEvents":[
+        {"name":"i1","cat":"m","ph":"i","ts":10,"pid":1,"tid":0},
+        {"name":"i2","cat":"m","ph":"i","ts":3,"pid":1,"tid":0}]})");
+  EXPECT_THROW(validate_trace(doc), Error);
+}
+
+TEST(TraceMerge, MergeAppliesClockAlignment) {
+  std::vector<TraceDoc> docs;
+  docs.push_back(parse_trace_json(rank_trace(0, 2, 100.0)));
+  docs.push_back(parse_trace_json(rank_trace(1, 2, 250.0)));
+  const TraceDoc merged = merge_traces(docs);
+  EXPECT_TRUE(merged.merged);
+  EXPECT_EQ(merged.n_ranks, 2);
+  EXPECT_EQ(merged.source_ranks, (std::vector<int>{0, 1}));
+  validate_trace(merged);
+
+  // Every rank-0 event shifted by 100, every rank-1 event by 250; the
+  // iteration spans started at local ts 10 on both ranks.
+  double start0 = -1, start1 = -1;
+  for (const auto& e : merged.events) {
+    if (e.name != "lsqr.iteration") continue;
+    if (e.pid == 0) start0 = e.ts_us;
+    if (e.pid == 1) start1 = e.ts_us;
+  }
+  EXPECT_DOUBLE_EQ(start0, 110.0);
+  EXPECT_DOUBLE_EQ(start1, 260.0);
+
+  // The merged file parses back with its header intact.
+  const TraceDoc rt = parse_trace_json(trace_json(merged));
+  EXPECT_TRUE(rt.merged);
+  EXPECT_EQ(rt.source_ranks, merged.source_ranks);
+  EXPECT_EQ(rt.events.size(), merged.events.size());
+}
+
+TEST(TraceMerge, MergeRejectsBadInputs) {
+  EXPECT_THROW(merge_traces({}), Error);
+  std::vector<TraceDoc> dup;
+  dup.push_back(parse_trace_json(rank_trace(0, 2, 0)));
+  dup.push_back(parse_trace_json(rank_trace(0, 2, 0)));
+  EXPECT_THROW(merge_traces(dup), Error);  // duplicate rank
+
+  std::vector<TraceDoc> mismatch;
+  mismatch.push_back(parse_trace_json(rank_trace(0, 2, 0)));
+  mismatch.push_back(parse_trace_json(rank_trace(1, 3, 0)));
+  EXPECT_THROW(merge_traces(mismatch), Error);  // world-size mismatch
+
+  // A plain (rank-less) trace cannot be merged.
+  TraceRecorder plain;
+  plain.set_enabled(true);
+  plain.complete("k", "kernel", 0, 1, 0);
+  std::vector<TraceDoc> rankless;
+  rankless.push_back(parse_trace_json(plain.json()));
+  EXPECT_THROW(merge_traces(rankless), Error);
+}
+
+TEST(TraceMerge, DroppedEventCountsAccumulate) {
+  TraceRecorder rec;
+  rec.set_capacity(2);
+  rec.set_enabled(true);
+  rec.set_rank(0, 1);
+  for (int i = 0; i < 6; ++i) rec.complete("s", "kernel", i, 1, 0);
+  const TraceDoc doc = parse_trace_json(rec.json());
+  EXPECT_GT(doc.dropped_events, 0u);
+  const TraceDoc merged = merge_traces({doc});
+  EXPECT_EQ(merged.dropped_events, doc.dropped_events);
+}
+
+}  // namespace
+}  // namespace gaia::obs

@@ -1,0 +1,93 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace gaia::util {
+namespace {
+
+TEST(Json, ParsesScalarsAndStructure) {
+  const JsonValue v = parse_json(
+      R"({"a": 1.5, "b": "text", "c": [true, false, null], "d": {"e": -2e3}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("a")->number, 1.5);
+  EXPECT_EQ(v.find("b")->string, "text");
+  const JsonValue* c = v.find("c");
+  ASSERT_TRUE(c != nullptr && c->is_array());
+  ASSERT_EQ(c->array.size(), 3u);
+  EXPECT_TRUE(c->array[0].boolean);
+  EXPECT_FALSE(c->array[1].boolean);
+  EXPECT_TRUE(c->array[2].is_null());
+  EXPECT_DOUBLE_EQ(v.find("d")->number_or("e", 0), -2000.0);
+}
+
+TEST(Json, MemberOrderIsPreserved) {
+  const JsonValue v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const JsonValue v =
+      parse_json(R"({"s": "line\nbreak\ttab \"q\" back\\slash é"})");
+  EXPECT_EQ(v.find("s")->string, "line\nbreak\ttab \"q\" back\\slash \xc3\xa9");
+  // dump() re-escapes; re-parsing yields the same string.
+  const JsonValue again = parse_json(v.dump());
+  EXPECT_EQ(again.find("s")->string, v.find("s")->string);
+}
+
+TEST(Json, DumpRoundTripsNestedDocuments) {
+  const std::string src =
+      R"({"ev":[{"name":"k","ts":1.25,"args":{"n":3,"ok":true}},{"name":"m"}]})";
+  const JsonValue v = parse_json(src);
+  const JsonValue rt = parse_json(v.dump());
+  ASSERT_TRUE(rt.is_object());
+  const JsonValue* ev = rt.find("ev");
+  ASSERT_TRUE(ev != nullptr && ev->is_array());
+  ASSERT_EQ(ev->array.size(), 2u);
+  EXPECT_EQ(ev->array[0].find("name")->string, "k");
+  EXPECT_DOUBLE_EQ(ev->array[0].find("ts")->number, 1.25);
+  EXPECT_DOUBLE_EQ(ev->array[0].find("args")->number_or("n", 0), 3.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);                 // truncated
+  EXPECT_THROW(parse_json(R"({"a": })"), Error);        // missing value
+  EXPECT_THROW(parse_json(R"({"a": 1,})"), Error);      // trailing comma
+  EXPECT_THROW(parse_json(R"({"a": 1} extra)"), Error); // trailing garbage
+  EXPECT_THROW(parse_json(R"({'a': 1})"), Error);       // single quotes
+  EXPECT_THROW(parse_json(R"({"a": 01})"), Error);      // leading zero
+  EXPECT_THROW(parse_json(R"({"a": +1})"), Error);      // leading plus
+  EXPECT_THROW(parse_json(R"({"a": nul})"), Error);     // bad literal
+  EXPECT_THROW(parse_json("{\"a\": \"\x01\"}"), Error); // bare control char
+  EXPECT_THROW(parse_json(R"({"a": "\q"})"), Error);    // bad escape
+  EXPECT_THROW(parse_json(R"({"a" 1})"), Error);        // missing colon
+}
+
+TEST(Json, ErrorsCarryByteOffsets) {
+  try {
+    (void)parse_json(R"({"ok": 1, "bad": )");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(Json, NumberGrammarIsStrict) {
+  EXPECT_DOUBLE_EQ(parse_json("0.5").number, 0.5);
+  EXPECT_DOUBLE_EQ(parse_json("-0").number, 0.0);
+  EXPECT_DOUBLE_EQ(parse_json("12e-2").number, 0.12);
+  EXPECT_THROW(parse_json("."), Error);
+  EXPECT_THROW(parse_json("1."), Error);
+  EXPECT_THROW(parse_json(".5"), Error);
+  EXPECT_THROW(parse_json("1e"), Error);
+}
+
+}  // namespace
+}  // namespace gaia::util

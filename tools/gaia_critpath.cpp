@@ -1,0 +1,145 @@
+/// \file gaia_critpath.cpp
+/// \brief CLI critical-path / comm-exposure analyzer over merged traces.
+///
+///   gaia-critpath TRACE.json [more-rank-traces...] [options]
+///
+/// Accepts either one already-merged trace (trace.merged.json from a
+/// distributed run) or the individual trace.rank<N>.json files, which it
+/// merges itself (clock-aligned via their epoch_offset_us headers;
+/// --merge-out saves the result). Every input is strictly parsed and
+/// validated — a torn or malformed trace exits 2, never a silently
+/// truncated report.
+///
+/// Exit codes (gaia-perfgate convention): 0 = analysis ran and all gates
+/// pass, 1 = a gate tripped (--max-exposure / --max-skew-us, or a
+/// partial trace without --allow-partial), 2 = usage / I/O / parse /
+/// validation error.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/critpath.hpp"
+#include "obs/trace_merge.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: gaia-critpath TRACE.json [TRACE2.json ...] [options]\n"
+    "  inputs: one merged trace, or several per-rank traces (merged\n"
+    "          here using their epoch_offset_us clock-alignment headers)\n"
+    "  --merge-out PATH   write the merged timeline (Perfetto-loadable)\n"
+    "  --json             print the report as JSON instead of a table\n"
+    "  --max-exposure X   gate: fail (exit 1) when overall comm exposure\n"
+    "                     (exposed comm / critical path) exceeds X\n"
+    "  --max-skew-us X    gate: fail when any iteration's rank-start\n"
+    "                     skew exceeds X microseconds\n"
+    "  --allow-partial    accept traces missing ranks or iterations\n"
+    "exit codes: 0 = gates pass, 1 = gate tripped, 2 = bad input\n";
+
+int fail_usage(const std::string& why) {
+  std::cerr << "gaia-critpath: " << why << '\n' << kUsage;
+  return 2;
+}
+
+double parse_double(const std::string& flag, const std::string& value,
+                    bool& ok) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  ok = end != value.c_str() && *end == '\0' && v >= 0;
+  if (!ok) std::cerr << "gaia-critpath: bad " << flag << " value '" << value
+                     << "'\n";
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string merge_out;
+  bool as_json = false;
+  gaia::obs::CritpathOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (++i >= argc) return "";
+      return argv[i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--allow-partial") {
+      options.allow_partial = true;
+    } else if (arg == "--merge-out" || arg.rfind("--merge-out=", 0) == 0) {
+      merge_out = value_of("--merge-out");
+      if (merge_out.empty()) return fail_usage("--merge-out needs a path");
+    } else if (arg == "--max-exposure" ||
+               arg.rfind("--max-exposure=", 0) == 0) {
+      const std::string v = value_of("--max-exposure");
+      if (v.empty()) return fail_usage("--max-exposure needs a value");
+      bool ok = false;
+      options.max_exposure_fraction = parse_double("--max-exposure", v, ok);
+      if (!ok) return 2;
+    } else if (arg == "--max-skew-us" ||
+               arg.rfind("--max-skew-us=", 0) == 0) {
+      const std::string v = value_of("--max-skew-us");
+      if (v.empty()) return fail_usage("--max-skew-us needs a value");
+      bool ok = false;
+      options.max_skew_us = parse_double("--max-skew-us", v, ok);
+      if (!ok) return 2;
+    } else if (arg.rfind("--", 0) == 0) {
+      return fail_usage("unknown option '" + arg + "'");
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return fail_usage("need at least one trace file");
+
+  try {
+    gaia::obs::TraceDoc doc;
+    if (inputs.size() == 1) {
+      doc = gaia::obs::parse_trace_file(inputs.front());
+      gaia::obs::validate_trace(doc);
+      // A single per-rank file is analyzable on its own (shift applied
+      // so times are on the world clock, like a one-rank merge).
+      if (!doc.merged && doc.rank >= 0) {
+        doc = gaia::obs::merge_traces({doc});
+      }
+    } else {
+      std::vector<gaia::obs::TraceDoc> docs;
+      docs.reserve(inputs.size());
+      for (const std::string& path : inputs) {
+        docs.push_back(gaia::obs::parse_trace_file(path));
+        gaia::obs::validate_trace(docs.back());
+      }
+      doc = gaia::obs::merge_traces(docs);
+    }
+    gaia::obs::validate_trace(doc);
+    if (!merge_out.empty()) {
+      gaia::obs::write_trace(doc, merge_out);
+      std::cerr << "gaia-critpath: merged timeline written to " << merge_out
+                << '\n';
+    }
+
+    const gaia::obs::CritpathReport report = gaia::obs::analyze_critpath(doc);
+    std::cout << (as_json ? gaia::obs::to_json(report)
+                          : gaia::obs::to_string(report));
+    if (as_json) std::cout << '\n';
+
+    const std::vector<std::string> violations =
+        gaia::obs::check_gates(report, options);
+    for (const std::string& v : violations)
+      std::cerr << "gaia-critpath: GATE: " << v << '\n';
+    return violations.empty() ? 0 : 1;
+  } catch (const gaia::Error& e) {
+    std::cerr << "gaia-critpath: " << e.what() << '\n';
+    return 2;
+  }
+}

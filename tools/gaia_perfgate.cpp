@@ -20,7 +20,10 @@ constexpr const char* kUsage =
     "usage: gaia-perfgate OLD.json NEW.json [--tolerance X] "
     "[--allow-missing]\n"
     "  --tolerance X    allowed fractional slowdown (default 0.25)\n"
-    "  --allow-missing  series missing from NEW do not fail the gate\n";
+    "  --allow-missing  series missing from NEW do not fail the gate\n"
+    "exit codes: 0 = gate passes, 1 = regression detected, 2 = bad "
+    "input\n"
+    "(the same contract as gaia-critpath, so CI can pipeline both)\n";
 
 int fail_usage(const std::string& why) {
   std::cerr << "gaia-perfgate: " << why << '\n' << kUsage;
