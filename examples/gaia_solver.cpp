@@ -99,6 +99,15 @@ int main(int argc, char** argv) {
   cli.add_option("checkpoint-keep", "3", "checkpoints kept on disk");
   cli.add_option("max-restarts", "3",
                  "rank-death recoveries allowed (dist solver)");
+  cli.add_option("health", "",
+                 "silent-data-corruption defense: off (default) | detect "
+                 "(stop with a diagnosis on an invariant trip) | repair "
+                 "(roll back to a validated snapshot and replay, bounded "
+                 "by the repair budget); also honored via GAIA_HEALTH");
+  cli.add_option("health-every", "0",
+                 "deep-check cadence in iterations (segment checksums, "
+                 "true-residual recompute, cross-rank state hash); 0 = "
+                 "default 25; also honored via GAIA_HEALTH_EVERY");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -143,6 +152,8 @@ int main(int argc, char** argv) {
         static_cast<int>(cli.get_int("checkpoint-keep"));
     if (config.checkpoint.every > 0 && config.checkpoint.directory.empty())
       config.checkpoint.directory = "gaia-checkpoints";
+    config.lsqr.health = resilience::health_config_from_env(
+        cli.get("health"), cli.get_int("health-every"));
 
     if (cli.get_flag("validate")) {
       auto gen_cfg =
@@ -213,6 +224,16 @@ int main(int argc, char** argv) {
                   << " restart(s) after rank death, resumed from iteration "
                   << result.resumed_from_iteration << ", "
                   << result.checkpoints_written << " checkpoint(s) sealed\n";
+      if (result.health.mode != resilience::HealthMode::kOff) {
+        std::cout << "  health: mode "
+                  << resilience::to_string(result.health.mode) << ", "
+                  << result.health.checks << " deep check(s), "
+                  << result.health.detections << " detection(s), "
+                  << result.health.repairs << " repair(s)\n";
+        if (!result.health.last_diagnosis.empty())
+          std::cout << "          last diagnosis: "
+                    << result.health.last_diagnosis << '\n';
+      }
       for (int r = 0; r < result.final_ranks; ++r)
         std::cout << "  rank " << r << ": " << result.partition.rows_of(r)
                   << " rows, " << result.partition.stars_of(r) << " stars\n";

@@ -22,6 +22,10 @@ std::string to_string(LsqrStop stop) {
       return "cond(A) too large for machine precision";
     case LsqrStop::kIterationLimit:
       return "iteration limit reached";
+    case LsqrStop::kNonFinite:
+      return "non-finite residual estimate — solve is poisoned";
+    case LsqrStop::kSdcDetected:
+      return "silent data corruption detected";
   }
   return "unknown";
 }

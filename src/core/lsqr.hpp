@@ -21,6 +21,7 @@
 
 #include "core/aprod.hpp"
 #include "matrix/system_matrix.hpp"
+#include "resilience/health_monitor.hpp"
 #include "util/types.hpp"
 
 namespace gaia::core {
@@ -35,6 +36,13 @@ enum class LsqrStop : int {
   kLeastSquaresEps = 5,///< as 2, at machine-precision limits
   kConlimEps = 6,      ///< as 3, at machine-precision limits
   kIterationLimit = 7, ///< max_iterations reached (the paper's P runs)
+  // Extensions beyond the reference code (resilience):
+  kNonFinite = 8,      ///< rnorm/arnorm went non-finite — the solve is
+                       ///< poisoned and iterating further is pointless.
+                       ///< Always active, even with --health=off: this
+                       ///< is the detection floor.
+  kSdcDetected = 9,    ///< health monitor diagnosed corruption in
+                       ///< detect mode (repair mode rolls back instead)
 };
 
 [[nodiscard]] std::string to_string(LsqrStop stop);
@@ -60,6 +68,13 @@ struct LsqrOptions {
   bool record_history = false;
   /// Capacity of the simulated accelerator the system must fit on.
   byte_size device_capacity = 64 * kGiB;
+  /// Silent-data-corruption monitoring (off by default; see
+  /// resilience/health_monitor.hpp for the invariants and cost model).
+  /// In repair mode the engine keeps an in-memory validated snapshot
+  /// and rolls back/replays on detection, bounded by
+  /// `health.max_repairs`; exhausting the budget throws
+  /// resilience::SdcError with the diagnosis.
+  resilience::HealthConfig health{};
 };
 
 struct LsqrResult {
@@ -101,6 +116,10 @@ struct LsqrResult {
   /// Iteration a resumed run restarted from (-1 = fresh start); filled
   /// by the checkpoint-orchestrating callers (run_solver, dist).
   std::int64_t resumed_from_iteration = -1;
+
+  /// Health-monitor outcome (mode kOff with all-zero counters unless
+  /// LsqrOptions::health enabled it).
+  resilience::HealthReport health{};
 };
 
 /// Solves A x ~= b where b = A.known_terms(). Throws gaia::Error if the

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "resilience/checkpoint.hpp"
+#include "resilience/fault_injector.hpp"
 #include "util/profiler.hpp"
 #include "util/stopwatch.hpp"
 
@@ -72,6 +73,24 @@ struct LsqrEngine::Impl {
   std::vector<double> iteration_seconds;
   std::vector<real> rnorm_history, arnorm_history, xnorm_history;
 
+  // Silent-corruption defense (engaged when options.health is not off):
+  // the monitor runs the invariant checks; b_host/resid_scratch feed the
+  // true-residual recompute; good_state is the in-memory rollback target
+  // of repair mode — refreshed only *after* a deep check passed, so a
+  // restore never lands inside the corruption it is escaping.
+  std::unique_ptr<resilience::HealthMonitor> health;
+  std::vector<real> b_host, resid_scratch;
+  std::string good_state;
+  std::int64_t good_itn = 0;
+  // ABFT checksum-vector state: col_check = A^T 1_m and row_check =
+  // A 1_n, precomputed once on a clean system; per iteration the summed
+  // kernel outputs are verified against sum(A v) = col_check . v and
+  // sum(A^T u) = row_check . u. sum_u/sum_v track the sums of the
+  // current normalized basis vectors (rescaled, never re-summed).
+  std::vector<real> col_check, row_check;
+  real col_check_norm = 0, row_check_norm = 0;
+  real sum_u = 0, sum_v = 0;
+
   Impl(const matrix::SystemMatrix& A_in, std::span<const real> b,
        const LsqrOptions& opts)
       : options(opts),
@@ -126,6 +145,27 @@ struct LsqrEngine::Impl {
       finished = true;
       istop = LsqrStop::kXZero;
     }
+
+    if (options.health.enabled()) {
+      health = std::make_unique<resilience::HealthMonitor>(options.health);
+      // The recompute checks need b on the host (b is the *unchanged*
+      // rhs — preconditioning only scales columns).
+      b_host.assign(b.begin(), b.end());
+      resid_scratch.assign(m, real{0});
+      // ABFT checksum vectors, via the kernels themselves so every
+      // backend's product is checked against its own arithmetic.
+      std::vector<real> ones(std::max(m, n), real{1});
+      col_check.assign(n, real{0});
+      aprod->apply2(std::span<const real>(ones.data(), m), col_check);
+      row_check.assign(m, real{0});
+      aprod->apply1(std::span<const real>(ones.data(), n), row_check);
+      col_check_norm = vnorm(col_check);
+      row_check_norm = vnorm(row_check);
+      sum_u = vsum(d_u.span());
+      sum_v = vsum(d_v.span());
+      if (options.health.mode == resilience::HealthMode::kRepair)
+        refresh_good_state();  // iteration-0 rollback target
+    }
   }
 
   /// Fingerprint binding a checkpoint to (problem, options).
@@ -151,6 +191,146 @@ struct LsqrEngine::Impl {
     mix(std::bit_cast<std::uint64_t>(static_cast<double>(
         A->values()[A->values().size() - 1])));
     return h;
+  }
+
+  /// Raw checkpoint stream (no file framing): the on-disk format of
+  /// LsqrEngine::checkpoint *and* the in-memory rollback snapshot of
+  /// repair mode.
+  void save_state(std::ostream& os) const {
+    os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    write_pod(os, fingerprint());
+    write_pod(os, itn);
+    write_pod(os, static_cast<std::uint8_t>(finished ? 1 : 0));
+    write_pod(os, static_cast<std::int32_t>(istop));
+    for (real v : {alpha, beta, bnorm, rhobar, phibar, rnorm, arnorm,
+                   anorm, acond, ddnorm, res2, xnorm, xxnorm, z, cs2, sn2})
+      write_pod(os, v);
+    write_vec(os, d_u.span());
+    write_vec(os, d_v.span());
+    write_vec(os, d_w.span());
+    write_vec(os, d_x.span());
+    write_vec(os, d_var.span());
+    write_pod(os, static_cast<std::uint64_t>(iteration_seconds.size()));
+    os.write(reinterpret_cast<const char*>(iteration_seconds.data()),
+             static_cast<std::streamsize>(iteration_seconds.size() *
+                                          sizeof(double)));
+    for (const auto* hist :
+         {&rnorm_history, &arnorm_history, &xnorm_history})
+      write_vec(os, std::span<const real>(hist->data(), hist->size()));
+    GAIA_CHECK(os.good(), "checkpoint write failed");
+  }
+
+  void load_state(std::istream& is) {
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    GAIA_CHECK(is.good() &&
+                   std::memcmp(magic, kCheckpointMagic, sizeof(magic)) == 0,
+               "not a gaia LSQR checkpoint");
+    GAIA_CHECK(read_pod<std::uint64_t>(is) == fingerprint(),
+               "checkpoint does not match this system/options");
+    itn = read_pod<std::int64_t>(is);
+    finished = read_pod<std::uint8_t>(is) != 0;
+    istop = static_cast<LsqrStop>(read_pod<std::int32_t>(is));
+    for (real* v : {&alpha, &beta, &bnorm, &rhobar, &phibar, &rnorm,
+                    &arnorm, &anorm, &acond, &ddnorm, &res2, &xnorm,
+                    &xxnorm, &z, &cs2, &sn2})
+      *v = read_pod<real>(is);
+    read_vec(is, d_u.span());
+    read_vec(is, d_v.span());
+    read_vec(is, d_w.span());
+    read_vec(is, d_x.span());
+    read_vec(is, d_var.span());
+    const auto n_times = read_pod<std::uint64_t>(is);
+    iteration_seconds.resize(n_times);
+    is.read(reinterpret_cast<char*>(iteration_seconds.data()),
+            static_cast<std::streamsize>(n_times * sizeof(double)));
+    GAIA_CHECK(is.good(), "truncated checkpoint");
+    for (auto* hist : {&rnorm_history, &arnorm_history, &xnorm_history}) {
+      const auto n_hist = read_pod<std::uint64_t>(is);
+      hist->resize(n_hist);
+      is.read(reinterpret_cast<char*>(hist->data()),
+              static_cast<std::streamsize>(n_hist * sizeof(real)));
+      GAIA_CHECK(is.good(), "truncated checkpoint");
+    }
+    if (health) {
+      sum_u = vsum(d_u.span());
+      sum_v = vsum(d_v.span());
+    }
+  }
+
+  void refresh_good_state() {
+    std::ostringstream os(std::ios::binary);
+    save_state(os);
+    good_state = std::move(os).str();
+    good_itn = itn;
+  }
+
+  /// `sdc:` clause hook: silently flips a bit in the combined output
+  /// vector of the named aprod pass. Disarmed cost: one relaxed load.
+  void maybe_inject_sdc(std::string_view pass, std::span<real> out) {
+    auto& injector = resilience::FaultInjector::global();
+    if (!injector.armed()) return;
+    if (const auto flip = injector.on_kernel_output(pass, itn, 0, out.size()))
+      resilience::apply_bitflip(out, *flip);
+  }
+
+  /// The every-K deep pass: segment checksums + the two ABFT agreement
+  /// cross-checks (||x|| vs the xnorm recurrence, recomputed ||b - Ax||
+  /// vs the rnorm estimate). Returns the first tripped invariant.
+  resilience::HealthVerdict run_deep_checks() {
+    using resilience::HealthInvariant;
+    health->note_deep_check();
+    obs::ScopedTrace span("health.deep_check", "resilience");
+    const auto& cfg = options.health;
+    auto verdict = health->check_vector(
+        itn, "u", d_u.span(), beta > 0 ? real{1} : real{-1},
+        cfg.unit_norm_tol, HealthInvariant::kUnitNorm);
+    if (!verdict.healthy()) return verdict;
+    verdict = health->check_vector(
+        itn, "v", d_v.span(), alpha > 0 ? real{1} : real{-1},
+        cfg.unit_norm_tol, HealthInvariant::kUnitNorm);
+    if (!verdict.healthy()) return verdict;
+    verdict = health->check_vector(itn, "x", d_x.span(), xnorm,
+                                   cfg.xnorm_rel_tol,
+                                   HealthInvariant::kXnormAgreement);
+    if (!verdict.healthy()) return verdict;
+
+    // True-residual recompute (one extra apply1 — the overhead term):
+    // r = b - A x, plus the damping contribution when damp != 0, against
+    // the recurrence's rnorm. Skipped deep in the convergence plateau,
+    // where the difference is dominated by cancellation, not corruption.
+    if (rnorm > bnorm * real{1e-9}) {
+      std::fill(resid_scratch.begin(), resid_scratch.end(), real{0});
+      aprod->apply1(d_x.span(), resid_scratch);  // resid = A x
+      real sum = 0, comp = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const real d = b_host[i] - resid_scratch[i];
+        const real term = d * d - comp;
+        const real next = sum + term;
+        comp = (next - sum) - term;
+        sum = next;
+      }
+      if (options.damp != 0) {
+        const real xn = vnorm(d_x.span());
+        sum += options.damp * options.damp * xn * xn;
+      }
+      verdict = health->check_agreement(
+          itn, "rnorm", std::sqrt(sum), rnorm, cfg.residual_rel_tol,
+          HealthInvariant::kResidualAgreement);
+    }
+    return verdict;
+  }
+
+  /// Rollback of repair mode: restore the last validated snapshot and
+  /// replay. Injector clause counters are *not* rolled back (a count=1
+  /// sdc clause stays spent), so the replay runs clean.
+  void repair(const resilience::HealthVerdict& verdict) {
+    const std::int64_t detected_at = itn;
+    std::istringstream is(good_state, std::ios::binary);
+    load_state(is);
+    health->record_repair(detected_at, itn);
+    health->reset_window();
+    (void)verdict;
   }
 
   /// Convergence telemetry for the iteration that just finished: span
@@ -196,11 +376,30 @@ struct LsqrEngine::Impl {
     auto w = d_w.span();
     auto x = d_x.span();
 
+    // ABFT bookkeeping: sums of the basis vectors entering this
+    // iteration, and the first checksum verdict (if any) to surface.
+    const real s_u_old = sum_u, s_v_old = sum_v;
+    resilience::HealthVerdict abft;
+
     {
       util::ScopedRegion region("blas1_scale");
       vscale(backend, u, -alpha);
     }
     aprod->apply1(v, u);
+    maybe_inject_sdc("aprod1", u);
+    if (health) {
+      // u now holds A v - alpha u_old; its sum must equal
+      // col_check . v - alpha sum(u_old) to rounding.
+      const real actual = vsum(u);
+      const real expected = vdot(col_check, v) - alpha * s_u_old;
+      const real scale =
+          col_check_norm +
+          std::abs(alpha) * std::sqrt(static_cast<real>(m)) +
+          std::abs(actual);
+      abft = health->check_kernel_checksum(itn, "aprod1", actual,
+                                           expected, scale);
+      sum_u = actual;
+    }
     {
       util::ScopedRegion region("reduction_norm");
       beta = vnorm(u);
@@ -213,7 +412,22 @@ struct LsqrEngine::Impl {
                           damp * damp);
         vscale(backend, v, -beta);
       }
+      if (health) sum_u /= beta;
       aprod->apply2(u, v);
+      maybe_inject_sdc("aprod2", v);
+      if (health) {
+        // v now holds A^T u - beta v_old (u freshly normalized).
+        const real actual = vsum(v);
+        const real expected = vdot(row_check, u) - beta * s_v_old;
+        const real scale =
+            row_check_norm +
+            std::abs(beta) * std::sqrt(static_cast<real>(n)) +
+            std::abs(actual);
+        if (abft.healthy())
+          abft = health->check_kernel_checksum(itn, "aprod2", actual,
+                                               expected, scale);
+        sum_v = actual;
+      }
       {
         util::ScopedRegion region("reduction_norm");
         alpha = vnorm(v);
@@ -221,6 +435,7 @@ struct LsqrEngine::Impl {
       if (alpha > 0) {
         util::ScopedRegion region("blas1_scale");
         vscale(backend, v, real{1} / alpha);
+        if (health) sum_v /= alpha;
       }
     }
 
@@ -270,6 +485,48 @@ struct LsqrEngine::Impl {
     const double iteration_s = watch.elapsed_s();
     iteration_seconds.push_back(iteration_s);
     record_iteration_telemetry(iter_span, iteration_s);
+
+    // --- silent-corruption defense -----------------------------------
+    if (health) {
+      auto verdict = abft;  // the same-iteration detector reports first
+      if (verdict.healthy())
+        verdict =
+            health->check_scalars(itn, alpha, beta, rnorm, arnorm, xnorm);
+      if (verdict.healthy()) verdict = health->check_rnorm_window(itn, rnorm);
+      if (verdict.healthy() && options.health.due(itn)) {
+        verdict = run_deep_checks();
+        // Seal the rollback target only after the full pass came back
+        // clean: a snapshot is a *validated* state, never a hopeful one.
+        if (verdict.healthy() &&
+            options.health.mode == resilience::HealthMode::kRepair)
+          refresh_good_state();
+      }
+      if (!verdict.healthy()) {
+        health->record_detection(verdict);
+        if (options.health.mode == resilience::HealthMode::kRepair) {
+          if (health->repairs() >=
+              static_cast<std::uint64_t>(options.health.max_repairs)) {
+            health->record_unrepaired(verdict);
+            throw resilience::SdcError(verdict);
+          }
+          repair(verdict);
+          return true;  // replay resumes from the validated snapshot
+        }
+        finished = true;
+        istop = verdict.invariant ==
+                        resilience::HealthInvariant::kScalarFinite
+                    ? LsqrStop::kNonFinite
+                    : LsqrStop::kSdcDetected;
+        return false;
+      }
+    } else if (!std::isfinite(rnorm) || !std::isfinite(arnorm)) {
+      // Detection floor, active even with --health=off: a non-finite
+      // residual estimate satisfies no stop test and would otherwise
+      // burn the whole iteration budget on a poisoned solve.
+      finished = true;
+      istop = LsqrStop::kNonFinite;
+      return false;
+    }
 
     // Stopping tests (reference-code numbering; skipped when all
     // tolerances are zero, the paper's fixed-iteration timing mode).
@@ -336,6 +593,7 @@ struct LsqrEngine::Impl {
     result.h2d_bytes = device.h2d_bytes();
     result.final_backend = aprod->active_backend();
     result.failovers = aprod->failovers();
+    if (health) result.health = health->report();
     return result;
   }
 };
@@ -379,29 +637,7 @@ std::int64_t LsqrEngine::run_to_completion() {
 LsqrResult LsqrEngine::result() const { return impl_->make_result(); }
 
 void LsqrEngine::checkpoint(std::ostream& os) const {
-  const Impl& s = *impl_;
-  os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
-  write_pod(os, s.fingerprint());
-  write_pod(os, s.itn);
-  write_pod(os, static_cast<std::uint8_t>(s.finished ? 1 : 0));
-  write_pod(os, static_cast<std::int32_t>(s.istop));
-  for (real v : {s.alpha, s.beta, s.bnorm, s.rhobar, s.phibar, s.rnorm,
-                 s.arnorm, s.anorm, s.acond, s.ddnorm, s.res2, s.xnorm,
-                 s.xxnorm, s.z, s.cs2, s.sn2})
-    write_pod(os, v);
-  write_vec(os, s.d_u.span());
-  write_vec(os, s.d_v.span());
-  write_vec(os, s.d_w.span());
-  write_vec(os, s.d_x.span());
-  write_vec(os, s.d_var.span());
-  write_pod(os, static_cast<std::uint64_t>(s.iteration_seconds.size()));
-  os.write(reinterpret_cast<const char*>(s.iteration_seconds.data()),
-           static_cast<std::streamsize>(s.iteration_seconds.size() *
-                                        sizeof(double)));
-  for (const auto* hist :
-       {&s.rnorm_history, &s.arnorm_history, &s.xnorm_history})
-    write_vec(os, std::span<const real>(hist->data(), hist->size()));
-  GAIA_CHECK(os.good(), "checkpoint write failed");
+  impl_->save_state(os);
 }
 
 void LsqrEngine::checkpoint(const std::string& path) const {
@@ -414,38 +650,12 @@ void LsqrEngine::checkpoint(const std::string& path) const {
 }
 
 void LsqrEngine::restore(std::istream& is) {
-  Impl& s = *impl_;
-  char magic[8];
-  is.read(magic, sizeof(magic));
-  GAIA_CHECK(is.good() &&
-                 std::memcmp(magic, kCheckpointMagic, sizeof(magic)) == 0,
-             "not a gaia LSQR checkpoint");
-  GAIA_CHECK(read_pod<std::uint64_t>(is) == s.fingerprint(),
-             "checkpoint does not match this system/options");
-  s.itn = read_pod<std::int64_t>(is);
-  s.finished = read_pod<std::uint8_t>(is) != 0;
-  s.istop = static_cast<LsqrStop>(read_pod<std::int32_t>(is));
-  for (real* v : {&s.alpha, &s.beta, &s.bnorm, &s.rhobar, &s.phibar,
-                  &s.rnorm, &s.arnorm, &s.anorm, &s.acond, &s.ddnorm,
-                  &s.res2, &s.xnorm, &s.xxnorm, &s.z, &s.cs2, &s.sn2})
-    *v = read_pod<real>(is);
-  read_vec(is, s.d_u.span());
-  read_vec(is, s.d_v.span());
-  read_vec(is, s.d_w.span());
-  read_vec(is, s.d_x.span());
-  read_vec(is, s.d_var.span());
-  const auto n_times = read_pod<std::uint64_t>(is);
-  s.iteration_seconds.resize(n_times);
-  is.read(reinterpret_cast<char*>(s.iteration_seconds.data()),
-          static_cast<std::streamsize>(n_times * sizeof(double)));
-  GAIA_CHECK(is.good(), "truncated checkpoint");
-  for (auto* hist : {&s.rnorm_history, &s.arnorm_history, &s.xnorm_history}) {
-    const auto n_hist = read_pod<std::uint64_t>(is);
-    hist->resize(n_hist);
-    is.read(reinterpret_cast<char*>(hist->data()),
-            static_cast<std::streamsize>(n_hist * sizeof(real)));
-    GAIA_CHECK(is.good(), "truncated checkpoint");
-  }
+  impl_->load_state(is);
+  // A restored state becomes the rollback target of repair mode: it
+  // came from a CRC-validated checkpoint the caller chose to trust.
+  if (impl_->health &&
+      impl_->options.health.mode == resilience::HealthMode::kRepair)
+    impl_->refresh_good_state();
   sync_mirrors();
 }
 

@@ -326,6 +326,19 @@ std::string SolverRunReport::summary() const {
       os << " after " << result.failovers << " failover(s)";
     os << '\n';
   }
+  if (result.health.mode != resilience::HealthMode::kOff) {
+    os << "health: mode " << resilience::to_string(result.health.mode)
+       << ", " << result.health.checks << " deep check(s), "
+       << result.health.detections << " detection(s), "
+       << result.health.repairs << " repair(s)";
+    if (result.health.first_detection_iteration >= 0)
+      os << "; first detection at iteration "
+         << result.health.first_detection_iteration;
+    os << '\n';
+    if (!result.health.last_diagnosis.empty())
+      os << "        last diagnosis: " << result.health.last_diagnosis
+         << '\n';
+  }
   return os.str();
 }
 

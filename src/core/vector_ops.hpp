@@ -75,6 +75,20 @@ inline real vnorm(std::span<const real> x) {
   return std::sqrt(sum);
 }
 
+/// Deterministic element sum (serial Kahan compensated sum) — the
+/// cheap side of the ABFT checksum identities the health monitor
+/// verifies (sum(A v) = (A^T 1) . v and its adjoint dual).
+inline real vsum(std::span<const real> x) {
+  real sum = 0, comp = 0;
+  for (real v : x) {
+    const real term = v - comp;
+    const real next = sum + term;
+    comp = (next - sum) - term;
+    sum = next;
+  }
+  return sum;
+}
+
 /// Deterministic dot product (serial Kahan compensated sum).
 inline real vdot(std::span<const real> a, std::span<const real> b) {
   real sum = 0, comp = 0;

@@ -31,6 +31,7 @@ using core::vaxpy;
 using core::vdot;
 using core::vnorm;
 using core::vscale;
+using core::vsum;
 using core::vxpby;
 
 namespace {
@@ -261,7 +262,21 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
   std::vector<double> iteration_max(
       static_cast<std::size_t>(options.lsqr.max_iterations), 0.0);
 
+  const resilience::HealthConfig& hcfg = options.lsqr.health;
+  result.health.mode = hcfg.mode;
+  // Rollback/replay budget of repair mode, spent across attempts.
+  int sdc_repairs = 0;
+
   for (;;) {
+    // Per-attempt SDC bookkeeping: each rank deposits its verdict at its
+    // own slot (published by the verdict allreduce acting as the fence),
+    // rank 0 deposits its monitor report and the collective repair
+    // decision; the driver consumes them after the join.
+    bool sdc_tripped = false;
+    resilience::HealthVerdict sdc_verdict;
+    resilience::HealthReport attempt_health;
+    std::vector<resilience::HealthVerdict> rank_verdicts(
+        static_cast<std::size_t>(n_ranks));
     // Auto-resume: newest checkpoint that passes CRC framing *and*
     // parses against this problem's fingerprint; anything else is
     // skipped with a warning. Also the recovery path after a restart.
@@ -349,6 +364,28 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
         backends::DeviceContext device(options.lsqr.device_capacity,
                                        "rank" + std::to_string(rank));
         Aprod aprod(local, device, options.lsqr.aprod);
+        resilience::HealthMonitor monitor(hcfg, rank);
+        // Scratch for the collective true-residual recompute.
+        std::vector<real> resid(hcfg.enabled() ? m_local : 0, real{0});
+        // ABFT checksum vectors over this rank's slice: col_check =
+        // A_local^T 1, row_check = A_local 1. The aprod1 identity is
+        // rank-local (u is distributed); the aprod2 identity needs the
+        // rank contributions row_check_r . u_r allreduce-summed, since
+        // v's scatter partials are.
+        std::vector<real> col_check, row_check;
+        real col_check_norm = 0, row_check_norm_global = 0;
+        if (hcfg.enabled()) {
+          std::vector<real> ones(std::max(m_local, n), real{1});
+          col_check.assign(n, real{0});
+          aprod.apply2(std::span<const real>(ones.data(), m_local),
+                       col_check);
+          row_check.assign(m_local, real{0});
+          aprod.apply1(std::span<const real>(ones.data(), n), row_check);
+          col_check_norm = vnorm(col_check);
+          const real rn = vnorm(row_check);
+          row_check_norm_global =
+              std::sqrt(comm.allreduce(rn * rn, ReduceOp::kSum));
+        }
 
         if (options.autotune) {
           // Rank 0 searches on its own slice; everyone else waits in the
@@ -456,6 +493,14 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
           arnorm = alpha * beta;
         }
 
+        // Sums of the current basis vectors for the ABFT identities
+        // (rescaled alongside the normalizations, never re-summed).
+        real s_u = 0, s_v = 0;
+        if (hcfg.enabled()) {
+          s_u = vsum(u);
+          s_v = vsum(v);
+        }
+
         const real damp = options.lsqr.damp;
         LsqrStop istop = LsqrStop::kIterationLimit;
         auto& injector = resilience::FaultInjector::global();
@@ -486,16 +531,70 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
             // restart loop below.
             injector.maybe_kill_rank(rank, itn);
 
+            const real s_u_old = s_u, s_v_old = s_v;
+            resilience::HealthVerdict abft;
+
             vscale(backend, u, -alpha);
             aprod.apply1(v, u);
+            // sdc: clause hook — a flip here lands in this rank's local
+            // slice of u; the rank-local ABFT checksum catches it in
+            // the same iteration, before the norm allreduce spreads a
+            // poisoned beta to every rank.
+            if (injector.armed())
+              if (const auto flip = injector.on_kernel_output(
+                      "aprod1", itn, rank, u.size()))
+                resilience::apply_bitflip(std::span<real>(u), *flip);
+            if (hcfg.enabled()) {
+              // Rank-local identity: sum(A_local v - alpha u_old) must
+              // equal col_check . v - alpha sum(u_old) to rounding.
+              const real actual = vsum(u);
+              const real expected = vdot(col_check, v) - alpha * s_u_old;
+              const real scale =
+                  col_check_norm +
+                  std::abs(alpha) *
+                      std::sqrt(static_cast<real>(m_local)) +
+                  std::abs(actual);
+              abft = monitor.check_kernel_checksum(itn, "aprod1", actual,
+                                                   expected, scale);
+              s_u = actual;
+            }
             beta = global_norm_rows(u);
             if (beta > 0) {
               vscale(backend, u, real{1} / beta);
+              if (hcfg.enabled()) s_u /= beta;
               anorm = std::sqrt(anorm * anorm + alpha * alpha +
                                 beta * beta + damp * damp);
               apply2_global(u, v, -beta);  // v = A^T u - beta v
+              // A flip here is *post*-allreduce: only the targeted
+              // rank's replica of v diverges — the minority-divergence
+              // case; the checksum trips on that rank alone and the
+              // collective verdict reduction below spreads the verdict.
+              if (injector.armed())
+                if (const auto flip = injector.on_kernel_output(
+                        "aprod2", itn, rank, v.size()))
+                  resilience::apply_bitflip(std::span<real>(v), *flip);
+              if (hcfg.enabled()) {
+                // Global identity: v's scatter partials were allreduced,
+                // so the expected sum needs every rank's contribution
+                // row_check_r . u_r (collective — runs on all ranks).
+                const real rc = comm.allreduce(vdot(row_check, u),
+                                               ReduceOp::kSum);
+                const real actual = vsum(v);
+                const real expected = rc - beta * s_v_old;
+                const real scale =
+                    row_check_norm_global +
+                    std::abs(beta) * std::sqrt(static_cast<real>(n)) +
+                    std::abs(actual);
+                if (abft.healthy())
+                  abft = monitor.check_kernel_checksum(
+                      itn, "aprod2", actual, expected, scale);
+                s_v = actual;
+              }
               alpha = vnorm(v);
-              if (alpha > 0) vscale(backend, v, real{1} / alpha);
+              if (alpha > 0) {
+                vscale(backend, v, real{1} / alpha);
+                if (hcfg.enabled()) s_v /= alpha;
+              }
             }
 
             const real rhobar1 = std::sqrt(rhobar * rhobar + damp * damp);
@@ -540,6 +639,113 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
                 comm.allreduce(static_cast<real>(t_local), ReduceOp::kMax);
             if (rank == 0)
               iteration_max[static_cast<std::size_t>(itn - 1)] = t_max;
+
+            // --- silent-corruption defense (collective) ----------------
+            // Runs *before* the checkpoint seal below, so a state that
+            // trips an invariant is never persisted as a rollback target.
+            if (hcfg.enabled()) {
+              resilience::HealthVerdict verdict = abft;  // same-iteration
+              if (verdict.healthy())
+                verdict = monitor.check_scalars(itn, alpha, beta, rnorm,
+                                                arnorm, xnorm);
+              if (verdict.healthy())
+                verdict = monitor.check_rnorm_window(itn, rnorm);
+              if (hcfg.due(itn)) {
+                // Deep pass. Its collectives run unconditionally on
+                // every rank — including one that already tripped a
+                // local check — so the world stays in lockstep.
+                const std::array<real, 16> sc = {
+                    alpha, beta, bnorm, rhobar, phibar, rnorm, arnorm,
+                    anorm, acond, ddnorm, res2, xnorm, xxnorm, z, cs2,
+                    sn2};
+                const real h = static_cast<real>(
+                    resilience::fold_hash_to_real(resilience::state_hash(
+                        std::span<const real>(sc.data(), sc.size()),
+                        {v, w, x})));
+                const real h_min = comm.allreduce(h, ReduceOp::kMin);
+                const real h_max = comm.allreduce(h, ReduceOp::kMax);
+                std::fill(resid.begin(), resid.end(), real{0});
+                aprod.apply1(x, resid);  // resid = A_local x
+                real ss = 0, comp = 0;  // Kahan, like vnorm
+                const auto b_local = local.known_terms();
+                for (std::size_t i = 0; i < m_local; ++i) {
+                  const real d = b_local[i] - resid[i];
+                  const real term = d * d - comp;
+                  const real next = ss + term;
+                  comp = (next - ss) - term;
+                  ss = next;
+                }
+                real rss = comm.allreduce(ss, ReduceOp::kSum);
+                if (damp != 0) {
+                  const real xn = vnorm(x);
+                  rss += damp * damp * xn * xn;
+                }
+                if (verdict.healthy())
+                  verdict = monitor.check_vector(
+                      itn, "v", v, alpha > 0 ? real{1} : real{-1},
+                      hcfg.unit_norm_tol,
+                      resilience::HealthInvariant::kUnitNorm);
+                if (verdict.healthy())
+                  verdict = monitor.check_vector(
+                      itn, "x", x, xnorm, hcfg.xnorm_rel_tol,
+                      resilience::HealthInvariant::kXnormAgreement);
+                if (verdict.healthy() && h_min != h_max) {
+                  verdict.invariant =
+                      resilience::HealthInvariant::kStateHashDisagreement;
+                  std::ostringstream os;
+                  os << "replicated-state hash min " << h_min
+                     << " != max " << h_max << " across " << comm.size()
+                     << " rank(s)";
+                  verdict.detail = os.str();
+                }
+                // Skipped deep in the convergence plateau, where the
+                // difference is cancellation, not corruption.
+                if (verdict.healthy() && rnorm > bnorm * real{1e-9})
+                  verdict = monitor.check_agreement(
+                      itn, "rnorm", std::sqrt(rss), rnorm,
+                      hcfg.residual_rel_tol,
+                      resilience::HealthInvariant::kResidualAgreement);
+                if (rank == 0) monitor.note_deep_check();
+              }
+              rank_verdicts[static_cast<std::size_t>(rank)] = verdict;
+              // Worst invariant across ranks: every rank takes the same
+              // branch, and the allreduce doubles as the fence that
+              // publishes the verdict slots before anyone reads them.
+              const real worst = comm.allreduce(
+                  static_cast<real>(static_cast<int>(verdict.invariant)),
+                  ReduceOp::kMax);
+              if (worst != 0) {
+                resilience::HealthVerdict chosen;
+                for (const auto& rv : rank_verdicts)
+                  if (!rv.healthy()) {
+                    chosen = rv;
+                    break;
+                  }
+                if (rank == 0) monitor.record_detection(chosen);
+                if (hcfg.mode == resilience::HealthMode::kRepair) {
+                  // Leave the attempt collectively; the driver rolls
+                  // back and replays, bounded by max_repairs.
+                  if (rank == 0) {
+                    sdc_tripped = true;
+                    sdc_verdict = chosen;
+                  }
+                  break;
+                }
+                istop = chosen.invariant ==
+                                resilience::HealthInvariant::kScalarFinite
+                            ? LsqrStop::kNonFinite
+                            : LsqrStop::kSdcDetected;
+                break;
+              }
+            } else if (!std::isfinite(rnorm) || !std::isfinite(arnorm)) {
+              // Detection floor, active even with health off: a
+              // non-finite residual estimate satisfies no stop test and
+              // would burn the whole budget. Healthy-off trajectories
+              // are bit-identical across ranks, so this local break is
+              // taken by every rank at the same iteration.
+              istop = LsqrStop::kNonFinite;
+              break;
+            }
 
             if (manager.due(itn)) {
               // Reassemble the global u (collective): each rank deposits
@@ -637,7 +843,33 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
                 reg.gauge("comm.exposure_fraction").set(r.max);
           }
         }
+        if (rank == 0) attempt_health = monitor.report();
       });
+      // Fold this attempt's health outcome before deciding whether it
+      // ended in a rollback (repairs accumulate across attempts).
+      if (hcfg.enabled()) {
+        result.health.checks += attempt_health.checks;
+        result.health.detections += attempt_health.detections;
+        if (result.health.first_detection_iteration < 0)
+          result.health.first_detection_iteration =
+              attempt_health.first_detection_iteration;
+        if (!attempt_health.last_diagnosis.empty())
+          result.health.last_diagnosis = attempt_health.last_diagnosis;
+      }
+      if (sdc_tripped) {
+        if (sdc_repairs >= hcfg.max_repairs) {
+          result.health.unrepaired = true;
+          resilience::note_resilience_event("sdc.unrepaired",
+                                            sdc_verdict.describe());
+          throw resilience::SdcError(sdc_verdict);
+        }
+        ++sdc_repairs;
+        result.health.repairs += 1;
+        resilience::note_resilience_event(
+            "sdc.repaired",
+            "distributed rollback after " + sdc_verdict.describe());
+        continue;  // replay: newest valid checkpoint, or iteration 0
+      }
       result.final_ranks = n_ranks;
       result.checkpoints_written = manager.written();
       result.rank_metrics = std::move(rank_rows);

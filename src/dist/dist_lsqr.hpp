@@ -21,6 +21,14 @@ namespace gaia::dist {
 
 struct DistLsqrOptions {
   int n_ranks = 2;
+  /// Per-rank solver options. `lsqr.health` also governs the distributed
+  /// SDC defense: scalar invariants every iteration plus, every
+  /// `health.check_every` iterations, a cross-rank agreement pass — the
+  /// replicated v/w/x state is hashed per rank and allreduce-compared
+  /// (min == max or a replica diverged) alongside a collective
+  /// true-residual recompute. All detection decisions are themselves
+  /// collective (an allreduce-max of per-rank verdicts), so a corrupted
+  /// rank can never desync the world's collective order.
   core::LsqrOptions lsqr{};
   /// Periodic distributed checkpoints (rank 0 seals the replicated +
   /// reassembled state every `checkpoint.every` iterations). Also the
@@ -93,6 +101,14 @@ struct DistLsqrResult {
   std::vector<std::string> trace_files;
   std::string merged_trace_file;
   std::uint64_t trace_dropped_events = 0;
+
+  /// Health-monitor outcome accumulated across attempts (mode kOff with
+  /// zero counters unless options.lsqr.health enabled it). In repair
+  /// mode a collective detection aborts the attempt and the driver
+  /// replays from the newest valid checkpoint — or from iteration 0 when
+  /// checkpointing is off — bounded by health.max_repairs; exhausting
+  /// the budget throws resilience::SdcError with the diagnosis.
+  resilience::HealthReport health{};
 };
 
 /// Solves A x ~= A.known_terms() on `n_ranks` simulated MPI ranks.

@@ -1,5 +1,6 @@
 #include "resilience/fault_injector.hpp"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
@@ -17,6 +18,7 @@ std::optional<FaultSite> parse_site(std::string_view name) {
   if (name == "d2h") return FaultSite::kD2H;
   if (name == "rank") return FaultSite::kRank;
   if (name == "ckpt" || name == "checkpoint") return FaultSite::kCheckpoint;
+  if (name == "sdc") return FaultSite::kSdc;
   return std::nullopt;
 }
 
@@ -29,30 +31,39 @@ double event_uniform(std::uint64_t seed, FaultSite site,
   return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
 }
 
-double parse_probability(const std::string& clause_text,
-                         const std::string& value) {
-  try {
-    const double p = std::stod(value);
-    GAIA_CHECK(p >= 0 && p <= 1,
-               "fault probability out of [0,1] in clause '" + clause_text +
-                   "'");
-    return p;
-  } catch (const Error&) {
-    throw;
-  } catch (const std::exception&) {
-    throw Error("malformed fault probability in clause '" + clause_text +
-                "'");
-  }
+/// Positioned parse failure: every grammar error names the offending
+/// clause *and* its byte offset within the spec, so a typo in a
+/// GAIA_FAULTS campaign dies loudly instead of running healthy.
+[[noreturn]] void fail_at(std::size_t offset, const std::string& clause_text,
+                          const std::string& why) {
+  throw Error("fault spec error at offset " + std::to_string(offset) +
+              " in clause '" + clause_text + "': " + why);
 }
 
-std::int64_t parse_int_field(const std::string& clause_text,
+/// Strict full-string numeric parses: "0.5x" or "12abc" are grammar
+/// errors, not the silently truncated values std::stod/stoll would give.
+double parse_probability(std::size_t offset, const std::string& clause_text,
+                         const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size())
+    fail_at(offset, clause_text, "malformed probability '" + value + "'");
+  if (!(p >= 0 && p <= 1))
+    fail_at(offset, clause_text,
+            "probability " + value + " out of [0,1]");
+  return p;
+}
+
+std::int64_t parse_int_field(std::size_t offset,
+                             const std::string& clause_text,
+                             const std::string& key,
                              const std::string& value) {
-  try {
-    return std::stoll(value);
-  } catch (const std::exception&) {
-    throw Error("malformed integer field in fault clause '" + clause_text +
-                "'");
-  }
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size())
+    fail_at(offset, clause_text,
+            "malformed integer '" + value + "' for field '" + key + "'");
+  return static_cast<std::int64_t>(v);
 }
 
 }  // namespace
@@ -69,6 +80,8 @@ std::string to_string(FaultSite site) {
       return "rank";
     case FaultSite::kCheckpoint:
       return "ckpt";
+    case FaultSite::kSdc:
+      return "sdc";
   }
   return "unknown";
 }
@@ -77,27 +90,46 @@ FaultSpec parse_fault_spec(std::string_view spec,
                            std::uint64_t default_seed) {
   FaultSpec result;
   result.seed = default_seed;
-  for (const std::string& raw : util::split(spec, ';')) {
+  // Clauses are walked by offset (not via util::split) so every error
+  // can report where in the spec it sits.
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::size_t raw_begin = pos;
+    std::string_view raw = spec.substr(pos, end - pos);
+    pos = end + 1;
+
+    // Offset of the trimmed clause within the full spec.
+    std::size_t lead = 0;
+    while (lead < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[lead])))
+      ++lead;
+    const std::size_t offset = raw_begin + lead;
     const std::string clause_text = util::trim(raw);
     if (clause_text.empty()) continue;
 
     // Global `seed=N` clause (no site prefix).
     if (clause_text.rfind("seed=", 0) == 0) {
-      result.seed = static_cast<std::uint64_t>(
-          parse_int_field(clause_text, clause_text.substr(5)));
+      result.seed = static_cast<std::uint64_t>(parse_int_field(
+          offset, clause_text, "seed", clause_text.substr(5)));
       continue;
     }
 
     const auto colon = clause_text.find(':');
-    GAIA_CHECK(colon != std::string::npos,
-               "fault clause missing ':' — '" + clause_text + "'");
-    const auto site = parse_site(util::trim(clause_text.substr(0, colon)));
-    GAIA_CHECK(site.has_value(),
-               "unknown fault site in clause '" + clause_text + "'");
+    if (colon == std::string::npos)
+      fail_at(offset, clause_text, "missing ':' after the fault site");
+    const std::string site_name = util::trim(clause_text.substr(0, colon));
+    const auto site = parse_site(site_name);
+    if (!site.has_value())
+      fail_at(offset, clause_text, "unknown fault site '" + site_name + "'");
 
     FaultClause clause;
     clause.site = *site;
-    if (clause.site == FaultSite::kRank) clause.max_count = 1;
+    // One-shot by default for the targeted clauses: a rank dies once, an
+    // SDC flip lands once — replay after a rollback must run clean.
+    if (clause.site == FaultSite::kRank || clause.site == FaultSite::kSdc)
+      clause.max_count = 1;
 
     for (const std::string& raw_field :
          util::split(clause_text.substr(colon + 1), ',')) {
@@ -110,40 +142,57 @@ FaultSpec parse_fault_spec(std::string_view spec,
           eq == std::string::npos ? "" : util::trim(field.substr(eq + 1));
 
       if (key == "p") {
-        clause.probability = parse_probability(clause_text, value);
+        clause.probability = parse_probability(offset, clause_text, value);
       } else if (key == "backend") {
         clause.backend = value;
       } else if (key == "count") {
-        clause.max_count = parse_int_field(clause_text, value);
+        clause.max_count = parse_int_field(offset, clause_text, key, value);
       } else if (key == "nth") {
-        clause.nth = parse_int_field(clause_text, value);
+        clause.nth = parse_int_field(offset, clause_text, key, value);
       } else if (key == "rank") {
-        clause.rank = parse_int_field(clause_text, value);
+        clause.rank = parse_int_field(offset, clause_text, key, value);
       } else if (key == "iter") {
-        clause.iteration = parse_int_field(clause_text, value);
+        clause.iteration = parse_int_field(offset, clause_text, key, value);
+      } else if (key == "kernel") {
+        if (value.empty())
+          fail_at(offset, clause_text, "kernel= needs a kernel name");
+        clause.kernel = value;
+      } else if (key == "bit") {
+        const std::int64_t bit =
+            parse_int_field(offset, clause_text, key, value);
+        if (bit < 0 || bit > 63)
+          fail_at(offset, clause_text,
+                  "bit " + value + " out of [0,63]");
+        clause.bit = static_cast<int>(bit);
+      } else if (key == "index") {
+        clause.index = parse_int_field(offset, clause_text, key, value);
+        if (clause.index < 0)
+          fail_at(offset, clause_text, "index must be >= 0");
       } else if (key == "mode") {
         if (value == "fail") {
           clause.transfer_mode = TransferFault::kFail;
         } else if (value == "corrupt") {
           clause.transfer_mode = TransferFault::kCorrupt;
         } else {
-          throw Error("unknown transfer mode '" + value + "' in clause '" +
-                      clause_text + "'");
+          fail_at(offset, clause_text,
+                  "unknown transfer mode '" + value + "'");
         }
       } else if (key == "truncate") {
         clause.ckpt_mode = CheckpointFault::kTruncate;
       } else if (key == "bitflip") {
         clause.ckpt_mode = CheckpointFault::kBitflip;
       } else {
-        throw Error("unknown field '" + key + "' in fault clause '" +
-                    clause_text + "'");
+        fail_at(offset, clause_text, "unknown field '" + key + "'");
       }
     }
 
-    if (clause.site == FaultSite::kRank) {
-      GAIA_CHECK(clause.rank >= 0 && clause.iteration >= 1,
-                 "rank clause needs rank= and iter= — '" + clause_text +
-                     "'");
+    if (clause.site == FaultSite::kRank &&
+        (clause.rank < 0 || clause.iteration < 1))
+      fail_at(offset, clause_text, "rank clause needs rank= and iter=");
+    if (clause.site == FaultSite::kSdc) {
+      if (clause.kernel.empty() || clause.iteration < 1)
+        fail_at(offset, clause_text, "sdc clause needs kernel= and iter=");
+      if (clause.rank < 0) clause.rank = 0;
     }
     result.clauses.push_back(clause);
   }
@@ -294,6 +343,49 @@ std::optional<CheckpointFault> FaultInjector::on_checkpoint_write() {
                          ? "truncate"
                          : "bitflip");
     return clause.ckpt_mode;
+  }
+  return std::nullopt;
+}
+
+std::optional<SdcFlip> FaultInjector::on_kernel_output(
+    std::string_view kernel, std::int64_t iteration, int rank,
+    std::size_t size) {
+  if (!armed() || size == 0) return std::nullopt;
+  for (auto& state : clauses_) {
+    const FaultClause& clause = state->clause;
+    if (clause.site != FaultSite::kSdc) continue;
+    // `kernel=aprod2` hits the aprod2 output pass; a sub-kernel name
+    // like `aprod2_att` also matches its pass (the flip lands in the
+    // combined output vector — the finest silent granularity there is).
+    const std::string_view wanted = clause.kernel;
+    const bool name_match =
+        wanted == kernel ||
+        (wanted.size() > kernel.size() && wanted.rfind(kernel, 0) == 0 &&
+         wanted[kernel.size()] == '_');
+    if (!name_match) continue;
+    if (clause.iteration != iteration || clause.rank != rank) continue;
+    if (clause.max_count >= 0 &&
+        state->fired.fetch_add(1, std::memory_order_relaxed) >=
+            clause.max_count)
+      continue;
+    SdcFlip flip;
+    flip.bit = clause.bit;
+    if (clause.index >= 0) {
+      flip.index = static_cast<std::size_t>(clause.index) % size;
+    } else {
+      // Seeded element draw: deterministic in (seed, iteration, rank).
+      util::SplitMix64 sm(seed_ ^
+                          (static_cast<std::uint64_t>(iteration) << 16) ^
+                          static_cast<std::uint64_t>(rank + 1) *
+                              0x9e3779b97f4a7c15ull);
+      flip.index = static_cast<std::size_t>(sm.next() % size);
+    }
+    record_injection(FaultSite::kSdc,
+                     std::string(kernel) + "[" + std::to_string(flip.index) +
+                         "] bit " + std::to_string(flip.bit) + " rank " +
+                         std::to_string(rank) + " iteration " +
+                         std::to_string(iteration));
+    return flip;
   }
   return std::nullopt;
 }

@@ -7,8 +7,9 @@
 /// makes failure a first-class, reproducible scenario: armed via the
 /// `GAIA_FAULTS` environment variable or the `--faults` CLI flag, it can
 /// fail kernel launches, fail or corrupt simulated H2D/D2H transfers,
-/// kill a rank at a chosen iteration, and truncate or bit-flip
-/// checkpoint files.
+/// kill a rank at a chosen iteration, truncate or bit-flip checkpoint
+/// files, and — the silent-data-corruption scenario — flip a single bit
+/// in a kernel's output vector with no CRC or exception to announce it.
 ///
 /// Spec grammar (clauses separated by ';', fields by ','):
 ///
@@ -19,10 +20,23 @@
 ///   rank:iter=200,rank=1          rank 1 dies entering iteration 200
 ///   ckpt:truncate,nth=2           truncate the 2nd checkpoint written
 ///   ckpt:bitflip                  bit-flip every checkpoint written
+///   sdc:kernel=aprod2,iter=12     silently flip one bit of the aprod2
+///                                 output vector at iteration 12 (rank 0)
+///   sdc:kernel=aprod1,iter=30,rank=1,bit=62,index=17
+///                                 full form: victim rank, bit position
+///                                 (0-63, default 51 = top mantissa bit),
+///                                 element index (default: seeded draw)
 ///   seed=42                       injector RNG seed (default 1746)
 ///
 /// Optional fields: `count=N` caps how many times a clause fires
-/// (rank clauses default to 1, probabilistic clauses to unlimited).
+/// (rank and sdc clauses default to 1, probabilistic clauses to
+/// unlimited).
+///
+/// Malformed specs fail loudly: unknown sites, unknown field keys,
+/// out-of-range probabilities/bits and trailing garbage in numeric
+/// values all raise a gaia::Error carrying the byte offset of the
+/// offending clause within the spec (a typo in a fault campaign must
+/// never silently run the healthy configuration).
 ///
 /// Determinism: each clause owns a monotonically increasing event
 /// counter; the decision for event k is a pure function of
@@ -37,14 +51,17 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/types.hpp"
 
 namespace gaia::resilience {
 
@@ -55,7 +72,9 @@ enum class FaultSite : std::uint8_t {
   kD2H,          ///< device-to-host transfer
   kRank,         ///< rank death inside a distributed solve
   kCheckpoint,   ///< checkpoint file corruption
+  kSdc,          ///< silent bit flip in a kernel output vector
 };
+inline constexpr std::size_t kNumFaultSites = 6;
 
 [[nodiscard]] std::string to_string(FaultSite site);
 
@@ -100,6 +119,20 @@ enum class TransferFault : std::uint8_t {
 /// How an armed checkpoint clause corrupts one written file.
 enum class CheckpointFault : std::uint8_t { kTruncate, kBitflip };
 
+/// One silent bit flip the caller applies to a kernel output vector.
+struct SdcFlip {
+  std::size_t index = 0;  ///< element whose bit is flipped
+  int bit = 51;           ///< bit position within the IEEE-754 double
+};
+
+/// Applies the flip in place — silent by construction: no exception, no
+/// CRC, no retry path sees it. Only the health monitor can.
+inline void apply_bitflip(std::span<real> v, const SdcFlip& flip) {
+  auto bits = std::bit_cast<std::uint64_t>(v[flip.index]);
+  bits ^= std::uint64_t{1} << flip.bit;
+  v[flip.index] = std::bit_cast<real>(bits);
+}
+
 /// One parsed clause of the fault spec.
 struct FaultClause {
   FaultSite site = FaultSite::kKernel;
@@ -108,14 +141,18 @@ struct FaultClause {
   TransferFault transfer_mode = TransferFault::kFail;
   CheckpointFault ckpt_mode = CheckpointFault::kTruncate;
   std::int64_t nth = -1;             ///< ckpt: corrupt only the nth write
-  std::int64_t rank = -1;            ///< rank clause: victim rank
-  std::int64_t iteration = -1;       ///< rank clause: death iteration
+  std::int64_t rank = -1;            ///< rank/sdc clause: victim rank
+  std::int64_t iteration = -1;       ///< rank/sdc clause: trigger iteration
+  std::string kernel;                ///< sdc clause: kernel-output site
+  int bit = 51;                      ///< sdc clause: bit to flip
+  std::int64_t index = -1;           ///< sdc clause: element (-1 = seeded)
   std::int64_t max_count = -1;       ///< -1 = unlimited
 };
 
-/// Parses the spec grammar above; throws gaia::Error with the offending
-/// clause on malformed input. The returned seed defaults to
-/// `default_seed` unless the spec carries a `seed=` clause.
+/// Parses the spec grammar above; throws gaia::Error naming the
+/// offending clause and its byte offset on malformed input. The returned
+/// seed defaults to `default_seed` unless the spec carries a `seed=`
+/// clause.
 struct FaultSpec {
   std::vector<FaultClause> clauses;
   std::uint64_t seed = 1746;
@@ -160,6 +197,17 @@ class FaultInjector {
   /// write; advances the write counter).
   [[nodiscard]] std::optional<CheckpointFault> on_checkpoint_write();
 
+  /// Decision for one kernel-output vector of `size` elements: when an
+  /// `sdc:` clause matches (`kernel` name or its prefix group, e.g. a
+  /// clause naming `aprod2_att` matches the combined `aprod2` output
+  /// pass; iteration; rank), returns the bit flip the caller must apply
+  /// via `apply_bitflip`. The flip is recorded in the injector's own
+  /// counters/trace but nothing on the data path is told — that is the
+  /// point.
+  [[nodiscard]] std::optional<SdcFlip> on_kernel_output(
+      std::string_view kernel, std::int64_t iteration, int rank,
+      std::size_t size);
+
   /// Total faults injected at a site since configure().
   [[nodiscard]] std::uint64_t injected(FaultSite site) const;
   [[nodiscard]] std::uint64_t injected_total() const;
@@ -182,7 +230,7 @@ class FaultInjector {
   std::atomic<bool> armed_{false};
   std::uint64_t seed_ = 1746;
   std::vector<std::unique_ptr<ClauseState>> clauses_;
-  std::atomic<std::uint64_t> injected_by_site_[5] = {};
+  std::atomic<std::uint64_t> injected_by_site_[kNumFaultSites] = {};
 };
 
 }  // namespace gaia::resilience

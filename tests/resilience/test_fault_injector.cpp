@@ -140,6 +140,107 @@ TEST_F(FaultInjectorTest, NthCheckpointClauseCorruptsOnlyThatWrite) {
   EXPECT_EQ(inj.on_checkpoint_write(), CheckpointFault::kBitflip);
 }
 
+TEST_F(FaultInjectorTest, ParsesSdcClausesWithDefaults) {
+  const FaultSpec spec =
+      parse_fault_spec("sdc:kernel=aprod2,iter=12", 7);
+  ASSERT_EQ(spec.clauses.size(), 1u);
+  const FaultClause& c = spec.clauses[0];
+  EXPECT_EQ(c.site, FaultSite::kSdc);
+  EXPECT_EQ(c.kernel, "aprod2");
+  EXPECT_EQ(c.iteration, 12);
+  EXPECT_EQ(c.rank, 0);        // default victim: rank 0
+  EXPECT_EQ(c.bit, 51);        // default: top mantissa bit
+  EXPECT_EQ(c.index, -1);      // default: seeded element draw
+  EXPECT_EQ(c.max_count, 1);   // sdc clauses fire once by default
+
+  const FaultSpec full = parse_fault_spec(
+      "sdc:kernel=aprod1,iter=30,rank=1,bit=62,index=17,count=4");
+  ASSERT_EQ(full.clauses.size(), 1u);
+  EXPECT_EQ(full.clauses[0].kernel, "aprod1");
+  EXPECT_EQ(full.clauses[0].rank, 1);
+  EXPECT_EQ(full.clauses[0].bit, 62);
+  EXPECT_EQ(full.clauses[0].index, 17);
+  EXPECT_EQ(full.clauses[0].max_count, 4);
+}
+
+TEST_F(FaultInjectorTest, MalformedSdcSpecsCarryPositionedDiagnoses) {
+  // The error names the clause, the byte offset, and what is wrong —
+  // a typo'd campaign must never silently run healthy.
+  auto expect_error_mentions = [](const std::string& spec,
+                                  const std::string& needle) {
+    try {
+      (void)parse_fault_spec(spec);
+      FAIL() << "expected Error for '" << spec << "'";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("offset"), std::string::npos) << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+  };
+  expect_error_mentions("sdc:iter=12", "kernel");        // kernel missing
+  expect_error_mentions("sdc:kernel=aprod2", "iter");    // iteration missing
+  expect_error_mentions("sdc:kernel=aprod2,iter=12,bit=64", "bit");
+  expect_error_mentions("sdc:kernel=aprod2,iter=12,bitt=51", "bitt");
+  // Trailing junk in numeric values is garbage, not a number.
+  EXPECT_THROW((void)parse_fault_spec("sdc:kernel=a,iter=12abc"), Error);
+  EXPECT_THROW((void)parse_fault_spec("sdc:kernel=a,iter=12,bit=51x"), Error);
+  // A later clause reports an offset past the first clause.
+  try {
+    (void)parse_fault_spec("kernel:p=0.5;sdc:kernel=a,iter=1,nope=2");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nope"), std::string::npos) << what;
+    EXPECT_EQ(what.find("offset 0"), std::string::npos) << what;
+  }
+}
+
+TEST_F(FaultInjectorTest, SdcClauseFiresOnceDeterministically) {
+  FaultInjector& inj = FaultInjector::global();
+  inj.configure("sdc:kernel=aprod2,iter=12", 1746);
+  // Wrong kernel, iteration, or rank: no flip.
+  EXPECT_EQ(inj.on_kernel_output("aprod1", 12, 0, 100), std::nullopt);
+  EXPECT_EQ(inj.on_kernel_output("aprod2", 11, 0, 100), std::nullopt);
+  EXPECT_EQ(inj.on_kernel_output("aprod2", 12, 1, 100), std::nullopt);
+  const auto flip = inj.on_kernel_output("aprod2", 12, 0, 100);
+  ASSERT_TRUE(flip.has_value());
+  EXPECT_LT(flip->index, 100u);
+  EXPECT_EQ(flip->bit, 51);
+  // Default count=1: the clause is spent (the repaired replay passes
+  // the same site again and must run clean).
+  EXPECT_EQ(inj.on_kernel_output("aprod2", 12, 0, 100), std::nullopt);
+  EXPECT_EQ(inj.injected(FaultSite::kSdc), 1u);
+
+  // Same seed, same element drawn; different seed, (almost surely) not.
+  inj.configure("sdc:kernel=aprod2,iter=12", 1746);
+  const auto again = inj.on_kernel_output("aprod2", 12, 0, 100);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->index, flip->index);
+}
+
+TEST_F(FaultInjectorTest, SdcClauseMatchesKernelPrefixGroups) {
+  FaultInjector& inj = FaultInjector::global();
+  // A clause naming a concrete scatter kernel matches the combined
+  // output pass of its group ("aprod2" covers aprod2_att et al.).
+  inj.configure("sdc:kernel=aprod2_att,iter=3,index=0,bit=50", 1);
+  const auto flip = inj.on_kernel_output("aprod2", 3, 0, 10);
+  ASSERT_TRUE(flip.has_value());
+  EXPECT_EQ(flip->index, 0u);
+  EXPECT_EQ(flip->bit, 50);
+}
+
+TEST_F(FaultInjectorTest, ApplyBitflipIsItsOwnInverse) {
+  std::vector<real> v = {1.0, -2.5, 3.25};
+  const std::vector<real> orig = v;
+  const SdcFlip flip{1, 51};
+  apply_bitflip(std::span<real>(v), flip);
+  EXPECT_NE(v[1], orig[1]);
+  EXPECT_EQ(v[0], orig[0]);
+  EXPECT_EQ(v[2], orig[2]);
+  apply_bitflip(std::span<real>(v), flip);
+  EXPECT_EQ(v, orig);
+}
+
 TEST_F(FaultInjectorTest, ConfigureFromEnvOverridePath) {
   FaultInjector& inj = FaultInjector::global();
   inj.configure_from_env("kernel:p=1", 99);
