@@ -1,86 +1,170 @@
 /// \file ablation_storage.cpp
-/// \brief Storage-format ablation: the paper's structure-exploiting
-/// layout (paper SIII-B: matrixIndexAstro/matrixIndexAtt/instrCol
-/// instead of per-non-zero column indexes) vs generic CSR — memory
-/// footprint and measured host SpMV time.
+/// \brief Storage-layout ablation over the production kernel stack.
+///
+/// Three comparisons, all driven through the same `LayoutedSystem` +
+/// `KernelRegistry` path the solver uses (no hand-rolled loops, so the
+/// numbers are the production numbers):
+///  1. footprint: seed AoS vs tiled SoA vs sliced-instrumental derived
+///     bytes, against generic CSR as the outside reference (the paper's
+///     SIII-B argument: the custom layout is what keeps production at
+///     ~19 TB instead of ~31 TB);
+///  2. measured per-kernel medians per layout on the selected backend;
+///  3. an optional `--out` perf baseline with layout-labeled rows so
+///     `gaia-perfgate` can track each (kernel, layout) series.
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "core/aprod.hpp"
+#include "backends/scratch_arena.hpp"
+#include "core/kernel_catalog.hpp"
+#include "core/system_view.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/generator.hpp"
+#include "matrix/layouted_system.hpp"
+#include "metrics/perf_baseline.hpp"
+#include "tuning/kernel_registry.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_utils.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gaia;
+  util::Cli cli("ablation_storage",
+                "Storage-layout ablation: seed AoS vs SoA-tiled vs "
+                "sliced-instrumental through the production registry");
+  cli.add_option("backend", "openmp", "serial | openmp | pstl | gpusim");
+  cli.add_option("stars", "4000", "synthetic system size in stars");
+  cli.add_option("reps", "9", "timed repetitions per kernel");
+  cli.add_option("out", "",
+                 "write a layout-labeled perf baseline here (perf-gate "
+                 "consumable); empty = print only");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto backend_opt = backends::parse_backend(cli.get("backend"));
+    GAIA_CHECK(backend_opt.has_value(),
+               "unknown backend '" + cli.get("backend") + "'");
+    const backends::BackendKind backend = *backend_opt;
+    const auto reps = static_cast<int>(cli.get_int("reps"));
+    GAIA_CHECK(reps > 0, "--reps must be positive");
 
-  matrix::GeneratorConfig cfg;
-  cfg.seed = 555;
-  cfg.n_stars = 4000;
-  cfg.obs_per_star_mean = 30.0;
-  cfg.att_dof_per_axis = 96;
-  cfg.n_instr_params = 64;
-  const auto gen = matrix::generate_system(cfg);
-  const auto csr = matrix::to_csr(gen.A);
+    matrix::GeneratorConfig cfg;
+    cfg.seed = 555;
+    cfg.n_stars = cli.get_int("stars");
+    cfg.obs_per_star_mean = 30.0;
+    cfg.att_dof_per_axis = 96;
+    cfg.n_instr_params = 64;
+    const auto gen = matrix::generate_system(cfg);
+    const auto csr = matrix::to_csr(gen.A);
+    const double rows = static_cast<double>(gen.A.n_rows());
 
-  std::cout << "=== storage-format ablation ("
-            << gen.A.n_rows() << " rows x " << gen.A.n_cols()
-            << " unknowns) ===\n\n";
-  util::Table t({"format", "bytes", "bytes/row", "vs custom"});
-  const double custom_bytes = static_cast<double>(gen.A.footprint_bytes());
-  const double csr_bytes = static_cast<double>(csr.bytes());
-  const double rows = static_cast<double>(gen.A.n_rows());
-  t.add_row({"custom (paper SIII-B)", util::format_bytes(
-                                          gen.A.footprint_bytes()),
-             util::Table::num(custom_bytes / rows, 1), "1.00x"});
-  t.add_row({"generic CSR", util::format_bytes(csr.bytes()),
-             util::Table::num(csr_bytes / rows, 1),
-             util::Table::num(csr_bytes / custom_bytes, 2) + "x"});
-  std::cout << t.str() << '\n';
+    matrix::LayoutedSystem layouts(gen.A);
+    layouts.build(backends::StorageLayout::kSlicedInstr);  // implies SoA
 
-  // Measured host SpMV: structure-exploiting kernels vs canonical CSR.
-  backends::DeviceContext device;
-  core::AprodOptions opts;
-  opts.backend = backends::BackendKind::kSerial;
-  opts.use_streams = false;
-  core::Aprod aprod(gen.A, device, opts);
+    std::cout << "=== storage-layout ablation (" << gen.A.n_rows()
+              << " rows x " << gen.A.n_cols() << " unknowns, backend "
+              << backends::to_string(backend) << ") ===\n\n";
 
-  util::Xoshiro256 rng(1);
-  std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()));
-  std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
-  for (auto& v : x) v = rng.normal();
-  for (auto& v : y) v = rng.normal();
-  std::vector<real> out_rows(y.size(), 0.0), out_cols(x.size(), 0.0);
+    // 1. Footprint: padded coefficient bytes per layout, CSR reference.
+    util::Table t({"format", "coeff bytes", "bytes/row", "vs seed"});
+    const double seed_bytes = static_cast<double>(
+        layouts.padded_coefficient_bytes(backends::StorageLayout::kSeedAos));
+    const auto add_layout_row = [&](backends::StorageLayout layout) {
+      const double bytes = static_cast<double>(
+          layouts.padded_coefficient_bytes(layout));
+      t.add_row({backends::to_string(layout),
+                 util::format_bytes(static_cast<byte_size>(bytes)),
+                 util::Table::num(bytes / rows, 1),
+                 util::Table::num(bytes / seed_bytes, 2) + "x"});
+    };
+    add_layout_row(backends::StorageLayout::kSeedAos);
+    add_layout_row(backends::StorageLayout::kSoaTiled);
+    add_layout_row(backends::StorageLayout::kSlicedInstr);
+    const double csr_bytes = static_cast<double>(csr.bytes());
+    t.add_row({"generic CSR", util::format_bytes(csr.bytes()),
+               util::Table::num(csr_bytes / rows, 1),
+               util::Table::num(csr_bytes / seed_bytes, 2) + "x"});
+    std::cout << t.str() << '\n';
 
-  constexpr int kReps = 10;
-  util::Stopwatch watch;
-  for (int i = 0; i < kReps; ++i) aprod.apply1(x, out_rows);
-  const double t_custom_1 = watch.elapsed_s() / kReps;
-  watch.reset();
-  for (int i = 0; i < kReps; ++i) matrix::csr_matvec(csr, x, out_rows);
-  const double t_csr_1 = watch.elapsed_s() / kReps;
-  watch.reset();
-  for (int i = 0; i < kReps; ++i) aprod.apply2(y, out_cols);
-  const double t_custom_2 = watch.elapsed_s() / kReps;
-  watch.reset();
-  for (int i = 0; i < kReps; ++i) matrix::csr_rmatvec(csr, y, out_cols);
-  const double t_csr_2 = watch.elapsed_s() / kReps;
+    // 2. Measured per-kernel medians per layout, production launch path.
+    core::ensure_kernel_catalog();
+    core::SystemView view = core::SystemView::from(gen.A);
+    view.attach_layout(layouts);
+    const tuning::KernelRegistry& registry = tuning::KernelRegistry::global();
+    const backends::TuningTable table = backends::TuningTable::tuned_default();
+    backends::ScratchArena arena;
 
-  util::Table m({"product", "custom (ms)", "CSR (ms)", "CSR/custom"});
-  m.add_row({"aprod1 (A x)", util::Table::num(t_custom_1 * 1e3, 2),
-             util::Table::num(t_csr_1 * 1e3, 2),
-             util::Table::num(t_csr_1 / t_custom_1, 2) + "x"});
-  m.add_row({"aprod2 (A^T y)", util::Table::num(t_custom_2 * 1e3, 2),
-             util::Table::num(t_csr_2 * 1e3, 2),
-             util::Table::num(t_csr_2 / t_custom_2, 2) + "x"});
-  std::cout << m.str();
-  std::cout << "the custom layout drops the per-non-zero column index "
-               "(the dominant CSR payload at 24 nnz/row): that is what "
-               "lets production hold ~19 TB instead of ~31 TB, and on "
-               "bandwidth-bound GPUs traffic is time. On a host at "
-               "cache-resident sizes the simpler CSR inner loop can win "
-               "the clock (as measured above) — the paper's argument is "
-               "about footprint and HBM traffic, not host cycles.\n";
-  return 0;
+    util::Xoshiro256 rng(1);
+    std::vector<real> x(static_cast<std::size_t>(gen.A.n_cols()));
+    std::vector<real> y(static_cast<std::size_t>(gen.A.n_rows()));
+    for (auto& v : x) v = rng.normal();
+    for (auto& v : y) v = rng.normal();
+
+    metrics::PerfBaseline baseline;
+    baseline.name = "ablation_storage";
+    util::Table m({"kernel", "seed_aos (ms)", "soa_tiled (ms)",
+                   "sliced_instr (ms)", "best/seed"});
+    for (backends::KernelId id : backends::all_kernels()) {
+      const bool is_aprod1 = id < backends::KernelId::kAprod2Astro;
+      std::vector<std::string> cells{std::string(backends::to_string(id))};
+      double seed_med = 0, best_med = 0;
+      for (int li = 0; li < backends::kNumStorageLayouts; ++li) {
+        tuning::LaunchArgs args;
+        args.view = &view;
+        args.in = is_aprod1 ? x.data() : y.data();
+        args.out = is_aprod1 ? y.data() : x.data();
+        args.config = table.get(id);
+        args.config.layout = static_cast<backends::StorageLayout>(li);
+        args.arena = &arena;
+        std::vector<double> samples;
+        samples.reserve(static_cast<std::size_t>(reps));
+        registry.launch(id, backend, args);  // warm-up, untimed
+        for (int r = 0; r < reps; ++r) {
+          util::Stopwatch watch;
+          registry.launch(id, backend, args);
+          samples.push_back(watch.elapsed_s());
+        }
+        const double med = util::median(samples);
+        if (li == 0) seed_med = med;
+        best_med = li == 0 ? med : std::min(best_med, med);
+        cells.push_back(util::Table::num(med * 1e3, 3));
+
+        metrics::KernelTiming timing;
+        timing.kernel = backends::to_string(id);
+        timing.backend = backends::to_string(backend);
+        timing.strategy = backends::kernel_uses_atomics(id)
+                              ? backends::to_string(args.config.strategy)
+                              : "none";
+        timing.layout = backends::to_string(args.config.layout);
+        timing.median_seconds = med;
+        timing.samples = samples.size();
+        baseline.kernels.push_back(timing);
+      }
+      cells.push_back(util::Table::num(best_med / seed_med, 2) + "x");
+      m.add_row(cells);
+    }
+    std::cout << m.str() << '\n';
+    std::cout << "seed AoS fetches whole 192 B row records at line "
+                 "granularity no matter which block a kernel reads; the "
+                 "SoA streams fetch exact coefficient bytes (plus a "
+                 "zero-padded tile tail), and the sliced instrumental "
+                 "format adds lane padding but clusters rows that touch "
+                 "nearby instrumental columns, cutting the irregular "
+                 "gather misses. CSR is the outside reference: its "
+                 "per-non-zero column index is the footprint the custom "
+                 "formats exist to avoid.\n";
+
+    if (!cli.get("out").empty()) {
+      metrics::save_baseline(cli.get("out"), baseline);
+      std::cout << "wrote " << baseline.kernels.size() << " series to "
+                << cli.get("out") << '\n';
+    }
+    return 0;
+  } catch (const gaia::Error& e) {
+    std::cerr << "ablation_storage: " << e.what() << '\n';
+    return 1;
+  }
 }

@@ -11,6 +11,7 @@
 ///   bench_smoke --out BENCH_smoke.json
 ///   bench_smoke --out slow.json --slowdown aprod2_att=2.0
 ///   gaia-perfgate BENCH_smoke.json slow.json   # exits 1
+#include <array>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "core/kernel_catalog.hpp"
 #include "core/system_view.hpp"
 #include "matrix/generator.hpp"
+#include "matrix/layouted_system.hpp"
 #include "metrics/perf_baseline.hpp"
 #include "tuning/kernel_registry.hpp"
 #include "util/cli.hpp"
@@ -65,7 +67,10 @@ int main(int argc, char** argv) {
   cli.add_option("out", "BENCH_smoke.json", "baseline output path");
   cli.add_option("reps", "9", "timed repetitions per kernel");
   cli.add_option("backend", "openmp", "serial | openmp | pstl | gpusim");
-  cli.add_option("stars", "600", "synthetic system size in stars");
+  cli.add_option("stars", "1500",
+                 "synthetic system size in stars (large enough that the "
+                 "system leaves L2 and the layout comparison is a "
+                 "bandwidth story, still well under a second)");
   cli.add_option("slowdown", "",
                  "KERNEL=FACTOR: artificially slow one kernel "
                  "(regression-injection for gate tests)");
@@ -84,7 +89,13 @@ int main(int argc, char** argv) {
     cfg.n_stars = cli.get_int("stars");
     const matrix::GeneratedSystem gen = matrix::generate_system(cfg);
     core::ensure_kernel_catalog();
-    const core::SystemView view = core::SystemView::from(gen.A);
+    core::SystemView view = core::SystemView::from(gen.A);
+    // All three storage layouts are timed, so derived arrays are built
+    // up front and attached to the view; per-row series are labeled
+    // with their layout so the gate tracks each independently.
+    matrix::LayoutedSystem layouts(gen.A);
+    layouts.build(backends::StorageLayout::kSlicedInstr);  // implies SoA
+    view.attach_layout(layouts);
     const tuning::KernelRegistry& registry = tuning::KernelRegistry::global();
     const backends::TuningTable table = backends::TuningTable::tuned_default();
     backends::ScratchArena arena;
@@ -97,40 +108,62 @@ int main(int argc, char** argv) {
 
     metrics::PerfBaseline baseline;
     baseline.name = "smoke";
-    for (backends::KernelId id : backends::all_kernels()) {
-      const bool is_aprod1 = id < backends::KernelId::kAprod2Astro;
-      tuning::LaunchArgs args;
-      args.view = &view;
-      args.in = is_aprod1 ? x.data() : y.data();
-      args.out = is_aprod1 ? y.data() : x.data();
-      args.config = table.get(id);
-      args.arena = &arena;
-      const std::string name = backends::to_string(id);
-      const double spin_factor =
-          name == slowdown.kernel ? slowdown.factor - 1.0 : 0.0;
+    std::array<double, backends::kNumStorageLayouts> aprod_total{};
+    for (int li = 0; li < backends::kNumStorageLayouts; ++li) {
+      const auto layout = static_cast<backends::StorageLayout>(li);
+      for (backends::KernelId id : backends::all_kernels()) {
+        const bool is_aprod1 = id < backends::KernelId::kAprod2Astro;
+        tuning::LaunchArgs args;
+        args.view = &view;
+        args.in = is_aprod1 ? x.data() : y.data();
+        args.out = is_aprod1 ? y.data() : x.data();
+        args.config = table.get(id);
+        args.config.layout = layout;
+        args.arena = &arena;
+        const std::string name = backends::to_string(id);
+        const double spin_factor =
+            name == slowdown.kernel ? slowdown.factor - 1.0 : 0.0;
 
-      std::vector<double> samples;
-      samples.reserve(static_cast<std::size_t>(reps));
-      registry.launch(id, backend, args);  // warm-up, untimed
-      for (int r = 0; r < reps; ++r) {
-        util::Stopwatch watch;
-        registry.launch(id, backend, args);
-        if (spin_factor > 0) busy_spin_for(spin_factor * watch.elapsed_s());
-        samples.push_back(watch.elapsed_s());
+        std::vector<double> samples;
+        samples.reserve(static_cast<std::size_t>(reps));
+        registry.launch(id, backend, args);  // warm-up, untimed
+        for (int r = 0; r < reps; ++r) {
+          util::Stopwatch watch;
+          registry.launch(id, backend, args);
+          if (spin_factor > 0) busy_spin_for(spin_factor * watch.elapsed_s());
+          samples.push_back(watch.elapsed_s());
+        }
+
+        metrics::KernelTiming timing;
+        timing.kernel = name;
+        timing.backend = backends::to_string(backend);
+        timing.strategy = backends::kernel_uses_atomics(id)
+                              ? backends::to_string(args.config.strategy)
+                              : "none";
+        timing.layout = backends::to_string(layout);
+        timing.median_seconds = util::median(samples);
+        timing.samples = samples.size();
+        baseline.kernels.push_back(timing);
+        aprod_total[static_cast<std::size_t>(li)] += timing.median_seconds;
+        std::cout << name << " [" << timing.layout << "]: median "
+                  << timing.median_seconds * 1e3 << " ms over " << reps
+                  << " rep(s)\n";
       }
-
-      metrics::KernelTiming timing;
-      timing.kernel = name;
-      timing.backend = backends::to_string(backend);
-      timing.strategy = backends::kernel_uses_atomics(id)
-                            ? backends::to_string(args.config.strategy)
-                            : "none";
-      timing.median_seconds = util::median(samples);
-      timing.samples = samples.size();
-      baseline.kernels.push_back(timing);
-      std::cout << name << ": median "
-                << timing.median_seconds * 1e3 << " ms over " << reps
-                << " rep(s)\n";
+    }
+    // One-line layout verdict: summed per-kernel medians per layout.
+    // The layout-smoke CI job greps this to assert a derived layout
+    // beats the seed on at least one parallel host backend.
+    const double seed_total = aprod_total[0];
+    for (int li = 0; li < backends::kNumStorageLayouts; ++li) {
+      const auto layout = static_cast<backends::StorageLayout>(li);
+      std::cout << "layout total [" << backends::to_string(layout)
+                << "]: " << aprod_total[static_cast<std::size_t>(li)] * 1e3
+                << " ms"
+                << (li > 0 && aprod_total[static_cast<std::size_t>(li)] <
+                                  seed_total
+                        ? " (beats seed_aos)"
+                        : "")
+                << '\n';
     }
 
     metrics::save_baseline(cli.get("out"), baseline);

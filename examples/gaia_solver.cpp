@@ -52,6 +52,12 @@ int main(int argc, char** argv) {
                  "default) | privatized (contention-free per-worker "
                  "slices + tree reduction) | auto (measured with "
                  "--autotune, cost-model predicted otherwise)");
+  cli.add_option("layout", "seed",
+                 "kernel storage layout: seed (row-record AoS, default) "
+                 "| soa (cache-blocked SoA streams) | sliced (SoA + "
+                 "slice-sorted instrumental block) | auto (measured with "
+                 "--autotune, cost-model predicted otherwise); also "
+                 "honored via GAIA_LAYOUT");
   cli.add_option("shape", "",
                  "force one BLOCKSxTHREADS launch shape for all kernels "
                  "(e.g. 64x128); validated at parse time");
@@ -145,6 +151,14 @@ int main(int argc, char** argv) {
     GAIA_CHECK(scatter.has_value(),
                "unknown scatter mode: " + cli.get("scatter"));
     config.scatter = *scatter;
+    std::string layout_source;
+    const std::string layout_name =
+        cli.get_or_env("layout", "GAIA_LAYOUT", &layout_source);
+    const auto layout_mode = core::parse_layout_mode(layout_name);
+    GAIA_CHECK(layout_mode.has_value(), "unknown layout mode (from " +
+                                            layout_source +
+                                            "): " + layout_name);
+    config.storage_layout = *layout_mode;
     config.lsqr.max_iterations = cli.get_int("iterations");
     config.checkpoint.directory = cli.get("checkpoint-dir");
     config.checkpoint.every = cli.get_int("checkpoint-every");
@@ -212,6 +226,22 @@ int main(int argc, char** argv) {
             backends::ScatterStrategy::kPrivatized;
       } else if (config.scatter == core::ScatterMode::kAuto) {
         dopts.autotune_search.scatter = std::nullopt;
+      }
+      // Same mirroring for the layout policy: force a pinned derived
+      // layout into every rank's table, open the search axis for auto.
+      if (config.storage_layout == core::LayoutMode::kAuto) {
+        dopts.autotune_search.layout = std::nullopt;
+      } else if (config.storage_layout != core::LayoutMode::kSeed) {
+        const backends::StorageLayout forced =
+            config.storage_layout == core::LayoutMode::kSoa
+                ? backends::StorageLayout::kSoaTiled
+                : backends::StorageLayout::kSlicedInstr;
+        for (backends::KernelId id : backends::all_kernels()) {
+          backends::KernelConfig kcfg = dopts.lsqr.aprod.tuning.get(id);
+          kcfg.layout = forced;
+          dopts.lsqr.aprod.tuning.set(id, kcfg);
+        }
+        dopts.autotune_search.layout = forced;
       }
       const dist::DistLsqrResult result = dist::dist_lsqr_solve(gen.A, dopts);
       std::cout << "dist solve: " << result.iterations

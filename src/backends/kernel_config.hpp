@@ -13,9 +13,26 @@
 #include <optional>
 #include <string>
 
+#include "matrix/storage_layout.hpp"
 #include "util/types.hpp"
 
 namespace gaia::backends {
+
+/// Storage layout the kernel body reads its coefficients through. The
+/// enum lives in `matrix` (header-only — backends does not link
+/// gaia_matrix) next to the builders; it is re-exported here because it
+/// rides on KernelConfig through the whole tuning stack, exactly like
+/// the scatter strategy.
+using matrix::StorageLayout;
+using matrix::kNumStorageLayouts;
+
+[[nodiscard]] inline std::string to_string(StorageLayout layout) {
+  return matrix::to_string(layout);
+}
+[[nodiscard]] inline std::optional<StorageLayout> parse_storage_layout(
+    const std::string& name) {
+  return matrix::parse_storage_layout(name);
+}
 
 /// How an atomic aprod2 scatter commits its updates to x.
 ///
@@ -45,6 +62,11 @@ struct KernelConfig {
   /// Scatter commit strategy (atomic kernels only; kAtomic preserves the
   /// pre-strategy behaviour bit for bit).
   ScatterStrategy strategy = ScatterStrategy::kAtomic;
+  /// Coefficient storage layout the kernel body reads. kSeedAos is the
+  /// seed behaviour bit for bit; non-seed layouts require the matching
+  /// derived arrays to be attached to the SystemView (the launcher
+  /// falls back to kSeedAos when they are not).
+  StorageLayout layout = StorageLayout::kSeedAos;
 
   [[nodiscard]] bool is_default() const { return blocks == 0 && threads == 0; }
   [[nodiscard]] std::int64_t total_threads() const {

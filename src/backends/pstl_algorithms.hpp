@@ -11,6 +11,7 @@
 /// nvc++ -stdpar picks its own 256-thread blocks.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -31,10 +32,43 @@ inline constexpr sequenced_policy seq{};
 inline constexpr parallel_policy par{};
 
 namespace detail {
-/// Grain used when the implementation subdivides a range; chosen by the
-/// runtime, not the caller — the PSTL "no tuning knob" property.
+/// The original fixed grain. A constant grain is the pathology the
+/// pSTL-Bench line of work isolates: at small n it over-decomposes (the
+/// chunk hand-out counter becomes the bottleneck) and at large n it
+/// creates millions of tiny chunks whose dispatch overhead swamps the
+/// body. Kept reachable (see `set_legacy_grain`) so the scaling bench
+/// can measure before/after.
 inline constexpr std::int64_t kDefaultGrain = 1024;
+
+inline std::atomic<bool>& legacy_grain_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+/// Range-proportional grain: ~8 chunks per participant (enough slack
+/// for dynamic load balancing without drowning in counter traffic),
+/// clamped to [256, 65536] so tiny ranges still amortize dispatch and
+/// huge ranges still rebalance. Still chosen by the runtime, never the
+/// caller — the PSTL "no tuning knob" property is preserved.
+inline std::int64_t auto_grain(std::int64_t n, unsigned workers) {
+  const auto participants = static_cast<std::int64_t>(workers) + 1;
+  return std::clamp<std::int64_t>(n / (participants * 8),
+                                  std::int64_t{256}, std::int64_t{65536});
+}
+
+inline std::int64_t grain_for(std::int64_t n, unsigned workers) {
+  return legacy_grain_flag().load(std::memory_order_relaxed)
+             ? kDefaultGrain
+             : auto_grain(n, workers);
+}
 }  // namespace detail
+
+/// Reverts `for_each(par)` to the fixed 1024-element grain (the
+/// pre-chunking behaviour) so benchmarks can quantify the fix; returns
+/// the previous setting. Not for production use.
+inline bool set_legacy_grain(bool on) {
+  return detail::legacy_grain_flag().exchange(on);
+}
 
 template <typename It, typename F>
 void for_each(sequenced_policy, It first, It last, F f) {
@@ -44,10 +78,11 @@ void for_each(sequenced_policy, It first, It last, F f) {
 template <typename It, typename F>
 void for_each(parallel_policy, It first, It last, F f) {
   const std::int64_t n = static_cast<std::int64_t>(last - first);
-  ThreadPool::global().parallel_for(
-      n, detail::kDefaultGrain, [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) f(first[i]);
-      });
+  ThreadPool& pool = ThreadPool::global();
+  pool.parallel_for(n, detail::grain_for(n, pool.workers()),
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) f(first[i]);
+                    });
 }
 
 template <typename Policy, typename It, typename Size, typename F>

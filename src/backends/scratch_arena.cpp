@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "backends/backend.hpp"
+#include "backends/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -51,7 +52,18 @@ ScratchArena::Lease ScratchArena::acquire(std::size_t n) {
     publish_gauges_locked();
   }
   // Allocation happens outside the lock; accounting already reserved it.
-  if (!buffer) buffer = std::make_unique<std::vector<real>>(rounded);
+  // First-touch on the miss path: reserve leaves the pages unfaulted,
+  // the parallel zero-fill faults them in across the pool's workers (so
+  // under the kernel's first-touch policy a pinned pool spreads the
+  // buffer over NUMA nodes), then resize formally constructs the
+  // elements without reallocating. A vector{n} ctor would instead fault
+  // every page on this one thread and pin the whole buffer to its node.
+  if (!buffer) {
+    buffer = std::make_unique<std::vector<real>>();
+    buffer->reserve(rounded);
+    first_touch_zero(buffer->data(), rounded * sizeof(real));
+    buffer->resize(rounded);
+  }
   return {this, std::move(buffer)};
 }
 

@@ -2,15 +2,58 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "util/error.hpp"
 
 namespace gaia::backends {
 
+namespace {
+
+/// Pins the calling thread to one CPU. Slot 0 is left to the submitting
+/// thread (worker i takes CPU i+1 mod ncpu), so the main thread and the
+/// first worker do not fight over a core. Best-effort: a failed
+/// affinity call (cgroup-restricted CPU set, exotic platform) is simply
+/// ignored — pinning is an optimization, never a correctness need.
+void pin_current_thread(unsigned worker_index) {
+#ifdef __linux__
+  const unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET((worker_index + 1) % ncpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker_index;
+#endif
+}
+
+}  // namespace
+
+bool ThreadPool::pin_threads_requested() {
+  static const bool requested = [] {
+    const char* env = std::getenv("GAIA_PIN_THREADS");
+    if (!env) return false;
+    const std::string v(env);
+    return v == "1" || v == "on" || v == "true";
+  }();
+  return requested;
+}
+
 ThreadPool::ThreadPool(unsigned n_workers) {
+  const bool pin = pin_threads_requested();
   threads_.reserve(n_workers);
   for (unsigned i = 0; i < n_workers; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i, pin] {
+      if (pin) pin_current_thread(i);
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -92,6 +135,19 @@ ThreadPool& ThreadPool::global() {
     return std::max(3u, hw > 0 ? hw - 1 : 3u);
   }());
   return pool;
+}
+
+void first_touch_zero(void* p, std::size_t bytes) {
+  if (p == nullptr || bytes == 0) return;
+  // 256 KiB chunks: large enough to amortize the chunk counter, small
+  // enough that pages interleave across however many workers show up.
+  constexpr std::int64_t kChunk = 256 * 1024;
+  auto* base = static_cast<char*>(p);
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(bytes), kChunk,
+      [base](std::int64_t lo, std::int64_t hi) {
+        std::memset(base + lo, 0, static_cast<std::size_t>(hi - lo));
+      });
 }
 
 }  // namespace gaia::backends

@@ -49,8 +49,16 @@ class ThreadPool {
 
   /// Process-wide pool. Size from GAIA_POOL_THREADS (default:
   /// max(3, hardware_concurrency - 1) so concurrency is exercised even on
-  /// small CI machines).
+  /// small CI machines). Workers pin to distinct CPUs when
+  /// GAIA_PIN_THREADS=1 (see `pin_threads_requested`).
   static ThreadPool& global();
+
+  /// True when GAIA_PIN_THREADS asks for worker affinity (1/on/true).
+  /// Pinning fixes the first-touch NUMA story: a worker that faults a
+  /// page in stays on the socket that owns it, so the page's bandwidth
+  /// is local for the rest of the run. Off by default — on a laptop or
+  /// an oversubscribed CI box pinning hurts more than it helps.
+  [[nodiscard]] static bool pin_threads_requested();
 
  private:
   struct Job {
@@ -94,5 +102,15 @@ class ThreadPool {
   std::deque<std::shared_ptr<Job>> jobs_;
   bool stopping_ = false;
 };
+
+/// First-touch initialization: zero-fills `bytes` at `p` in page-sized
+/// chunks *in parallel over the global pool*, so under Linux's default
+/// first-touch NUMA policy each page lands on the node of the worker
+/// that will (with pinning and the same chunking) stream it later.
+/// Serial zero-fill — what `std::vector`'s allocator does — places every
+/// page on the allocating thread's node and remote-access penalties
+/// follow. Safe on any freshly allocated region; do not call on live
+/// data (it zeroes).
+void first_touch_zero(void* p, std::size_t bytes);
 
 }  // namespace gaia::backends

@@ -29,12 +29,14 @@ std::vector<obs::TraceArg> kernel_trace_args(
   if (backend == BackendKind::kGpuSim)
     cfg = backends::GpuSimExec::resolve(cfg);
   std::vector<obs::TraceArg> args;
-  args.reserve(7);
+  args.reserve(8);
   args.emplace_back("backend", backends::to_string(backend));
   args.emplace_back("blocks", static_cast<std::int64_t>(cfg.blocks));
   args.emplace_back("threads", static_cast<std::int64_t>(cfg.threads));
   args.emplace_back("stream", static_cast<std::int64_t>(stream));
-  args.emplace_back("bytes", kernel_traffic_bytes(view, id));
+  args.emplace_back("bytes", kernel_traffic_bytes(view, id, cfg.layout));
+  if (cfg.layout != backends::StorageLayout::kSeedAos)
+    args.emplace_back("layout", backends::to_string(cfg.layout));
   if (backends::kernel_uses_atomics(id)) {
     args.emplace_back("strategy", backends::to_string(cfg.strategy));
     if (cfg.strategy == backends::ScatterStrategy::kAtomic)
@@ -64,7 +66,7 @@ void record_launch_sample(const SystemView& view, KernelId id, bool fused,
         KernelId::kAprod2Att, KernelId::kAprod2Instr, KernelId::kAprod2Glob};
     for (KernelId part : parts) {
       if (part == KernelId::kAprod2Glob && glob_noop) continue;
-      s.bytes += kernel_traffic_bytes(view, part);
+      s.bytes += kernel_traffic_bytes(view, part, cfg.layout);
       s.flops += kernel_flops(view, part);
       s.atomic_updates += kernel_atomic_updates(
           view, part, backends::ScatterStrategy::kAtomic);
@@ -77,7 +79,7 @@ void record_launch_sample(const SystemView& view, KernelId id, bool fused,
     s.strategy = backends::kernel_uses_atomics(id)
                      ? backends::to_string(cfg.strategy)
                      : "none";
-    s.bytes = kernel_traffic_bytes(view, id);
+    s.bytes = kernel_traffic_bytes(view, id, cfg.layout);
     s.flops = kernel_flops(view, id);
     s.atomic_updates = kernel_atomic_updates(view, id, cfg.strategy);
   }
@@ -105,22 +107,70 @@ Aprod::Aprod(const matrix::SystemMatrix& A, backends::DeviceContext& device,
              AprodOptions options)
     : options_(options),
       active_backend_(options.backend),
+      matrix_(&A),
+      device_(&device),
       d_values_(device, A.values(), options.coherence),
       d_idx_astro_(device, A.matrix_index_astro(), options.coherence),
       d_idx_att_(device, A.matrix_index_att(), options.coherence),
       d_instr_col_(device, A.instr_col(), options.coherence),
       d_star_row_start_(device, A.star_row_start(), options.coherence) {
   ensure_kernel_catalog();
-  view_ = SystemView::from(A);
-  // Re-point the view at the device-resident copies.
-  view_.values = d_values_.data();
-  view_.idx_astro = d_idx_astro_.data();
-  view_.idx_att = d_idx_att_.data();
-  view_.instr_col = d_instr_col_.data();
-  view_.star_row_start = d_star_row_start_.data();
+  // Same construction path as the host view, fed the device-resident
+  // copies — scalar fields and layout descriptors can't drift.
+  view_ = SystemView::from(
+      A, {d_values_.data(), d_idx_astro_.data(), d_idx_att_.data(),
+          d_instr_col_.data(), d_star_row_start_.data()});
 
   if (options_.use_streams) {
     for (auto& s : streams_) s = std::make_unique<backends::Stream>();
+  }
+}
+
+void Aprod::ensure_layout(backends::StorageLayout layout) {
+  if (layout == backends::StorageLayout::kSeedAos) return;
+  std::lock_guard<std::mutex> lock(layout_mutex_);
+  if (view_.has_layout(layout)) return;
+  if (!layouts_)
+    layouts_ = std::make_unique<matrix::LayoutedSystem>(*matrix_);
+  layouts_->build(layout);
+  // Upload the derived arrays once (the "resident before the main loop"
+  // contract of paper SIV-a applies to them like the seed arrays) and
+  // point the view's descriptors at the device copies.
+  const matrix::SoaStreams& soa = layouts_->soa();
+  if (soa.built() && !d_soa_astro_) {
+    d_soa_astro_ = std::make_unique<backends::DeviceBuffer<real>>(
+        *device_, std::span<const real>(soa.astro), options_.coherence);
+    d_soa_att_ = std::make_unique<backends::DeviceBuffer<real>>(
+        *device_, std::span<const real>(soa.att), options_.coherence);
+    d_soa_instr_ = std::make_unique<backends::DeviceBuffer<real>>(
+        *device_, std::span<const real>(soa.instr), options_.coherence);
+    d_soa_glob_ = std::make_unique<backends::DeviceBuffer<real>>(
+        *device_, std::span<const real>(soa.glob), options_.coherence);
+    view_.soa_astro = d_soa_astro_->data();
+    view_.soa_att = d_soa_att_->data();
+    view_.soa_instr = d_soa_instr_->data();
+    view_.soa_glob = d_soa_glob_->data();
+    view_.soa_padded_rows = soa.padded_rows;
+  }
+  const matrix::SlicedInstr& sliced = layouts_->sliced();
+  if (sliced.built() && !d_slice_values_) {
+    d_slice_values_ = std::make_unique<backends::DeviceBuffer<real>>(
+        *device_, std::span<const real>(sliced.slice_values),
+        options_.coherence);
+    d_slice_cols_ = std::make_unique<backends::DeviceBuffer<std::int32_t>>(
+        *device_, std::span<const std::int32_t>(sliced.slice_cols),
+        options_.coherence);
+    d_slice_rows_ = std::make_unique<backends::DeviceBuffer<row_index>>(
+        *device_, std::span<const row_index>(sliced.slice_rows),
+        options_.coherence);
+    d_slice_row_slot_ = std::make_unique<backends::DeviceBuffer<row_index>>(
+        *device_, std::span<const row_index>(sliced.row_slot),
+        options_.coherence);
+    view_.slice_values = d_slice_values_->data();
+    view_.slice_cols = d_slice_cols_->data();
+    view_.slice_rows = d_slice_rows_->data();
+    view_.slice_row_slot = d_slice_row_slot_->data();
+    view_.n_slices = sliced.n_slices;
   }
 }
 
@@ -150,6 +200,17 @@ void Aprod::launch_kernel(KernelId id, bool fused, const real* in, real* out,
     // privatizing it would need every section's scratch at once for no
     // contention win, so fused launches always run the atomic strategy.
     if (fused) cfg.strategy = backends::ScatterStrategy::kAtomic;
+    // Materialize the derived layout on first use; if the build cannot
+    // fit the device, the launch clamps back to the always-present seed
+    // layout instead of aborting the solve.
+    if (cfg.layout != backends::StorageLayout::kSeedAos &&
+        !view_.has_layout(cfg.layout)) {
+      try {
+        ensure_layout(cfg.layout);
+      } catch (const Error&) {
+        cfg.layout = backends::StorageLayout::kSeedAos;
+      }
+    }
     try {
       resilience::with_retry(name, options_.retry, [&] {
         obs::ScopedTrace span(name, "kernel", track);

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 
 #include "backends/atomic.hpp"
@@ -28,6 +29,7 @@
 #include "backends/scratch_arena.hpp"
 #include "backends/stream.hpp"
 #include "core/system_view.hpp"
+#include "matrix/layouted_system.hpp"
 #include "matrix/system_matrix.hpp"
 #include "util/backoff.hpp"
 
@@ -116,6 +118,13 @@ class Aprod {
     return scratch_arena_;
   }
 
+  /// Builds and uploads the derived arrays `layout` needs and attaches
+  /// them to the view (idempotent; kSeedAos is a no-op). Called lazily
+  /// by the launch path the first time a config carries the layout, so
+  /// seed-pinned runs allocate nothing; callable eagerly to move the
+  /// build cost out of the first timed iteration.
+  void ensure_layout(backends::StorageLayout layout);
+
  private:
   /// The single launch path: resolves the shape (tuner candidate or
   /// installed table), dispatches through the KernelRegistry under the
@@ -137,12 +146,30 @@ class Aprod {
   AprodOptions options_;
   std::atomic<backends::BackendKind> active_backend_;
   std::atomic<std::uint64_t> failover_count_{0};
+  /// Source matrix (not owned; outlives the driver — it backs the
+  /// derived-layout builds, which are lazy).
+  const matrix::SystemMatrix* matrix_;
+  backends::DeviceContext* device_;
   backends::DeviceBuffer<real> d_values_;
   backends::DeviceBuffer<col_index> d_idx_astro_;
   backends::DeviceBuffer<col_index> d_idx_att_;
   backends::DeviceBuffer<std::int32_t> d_instr_col_;
   backends::DeviceBuffer<row_index> d_star_row_start_;
   SystemView view_{};
+  /// Lazily-built derived layouts + their device-resident copies.
+  /// Guarded by layout_mutex_ (stream threads may race to build); the
+  /// view's descriptor pointers are only ever written under the mutex,
+  /// and a launch needing them re-checks has_layout() under it too.
+  std::mutex layout_mutex_;
+  std::unique_ptr<matrix::LayoutedSystem> layouts_;
+  std::unique_ptr<backends::DeviceBuffer<real>> d_soa_astro_;
+  std::unique_ptr<backends::DeviceBuffer<real>> d_soa_att_;
+  std::unique_ptr<backends::DeviceBuffer<real>> d_soa_instr_;
+  std::unique_ptr<backends::DeviceBuffer<real>> d_soa_glob_;
+  std::unique_ptr<backends::DeviceBuffer<real>> d_slice_values_;
+  std::unique_ptr<backends::DeviceBuffer<std::int32_t>> d_slice_cols_;
+  std::unique_ptr<backends::DeviceBuffer<row_index>> d_slice_rows_;
+  std::unique_ptr<backends::DeviceBuffer<row_index>> d_slice_row_slot_;
   /// One stream per aprod2 kernel, created lazily when streams are on.
   std::array<std::unique_ptr<backends::Stream>, 4> streams_;
   /// Pooled scratch for the privatized scatter strategy; owned per

@@ -309,4 +309,315 @@ void aprod2_glob_privatized(const SystemView& A, const real* y, real* x,
       });
 }
 
+// ---------------------------------------------------------------------------
+// StorageLayout::kSoaTiled bodies: plane-major SoA streams in row tiles
+// ---------------------------------------------------------------------------
+// Same arithmetic, same per-row accumulation order as the seed bodies —
+// only the coefficient addressing changes, so each row's contribution is
+// bit-identical to the seed layout's. The win is pure traffic: a kernel
+// streams exactly its own planes (40–96 B/row) instead of the full
+// 192 B record.
+
+namespace detail {
+
+/// Address of coefficient plane 0 for row r in a `planes`-wide stream,
+/// plus the in-tile lane; plane i then sits at `base[i * kSoaTileRows]`.
+inline const real* soa_row(const real* stream, int planes, std::int64_t r) {
+  const std::int64_t t = r / matrix::kSoaTileRows;
+  const std::int64_t w = r - t * matrix::kSoaTileRows;
+  return stream + (t * planes) * matrix::kSoaTileRows + w;
+}
+
+}  // namespace detail
+
+template <typename Exec>
+void aprod1_astro_soa(const SystemView& A, const real* x, real* y,
+                      KernelConfig cfg) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* GAIA_RESTRICT rv =
+        detail::soa_row(A.soa_astro, kAstroNnzPerRow, r);
+    const real* GAIA_RESTRICT xs = x + A.idx_astro[r];
+    real sum = 0;
+    for (int i = 0; i < kAstroNnzPerRow; ++i)
+      sum += rv[i * matrix::kSoaTileRows] * xs[i];
+    y[r] += sum;
+  });
+}
+
+template <typename Exec>
+void aprod1_att_soa(const SystemView& A, const real* x, real* y,
+                    KernelConfig cfg) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* GAIA_RESTRICT rv = detail::soa_row(A.soa_att, kAttNnzPerRow, r);
+    const col_index base = A.att_offset + A.idx_att[r];
+    real sum = 0;
+    for (int blk = 0; blk < kAttBlocks; ++blk) {
+      const real* GAIA_RESTRICT xb = x + base + blk * A.att_stride;
+      const real* GAIA_RESTRICT rb =
+          rv + blk * kAttBlockSize * matrix::kSoaTileRows;
+      for (int i = 0; i < kAttBlockSize; ++i)
+        sum += rb[i * matrix::kSoaTileRows] * xb[i];
+    }
+    y[r] += sum;
+  });
+}
+
+template <typename Exec>
+void aprod1_instr_soa(const SystemView& A, const real* x, real* y,
+                      KernelConfig cfg) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* GAIA_RESTRICT rv =
+        detail::soa_row(A.soa_instr, kInstrNnzPerRow, r);
+    const std::int32_t* GAIA_RESTRICT cols =
+        A.instr_col + r * kInstrNnzPerRow;
+    const real* GAIA_RESTRICT xs = x + A.instr_offset;
+    real sum = 0;
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      sum += rv[i * matrix::kSoaTileRows] * xs[cols[i]];
+    y[r] += sum;
+  });
+}
+
+template <typename Exec>
+void aprod1_glob_soa(const SystemView& A, const real* x, real* y,
+                     KernelConfig cfg) {
+  if (!A.has_global) return;
+  const real xg = x[A.glob_offset];
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* GAIA_RESTRICT g = A.soa_glob;
+    const std::int64_t t = r / matrix::kSoaTileRows;
+    y[r] += g[t * matrix::kSoaTileRows + (r - t * matrix::kSoaTileRows)] * xg;
+  });
+}
+
+template <typename Exec>
+void aprod2_astro_soa(const SystemView& A, const real* y, real* x,
+                      KernelConfig cfg) {
+  Exec::launch(A.n_stars, cfg, [=](std::int64_t s) {
+    const col_index c0 = s * kAstroParamsPerStar;
+    real acc[kAstroNnzPerRow] = {0, 0, 0, 0, 0};
+    for (row_index r = A.star_row_start[s]; r < A.star_row_start[s + 1];
+         ++r) {
+      const real* rv = detail::soa_row(A.soa_astro, kAstroNnzPerRow, r);
+      const real yr = y[r];
+      for (int i = 0; i < kAstroNnzPerRow; ++i)
+        acc[i] += rv[i * matrix::kSoaTileRows] * yr;
+    }
+    for (int i = 0; i < kAstroNnzPerRow; ++i) x[c0 + i] += acc[i];
+  });
+}
+
+template <typename Exec>
+void aprod2_att_soa(const SystemView& A, const real* y, real* x,
+                    KernelConfig cfg, AtomicMode mode) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* rv = detail::soa_row(A.soa_att, kAttNnzPerRow, r);
+    const real yr = y[r];
+    const col_index base = A.att_offset + A.idx_att[r];
+    for (int blk = 0; blk < kAttBlocks; ++blk) {
+      const col_index c0 = base + blk * A.att_stride;
+      for (int i = 0; i < kAttBlockSize; ++i)
+        Exec::atomic_add(
+            x[c0 + i],
+            rv[(blk * kAttBlockSize + i) * matrix::kSoaTileRows] * yr, mode);
+    }
+  });
+}
+
+template <typename Exec>
+void aprod2_instr_soa(const SystemView& A, const real* y, real* x,
+                      KernelConfig cfg, AtomicMode mode) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real* rv = detail::soa_row(A.soa_instr, kInstrNnzPerRow, r);
+    const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
+    const real yr = y[r];
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      Exec::atomic_add(x[A.instr_offset + cols[i]],
+                       rv[i * matrix::kSoaTileRows] * yr, mode);
+  });
+}
+
+template <typename Exec>
+void aprod2_glob_soa(const SystemView& A, const real* y, real* x,
+                     KernelConfig cfg, AtomicMode mode) {
+  if (!A.has_global) return;
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const std::int64_t t = r / matrix::kSoaTileRows;
+    Exec::atomic_add(
+        x[A.glob_offset],
+        A.soa_glob[t * matrix::kSoaTileRows +
+                   (r - t * matrix::kSoaTileRows)] *
+            y[r],
+        mode);
+  });
+}
+
+/// Fused shared-section scatter over the SoA streams. Also serves the
+/// kSlicedInstr layout: fusing the three sections into one row pass is
+/// incompatible with slice-major iteration, and the sliced build always
+/// carries the SoA streams.
+template <typename Exec>
+void aprod2_shared_fused_soa(const SystemView& A, const real* y, real* x,
+                             KernelConfig cfg, AtomicMode mode) {
+  Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
+    const real yr = y[r];
+    const real* rv_att = detail::soa_row(A.soa_att, kAttNnzPerRow, r);
+    const col_index att_base = A.att_offset + A.idx_att[r];
+    for (int blk = 0; blk < kAttBlocks; ++blk) {
+      const col_index c0 = att_base + blk * A.att_stride;
+      for (int i = 0; i < kAttBlockSize; ++i)
+        Exec::atomic_add(
+            x[c0 + i],
+            rv_att[(blk * kAttBlockSize + i) * matrix::kSoaTileRows] * yr,
+            mode);
+    }
+    const real* rv_instr = detail::soa_row(A.soa_instr, kInstrNnzPerRow, r);
+    const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      Exec::atomic_add(x[A.instr_offset + cols[i]],
+                       rv_instr[i * matrix::kSoaTileRows] * yr, mode);
+    if (A.has_global) {
+      const std::int64_t t = r / matrix::kSoaTileRows;
+      Exec::atomic_add(
+          x[A.glob_offset],
+          A.soa_glob[t * matrix::kSoaTileRows +
+                     (r - t * matrix::kSoaTileRows)] *
+              yr,
+          mode);
+    }
+  });
+}
+
+template <typename Exec>
+void aprod2_att_privatized_soa(const SystemView& A, const real* y, real* x,
+                               KernelConfig cfg,
+                               backends::ScratchArena* arena = nullptr) {
+  detail::privatized_scatter<Exec>(
+      A.n_rows, x, A.att_offset, A.instr_offset - A.att_offset, cfg, arena,
+      [=](real* GAIA_RESTRICT slice, std::int64_t r) {
+        const real* GAIA_RESTRICT rv =
+            detail::soa_row(A.soa_att, kAttNnzPerRow, r);
+        const real yr = y[r];
+        const col_index base = A.idx_att[r];
+        for (int blk = 0; blk < kAttBlocks; ++blk) {
+          const col_index c0 = base + blk * A.att_stride;
+          for (int i = 0; i < kAttBlockSize; ++i)
+            slice[c0 + i] +=
+                rv[(blk * kAttBlockSize + i) * matrix::kSoaTileRows] * yr;
+        }
+      });
+}
+
+template <typename Exec>
+void aprod2_instr_privatized_soa(const SystemView& A, const real* y, real* x,
+                                 KernelConfig cfg,
+                                 backends::ScratchArena* arena = nullptr) {
+  detail::privatized_scatter<Exec>(
+      A.n_rows, x, A.instr_offset, A.glob_offset - A.instr_offset, cfg,
+      arena, [=](real* GAIA_RESTRICT slice, std::int64_t r) {
+        const real* GAIA_RESTRICT rv =
+            detail::soa_row(A.soa_instr, kInstrNnzPerRow, r);
+        const std::int32_t* GAIA_RESTRICT cols =
+            A.instr_col + r * kInstrNnzPerRow;
+        const real yr = y[r];
+        for (int i = 0; i < kInstrNnzPerRow; ++i)
+          slice[cols[i]] += rv[i * matrix::kSoaTileRows] * yr;
+      });
+}
+
+template <typename Exec>
+void aprod2_glob_privatized_soa(const SystemView& A, const real* y, real* x,
+                                KernelConfig cfg,
+                                backends::ScratchArena* arena = nullptr) {
+  if (!A.has_global) return;
+  detail::privatized_scatter<Exec>(
+      A.n_rows, x, A.glob_offset, 1, cfg, arena,
+      [=](real* GAIA_RESTRICT slice, std::int64_t r) {
+        const std::int64_t t = r / matrix::kSoaTileRows;
+        slice[0] += A.soa_glob[t * matrix::kSoaTileRows +
+                               (r - t * matrix::kSoaTileRows)] *
+                    y[r];
+      });
+}
+
+// ---------------------------------------------------------------------------
+// StorageLayout::kSlicedInstr bodies: SELL-C-sigma slices for the
+// irregular instrumental block (regular blocks run the SoA bodies)
+// ---------------------------------------------------------------------------
+
+/// Slice-parallel instrumental gather: one virtual thread per lane slot.
+/// Every row occupies exactly one slot, so y[r] is written by exactly
+/// one worker; padded lanes carry row -1 and are skipped. The slice
+/// sort means neighbouring lanes gather neighbouring x entries — the
+/// cache reuse the seed layout's ~90 % miss rate leaves on the table.
+template <typename Exec>
+void aprod1_instr_sliced(const SystemView& A, const real* x, real* y,
+                         KernelConfig cfg) {
+  Exec::launch(A.n_slices * matrix::kSliceHeight, cfg,
+               [=](std::int64_t slot) {
+    const row_index r = A.slice_rows[slot];
+    if (r < 0) return;
+    const std::int64_t s = slot / matrix::kSliceHeight;
+    const std::int64_t lane = slot - s * matrix::kSliceHeight;
+    const std::int64_t base =
+        s * kInstrNnzPerRow * matrix::kSliceHeight + lane;
+    const real* GAIA_RESTRICT v = A.slice_values + base;
+    const std::int32_t* GAIA_RESTRICT c = A.slice_cols + base;
+    const real* GAIA_RESTRICT xs = x + A.instr_offset;
+    real sum = 0;
+    for (int j = 0; j < kInstrNnzPerRow; ++j)
+      sum += v[j * matrix::kSliceHeight] * xs[c[j * matrix::kSliceHeight]];
+    y[r] += sum;
+  });
+}
+
+/// Slice-parallel instrumental scatter (atomic strategy): the sort
+/// clusters nearby target columns within a slice, trading a few more
+/// intra-slice collisions for far better locality on x.
+template <typename Exec>
+void aprod2_instr_sliced(const SystemView& A, const real* y, real* x,
+                         KernelConfig cfg, AtomicMode mode) {
+  Exec::launch(A.n_slices * matrix::kSliceHeight, cfg,
+               [=](std::int64_t slot) {
+    const row_index r = A.slice_rows[slot];
+    if (r < 0) return;
+    const std::int64_t s = slot / matrix::kSliceHeight;
+    const std::int64_t lane = slot - s * matrix::kSliceHeight;
+    const std::int64_t base =
+        s * kInstrNnzPerRow * matrix::kSliceHeight + lane;
+    const real* GAIA_RESTRICT v = A.slice_values + base;
+    const std::int32_t* GAIA_RESTRICT c = A.slice_cols + base;
+    const real yr = y[r];
+    for (int j = 0; j < kInstrNnzPerRow; ++j)
+      Exec::atomic_add(x[A.instr_offset + c[j * matrix::kSliceHeight]],
+                       v[j * matrix::kSliceHeight] * yr, mode);
+  });
+}
+
+/// Privatized instrumental scatter over the sliced storage: the
+/// skeleton keeps iterating rows in ascending order (via the row->slot
+/// inverse permutation), so worker partitioning, per-row accumulation
+/// order and the tree fold are exactly the seed layout's — bit-identical
+/// results at a fixed launch shape, layout notwithstanding.
+template <typename Exec>
+void aprod2_instr_privatized_sliced(const SystemView& A, const real* y,
+                                    real* x, KernelConfig cfg,
+                                    backends::ScratchArena* arena = nullptr) {
+  detail::privatized_scatter<Exec>(
+      A.n_rows, x, A.instr_offset, A.glob_offset - A.instr_offset, cfg,
+      arena, [=](real* GAIA_RESTRICT slice, std::int64_t r) {
+        const std::int64_t slot = A.slice_row_slot[r];
+        const std::int64_t s = slot / matrix::kSliceHeight;
+        const std::int64_t lane = slot - s * matrix::kSliceHeight;
+        const std::int64_t base =
+            s * kInstrNnzPerRow * matrix::kSliceHeight + lane;
+        const real* GAIA_RESTRICT v = A.slice_values + base;
+        const std::int32_t* GAIA_RESTRICT c = A.slice_cols + base;
+        const real yr = y[r];
+        for (int j = 0; j < kInstrNnzPerRow; ++j)
+          slice[c[j * matrix::kSliceHeight]] +=
+              v[j * matrix::kSliceHeight] * yr;
+      });
+}
+
 }  // namespace gaia::core

@@ -61,6 +61,74 @@ void register_kernels(KernelRegistry& reg) {
   });
 }
 
+/// The SoA-tiled bodies, registered for `layout` — both derived layouts
+/// use them for the regular blocks (the sliced build always carries the
+/// SoA streams), so kSlicedInstr registers this set and then overrides
+/// the three instrumental slots with the slice-major bodies.
+template <typename Exec>
+void register_soa_bodies(KernelRegistry& reg,
+                         backends::StorageLayout layout) {
+  constexpr BackendKind kind = Exec::kKind;
+  reg.add(KernelId::kAprod1Astro, kind, [](const LaunchArgs& a) {
+    aprod1_astro_soa<Exec>(*a.view, a.in, a.out, a.config);
+  }, layout);
+  reg.add(KernelId::kAprod1Att, kind, [](const LaunchArgs& a) {
+    aprod1_att_soa<Exec>(*a.view, a.in, a.out, a.config);
+  }, layout);
+  reg.add(KernelId::kAprod1Instr, kind, [](const LaunchArgs& a) {
+    aprod1_instr_soa<Exec>(*a.view, a.in, a.out, a.config);
+  }, layout);
+  reg.add(KernelId::kAprod1Glob, kind, [](const LaunchArgs& a) {
+    aprod1_glob_soa<Exec>(*a.view, a.in, a.out, a.config);
+  }, layout);
+  reg.add(KernelId::kAprod2Astro, kind, [](const LaunchArgs& a) {
+    aprod2_astro_soa<Exec>(*a.view, a.in, a.out, a.config);
+  }, layout);
+  reg.add(KernelId::kAprod2Att, kind, [](const LaunchArgs& a) {
+    aprod2_att_soa<Exec>(*a.view, a.in, a.out, a.config, a.atomic_mode);
+  }, layout);
+  reg.add(KernelId::kAprod2Instr, kind, [](const LaunchArgs& a) {
+    aprod2_instr_soa<Exec>(*a.view, a.in, a.out, a.config, a.atomic_mode);
+  }, layout);
+  reg.add(KernelId::kAprod2Glob, kind, [](const LaunchArgs& a) {
+    aprod2_glob_soa<Exec>(*a.view, a.in, a.out, a.config, a.atomic_mode);
+  }, layout);
+  reg.add_fused(kind, [](const LaunchArgs& a) {
+    aprod2_shared_fused_soa<Exec>(*a.view, a.in, a.out, a.config,
+                                  a.atomic_mode);
+  }, layout);
+  reg.add_privatized(KernelId::kAprod2Att, kind, [](const LaunchArgs& a) {
+    aprod2_att_privatized_soa<Exec>(*a.view, a.in, a.out, a.config, a.arena);
+  }, layout);
+  reg.add_privatized(KernelId::kAprod2Instr, kind, [](const LaunchArgs& a) {
+    aprod2_instr_privatized_soa<Exec>(*a.view, a.in, a.out, a.config,
+                                      a.arena);
+  }, layout);
+  reg.add_privatized(KernelId::kAprod2Glob, kind, [](const LaunchArgs& a) {
+    aprod2_glob_privatized_soa<Exec>(*a.view, a.in, a.out, a.config,
+                                     a.arena);
+  }, layout);
+}
+
+template <typename Exec>
+void register_layout_kernels(KernelRegistry& reg) {
+  constexpr BackendKind kind = Exec::kKind;
+  register_soa_bodies<Exec>(reg, backends::StorageLayout::kSoaTiled);
+  register_soa_bodies<Exec>(reg, backends::StorageLayout::kSlicedInstr);
+  // Slice-major instrumental bodies override the SoA ones.
+  constexpr auto kSliced = backends::StorageLayout::kSlicedInstr;
+  reg.add(KernelId::kAprod1Instr, kind, [](const LaunchArgs& a) {
+    aprod1_instr_sliced<Exec>(*a.view, a.in, a.out, a.config);
+  }, kSliced);
+  reg.add(KernelId::kAprod2Instr, kind, [](const LaunchArgs& a) {
+    aprod2_instr_sliced<Exec>(*a.view, a.in, a.out, a.config, a.atomic_mode);
+  }, kSliced);
+  reg.add_privatized(KernelId::kAprod2Instr, kind, [](const LaunchArgs& a) {
+    aprod2_instr_privatized_sliced<Exec>(*a.view, a.in, a.out, a.config,
+                                         a.arena);
+  }, kSliced);
+}
+
 }  // namespace
 
 void ensure_kernel_catalog() {
@@ -71,6 +139,10 @@ void ensure_kernel_catalog() {
     register_kernels<backends::OpenMPExec>(reg);
     register_kernels<backends::PstlExec>(reg);
     register_kernels<backends::GpuSimExec>(reg);
+    register_layout_kernels<backends::SerialExec>(reg);
+    register_layout_kernels<backends::OpenMPExec>(reg);
+    register_layout_kernels<backends::PstlExec>(reg);
+    register_layout_kernels<backends::GpuSimExec>(reg);
   });
 }
 
@@ -138,6 +210,40 @@ std::uint64_t kernel_traffic_bytes(const SystemView& v, KernelId id) {
       is_aprod1 ? value_bytes + 2 * sizeof(real)
                 : sizeof(real) + 2 * value_bytes;
   return rows * (value_bytes + idx_bytes + vector_bytes);
+}
+
+std::uint64_t kernel_traffic_bytes(const SystemView& v, KernelId id,
+                                   backends::StorageLayout layout) {
+  const std::uint64_t base = kernel_traffic_bytes(v, id);
+  if (layout == backends::StorageLayout::kSeedAos) return base;
+  const auto rows = static_cast<std::uint64_t>(v.n_rows);
+  const auto padded = static_cast<std::uint64_t>(
+      v.soa_padded_rows > 0
+          ? v.soa_padded_rows
+          : (v.n_rows + matrix::kSoaTileRows - 1) / matrix::kSoaTileRows *
+                matrix::kSoaTileRows);
+  const bool instr_kernel =
+      id == KernelId::kAprod1Instr || id == KernelId::kAprod2Instr;
+  if (layout == backends::StorageLayout::kSlicedInstr && instr_kernel) {
+    // Slice storage streams every padded lane: values + explicit
+    // columns + the lane's row id, then the vector traffic for the
+    // rows that actually exist.
+    const auto lanes = static_cast<std::uint64_t>(
+        v.n_slices > 0 ? v.n_slices * matrix::kSliceHeight : padded);
+    const std::uint64_t lane_bytes =
+        kInstrNnzPerRow * (sizeof(real) + sizeof(std::int32_t)) +
+        sizeof(row_index);
+    const std::uint64_t value_bytes = kInstrNnzPerRow * sizeof(real);
+    const std::uint64_t vector_bytes =
+        id == KernelId::kAprod1Instr ? value_bytes + 2 * sizeof(real)
+                                     : sizeof(real) + 2 * value_bytes;
+    return lanes * lane_bytes + rows * vector_bytes;
+  }
+  // SoA planes: the per-row slice is exact (no record overfetch) but
+  // the zero-padded tile tail is streamed like any other row.
+  const std::uint64_t per_row_extra =
+      static_cast<std::uint64_t>(nnz_per_row(id)) * sizeof(real);
+  return base + (padded - rows) * per_row_extra;
 }
 
 std::uint64_t kernel_flops(const SystemView& v, KernelId id) {

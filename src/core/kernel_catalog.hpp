@@ -33,6 +33,17 @@ void ensure_kernel_catalog();
 [[nodiscard]] std::uint64_t kernel_traffic_bytes(const SystemView& view,
                                                  backends::KernelId id);
 
+/// Layout-aware traffic: the seed layout charges the compacted
+/// coefficient slice (unchanged accounting), the derived layouts charge
+/// what they actually stream — SoA planes over the zero-padded tile
+/// rows, sliced values + explicit columns + row ids over the padded
+/// lanes. The padded-vs-compacted ratio is the modeled price of the
+/// regularized addressing; the bandwidth win shows up in the cost
+/// model's miss factors, not here.
+[[nodiscard]] std::uint64_t kernel_traffic_bytes(
+    const SystemView& view, backends::KernelId id,
+    backends::StorageLayout layout);
+
 /// Useful floating-point operations a kernel performs: one multiply +
 /// one add per stored coefficient (rows * nnz * 2). Same convention as
 /// perfmodel::KernelCostModel::kernel_flops, computed from the live

@@ -39,6 +39,29 @@ std::optional<ScatterMode> parse_scatter_mode(const std::string& name) {
   return std::nullopt;
 }
 
+std::string to_string(LayoutMode mode) {
+  switch (mode) {
+    case LayoutMode::kSeed:
+      return "seed";
+    case LayoutMode::kSoa:
+      return "soa";
+    case LayoutMode::kSliced:
+      return "sliced";
+    case LayoutMode::kAuto:
+      return "auto";
+  }
+  return "seed";
+}
+
+std::optional<LayoutMode> parse_layout_mode(const std::string& name) {
+  if (name == "seed" || name == "seed_aos" || name == "aos")
+    return LayoutMode::kSeed;
+  if (name == "soa" || name == "soa_tiled") return LayoutMode::kSoa;
+  if (name == "sliced" || name == "sliced_instr") return LayoutMode::kSliced;
+  if (name == "auto") return LayoutMode::kAuto;
+  return std::nullopt;
+}
+
 namespace {
 
 /// Installs `strategy` on every atomic kernel's table entry, leaving the
@@ -49,6 +72,45 @@ void force_scatter_strategy(backends::TuningTable& table,
     if (!backends::kernel_uses_atomics(id)) continue;
     backends::KernelConfig cfg = table.get(id);
     cfg.strategy = strategy;
+    table.set(id, cfg);
+  }
+}
+
+/// Installs `layout` on every kernel's table entry, leaving shapes and
+/// strategies untouched.
+void force_storage_layout(backends::TuningTable& table,
+                          backends::StorageLayout layout) {
+  for (backends::KernelId id : backends::all_kernels()) {
+    backends::KernelConfig cfg = table.get(id);
+    cfg.layout = layout;
+    table.set(id, cfg);
+  }
+}
+
+/// The fixed layout a pinned LayoutMode means (never called for kAuto).
+backends::StorageLayout pinned_layout(LayoutMode mode) {
+  switch (mode) {
+    case LayoutMode::kSoa:
+      return backends::StorageLayout::kSoaTiled;
+    case LayoutMode::kSliced:
+      return backends::StorageLayout::kSlicedInstr;
+    default:
+      return backends::StorageLayout::kSeedAos;
+  }
+}
+
+/// The no-measurement arm of `--layout=auto`: the cost model's
+/// overfetch-vs-padding crossover per kernel (same representative A100
+/// spec as the scatter crossover below — the sign is what matters).
+void apply_model_preferred_layout(const matrix::GeneratorConfig& gen_cfg,
+                                  backends::TuningTable& table) {
+  const perfmodel::ProblemShape shape =
+      perfmodel::ProblemShape::from_config(gen_cfg);
+  const perfmodel::KernelCostModel model(
+      perfmodel::gpu_spec(perfmodel::Platform::kA100));
+  for (backends::KernelId id : backends::all_kernels()) {
+    backends::KernelConfig cfg = table.get(id);
+    cfg.layout = model.preferred_layout(id, shape);
     table.set(id, cfg);
   }
 }
@@ -104,6 +166,10 @@ void run_autotune(const SolverRunConfig& config,
     else if (config.scatter == ScatterMode::kPrivatized)
       force_scatter_strategy(lsqr.aprod.tuning,
                              backends::ScatterStrategy::kPrivatized);
+    // Same for the layout axis: a pinned mode overrides cached winners.
+    if (config.storage_layout != LayoutMode::kAuto)
+      force_storage_layout(lsqr.aprod.tuning,
+                           pinned_layout(config.storage_layout));
     if (metrics.enabled()) metrics.counter("tuning.cache_hits").add(1);
     return;
   }
@@ -122,6 +188,9 @@ void run_autotune(const SolverRunConfig& config,
       search.scatter = std::nullopt;  // measure both arms per kernel
       break;
   }
+  search.layout = config.storage_layout == LayoutMode::kAuto
+                      ? std::nullopt  // measure every layout arm
+                      : std::optional(pinned_layout(config.storage_layout));
   tuning::Autotuner tuner(backend, search);
   {
     backends::DeviceContext device(lsqr.device_capacity, "autotune");
@@ -224,6 +293,17 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
            (!config.autotune.enabled ||
             !backends::honors_kernel_config(lsqr.aprod.backend)))
     apply_model_preferred(gen_cfg, lsqr.aprod, lsqr.aprod.tuning);
+  // Layout policy mirrors the scatter resolution: pinned modes force the
+  // layout up front; kAuto without a measuring search falls back to the
+  // cost model's crossover.
+  if (config.storage_layout == LayoutMode::kSoa ||
+      config.storage_layout == LayoutMode::kSliced)
+    force_storage_layout(lsqr.aprod.tuning,
+                         pinned_layout(config.storage_layout));
+  else if (config.storage_layout == LayoutMode::kAuto &&
+           (!config.autotune.enabled ||
+            !backends::honors_kernel_config(lsqr.aprod.backend)))
+    apply_model_preferred_layout(gen_cfg, lsqr.aprod.tuning);
   if (config.autotune.enabled) run_autotune(config, generated.A, lsqr, report);
   report.tuning_used = lsqr.aprod.tuning;
 
@@ -296,6 +376,26 @@ std::string SolverRunReport::summary() const {
     if (!backends::kernel_uses_atomics(id)) continue;
     os << ' ' << backends::to_string(id) << '='
        << backends::to_string(tuning_used.get(id).strategy);
+  }
+  os << '\n';
+  // Collapse the layout line when every kernel agrees (the common case:
+  // a pinned mode); --layout=auto can split per kernel.
+  bool uniform_layout = true;
+  const backends::StorageLayout first_layout =
+      tuning_used.get(backends::KernelId::kAprod1Astro).layout;
+  for (backends::KernelId id : backends::all_kernels())
+    uniform_layout &= tuning_used.get(id).layout == first_layout;
+  os << "layout: ";
+  if (uniform_layout) {
+    os << backends::to_string(first_layout);
+  } else {
+    bool first = true;
+    for (backends::KernelId id : backends::all_kernels()) {
+      if (!first) os << ' ';
+      first = false;
+      os << backends::to_string(id) << '='
+         << backends::to_string(tuning_used.get(id).layout);
+    }
   }
   os << '\n';
   os << "        mean iteration time "

@@ -35,6 +35,23 @@ enum class ScatterMode : std::uint8_t {
 [[nodiscard]] std::optional<ScatterMode> parse_scatter_mode(
     const std::string& name);
 
+/// Storage-layout policy for all eight kernels (gathers included).
+/// `kSeed` is today's row-record AoS bit-for-bit; `kSoa` forces the
+/// tiled SoA streams; `kSliced` forces SoA plus the sliced instrumental
+/// format; `kAuto` lets the autotuner measure every layout arm (when
+/// enabled and the backend honours launch shapes) and otherwise asks
+/// the cost model's overfetch-vs-padding crossover per kernel.
+enum class LayoutMode : std::uint8_t {
+  kSeed = 0,
+  kSoa,
+  kSliced,
+  kAuto,
+};
+
+[[nodiscard]] std::string to_string(LayoutMode mode);
+[[nodiscard]] std::optional<LayoutMode> parse_layout_mode(
+    const std::string& name);
+
 /// Launch-shape autotuning for a solver run (off by default).
 struct AutotuneRunConfig {
   bool enabled = false;
@@ -71,6 +88,10 @@ struct SolverRunConfig {
   /// `autotune.search.scatter`: the autotune path derives its strategy
   /// axis from this mode.
   ScatterMode scatter = ScatterMode::kAtomic;
+
+  /// Storage-layout policy for the kernels. Authoritative over
+  /// `autotune.search.layout` the same way `scatter` is over its axis.
+  LayoutMode storage_layout = LayoutMode::kSeed;
 };
 
 struct SolverRunReport {

@@ -4,17 +4,38 @@
 /// Kernels receive raw pointers plus layout scalars — the same contract a
 /// CUDA kernel has after the one-time host-to-device copy. Building a
 /// view from `DeviceBuffer`s (device residency) or straight from a
-/// `SystemMatrix` (tests) is equally valid.
+/// `SystemMatrix` (tests) is equally valid: both feed the same
+/// construction path, `from(A, arrays)`, so the scalar fields and the
+/// layout descriptors can never drift between the two sources.
 #pragma once
 
 #include <cstdint>
 
+#include "matrix/layouted_system.hpp"
+#include "matrix/storage_layout.hpp"
 #include "matrix/system_matrix.hpp"
 #include "util/types.hpp"
 
 namespace gaia::core {
 
 struct SystemView {
+  /// The five data arrays of the seed layout. Split out so the host
+  /// path (spans straight from the SystemMatrix) and the device path
+  /// (DeviceBuffer::data() after the H2D copy) share one `from`.
+  struct Arrays {
+    const real* values = nullptr;             ///< n_rows * kNnzPerRow
+    const col_index* idx_astro = nullptr;     ///< n_rows
+    const col_index* idx_att = nullptr;       ///< n_rows
+    const std::int32_t* instr_col = nullptr;  ///< n_rows * kInstrNnzPerRow
+    const row_index* star_row_start = nullptr;  ///< n_stars + 1
+
+    static Arrays of(const matrix::SystemMatrix& A) {
+      return {A.values().data(), A.matrix_index_astro().data(),
+              A.matrix_index_att().data(), A.instr_col().data(),
+              A.star_row_start().data()};
+    }
+  };
+
   row_index n_rows = 0;   ///< observation + constraint rows
   row_index n_obs = 0;    ///< observation rows only
   row_index n_stars = 0;
@@ -32,25 +53,87 @@ struct SystemView {
   col_index glob_offset = 0;
   bool has_global = false;
 
-  /// View over host-resident system data (test/reference path).
-  static SystemView from(const matrix::SystemMatrix& A) {
+  // --- Derived-layout descriptors (null until attach_layout) ---------
+  // Plane-major SoA streams within kSoaTileRows tiles; see
+  // matrix::SoaStreams for the addressing.
+  const real* soa_astro = nullptr;  ///< kAstroNnzPerRow planes
+  const real* soa_att = nullptr;    ///< kAttNnzPerRow planes
+  const real* soa_instr = nullptr;  ///< kInstrNnzPerRow planes
+  const real* soa_glob = nullptr;   ///< 1 plane
+  row_index soa_padded_rows = 0;
+
+  // Sliced instrumental block (SELL-C-sigma style); see
+  // matrix::SlicedInstr for the lane-major addressing and `row_slot`.
+  const real* slice_values = nullptr;
+  const std::int32_t* slice_cols = nullptr;
+  const row_index* slice_rows = nullptr;
+  const row_index* slice_row_slot = nullptr;
+  row_index n_slices = 0;
+
+  /// Shared construction path: scalar/layout fields from the matrix
+  /// metadata, data pointers from wherever the arrays live (host spans
+  /// or device buffers).
+  static SystemView from(const matrix::SystemMatrix& A,
+                         const Arrays& arrays) {
     const matrix::ParameterLayout& lay = A.layout();
     SystemView v;
     v.n_rows = A.n_rows();
     v.n_obs = A.n_obs();
     v.n_stars = lay.n_stars();
     v.n_cols = A.n_cols();
-    v.values = A.values().data();
-    v.idx_astro = A.matrix_index_astro().data();
-    v.idx_att = A.matrix_index_att().data();
-    v.instr_col = A.instr_col().data();
-    v.star_row_start = A.star_row_start().data();
+    v.values = arrays.values;
+    v.idx_astro = arrays.idx_astro;
+    v.idx_att = arrays.idx_att;
+    v.instr_col = arrays.instr_col;
+    v.star_row_start = arrays.star_row_start;
     v.att_offset = lay.att_offset();
     v.att_stride = lay.att_stride();
     v.instr_offset = lay.instr_offset();
     v.glob_offset = lay.glob_offset();
     v.has_global = lay.has_global();
     return v;
+  }
+
+  /// View over host-resident system data (test/reference path).
+  static SystemView from(const matrix::SystemMatrix& A) {
+    return from(A, Arrays::of(A));
+  }
+
+  /// Points the layout descriptors at `layouts`' derived arrays (only
+  /// those already built; building is the owner's call). The
+  /// LayoutedSystem must outlive every kernel launch through this view.
+  void attach_layout(const matrix::LayoutedSystem& layouts) {
+    if (layouts.soa().built()) {
+      const matrix::SoaStreams& s = layouts.soa();
+      soa_astro = s.astro.data();
+      soa_att = s.att.data();
+      soa_instr = s.instr.data();
+      soa_glob = s.glob.data();
+      soa_padded_rows = s.padded_rows;
+    }
+    if (layouts.sliced().built()) {
+      const matrix::SlicedInstr& s = layouts.sliced();
+      slice_values = s.slice_values.data();
+      slice_cols = s.slice_cols.data();
+      slice_rows = s.slice_rows.data();
+      slice_row_slot = s.row_slot.data();
+      n_slices = s.n_slices;
+    }
+  }
+
+  /// True when every array `layout` needs is attached — the launcher
+  /// clamps a config's layout to kSeedAos otherwise, so a view without
+  /// derived arrays keeps the seed semantics instead of faulting.
+  [[nodiscard]] bool has_layout(matrix::StorageLayout layout) const {
+    switch (layout) {
+      case matrix::StorageLayout::kSeedAos:
+        return true;
+      case matrix::StorageLayout::kSoaTiled:
+        return soa_astro != nullptr;
+      case matrix::StorageLayout::kSlicedInstr:
+        return soa_astro != nullptr && slice_values != nullptr;
+    }
+    return false;
   }
 };
 

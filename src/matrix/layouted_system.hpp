@@ -1,0 +1,127 @@
+/// \file layouted_system.hpp
+/// \brief Derived coefficient layouts built once from a SystemMatrix.
+///
+/// `LayoutedSystem` owns the alternative storage layouts of one system:
+/// the seed's row-record arrays stay the source of truth (checkpoints,
+/// I/O, and the generator all speak it), and the SoA-tiled streams and
+/// the sliced instrumental format are derived views built on demand.
+/// Kernels never see this class — they read raw pointers + scalars via
+/// the layout descriptors `SystemView` carries — so the device/GPU
+/// story stays pointer-based.
+///
+/// Build is serial and deterministic: same matrix, same derived bytes,
+/// bit for bit. Determinism matters because the sliced format fixes the
+/// lane->row permutation that the instrumental kernels iterate in, and
+/// fixed-config runs must be bit-identical across repeats.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/storage_layout.hpp"
+#include "matrix/system_matrix.hpp"
+#include "util/types.hpp"
+
+namespace gaia::matrix {
+
+/// Structure-of-arrays coefficient streams, plane-major within row
+/// tiles of `kSoaTileRows`: coefficient i of row r lives at
+///
+///   stream[(tile(r) * planes + i) * kSoaTileRows + (r % kSoaTileRows)]
+///
+/// so a kernel sweeping one tile touches `planes` contiguous 2 KiB
+/// plane segments instead of striding through 192 B AoS records. The
+/// final partial tile is zero-padded to the full tile height; padded
+/// rows carry zero coefficients and are never indexed by kernels (they
+/// iterate r < n_rows), but the padding keeps every plane segment
+/// aligned and the addressing branch-free.
+struct SoaStreams {
+  std::vector<real> astro;  ///< kAstroNnzPerRow planes
+  std::vector<real> att;    ///< kAttNnzPerRow planes
+  std::vector<real> instr;  ///< kInstrNnzPerRow planes
+  std::vector<real> glob;   ///< 1 plane
+  row_index n_rows = 0;
+  row_index padded_rows = 0;  ///< n_tiles * kSoaTileRows
+
+  [[nodiscard]] bool built() const { return padded_rows > 0; }
+  [[nodiscard]] byte_size bytes() const {
+    return (astro.size() + att.size() + instr.size() + glob.size()) *
+           sizeof(real);
+  }
+};
+
+/// SELL-C-sigma-style storage of the irregular instrumental block.
+///
+/// Rows are stable-sorted by their first instrumental column within
+/// sigma windows of `kSliceSigmaWindow` rows, then grouped into slices
+/// of `kSliceHeight` lanes. Values and columns are stored lane-major,
+///
+///   slice_values[(s * kInstrNnzPerRow + j) * kSliceHeight + lane]
+///
+/// so `kSliceHeight` consecutive workers read consecutive memory and —
+/// thanks to the sort — gather/scatter nearby instrumental columns,
+/// which is what turns the block's ~90 % miss rate into cache reuse.
+/// Padded lanes carry row -1 and zeroed values/columns.
+struct SlicedInstr {
+  std::vector<real> slice_values;        ///< n_slices * 6 * kSliceHeight
+  std::vector<std::int32_t> slice_cols;  ///< same shape, section-local
+  std::vector<row_index> slice_rows;     ///< n_slices * kSliceHeight, -1 pad
+  /// Inverse permutation: row r occupies flat lane slot `row_slot[r]`
+  /// (= slice * kSliceHeight + lane). Lets the privatized scatter keep
+  /// iterating rows in ascending order — the fold stays bit-identical
+  /// to the seed layout's worker partitioning.
+  std::vector<row_index> row_slot;
+  row_index n_rows = 0;
+  row_index n_slices = 0;
+
+  [[nodiscard]] bool built() const { return n_slices > 0; }
+  [[nodiscard]] byte_size bytes() const {
+    return slice_values.size() * sizeof(real) +
+           slice_cols.size() * sizeof(std::int32_t) +
+           (slice_rows.size() + row_slot.size()) * sizeof(row_index);
+  }
+};
+
+/// Owner of the derived layouts of one system. Holds a reference to the
+/// source matrix; the matrix must outlive it and must not be resized
+/// while layouts are attached to views.
+class LayoutedSystem {
+ public:
+  explicit LayoutedSystem(const SystemMatrix& A) : A_(&A) {}
+
+  /// Builds the derived arrays a layout needs (idempotent; `kSeedAos`
+  /// is a no-op). `kSlicedInstr` implies the SoA streams too: it uses
+  /// them for the regular astro/att/glob blocks.
+  void build(StorageLayout layout);
+
+  /// True when every array `layout` needs has been built.
+  [[nodiscard]] bool has(StorageLayout layout) const;
+
+  [[nodiscard]] const SystemMatrix& matrix() const { return *A_; }
+  [[nodiscard]] const SoaStreams& soa() const { return soa_; }
+  [[nodiscard]] const SlicedInstr& sliced() const { return sliced_; }
+
+  /// Bytes the derived arrays occupy on top of the seed storage.
+  [[nodiscard]] byte_size derived_bytes() const {
+    return soa_.bytes() + sliced_.bytes();
+  }
+
+  /// Coefficient bytes a full sweep of `layout` streams, padding
+  /// included; the seed layout charges the whole 24-wide record.
+  [[nodiscard]] byte_size padded_coefficient_bytes(StorageLayout layout) const;
+
+  /// Coefficient bytes actually carrying information (n_rows * 24
+  /// doubles) — identical for every layout; the padded/compacted ratio
+  /// is the price of the regularized addressing.
+  [[nodiscard]] byte_size compacted_coefficient_bytes() const;
+
+ private:
+  void build_soa();
+  void build_sliced();
+
+  const SystemMatrix* A_;
+  SoaStreams soa_{};
+  SlicedInstr sliced_{};
+};
+
+}  // namespace gaia::matrix

@@ -11,10 +11,11 @@ namespace gaia::metrics {
 
 const KernelTiming* PerfBaseline::find(const std::string& kernel,
                                        const std::string& backend,
-                                       const std::string& strategy) const {
+                                       const std::string& strategy,
+                                       const std::string& layout) const {
   for (const KernelTiming& t : kernels)
     if (t.kernel == kernel && t.backend == backend &&
-        t.strategy == strategy)
+        t.strategy == strategy && t.layout == layout)
       return &t;
   return nullptr;
 }
@@ -98,6 +99,8 @@ KernelTiming parse_timing(JsonCursor& cur) {
       t.backend = cur.parse_string();
     else if (key == "strategy")
       t.strategy = cur.parse_string();
+    else if (key == "layout")
+      t.layout = cur.parse_string();
     else if (key == "median_seconds")
       t.median_seconds = cur.parse_number();
     else if (key == "samples")
@@ -126,6 +129,8 @@ std::string PerfBaseline::to_json() const {
     append_escaped(os, t.backend);
     os << ", \"strategy\": ";
     append_escaped(os, t.strategy);
+    os << ", \"layout\": ";
+    append_escaped(os, t.layout);
     os << ", \"median_seconds\": " << t.median_seconds
        << ", \"samples\": " << t.samples << '}';
     first = false;
@@ -191,8 +196,8 @@ std::string GateReport::to_string() const {
   std::ostringstream os;
   const auto line = [&os](const char* tag, const GateFinding& f) {
     os << "  " << tag << ' ' << f.kernel << '/' << f.backend << '/'
-       << f.strategy << ": " << f.old_seconds << "s -> " << f.new_seconds
-       << "s";
+       << f.strategy << '/' << f.layout << ": " << f.old_seconds << "s -> "
+       << f.new_seconds << "s";
     if (f.ratio > 0) os << " (x" << f.ratio << ')';
     os << '\n';
   };
@@ -213,9 +218,10 @@ GateReport perf_gate(const PerfBaseline& base, const PerfBaseline& next,
     f.kernel = old_t.kernel;
     f.backend = old_t.backend;
     f.strategy = old_t.strategy;
+    f.layout = old_t.layout;
     f.old_seconds = old_t.median_seconds;
     const KernelTiming* new_t =
-        next.find(old_t.kernel, old_t.backend, old_t.strategy);
+        next.find(old_t.kernel, old_t.backend, old_t.strategy, old_t.layout);
     if (new_t == nullptr) {
       report.missing.push_back(f);
       if (!options.allow_missing) report.pass = false;

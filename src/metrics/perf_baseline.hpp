@@ -20,6 +20,10 @@ struct KernelTiming {
   std::string kernel;    ///< "aprod1_astro", ... (catalog region name)
   std::string backend;   ///< "serial" | "openmp" | "pstl" | "gpusim"
   std::string strategy;  ///< "atomic" | "privatized" | "none"
+  /// "seed_aos" | "soa_tiled" | "sliced_instr". Defaulted on parse so
+  /// baselines sealed before the layout axis existed stay loadable —
+  /// their series were all measured on the seed layout.
+  std::string layout = "seed_aos";
   double median_seconds = 0;
   std::uint64_t samples = 0;
 };
@@ -31,9 +35,10 @@ struct PerfBaseline {
   std::vector<KernelTiming> kernels;
 
   /// Series lookup by identity; nullptr when absent.
-  [[nodiscard]] const KernelTiming* find(const std::string& kernel,
-                                         const std::string& backend,
-                                         const std::string& strategy) const;
+  [[nodiscard]] const KernelTiming* find(
+      const std::string& kernel, const std::string& backend,
+      const std::string& strategy,
+      const std::string& layout = "seed_aos") const;
 
   [[nodiscard]] std::string to_json() const;
 };
@@ -58,7 +63,7 @@ struct GateOptions {
 
 /// One series-level verdict of the gate.
 struct GateFinding {
-  std::string kernel, backend, strategy;
+  std::string kernel, backend, strategy, layout;
   double old_seconds = 0;
   double new_seconds = 0;
   double ratio = 0;  ///< new / old (0 when the series is missing)

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "backends/backend.hpp"
+#include "matrix/storage_layout.hpp"
 #include "util/error.hpp"
 
 namespace gaia::perfmodel {
@@ -79,6 +80,42 @@ KernelShapeInfo shape_info(KernelId id) {
   throw Error("unknown kernel id");
 }
 
+// Gather miss factor of the instrumental kernels under the sliced
+// layout: sigma-window sorting by first instrumental column clusters
+// rows that scatter/gather nearby x entries, roughly halving the
+// irregular-access miss rate (the SELL-C-sigma effect).
+constexpr double kInstrMissSliced = 0.45;
+
+/// Exact coefficient bytes of a kernel's block, and the cache lines the
+/// seed AoS record fetch actually touches for it. The 24-double record
+/// is 3 lines: [0,8) holds astro + the first att doubles, [8,16) att,
+/// [16,24) the att tail + instr + glob. Astro reads line 0 (64 B for
+/// 40 B of payload); attitude straddles all three (192 B for 96 B);
+/// instrumental and global each sit inside line 2.
+struct CoeffBlock {
+  double exact;
+  double seed_lines;
+};
+
+CoeffBlock coeff_block(KernelId id) {
+  using enum KernelId;
+  switch (id) {
+    case kAprod1Astro:
+    case kAprod2Astro:
+      return {40, 64};
+    case kAprod1Att:
+    case kAprod2Att:
+      return {96, 192};
+    case kAprod1Instr:
+    case kAprod2Instr:
+      return {48, 64};
+    case kAprod1Glob:
+    case kAprod2Glob:
+      return {8, 64};
+  }
+  throw Error("unknown kernel id");
+}
+
 /// Distinct target columns of an atomic kernel.
 double distinct_columns(KernelId id, const ProblemShape& p) {
   switch (id) {
@@ -107,6 +144,69 @@ double KernelCostModel::kernel_traffic_bytes(KernelId id,
   const KernelShapeInfo info = shape_info(id);
   const double rows = static_cast<double>(p.n_rows);
   return rows * (info.per_row_bytes + info.gather_bytes * info.miss);
+}
+
+double KernelCostModel::layout_traffic_bytes(
+    KernelId id, const ProblemShape& p,
+    backends::StorageLayout layout) const {
+  using backends::StorageLayout;
+  const KernelShapeInfo info = shape_info(id);
+  const double rows = static_cast<double>(std::max<row_index>(1, p.n_rows));
+  const CoeffBlock cb = coeff_block(id);
+  // Index payload + y traffic: everything in per_row_bytes that is not
+  // the coefficient block itself.
+  double idx_y = info.per_row_bytes - cb.exact;
+  const bool instr =
+      id == KernelId::kAprod1Instr || id == KernelId::kAprod2Instr;
+  const auto padded_to = [rows](double granule) {
+    return std::ceil(rows / granule) * granule;
+  };
+
+  double coeff_total = 0.0;
+  double miss = info.miss;
+  switch (layout) {
+    case StorageLayout::kSeedAos:
+      coeff_total = rows * cb.seed_lines;
+      break;
+    case StorageLayout::kSoaTiled:
+      coeff_total =
+          padded_to(static_cast<double>(matrix::kSoaTileRows)) * cb.exact;
+      break;
+    case StorageLayout::kSlicedInstr:
+      if (instr) {
+        // Lane-major slices: 6 doubles + 6 int32 columns + the row index
+        // per lane, padded lanes included. The int32 payload replaces
+        // the seed's 24 B instr_col read, so drop it from idx_y.
+        const double lanes =
+            padded_to(static_cast<double>(matrix::kSliceHeight));
+        coeff_total = lanes * (6.0 * (sizeof(real) + sizeof(std::int32_t)) +
+                               sizeof(row_index));
+        idx_y -= 6.0 * sizeof(std::int32_t);
+        miss = kInstrMissSliced;
+      } else {
+        // Non-instrumental kernels run the SoA streams under this
+        // layout (kSlicedInstr implies SoA for the regular blocks).
+        coeff_total =
+            padded_to(static_cast<double>(matrix::kSoaTileRows)) * cb.exact;
+      }
+      break;
+  }
+  return coeff_total + rows * (idx_y + info.gather_bytes * miss);
+}
+
+backends::StorageLayout KernelCostModel::preferred_layout(
+    KernelId id, const ProblemShape& p) const {
+  auto best = backends::StorageLayout::kSeedAos;
+  double best_bytes = layout_traffic_bytes(id, p, best);
+  for (int l = 1; l < backends::kNumStorageLayouts; ++l) {
+    const auto cand = static_cast<backends::StorageLayout>(l);
+    const double bytes = layout_traffic_bytes(id, p, cand);
+    if (bytes < best_bytes) {
+      best = cand;
+      best_bytes = bytes;
+    }
+  }
+  return best;
 }
 
 double KernelCostModel::kernel_flops(KernelId id,

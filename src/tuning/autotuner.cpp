@@ -39,6 +39,7 @@ void note_winner(KernelId id, KernelConfig cfg, double median_s) {
                  {"blocks", static_cast<std::int64_t>(cfg.blocks)},
                  {"threads", static_cast<std::int64_t>(cfg.threads)},
                  {"strategy", backends::to_string(cfg.strategy)},
+                 {"layout", backends::to_string(cfg.layout)},
                  {"median_us", median_s * 1e6}});
   }
 }
@@ -80,7 +81,8 @@ KernelConfig Autotuner::config_of(Candidate c) const {
   return {options_.block_grid[static_cast<std::size_t>(c.bi)],
           options_.thread_grid[static_cast<std::size_t>(c.ti)],
           c.si == 1 ? backends::ScatterStrategy::kPrivatized
-                    : backends::ScatterStrategy::kAtomic};
+                    : backends::ScatterStrategy::kAtomic,
+          static_cast<backends::StorageLayout>(c.li)};
 }
 
 int Autotuner::nearest_index(const std::vector<std::int32_t>& grid,
@@ -98,28 +100,40 @@ void Autotuner::seed_locked(KernelId id, KernelSearch& s) {
   // (collision avoidance), gathers want occupancy. The privatized
   // strategy has no collisions, so its arm seeds wide.
   const bool atomic = backends::kernel_uses_atomics(id);
-  const auto seed_of = [&](int si) {
+  const auto seed_of = [&](int si, int li) {
     const bool narrow = atomic && si == 0;
     Candidate c;
     c.bi = nearest_index(options_.block_grid, narrow ? 32 : 128);
     c.ti = nearest_index(options_.thread_grid, narrow ? 32 : 128);
     c.si = si;
+    c.li = li;
     return c;
   };
-  int first_arm = 0;
+  // Arm list = strategy axis x layout axis. The strategy axis only
+  // exists for the atomic scatters; the layout axis exists for every
+  // kernel. The first combo descends now, the rest are queued (stack,
+  // so they are pushed in reverse).
+  std::vector<int> strategy_arms{0};
   if (atomic) {
-    if (!options_.scatter.has_value()) {
-      // Strategy axis open: descend the atomic arm first (today's
-      // search, narrow seed), then the privatized arm from its own
-      // wide seed.
-      s.arm_seeds.push_back(seed_of(1));
-    } else if (*options_.scatter == backends::ScatterStrategy::kPrivatized) {
-      first_arm = 1;
-    }
+    if (!options_.scatter.has_value())
+      strategy_arms = {0, 1};
+    else if (*options_.scatter == backends::ScatterStrategy::kPrivatized)
+      strategy_arms = {1};
   }
-  const Candidate start = seed_of(first_arm);
+  std::vector<int> layout_arms;
+  if (options_.layout.has_value())
+    layout_arms = {static_cast<int>(*options_.layout)};
+  else
+    for (int li = 0; li < backends::kNumStorageLayouts; ++li)
+      layout_arms.push_back(li);
+  std::vector<Candidate> combos;
+  for (int si : strategy_arms)
+    for (int li : layout_arms) combos.push_back(seed_of(si, li));
+  for (std::size_t i = combos.size(); i > 1; --i)
+    s.arm_seeds.push_back(combos[i - 1]);
+  const Candidate start = combos.front();
   s.current = start;
-  s.visited.insert({start.si, start.bi, start.ti});
+  s.visited.insert({start.si, start.li, start.bi, start.ti});
   s.started = true;
 }
 
@@ -129,11 +143,12 @@ void Autotuner::push_neighbors_locked(KernelSearch& s, Candidate c) {
         bi >= static_cast<int>(options_.block_grid.size()) ||
         ti >= static_cast<int>(options_.thread_grid.size()))
       return;
-    if (!s.visited.insert({c.si, bi, ti}).second) return;
-    s.pending.push_back({bi, ti, c.si});
+    if (!s.visited.insert({c.si, c.li, bi, ti}).second) return;
+    s.pending.push_back({bi, ti, c.si, c.li});
   };
   // Axis moves only — this is the coordinate-descent step set. Strategy
-  // is not a descent axis: each strategy arm descends from its own seed.
+  // and layout are not descent axes: each arm descends from its own
+  // seed.
   try_push(c.bi - 1, c.ti);
   try_push(c.bi + 1, c.ti);
   try_push(c.bi, c.ti - 1);
@@ -176,11 +191,12 @@ bool Autotuner::report(KernelId id, KernelConfig cfg, double seconds) {
   // The descent is per strategy arm: neighbors expand when the *arm's*
   // best improves (an arm whose seed loses to the other arm still
   // deserves its local search). The overall winner is tracked alongside.
-  const auto si = static_cast<std::size_t>(s.current.si);
-  if (!s.strategy_scored[si] || med < s.strategy_median[si]) {
-    s.strategy_best[si] = s.current;
-    s.strategy_median[si] = med;
-    s.strategy_scored[si] = true;
+  const auto arm = static_cast<std::size_t>(
+      s.current.si * backends::kNumStorageLayouts + s.current.li);
+  if (!s.arm_scored[arm] || med < s.arm_median[arm]) {
+    s.arm_best[arm] = s.current;
+    s.arm_median[arm] = med;
+    s.arm_scored[arm] = true;
     push_neighbors_locked(s, s.current);
   }
   if (!s.scored || med < s.best_median) {
@@ -191,13 +207,13 @@ bool Autotuner::report(KernelId id, KernelConfig cfg, double seconds) {
   if (s.pending.empty() ||
       s.arm_evaluated >= options_.max_configs_per_kernel) {
     if (!s.arm_seeds.empty()) {
-      // This arm is done; start the next strategy arm from its seed.
+      // This arm is done; start the next (strategy, layout) arm's seed.
       const Candidate seed = s.arm_seeds.back();
       s.arm_seeds.pop_back();
       s.pending.clear();
       s.arm_evaluated = 0;
       s.current = seed;
-      s.visited.insert({seed.si, seed.bi, seed.ti});
+      s.visited.insert({seed.si, seed.li, seed.bi, seed.ti});
       return false;
     }
     s.finished = true;
@@ -221,22 +237,65 @@ double Autotuner::best_median_s(KernelId id) const {
   return s.scored ? s.best_median : std::numeric_limits<double>::infinity();
 }
 
+namespace {
+
+/// Lowest-median arm among those `keep` selects; -1 when none scored.
+template <typename Search, typename Keep>
+int best_arm(const Search& s, Keep&& keep) {
+  int best = -1;
+  for (int a = 0; a < Search::kNumArms; ++a) {
+    if (!s.arm_scored[static_cast<std::size_t>(a)] || !keep(a)) continue;
+    if (best < 0 || s.arm_median[static_cast<std::size_t>(a)] <
+                        s.arm_median[static_cast<std::size_t>(best)])
+      best = a;
+  }
+  return best;
+}
+
+}  // namespace
+
 KernelConfig Autotuner::best_for(KernelId id,
                                  backends::ScatterStrategy strategy) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const KernelSearch& s = search_[static_cast<std::size_t>(id)];
-  const auto si = static_cast<std::size_t>(strategy);
-  return s.strategy_scored[si] ? config_of(s.strategy_best[si])
-                               : KernelConfig{};
+  const int want = static_cast<int>(strategy);
+  const int arm = best_arm(
+      s, [&](int a) { return a / backends::kNumStorageLayouts == want; });
+  return arm >= 0 ? config_of(s.arm_best[static_cast<std::size_t>(arm)])
+                  : KernelConfig{};
 }
 
 double Autotuner::best_median_for(KernelId id,
                                   backends::ScatterStrategy strategy) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const KernelSearch& s = search_[static_cast<std::size_t>(id)];
-  const auto si = static_cast<std::size_t>(strategy);
-  return s.strategy_scored[si] ? s.strategy_median[si]
-                               : std::numeric_limits<double>::infinity();
+  const int want = static_cast<int>(strategy);
+  const int arm = best_arm(
+      s, [&](int a) { return a / backends::kNumStorageLayouts == want; });
+  return arm >= 0 ? s.arm_median[static_cast<std::size_t>(arm)]
+                  : std::numeric_limits<double>::infinity();
+}
+
+KernelConfig Autotuner::best_for_layout(
+    KernelId id, backends::StorageLayout layout) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const KernelSearch& s = search_[static_cast<std::size_t>(id)];
+  const int want = static_cast<int>(layout);
+  const int arm = best_arm(
+      s, [&](int a) { return a % backends::kNumStorageLayouts == want; });
+  return arm >= 0 ? config_of(s.arm_best[static_cast<std::size_t>(arm)])
+                  : KernelConfig{};
+}
+
+double Autotuner::best_median_for_layout(
+    KernelId id, backends::StorageLayout layout) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const KernelSearch& s = search_[static_cast<std::size_t>(id)];
+  const int want = static_cast<int>(layout);
+  const int arm = best_arm(
+      s, [&](int a) { return a % backends::kNumStorageLayouts == want; });
+  return arm >= 0 ? s.arm_median[static_cast<std::size_t>(arm)]
+                  : std::numeric_limits<double>::infinity();
 }
 
 std::uint64_t Autotuner::trials() const {
@@ -275,6 +334,7 @@ std::vector<real> encode_table(const backends::TuningTable& table) {
     out.push_back(static_cast<real>(cfg.blocks));
     out.push_back(static_cast<real>(cfg.threads));
     out.push_back(static_cast<real>(static_cast<int>(cfg.strategy)));
+    out.push_back(static_cast<real>(static_cast<int>(cfg.layout)));
   }
   return out;
 }
@@ -288,11 +348,15 @@ backends::TuningTable decode_table(std::span<const real> data) {
     const auto strategy = static_cast<int>(data[i + 2]);
     GAIA_CHECK(strategy >= 0 && strategy < backends::kNumScatterStrategies,
                "decode_table: unknown scatter strategy");
+    const auto layout = static_cast<int>(data[i + 3]);
+    GAIA_CHECK(layout >= 0 && layout < backends::kNumStorageLayouts,
+               "decode_table: unknown storage layout");
     KernelConfig cfg{static_cast<std::int32_t>(data[i]),
                      static_cast<std::int32_t>(data[i + 1]),
-                     static_cast<backends::ScatterStrategy>(strategy)};
+                     static_cast<backends::ScatterStrategy>(strategy),
+                     static_cast<backends::StorageLayout>(layout)};
     table.set(id, cfg);
-    i += 3;
+    i += 4;
   }
   return table;
 }

@@ -53,6 +53,15 @@ struct AutotuneOptions {
   /// and the lower measured median wins. Gather kernels ignore this.
   std::optional<backends::ScatterStrategy> scatter =
       backends::ScatterStrategy::kAtomic;
+  /// The storage-layout axis — every kernel has one, gathers included.
+  /// Pinned to kSeedAos (the default) nothing changes; pinned to a
+  /// derived layout every kernel searches that layout's bodies only;
+  /// nullopt opens the axis: each layout is its own descent arm (the
+  /// launch-shape optimum moves with the addressing pattern, so a
+  /// layout cannot reuse another's winning shape) and the lowest
+  /// measured median across arms wins.
+  std::optional<backends::StorageLayout> layout =
+      backends::StorageLayout::kSeedAos;
 };
 
 /// Per-(backend) search state over all eight kernels. Thread-safe: the
@@ -99,6 +108,14 @@ class Autotuner {
   [[nodiscard]] double best_median_for(
       backends::KernelId id, backends::ScatterStrategy strategy) const;
 
+  /// Best shape / median measured *within one layout arm* — the
+  /// seed-vs-derived-layout comparison the experiments tables and the
+  /// layout-smoke CI assertion are built from.
+  [[nodiscard]] backends::KernelConfig best_for_layout(
+      backends::KernelId id, backends::StorageLayout layout) const;
+  [[nodiscard]] double best_median_for_layout(
+      backends::KernelId id, backends::StorageLayout layout) const;
+
   /// Timed launches consumed so far (all kernels).
   [[nodiscard]] std::uint64_t trials() const;
   /// Kernels whose search closed with a measured winner.
@@ -116,6 +133,7 @@ class Autotuner {
     int bi = 0;  ///< index into options_.block_grid
     int ti = 0;  ///< index into options_.thread_grid
     int si = 0;  ///< strategy arm: 0 = atomic, 1 = privatized
+    int li = 0;  ///< layout arm: StorageLayout enum value
   };
   struct KernelSearch {
     bool started = false;
@@ -123,19 +141,24 @@ class Autotuner {
     Candidate current{};
     std::vector<double> samples;   ///< of the current candidate
     std::vector<Candidate> pending;
-    std::set<std::tuple<int, int, int>> visited;
-    /// Seeds of strategy arms not yet descended (an arm runs to
-    /// convergence or budget before the next seed starts, so both
-    /// strategies are guaranteed their descent).
+    std::set<std::tuple<int, int, int, int>> visited;
+    /// Seeds of (strategy, layout) arms not yet descended (an arm runs
+    /// to convergence or budget before the next seed starts, so every
+    /// arm is guaranteed its descent).
     std::vector<Candidate> arm_seeds;
     int arm_evaluated = 0;  ///< candidates scored in the current arm
     Candidate best{};
     double best_median = 0;  ///< valid iff scored
     bool scored = false;
-    /// Per-strategy best, for the atomic-vs-privatized report.
-    std::array<Candidate, backends::kNumScatterStrategies> strategy_best{};
-    std::array<double, backends::kNumScatterStrategies> strategy_median{};
-    std::array<bool, backends::kNumScatterStrategies> strategy_scored{};
+    /// Per-(strategy, layout) arm best — the descent criterion, and the
+    /// base of both the atomic-vs-privatized and the seed-vs-derived
+    /// reports (which are minima over the other axis). Indexed
+    /// si * kNumStorageLayouts + li.
+    static constexpr int kNumArms =
+        backends::kNumScatterStrategies * backends::kNumStorageLayouts;
+    std::array<Candidate, kNumArms> arm_best{};
+    std::array<double, kNumArms> arm_median{};
+    std::array<bool, kNumArms> arm_scored{};
     int evaluated = 0;
   };
 
@@ -153,13 +176,13 @@ class Autotuner {
   std::uint64_t trials_ = 0;
 };
 
-/// Flat encoding of a TuningTable as 3*kNumKernels reals (blocks,
-/// threads, scatter strategy per kernel in enum order) — the dist layer
-/// broadcasts rank 0's winners to all ranks through the existing
-/// Comm::bcast(span<real>) so every rank runs identical shapes and
-/// strategies.
+/// Flat encoding of a TuningTable as 4*kNumKernels reals (blocks,
+/// threads, scatter strategy, storage layout per kernel in enum order) —
+/// the dist layer broadcasts rank 0's winners to all ranks through the
+/// existing Comm::bcast(span<real>) so every rank runs identical shapes,
+/// strategies and layouts.
 inline constexpr std::size_t kEncodedTableSize =
-    3 * static_cast<std::size_t>(backends::kNumKernels);
+    4 * static_cast<std::size_t>(backends::kNumKernels);
 [[nodiscard]] std::vector<real> encode_table(
     const backends::TuningTable& table);
 [[nodiscard]] backends::TuningTable decode_table(std::span<const real> data);

@@ -1,83 +1,117 @@
 #include "tuning/kernel_registry.hpp"
 
+#include "core/system_view.hpp"
 #include "util/error.hpp"
 
 namespace gaia::tuning {
 
+using backends::StorageLayout;
+
+namespace {
+/// The layout a launch actually runs with: a derived layout whose
+/// arrays are not attached to the view clamps to the seed — a view
+/// without descriptors keeps seed semantics instead of faulting on the
+/// null pointers (the contract documented on SystemView::has_layout).
+StorageLayout effective_layout(const LaunchArgs& args) {
+  const StorageLayout layout = args.config.layout;
+  if (layout != StorageLayout::kSeedAos && args.view != nullptr &&
+      !args.view->has_layout(layout))
+    return StorageLayout::kSeedAos;
+  return layout;
+}
+}  // namespace
+
 void KernelRegistry::add(backends::KernelId id,
                          backends::BackendKind backend,
-                         KernelLauncher launcher) {
+                         KernelLauncher launcher, StorageLayout layout) {
   GAIA_CHECK(launcher != nullptr, "KernelRegistry::add: null launcher");
-  table_[index(id, backend)] = std::move(launcher);
+  table_[index(id, backend, layout)] = std::move(launcher);
 }
 
 void KernelRegistry::add_fused(backends::BackendKind backend,
-                               KernelLauncher launcher) {
+                               KernelLauncher launcher,
+                               StorageLayout layout) {
   GAIA_CHECK(launcher != nullptr, "KernelRegistry::add_fused: null launcher");
-  fused_[static_cast<std::size_t>(backend)] = std::move(launcher);
+  fused_[fused_index(backend, layout)] = std::move(launcher);
 }
 
 void KernelRegistry::add_privatized(backends::KernelId id,
                                     backends::BackendKind backend,
-                                    KernelLauncher launcher) {
+                                    KernelLauncher launcher,
+                                    StorageLayout layout) {
   GAIA_CHECK(launcher != nullptr,
              "KernelRegistry::add_privatized: null launcher");
   GAIA_CHECK(backends::kernel_uses_atomics(id),
              "KernelRegistry::add_privatized: " + backends::to_string(id) +
                  " has no atomic scatter to privatize");
-  privatized_[index(id, backend)] = std::move(launcher);
+  privatized_[index(id, backend, layout)] = std::move(launcher);
 }
 
 bool KernelRegistry::has(backends::KernelId id,
-                         backends::BackendKind backend) const {
-  return table_[index(id, backend)] != nullptr;
+                         backends::BackendKind backend,
+                         StorageLayout layout) const {
+  return table_[index(id, backend, layout)] != nullptr;
 }
 
-bool KernelRegistry::has_fused(backends::BackendKind backend) const {
-  return fused_[static_cast<std::size_t>(backend)] != nullptr;
+bool KernelRegistry::has_fused(backends::BackendKind backend,
+                               StorageLayout layout) const {
+  return fused_[fused_index(backend, layout)] != nullptr;
 }
 
 bool KernelRegistry::has_privatized(backends::KernelId id,
-                                    backends::BackendKind backend) const {
-  return privatized_[index(id, backend)] != nullptr;
+                                    backends::BackendKind backend,
+                                    StorageLayout layout) const {
+  return privatized_[index(id, backend, layout)] != nullptr;
 }
 
 void KernelRegistry::launch(backends::KernelId id,
                             backends::BackendKind backend,
                             const LaunchArgs& args) const {
+  const StorageLayout layout = effective_layout(args);
+  LaunchArgs run = args;
+  run.config.layout = layout;
   if (args.config.strategy == backends::ScatterStrategy::kPrivatized &&
       backends::kernel_uses_atomics(id)) {
-    const KernelLauncher& pfn = privatized_[index(id, backend)];
-    if (!pfn)
+    const KernelLauncher* pfn = &privatized_[index(id, backend, layout)];
+    if (!*pfn && layout != StorageLayout::kSeedAos)
+      pfn = &privatized_[index(id, backend, StorageLayout::kSeedAos)];
+    if (!*pfn)
       throw Error(
           "KernelRegistry: no privatized launcher registered for kernel " +
           backends::to_string(id) + " on backend " +
           backends::to_string(backend));
-    pfn(args);
+    (*pfn)(run);
     return;
   }
-  const KernelLauncher& fn = table_[index(id, backend)];
-  if (!fn)
+  const KernelLauncher* fn = &table_[index(id, backend, layout)];
+  if (!*fn && layout != StorageLayout::kSeedAos)
+    fn = &table_[index(id, backend, StorageLayout::kSeedAos)];
+  if (!*fn)
     throw Error("KernelRegistry: no launcher registered for kernel " +
                 backends::to_string(id) + " on backend " +
                 backends::to_string(backend));
-  fn(args);
+  (*fn)(run);
 }
 
 void KernelRegistry::launch_fused(backends::BackendKind backend,
                                   const LaunchArgs& args) const {
-  const KernelLauncher& fn = fused_[static_cast<std::size_t>(backend)];
-  if (!fn)
+  const StorageLayout layout = effective_layout(args);
+  LaunchArgs run = args;
+  run.config.layout = layout;
+  const KernelLauncher* fn = &fused_[fused_index(backend, layout)];
+  if (!*fn && layout != StorageLayout::kSeedAos)
+    fn = &fused_[fused_index(backend, StorageLayout::kSeedAos)];
+  if (!*fn)
     throw Error("KernelRegistry: no fused aprod2 launcher registered for "
                 "backend " +
                 backends::to_string(backend));
-  fn(args);
+  (*fn)(run);
 }
 
 std::size_t KernelRegistry::size() const {
   std::size_t n = 0;
-  for (const auto& fn : table_)
-    if (fn) ++n;
+  for (std::size_t i = 0; i < kPlane; ++i)
+    if (table_[i]) ++n;
   return n;
 }
 

@@ -1,13 +1,21 @@
 /// \file kernel_registry.hpp
-/// \brief Type-erased kernel dispatch: (KernelId, BackendKind) -> launcher.
+/// \brief Type-erased kernel dispatch:
+/// (KernelId, BackendKind, StorageLayout) -> launcher.
 ///
 /// Before this subsystem, every launch site in `core/aprod.cpp` carried
 /// its own `switch (id)` over the eight kernels — three copies of the
 /// same dispatch, and anything new (the failover re-dispatch, the
 /// autotuner's trial launches, benches) grew a fourth. The registry
-/// replaces them with one table: each backend registers its eight
-/// templated kernel instantiations once (see `core/kernel_catalog.cpp`),
-/// and aprod, failover and bench all launch through `launch()`.
+/// replaces them with one table: each backend registers its templated
+/// kernel instantiations once (see `core/kernel_catalog.cpp`), and
+/// aprod, failover and bench all launch through `launch()`.
+///
+/// The storage layout is a third dispatch axis, carried by
+/// `args.config.layout` exactly like the scatter strategy: the catalog
+/// registers one body per (kernel, backend, layout), and a layout slot
+/// left empty falls back to the seed-layout launcher (which reads the
+/// always-present seed arrays), so a partially-registered layout can
+/// never fault — it just runs unaccelerated.
 ///
 /// The launchers are type-erased `std::function`s over a flat argument
 /// struct so the registry depends only on forward declarations — the
@@ -35,7 +43,8 @@ namespace gaia::tuning {
 /// aprod2 kernels in = y, out = x. atomic_mode is ignored by the
 /// atomic-free kernels. `arena` is the scratch pool the privatized
 /// scatter strategy draws from (null = the backend's process-wide
-/// arena); config.strategy selects which launcher variant runs.
+/// arena); config.strategy selects which launcher variant runs and
+/// config.layout which storage layout's body.
 struct LaunchArgs {
   const core::SystemView* view = nullptr;
   const real* in = nullptr;
@@ -47,64 +56,90 @@ struct LaunchArgs {
 
 using KernelLauncher = std::function<void(const LaunchArgs&)>;
 
-/// Dense (KernelId x BackendKind) table of launchers plus one fused
-/// aprod2 launcher per backend (the fused scatter is not a KernelId of
-/// its own — it shares kAprod2Att's tuning and fault identity).
+/// Dense (KernelId x BackendKind x StorageLayout) table of launchers
+/// plus one fused aprod2 launcher per (backend, layout) — the fused
+/// scatter is not a KernelId of its own, it shares kAprod2Att's tuning
+/// and fault identity.
 ///
 /// Registration happens once at startup (core::ensure_kernel_catalog());
 /// after that the table is read-only, so launches need no locking.
 class KernelRegistry {
  public:
   void add(backends::KernelId id, backends::BackendKind backend,
-           KernelLauncher launcher);
-  void add_fused(backends::BackendKind backend, KernelLauncher launcher);
+           KernelLauncher launcher,
+           backends::StorageLayout layout = backends::StorageLayout::kSeedAos);
+  void add_fused(
+      backends::BackendKind backend, KernelLauncher launcher,
+      backends::StorageLayout layout = backends::StorageLayout::kSeedAos);
   /// Registers the contention-free variant of an atomic scatter kernel;
   /// `launch()` routes to it when args.config.strategy says so.
-  void add_privatized(backends::KernelId id, backends::BackendKind backend,
-                      KernelLauncher launcher);
+  void add_privatized(
+      backends::KernelId id, backends::BackendKind backend,
+      KernelLauncher launcher,
+      backends::StorageLayout layout = backends::StorageLayout::kSeedAos);
 
-  [[nodiscard]] bool has(backends::KernelId id,
-                         backends::BackendKind backend) const;
-  [[nodiscard]] bool has_fused(backends::BackendKind backend) const;
-  [[nodiscard]] bool has_privatized(backends::KernelId id,
-                                    backends::BackendKind backend) const;
+  [[nodiscard]] bool has(backends::KernelId id, backends::BackendKind backend,
+                         backends::StorageLayout layout =
+                             backends::StorageLayout::kSeedAos) const;
+  [[nodiscard]] bool has_fused(backends::BackendKind backend,
+                               backends::StorageLayout layout =
+                                   backends::StorageLayout::kSeedAos) const;
+  [[nodiscard]] bool has_privatized(
+      backends::KernelId id, backends::BackendKind backend,
+      backends::StorageLayout layout =
+          backends::StorageLayout::kSeedAos) const;
 
   /// Dispatches through the registered launcher; throws gaia::Error
   /// naming the (kernel, backend) pair when nothing is registered —
   /// a registration bug, not a user error. An atomic scatter kernel
   /// whose args carry ScatterStrategy::kPrivatized dispatches through
   /// the privatized variant instead; every other kernel ignores the
-  /// strategy (there is nothing to privatize in a gather).
+  /// strategy (there is nothing to privatize in a gather). The layout
+  /// axis picks the body; an unregistered layout slot falls back to
+  /// the seed-layout launcher of the same (kernel, backend, variant).
   void launch(backends::KernelId id, backends::BackendKind backend,
               const LaunchArgs& args) const;
   void launch_fused(backends::BackendKind backend,
                     const LaunchArgs& args) const;
 
-  /// Registered (kernel, backend) entries, fused/privatized slots
-  /// excluded.
+  /// Registered (kernel, backend) entries in the seed-layout plane;
+  /// fused/privatized/derived-layout slots excluded.
   [[nodiscard]] std::size_t size() const;
 
   /// Process-wide registry the solver dispatches through.
   static KernelRegistry& global();
 
  private:
+  static constexpr std::size_t kPlane =
+      static_cast<std::size_t>(backends::kNumKernels) *
+      static_cast<std::size_t>(backends::kNumBackends);
+
   [[nodiscard]] static std::size_t index(backends::KernelId id,
-                                         backends::BackendKind backend) {
-    return static_cast<std::size_t>(id) *
+                                         backends::BackendKind backend,
+                                         backends::StorageLayout layout) {
+    return static_cast<std::size_t>(layout) * kPlane +
+           static_cast<std::size_t>(id) *
+               static_cast<std::size_t>(backends::kNumBackends) +
+           static_cast<std::size_t>(backend);
+  }
+  [[nodiscard]] static std::size_t fused_index(
+      backends::BackendKind backend, backends::StorageLayout layout) {
+    return static_cast<std::size_t>(layout) *
                static_cast<std::size_t>(backends::kNumBackends) +
            static_cast<std::size_t>(backend);
   }
 
   std::array<KernelLauncher,
-             static_cast<std::size_t>(backends::kNumKernels) *
-                 static_cast<std::size_t>(backends::kNumBackends)>
+             kPlane * static_cast<std::size_t>(backends::kNumStorageLayouts)>
       table_{};
-  std::array<KernelLauncher, backends::kNumBackends> fused_{};
+  std::array<KernelLauncher,
+             static_cast<std::size_t>(backends::kNumBackends) *
+                 static_cast<std::size_t>(backends::kNumStorageLayouts)>
+      fused_{};
   /// Sparse second strategy table: only the atomic scatter kernels have
   /// privatized variants registered.
   std::array<KernelLauncher,
-             static_cast<std::size_t>(backends::kNumKernels) *
-                 static_cast<std::size_t>(backends::kNumBackends)>
+             kPlane * static_cast<std::size_t>(backends::kNumStorageLayouts)>
       privatized_{};
 };
 

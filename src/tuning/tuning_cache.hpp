@@ -57,10 +57,11 @@ class TuningCache {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   /// Schema version this build reads and writes. v2 added the per-entry
-  /// scatter "strategy"; v1 files (no strategy recorded) are rejected as
-  /// a *version miss*, not corruption — the winners they hold were found
-  /// in a strategy-less search and must not silently pin the new axis.
-  static constexpr std::int64_t kSchemaVersion = 2;
+  /// scatter "strategy"; v3 added the storage "layout". Files of an
+  /// older schema are rejected as a *version miss*, not corruption — a
+  /// v2 winner was found in a layout-less search and must not silently
+  /// pin the new axis to seed.
+  static constexpr std::int64_t kSchemaVersion = 3;
 
   /// Why a parse produced no cache (kOk when it did).
   enum class ParseStatus {
@@ -70,9 +71,9 @@ class TuningCache {
   };
 
   /// JSON document (schema below); stable entry order for diffing.
-  /// {"version":2,"entries":[{"backend":"gpusim","rows_log2":8,
+  /// {"version":3,"entries":[{"backend":"gpusim","rows_log2":8,
   ///   "cols_log2":7,"kernel":"aprod2_att","blocks":32,"threads":32,
-  ///   "strategy":"privatized"}]}
+  ///   "strategy":"privatized","layout":"soa_tiled"}]}
   [[nodiscard]] std::string to_json() const;
   /// Strict parse: any malformed syntax, unknown backend/kernel/strategy
   /// name, invalid launch shape or wrong version yields nullopt (the

@@ -160,13 +160,16 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, ScatterStrategies,
                            return backends::to_string(info.param);
                          });
 
-/// Installs `strategy` on the three atomic kernels of a tuned table.
-backends::TuningTable strategy_table(ScatterStrategy strategy) {
+/// Installs `strategy` on the three atomic kernels of a tuned table,
+/// and optionally `layout` on every kernel.
+backends::TuningTable strategy_table(
+    ScatterStrategy strategy,
+    backends::StorageLayout layout = backends::StorageLayout::kSeedAos) {
   backends::TuningTable table = backends::TuningTable::tuned_default();
   for (backends::KernelId id : backends::all_kernels()) {
-    if (!backends::kernel_uses_atomics(id)) continue;
     KernelConfig cfg = table.get(id);
-    cfg.strategy = strategy;
+    if (backends::kernel_uses_atomics(id)) cfg.strategy = strategy;
+    cfg.layout = layout;
     table.set(id, cfg);
   }
   return table;
@@ -194,6 +197,48 @@ TEST(ScatterStrategyDriver, PrivatizedTableMatchesAtomicThroughAprod) {
   const auto atomic = apply2_with(ScatterStrategy::kAtomic);
   const auto priv = apply2_with(ScatterStrategy::kPrivatized);
   EXPECT_LT(gaia::testing::rel_l2_error(priv, atomic), 1e-12);
+}
+
+TEST(ScatterStrategyDriver, DerivedLayoutsMatchSeedThroughAprod) {
+  // End-to-end through Aprod's lazy layout path: a tuning table that
+  // selects a derived storage layout makes the driver build and attach
+  // the LayoutedSystem on first launch, and both aprod directions must
+  // agree with the seed layout for either scatter strategy.
+  const auto gen = matrix::generate_system(gaia::testing::medium_config(53));
+  util::Xoshiro256 rng(19);
+  std::vector<real> x_in(static_cast<std::size_t>(gen.A.n_cols()));
+  std::vector<real> y_in(static_cast<std::size_t>(gen.A.n_rows()));
+  for (auto& v : x_in) v = rng.normal();
+  for (auto& v : y_in) v = rng.normal();
+
+  auto run_with = [&](ScatterStrategy strategy,
+                      backends::StorageLayout layout) {
+    backends::DeviceContext device;
+    AprodOptions opts;
+    opts.backend = BackendKind::kGpuSim;
+    opts.use_streams = false;
+    opts.tuning = strategy_table(strategy, layout);
+    Aprod aprod(gen.A, device, opts);
+    std::vector<real> y(y_in.size(), 0.0);
+    std::vector<real> x(x_in.size(), 0.0);
+    aprod.apply1(x_in, y);
+    aprod.apply2(y_in, x);
+    return std::pair{y, x};
+  };
+
+  const auto seed = run_with(ScatterStrategy::kAtomic,
+                             backends::StorageLayout::kSeedAos);
+  for (const auto layout : {backends::StorageLayout::kSoaTiled,
+                            backends::StorageLayout::kSlicedInstr}) {
+    for (const auto strategy :
+         {ScatterStrategy::kAtomic, ScatterStrategy::kPrivatized}) {
+      const auto [y, x] = run_with(strategy, layout);
+      EXPECT_LT(gaia::testing::rel_l2_error(y, seed.first), 1e-12)
+          << backends::to_string(layout);
+      EXPECT_LT(gaia::testing::rel_l2_error(x, seed.second), 1e-12)
+          << backends::to_string(layout);
+    }
+  }
 }
 
 TEST(ScatterStrategyDriver, ArenaAllocatorSilentAfterFirstIteration) {

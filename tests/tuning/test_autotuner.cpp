@@ -240,14 +240,18 @@ TEST(AutotunerEncoding, TableRoundTripsThroughTheBroadcastEncoding) {
   backends::TuningTable table = backends::TuningTable::tuned_default();
   table.set(KernelId::kAprod1Glob, {3, 7});
   table.set(KernelId::kAprod2Att,
-            {16, 32, backends::ScatterStrategy::kPrivatized});
+            {16, 32, backends::ScatterStrategy::kPrivatized,
+             backends::StorageLayout::kSoaTiled});
+  table.set(KernelId::kAprod2Instr,
+            {8, 64, backends::ScatterStrategy::kAtomic,
+             backends::StorageLayout::kSlicedInstr});
   const std::vector<real> wire = encode_table(table);
-  EXPECT_EQ(wire.size(), 3u * backends::kNumKernels);
+  EXPECT_EQ(wire.size(), kEncodedTableSize);
   EXPECT_EQ(decode_table(wire), table);
 }
 
 TEST(AutotunerEncoding, WrongElementCountThrows) {
-  std::vector<real> wire(3 * backends::kNumKernels - 1, 0.0);
+  std::vector<real> wire(kEncodedTableSize - 1, 0.0);
   EXPECT_THROW((void)decode_table(wire), Error);
 }
 
@@ -255,6 +259,13 @@ TEST(AutotunerEncoding, UnknownStrategyCodeThrows) {
   backends::TuningTable table = backends::TuningTable::tuned_default();
   std::vector<real> wire = encode_table(table);
   wire[2] = 9;  // not a ScatterStrategy enumerator
+  EXPECT_THROW((void)decode_table(wire), Error);
+}
+
+TEST(AutotunerEncoding, UnknownLayoutCodeThrows) {
+  backends::TuningTable table = backends::TuningTable::tuned_default();
+  std::vector<real> wire = encode_table(table);
+  wire[3] = 9;  // not a StorageLayout enumerator
   EXPECT_THROW((void)decode_table(wire), Error);
 }
 

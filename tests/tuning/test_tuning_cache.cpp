@@ -153,12 +153,14 @@ TEST_F(TuningCacheTest, BucketMismatchForcesAReTune) {
 TEST(TuningCacheJson, DocumentRoundTripsAndIsStable) {
   TuningCache cache;
   cache.put(BackendKind::kGpuSim, {8, 7}, KernelId::kAprod2Att,
-            {32, 32, backends::ScatterStrategy::kPrivatized});
+            {32, 32, backends::ScatterStrategy::kPrivatized,
+             backends::StorageLayout::kSlicedInstr});
   cache.put(BackendKind::kOpenMP, {8, 7}, KernelId::kAprod1Astro, {16, 128});
   const std::string json = cache.to_json();
-  EXPECT_NE(json.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"kernel\":\"aprod2_att\""), std::string::npos);
   EXPECT_NE(json.find("\"strategy\":\"privatized\""), std::string::npos);
+  EXPECT_NE(json.find("\"layout\":\"sliced_instr\""), std::string::npos);
   const auto parsed = TuningCache::parse_json(json);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->size(), 2u);
@@ -166,16 +168,17 @@ TEST(TuningCacheJson, DocumentRoundTripsAndIsStable) {
       parsed->find(BackendKind::kGpuSim, {8, 7}, KernelId::kAprod2Att);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit,
-            (KernelConfig{32, 32, backends::ScatterStrategy::kPrivatized}));
+            (KernelConfig{32, 32, backends::ScatterStrategy::kPrivatized,
+                          backends::StorageLayout::kSlicedInstr}));
   // Serialization is deterministic (diffable caches).
   EXPECT_EQ(parsed->to_json(), json);
 }
 
-TEST(TuningCacheJson, MissingStrategyKeyDefaultsToAtomic) {
-  // v2 readers accept entries without the key (a hand-edited file);
-  // absent means atomic, the pre-strategy behaviour.
+TEST(TuningCacheJson, MissingStrategyAndLayoutKeysDefaultToSeed) {
+  // Readers accept entries without the optional keys (a hand-edited
+  // file); absent means atomic + seed_aos, the pre-axis behaviour.
   const std::string json =
-      "{\"version\":2,\"entries\":[{\"backend\":\"gpusim\","
+      "{\"version\":3,\"entries\":[{\"backend\":\"gpusim\","
       "\"rows_log2\":8,\"cols_log2\":7,\"kernel\":\"aprod2_att\","
       "\"blocks\":32,\"threads\":32}]}";
   const auto parsed = TuningCache::parse_json(json);
@@ -184,16 +187,17 @@ TEST(TuningCacheJson, MissingStrategyKeyDefaultsToAtomic) {
       parsed->find(BackendKind::kGpuSim, {8, 7}, KernelId::kAprod2Att);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->strategy, backends::ScatterStrategy::kAtomic);
+  EXPECT_EQ(hit->layout, backends::StorageLayout::kSeedAos);
 }
 
 TEST(TuningCacheJson, StrictParserRejectsEveryMalformation) {
   const auto entry = [](const std::string& backend, const std::string& kernel,
                         int blocks, int threads) {
-    return "{\"version\":2,\"entries\":[{\"backend\":\"" + backend +
+    return "{\"version\":3,\"entries\":[{\"backend\":\"" + backend +
            "\",\"rows_log2\":8,\"cols_log2\":7,\"kernel\":\"" + kernel +
            "\",\"blocks\":" + std::to_string(blocks) +
            ",\"threads\":" + std::to_string(threads) +
-           ",\"strategy\":\"atomic\"}]}";
+           ",\"strategy\":\"atomic\",\"layout\":\"seed_aos\"}]}";
   };
   // The control: the generator above produces a parsable document.
   ASSERT_TRUE(TuningCache::parse_json(entry("gpusim", "aprod2_att", 32, 32))
@@ -205,13 +209,18 @@ TEST(TuningCacheJson, StrictParserRejectsEveryMalformation) {
   EXPECT_EQ(status, Status::kMalformed);
   EXPECT_FALSE(TuningCache::parse_json("not json").has_value());
   EXPECT_FALSE(TuningCache::parse_json("{\"version\":2}").has_value());
-  // Another schema version: rejected, but as a *version miss*, not
-  // corruption — the entries are never trusted.
+  // Other schema versions: rejected, but as a *version miss*, not
+  // corruption — the entries are never trusted. v1 predates the
+  // strategy axis, v2 the layout axis.
   EXPECT_FALSE(
       TuningCache::parse_json("{\"version\":1,\"entries\":[]}", &status)
           .has_value());
   EXPECT_EQ(status, Status::kVersionMismatch);
-  // Unknown backend / kernel / strategy names.
+  EXPECT_FALSE(
+      TuningCache::parse_json("{\"version\":2,\"entries\":[]}", &status)
+          .has_value());
+  EXPECT_EQ(status, Status::kVersionMismatch);
+  // Unknown backend / kernel / strategy / layout names.
   EXPECT_FALSE(TuningCache::parse_json(entry("cuda11", "aprod2_att", 32, 32))
                    .has_value());
   EXPECT_FALSE(TuningCache::parse_json(entry("gpusim", "aprod9_att", 32, 32))
@@ -219,6 +228,10 @@ TEST(TuningCacheJson, StrictParserRejectsEveryMalformation) {
   std::string bad_strategy = entry("gpusim", "aprod2_att", 32, 32);
   bad_strategy.replace(bad_strategy.find("atomic"), 6, "quantum");
   EXPECT_FALSE(TuningCache::parse_json(bad_strategy, &status).has_value());
+  EXPECT_EQ(status, Status::kMalformed);
+  std::string bad_layout = entry("gpusim", "aprod2_att", 32, 32);
+  bad_layout.replace(bad_layout.find("seed_aos"), 8, "zigzag");
+  EXPECT_FALSE(TuningCache::parse_json(bad_layout, &status).has_value());
   EXPECT_EQ(status, Status::kMalformed);
   // Unlaunchable shapes: negative, zero-paired, absurd.
   EXPECT_FALSE(TuningCache::parse_json(entry("gpusim", "aprod2_att", -1, 32))
@@ -249,10 +262,20 @@ TEST(TuningCacheJson, OldVersionFileBumpsTheVersionMissCounter) {
   EXPECT_FALSE(cache.load(p));
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(reg.counter("tuning.cache.version_miss").value(), 1u);
+  // A sealed v2 cache (strategy axis, no layout axis) is the file an
+  // upgrade actually encounters: same clean fallback to a re-tune, no
+  // entry ever trusted.
+  resilience::write_framed_file(
+      p, "{\"version\":2,\"entries\":[{\"backend\":\"gpusim\","
+         "\"rows_log2\":8,\"cols_log2\":7,\"kernel\":\"aprod2_att\","
+         "\"blocks\":32,\"threads\":32,\"strategy\":\"privatized\"}]}");
+  EXPECT_FALSE(cache.load(p));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(reg.counter("tuning.cache.version_miss").value(), 2u);
   // Plain corruption does not touch the version-miss counter.
   resilience::write_framed_file(p, "not json");
   EXPECT_FALSE(cache.load(p));
-  EXPECT_EQ(reg.counter("tuning.cache.version_miss").value(), 1u);
+  EXPECT_EQ(reg.counter("tuning.cache.version_miss").value(), 2u);
   fs::remove(p);
   reg.set_enabled(false);
   reg.reset();
