@@ -96,6 +96,11 @@ int main(int argc, char** argv) {
     matrix::LayoutedSystem layouts(gen.A);
     layouts.build(backends::StorageLayout::kSlicedInstr);  // implies SoA
     view.attach_layout(layouts);
+    // Reduced-precision planes for every layout, so the precision axis
+    // is timed on the same memory story as the layout axis.
+    layouts.build_precision(backends::Precision::kFp32);
+    layouts.build_precision(backends::Precision::kBf16s);
+    view.attach_precision(layouts);
     const tuning::KernelRegistry& registry = tuning::KernelRegistry::global();
     const backends::TuningTable table = backends::TuningTable::tuned_default();
     backends::ScratchArena arena;
@@ -108,62 +113,93 @@ int main(int argc, char** argv) {
 
     metrics::PerfBaseline baseline;
     baseline.name = "smoke";
-    std::array<double, backends::kNumStorageLayouts> aprod_total{};
-    for (int li = 0; li < backends::kNumStorageLayouts; ++li) {
-      const auto layout = static_cast<backends::StorageLayout>(li);
-      for (backends::KernelId id : backends::all_kernels()) {
-        const bool is_aprod1 = id < backends::KernelId::kAprod2Astro;
-        tuning::LaunchArgs args;
-        args.view = &view;
-        args.in = is_aprod1 ? x.data() : y.data();
-        args.out = is_aprod1 ? y.data() : x.data();
-        args.config = table.get(id);
-        args.config.layout = layout;
-        args.arena = &arena;
-        const std::string name = backends::to_string(id);
-        const double spin_factor =
-            name == slowdown.kernel ? slowdown.factor - 1.0 : 0.0;
+    std::array<std::array<double, backends::kNumStorageLayouts>,
+               backends::kNumPrecisions>
+        aprod_total{};
+    for (int pi = 0; pi < backends::kNumPrecisions; ++pi) {
+      const auto precision = static_cast<backends::Precision>(pi);
+      for (int li = 0; li < backends::kNumStorageLayouts; ++li) {
+        const auto layout = static_cast<backends::StorageLayout>(li);
+        for (backends::KernelId id : backends::all_kernels()) {
+          const bool is_aprod1 = id < backends::KernelId::kAprod2Astro;
+          tuning::LaunchArgs args;
+          args.view = &view;
+          args.in = is_aprod1 ? x.data() : y.data();
+          args.out = is_aprod1 ? y.data() : x.data();
+          args.config = table.get(id);
+          args.config.layout = layout;
+          args.config.precision = precision;
+          args.arena = &arena;
+          const std::string name = backends::to_string(id);
+          const double spin_factor =
+              name == slowdown.kernel ? slowdown.factor - 1.0 : 0.0;
 
-        std::vector<double> samples;
-        samples.reserve(static_cast<std::size_t>(reps));
-        registry.launch(id, backend, args);  // warm-up, untimed
-        for (int r = 0; r < reps; ++r) {
-          util::Stopwatch watch;
-          registry.launch(id, backend, args);
-          if (spin_factor > 0) busy_spin_for(spin_factor * watch.elapsed_s());
-          samples.push_back(watch.elapsed_s());
+          std::vector<double> samples;
+          samples.reserve(static_cast<std::size_t>(reps));
+          registry.launch(id, backend, args);  // warm-up, untimed
+          for (int r = 0; r < reps; ++r) {
+            util::Stopwatch watch;
+            registry.launch(id, backend, args);
+            if (spin_factor > 0)
+              busy_spin_for(spin_factor * watch.elapsed_s());
+            samples.push_back(watch.elapsed_s());
+          }
+
+          metrics::KernelTiming timing;
+          timing.kernel = name;
+          timing.backend = backends::to_string(backend);
+          timing.strategy = backends::kernel_uses_atomics(id)
+                                ? backends::to_string(args.config.strategy)
+                                : "none";
+          timing.layout = backends::to_string(layout);
+          timing.precision = backends::to_string(precision);
+          timing.median_seconds = util::median(samples);
+          timing.samples = samples.size();
+          baseline.kernels.push_back(timing);
+          aprod_total[static_cast<std::size_t>(pi)]
+                     [static_cast<std::size_t>(li)] +=
+              timing.median_seconds;
+          std::cout << name << " [" << timing.layout << '/'
+                    << timing.precision << "]: median "
+                    << timing.median_seconds * 1e3 << " ms over " << reps
+                    << " rep(s)\n";
         }
-
-        metrics::KernelTiming timing;
-        timing.kernel = name;
-        timing.backend = backends::to_string(backend);
-        timing.strategy = backends::kernel_uses_atomics(id)
-                              ? backends::to_string(args.config.strategy)
-                              : "none";
-        timing.layout = backends::to_string(layout);
-        timing.median_seconds = util::median(samples);
-        timing.samples = samples.size();
-        baseline.kernels.push_back(timing);
-        aprod_total[static_cast<std::size_t>(li)] += timing.median_seconds;
-        std::cout << name << " [" << timing.layout << "]: median "
-                  << timing.median_seconds * 1e3 << " ms over " << reps
-                  << " rep(s)\n";
       }
     }
-    // One-line layout verdict: summed per-kernel medians per layout.
-    // The layout-smoke CI job greps this to assert a derived layout
-    // beats the seed on at least one parallel host backend.
-    const double seed_total = aprod_total[0];
+    // One-line layout verdict (at fp64): summed per-kernel medians per
+    // layout. The layout-smoke CI job greps this to assert a derived
+    // layout beats the seed on at least one parallel host backend.
+    const double seed_total = aprod_total[0][0];
     for (int li = 0; li < backends::kNumStorageLayouts; ++li) {
       const auto layout = static_cast<backends::StorageLayout>(li);
       std::cout << "layout total [" << backends::to_string(layout)
-                << "]: " << aprod_total[static_cast<std::size_t>(li)] * 1e3
+                << "]: " << aprod_total[0][static_cast<std::size_t>(li)] * 1e3
                 << " ms"
-                << (li > 0 && aprod_total[static_cast<std::size_t>(li)] <
+                << (li > 0 && aprod_total[0][static_cast<std::size_t>(li)] <
                                   seed_total
                         ? " (beats seed_aos)"
                         : "")
                 << '\n';
+    }
+    // Precision verdict: per (precision, layout) aprod totals against
+    // the same layout's fp64 total — the precision-smoke CI job greps
+    // "(beats fp64)" to assert the reduced storage actually buys
+    // bandwidth on a parallel host backend.
+    for (int pi = 1; pi < backends::kNumPrecisions; ++pi) {
+      const auto precision = static_cast<backends::Precision>(pi);
+      for (int li = 0; li < backends::kNumStorageLayouts; ++li) {
+        const auto layout = static_cast<backends::StorageLayout>(li);
+        const double total =
+            aprod_total[static_cast<std::size_t>(pi)]
+                       [static_cast<std::size_t>(li)];
+        std::cout << "precision total [" << backends::to_string(layout)
+                  << '/' << backends::to_string(precision)
+                  << "]: " << total * 1e3 << " ms"
+                  << (total < aprod_total[0][static_cast<std::size_t>(li)]
+                          ? " (beats fp64)"
+                          : "")
+                  << '\n';
+      }
     }
 
     metrics::save_baseline(cli.get("out"), baseline);

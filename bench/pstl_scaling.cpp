@@ -15,6 +15,7 @@
 ///   pstl-fixed   — the same with the legacy fixed 1024 grain
 /// The pstl-vs-openmp gap before/after the chunked-range fix is the
 /// headline table in EXPERIMENTS.md; `--smoke` keeps it CI-sized.
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
@@ -137,6 +138,30 @@ double pattern_scatter(Runner r, std::int64_t n, std::vector<real>& a,
   return b[0];
 }
 
+/// The aprod1 access motif: each row gathers a run of contiguous
+/// coefficient lanes (kNnzPerRow = 24 in the solver) and reduces them,
+/// with the same explicit `omp simd` reduction clause the SoA/sliced
+/// aprod1 bodies carry — the vectorizable half of the gather story, as
+/// opposed to `gather`'s fully random single-lane loads.
+double pattern_gather_simd(Runner r, std::int64_t n, std::vector<real>& a,
+                           std::vector<real>& b,
+                           const std::vector<std::int64_t>& idx) {
+  constexpr std::int64_t kLanes = 24;
+  const auto max_base = static_cast<std::size_t>(
+      static_cast<std::int64_t>(a.size()) - kLanes);
+  run_indexed(r, n, [&](std::int64_t i) {
+    const auto u = static_cast<std::size_t>(i);
+    const std::size_t base =
+        std::min(static_cast<std::size_t>(idx[u]), max_base);
+    real sum = 0;
+    GAIA_OMP_SIMD_REDUCTION(sum)
+    for (std::int64_t l = 0; l < kLanes; ++l)
+      sum += a[base + static_cast<std::size_t>(l)];
+    b[u] = sum;
+  });
+  return b[0];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +194,7 @@ int main(int argc, char** argv) {
     const Pattern patterns[] = {
         {"for_each", pattern_for_each},   {"transform", pattern_transform},
         {"reduce", pattern_reduce},       {"gather", pattern_gather},
+        {"gather-simd", pattern_gather_simd},
         {"scatter", pattern_scatter},
     };
 

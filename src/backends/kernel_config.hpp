@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "matrix/precision.hpp"
 #include "matrix/storage_layout.hpp"
 #include "util/types.hpp"
 
@@ -32,6 +33,21 @@ using matrix::kNumStorageLayouts;
 [[nodiscard]] inline std::optional<StorageLayout> parse_storage_layout(
     const std::string& name) {
   return matrix::parse_storage_layout(name);
+}
+
+/// Storage precision the kernel body reads its coefficients through.
+/// Like StorageLayout, the enum lives in `matrix` (header-only) next to
+/// the down-converters and rides on KernelConfig through the tuning
+/// stack; accumulation is FP64 for every precision.
+using matrix::Precision;
+using matrix::kNumPrecisions;
+
+[[nodiscard]] inline std::string to_string(Precision p) {
+  return matrix::to_string(p);
+}
+[[nodiscard]] inline std::optional<Precision> parse_precision(
+    const std::string& name) {
+  return matrix::parse_precision(name);
 }
 
 /// How an atomic aprod2 scatter commits its updates to x.
@@ -67,6 +83,12 @@ struct KernelConfig {
   /// derived arrays to be attached to the SystemView (the launcher
   /// falls back to kSeedAos when they are not).
   StorageLayout layout = StorageLayout::kSeedAos;
+  /// Coefficient storage precision the kernel body loads through. kFp64
+  /// is the seed behaviour bit for bit; reduced precisions require the
+  /// matching down-converted planes to be attached to the SystemView
+  /// (the launcher clamps to kFp64 when they are not). Accumulation is
+  /// FP64 regardless.
+  Precision precision = Precision::kFp64;
 
   [[nodiscard]] bool is_default() const { return blocks == 0 && threads == 0; }
   [[nodiscard]] std::int64_t total_threads() const {

@@ -34,9 +34,12 @@ std::vector<obs::TraceArg> kernel_trace_args(
   args.emplace_back("blocks", static_cast<std::int64_t>(cfg.blocks));
   args.emplace_back("threads", static_cast<std::int64_t>(cfg.threads));
   args.emplace_back("stream", static_cast<std::int64_t>(stream));
-  args.emplace_back("bytes", kernel_traffic_bytes(view, id, cfg.layout));
+  args.emplace_back(
+      "bytes", kernel_traffic_bytes(view, id, cfg.layout, cfg.precision));
   if (cfg.layout != backends::StorageLayout::kSeedAos)
     args.emplace_back("layout", backends::to_string(cfg.layout));
+  if (cfg.precision != backends::Precision::kFp64)
+    args.emplace_back("precision", backends::to_string(cfg.precision));
   if (backends::kernel_uses_atomics(id)) {
     args.emplace_back("strategy", backends::to_string(cfg.strategy));
     if (cfg.strategy == backends::ScatterStrategy::kAtomic)
@@ -66,7 +69,7 @@ void record_launch_sample(const SystemView& view, KernelId id, bool fused,
         KernelId::kAprod2Att, KernelId::kAprod2Instr, KernelId::kAprod2Glob};
     for (KernelId part : parts) {
       if (part == KernelId::kAprod2Glob && glob_noop) continue;
-      s.bytes += kernel_traffic_bytes(view, part, cfg.layout);
+      s.bytes += kernel_traffic_bytes(view, part, cfg.layout, cfg.precision);
       s.flops += kernel_flops(view, part);
       s.atomic_updates += kernel_atomic_updates(
           view, part, backends::ScatterStrategy::kAtomic);
@@ -79,7 +82,7 @@ void record_launch_sample(const SystemView& view, KernelId id, bool fused,
     s.strategy = backends::kernel_uses_atomics(id)
                      ? backends::to_string(cfg.strategy)
                      : "none";
-    s.bytes = kernel_traffic_bytes(view, id, cfg.layout);
+    s.bytes = kernel_traffic_bytes(view, id, cfg.layout, cfg.precision);
     s.flops = kernel_flops(view, id);
     s.atomic_updates = kernel_atomic_updates(view, id, cfg.strategy);
   }
@@ -151,6 +154,10 @@ void Aprod::ensure_layout(backends::StorageLayout layout) {
     view_.soa_instr = d_soa_instr_->data();
     view_.soa_glob = d_soa_glob_->data();
     view_.soa_padded_rows = soa.padded_rows;
+    view_.planes_f64.soa_astro = d_soa_astro_->data();
+    view_.planes_f64.soa_att = d_soa_att_->data();
+    view_.planes_f64.soa_instr = d_soa_instr_->data();
+    view_.planes_f64.soa_glob = d_soa_glob_->data();
   }
   const matrix::SlicedInstr& sliced = layouts_->sliced();
   if (sliced.built() && !d_slice_values_) {
@@ -171,6 +178,60 @@ void Aprod::ensure_layout(backends::StorageLayout layout) {
     view_.slice_rows = d_slice_rows_->data();
     view_.slice_row_slot = d_slice_row_slot_->data();
     view_.n_slices = sliced.n_slices;
+    view_.planes_f64.slice_values = d_slice_values_->data();
+  }
+}
+
+template <typename T>
+void Aprod::attach_precision_buffers(const matrix::PrecisionStore<T>& store,
+                                     PrecisionBuffers<T>& bufs,
+                                     SystemView::CoefPlanes<T>& planes) {
+  // Upload each converted stream once; a later call after a new layout
+  // build only uploads the streams that appeared since.
+  if (store.built() && !bufs.values) {
+    bufs.values = std::make_unique<backends::DeviceBuffer<T>>(
+        *device_, std::span<const T>(store.values), options_.coherence);
+    planes.values = bufs.values->data();
+  }
+  if (!store.soa_astro.empty() && !bufs.soa_astro) {
+    bufs.soa_astro = std::make_unique<backends::DeviceBuffer<T>>(
+        *device_, std::span<const T>(store.soa_astro), options_.coherence);
+    bufs.soa_att = std::make_unique<backends::DeviceBuffer<T>>(
+        *device_, std::span<const T>(store.soa_att), options_.coherence);
+    bufs.soa_instr = std::make_unique<backends::DeviceBuffer<T>>(
+        *device_, std::span<const T>(store.soa_instr), options_.coherence);
+    bufs.soa_glob = std::make_unique<backends::DeviceBuffer<T>>(
+        *device_, std::span<const T>(store.soa_glob), options_.coherence);
+    planes.soa_astro = bufs.soa_astro->data();
+    planes.soa_att = bufs.soa_att->data();
+    planes.soa_instr = bufs.soa_instr->data();
+    planes.soa_glob = bufs.soa_glob->data();
+  }
+  if (!store.slice_values.empty() && !bufs.slice_values) {
+    bufs.slice_values = std::make_unique<backends::DeviceBuffer<T>>(
+        *device_, std::span<const T>(store.slice_values),
+        options_.coherence);
+    planes.slice_values = bufs.slice_values->data();
+  }
+}
+
+void Aprod::ensure_precision(backends::Precision precision) {
+  if (precision == backends::Precision::kFp64) return;
+  std::lock_guard<std::mutex> lock(layout_mutex_);
+  if (!layouts_)
+    layouts_ = std::make_unique<matrix::LayoutedSystem>(*matrix_);
+  // Converts the seed values plus every layout stream built so far;
+  // streams converted on a previous call are skipped inside.
+  layouts_->build_precision(precision);
+  switch (precision) {
+    case backends::Precision::kFp64:
+      break;
+    case backends::Precision::kFp32:
+      attach_precision_buffers(layouts_->f32(), d_f32_, view_.planes_f32);
+      break;
+    case backends::Precision::kBf16s:
+      attach_precision_buffers(layouts_->b16(), d_b16_, view_.planes_b16);
+      break;
   }
 }
 
@@ -209,6 +270,17 @@ void Aprod::launch_kernel(KernelId id, bool fused, const real* in, real* out,
         ensure_layout(cfg.layout);
       } catch (const Error&) {
         cfg.layout = backends::StorageLayout::kSeedAos;
+      }
+    }
+    // Same lazy-materialize-or-clamp contract for the precision axis:
+    // convert + upload the reduced-precision planes on first use, and
+    // if the conversion cannot fit the device, run full precision.
+    if (cfg.precision != backends::Precision::kFp64 &&
+        !view_.has_precision(cfg.precision, cfg.layout)) {
+      try {
+        ensure_precision(cfg.precision);
+      } catch (const Error&) {
+        cfg.precision = backends::Precision::kFp64;
       }
     }
     try {

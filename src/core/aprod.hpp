@@ -125,6 +125,15 @@ class Aprod {
   /// build cost out of the first timed iteration.
   void ensure_layout(backends::StorageLayout layout);
 
+  /// Down-converts the coefficient planes of every currently-built
+  /// layout to `precision`, uploads the converted streams, and attaches
+  /// them to the view (idempotent; kFp64 is a no-op — the seed arrays
+  /// *are* the fp64 planes). Like ensure_layout this is called lazily by
+  /// the launch path, so fp64-pinned runs convert and allocate nothing.
+  /// Call it again after ensure_layout() of a new layout to convert that
+  /// layout's streams too.
+  void ensure_precision(backends::Precision precision);
+
  private:
   /// The single launch path: resolves the shape (tuner candidate or
   /// installed table), dispatches through the KernelRegistry under the
@@ -170,6 +179,25 @@ class Aprod {
   std::unique_ptr<backends::DeviceBuffer<std::int32_t>> d_slice_cols_;
   std::unique_ptr<backends::DeviceBuffer<row_index>> d_slice_rows_;
   std::unique_ptr<backends::DeviceBuffer<row_index>> d_slice_row_slot_;
+  /// Device-resident reduced-precision coefficient planes, one bundle
+  /// per storage scalar (indices stay shared with the fp64 buffers
+  /// above). Uploaded stream-by-stream as layouts get converted; guarded
+  /// by layout_mutex_ like the layout buffers.
+  template <typename T>
+  struct PrecisionBuffers {
+    std::unique_ptr<backends::DeviceBuffer<T>> values;
+    std::unique_ptr<backends::DeviceBuffer<T>> soa_astro;
+    std::unique_ptr<backends::DeviceBuffer<T>> soa_att;
+    std::unique_ptr<backends::DeviceBuffer<T>> soa_instr;
+    std::unique_ptr<backends::DeviceBuffer<T>> soa_glob;
+    std::unique_ptr<backends::DeviceBuffer<T>> slice_values;
+  };
+  template <typename T>
+  void attach_precision_buffers(const matrix::PrecisionStore<T>& store,
+                                PrecisionBuffers<T>& bufs,
+                                SystemView::CoefPlanes<T>& planes);
+  PrecisionBuffers<float> d_f32_;
+  PrecisionBuffers<matrix::bf16s> d_b16_;
   /// One stream per aprod2 kernel, created lazily when streams are on.
   std::array<std::unique_ptr<backends::Stream>, 4> streams_;
   /// Pooled scratch for the privatized scatter strategy; owned per

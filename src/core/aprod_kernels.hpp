@@ -18,6 +18,15 @@
 /// OpenMP directives, parallel algorithms, plain loop) differ — this is
 /// the library's equivalent of maintaining one kernel source per
 /// programming model.
+///
+/// Every body additionally takes the coefficient storage scalar `CoefT`
+/// (real | float | matrix::bf16s — the Precision axis). Coefficients
+/// are converted on load (`matrix::load_real`) and all arithmetic and
+/// accumulation stays FP64, whatever the storage precision: the solver
+/// needs ~1e-11 rad in the solution and LSQR amplifies accumulator
+/// rounding, while storage rounding only perturbs A — a nearby system
+/// that outer iterative refinement corrects. The CoefT = real
+/// instantiation reads the exact same arrays as the pre-precision code.
 #pragma once
 
 #include <algorithm>
@@ -32,6 +41,7 @@ namespace gaia::core {
 
 using backends::AtomicMode;
 using backends::KernelConfig;
+using matrix::load_real;
 
 // ---------------------------------------------------------------------------
 // aprod1: y += A x (row-parallel gathers; no atomics anywhere)
@@ -41,62 +51,67 @@ using backends::KernelConfig;
 // distinct buffers): GAIA_RESTRICT + the simd reduction hint let the
 // serial/pstl backends vectorize what CUDA gets from the hardware.
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod1_astro(const SystemView& A, const real* x, real* y,
                   KernelConfig cfg) {
+  const CoefT* vals = A.coefs<CoefT>().values;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* GAIA_RESTRICT rv =
-        A.values + r * kNnzPerRow + matrix::kAstroCoeffOffset;
+    const CoefT* GAIA_RESTRICT rv =
+        vals + r * kNnzPerRow + matrix::kAstroCoeffOffset;
     const real* GAIA_RESTRICT xs = x + A.idx_astro[r];
     real sum = 0;
     GAIA_OMP_SIMD_REDUCTION(sum)
-    for (int i = 0; i < kAstroNnzPerRow; ++i) sum += rv[i] * xs[i];
+    for (int i = 0; i < kAstroNnzPerRow; ++i) sum += load_real(rv[i]) * xs[i];
     y[r] += sum;
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod1_att(const SystemView& A, const real* x, real* y,
                 KernelConfig cfg) {
+  const CoefT* vals = A.coefs<CoefT>().values;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* GAIA_RESTRICT rv =
-        A.values + r * kNnzPerRow + matrix::kAttCoeffOffset;
+    const CoefT* GAIA_RESTRICT rv =
+        vals + r * kNnzPerRow + matrix::kAttCoeffOffset;
     const col_index base = A.att_offset + A.idx_att[r];
     real sum = 0;
     for (int blk = 0; blk < kAttBlocks; ++blk) {
       const real* GAIA_RESTRICT xb = x + base + blk * A.att_stride;
-      const real* GAIA_RESTRICT rb = rv + blk * kAttBlockSize;
+      const CoefT* GAIA_RESTRICT rb = rv + blk * kAttBlockSize;
       GAIA_OMP_SIMD_REDUCTION(sum)
-      for (int i = 0; i < kAttBlockSize; ++i) sum += rb[i] * xb[i];
+      for (int i = 0; i < kAttBlockSize; ++i)
+        sum += load_real(rb[i]) * xb[i];
     }
     y[r] += sum;
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod1_instr(const SystemView& A, const real* x, real* y,
                   KernelConfig cfg) {
+  const CoefT* vals = A.coefs<CoefT>().values;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* GAIA_RESTRICT rv =
-        A.values + r * kNnzPerRow + matrix::kInstrCoeffOffset;
+    const CoefT* GAIA_RESTRICT rv =
+        vals + r * kNnzPerRow + matrix::kInstrCoeffOffset;
     const std::int32_t* GAIA_RESTRICT cols =
         A.instr_col + r * kInstrNnzPerRow;
     const real* GAIA_RESTRICT xs = x + A.instr_offset;
     real sum = 0;
     GAIA_OMP_SIMD_REDUCTION(sum)
-    for (int i = 0; i < kInstrNnzPerRow; ++i) sum += rv[i] * xs[cols[i]];
+    for (int i = 0; i < kInstrNnzPerRow; ++i)
+      sum += load_real(rv[i]) * xs[cols[i]];
     y[r] += sum;
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod1_glob(const SystemView& A, const real* x, real* y,
                  KernelConfig cfg) {
   if (!A.has_global) return;
   const real xg = x[A.glob_offset];
+  const CoefT* vals = A.coefs<CoefT>().values;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* GAIA_RESTRICT vals = A.values;
-    y[r] += vals[r * kNnzPerRow + matrix::kGlobCoeffOffset] * xg;
+    y[r] += load_real(vals[r * kNnzPerRow + matrix::kGlobCoeffOffset]) * xg;
   });
 }
 
@@ -108,17 +123,19 @@ void aprod1_glob(const SystemView& A, const real* x, real* y,
 /// touching them are exactly its contiguous row range. Requires the
 /// generator invariant that constraint rows carry zero astrometric
 /// coefficients (they are not covered by the star partition).
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_astro(const SystemView& A, const real* y, real* x,
                   KernelConfig cfg) {
+  const CoefT* vals = A.coefs<CoefT>().values;
   Exec::launch(A.n_stars, cfg, [=](std::int64_t s) {
     const col_index c0 = s * kAstroParamsPerStar;
     real acc[kAstroNnzPerRow] = {0, 0, 0, 0, 0};
     for (row_index r = A.star_row_start[s]; r < A.star_row_start[s + 1];
          ++r) {
-      const real* rv = A.values + r * kNnzPerRow + matrix::kAstroCoeffOffset;
+      const CoefT* rv = vals + r * kNnzPerRow + matrix::kAstroCoeffOffset;
       const real yr = y[r];
-      for (int i = 0; i < kAstroNnzPerRow; ++i) acc[i] += rv[i] * yr;
+      for (int i = 0; i < kAstroNnzPerRow; ++i)
+        acc[i] += load_real(rv[i]) * yr;
     }
     for (int i = 0; i < kAstroNnzPerRow; ++i) x[c0 + i] += acc[i];
   });
@@ -127,43 +144,49 @@ void aprod2_astro(const SystemView& A, const real* y, real* x,
 /// Row-parallel with atomic updates: neighbouring observations hit the
 /// same attitude spline knots (this is the collision hot spot the paper
 /// tunes thread counts down for).
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_att(const SystemView& A, const real* y, real* x,
                 KernelConfig cfg, AtomicMode mode) {
+  const CoefT* vals = A.coefs<CoefT>().values;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* rv = A.values + r * kNnzPerRow + matrix::kAttCoeffOffset;
+    const CoefT* rv = vals + r * kNnzPerRow + matrix::kAttCoeffOffset;
     const real yr = y[r];
     const col_index base = A.att_offset + A.idx_att[r];
     for (int blk = 0; blk < kAttBlocks; ++blk) {
       const col_index c0 = base + blk * A.att_stride;
       for (int i = 0; i < kAttBlockSize; ++i)
-        Exec::atomic_add(x[c0 + i], rv[blk * kAttBlockSize + i] * yr, mode);
+        Exec::atomic_add(x[c0 + i],
+                         load_real(rv[blk * kAttBlockSize + i]) * yr, mode);
     }
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_instr(const SystemView& A, const real* y, real* x,
                   KernelConfig cfg, AtomicMode mode) {
+  const CoefT* vals = A.coefs<CoefT>().values;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* rv = A.values + r * kNnzPerRow + matrix::kInstrCoeffOffset;
+    const CoefT* rv = vals + r * kNnzPerRow + matrix::kInstrCoeffOffset;
     const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
     const real yr = y[r];
     for (int i = 0; i < kInstrNnzPerRow; ++i)
-      Exec::atomic_add(x[A.instr_offset + cols[i]], rv[i] * yr, mode);
+      Exec::atomic_add(x[A.instr_offset + cols[i]], load_real(rv[i]) * yr,
+                       mode);
   });
 }
 
 /// Every row contributes to the single PPN-gamma unknown — the most
 /// contended column of the whole system.
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_glob(const SystemView& A, const real* y, real* x,
                  KernelConfig cfg, AtomicMode mode) {
   if (!A.has_global) return;
+  const CoefT* vals = A.coefs<CoefT>().values;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
     Exec::atomic_add(
         x[A.glob_offset],
-        A.values[r * kNnzPerRow + matrix::kGlobCoeffOffset] * y[r], mode);
+        load_real(vals[r * kNnzPerRow + matrix::kGlobCoeffOffset]) * y[r],
+        mode);
   });
 }
 
@@ -173,28 +196,31 @@ void aprod2_glob(const SystemView& A, const real* y, real* x,
 /// stream/queue concept, so splitting the scatter into four kernels buys
 /// nothing, while fusing reads each row's record once. The astrometric
 /// block still goes through the star-parallel atomic-free kernel.
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_shared_fused(const SystemView& A, const real* y, real* x,
                          KernelConfig cfg, AtomicMode mode) {
+  const CoefT* vals = A.coefs<CoefT>().values;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* rv = A.values + r * kNnzPerRow;
+    const CoefT* rv = vals + r * kNnzPerRow;
     const real yr = y[r];
     const col_index att_base = A.att_offset + A.idx_att[r];
     for (int blk = 0; blk < kAttBlocks; ++blk) {
       const col_index c0 = att_base + blk * A.att_stride;
       for (int i = 0; i < kAttBlockSize; ++i)
-        Exec::atomic_add(x[c0 + i],
-                         rv[matrix::kAttCoeffOffset + blk * kAttBlockSize + i] *
-                             yr,
-                         mode);
+        Exec::atomic_add(
+            x[c0 + i],
+            load_real(rv[matrix::kAttCoeffOffset + blk * kAttBlockSize + i]) *
+                yr,
+            mode);
     }
     const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
     for (int i = 0; i < kInstrNnzPerRow; ++i)
       Exec::atomic_add(x[A.instr_offset + cols[i]],
-                       rv[matrix::kInstrCoeffOffset + i] * yr, mode);
+                       load_real(rv[matrix::kInstrCoeffOffset + i]) * yr,
+                       mode);
     if (A.has_global)
       Exec::atomic_add(x[A.glob_offset],
-                       rv[matrix::kGlobCoeffOffset] * yr, mode);
+                       load_real(rv[matrix::kGlobCoeffOffset]) * yr, mode);
   });
 }
 
@@ -257,55 +283,58 @@ void privatized_scatter(std::int64_t n_rows, real* x, col_index sect_offset,
 /// Privatized attitude scatter: each worker owns a private copy of the
 /// full attitude section (n_att entries) — collisions on the shared
 /// spline knots vanish entirely.
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_att_privatized(const SystemView& A, const real* y, real* x,
                            KernelConfig cfg,
                            backends::ScratchArena* arena = nullptr) {
+  const CoefT* vals = A.coefs<CoefT>().values;
   detail::privatized_scatter<Exec>(
       A.n_rows, x, A.att_offset, A.instr_offset - A.att_offset, cfg, arena,
       [=](real* GAIA_RESTRICT slice, std::int64_t r) {
-        const real* GAIA_RESTRICT rv =
-            A.values + r * kNnzPerRow + matrix::kAttCoeffOffset;
+        const CoefT* GAIA_RESTRICT rv =
+            vals + r * kNnzPerRow + matrix::kAttCoeffOffset;
         const real yr = y[r];
         const col_index base = A.idx_att[r];
         for (int blk = 0; blk < kAttBlocks; ++blk) {
           const col_index c0 = base + blk * A.att_stride;
           for (int i = 0; i < kAttBlockSize; ++i)
-            slice[c0 + i] += rv[blk * kAttBlockSize + i] * yr;
+            slice[c0 + i] += load_real(rv[blk * kAttBlockSize + i]) * yr;
         }
       });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_instr_privatized(const SystemView& A, const real* y, real* x,
                              KernelConfig cfg,
                              backends::ScratchArena* arena = nullptr) {
+  const CoefT* vals = A.coefs<CoefT>().values;
   detail::privatized_scatter<Exec>(
       A.n_rows, x, A.instr_offset, A.glob_offset - A.instr_offset, cfg,
       arena, [=](real* GAIA_RESTRICT slice, std::int64_t r) {
-        const real* GAIA_RESTRICT rv =
-            A.values + r * kNnzPerRow + matrix::kInstrCoeffOffset;
+        const CoefT* GAIA_RESTRICT rv =
+            vals + r * kNnzPerRow + matrix::kInstrCoeffOffset;
         const std::int32_t* GAIA_RESTRICT cols =
             A.instr_col + r * kInstrNnzPerRow;
         const real yr = y[r];
         for (int i = 0; i < kInstrNnzPerRow; ++i)
-          slice[cols[i]] += rv[i] * yr;
+          slice[cols[i]] += load_real(rv[i]) * yr;
       });
 }
 
 /// Privatized global scatter: the single PPN-gamma column degenerates to
 /// one private partial sum per worker plus the tree fold — a classic
 /// parallel reduction replacing the most contended atomic of the system.
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_glob_privatized(const SystemView& A, const real* y, real* x,
                             KernelConfig cfg,
                             backends::ScratchArena* arena = nullptr) {
   if (!A.has_global) return;
+  const CoefT* vals = A.coefs<CoefT>().values;
   detail::privatized_scatter<Exec>(
       A.n_rows, x, A.glob_offset, 1, cfg, arena,
       [=](real* GAIA_RESTRICT slice, std::int64_t r) {
         slice[0] +=
-            A.values[r * kNnzPerRow + matrix::kGlobCoeffOffset] * y[r];
+            load_real(vals[r * kNnzPerRow + matrix::kGlobCoeffOffset]) * y[r];
       });
 }
 
@@ -316,13 +345,16 @@ void aprod2_glob_privatized(const SystemView& A, const real* y, real* x,
 // only the coefficient addressing changes, so each row's contribution is
 // bit-identical to the seed layout's. The win is pure traffic: a kernel
 // streams exactly its own planes (40–96 B/row) instead of the full
-// 192 B record.
+// 192 B record. The plane-stride gathers are constant-stride
+// (kSoaTileRows), so the simd reduction hint still applies — the
+// compiler emits strided vector gathers instead of scalar loads.
 
 namespace detail {
 
 /// Address of coefficient plane 0 for row r in a `planes`-wide stream,
 /// plus the in-tile lane; plane i then sits at `base[i * kSoaTileRows]`.
-inline const real* soa_row(const real* stream, int planes, std::int64_t r) {
+template <typename T>
+inline const T* soa_row(const T* stream, int planes, std::int64_t r) {
   const std::int64_t t = r / matrix::kSoaTileRows;
   const std::int64_t w = r - t * matrix::kSoaTileRows;
   return stream + (t * planes) * matrix::kSoaTileRows + w;
@@ -330,88 +362,99 @@ inline const real* soa_row(const real* stream, int planes, std::int64_t r) {
 
 }  // namespace detail
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod1_astro_soa(const SystemView& A, const real* x, real* y,
                       KernelConfig cfg) {
+  const CoefT* stream = A.coefs<CoefT>().soa_astro;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* GAIA_RESTRICT rv =
-        detail::soa_row(A.soa_astro, kAstroNnzPerRow, r);
+    const CoefT* GAIA_RESTRICT rv =
+        detail::soa_row(stream, kAstroNnzPerRow, r);
     const real* GAIA_RESTRICT xs = x + A.idx_astro[r];
     real sum = 0;
+    GAIA_OMP_SIMD_REDUCTION(sum)
     for (int i = 0; i < kAstroNnzPerRow; ++i)
-      sum += rv[i * matrix::kSoaTileRows] * xs[i];
+      sum += load_real(rv[i * matrix::kSoaTileRows]) * xs[i];
     y[r] += sum;
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod1_att_soa(const SystemView& A, const real* x, real* y,
                     KernelConfig cfg) {
+  const CoefT* stream = A.coefs<CoefT>().soa_att;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* GAIA_RESTRICT rv = detail::soa_row(A.soa_att, kAttNnzPerRow, r);
+    const CoefT* GAIA_RESTRICT rv = detail::soa_row(stream, kAttNnzPerRow, r);
     const col_index base = A.att_offset + A.idx_att[r];
     real sum = 0;
     for (int blk = 0; blk < kAttBlocks; ++blk) {
       const real* GAIA_RESTRICT xb = x + base + blk * A.att_stride;
-      const real* GAIA_RESTRICT rb =
+      const CoefT* GAIA_RESTRICT rb =
           rv + blk * kAttBlockSize * matrix::kSoaTileRows;
+      GAIA_OMP_SIMD_REDUCTION(sum)
       for (int i = 0; i < kAttBlockSize; ++i)
-        sum += rb[i * matrix::kSoaTileRows] * xb[i];
+        sum += load_real(rb[i * matrix::kSoaTileRows]) * xb[i];
     }
     y[r] += sum;
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod1_instr_soa(const SystemView& A, const real* x, real* y,
                       KernelConfig cfg) {
+  const CoefT* stream = A.coefs<CoefT>().soa_instr;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* GAIA_RESTRICT rv =
-        detail::soa_row(A.soa_instr, kInstrNnzPerRow, r);
+    const CoefT* GAIA_RESTRICT rv =
+        detail::soa_row(stream, kInstrNnzPerRow, r);
     const std::int32_t* GAIA_RESTRICT cols =
         A.instr_col + r * kInstrNnzPerRow;
     const real* GAIA_RESTRICT xs = x + A.instr_offset;
     real sum = 0;
+    GAIA_OMP_SIMD_REDUCTION(sum)
     for (int i = 0; i < kInstrNnzPerRow; ++i)
-      sum += rv[i * matrix::kSoaTileRows] * xs[cols[i]];
+      sum += load_real(rv[i * matrix::kSoaTileRows]) * xs[cols[i]];
     y[r] += sum;
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod1_glob_soa(const SystemView& A, const real* x, real* y,
                      KernelConfig cfg) {
   if (!A.has_global) return;
   const real xg = x[A.glob_offset];
+  const CoefT* stream = A.coefs<CoefT>().soa_glob;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* GAIA_RESTRICT g = A.soa_glob;
     const std::int64_t t = r / matrix::kSoaTileRows;
-    y[r] += g[t * matrix::kSoaTileRows + (r - t * matrix::kSoaTileRows)] * xg;
+    y[r] += load_real(
+                stream[t * matrix::kSoaTileRows +
+                       (r - t * matrix::kSoaTileRows)]) *
+            xg;
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_astro_soa(const SystemView& A, const real* y, real* x,
                       KernelConfig cfg) {
+  const CoefT* stream = A.coefs<CoefT>().soa_astro;
   Exec::launch(A.n_stars, cfg, [=](std::int64_t s) {
     const col_index c0 = s * kAstroParamsPerStar;
     real acc[kAstroNnzPerRow] = {0, 0, 0, 0, 0};
     for (row_index r = A.star_row_start[s]; r < A.star_row_start[s + 1];
          ++r) {
-      const real* rv = detail::soa_row(A.soa_astro, kAstroNnzPerRow, r);
+      const CoefT* rv = detail::soa_row(stream, kAstroNnzPerRow, r);
       const real yr = y[r];
       for (int i = 0; i < kAstroNnzPerRow; ++i)
-        acc[i] += rv[i * matrix::kSoaTileRows] * yr;
+        acc[i] += load_real(rv[i * matrix::kSoaTileRows]) * yr;
     }
     for (int i = 0; i < kAstroNnzPerRow; ++i) x[c0 + i] += acc[i];
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_att_soa(const SystemView& A, const real* y, real* x,
                     KernelConfig cfg, AtomicMode mode) {
+  const CoefT* stream = A.coefs<CoefT>().soa_att;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* rv = detail::soa_row(A.soa_att, kAttNnzPerRow, r);
+    const CoefT* rv = detail::soa_row(stream, kAttNnzPerRow, r);
     const real yr = y[r];
     const col_index base = A.att_offset + A.idx_att[r];
     for (int blk = 0; blk < kAttBlocks; ++blk) {
@@ -419,34 +462,38 @@ void aprod2_att_soa(const SystemView& A, const real* y, real* x,
       for (int i = 0; i < kAttBlockSize; ++i)
         Exec::atomic_add(
             x[c0 + i],
-            rv[(blk * kAttBlockSize + i) * matrix::kSoaTileRows] * yr, mode);
+            load_real(rv[(blk * kAttBlockSize + i) * matrix::kSoaTileRows]) *
+                yr,
+            mode);
     }
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_instr_soa(const SystemView& A, const real* y, real* x,
                       KernelConfig cfg, AtomicMode mode) {
+  const CoefT* stream = A.coefs<CoefT>().soa_instr;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
-    const real* rv = detail::soa_row(A.soa_instr, kInstrNnzPerRow, r);
+    const CoefT* rv = detail::soa_row(stream, kInstrNnzPerRow, r);
     const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
     const real yr = y[r];
     for (int i = 0; i < kInstrNnzPerRow; ++i)
       Exec::atomic_add(x[A.instr_offset + cols[i]],
-                       rv[i * matrix::kSoaTileRows] * yr, mode);
+                       load_real(rv[i * matrix::kSoaTileRows]) * yr, mode);
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_glob_soa(const SystemView& A, const real* y, real* x,
                      KernelConfig cfg, AtomicMode mode) {
   if (!A.has_global) return;
+  const CoefT* stream = A.coefs<CoefT>().soa_glob;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
     const std::int64_t t = r / matrix::kSoaTileRows;
     Exec::atomic_add(
         x[A.glob_offset],
-        A.soa_glob[t * matrix::kSoaTileRows +
-                   (r - t * matrix::kSoaTileRows)] *
+        load_real(stream[t * matrix::kSoaTileRows +
+                         (r - t * matrix::kSoaTileRows)]) *
             y[r],
         mode);
   });
@@ -456,86 +503,97 @@ void aprod2_glob_soa(const SystemView& A, const real* y, real* x,
 /// kSlicedInstr layout: fusing the three sections into one row pass is
 /// incompatible with slice-major iteration, and the sliced build always
 /// carries the SoA streams.
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_shared_fused_soa(const SystemView& A, const real* y, real* x,
                              KernelConfig cfg, AtomicMode mode) {
+  const CoefT* att_stream = A.coefs<CoefT>().soa_att;
+  const CoefT* instr_stream = A.coefs<CoefT>().soa_instr;
+  const CoefT* glob_stream = A.coefs<CoefT>().soa_glob;
   Exec::launch(A.n_rows, cfg, [=](std::int64_t r) {
     const real yr = y[r];
-    const real* rv_att = detail::soa_row(A.soa_att, kAttNnzPerRow, r);
+    const CoefT* rv_att = detail::soa_row(att_stream, kAttNnzPerRow, r);
     const col_index att_base = A.att_offset + A.idx_att[r];
     for (int blk = 0; blk < kAttBlocks; ++blk) {
       const col_index c0 = att_base + blk * A.att_stride;
       for (int i = 0; i < kAttBlockSize; ++i)
         Exec::atomic_add(
             x[c0 + i],
-            rv_att[(blk * kAttBlockSize + i) * matrix::kSoaTileRows] * yr,
+            load_real(
+                rv_att[(blk * kAttBlockSize + i) * matrix::kSoaTileRows]) *
+                yr,
             mode);
     }
-    const real* rv_instr = detail::soa_row(A.soa_instr, kInstrNnzPerRow, r);
+    const CoefT* rv_instr = detail::soa_row(instr_stream, kInstrNnzPerRow, r);
     const std::int32_t* cols = A.instr_col + r * kInstrNnzPerRow;
     for (int i = 0; i < kInstrNnzPerRow; ++i)
       Exec::atomic_add(x[A.instr_offset + cols[i]],
-                       rv_instr[i * matrix::kSoaTileRows] * yr, mode);
+                       load_real(rv_instr[i * matrix::kSoaTileRows]) * yr,
+                       mode);
     if (A.has_global) {
       const std::int64_t t = r / matrix::kSoaTileRows;
       Exec::atomic_add(
           x[A.glob_offset],
-          A.soa_glob[t * matrix::kSoaTileRows +
-                     (r - t * matrix::kSoaTileRows)] *
+          load_real(glob_stream[t * matrix::kSoaTileRows +
+                                (r - t * matrix::kSoaTileRows)]) *
               yr,
           mode);
     }
   });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_att_privatized_soa(const SystemView& A, const real* y, real* x,
                                KernelConfig cfg,
                                backends::ScratchArena* arena = nullptr) {
+  const CoefT* stream = A.coefs<CoefT>().soa_att;
   detail::privatized_scatter<Exec>(
       A.n_rows, x, A.att_offset, A.instr_offset - A.att_offset, cfg, arena,
       [=](real* GAIA_RESTRICT slice, std::int64_t r) {
-        const real* GAIA_RESTRICT rv =
-            detail::soa_row(A.soa_att, kAttNnzPerRow, r);
+        const CoefT* GAIA_RESTRICT rv =
+            detail::soa_row(stream, kAttNnzPerRow, r);
         const real yr = y[r];
         const col_index base = A.idx_att[r];
         for (int blk = 0; blk < kAttBlocks; ++blk) {
           const col_index c0 = base + blk * A.att_stride;
           for (int i = 0; i < kAttBlockSize; ++i)
             slice[c0 + i] +=
-                rv[(blk * kAttBlockSize + i) * matrix::kSoaTileRows] * yr;
+                load_real(rv[(blk * kAttBlockSize + i) *
+                             matrix::kSoaTileRows]) *
+                yr;
         }
       });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_instr_privatized_soa(const SystemView& A, const real* y, real* x,
                                  KernelConfig cfg,
                                  backends::ScratchArena* arena = nullptr) {
+  const CoefT* stream = A.coefs<CoefT>().soa_instr;
   detail::privatized_scatter<Exec>(
       A.n_rows, x, A.instr_offset, A.glob_offset - A.instr_offset, cfg,
       arena, [=](real* GAIA_RESTRICT slice, std::int64_t r) {
-        const real* GAIA_RESTRICT rv =
-            detail::soa_row(A.soa_instr, kInstrNnzPerRow, r);
+        const CoefT* GAIA_RESTRICT rv =
+            detail::soa_row(stream, kInstrNnzPerRow, r);
         const std::int32_t* GAIA_RESTRICT cols =
             A.instr_col + r * kInstrNnzPerRow;
         const real yr = y[r];
         for (int i = 0; i < kInstrNnzPerRow; ++i)
-          slice[cols[i]] += rv[i * matrix::kSoaTileRows] * yr;
+          slice[cols[i]] += load_real(rv[i * matrix::kSoaTileRows]) * yr;
       });
 }
 
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_glob_privatized_soa(const SystemView& A, const real* y, real* x,
                                 KernelConfig cfg,
                                 backends::ScratchArena* arena = nullptr) {
   if (!A.has_global) return;
+  const CoefT* stream = A.coefs<CoefT>().soa_glob;
   detail::privatized_scatter<Exec>(
       A.n_rows, x, A.glob_offset, 1, cfg, arena,
       [=](real* GAIA_RESTRICT slice, std::int64_t r) {
         const std::int64_t t = r / matrix::kSoaTileRows;
-        slice[0] += A.soa_glob[t * matrix::kSoaTileRows +
-                               (r - t * matrix::kSoaTileRows)] *
+        slice[0] += load_real(stream[t * matrix::kSoaTileRows +
+                                     (r - t * matrix::kSoaTileRows)]) *
                     y[r];
       });
 }
@@ -550,9 +608,10 @@ void aprod2_glob_privatized_soa(const SystemView& A, const real* y, real* x,
 /// one worker; padded lanes carry row -1 and are skipped. The slice
 /// sort means neighbouring lanes gather neighbouring x entries — the
 /// cache reuse the seed layout's ~90 % miss rate leaves on the table.
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod1_instr_sliced(const SystemView& A, const real* x, real* y,
                          KernelConfig cfg) {
+  const CoefT* svals = A.coefs<CoefT>().slice_values;
   Exec::launch(A.n_slices * matrix::kSliceHeight, cfg,
                [=](std::int64_t slot) {
     const row_index r = A.slice_rows[slot];
@@ -561,12 +620,14 @@ void aprod1_instr_sliced(const SystemView& A, const real* x, real* y,
     const std::int64_t lane = slot - s * matrix::kSliceHeight;
     const std::int64_t base =
         s * kInstrNnzPerRow * matrix::kSliceHeight + lane;
-    const real* GAIA_RESTRICT v = A.slice_values + base;
+    const CoefT* GAIA_RESTRICT v = svals + base;
     const std::int32_t* GAIA_RESTRICT c = A.slice_cols + base;
     const real* GAIA_RESTRICT xs = x + A.instr_offset;
     real sum = 0;
+    GAIA_OMP_SIMD_REDUCTION(sum)
     for (int j = 0; j < kInstrNnzPerRow; ++j)
-      sum += v[j * matrix::kSliceHeight] * xs[c[j * matrix::kSliceHeight]];
+      sum += load_real(v[j * matrix::kSliceHeight]) *
+             xs[c[j * matrix::kSliceHeight]];
     y[r] += sum;
   });
 }
@@ -574,9 +635,10 @@ void aprod1_instr_sliced(const SystemView& A, const real* x, real* y,
 /// Slice-parallel instrumental scatter (atomic strategy): the sort
 /// clusters nearby target columns within a slice, trading a few more
 /// intra-slice collisions for far better locality on x.
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_instr_sliced(const SystemView& A, const real* y, real* x,
                          KernelConfig cfg, AtomicMode mode) {
+  const CoefT* svals = A.coefs<CoefT>().slice_values;
   Exec::launch(A.n_slices * matrix::kSliceHeight, cfg,
                [=](std::int64_t slot) {
     const row_index r = A.slice_rows[slot];
@@ -585,12 +647,12 @@ void aprod2_instr_sliced(const SystemView& A, const real* y, real* x,
     const std::int64_t lane = slot - s * matrix::kSliceHeight;
     const std::int64_t base =
         s * kInstrNnzPerRow * matrix::kSliceHeight + lane;
-    const real* GAIA_RESTRICT v = A.slice_values + base;
+    const CoefT* GAIA_RESTRICT v = svals + base;
     const std::int32_t* GAIA_RESTRICT c = A.slice_cols + base;
     const real yr = y[r];
     for (int j = 0; j < kInstrNnzPerRow; ++j)
       Exec::atomic_add(x[A.instr_offset + c[j * matrix::kSliceHeight]],
-                       v[j * matrix::kSliceHeight] * yr, mode);
+                       load_real(v[j * matrix::kSliceHeight]) * yr, mode);
   });
 }
 
@@ -599,10 +661,11 @@ void aprod2_instr_sliced(const SystemView& A, const real* y, real* x,
 /// inverse permutation), so worker partitioning, per-row accumulation
 /// order and the tree fold are exactly the seed layout's — bit-identical
 /// results at a fixed launch shape, layout notwithstanding.
-template <typename Exec>
+template <typename Exec, typename CoefT = real>
 void aprod2_instr_privatized_sliced(const SystemView& A, const real* y,
                                     real* x, KernelConfig cfg,
                                     backends::ScratchArena* arena = nullptr) {
+  const CoefT* svals = A.coefs<CoefT>().slice_values;
   detail::privatized_scatter<Exec>(
       A.n_rows, x, A.instr_offset, A.glob_offset - A.instr_offset, cfg,
       arena, [=](real* GAIA_RESTRICT slice, std::int64_t r) {
@@ -611,12 +674,12 @@ void aprod2_instr_privatized_sliced(const SystemView& A, const real* y,
         const std::int64_t lane = slot - s * matrix::kSliceHeight;
         const std::int64_t base =
             s * kInstrNnzPerRow * matrix::kSliceHeight + lane;
-        const real* GAIA_RESTRICT v = A.slice_values + base;
+        const CoefT* GAIA_RESTRICT v = svals + base;
         const std::int32_t* GAIA_RESTRICT c = A.slice_cols + base;
         const real yr = y[r];
         for (int j = 0; j < kInstrNnzPerRow; ++j)
           slice[c[j * matrix::kSliceHeight]] +=
-              v[j * matrix::kSliceHeight] * yr;
+              load_real(v[j * matrix::kSliceHeight]) * yr;
       });
 }
 

@@ -44,6 +44,16 @@ void ensure_kernel_catalog();
     const SystemView& view, backends::KernelId id,
     backends::StorageLayout layout);
 
+/// Precision-aware traffic: scales the coefficient-plane bytes (AoS
+/// records / SoA planes / sliced payload) by the storage scalar's size
+/// while the index arrays and the FP64 x/y vector traffic stay
+/// unchanged — the bandwidth lever mixed-precision storage actually
+/// pulls, and exactly what KernelCostModel::precision_traffic_bytes
+/// prices per GPU spec.
+[[nodiscard]] std::uint64_t kernel_traffic_bytes(
+    const SystemView& view, backends::KernelId id,
+    backends::StorageLayout layout, backends::Precision precision);
+
 /// Useful floating-point operations a kernel performs: one multiply +
 /// one add per stored coefficient (rows * nnz * 2). Same convention as
 /// perfmodel::KernelCostModel::kernel_flops, computed from the live

@@ -1,0 +1,96 @@
+/// \file refinement.hpp
+/// \brief Outer iterative refinement for mixed-precision LSQR solves.
+///
+/// Reduced-precision coefficient storage (matrix/precision.hpp) solves a
+/// *nearby* system: storing A's entries in fp32/bf16s is a relative
+/// perturbation of A bounded by the storage format's unit roundoff, and
+/// LSQR then converges to the perturbed system's least-squares solution.
+/// Classical iterative refinement recovers the full-precision answer
+/// without giving back the bandwidth win: keep solving in reduced
+/// precision, but measure the residual in FP64 and solve for the
+/// *correction*:
+///
+///   x_0 = argmin ||A~ x - b||          (A~ = reduced-precision planes)
+///   repeat: r_k = b - A x_k            (FP64 kernels, FP64 vectors)
+///           d_k = argmin ||A~ d - r_k||  (reduced precision again)
+///           x_{k+1} = x_k + d_k
+///   until ||d_k||_inf <= tolerance or the correction budget runs out.
+///
+/// The stopping tolerance defaults to the paper's §V-C accuracy goal
+/// (10 µas in rad, util::kAccuracyGoalRad): a correction smaller than
+/// the catalogue's own accuracy target cannot change any published
+/// parameter. If the budget runs out without convergence — bf16s on an
+/// ill-conditioned block can stall — the caller is told via the report
+/// and (by default) re-solves fully in FP64: reduced precision degrades
+/// to full precision, never to a wrong catalogue.
+///
+/// Residual passes run through the same Aprod drivers as the solve, with
+/// every kernel pinned to Precision::kFp64 — the FP64 planes are the
+/// seed arrays themselves, so the refinement loop adds no storage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/lsqr.hpp"
+#include "matrix/system_matrix.hpp"
+#include "util/types.hpp"
+
+namespace gaia::core {
+
+struct RefinementOptions {
+  /// Outer corrections attempted before declaring non-convergence.
+  int max_corrections = 6;
+  /// Converged when the FP64 correction's max-norm drops to or below
+  /// this (radians — the §V-C catalogue accuracy goal by default).
+  real tolerance = kAccuracyGoalRad;
+  /// Iteration cap of each correction solve; 0 inherits the main
+  /// solve's max_iterations. Corrections start from d = 0 against a
+  /// small residual, so they typically need far fewer iterations.
+  std::int64_t correction_iterations = 0;
+};
+
+struct RefinementReport {
+  /// Corrections actually applied (0 = first residual already met the
+  /// tolerance, or refinement never ran).
+  int corrections = 0;
+  /// The last correction met the tolerance (vacuously true when the
+  /// initial solve did).
+  bool converged = true;
+  /// Max-norm of each applied correction, in application order — the
+  /// convergence trace behind the EXPERIMENTS refinement table.
+  std::vector<real> update_norms;
+  /// FP64 true residual norms after the final correction:
+  /// ||b - A x|| and ||A^T (b - A x)|| computed with full-precision
+  /// kernels — the numbers the validation gate trusts, as opposed to
+  /// LSQR's incremental estimates which track the *reduced* system.
+  real true_rnorm = 0;
+  real true_arnorm = 0;
+};
+
+/// FP64 true residual of `x`: fills `r` with b - A x and returns
+/// {||r||, ||A^T r||}, all products through `aprod` (whose tuning must
+/// be pinned to Precision::kFp64 for the values to mean anything).
+struct TrueResidual {
+  real rnorm = 0;
+  real arnorm = 0;
+};
+[[nodiscard]] TrueResidual true_residual(Aprod& aprod,
+                                         std::span<const real> b,
+                                         std::span<const real> x,
+                                         std::span<real> r);
+
+/// Runs the refinement loop on a completed reduced-precision solution:
+/// `x` is corrected in place, `reduced` is the configuration the initial
+/// solve ran with (its tuning table carries the reduced precision the
+/// correction solves reuse). Returns the report; inspect `converged` to
+/// decide whether a full-FP64 fallback re-solve is needed. The damped
+/// problem (reduced.damp != 0) refines the undamped residual — damping
+/// regularizes the correction solves exactly like the main solve, so the
+/// fixed point is unchanged.
+[[nodiscard]] RefinementReport refine_corrections(
+    const matrix::SystemMatrix& A, std::span<const real> b,
+    std::vector<real>& x, const LsqrOptions& reduced,
+    const RefinementOptions& options);
+
+}  // namespace gaia::core

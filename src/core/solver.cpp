@@ -62,6 +62,37 @@ std::optional<LayoutMode> parse_layout_mode(const std::string& name) {
   return std::nullopt;
 }
 
+std::string to_string(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::kFp64:
+      return "fp64";
+    case PrecisionMode::kFp32:
+      return "fp32";
+    case PrecisionMode::kBf16s:
+      return "bf16s";
+    case PrecisionMode::kAuto:
+      return "auto";
+  }
+  return "fp64";
+}
+
+std::optional<PrecisionMode> parse_precision_mode(const std::string& name) {
+  if (name == "auto") return PrecisionMode::kAuto;
+  // The pinned modes accept the same grammar as the precision tokens
+  // themselves, so `--precision` and the tuning-cache JSON agree.
+  if (const auto p = backends::parse_precision(name)) {
+    switch (*p) {
+      case backends::Precision::kFp64:
+        return PrecisionMode::kFp64;
+      case backends::Precision::kFp32:
+        return PrecisionMode::kFp32;
+      case backends::Precision::kBf16s:
+        return PrecisionMode::kBf16s;
+    }
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 /// Installs `strategy` on every atomic kernel's table entry, leaving the
@@ -96,6 +127,53 @@ backends::StorageLayout pinned_layout(LayoutMode mode) {
       return backends::StorageLayout::kSlicedInstr;
     default:
       return backends::StorageLayout::kSeedAos;
+  }
+}
+
+/// Installs `precision` on every kernel's table entry, leaving shapes,
+/// strategies and layouts untouched.
+void force_precision(backends::TuningTable& table,
+                     backends::Precision precision) {
+  for (backends::KernelId id : backends::all_kernels()) {
+    backends::KernelConfig cfg = table.get(id);
+    cfg.precision = precision;
+    table.set(id, cfg);
+  }
+}
+
+/// The fixed precision a pinned PrecisionMode means (never for kAuto).
+backends::Precision pinned_precision(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::kFp32:
+      return backends::Precision::kFp32;
+    case PrecisionMode::kBf16s:
+      return backends::Precision::kBf16s;
+    default:
+      return backends::Precision::kFp64;
+  }
+}
+
+/// True when any kernel's resolved entry stores coefficients reduced —
+/// the condition that arms the post-solve refinement loop.
+bool table_has_reduced_precision(const backends::TuningTable& table) {
+  for (backends::KernelId id : backends::all_kernels())
+    if (table.get(id).precision != backends::Precision::kFp64) return true;
+  return false;
+}
+
+/// The no-measurement arm of `--precision=auto`: the cost model's
+/// bandwidth-vs-refinement crossover per kernel (same representative
+/// A100 spec as the other crossovers — the sign is what matters).
+void apply_model_preferred_precision(const matrix::GeneratorConfig& gen_cfg,
+                                     backends::TuningTable& table) {
+  const perfmodel::ProblemShape shape =
+      perfmodel::ProblemShape::from_config(gen_cfg);
+  const perfmodel::KernelCostModel model(
+      perfmodel::gpu_spec(perfmodel::Platform::kA100));
+  for (backends::KernelId id : backends::all_kernels()) {
+    backends::KernelConfig cfg = table.get(id);
+    cfg.precision = model.preferred_precision(id, shape, cfg.layout);
+    table.set(id, cfg);
   }
 }
 
@@ -170,6 +248,10 @@ void run_autotune(const SolverRunConfig& config,
     if (config.storage_layout != LayoutMode::kAuto)
       force_storage_layout(lsqr.aprod.tuning,
                            pinned_layout(config.storage_layout));
+    // And the precision axis: a pinned mode overrides cached winners.
+    if (config.precision != PrecisionMode::kAuto)
+      force_precision(lsqr.aprod.tuning,
+                      pinned_precision(config.precision));
     if (metrics.enabled()) metrics.counter("tuning.cache_hits").add(1);
     return;
   }
@@ -191,6 +273,10 @@ void run_autotune(const SolverRunConfig& config,
   search.layout = config.storage_layout == LayoutMode::kAuto
                       ? std::nullopt  // measure every layout arm
                       : std::optional(pinned_layout(config.storage_layout));
+  search.precision =
+      config.precision == PrecisionMode::kAuto
+          ? std::nullopt  // measure every precision arm
+          : std::optional(pinned_precision(config.precision));
   tuning::Autotuner tuner(backend, search);
   {
     backends::DeviceContext device(lsqr.device_capacity, "autotune");
@@ -211,6 +297,32 @@ void run_autotune(const SolverRunConfig& config,
       cache.put(backend, bucket, id, lsqr.aprod.tuning.get(id));
     cache.save(config.autotune.cache_path);
   }
+}
+
+/// Post-solve mixed-precision refinement: when the resolved table stores
+/// any coefficient plane reduced, the solve converged to the *perturbed*
+/// system's solution; correct it against the FP64 residual until the
+/// §V-C tolerance (core/refinement.hpp). A stalled refinement — the
+/// correction budget ran out above tolerance — falls back to a complete
+/// FP64 re-solve: reduced precision may cost its speedup, never accuracy.
+void run_refinement(const SolverRunConfig& config,
+                    const matrix::SystemMatrix& A, LsqrOptions& lsqr,
+                    SolverRunReport& report) {
+  if (!table_has_reduced_precision(lsqr.aprod.tuning)) return;
+  report.refinement_ran = true;
+  report.refinement = refine_corrections(A, A.known_terms(),
+                                         report.result.x, lsqr,
+                                         config.refine);
+  if (report.refinement.converged) return;
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) reg.counter("refine.fallbacks").add(1);
+  report.precision_fell_back = true;
+  force_precision(lsqr.aprod.tuning, backends::Precision::kFp64);
+  report.tuning_used = lsqr.aprod.tuning;
+  LsqrOptions fp64 = lsqr;
+  fp64.aprod.autotuner = nullptr;
+  report.result = lsqr_solve(A, fp64);
 }
 
 /// Post-solve observability digest: Pennycook P across the kernels that
@@ -304,6 +416,17 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
            (!config.autotune.enabled ||
             !backends::honors_kernel_config(lsqr.aprod.backend)))
     apply_model_preferred_layout(gen_cfg, lsqr.aprod.tuning);
+  // Precision policy mirrors the layout resolution: pinned reduced modes
+  // force the storage precision up front; kAuto without a measuring
+  // search falls back to the cost model's bandwidth-vs-refinement
+  // crossover.
+  if (config.precision == PrecisionMode::kFp32 ||
+      config.precision == PrecisionMode::kBf16s)
+    force_precision(lsqr.aprod.tuning, pinned_precision(config.precision));
+  else if (config.precision == PrecisionMode::kAuto &&
+           (!config.autotune.enabled ||
+            !backends::honors_kernel_config(lsqr.aprod.backend)))
+    apply_model_preferred_precision(gen_cfg, lsqr.aprod.tuning);
   if (config.autotune.enabled) run_autotune(config, generated.A, lsqr, report);
   report.tuning_used = lsqr.aprod.tuning;
 
@@ -311,6 +434,7 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
   resilience::CheckpointManager manager(config.checkpoint);
   if (!manager.enabled()) {
     report.result = lsqr_solve(generated.A, lsqr);
+    run_refinement(config, generated.A, lsqr, report);
     report.solve_seconds = watch.elapsed_s();
     finish_observability(gen_cfg, lsqr, report);
     return report;
@@ -346,6 +470,7 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
   report.result = engine.result();
   report.result.resumed_from_iteration = report.resumed_from_iteration;
   report.checkpoints_written = manager.written();
+  run_refinement(config, generated.A, lsqr, report);
   report.solve_seconds = watch.elapsed_s();
   finish_observability(gen_cfg, lsqr, report);
   return report;
@@ -398,6 +523,35 @@ std::string SolverRunReport::summary() const {
     }
   }
   os << '\n';
+  // Same collapse for the precision line; --precision=auto can split
+  // per kernel too.
+  bool uniform_precision = true;
+  const backends::Precision first_precision =
+      tuning_used.get(backends::KernelId::kAprod1Astro).precision;
+  for (backends::KernelId id : backends::all_kernels())
+    uniform_precision &= tuning_used.get(id).precision == first_precision;
+  os << "precision: ";
+  if (uniform_precision) {
+    os << backends::to_string(first_precision);
+  } else {
+    bool first = true;
+    for (backends::KernelId id : backends::all_kernels()) {
+      if (!first) os << ' ';
+      first = false;
+      os << backends::to_string(id) << '='
+         << backends::to_string(tuning_used.get(id).precision);
+    }
+  }
+  os << '\n';
+  if (refinement_ran) {
+    os << "refine: " << refinement.corrections << " correction(s), "
+       << (refinement.converged ? "converged" : "stalled")
+       << "; true |r|=" << refinement.true_rnorm
+       << " |A'r|=" << refinement.true_arnorm;
+    if (precision_fell_back)
+      os << "; fell back to fp64 (full re-solve)";
+    os << '\n';
+  }
   os << "        mean iteration time "
      << util::format_seconds(result.mean_iteration_s) << ", total solve "
      << util::format_seconds(solve_seconds) << '\n';

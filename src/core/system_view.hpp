@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "matrix/layouted_system.hpp"
+#include "matrix/precision.hpp"
 #include "matrix/storage_layout.hpp"
 #include "matrix/system_matrix.hpp"
 #include "util/types.hpp"
@@ -70,6 +72,40 @@ struct SystemView {
   const row_index* slice_row_slot = nullptr;
   row_index n_slices = 0;
 
+  // --- Precision descriptors (null until attach_precision) -----------
+  // One pointer bundle per storage scalar: the coefficient payloads of
+  // every layout, down-converted. Indices/permutations stay shared with
+  // the FP64 arrays above — only the values shrink. The CoefT = real
+  // bundle mirrors the legacy pointers so a kernel body templated on
+  // CoefT reads the exact same memory as the pre-precision code when
+  // instantiated at real.
+  template <typename T>
+  struct CoefPlanes {
+    const T* values = nullptr;       ///< seed AoS records
+    const T* soa_astro = nullptr;    ///< SoA planes (same addressing)
+    const T* soa_att = nullptr;
+    const T* soa_instr = nullptr;
+    const T* soa_glob = nullptr;
+    const T* slice_values = nullptr; ///< sliced instrumental payload
+  };
+  CoefPlanes<real> planes_f64;
+  CoefPlanes<float> planes_f32;
+  CoefPlanes<matrix::bf16s> planes_b16;
+
+  /// The pointer bundle for storage scalar `T` (real | float | bf16s).
+  template <typename T>
+  [[nodiscard]] const CoefPlanes<T>& coefs() const {
+    if constexpr (std::is_same_v<T, real>) {
+      return planes_f64;
+    } else if constexpr (std::is_same_v<T, float>) {
+      return planes_f32;
+    } else {
+      static_assert(std::is_same_v<T, matrix::bf16s>,
+                    "unsupported coefficient storage scalar");
+      return planes_b16;
+    }
+  }
+
   /// Shared construction path: scalar/layout fields from the matrix
   /// metadata, data pointers from wherever the arrays live (host spans
   /// or device buffers).
@@ -91,6 +127,7 @@ struct SystemView {
     v.instr_offset = lay.instr_offset();
     v.glob_offset = lay.glob_offset();
     v.has_global = lay.has_global();
+    v.planes_f64.values = arrays.values;
     return v;
   }
 
@@ -110,6 +147,10 @@ struct SystemView {
       soa_instr = s.instr.data();
       soa_glob = s.glob.data();
       soa_padded_rows = s.padded_rows;
+      planes_f64.soa_astro = s.astro.data();
+      planes_f64.soa_att = s.att.data();
+      planes_f64.soa_instr = s.instr.data();
+      planes_f64.soa_glob = s.glob.data();
     }
     if (layouts.sliced().built()) {
       const matrix::SlicedInstr& s = layouts.sliced();
@@ -118,7 +159,31 @@ struct SystemView {
       slice_rows = s.slice_rows.data();
       slice_row_slot = s.row_slot.data();
       n_slices = s.n_slices;
+      planes_f64.slice_values = s.slice_values.data();
     }
+  }
+
+  /// Points the reduced-precision descriptors at `layouts`' converted
+  /// stores (only streams already converted; build_precision is the
+  /// owner's call). Shares the host-path ownership contract of
+  /// attach_layout.
+  void attach_precision(const matrix::LayoutedSystem& layouts) {
+    attach_precision_store(layouts.f32(), planes_f32);
+    attach_precision_store(layouts.b16(), planes_b16);
+  }
+
+  template <typename T>
+  void attach_precision_store(const matrix::PrecisionStore<T>& s,
+                              CoefPlanes<T>& p) {
+    if (!s.built()) return;
+    p.values = s.values.data();
+    if (!s.soa_astro.empty()) {
+      p.soa_astro = s.soa_astro.data();
+      p.soa_att = s.soa_att.data();
+      p.soa_instr = s.soa_instr.data();
+      p.soa_glob = s.soa_glob.data();
+    }
+    if (!s.slice_values.empty()) p.slice_values = s.slice_values.data();
   }
 
   /// True when every array `layout` needs is attached — the launcher
@@ -132,6 +197,37 @@ struct SystemView {
         return soa_astro != nullptr;
       case matrix::StorageLayout::kSlicedInstr:
         return soa_astro != nullptr && slice_values != nullptr;
+    }
+    return false;
+  }
+
+  /// True when the coefficient streams `layout` reads are attached at
+  /// precision `p` — the launcher clamps a config's precision to kFp64
+  /// otherwise, mirroring the layout fallback.
+  [[nodiscard]] bool has_precision(matrix::Precision p,
+                                   matrix::StorageLayout layout) const {
+    switch (p) {
+      case matrix::Precision::kFp64:
+        return has_layout(layout);
+      case matrix::Precision::kFp32:
+        return planes_has(planes_f32, layout);
+      case matrix::Precision::kBf16s:
+        return planes_has(planes_b16, layout);
+    }
+    return false;
+  }
+
+  template <typename T>
+  [[nodiscard]] bool planes_has(const CoefPlanes<T>& p,
+                                matrix::StorageLayout layout) const {
+    if (!has_layout(layout)) return false;
+    switch (layout) {
+      case matrix::StorageLayout::kSeedAos:
+        return p.values != nullptr;
+      case matrix::StorageLayout::kSoaTiled:
+        return p.soa_astro != nullptr;
+      case matrix::StorageLayout::kSlicedInstr:
+        return p.soa_astro != nullptr && p.slice_values != nullptr;
     }
     return false;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <type_traits>
 
 namespace gaia::matrix {
 
@@ -127,6 +128,80 @@ void LayoutedSystem::build_sliced() {
     }
     slice_base += (wrows + kSliceHeight - 1) / kSliceHeight;
   }
+}
+
+namespace {
+
+/// Deterministic element-wise down-conversion of one FP64 stream.
+/// `Src` is a span (the matrix's AoS records) or a vector (derived
+/// streams); only the size/indexing contract matters.
+template <typename Src, typename T>
+void convert_plane(const Src& src, std::vector<T>& dst) {
+  if (dst.size() == src.size()) return;  // already converted, still fresh
+  dst.resize(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if constexpr (std::is_same_v<T, bf16s>) {
+      dst[i] = to_bf16s(src[i]);
+    } else {
+      dst[i] = static_cast<T>(src[i]);
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void LayoutedSystem::convert_into(PrecisionStore<T>& store) {
+  convert_plane(A_->values(), store.values);
+  if (soa_.built()) {
+    convert_plane(soa_.astro, store.soa_astro);
+    convert_plane(soa_.att, store.soa_att);
+    convert_plane(soa_.instr, store.soa_instr);
+    convert_plane(soa_.glob, store.soa_glob);
+  }
+  if (sliced_.built()) convert_plane(sliced_.slice_values, store.slice_values);
+}
+
+template <typename T>
+bool LayoutedSystem::store_has(const PrecisionStore<T>& store,
+                               StorageLayout layout) const {
+  if (!store.built()) return false;
+  switch (layout) {
+    case StorageLayout::kSeedAos:
+      return true;
+    case StorageLayout::kSoaTiled:
+      return soa_.built() && store.soa_astro.size() == soa_.astro.size();
+    case StorageLayout::kSlicedInstr:
+      return soa_.built() && sliced_.built() &&
+             store.soa_astro.size() == soa_.astro.size() &&
+             store.slice_values.size() == sliced_.slice_values.size();
+  }
+  return false;
+}
+
+void LayoutedSystem::build_precision(Precision p) {
+  switch (p) {
+    case Precision::kFp64:
+      return;  // the source of truth; nothing to derive
+    case Precision::kFp32:
+      convert_into(f32_);
+      return;
+    case Precision::kBf16s:
+      convert_into(b16_);
+      return;
+  }
+}
+
+bool LayoutedSystem::has_precision(Precision p, StorageLayout layout) const {
+  switch (p) {
+    case Precision::kFp64:
+      return has(layout);
+    case Precision::kFp32:
+      return store_has(f32_, layout);
+    case Precision::kBf16s:
+      return store_has(b16_, layout);
+  }
+  return false;
 }
 
 byte_size LayoutedSystem::padded_coefficient_bytes(

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "matrix/precision.hpp"
 #include "matrix/storage_layout.hpp"
 #include "matrix/system_matrix.hpp"
 #include "util/types.hpp"
@@ -82,6 +83,26 @@ struct SlicedInstr {
   }
 };
 
+/// Reduced-precision copies of the coefficient streams, one instance
+/// per storage scalar (float / bf16s). Indices are shared with the
+/// FP64 arrays — only the coefficient payloads shrink. Down-conversion
+/// happens once at build time and is deterministic (round-to-nearest
+/// for float, truncate-FP32 for bf16s; see matrix/precision.hpp), so
+/// repeated builds are bit-identical.
+template <typename T>
+struct PrecisionStore {
+  std::vector<T> values;  ///< seed AoS records, n_rows * kNnzPerRow
+  std::vector<T> soa_astro, soa_att, soa_instr, soa_glob;  ///< SoA planes
+  std::vector<T> slice_values;  ///< sliced instrumental payload
+
+  [[nodiscard]] bool built() const { return !values.empty(); }
+  [[nodiscard]] byte_size bytes() const {
+    return (values.size() + soa_astro.size() + soa_att.size() +
+            soa_instr.size() + soa_glob.size() + slice_values.size()) *
+           sizeof(T);
+  }
+};
+
 /// Owner of the derived layouts of one system. Holds a reference to the
 /// source matrix; the matrix must outlive it and must not be resized
 /// while layouts are attached to views.
@@ -97,13 +118,26 @@ class LayoutedSystem {
   /// True when every array `layout` needs has been built.
   [[nodiscard]] bool has(StorageLayout layout) const;
 
+  /// Down-converts every *currently built* coefficient stream (the seed
+  /// AoS records always; SoA planes / sliced payload when built) into
+  /// the store for `p`. Idempotent per stream and safe to call again
+  /// after building a new layout — only streams whose conversion is
+  /// missing or stale are (re)converted. `kFp64` is a no-op.
+  void build_precision(Precision p);
+
+  /// True when every stream `layout` reads has a `p` conversion.
+  [[nodiscard]] bool has_precision(
+      Precision p, StorageLayout layout = StorageLayout::kSeedAos) const;
+
   [[nodiscard]] const SystemMatrix& matrix() const { return *A_; }
   [[nodiscard]] const SoaStreams& soa() const { return soa_; }
   [[nodiscard]] const SlicedInstr& sliced() const { return sliced_; }
+  [[nodiscard]] const PrecisionStore<float>& f32() const { return f32_; }
+  [[nodiscard]] const PrecisionStore<bf16s>& b16() const { return b16_; }
 
   /// Bytes the derived arrays occupy on top of the seed storage.
   [[nodiscard]] byte_size derived_bytes() const {
-    return soa_.bytes() + sliced_.bytes();
+    return soa_.bytes() + sliced_.bytes() + f32_.bytes() + b16_.bytes();
   }
 
   /// Coefficient bytes a full sweep of `layout` streams, padding
@@ -118,10 +152,17 @@ class LayoutedSystem {
  private:
   void build_soa();
   void build_sliced();
+  template <typename T>
+  void convert_into(PrecisionStore<T>& store);
+  template <typename T>
+  [[nodiscard]] bool store_has(const PrecisionStore<T>& store,
+                               StorageLayout layout) const;
 
   const SystemMatrix* A_;
   SoaStreams soa_{};
   SlicedInstr sliced_{};
+  PrecisionStore<float> f32_{};
+  PrecisionStore<bf16s> b16_{};
 };
 
 }  // namespace gaia::matrix

@@ -12,10 +12,12 @@ namespace gaia::metrics {
 const KernelTiming* PerfBaseline::find(const std::string& kernel,
                                        const std::string& backend,
                                        const std::string& strategy,
-                                       const std::string& layout) const {
+                                       const std::string& layout,
+                                       const std::string& precision) const {
   for (const KernelTiming& t : kernels)
     if (t.kernel == kernel && t.backend == backend &&
-        t.strategy == strategy && t.layout == layout)
+        t.strategy == strategy && t.layout == layout &&
+        t.precision == precision)
       return &t;
   return nullptr;
 }
@@ -101,6 +103,8 @@ KernelTiming parse_timing(JsonCursor& cur) {
       t.strategy = cur.parse_string();
     else if (key == "layout")
       t.layout = cur.parse_string();
+    else if (key == "precision")
+      t.precision = cur.parse_string();
     else if (key == "median_seconds")
       t.median_seconds = cur.parse_number();
     else if (key == "samples")
@@ -131,6 +135,8 @@ std::string PerfBaseline::to_json() const {
     append_escaped(os, t.strategy);
     os << ", \"layout\": ";
     append_escaped(os, t.layout);
+    os << ", \"precision\": ";
+    append_escaped(os, t.precision);
     os << ", \"median_seconds\": " << t.median_seconds
        << ", \"samples\": " << t.samples << '}';
     first = false;
@@ -196,8 +202,8 @@ std::string GateReport::to_string() const {
   std::ostringstream os;
   const auto line = [&os](const char* tag, const GateFinding& f) {
     os << "  " << tag << ' ' << f.kernel << '/' << f.backend << '/'
-       << f.strategy << '/' << f.layout << ": " << f.old_seconds << "s -> "
-       << f.new_seconds << "s";
+       << f.strategy << '/' << f.layout << '/' << f.precision << ": "
+       << f.old_seconds << "s -> " << f.new_seconds << "s";
     if (f.ratio > 0) os << " (x" << f.ratio << ')';
     os << '\n';
   };
@@ -219,9 +225,11 @@ GateReport perf_gate(const PerfBaseline& base, const PerfBaseline& next,
     f.backend = old_t.backend;
     f.strategy = old_t.strategy;
     f.layout = old_t.layout;
+    f.precision = old_t.precision;
     f.old_seconds = old_t.median_seconds;
     const KernelTiming* new_t =
-        next.find(old_t.kernel, old_t.backend, old_t.strategy, old_t.layout);
+        next.find(old_t.kernel, old_t.backend, old_t.strategy, old_t.layout,
+                  old_t.precision);
     if (new_t == nullptr) {
       report.missing.push_back(f);
       if (!options.allow_missing) report.pass = false;

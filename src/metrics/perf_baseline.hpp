@@ -24,6 +24,9 @@ struct KernelTiming {
   /// baselines sealed before the layout axis existed stay loadable —
   /// their series were all measured on the seed layout.
   std::string layout = "seed_aos";
+  /// "fp64" | "fp32" | "bf16s". Defaulted the same way: baselines sealed
+  /// before the precision axis existed measured full-precision planes.
+  std::string precision = "fp64";
   double median_seconds = 0;
   std::uint64_t samples = 0;
 };
@@ -37,8 +40,8 @@ struct PerfBaseline {
   /// Series lookup by identity; nullptr when absent.
   [[nodiscard]] const KernelTiming* find(
       const std::string& kernel, const std::string& backend,
-      const std::string& strategy,
-      const std::string& layout = "seed_aos") const;
+      const std::string& strategy, const std::string& layout = "seed_aos",
+      const std::string& precision = "fp64") const;
 
   [[nodiscard]] std::string to_json() const;
 };
@@ -63,7 +66,7 @@ struct GateOptions {
 
 /// One series-level verdict of the gate.
 struct GateFinding {
-  std::string kernel, backend, strategy, layout;
+  std::string kernel, backend, strategy, layout, precision;
   double old_seconds = 0;
   double new_seconds = 0;
   double ratio = 0;  ///< new / old (0 when the series is missing)

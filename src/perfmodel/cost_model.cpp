@@ -146,9 +146,16 @@ double KernelCostModel::kernel_traffic_bytes(KernelId id,
   return rows * (info.per_row_bytes + info.gather_bytes * info.miss);
 }
 
-double KernelCostModel::layout_traffic_bytes(
-    KernelId id, const ProblemShape& p,
-    backends::StorageLayout layout) const {
+namespace {
+
+/// Shared body of layout_traffic_bytes / precision_traffic_bytes:
+/// `coef_scale` is the storage-scalar size over sizeof(real) (1 for
+/// fp64, 1/2 fp32, 1/4 bf16s). Only the coefficient stream scales —
+/// indices, permutations and the FP64 x/y gathers are precision-
+/// invariant.
+double traffic_bytes_impl(KernelId id, const ProblemShape& p,
+                          backends::StorageLayout layout,
+                          double coef_scale) {
   using backends::StorageLayout;
   const KernelShapeInfo info = shape_info(id);
   const double rows = static_cast<double>(std::max<row_index>(1, p.n_rows));
@@ -166,32 +173,90 @@ double KernelCostModel::layout_traffic_bytes(
   double miss = info.miss;
   switch (layout) {
     case StorageLayout::kSeedAos:
-      coeff_total = rows * cb.seed_lines;
+      // The shrunken record still fetches line-granular: scale the line
+      // coverage but never below one 64 B line per row touched.
+      coeff_total = rows * std::max(64.0, cb.seed_lines * coef_scale);
       break;
     case StorageLayout::kSoaTiled:
-      coeff_total =
-          padded_to(static_cast<double>(matrix::kSoaTileRows)) * cb.exact;
+      coeff_total = padded_to(static_cast<double>(matrix::kSoaTileRows)) *
+                    cb.exact * coef_scale;
       break;
     case StorageLayout::kSlicedInstr:
       if (instr) {
-        // Lane-major slices: 6 doubles + 6 int32 columns + the row index
-        // per lane, padded lanes included. The int32 payload replaces
-        // the seed's 24 B instr_col read, so drop it from idx_y.
+        // Lane-major slices: 6 coefficients + 6 int32 columns + the row
+        // index per lane, padded lanes included. The int32 payload
+        // replaces the seed's 24 B instr_col read, so drop it from
+        // idx_y.
         const double lanes =
             padded_to(static_cast<double>(matrix::kSliceHeight));
-        coeff_total = lanes * (6.0 * (sizeof(real) + sizeof(std::int32_t)) +
-                               sizeof(row_index));
+        coeff_total =
+            lanes * (6.0 * (sizeof(real) * coef_scale +
+                            sizeof(std::int32_t)) +
+                     sizeof(row_index));
         idx_y -= 6.0 * sizeof(std::int32_t);
         miss = kInstrMissSliced;
       } else {
         // Non-instrumental kernels run the SoA streams under this
         // layout (kSlicedInstr implies SoA for the regular blocks).
-        coeff_total =
-            padded_to(static_cast<double>(matrix::kSoaTileRows)) * cb.exact;
+        coeff_total = padded_to(static_cast<double>(matrix::kSoaTileRows)) *
+                      cb.exact * coef_scale;
       }
       break;
   }
   return coeff_total + rows * (idx_y + info.gather_bytes * miss);
+}
+
+/// Amortized refinement surcharge of a storage precision: reduced
+/// precision perturbs A, so the solve needs outer FP64 residual
+/// corrections (each a pair of full-precision aprod passes plus a short
+/// correction solve). Spread over the ~100-iteration production solve,
+/// fp32's typical 1–2 corrections cost ~5 % extra traffic and bf16s's
+/// 3–5 corrections ~15 % — the crossover constants, not testbed
+/// numbers.
+double refinement_surcharge(backends::Precision precision) {
+  switch (precision) {
+    case backends::Precision::kFp64:
+      return 0.0;
+    case backends::Precision::kFp32:
+      return 0.05;
+    case backends::Precision::kBf16s:
+      return 0.15;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double KernelCostModel::layout_traffic_bytes(
+    KernelId id, const ProblemShape& p,
+    backends::StorageLayout layout) const {
+  return traffic_bytes_impl(id, p, layout, 1.0);
+}
+
+double KernelCostModel::precision_traffic_bytes(
+    KernelId id, const ProblemShape& p, backends::StorageLayout layout,
+    backends::Precision precision) const {
+  const double scale =
+      static_cast<double>(matrix::precision_bytes(precision)) /
+      static_cast<double>(sizeof(real));
+  return traffic_bytes_impl(id, p, layout, scale);
+}
+
+backends::Precision KernelCostModel::preferred_precision(
+    KernelId id, const ProblemShape& p,
+    backends::StorageLayout layout) const {
+  auto best = backends::Precision::kFp64;
+  double best_bytes = precision_traffic_bytes(id, p, layout, best);
+  for (int pr = 1; pr < backends::kNumPrecisions; ++pr) {
+    const auto cand = static_cast<backends::Precision>(pr);
+    const double bytes = precision_traffic_bytes(id, p, layout, cand) *
+                         (1.0 + refinement_surcharge(cand));
+    if (bytes < best_bytes) {
+      best = cand;
+      best_bytes = bytes;
+    }
+  }
+  return best;
 }
 
 backends::StorageLayout KernelCostModel::preferred_layout(

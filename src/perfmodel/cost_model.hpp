@@ -80,6 +80,29 @@ class KernelCostModel {
   [[nodiscard]] backends::StorageLayout preferred_layout(
       KernelId id, const ProblemShape& p) const;
 
+  /// Bytes a kernel moves under a given *storage precision* on top of a
+  /// layout: the coefficient stream (AoS record lines / SoA planes /
+  /// sliced payload) shrinks with the storage scalar while the index
+  /// arrays and the FP64 x/y vector traffic stay unchanged — reduced
+  /// precision is a coefficient-bandwidth lever only. Seed AoS records
+  /// stay line-granular: a shrunken record still fetches whole 64 B
+  /// lines.
+  [[nodiscard]] double precision_traffic_bytes(
+      KernelId id, const ProblemShape& p, backends::StorageLayout layout,
+      backends::Precision precision) const;
+
+  /// The bandwidth-vs-refinement crossover: which storage precision the
+  /// model predicts fastest for `id` on this problem *per converged
+  /// solve*. Reduced precision cuts the coefficient traffic of every
+  /// iteration but buys outer iterative-refinement corrections (extra
+  /// FP64 residual passes plus correction solves); the model charges an
+  /// amortized surcharge per precision (calibration documented in the
+  /// implementation) and picks the lowest effective bytes, ties to the
+  /// earlier enum value (fp64).
+  [[nodiscard]] backends::Precision preferred_precision(
+      KernelId id, const ProblemShape& p,
+      backends::StorageLayout layout) const;
+
   /// FP operations of a kernel.
   [[nodiscard]] double kernel_flops(KernelId id, const ProblemShape& p) const;
 

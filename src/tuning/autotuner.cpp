@@ -40,6 +40,7 @@ void note_winner(KernelId id, KernelConfig cfg, double median_s) {
                  {"threads", static_cast<std::int64_t>(cfg.threads)},
                  {"strategy", backends::to_string(cfg.strategy)},
                  {"layout", backends::to_string(cfg.layout)},
+                 {"precision", backends::to_string(cfg.precision)},
                  {"median_us", median_s * 1e6}});
   }
 }
@@ -82,7 +83,8 @@ KernelConfig Autotuner::config_of(Candidate c) const {
           options_.thread_grid[static_cast<std::size_t>(c.ti)],
           c.si == 1 ? backends::ScatterStrategy::kPrivatized
                     : backends::ScatterStrategy::kAtomic,
-          static_cast<backends::StorageLayout>(c.li)};
+          static_cast<backends::StorageLayout>(c.li),
+          static_cast<backends::Precision>(c.pi)};
 }
 
 int Autotuner::nearest_index(const std::vector<std::int32_t>& grid,
@@ -100,19 +102,20 @@ void Autotuner::seed_locked(KernelId id, KernelSearch& s) {
   // (collision avoidance), gathers want occupancy. The privatized
   // strategy has no collisions, so its arm seeds wide.
   const bool atomic = backends::kernel_uses_atomics(id);
-  const auto seed_of = [&](int si, int li) {
+  const auto seed_of = [&](int si, int li, int pi) {
     const bool narrow = atomic && si == 0;
     Candidate c;
     c.bi = nearest_index(options_.block_grid, narrow ? 32 : 128);
     c.ti = nearest_index(options_.thread_grid, narrow ? 32 : 128);
     c.si = si;
     c.li = li;
+    c.pi = pi;
     return c;
   };
-  // Arm list = strategy axis x layout axis. The strategy axis only
-  // exists for the atomic scatters; the layout axis exists for every
-  // kernel. The first combo descends now, the rest are queued (stack,
-  // so they are pushed in reverse).
+  // Arm list = strategy axis x layout axis x precision axis. The
+  // strategy axis only exists for the atomic scatters; the layout and
+  // precision axes exist for every kernel. The first combo descends
+  // now, the rest are queued (stack, so they are pushed in reverse).
   std::vector<int> strategy_arms{0};
   if (atomic) {
     if (!options_.scatter.has_value())
@@ -126,14 +129,21 @@ void Autotuner::seed_locked(KernelId id, KernelSearch& s) {
   else
     for (int li = 0; li < backends::kNumStorageLayouts; ++li)
       layout_arms.push_back(li);
+  std::vector<int> precision_arms;
+  if (options_.precision.has_value())
+    precision_arms = {static_cast<int>(*options_.precision)};
+  else
+    for (int pi = 0; pi < backends::kNumPrecisions; ++pi)
+      precision_arms.push_back(pi);
   std::vector<Candidate> combos;
   for (int si : strategy_arms)
-    for (int li : layout_arms) combos.push_back(seed_of(si, li));
+    for (int li : layout_arms)
+      for (int pi : precision_arms) combos.push_back(seed_of(si, li, pi));
   for (std::size_t i = combos.size(); i > 1; --i)
     s.arm_seeds.push_back(combos[i - 1]);
   const Candidate start = combos.front();
   s.current = start;
-  s.visited.insert({start.si, start.li, start.bi, start.ti});
+  s.visited.insert({start.si, start.li, start.pi, start.bi, start.ti});
   s.started = true;
 }
 
@@ -143,12 +153,12 @@ void Autotuner::push_neighbors_locked(KernelSearch& s, Candidate c) {
         bi >= static_cast<int>(options_.block_grid.size()) ||
         ti >= static_cast<int>(options_.thread_grid.size()))
       return;
-    if (!s.visited.insert({c.si, c.li, bi, ti}).second) return;
-    s.pending.push_back({bi, ti, c.si, c.li});
+    if (!s.visited.insert({c.si, c.li, c.pi, bi, ti}).second) return;
+    s.pending.push_back({bi, ti, c.si, c.li, c.pi});
   };
-  // Axis moves only — this is the coordinate-descent step set. Strategy
-  // and layout are not descent axes: each arm descends from its own
-  // seed.
+  // Axis moves only — this is the coordinate-descent step set. Strategy,
+  // layout and precision are not descent axes: each arm descends from
+  // its own seed.
   try_push(c.bi - 1, c.ti);
   try_push(c.bi + 1, c.ti);
   try_push(c.bi, c.ti - 1);
@@ -192,7 +202,9 @@ bool Autotuner::report(KernelId id, KernelConfig cfg, double seconds) {
   // best improves (an arm whose seed loses to the other arm still
   // deserves its local search). The overall winner is tracked alongside.
   const auto arm = static_cast<std::size_t>(
-      s.current.si * backends::kNumStorageLayouts + s.current.li);
+      (s.current.si * backends::kNumStorageLayouts + s.current.li) *
+          backends::kNumPrecisions +
+      s.current.pi);
   if (!s.arm_scored[arm] || med < s.arm_median[arm]) {
     s.arm_best[arm] = s.current;
     s.arm_median[arm] = med;
@@ -213,7 +225,7 @@ bool Autotuner::report(KernelId id, KernelConfig cfg, double seconds) {
       s.pending.clear();
       s.arm_evaluated = 0;
       s.current = seed;
-      s.visited.insert({seed.si, seed.li, seed.bi, seed.ti});
+      s.visited.insert({seed.si, seed.li, seed.pi, seed.bi, seed.ti});
       return false;
     }
     s.finished = true;
@@ -252,6 +264,16 @@ int best_arm(const Search& s, Keep&& keep) {
   return best;
 }
 
+/// Inverse of the (si * kNumStorageLayouts + li) * kNumPrecisions + pi
+/// arm index.
+int arm_strategy(int a) {
+  return a / (backends::kNumStorageLayouts * backends::kNumPrecisions);
+}
+int arm_layout(int a) {
+  return (a / backends::kNumPrecisions) % backends::kNumStorageLayouts;
+}
+int arm_precision(int a) { return a % backends::kNumPrecisions; }
+
 }  // namespace
 
 KernelConfig Autotuner::best_for(KernelId id,
@@ -259,8 +281,7 @@ KernelConfig Autotuner::best_for(KernelId id,
   std::lock_guard<std::mutex> lock(mutex_);
   const KernelSearch& s = search_[static_cast<std::size_t>(id)];
   const int want = static_cast<int>(strategy);
-  const int arm = best_arm(
-      s, [&](int a) { return a / backends::kNumStorageLayouts == want; });
+  const int arm = best_arm(s, [&](int a) { return arm_strategy(a) == want; });
   return arm >= 0 ? config_of(s.arm_best[static_cast<std::size_t>(arm)])
                   : KernelConfig{};
 }
@@ -270,8 +291,7 @@ double Autotuner::best_median_for(KernelId id,
   std::lock_guard<std::mutex> lock(mutex_);
   const KernelSearch& s = search_[static_cast<std::size_t>(id)];
   const int want = static_cast<int>(strategy);
-  const int arm = best_arm(
-      s, [&](int a) { return a / backends::kNumStorageLayouts == want; });
+  const int arm = best_arm(s, [&](int a) { return arm_strategy(a) == want; });
   return arm >= 0 ? s.arm_median[static_cast<std::size_t>(arm)]
                   : std::numeric_limits<double>::infinity();
 }
@@ -281,8 +301,7 @@ KernelConfig Autotuner::best_for_layout(
   std::lock_guard<std::mutex> lock(mutex_);
   const KernelSearch& s = search_[static_cast<std::size_t>(id)];
   const int want = static_cast<int>(layout);
-  const int arm = best_arm(
-      s, [&](int a) { return a % backends::kNumStorageLayouts == want; });
+  const int arm = best_arm(s, [&](int a) { return arm_layout(a) == want; });
   return arm >= 0 ? config_of(s.arm_best[static_cast<std::size_t>(arm)])
                   : KernelConfig{};
 }
@@ -292,8 +311,29 @@ double Autotuner::best_median_for_layout(
   std::lock_guard<std::mutex> lock(mutex_);
   const KernelSearch& s = search_[static_cast<std::size_t>(id)];
   const int want = static_cast<int>(layout);
-  const int arm = best_arm(
-      s, [&](int a) { return a % backends::kNumStorageLayouts == want; });
+  const int arm = best_arm(s, [&](int a) { return arm_layout(a) == want; });
+  return arm >= 0 ? s.arm_median[static_cast<std::size_t>(arm)]
+                  : std::numeric_limits<double>::infinity();
+}
+
+KernelConfig Autotuner::best_for_precision(
+    KernelId id, backends::Precision precision) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const KernelSearch& s = search_[static_cast<std::size_t>(id)];
+  const int want = static_cast<int>(precision);
+  const int arm =
+      best_arm(s, [&](int a) { return arm_precision(a) == want; });
+  return arm >= 0 ? config_of(s.arm_best[static_cast<std::size_t>(arm)])
+                  : KernelConfig{};
+}
+
+double Autotuner::best_median_for_precision(
+    KernelId id, backends::Precision precision) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const KernelSearch& s = search_[static_cast<std::size_t>(id)];
+  const int want = static_cast<int>(precision);
+  const int arm =
+      best_arm(s, [&](int a) { return arm_precision(a) == want; });
   return arm >= 0 ? s.arm_median[static_cast<std::size_t>(arm)]
                   : std::numeric_limits<double>::infinity();
 }
@@ -335,6 +375,7 @@ std::vector<real> encode_table(const backends::TuningTable& table) {
     out.push_back(static_cast<real>(cfg.threads));
     out.push_back(static_cast<real>(static_cast<int>(cfg.strategy)));
     out.push_back(static_cast<real>(static_cast<int>(cfg.layout)));
+    out.push_back(static_cast<real>(static_cast<int>(cfg.precision)));
   }
   return out;
 }
@@ -351,12 +392,16 @@ backends::TuningTable decode_table(std::span<const real> data) {
     const auto layout = static_cast<int>(data[i + 3]);
     GAIA_CHECK(layout >= 0 && layout < backends::kNumStorageLayouts,
                "decode_table: unknown storage layout");
+    const auto precision = static_cast<int>(data[i + 4]);
+    GAIA_CHECK(precision >= 0 && precision < backends::kNumPrecisions,
+               "decode_table: unknown storage precision");
     KernelConfig cfg{static_cast<std::int32_t>(data[i]),
                      static_cast<std::int32_t>(data[i + 1]),
                      static_cast<backends::ScatterStrategy>(strategy),
-                     static_cast<backends::StorageLayout>(layout)};
+                     static_cast<backends::StorageLayout>(layout),
+                     static_cast<backends::Precision>(precision)};
     table.set(id, cfg);
-    i += 4;
+    i += 5;
   }
   return table;
 }

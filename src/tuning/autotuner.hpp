@@ -62,6 +62,15 @@ struct AutotuneOptions {
   /// measured median across arms wins.
   std::optional<backends::StorageLayout> layout =
       backends::StorageLayout::kSeedAos;
+  /// The storage-precision axis. Pinned to kFp64 (the default) nothing
+  /// changes; pinned to a reduced precision every kernel searches that
+  /// precision's bodies only; nullopt opens the axis: each precision is
+  /// its own descent arm (halving the coefficient bytes moves the
+  /// bandwidth/occupancy balance, so the winning shape moves with it)
+  /// and the lowest measured median across arms wins. Reduced-precision
+  /// arms time the reduced *storage* bodies — accumulation stays FP64,
+  /// so the arms are numerically comparable.
+  std::optional<backends::Precision> precision = backends::Precision::kFp64;
 };
 
 /// Per-(backend) search state over all eight kernels. Thread-safe: the
@@ -116,6 +125,14 @@ class Autotuner {
   [[nodiscard]] double best_median_for_layout(
       backends::KernelId id, backends::StorageLayout layout) const;
 
+  /// Best shape / median measured *within one precision arm* — the
+  /// fp64-vs-reduced comparison the experiments tables and the
+  /// precision-smoke CI assertion are built from.
+  [[nodiscard]] backends::KernelConfig best_for_precision(
+      backends::KernelId id, backends::Precision precision) const;
+  [[nodiscard]] double best_median_for_precision(
+      backends::KernelId id, backends::Precision precision) const;
+
   /// Timed launches consumed so far (all kernels).
   [[nodiscard]] std::uint64_t trials() const;
   /// Kernels whose search closed with a measured winner.
@@ -134,6 +151,7 @@ class Autotuner {
     int ti = 0;  ///< index into options_.thread_grid
     int si = 0;  ///< strategy arm: 0 = atomic, 1 = privatized
     int li = 0;  ///< layout arm: StorageLayout enum value
+    int pi = 0;  ///< precision arm: Precision enum value
   };
   struct KernelSearch {
     bool started = false;
@@ -141,21 +159,23 @@ class Autotuner {
     Candidate current{};
     std::vector<double> samples;   ///< of the current candidate
     std::vector<Candidate> pending;
-    std::set<std::tuple<int, int, int, int>> visited;
-    /// Seeds of (strategy, layout) arms not yet descended (an arm runs
-    /// to convergence or budget before the next seed starts, so every
-    /// arm is guaranteed its descent).
+    std::set<std::tuple<int, int, int, int, int>> visited;
+    /// Seeds of (strategy, layout, precision) arms not yet descended (an
+    /// arm runs to convergence or budget before the next seed starts, so
+    /// every arm is guaranteed its descent).
     std::vector<Candidate> arm_seeds;
     int arm_evaluated = 0;  ///< candidates scored in the current arm
     Candidate best{};
     double best_median = 0;  ///< valid iff scored
     bool scored = false;
-    /// Per-(strategy, layout) arm best — the descent criterion, and the
-    /// base of both the atomic-vs-privatized and the seed-vs-derived
-    /// reports (which are minima over the other axis). Indexed
-    /// si * kNumStorageLayouts + li.
-    static constexpr int kNumArms =
-        backends::kNumScatterStrategies * backends::kNumStorageLayouts;
+    /// Per-(strategy, layout, precision) arm best — the descent
+    /// criterion, and the base of the atomic-vs-privatized,
+    /// seed-vs-derived and fp64-vs-reduced reports (each a minimum over
+    /// the other two axes). Indexed
+    /// (si * kNumStorageLayouts + li) * kNumPrecisions + pi.
+    static constexpr int kNumArms = backends::kNumScatterStrategies *
+                                    backends::kNumStorageLayouts *
+                                    backends::kNumPrecisions;
     std::array<Candidate, kNumArms> arm_best{};
     std::array<double, kNumArms> arm_median{};
     std::array<bool, kNumArms> arm_scored{};
@@ -176,13 +196,13 @@ class Autotuner {
   std::uint64_t trials_ = 0;
 };
 
-/// Flat encoding of a TuningTable as 4*kNumKernels reals (blocks,
-/// threads, scatter strategy, storage layout per kernel in enum order) —
-/// the dist layer broadcasts rank 0's winners to all ranks through the
-/// existing Comm::bcast(span<real>) so every rank runs identical shapes,
-/// strategies and layouts.
+/// Flat encoding of a TuningTable as 5*kNumKernels reals (blocks,
+/// threads, scatter strategy, storage layout, storage precision per
+/// kernel in enum order) — the dist layer broadcasts rank 0's winners to
+/// all ranks through the existing Comm::bcast(span<real>) so every rank
+/// runs identical shapes, strategies, layouts and precisions.
 inline constexpr std::size_t kEncodedTableSize =
-    4 * static_cast<std::size_t>(backends::kNumKernels);
+    5 * static_cast<std::size_t>(backends::kNumKernels);
 [[nodiscard]] std::vector<real> encode_table(
     const backends::TuningTable& table);
 [[nodiscard]] backends::TuningTable decode_table(std::span<const real> data);

@@ -17,6 +17,13 @@
 /// always-present seed arrays), so a partially-registered layout can
 /// never fault — it just runs unaccelerated.
 ///
+/// Storage precision is the fourth axis, carried by
+/// `args.config.precision`: the catalog registers each body's float and
+/// bf16s instantiations next to the fp64 one, and an empty precision
+/// slot (or a view without the converted planes attached) clamps to the
+/// fp64 launcher of the same (kernel, backend, layout) — reduced
+/// precision degrades to full precision, never to a fault.
+///
 /// The launchers are type-erased `std::function`s over a flat argument
 /// struct so the registry depends only on forward declarations — the
 /// tuning library sits *below* core in the link order (core registers
@@ -67,27 +74,32 @@ class KernelRegistry {
  public:
   void add(backends::KernelId id, backends::BackendKind backend,
            KernelLauncher launcher,
-           backends::StorageLayout layout = backends::StorageLayout::kSeedAos);
+           backends::StorageLayout layout = backends::StorageLayout::kSeedAos,
+           backends::Precision precision = backends::Precision::kFp64);
   void add_fused(
       backends::BackendKind backend, KernelLauncher launcher,
-      backends::StorageLayout layout = backends::StorageLayout::kSeedAos);
+      backends::StorageLayout layout = backends::StorageLayout::kSeedAos,
+      backends::Precision precision = backends::Precision::kFp64);
   /// Registers the contention-free variant of an atomic scatter kernel;
   /// `launch()` routes to it when args.config.strategy says so.
   void add_privatized(
       backends::KernelId id, backends::BackendKind backend,
       KernelLauncher launcher,
-      backends::StorageLayout layout = backends::StorageLayout::kSeedAos);
+      backends::StorageLayout layout = backends::StorageLayout::kSeedAos,
+      backends::Precision precision = backends::Precision::kFp64);
 
-  [[nodiscard]] bool has(backends::KernelId id, backends::BackendKind backend,
-                         backends::StorageLayout layout =
-                             backends::StorageLayout::kSeedAos) const;
-  [[nodiscard]] bool has_fused(backends::BackendKind backend,
-                               backends::StorageLayout layout =
-                                   backends::StorageLayout::kSeedAos) const;
+  [[nodiscard]] bool has(
+      backends::KernelId id, backends::BackendKind backend,
+      backends::StorageLayout layout = backends::StorageLayout::kSeedAos,
+      backends::Precision precision = backends::Precision::kFp64) const;
+  [[nodiscard]] bool has_fused(
+      backends::BackendKind backend,
+      backends::StorageLayout layout = backends::StorageLayout::kSeedAos,
+      backends::Precision precision = backends::Precision::kFp64) const;
   [[nodiscard]] bool has_privatized(
       backends::KernelId id, backends::BackendKind backend,
-      backends::StorageLayout layout =
-          backends::StorageLayout::kSeedAos) const;
+      backends::StorageLayout layout = backends::StorageLayout::kSeedAos,
+      backends::Precision precision = backends::Precision::kFp64) const;
 
   /// Dispatches through the registered launcher; throws gaia::Error
   /// naming the (kernel, backend) pair when nothing is registered —
@@ -113,34 +125,39 @@ class KernelRegistry {
   static constexpr std::size_t kPlane =
       static_cast<std::size_t>(backends::kNumKernels) *
       static_cast<std::size_t>(backends::kNumBackends);
+  static constexpr std::size_t kLayoutPlanes =
+      static_cast<std::size_t>(backends::kNumStorageLayouts) *
+      static_cast<std::size_t>(backends::kNumPrecisions);
 
   [[nodiscard]] static std::size_t index(backends::KernelId id,
                                          backends::BackendKind backend,
-                                         backends::StorageLayout layout) {
-    return static_cast<std::size_t>(layout) * kPlane +
+                                         backends::StorageLayout layout,
+                                         backends::Precision precision) {
+    return (static_cast<std::size_t>(precision) *
+                static_cast<std::size_t>(backends::kNumStorageLayouts) +
+            static_cast<std::size_t>(layout)) *
+               kPlane +
            static_cast<std::size_t>(id) *
                static_cast<std::size_t>(backends::kNumBackends) +
            static_cast<std::size_t>(backend);
   }
   [[nodiscard]] static std::size_t fused_index(
-      backends::BackendKind backend, backends::StorageLayout layout) {
-    return static_cast<std::size_t>(layout) *
+      backends::BackendKind backend, backends::StorageLayout layout,
+      backends::Precision precision) {
+    return (static_cast<std::size_t>(precision) *
+                static_cast<std::size_t>(backends::kNumStorageLayouts) +
+            static_cast<std::size_t>(layout)) *
                static_cast<std::size_t>(backends::kNumBackends) +
            static_cast<std::size_t>(backend);
   }
 
+  std::array<KernelLauncher, kPlane * kLayoutPlanes> table_{};
   std::array<KernelLauncher,
-             kPlane * static_cast<std::size_t>(backends::kNumStorageLayouts)>
-      table_{};
-  std::array<KernelLauncher,
-             static_cast<std::size_t>(backends::kNumBackends) *
-                 static_cast<std::size_t>(backends::kNumStorageLayouts)>
+             static_cast<std::size_t>(backends::kNumBackends) * kLayoutPlanes>
       fused_{};
   /// Sparse second strategy table: only the atomic scatter kernels have
   /// privatized variants registered.
-  std::array<KernelLauncher,
-             kPlane * static_cast<std::size_t>(backends::kNumStorageLayouts)>
-      privatized_{};
+  std::array<KernelLauncher, kPlane * kLayoutPlanes> privatized_{};
 };
 
 }  // namespace gaia::tuning

@@ -57,11 +57,12 @@ class TuningCache {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   /// Schema version this build reads and writes. v2 added the per-entry
-  /// scatter "strategy"; v3 added the storage "layout". Files of an
-  /// older schema are rejected as a *version miss*, not corruption — a
-  /// v2 winner was found in a layout-less search and must not silently
-  /// pin the new axis to seed.
-  static constexpr std::int64_t kSchemaVersion = 3;
+  /// scatter "strategy"; v3 added the storage "layout"; v4 added the
+  /// storage "precision". Files of an older schema are rejected as a
+  /// *version miss*, not corruption — a v3 winner was found in a
+  /// precision-less search and must not silently pin the new axis to
+  /// fp64.
+  static constexpr std::int64_t kSchemaVersion = 4;
 
   /// Why a parse produced no cache (kOk when it did).
   enum class ParseStatus {
@@ -71,9 +72,9 @@ class TuningCache {
   };
 
   /// JSON document (schema below); stable entry order for diffing.
-  /// {"version":3,"entries":[{"backend":"gpusim","rows_log2":8,
+  /// {"version":4,"entries":[{"backend":"gpusim","rows_log2":8,
   ///   "cols_log2":7,"kernel":"aprod2_att","blocks":32,"threads":32,
-  ///   "strategy":"privatized","layout":"soa_tiled"}]}
+  ///   "strategy":"privatized","layout":"soa_tiled","precision":"fp32"}]}
   [[nodiscard]] std::string to_json() const;
   /// Strict parse: any malformed syntax, unknown backend/kernel/strategy
   /// name, invalid launch shape or wrong version yields nullopt (the

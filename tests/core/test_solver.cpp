@@ -58,5 +58,79 @@ TEST(Solver, SameSeedSameSolution) {
     EXPECT_EQ(a.result.x[i], b.result.x[i]);  // bitwise: serial backend
 }
 
+TEST(Solver, PrecisionModeGrammarMirrorsTheLayoutGrammar) {
+  // Canonical tokens plus the CLI short forms, exactly the grammar the
+  // cache JSON and --precision share.
+  EXPECT_EQ(parse_precision_mode("fp64"), PrecisionMode::kFp64);
+  EXPECT_EQ(parse_precision_mode("double"), PrecisionMode::kFp64);
+  EXPECT_EQ(parse_precision_mode("f64"), PrecisionMode::kFp64);
+  EXPECT_EQ(parse_precision_mode("fp32"), PrecisionMode::kFp32);
+  EXPECT_EQ(parse_precision_mode("single"), PrecisionMode::kFp32);
+  EXPECT_EQ(parse_precision_mode("float"), PrecisionMode::kFp32);
+  EXPECT_EQ(parse_precision_mode("bf16s"), PrecisionMode::kBf16s);
+  EXPECT_EQ(parse_precision_mode("bf16"), PrecisionMode::kBf16s);
+  EXPECT_EQ(parse_precision_mode("bfloat16"), PrecisionMode::kBf16s);
+  EXPECT_EQ(parse_precision_mode("auto"), PrecisionMode::kAuto);
+  // Bad tokens: nullopt, so the caller can report the value *and* its
+  // origin (flag vs env) — the positioned-error contract.
+  EXPECT_FALSE(parse_precision_mode("fp16").has_value());
+  EXPECT_FALSE(parse_precision_mode("FP32").has_value());
+  EXPECT_FALSE(parse_precision_mode("").has_value());
+  EXPECT_FALSE(parse_precision_mode("mixed").has_value());
+  for (PrecisionMode m : {PrecisionMode::kFp64, PrecisionMode::kFp32,
+                          PrecisionMode::kBf16s, PrecisionMode::kAuto})
+    EXPECT_EQ(parse_precision_mode(to_string(m)), m);
+}
+
+TEST(Solver, ReducedPrecisionRunRefinesAndReportsIt) {
+  SolverRunConfig cfg;
+  cfg.generator = gaia::testing::small_config(83);
+  cfg.lsqr.max_iterations = 200;
+  cfg.lsqr.atol = 1e-12;
+  cfg.lsqr.btol = 1e-12;
+  cfg.lsqr.aprod.backend = backends::BackendKind::kSerial;
+  cfg.precision = PrecisionMode::kFp32;
+  const auto report = run_solver(cfg);
+  EXPECT_TRUE(report.refinement_ran);
+  EXPECT_TRUE(report.refinement.converged);
+  EXPECT_FALSE(report.precision_fell_back);
+  for (backends::KernelId id : backends::all_kernels())
+    EXPECT_EQ(report.tuning_used.get(id).precision,
+              backends::Precision::kFp32);
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("precision: fp32"), std::string::npos);
+  EXPECT_NE(s.find("refine:"), std::string::npos);
+  EXPECT_NE(s.find("converged"), std::string::npos);
+
+  // The refined solution matches a pure-FP64 run of the same problem.
+  SolverRunConfig fp64_cfg = cfg;
+  fp64_cfg.precision = PrecisionMode::kFp64;
+  const auto fp64_report = run_solver(fp64_cfg);
+  EXPECT_FALSE(fp64_report.refinement_ran);
+  EXPECT_LT(gaia::testing::rel_l2_error(report.result.x,
+                                        fp64_report.result.x),
+            1e-6);
+}
+
+TEST(Solver, StalledRefinementFallsBackToFp64AndSaysSo) {
+  SolverRunConfig cfg;
+  cfg.generator = gaia::testing::small_config(84);
+  cfg.lsqr.max_iterations = 150;
+  cfg.lsqr.aprod.backend = backends::BackendKind::kSerial;
+  cfg.precision = PrecisionMode::kBf16s;
+  cfg.refine.max_corrections = 1;
+  cfg.refine.tolerance = 1e-300;  // unreachable -> guaranteed stall
+  const auto report = run_solver(cfg);
+  EXPECT_TRUE(report.refinement_ran);
+  EXPECT_FALSE(report.refinement.converged);
+  EXPECT_TRUE(report.precision_fell_back);
+  // The fallback re-solve runs — and is reported — in full precision.
+  for (backends::KernelId id : backends::all_kernels())
+    EXPECT_EQ(report.tuning_used.get(id).precision,
+              backends::Precision::kFp64);
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("fell back to fp64"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gaia::core

@@ -245,6 +245,15 @@ TEST(AutotunerEncoding, TableRoundTripsThroughTheBroadcastEncoding) {
   table.set(KernelId::kAprod2Instr,
             {8, 64, backends::ScatterStrategy::kAtomic,
              backends::StorageLayout::kSlicedInstr});
+  // Mixed precisions must survive the 5-real-per-kernel wire format the
+  // rank-0 broadcast uses.
+  table.set(KernelId::kAprod1Astro,
+            {64, 128, backends::ScatterStrategy::kAtomic,
+             backends::StorageLayout::kSoaTiled, backends::Precision::kFp32});
+  table.set(KernelId::kAprod1Att,
+            {64, 128, backends::ScatterStrategy::kAtomic,
+             backends::StorageLayout::kSeedAos,
+             backends::Precision::kBf16s});
   const std::vector<real> wire = encode_table(table);
   EXPECT_EQ(wire.size(), kEncodedTableSize);
   EXPECT_EQ(decode_table(wire), table);
@@ -266,6 +275,13 @@ TEST(AutotunerEncoding, UnknownLayoutCodeThrows) {
   backends::TuningTable table = backends::TuningTable::tuned_default();
   std::vector<real> wire = encode_table(table);
   wire[3] = 9;  // not a StorageLayout enumerator
+  EXPECT_THROW((void)decode_table(wire), Error);
+}
+
+TEST(AutotunerEncoding, UnknownPrecisionCodeThrows) {
+  backends::TuningTable table = backends::TuningTable::tuned_default();
+  std::vector<real> wire = encode_table(table);
+  wire[4] = 9;  // not a Precision enumerator
   EXPECT_THROW((void)decode_table(wire), Error);
 }
 
