@@ -13,10 +13,12 @@
 ///   gaia-perfgate BENCH_smoke.json slow.json   # exits 1
 #include <array>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "backends/scratch_arena.hpp"
+#include "obs/sampler.hpp"
 #include "core/kernel_catalog.hpp"
 #include "core/system_view.hpp"
 #include "matrix/generator.hpp"
@@ -74,6 +76,12 @@ int main(int argc, char** argv) {
   cli.add_option("slowdown", "",
                  "KERNEL=FACTOR: artificially slow one kernel "
                  "(regression-injection for gate tests)");
+  cli.add_option("telemetry-file", "",
+                 "run the telemetry sampler during the sweep, streaming "
+                 "JSONL here — compare kernel medians with/without to "
+                 "measure sampler overhead");
+  cli.add_option("telemetry-every-ms", "0",
+                 "sampling period for --telemetry-file (0 = default 250)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const auto backend_opt = backends::parse_backend(cli.get("backend"));
@@ -83,6 +91,15 @@ int main(int argc, char** argv) {
     const auto reps = static_cast<int>(cli.get_int("reps"));
     GAIA_CHECK(reps > 0, "--reps must be positive");
     const Slowdown slowdown = parse_slowdown(cli.get("slowdown"));
+
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    if (!cli.get("telemetry-file").empty()) {
+      obs::SamplerConfig scfg;
+      scfg.path = cli.get("telemetry-file");
+      const int every = static_cast<int>(cli.get_int("telemetry-every-ms"));
+      if (every > 0) scfg.period_ms = every;
+      sampler = std::make_unique<obs::TelemetrySampler>(scfg);
+    }
 
     matrix::GeneratorConfig cfg;
     cfg.seed = 4242;

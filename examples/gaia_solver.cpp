@@ -17,8 +17,11 @@
 
 #include "core/solver.hpp"
 #include "dist/dist_lsqr.hpp"
+#include "metrics/roofline.hpp"
+#include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "obs/trace.hpp"
+#include "perfmodel/gpu_spec.hpp"
 #include "resilience/fault_injector.hpp"
 #include "util/cli.hpp"
 #include "util/profiler.hpp"
@@ -100,6 +103,25 @@ int main(int argc, char** argv) {
                  "write a CRC-sealed JSON metrics snapshot here, "
                  "refreshed on every checkpoint (also honored via "
                  "GAIA_METRICS_SNAPSHOT)");
+  cli.add_option("telemetry-file", "",
+                 "stream live JSONL telemetry samples (solver progress, "
+                 "ETA, headline metrics) here; also honored via "
+                 "GAIA_TELEMETRY");
+  cli.add_option("telemetry-every-ms", "0",
+                 "sampling period in milliseconds (0 = default 250; "
+                 "also honored via GAIA_TELEMETRY_EVERY_MS)");
+  cli.add_flag("progress",
+               "live single-line progress/ETA display on stderr "
+               "(also honored via GAIA_PROGRESS=1)");
+  cli.add_option("metrics-every-s", "0",
+                 "re-seal the --metrics-snapshot file every N seconds "
+                 "while solving (0 = off; also honored via "
+                 "GAIA_METRICS_EVERY_S)");
+  cli.add_option("postmortem-dir", "",
+                 "arm the flight recorder: any failure escaping the "
+                 "solver seals a postmortem bundle into this directory "
+                 "(read it with gaia-postmortem; also honored via "
+                 "GAIA_POSTMORTEM)");
   cli.add_option("faults", "",
                  "deterministic fault-injection spec, e.g. "
                  "'kernel:p=0.01;h2d:p=0.005;rank:iter=200,rank=1;"
@@ -128,9 +150,16 @@ int main(int argc, char** argv) {
     if (!cli.parse(argc, argv)) return 0;
 
     // Arms tracing/metrics when requested; flushed at scope exit.
+    obs::SessionExtras extras;
+    extras.telemetry_path = cli.get("telemetry-file");
+    extras.telemetry_every_ms =
+        static_cast<int>(cli.get_int("telemetry-every-ms"));
+    extras.progress_stderr = cli.get_flag("progress");
+    extras.metrics_every_s = cli.get_double("metrics-every-s");
+    extras.postmortem_dir = cli.get("postmortem-dir");
     obs::Session obs_session = obs::Session::from_env(
         cli.get("trace"), cli.get("metrics"), cli.get("metrics-openmetrics"),
-        cli.get("metrics-snapshot"));
+        cli.get("metrics-snapshot"), extras);
     const auto trace_capacity =
         static_cast<std::size_t>(cli.get_int("trace-capacity"));
     if (trace_capacity > 0)
@@ -318,6 +347,20 @@ int main(int argc, char** argv) {
                 << util::format_seconds(result.comm_wait_seconds_max)
                 << " barrier wait), exposure "
                 << result.comm_exposure_fraction_max << '\n';
+      // Roofline placement over the cluster-aggregated kernel rows (the
+      // dist driver already published the matching gauges).
+      {
+        const perfmodel::GpuSpec spec =
+            perfmodel::gpu_spec(perfmodel::Platform::kA100);
+        const metrics::RooflineMachine machine{
+            spec.name, spec.peak_bw_gbs, spec.fp64_tflops * 1000.0,
+            spec.spmv_bw_efficiency};
+        const std::string table = metrics::roofline_table(
+            metrics::roofline_points(obs::MetricsRegistry::global().snapshot(),
+                                     machine),
+            machine);
+        if (!table.empty()) std::cout << table;
+      }
       if (!result.merged_trace_file.empty()) {
         std::cout << "  trace: " << result.trace_files.size()
                   << " per-rank file(s) in " << dopts.trace_dir

@@ -1,6 +1,7 @@
 #include "core/aprod.hpp"
 
 #include "core/kernel_catalog.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
@@ -102,6 +103,9 @@ void note_failover(const char* kernel, BackendKind from, BackendKind to) {
                  {"from", backends::to_string(from)},
                  {"to", backends::to_string(to)}});
   }
+  obs::flight_event("failover", kernel,
+                    backends::to_string(from) + " -> " +
+                        backends::to_string(to));
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "core/preconditioner.hpp"
 #include "core/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/fault_injector.hpp"
@@ -358,6 +359,11 @@ struct LsqrEngine::Impl {
       g_arnorm.set(arnorm);
       g_xnorm.set(xnorm);
     }
+    // Live progress row for the telemetry sampler (rank-attributed via
+    // the thread-local set by dist rank bodies; -1 single-process).
+    auto& board = obs::ProgressBoard::global();
+    if (board.enabled())
+      board.update(obs::ProgressBoard::thread_rank(), itn, rnorm, arnorm);
   }
 
   bool step() {

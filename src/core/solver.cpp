@@ -1,6 +1,7 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <iostream>
 #include <sstream>
 #include <vector>
@@ -8,9 +9,12 @@
 #include "core/autotune_driver.hpp"
 #include "core/lsqr_engine.hpp"
 #include "metrics/pennycook.hpp"
+#include "metrics/roofline.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "perfmodel/problem_shape.hpp"
@@ -309,6 +313,8 @@ void run_refinement(const SolverRunConfig& config,
                     const matrix::SystemMatrix& A, LsqrOptions& lsqr,
                     SolverRunReport& report) {
   if (!table_has_reduced_precision(lsqr.aprod.tuning)) return;
+  obs::ProgressBoard::global().set_phase(obs::ProgressBoard::thread_rank(),
+                                         "refine");
   report.refinement_ran = true;
   report.refinement = refine_corrections(A, A.known_terms(),
                                          report.result.x, lsqr,
@@ -317,6 +323,8 @@ void run_refinement(const SolverRunConfig& config,
 
   auto& reg = obs::MetricsRegistry::global();
   if (reg.enabled()) reg.counter("refine.fallbacks").add(1);
+  obs::flight_event("state", "solver.precision_fallback",
+                    "refinement stalled; full fp64 re-solve");
   report.precision_fell_back = true;
   force_precision(lsqr.aprod.tuning, backends::Precision::kFp64);
   report.tuning_used = lsqr.aprod.tuning;
@@ -342,8 +350,17 @@ void finish_observability(const matrix::GeneratorConfig& gen_cfg,
   const std::vector<obs::MetricRow> rows = reg.snapshot();
   const perfmodel::ProblemShape shape =
       perfmodel::ProblemShape::from_config(gen_cfg);
-  const perfmodel::KernelCostModel model(
-      perfmodel::gpu_spec(perfmodel::Platform::kA100));
+  const perfmodel::GpuSpec spec =
+      perfmodel::gpu_spec(perfmodel::Platform::kA100);
+  const perfmodel::KernelCostModel model(spec);
+  // Roofline placement against the same representative spec the cost
+  // model prices crossovers with (GFLOP/s = TFLOP/s * 1000); gauges are
+  // published back so exports/bundles carry the placement.
+  report.roofline_machine = metrics::RooflineMachine{
+      spec.name, spec.peak_bw_gbs, spec.fp64_tflops * 1000.0,
+      spec.spmv_bw_efficiency};
+  report.roofline = metrics::roofline_points(rows, report.roofline_machine);
+  metrics::publish_roofline_gauges(report.roofline);
   std::vector<double> eff;
   for (backends::KernelId id : backends::all_kernels()) {
     const std::string kname = backends::to_string(id);
@@ -375,10 +392,20 @@ void finish_observability(const matrix::GeneratorConfig& gen_cfg,
   reg.gauge("metrics.pennycook").set(report.pennycook_p);
 }
 
-}  // namespace
-
-SolverRunReport run_solver(const SolverRunConfig& config) {
+SolverRunReport run_solver_impl(const SolverRunConfig& config) {
   util::Stopwatch watch;
+
+  // Live progress: one rank-attributed row for the whole run (rank -1
+  // single-process; the dist rank bodies install a ThreadRankScope).
+  // Phase transitions below feed the sampler's progress/ETA line; the
+  // row is dropped however the run ends.
+  const int prank = obs::ProgressBoard::thread_rank();
+  auto& board = obs::ProgressBoard::global();
+  struct BoardEnd {
+    int rank;
+    ~BoardEnd() { obs::ProgressBoard::global().end(rank); }
+  } board_end{prank};
+  board.begin(prank, config.lsqr.max_iterations, "generate");
 
   matrix::GeneratorConfig gen_cfg =
       config.generator.has_value()
@@ -394,6 +421,23 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
   report.system_bytes = generated.A.footprint_bytes();
 
   LsqrOptions lsqr = config.lsqr;
+
+  // Config fingerprint for any postmortem bundle this run flushes.
+  obs::set_postmortem_context("backend",
+                              backends::to_string(lsqr.aprod.backend));
+  obs::set_postmortem_context("seed", std::to_string(config.seed));
+  obs::set_postmortem_context("scatter", to_string(config.scatter));
+  obs::set_postmortem_context("layout", to_string(config.storage_layout));
+  obs::set_postmortem_context("precision", to_string(config.precision));
+  obs::set_postmortem_context("n_obs", std::to_string(report.n_obs));
+  obs::set_postmortem_context("n_unknowns",
+                              std::to_string(report.layout.n_unknowns()));
+  obs::set_postmortem_context(
+      "max_iterations", std::to_string(config.lsqr.max_iterations));
+  obs::flight_event("state", "solver.generated",
+                    std::to_string(report.n_obs) + " obs, " +
+                        std::to_string(report.layout.n_unknowns()) +
+                        " unknowns");
   // Resolve the scatter policy before tuning. Pinned modes force the
   // strategy up front (the search then only walks that arm); kAuto
   // without a measuring search — autotune off, or a backend that
@@ -427,9 +471,33 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
            (!config.autotune.enabled ||
             !backends::honors_kernel_config(lsqr.aprod.backend)))
     apply_model_preferred_precision(gen_cfg, lsqr.aprod.tuning);
-  if (config.autotune.enabled) run_autotune(config, generated.A, lsqr, report);
+  if (config.autotune.enabled) {
+    board.set_phase(prank, "autotune");
+    run_autotune(config, generated.A, lsqr, report);
+    obs::flight_event("state", "solver.autotuned",
+                      report.autotune_cache_hit
+                          ? "cache hit"
+                          : std::to_string(report.tuning_trials) + " trials");
+  }
   report.tuning_used = lsqr.aprod.tuning;
+  {
+    // Tuning fingerprint: the resolved (shape, strategy, layout,
+    // precision) per kernel — the first question a postmortem asks.
+    std::ostringstream fp;
+    bool first = true;
+    for (backends::KernelId id : backends::all_kernels()) {
+      const backends::KernelConfig cfg = lsqr.aprod.tuning.get(id);
+      if (!first) fp << ' ';
+      first = false;
+      fp << backends::to_string(id) << '=' << cfg.blocks << 'x' << cfg.threads
+         << '/' << backends::to_string(cfg.strategy) << '/'
+         << backends::to_string(cfg.layout) << '/'
+         << backends::to_string(cfg.precision);
+    }
+    obs::set_postmortem_context("tuning", fp.str());
+  }
 
+  board.set_phase(prank, "solve");
   watch.reset();
   resilience::CheckpointManager manager(config.checkpoint);
   if (!manager.enabled()) {
@@ -474,6 +542,38 @@ SolverRunReport run_solver(const SolverRunConfig& config) {
   report.solve_seconds = watch.elapsed_s();
   finish_observability(gen_cfg, lsqr, report);
   return report;
+}
+
+}  // namespace
+
+SolverRunReport run_solver(const SolverRunConfig& config) {
+  // Satellite fix (ISSUE 10): the exit-time snapshot used to be sealed
+  // only on the normal path — this guard seals it while *unwinding*, so
+  // an SdcError/failover-exhaustion abort still leaves the armed
+  // snapshot on disk (the postmortem bundle links against it).
+  struct UnwindSeal {
+    ~UnwindSeal() {
+      if (std::uncaught_exceptions() > 0) obs::flush_global_snapshot();
+    }
+  } unwind_seal;
+  try {
+    SolverRunReport report = run_solver_impl(config);
+    obs::flight_event("state", "solver.done",
+                      std::to_string(report.result.iterations) +
+                          " iterations, stop: " +
+                          to_string(report.result.istop));
+    return report;
+  } catch (const resilience::SdcError& e) {
+    obs::flight_event("fault", "solver.sdc_unrepaired", e.what());
+    obs::flush_postmortem({"sdc-unrepaired", e.what(),
+                           obs::ProgressBoard::thread_rank(), 1});
+    throw;
+  } catch (const std::exception& e) {
+    obs::flight_event("fault", "solver.exception", e.what());
+    obs::flush_postmortem({"exception", e.what(),
+                           obs::ProgressBoard::thread_rank(), 1});
+    throw;
+  }
 }
 
 std::string SolverRunReport::summary() const {
@@ -562,6 +662,8 @@ std::string SolverRunReport::summary() const {
     os << "perf:   Pennycook P=" << pennycook_p << " over "
        << pennycook_kernels
        << " kernel(s) (model-predicted / measured p50, best-normalized)\n";
+  if (!roofline.empty())
+    os << metrics::roofline_table(roofline, roofline_machine);
   if (!metrics_snapshot_path.empty())
     os << "        metrics snapshot: " << metrics_snapshot_path << '\n';
   if (trace_dropped_events > 0)

@@ -15,6 +15,7 @@
 #include "core/lsqr.hpp"
 #include "core/refinement.hpp"
 #include "matrix/generator.hpp"
+#include "metrics/roofline.hpp"
 #include "resilience/checkpoint.hpp"
 #include "tuning/autotuner.hpp"
 
@@ -161,6 +162,14 @@ struct SolverRunReport {
   int pennycook_kernels = 0;
   /// Path of the sealed metrics snapshot, when one is armed.
   std::string metrics_snapshot_path;
+
+  /// Roofline placement of every kernel series that recorded production
+  /// traffic + timing (empty when metrics were off). The machine is the
+  /// same representative A100 spec the cost-model crossovers use, so
+  /// the %-of-ceiling column is consistent with the derived-bandwidth
+  /// table; also published as `gaia_kernel_roofline_*` gauges.
+  std::vector<metrics::RooflinePoint> roofline;
+  metrics::RooflineMachine roofline_machine{};
 
   /// Events the bounded trace buffer dropped during this run (0 when
   /// tracing was off or the capacity was never hit); a nonzero value

@@ -4,6 +4,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
@@ -34,11 +35,19 @@ void World::arrive_barrier() {
 }
 
 void World::poison(std::exception_ptr error) {
+  std::string what = "(unknown)";
+  try {
+    if (error) std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
   {
     std::lock_guard<std::mutex> lock(error_mutex_);
     if (!first_error_) first_error_ = std::move(error);
   }
   poisoned_.store(true, std::memory_order_release);
+  obs::flight_event("comm", "world.poisoned", what);
 }
 
 void World::collective_reduce(int rank, std::span<real> data, ReduceOp op,

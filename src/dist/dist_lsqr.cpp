@@ -15,9 +15,13 @@
 #include "core/kernel_catalog.hpp"
 #include "core/preconditioner.hpp"
 #include "core/vector_ops.hpp"
+#include "metrics/roofline.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_merge.hpp"
+#include "perfmodel/gpu_spec.hpp"
 #include "resilience/fault_injector.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
@@ -353,6 +357,21 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
         obs::ThreadRecorderScope trace_scope(
             tracing ? recorders[static_cast<std::size_t>(rank)].get()
                     : nullptr);
+        // Rank-tagged telemetry: the sampler's progress rows and any
+        // flight events this thread records carry this rank id.
+        obs::ThreadRankScope rank_scope(rank);
+        obs::ProgressBoard::global().begin(rank,
+                                           options.lsqr.max_iterations,
+                                           "solve");
+        struct BoardEnd {
+          int rank;
+          ~BoardEnd() { obs::ProgressBoard::global().end(rank); }
+        } board_end{rank};
+        // The body below is wrapped so every way a rank can die seals a
+        // per-rank postmortem bundle (postmortem.rank<N>.json) before the
+        // exception reaches World::run's poison path. Indentation of the
+        // existing body is left untouched on purpose.
+        try {
         const matrix::SystemMatrix& local =
             slices[static_cast<std::size_t>(rank)];
         const auto m_local = static_cast<std::size_t>(local.n_rows());
@@ -635,6 +654,12 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
             // Iteration wall time, maximized over ranks (paper App. B).
             const double t_local = watch.elapsed_s();
             local_iter_seconds.push_back(t_local);
+            {
+              auto& board = obs::ProgressBoard::global();
+              if (board.enabled())
+                board.update(rank, itn, static_cast<double>(rnorm),
+                             static_cast<double>(arnorm));
+            }
             const double t_max =
                 comm.allreduce(static_cast<real>(t_local), ReduceOp::kMax);
             if (rank == 0)
@@ -844,6 +869,24 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
           }
         }
         if (rank == 0) attempt_health = monitor.report();
+        } catch (const resilience::RankDeath& death) {
+          // The dying rank seals its own bundle — its trace tail and the
+          // flight-event timeline are thread-local context the driver
+          // cannot reconstruct after the poison propagates.
+          obs::flight_event("fault", "rank.death", death.what(),
+                            death.iteration(), rank);
+          obs::flush_postmortem(
+              {"rank-death", death.what(), rank, n_ranks});
+          throw;
+        } catch (const WorldPoisoned&) {
+          // Collateral unwind of a survivor; no bundle — the real error
+          // was sealed by the rank that raised it.
+          throw;
+        } catch (const std::exception& e) {
+          obs::flight_event("fault", "rank.exception", e.what(), -1, rank);
+          obs::flush_postmortem({"exception", e.what(), rank, n_ranks});
+          throw;
+        }
       });
       // Fold this attempt's health outcome before deciding whether it
       // ended in a rollback (repairs accumulate across attempts).
@@ -861,6 +904,10 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
           result.health.unrepaired = true;
           resilience::note_resilience_event("sdc.unrepaired",
                                             sdc_verdict.describe());
+          // Driver-level bundle (rank -1): the cluster-wide diagnosis,
+          // sealed before the throw so a crashing caller still has it.
+          obs::flush_postmortem(
+              {"sdc-unrepaired", sdc_verdict.describe(), -1, n_ranks});
           throw resilience::SdcError(sdc_verdict);
         }
         ++sdc_repairs;
@@ -909,6 +956,18 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
             options.trace_dir + "/trace.merged.json";
         obs::write_trace(merged, result.merged_trace_file);
       }
+      // Roofline placement over the cluster-aggregated kernel rows, so
+      // the gauges ride the sealed cluster snapshot below and a
+      // multi-rank run exposes every kernel's ceiling fraction.
+      {
+        const perfmodel::GpuSpec spec =
+            perfmodel::gpu_spec(perfmodel::Platform::kA100);
+        const metrics::RooflineMachine machine{
+            spec.name, spec.peak_bw_gbs, spec.fp64_tflops * 1000.0,
+            spec.spmv_bw_efficiency};
+        metrics::publish_roofline_gauges(metrics::roofline_points(
+            obs::MetricsRegistry::global().snapshot(), machine));
+      }
       // Exactly one cluster-wide snapshot per distributed solve: the
       // meta records the rank count and whether the reduction covered
       // every rank, then the armed sink (if any) re-seals the file.
@@ -922,7 +981,13 @@ DistLsqrResult dist_lsqr_solve(const matrix::SystemMatrix& A_in,
       }
       break;
     } catch (const resilience::RankDeath& death) {
-      if (result.restarts >= options.max_restarts || n_ranks <= 1) throw;
+      if (result.restarts >= options.max_restarts || n_ranks <= 1) {
+        obs::flush_postmortem(
+            {"rank-death-unrecovered",
+             std::string(death.what()) + "; restart budget exhausted", -1,
+             n_ranks});
+        throw;
+      }
       ++result.restarts;
       --n_ranks;
       const std::string detail =

@@ -1,0 +1,99 @@
+/// \file roofline.hpp
+/// \brief Per-kernel roofline placement from the derived counters.
+///
+/// The perf-counters layer (obs/perf_counters) already derives bytes,
+/// FLOPs and wall time per (kernel, backend, strategy) launch from the
+/// cost-model shapes. Against a machine spec those three numbers are a
+/// complete roofline analysis:
+///
+///   intensity I        = flops / bytes              [FLOP/byte]
+///   achieved GFLOP/s   = flops / seconds
+///   ceiling(I)         = min(peak_gflops, I * effective_bw)
+///   fraction           = achieved / ceiling(I)
+///   memory-bound       = I < ridge (peak_gflops / effective_bw)
+///
+/// which is the Pennycook-adjacent "%-of-ceiling" view the paper's
+/// portability argument needs per kernel: a kernel at 80% of its
+/// bandwidth ceiling is done; one at 20% has headroom no backend swap
+/// will explain. Results feed three sinks: `gaia_kernel_roofline_*`
+/// OpenMetrics gauges (the CI smoke greps them), the solver summary
+/// table, and the postmortem bundle (gauges ride the metrics rows).
+///
+/// Lives in metrics/ (analysis layer) but takes the machine as plain
+/// values (`RooflineMachine`) rather than a `perfmodel::GpuSpec` —
+/// perfmodel links *this* library, so the dependency cannot point back.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gaia::metrics {
+
+/// Machine ceilings, in the units the roofline works in. Callers build
+/// one from a `perfmodel::gpu_spec()` (peak_gflops = fp64_tflops*1000)
+/// or from measured STREAM-style numbers.
+struct RooflineMachine {
+  std::string name;
+  double peak_bw_gbs = 0;    ///< peak HBM/DRAM bandwidth [GB/s]
+  double peak_gflops = 0;    ///< peak FP64 throughput [GFLOP/s]
+  /// Fraction of peak bandwidth an SpMV-like irregular kernel can
+  /// realistically sustain (the spec's spmv_bw_efficiency); scales the
+  /// bandwidth roof so "100%" means "as good as this access pattern
+  /// gets", matching the cost model's derived-bandwidth table.
+  double bw_efficiency = 1.0;
+
+  [[nodiscard]] double effective_bw_gbs() const {
+    return peak_bw_gbs * bw_efficiency;
+  }
+};
+
+/// The ridge point: arithmetic intensity where the bandwidth roof meets
+/// the compute roof [FLOP/byte]. Kernels below it are memory-bound.
+[[nodiscard]] double ridge_intensity(const RooflineMachine& machine);
+
+/// One kernel's placement on the roofline.
+struct RooflinePoint {
+  std::string kernel;
+  std::string backend;
+  std::string strategy;
+  std::uint64_t launches = 0;
+  double bytes_per_launch = 0;
+  double flops_per_launch = 0;
+  double seconds_p50 = 0;        ///< median measured launch wall time
+  double intensity = 0;          ///< FLOP/byte
+  double achieved_gflops = 0;
+  double achieved_gbs = 0;
+  double ceiling_gflops = 0;     ///< roof at this intensity
+  double fraction_of_ceiling = 0;
+  bool memory_bound = true;
+};
+
+/// Extracts roofline points from a metrics snapshot: every
+/// `kernel.<k>.<b>.<s>.*` series with a non-zero launch count, a byte
+/// or FLOP total, and a timed histogram becomes one point. Rows that
+/// are not kernel series are ignored. Sorted by (kernel, backend,
+/// strategy).
+[[nodiscard]] std::vector<RooflinePoint> roofline_points(
+    const std::vector<gaia::obs::MetricRow>& rows,
+    const RooflineMachine& machine);
+
+/// Publishes each point as registry gauges the OpenMetrics exporter
+/// auto-labels (single-token fields keep `parse_kernel_series` happy):
+///
+///   kernel.<k>.<b>.<s>.roofline_intensity
+///   kernel.<k>.<b>.<s>.roofline_achieved_gflops
+///   kernel.<k>.<b>.<s>.roofline_achieved_gbs
+///   kernel.<k>.<b>.<s>.roofline_fraction_of_ceiling
+///   kernel.<k>.<b>.<s>.roofline_memory_bound   (1.0 | 0.0)
+///
+/// No-op while the registry is disabled.
+void publish_roofline_gauges(const std::vector<RooflinePoint>& points);
+
+/// Human-readable table for the solver summary (one line per point,
+/// header + machine line included; "" when `points` is empty).
+[[nodiscard]] std::string roofline_table(
+    const std::vector<RooflinePoint>& points, const RooflineMachine& machine);
+
+}  // namespace gaia::metrics

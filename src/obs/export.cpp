@@ -37,9 +37,34 @@ std::string fmt(double v) {
   return os.str();
 }
 
+/// OpenMetrics label-value escaping: backslash, double-quote and
+/// line-feed must be escaped inside the quoted value (the spec's three
+/// mandatory escapes); everything else passes through verbatim.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string labels_of(const KernelSeriesName& k) {
-  return "kernel=\"" + k.kernel + "\",backend=\"" + k.backend +
-         "\",strategy=\"" + k.strategy + "\"";
+  return "kernel=\"" + escape_label_value(k.kernel) + "\",backend=\"" +
+         escape_label_value(k.backend) + "\",strategy=\"" +
+         escape_label_value(k.strategy) + "\"";
 }
 
 /// One exposition family: the `# TYPE` header plus its sample lines
@@ -135,18 +160,63 @@ std::optional<std::vector<OpenMetricsSample>> parse_openmetrics(
     if (pos == std::string::npos) return std::nullopt;
     sample.name = line.substr(0, pos);
     if (line[pos] == '{') {
-      const std::size_t close = line.find('}', pos);
+      // Locate the closing brace outside any quoted label value ('}'
+      // and ',' are legal inside values, and '"' may appear escaped).
+      std::size_t close = std::string::npos;
+      bool in_quotes = false;
+      for (std::size_t c = pos + 1; c < line.size(); ++c) {
+        const char ch = line[c];
+        if (in_quotes) {
+          if (ch == '\\')
+            ++c;  // skip the escaped character
+          else if (ch == '"')
+            in_quotes = false;
+        } else if (ch == '"') {
+          in_quotes = true;
+        } else if (ch == '}') {
+          close = c;
+          break;
+        }
+      }
       if (close == std::string::npos) return std::nullopt;
       std::string body = line.substr(pos + 1, close - pos - 1);
       std::size_t i = 0;
       while (i < body.size()) {
         const std::size_t eq = body.find("=\"", i);
         if (eq == std::string::npos) return std::nullopt;
-        const std::size_t end = body.find('"', eq + 2);
-        if (end == std::string::npos) return std::nullopt;
-        sample.labels.emplace_back(body.substr(i, eq - i),
-                                   body.substr(eq + 2, end - eq - 2));
-        i = end + 1;
+        // Scan the quoted value unescaping \\, \" and \n (the label
+        // escapes to_openmetrics emits); an unknown escape or an
+        // unterminated value is malformed.
+        std::string value;
+        std::size_t j = eq + 2;
+        bool closed = false;
+        while (j < body.size()) {
+          const char c = body[j];
+          if (c == '"') {
+            closed = true;
+            ++j;
+            break;
+          }
+          if (c == '\\') {
+            if (j + 1 >= body.size()) return std::nullopt;
+            const char esc = body[j + 1];
+            if (esc == '\\')
+              value.push_back('\\');
+            else if (esc == '"')
+              value.push_back('"');
+            else if (esc == 'n')
+              value.push_back('\n');
+            else
+              return std::nullopt;
+            j += 2;
+            continue;
+          }
+          value.push_back(c);
+          ++j;
+        }
+        if (!closed) return std::nullopt;
+        sample.labels.emplace_back(body.substr(i, eq - i), std::move(value));
+        i = j;
         if (i < body.size()) {
           if (body[i] != ',') return std::nullopt;
           ++i;

@@ -17,9 +17,12 @@
 /// re-sealed on every checkpoint via the global snapshot sink.
 #pragma once
 
+#include <memory>
 #include <string>
 
 namespace gaia::obs {
+
+class TelemetrySampler;
 
 /// Environment variables honored by `Session::from_env()`.
 inline constexpr const char* kTraceEnv = "GAIA_TRACE";
@@ -28,6 +31,23 @@ inline constexpr const char* kMetricsEnv = "GAIA_METRICS";
 inline constexpr const char* kMetricsFmtEnv = "GAIA_METRICS_FMT";
 inline constexpr const char* kOpenMetricsEnv = "GAIA_METRICS_OPENMETRICS";
 inline constexpr const char* kSnapshotEnv = "GAIA_METRICS_SNAPSHOT";
+inline constexpr const char* kTelemetryEnv = "GAIA_TELEMETRY";
+inline constexpr const char* kTelemetryEveryMsEnv = "GAIA_TELEMETRY_EVERY_MS";
+inline constexpr const char* kProgressEnv = "GAIA_PROGRESS";
+inline constexpr const char* kMetricsEverySEnv = "GAIA_METRICS_EVERY_S";
+inline constexpr const char* kPostmortemEnv = "GAIA_POSTMORTEM";
+
+/// The continuous-telemetry half of a session (PR 10): live JSONL
+/// sampling, the stderr progress line, periodic snapshot re-sealing and
+/// the postmortem bundle directory. All off by default; the sampler
+/// thread starts only when one of the first four is requested.
+struct SessionExtras {
+  std::string telemetry_path;   ///< JSONL stream (--telemetry-file)
+  int telemetry_every_ms = 0;   ///< 0 = env/default (250 ms)
+  bool progress_stderr = false; ///< live \r progress/ETA line
+  double metrics_every_s = 0;   ///< periodic snapshot seal (0 = off)
+  std::string postmortem_dir;   ///< arm obs::flush_postmortem ("" = off)
+};
 
 /// Format of the `GAIA_METRICS` output file.
 enum class MetricsFormat { kCsv, kOpenMetrics, kJson };
@@ -43,16 +63,20 @@ class Session {
   /// Explicit paths (CLI flags). Empty string = off.
   Session(std::string trace_path, std::string metrics_path,
           std::string openmetrics_path = "", std::string snapshot_path = "",
-          MetricsFormat metrics_format = MetricsFormat::kCsv);
+          MetricsFormat metrics_format = MetricsFormat::kCsv,
+          SessionExtras extras = {});
 
   /// Paths from GAIA_TRACE / GAIA_METRICS / GAIA_METRICS_OPENMETRICS /
   /// GAIA_METRICS_SNAPSHOT (unset/empty = off), format from
-  /// GAIA_METRICS_FMT (unknown value throws). Explicit paths passed
-  /// here override the environment.
+  /// GAIA_METRICS_FMT (unknown value throws), telemetry/postmortem from
+  /// GAIA_TELEMETRY / GAIA_TELEMETRY_EVERY_MS / GAIA_PROGRESS /
+  /// GAIA_METRICS_EVERY_S / GAIA_POSTMORTEM. Explicit paths/extras
+  /// passed here override the environment.
   static Session from_env(std::string trace_override = "",
                           std::string metrics_override = "",
                           std::string openmetrics_override = "",
-                          std::string snapshot_override = "");
+                          std::string snapshot_override = "",
+                          SessionExtras extras_override = {});
 
   /// Writes the outputs and disables collection. Errors are reported to
   /// stderr, never thrown (runs from destructors).
@@ -81,6 +105,10 @@ class Session {
   [[nodiscard]] MetricsFormat metrics_format() const {
     return metrics_format_;
   }
+  [[nodiscard]] const SessionExtras& extras() const { return extras_; }
+  /// The sampler thread this session owns (nullptr when no telemetry,
+  /// progress line or periodic seal was requested).
+  [[nodiscard]] TelemetrySampler* sampler() const { return sampler_.get(); }
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -92,6 +120,8 @@ class Session {
   std::string openmetrics_path_;
   std::string snapshot_path_;
   MetricsFormat metrics_format_ = MetricsFormat::kCsv;
+  SessionExtras extras_;
+  std::unique_ptr<TelemetrySampler> sampler_;
   bool armed_ = false;
 };
 

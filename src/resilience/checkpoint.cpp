@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "resilience/fault_injector.hpp"
@@ -52,6 +53,10 @@ void note_resilience_event(const char* name, const std::string& detail) {
   }
   auto& reg = obs::MetricsRegistry::global();
   if (reg.enabled()) reg.counter(std::string("resilience.") + name).add(1);
+  // Every resilience event is black-box-worthy: checkpoints, SDC
+  // detections/repairs, rank-death recovery all funnel through here,
+  // so one hook covers the postmortem timeline.
+  obs::flight_event("resilience", name, detail);
 }
 
 void write_framed_file(const std::string& path, std::string_view payload) {

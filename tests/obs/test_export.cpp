@@ -208,6 +208,50 @@ TEST_F(ExportTest, OpenMetricsParserRejectsMalformedInput) {
   EXPECT_TRUE(empty->empty());
 }
 
+TEST_F(ExportTest, OpenMetricsLabelEscapingRoundTrips) {
+  // Label values are derived from kernel-series segments, which nothing
+  // sanitizes — backslashes, quotes and newlines must survive the
+  // exposition unharmed instead of tearing the line format.
+  std::vector<MetricRow> rows(1);
+  rows[0].name = "kernel.we\"ird\\k\nname.openmp.atomic.bytes";
+  rows[0].type = "counter";
+  rows[0].count = 7;
+  rows[0].sum = 7;
+  rows[0].last = 7;
+  const std::string text = to_openmetrics(rows);
+  // The raw control characters never appear; their escapes do.
+  EXPECT_EQ(text.find("we\"ird"), std::string::npos);
+  EXPECT_NE(text.find("we\\\"ird\\\\k\\nname"), std::string::npos);
+
+  const auto parsed = parse_openmetrics(text);
+  ASSERT_TRUE(parsed.has_value());
+  const OpenMetricsSample* sample = nullptr;
+  for (const auto& s : *parsed)
+    if (s.name == "gaia_kernel_bytes_total") sample = &s;
+  ASSERT_NE(sample, nullptr);
+  const std::string* kernel = sample->label("kernel");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(*kernel, "we\"ird\\k\nname");
+  EXPECT_DOUBLE_EQ(sample->value, 7.0);
+}
+
+TEST_F(ExportTest, OpenMetricsParserRejectsBadLabelEscapes) {
+  // Unknown escape and unterminated value are hard errors, not
+  // best-effort truncations.
+  EXPECT_FALSE(
+      parse_openmetrics("gaia_x{kernel=\"a\\q\"} 1\n# EOF\n").has_value());
+  EXPECT_FALSE(
+      parse_openmetrics("gaia_x{kernel=\"a} 1\n# EOF\n").has_value());
+  // A quoted '}' inside a value must not terminate the label set early.
+  const auto ok =
+      parse_openmetrics("gaia_x{kernel=\"a}b\"} 2\n# EOF\n");
+  ASSERT_TRUE(ok.has_value());
+  ASSERT_EQ(ok->size(), 1u);
+  ASSERT_NE(ok->front().label("kernel"), nullptr);
+  EXPECT_EQ(*ok->front().label("kernel"), "a}b");
+  EXPECT_DOUBLE_EQ(ok->front().value, 2.0);
+}
+
 TEST_F(ExportTest, SnapshotJsonRoundTrip) {
   std::vector<MetricRow> rows(2);
   rows[0].name = "a.counter";

@@ -28,6 +28,7 @@
 #include "core/lsqr.hpp"
 #include "dist/dist_lsqr.hpp"
 #include "matrix/generator.hpp"
+#include "obs/flight_recorder.hpp"
 #include "resilience/fault_injector.hpp"
 #include "resilience/health_monitor.hpp"
 #include "util/error.hpp"
@@ -57,6 +58,10 @@ options:
                       instead of the built-ins (repeatable; grammar of
                       GAIA_FAULTS, see resilience/fault_injector.hpp)
   --report PATH       write the JSON campaign report to PATH
+  --postmortem-dir D  arm the flight recorder: every campaign seals a
+                      postmortem.<name>.json bundle into D (plus the
+                      per-rank bundles the failure paths themselves
+                      flush), readable with gaia-postmortem
   --list              list built-in campaigns and exit
   --help              this text
 
@@ -105,6 +110,7 @@ struct Options {
   std::vector<std::string> selected;       ///< --campaign filters
   std::vector<std::string> custom_faults;  ///< --faults specs
   std::string report_path;
+  std::string postmortem_dir;
   bool list = false;
 };
 
@@ -280,6 +286,8 @@ Options parse_args(int argc, char** argv) {
       opt.custom_faults.push_back(need_value(i, "--faults"));
     } else if (is("--report")) {
       opt.report_path = need_value(i, "--report");
+    } else if (is("--postmortem-dir")) {
+      opt.postmortem_dir = need_value(i, "--postmortem-dir");
     } else {
       fail_usage("unknown option '" + arg + "'");
     }
@@ -344,6 +352,8 @@ int main(int argc, char** argv) {
 
     auto& injector = gaia::resilience::FaultInjector::global();
     injector.disarm();
+    if (!opt.postmortem_dir.empty())
+      gaia::obs::set_postmortem_dir(opt.postmortem_dir);
 
     std::cout << "gaia-chaos: reference solve (" << opt.ranks << " rank"
               << (opt.ranks > 1 ? "s" : "") << ", " << opt.iterations
@@ -362,6 +372,11 @@ int main(int argc, char** argv) {
       o.campaign = c;
       std::cout << "gaia-chaos: campaign " << c.name << " [" << c.spec
                 << "]\n";
+      gaia::obs::set_postmortem_context("campaign", c.name);
+      gaia::obs::set_postmortem_context("faults", c.spec);
+      // Fresh timeline per campaign: each bundle narrates only its own
+      // injected failure, not the tail of the previous one.
+      gaia::obs::FlightRecorder::global().reset();
       injector.configure(c.spec, opt.seed);
       try {
         const auto run = run_solve(generated.A, lsqr, opt.ranks);
@@ -392,6 +407,14 @@ int main(int argc, char** argv) {
         o.diagnosis = e.what();
       }
       injector.disarm();
+      // One bundle per campaign (reason = outcome status): even the
+      // campaigns that repaired cleanly leave a diagnosable artifact, so
+      // CI's postmortem-smoke job asserts every injected failure mode
+      // produced one. No-op while --postmortem-dir is absent.
+      gaia::obs::flush_postmortem(
+          {o.status, o.diagnosis.empty() ? c.spec : o.diagnosis, -1,
+           opt.ranks},
+          "postmortem." + c.name + ".json");
       std::cout << "gaia-chaos:   " << o.status << " (detections "
                 << o.detections << ", repairs " << o.repairs;
       if (o.restarts > 0) std::cout << ", restarts " << o.restarts;

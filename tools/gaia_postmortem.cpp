@@ -1,0 +1,206 @@
+/// \file gaia_postmortem.cpp
+/// \brief CLI reader for flight-recorder postmortem bundles.
+///
+///   gaia-postmortem BUNDLE.json [more-bundles...] [options]
+///
+/// Loads one or more CRC-framed bundles (postmortem.json /
+/// postmortem.rank<N>.json), prints the failure diagnosis, the config
+/// fingerprint, the flight-event timeline tail, the headline metrics and
+/// the telemetry tail. A torn or bit-rotted bundle is rejected loudly —
+/// the framing footer makes "half a postmortem" impossible to mistake
+/// for a whole one.
+///
+/// Exit codes (gaia-perfgate convention): 0 = every bundle parsed (and
+/// matched --expect when given), 1 = a bundle parsed but its reason did
+/// not match --expect, 2 = usage / missing / torn / malformed bundle.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: gaia-postmortem BUNDLE.json [BUNDLE2.json ...] [options]\n"
+    "  --expect REASON   gate: fail (exit 1) when a bundle's failure\n"
+    "                    reason is not REASON (e.g. rank-death,\n"
+    "                    sdc-unrepaired, exception)\n"
+    "  --events N        show at most N timeline events per bundle\n"
+    "                    (default 20, 0 = all)\n"
+    "  --metrics         also print every metric row (default: top 12)\n"
+    "exit codes: 0 = parsed (and expectation met), 1 = --expect\n"
+    "            mismatch, 2 = missing/torn/malformed bundle\n";
+
+int fail_usage(const std::string& why) {
+  std::cerr << "gaia-postmortem: " << why << '\n' << kUsage;
+  return 2;
+}
+
+void print_bundle(const gaia::obs::PostmortemBundle& bundle,
+                  const std::string& path, std::size_t max_events,
+                  bool all_metrics) {
+  std::cout << "== " << path << " ==\n";
+  std::cout << "reason:  " << bundle.info.reason << '\n';
+  if (!bundle.info.detail.empty())
+    std::cout << "detail:  " << bundle.info.detail << '\n';
+  std::cout << "scope:   "
+            << (bundle.info.rank < 0
+                    ? std::string("cluster/process")
+                    : "rank " + std::to_string(bundle.info.rank))
+            << " of " << bundle.info.ranks << " rank(s)\n";
+
+  if (!bundle.context.empty()) {
+    std::cout << "fingerprint:\n";
+    for (const auto& [key, value] : bundle.context)
+      std::cout << "  " << key << " = " << value << '\n';
+  }
+
+  std::cout << "timeline (" << bundle.events.size() << " event(s)";
+  if (bundle.events_dropped > 0)
+    std::cout << ", " << bundle.events_dropped << " dropped before tail";
+  std::cout << "):\n";
+  std::size_t begin = 0;
+  if (max_events > 0 && bundle.events.size() > max_events) {
+    begin = bundle.events.size() - max_events;
+    std::cout << "  ... " << begin << " earlier event(s) elided ...\n";
+  }
+  for (std::size_t i = begin; i < bundle.events.size(); ++i) {
+    const gaia::obs::FlightEvent& e = bundle.events[i];
+    char stamp[64];
+    std::snprintf(stamp, sizeof(stamp), "  [%10.3fs]", e.t_s);
+    std::cout << stamp << ' ' << e.category << '/' << e.name;
+    if (e.rank >= 0) std::cout << " rank=" << e.rank;
+    if (e.iteration >= 0) std::cout << " itn=" << e.iteration;
+    if (!e.detail.empty()) std::cout << "  " << e.detail;
+    std::cout << '\n';
+  }
+
+  if (!bundle.metrics.empty()) {
+    std::size_t shown = all_metrics ? bundle.metrics.size()
+                                    : std::min<std::size_t>(
+                                          bundle.metrics.size(), 12);
+    std::cout << "metrics (" << shown << " of " << bundle.metrics.size()
+              << " row(s)):\n";
+    for (std::size_t i = 0; i < shown; ++i) {
+      const gaia::obs::MetricRow& r = bundle.metrics[i];
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "  %-44s count=%llu last=%.6g sum=%.6g",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.count), r.last,
+                    r.sum);
+      std::cout << line << '\n';
+    }
+  }
+
+  if (!bundle.trace_tail.empty()) {
+    std::cout << "trace tail (" << bundle.trace_tail.size()
+              << " event(s)";
+    if (bundle.trace_dropped > 0)
+      std::cout << ", " << bundle.trace_dropped << " dropped by the ring";
+    std::cout << "):\n";
+    for (const gaia::obs::PostmortemTraceEvent& t : bundle.trace_tail) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "  [%12.1fus] %c %s (%s) %.1fus",
+                    t.ts_us, t.phase, t.name.c_str(), t.cat.c_str(),
+                    t.dur_us);
+      std::cout << line << '\n';
+    }
+  }
+
+  if (!bundle.telemetry_tail.empty()) {
+    std::cout << "telemetry tail (" << bundle.telemetry_tail.size()
+              << " sample(s)):\n";
+    for (const std::string& line : bundle.telemetry_tail)
+      std::cout << "  " << line << '\n';
+  }
+
+  // One-line diagnosis keyed on the machine-matchable reason class, so
+  // an operator eyeballing CI logs gets the verdict without scrolling.
+  std::cout << "diagnosis: ";
+  if (bundle.info.reason == "sdc-unrepaired") {
+    std::cout << "silent data corruption exceeded the repair budget; "
+                 "see the last health verdict above\n";
+  } else if (bundle.info.reason == "rank-death") {
+    std::cout << "a rank died mid-solve; this is the dying rank's own "
+                 "bundle\n";
+  } else if (bundle.info.reason == "rank-death-unrecovered") {
+    std::cout << "rank death exhausted the restart budget; the cluster "
+                 "gave up\n";
+  } else if (bundle.info.reason == "world-poisoned") {
+    std::cout << "collateral unwind: a peer failed first, check its "
+                 "bundle\n";
+  } else if (bundle.info.reason == "exception") {
+    std::cout << "unclassified exception escaped the solver; detail "
+                 "above\n";
+  } else {
+    std::cout << "recorded reason '" << bundle.info.reason << "'\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string expect;
+  std::size_t max_events = 20;
+  bool all_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (++i >= argc) return "";
+      return argv[i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--metrics") {
+      all_metrics = true;
+    } else if (arg == "--expect" || arg.rfind("--expect=", 0) == 0) {
+      expect = value_of("--expect");
+      if (expect.empty()) return fail_usage("--expect needs a reason");
+    } else if (arg == "--events" || arg.rfind("--events=", 0) == 0) {
+      const std::string v = value_of("--events");
+      if (v.empty()) return fail_usage("--events needs a count");
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n < 0)
+        return fail_usage("bad --events value '" + v + "'");
+      max_events = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--", 0) == 0) {
+      return fail_usage("unknown option '" + arg + "'");
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return fail_usage("need at least one bundle file");
+
+  bool expectation_failed = false;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    gaia::obs::PostmortemBundle bundle;
+    try {
+      bundle = gaia::obs::read_postmortem_file(inputs[i]);
+    } catch (const gaia::Error& e) {
+      std::cerr << "gaia-postmortem: " << inputs[i] << ": " << e.what()
+                << '\n';
+      return 2;
+    }
+    if (i > 0) std::cout << '\n';
+    print_bundle(bundle, inputs[i], max_events, all_metrics);
+    if (!expect.empty() && bundle.info.reason != expect) {
+      std::cerr << "gaia-postmortem: " << inputs[i] << ": reason '"
+                << bundle.info.reason << "' != expected '" << expect
+                << "'\n";
+      expectation_failed = true;
+    }
+  }
+  return expectation_failed ? 1 : 0;
+}
